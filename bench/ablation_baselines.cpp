@@ -1,0 +1,49 @@
+// Ablation A4: baseline strength. The paper compares against one SPARTA
+// configuration; this ablation shows the comparison is robust to a stronger
+// baseline — HEFT insertion scheduling — and quantifies how much of
+// Para-CONV's win comes from cross-iteration pipelining rather than from a
+// weak baseline.
+#include <iostream>
+
+#include "paraconv.hpp"
+
+int main() {
+  using namespace paraconv;
+
+  std::cout << "Ablation: baseline list-scheduling policy vs Para-CONV "
+               "(32 PEs, 100 iterations).\n\n";
+
+  TablePrinter table("Baseline strength");
+  table.set_header({"Benchmark", "SPARTA(EFT)", "SPARTA(insertion)",
+                    "Para-CONV", "Para vs best baseline"});
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+    const graph::TaskGraph g = graph::build_paper_benchmark(bench);
+
+    core::SpartaOptions eft;
+    const auto base_eft = core::Sparta(config, eft).schedule(g);
+    core::SpartaOptions ins;
+    ins.policy = core::ListPolicy::kInsertion;
+    const auto base_ins = core::Sparta(config, ins).schedule(g);
+    const auto ours = core::ParaConv(config, {}).schedule(g);
+
+    const core::RunResult& best =
+        base_ins.metrics.total_time < base_eft.metrics.total_time
+            ? base_ins.metrics
+            : base_eft.metrics;
+    table.add_row({
+        bench.name,
+        std::to_string(base_eft.metrics.total_time.value),
+        std::to_string(base_ins.metrics.total_time.value),
+        std::to_string(ours.metrics.total_time.value),
+        format_fixed(core::speedup(best, ours.metrics), 2) + "x",
+    });
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: insertion scheduling helps the baseline "
+               "only marginally — the win comes from converting "
+               "intra-iteration dependencies into inter-iteration ones, "
+               "which no single-iteration scheduler can do.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation A3: objective-schedule packer choice. Para-CONV's initial
+// compacted schedule can be built with pure LPT load balancing or with the
+// topology-aware packer; both reach (near-)minimal periods but differ in
+// how many IPRs need non-zero retiming distances.
+#include <iostream>
+
+#include "paraconv.hpp"
+
+int main() {
+  using namespace paraconv;
+
+  std::cout << "Ablation: topological vs LPT packing for the objective "
+               "schedule (32 PEs).\n\n";
+
+  TablePrinter table("Packer ablation");
+  table.set_header({"Benchmark", "p(topo)", "p(LPT)", "p(refined)",
+                    "p(modulo)", "R_max(topo)", "R_max(LPT)",
+                    "R_max(refined)", "R_max(modulo)", "total(topo)",
+                    "total(modulo)"});
+  for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+    const graph::TaskGraph g = graph::build_paper_benchmark(bench);
+    const pim::PimConfig config = pim::PimConfig::neurocube(32);
+
+    core::ParaConvOptions topo;
+    topo.packer = core::PackerKind::kTopological;
+    const auto rt = core::ParaConv(config, topo).schedule(g);
+
+    core::ParaConvOptions lpt;
+    lpt.packer = core::PackerKind::kLpt;
+    const auto rl = core::ParaConv(config, lpt).schedule(g);
+
+    core::ParaConvOptions refined = topo;
+    refined.refine_steps = 384;
+    const auto rr = core::ParaConv(config, refined).schedule(g);
+
+    core::ParaConvOptions modulo;
+    modulo.packer = core::PackerKind::kModulo;
+    const auto rm = core::ParaConv(config, modulo).schedule(g);
+
+    table.add_row({bench.name,
+                   std::to_string(rt.metrics.iteration_time.value),
+                   std::to_string(rl.metrics.iteration_time.value),
+                   std::to_string(rr.metrics.iteration_time.value),
+                   std::to_string(rm.metrics.iteration_time.value),
+                   std::to_string(rt.metrics.r_max),
+                   std::to_string(rl.metrics.r_max),
+                   std::to_string(rr.metrics.r_max),
+                   std::to_string(rm.metrics.r_max),
+                   std::to_string(rt.metrics.total_time.value),
+                   std::to_string(rm.metrics.total_time.value)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: near-equal periods everywhere; the "
+               "precedence-aware packer needs less retiming than pure LPT, "
+               "local search trims a little more, and the modulo scheduler "
+               "(compiler-style, staggered offsets) cuts R_max to within a "
+               "few windows of the ceil(CP/p)-1 lower bound.\n";
+  return 0;
+}

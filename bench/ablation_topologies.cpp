@@ -1,0 +1,44 @@
+// Ablation A5: on-chip-network topology (future-work extension). The paper
+// evaluates a crossbar; this ablation quantifies how mesh/ring hop latency
+// inflates retiming distances and the prologue, and how well the DP
+// allocation compensates.
+#include <iostream>
+
+#include "paraconv.hpp"
+
+int main() {
+  using namespace paraconv;
+
+  std::cout << "Ablation: NoC topology (crossbar vs 2D mesh vs ring), "
+               "32 PEs, hop latency 2 time units.\n\n";
+
+  TablePrinter table("Topology ablation");
+  table.set_header({"Benchmark", "topology", "R_max", "prologue", "total",
+                    "cached IPRs"});
+  for (const char* name : {"flower", "stock-predict", "shortest-path",
+                           "protein"}) {
+    const graph::TaskGraph g =
+        graph::build_paper_benchmark(graph::paper_benchmark(name));
+    for (const pim::NocTopology topology :
+         {pim::NocTopology::kCrossbar, pim::NocTopology::kMesh2D,
+          pim::NocTopology::kRing}) {
+      pim::PimConfig config = pim::PimConfig::neurocube(32);
+      config.topology = topology;
+      config.noc_hop_units = 2;
+      const core::ParaConvResult r = core::ParaConv(config).schedule(g);
+      table.add_row({name, pim::to_string(topology),
+                     std::to_string(r.metrics.r_max),
+                     std::to_string(r.metrics.prologue_time.value),
+                     std::to_string(r.metrics.total_time.value),
+                     std::to_string(r.metrics.cached_iprs)});
+    }
+    table.add_rule();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: the steady-state kernel period is "
+               "topology-independent (retiming hides hand-off latency); "
+               "slower networks pay only in prologue length and cache "
+               "pressure.\n";
+  return 0;
+}

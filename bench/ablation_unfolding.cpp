@@ -1,0 +1,45 @@
+// Ablation A7: iteration unfolding. Scheduling `U` iterations as one
+// super-iteration amortizes packing quantization (tasks are coarse relative
+// to the window on many-PE configs), at the price of a longer prologue in
+// absolute time. Classic companion of retiming in periodic scheduling.
+#include <iostream>
+
+#include "graph/unfold.hpp"
+#include "paraconv.hpp"
+
+int main() {
+  using namespace paraconv;
+
+  std::cout << "Ablation: unfolding factor U (schedule U iterations per "
+               "super-iteration), 64 PEs.\n\n";
+
+  TablePrinter table("Unfolding ablation");
+  table.set_header({"Benchmark", "U", "super-period", "period/input",
+                    "R_max", "prologue (tu)"});
+  const pim::PimConfig config = pim::PimConfig::neurocube(64);
+  for (const char* name : {"cat", "flower", "character-2", "stock-predict"}) {
+    const graph::TaskGraph g =
+        graph::build_paper_benchmark(graph::paper_benchmark(name));
+    for (const int factor : {1, 2, 4, 8}) {
+      const graph::TaskGraph u = graph::unfold(g, factor);
+      const core::ParaConvResult r = core::ParaConv(config).schedule(u);
+      table.add_row({
+          name,
+          std::to_string(factor),
+          std::to_string(r.kernel.period.value),
+          format_fixed(static_cast<double>(r.kernel.period.value) / factor,
+                       2),
+          std::to_string(r.metrics.r_max),
+          std::to_string(r.metrics.prologue_time.value),
+      });
+    }
+    table.add_rule();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: per-input period falls toward the work "
+               "bound as U grows (quantization amortized), while prologue "
+               "time grows — unfolding trades startup latency for "
+               "steady-state throughput.\n";
+  return 0;
+}

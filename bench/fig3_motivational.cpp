@@ -1,0 +1,49 @@
+// Figure 3 reproduction: the motivational example (Sec. 2.3). A five-task
+// CNN graph on four PEs whose per-PE cache holds exactly one IPR. Fig. 3(a)
+// is the baseline schedule where intermediate results delay T4/T5; Fig. 3(b)
+// is Para-CONV's compacted kernel with the dependency chain pushed into a
+// prologue. This harness prints both timelines.
+#include <iostream>
+
+#include "paraconv.hpp"
+#include "report/gantt.hpp"
+
+
+
+int main() {
+  using namespace paraconv;
+
+  const graph::TaskGraph g = graph::motivational_example();
+  pim::PimConfig config;
+  config.pe_count = 4;
+  config.pe_cache_bytes = 8_KiB;
+  config.validate();
+
+  std::cout << "Reproducing the Sec. 2.3 motivational example: 5 unit-time "
+               "convolutions, 4 PEs, one IPR per PE cache.\n\n";
+
+  // Fig. 3(a): dependency-respecting baseline, one iteration at a time.
+  const core::SpartaResult base = core::Sparta(config, {100}).schedule(g);
+  std::cout << "Fig. 3(a) baseline: iteration length "
+            << base.metrics.iteration_time.value
+            << " time units (dependencies + IPR hand-offs paid every "
+               "iteration)\n";
+
+  // Fig. 3(b): Para-CONV's compacted kernel.
+  const core::ParaConvResult ours =
+      core::ParaConv(config, {.iterations = 100}).schedule(g);
+  std::cout << "\nFig. 3(b) Para-CONV:\n"
+            << report::render_kernel_gantt(g, ours.kernel, config.pe_count)
+            << "\nPipeline fill (prologue + first steady windows):\n"
+            << report::render_expanded_gantt(g, ours.kernel, config.pe_count,
+                                             ours.metrics.r_max + 2)
+            << "\n";
+
+  std::cout << "kernel = " << ours.metrics.iteration_time.value
+            << " time units/iteration (paper: 3), prologue = "
+            << ours.metrics.r_max << " windows (paper: 3 iterations), "
+            << "speedup over baseline = "
+            << format_fixed(core::speedup(base.metrics, ours.metrics), 2)
+            << "x\n";
+  return 0;
+}

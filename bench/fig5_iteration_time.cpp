@@ -1,0 +1,45 @@
+// Figure 5 reproduction: execution time of each steady-state iteration
+// (the loop kernel) of Para-CONV on 16, 32 and 64 processing elements,
+// normalized by the baseline's per-iteration time on 64 PEs.
+#include <iostream>
+
+#include "bench_support/experiments.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace paraconv;
+
+  std::cout << "Reproducing Figure 5: per-iteration (kernel) execution "
+               "time, normalized to the baseline on 64 PEs.\n\n";
+
+  const auto rows = bench_support::run_grid();
+
+  TablePrinter table(
+      "Figure 5 series: normalized per-iteration execution time");
+  table.set_header({"Benchmark", "Para@16", "Para@32", "Para@64",
+                    "SPARTA@64 (=1.0 ref, tu)"});
+  for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+    double base64 = 0.0;
+    std::vector<double> para(3, 0.0);
+    int idx = 0;
+    for (const auto& row : rows) {
+      if (row.benchmark != bench.name) continue;
+      para[static_cast<std::size_t>(idx++)] =
+          static_cast<double>(row.para_conv.iteration_time.value);
+      if (row.pe_count == 64) {
+        base64 = static_cast<double>(row.sparta.iteration_time.value);
+      }
+    }
+    table.add_row({bench.name, format_fixed(para[0] / base64, 3),
+                   format_fixed(para[1] / base64, 3),
+                   format_fixed(para[2] / base64, 3),
+                   std::to_string(static_cast<long long>(base64))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape (paper): per-iteration time decreases "
+               "monotonically as PEs increase, because more convolutional "
+               "connections execute in parallel.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// M1: google-benchmark micro-benchmarks for the dynamic-programming
+// allocator — verifies the paper's O(n * S) running-time claim empirically
+// (linear in item count at fixed capacity, linear in capacity at fixed n).
+#include <benchmark/benchmark.h>
+
+#include "alloc/knapsack.hpp"
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+
+namespace {
+
+using namespace paraconv;
+
+std::vector<alloc::AllocationItem> synthetic_items(std::size_t n,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<alloc::AllocationItem> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alloc::AllocationItem item;
+    item.edge = graph::EdgeId{static_cast<std::uint32_t>(i)};
+    item.size = Bytes{rng.uniform_int(1, 16) * 1024};
+    item.profit = static_cast<int>(rng.uniform_int(1, 2));
+    item.deadline = TimeUnits{static_cast<std::int64_t>(i)};
+    items.push_back(item);
+  }
+  return items;
+}
+
+void BM_KnapsackItems(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto items = synthetic_items(n, 42);
+  const alloc::KnapsackOptions options{Bytes{512 * 1024}, 1024};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::knapsack_profit(items, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackItems)->RangeMultiplier(2)->Range(64, 2048)->Complexity(
+    benchmark::oN);
+
+void BM_KnapsackCapacity(benchmark::State& state) {
+  const auto items = synthetic_items(512, 42);
+  const alloc::KnapsackOptions options{Bytes{state.range(0) * 1024}, 1024};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::knapsack_profit(items, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackCapacity)
+    ->RangeMultiplier(2)
+    ->Range(64, 2048)
+    ->Complexity(benchmark::oN);
+
+}  // namespace

@@ -1,0 +1,55 @@
+// M2: google-benchmark micro-benchmarks for the full scheduling pipeline
+// and the machine-model replay, across graph sizes.
+#include <benchmark/benchmark.h>
+
+#include "core/para_conv.hpp"
+#include "core/sparta.hpp"
+#include "graph/generator.hpp"
+#include "pim/machine.hpp"
+
+namespace {
+
+using namespace paraconv;
+
+graph::TaskGraph make_graph(std::int64_t vertices) {
+  graph::GeneratorConfig config;
+  config.name = "bench";
+  config.vertices = static_cast<std::size_t>(vertices);
+  config.edges = static_cast<std::size_t>(vertices) * 5 / 2;
+  config.seed = 7;
+  return graph::generate_layered_dag(config);
+}
+
+void BM_ParaConvSchedule(benchmark::State& state) {
+  const graph::TaskGraph g = make_graph(state.range(0));
+  const core::ParaConv scheduler(pim::PimConfig::neurocube(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ParaConvSchedule)->RangeMultiplier(2)->Range(32, 1024);
+
+void BM_SpartaSchedule(benchmark::State& state) {
+  const graph::TaskGraph g = make_graph(state.range(0));
+  const core::Sparta scheduler(pim::PimConfig::neurocube(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpartaSchedule)->RangeMultiplier(2)->Range(32, 1024);
+
+void BM_MachineReplay(benchmark::State& state) {
+  const graph::TaskGraph g = make_graph(state.range(0));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  const auto result = core::ParaConv(config).schedule(g);
+  pim::Machine machine(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.run(g, result.kernel, {.iterations = 4}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MachineReplay)->RangeMultiplier(4)->Range(32, 512);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Table 1 reproduction: total execution time of SPARTA and Para-CONV on
+// 16, 32 and 64 processing elements over the twelve benchmarks.
+//
+// The paper's "IMP (%)" column is labelled "reduction of the total execution
+// time" but its printed values equal Para-CONV/SPARTA x 100 (e.g. cat@16:
+// 4.0/4.7 = 85.13). We print BOTH interpretations; see EXPERIMENTS.md.
+#include <iostream>
+
+#include "bench_support/experiments.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace paraconv;
+  using bench_support::ExperimentRow;
+
+  std::cout << "Reproducing Table 1: total execution time, SPARTA vs "
+               "Para-CONV, 16/32/64 PEs, 100 iterations.\n\n";
+
+  const auto rows = bench_support::run_grid();
+
+  TablePrinter table("Table 1: total execution time (time units)");
+  std::vector<std::string> header{"Benchmark", "|V|", "|E|"};
+  for (const int pe : bench_support::paper_pe_counts()) {
+    const std::string s = std::to_string(pe);
+    header.push_back("SPARTA@" + s);
+    header.push_back("Para@" + s);
+    header.push_back("ratio%@" + s);
+    header.push_back("red%@" + s);
+  }
+  table.set_header(header);
+
+  double ratio_sum[3] = {};
+  double reduction_sum[3] = {};
+  std::size_t bench_count = 0;
+
+  for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+    std::vector<std::string> cells{bench.name, std::to_string(bench.vertices),
+                                   std::to_string(bench.edges)};
+    int pe_idx = 0;
+    for (const ExperimentRow& row : rows) {
+      if (row.benchmark != bench.name) continue;
+      const double ratio =
+          core::time_ratio_percent(row.sparta, row.para_conv);
+      const double reduction =
+          core::time_reduction_percent(row.sparta, row.para_conv);
+      cells.push_back(std::to_string(row.sparta.total_time.value));
+      cells.push_back(std::to_string(row.para_conv.total_time.value));
+      cells.push_back(format_fixed(ratio, 2));
+      cells.push_back(format_fixed(reduction, 2));
+      ratio_sum[pe_idx] += ratio;
+      reduction_sum[pe_idx] += reduction;
+      ++pe_idx;
+    }
+    ++bench_count;
+    table.add_row(cells);
+  }
+
+  std::vector<std::string> avg{"Average", "", ""};
+  for (int i = 0; i < 3; ++i) {
+    avg.push_back("");
+    avg.push_back("");
+    avg.push_back(
+        format_fixed(ratio_sum[i] / static_cast<double>(bench_count), 2));
+    avg.push_back(
+        format_fixed(reduction_sum[i] / static_cast<double>(bench_count), 2));
+  }
+  table.add_rule();
+  table.add_row(avg);
+  table.print(std::cout);
+
+  const double overall_reduction =
+      (reduction_sum[0] + reduction_sum[1] + reduction_sum[2]) /
+      (3.0 * static_cast<double>(bench_count));
+  std::cout << "\nOverall average execution-time reduction: "
+            << format_fixed(overall_reduction, 2)
+            << "%  (paper reports 53.42% / 1.87x)\n";
+  return 0;
+}

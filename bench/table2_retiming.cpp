@@ -1,0 +1,46 @@
+// Table 2 reproduction: the maximum retiming value R_max of Para-CONV on
+// 16, 32 and 64 processing elements (prologue time = R_max * p).
+#include <iostream>
+
+#include "bench_support/experiments.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "sched/bounds.hpp"
+
+int main() {
+  using namespace paraconv;
+
+  std::cout << "Reproducing Table 2: maximum retiming value of Para-CONV "
+               "on 16/32/64 PEs.\n\n";
+
+  const auto rows = bench_support::run_grid();
+
+  TablePrinter table("Table 2: maximum retiming value R_max");
+  table.set_header({"Benchmark", "16-core", "32-core", "64-core", "Average",
+                    "bound@32", "prologue@32 (tu)"});
+  for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+    std::vector<int> r;
+    TimeUnits prologue32{0};
+    int bound32 = 0;
+    for (const auto& row : rows) {
+      if (row.benchmark != bench.name) continue;
+      r.push_back(row.para_conv.r_max);
+      if (row.pe_count == 32) {
+        prologue32 = row.para_conv.prologue_time;
+        bound32 = sched::retiming_lower_bound(
+            graph::build_paper_benchmark(bench),
+            row.para_conv.iteration_time);
+      }
+    }
+    const double avg = (r[0] + r[1] + r[2]) / 3.0;
+    table.add_row({bench.name, std::to_string(r[0]), std::to_string(r[1]),
+                   std::to_string(r[2]), format_fixed(avg, 1),
+                   std::to_string(bound32), std::to_string(prologue32.value)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote: larger applications need more retiming (prologue), "
+               "matching the paper's size trend; see EXPERIMENTS.md for the "
+               "PE-count trend discussion.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Data-movement table: the abstract's headline claim is that Para-CONV
+// "can significantly improve the throughput and reduce data movement". The
+// evaluation section never plots movement directly, so this harness
+// measures it on the machine model: off-PE (eDRAM) traffic per steady-state
+// iteration for the baseline, the paper's DP, and the energy-aware
+// extension, all replayed for the same iteration count.
+#include <iostream>
+
+#include "paraconv.hpp"
+
+namespace {
+
+paraconv::Bytes edram_per_iteration(const paraconv::pim::MachineStats& stats,
+                                    std::int64_t iterations) {
+  return paraconv::Bytes{stats.edram_bytes.value / iterations};
+}
+
+}  // namespace
+
+int main() {
+  using namespace paraconv;
+
+  constexpr std::int64_t kIterations = 10;
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+
+  std::cout << "Data movement (machine-measured eDRAM traffic per "
+               "iteration), 32 PEs.\n\n";
+
+  TablePrinter table("Off-PE data movement per iteration");
+  table.set_header({"Benchmark", "IPR volume", "SPARTA", "Para-CONV(DP)",
+                    "Para-CONV(energy)", "best vs SPARTA"});
+  for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+    const graph::TaskGraph g = graph::build_paper_benchmark(bench);
+
+    const core::SpartaResult base = core::Sparta(config).schedule(g);
+    pim::Machine m0(config);
+    const Bytes base_bytes = edram_per_iteration(
+        m0.run(g, core::to_kernel_schedule(g, base),
+               {.iterations = kIterations}),
+        kIterations);
+
+    core::ParaConvOptions dp;
+    const core::ParaConvResult r_dp = core::ParaConv(config, dp).schedule(g);
+    pim::Machine m1(config);
+    const Bytes dp_bytes = edram_per_iteration(
+        m1.run(g, r_dp.kernel, {.iterations = kIterations}), kIterations);
+
+    core::ParaConvOptions energy;
+    energy.allocator = core::AllocatorKind::kEnergyAware;
+    const core::ParaConvResult r_en =
+        core::ParaConv(config, energy).schedule(g);
+    pim::Machine m2(config);
+    const Bytes en_bytes = edram_per_iteration(
+        m2.run(g, r_en.kernel, {.iterations = kIterations}), kIterations);
+
+    const Bytes best{std::min(dp_bytes.value, en_bytes.value)};
+    const double saved =
+        100.0 * (1.0 - static_cast<double>(best.value) /
+                           static_cast<double>(base_bytes.value));
+    table.add_row({
+        bench.name,
+        format_bytes(g.total_ipr_bytes()),
+        format_bytes(base_bytes),
+        format_bytes(dp_bytes),
+        format_bytes(en_bytes),
+        format_fixed(saved, 1) + "%",
+    });
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the throughput DP optimizes prologue, not traffic, and "
+         "retiming keeps several in-flight IPR copies resident in the "
+         "producer caches — raising cache pressure and hence eDRAM "
+         "refetches relative to the non-pipelined baseline on small "
+         "graphs. The energy-aware extension recovers most of the gap; "
+         "see EXPERIMENTS.md for the full discussion of the abstract's "
+         "data-movement claim.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Custom application graphs: author a task graph in the plain-text format,
+// load it through the serializer, and schedule it — the workflow for users
+// bringing their own CNN applications to the library.
+#include <iostream>
+
+#include "paraconv.hpp"
+
+namespace {
+
+// A two-branch CNN: stem -> {wide 3x3 branch, cheap 1x1 branch} -> join,
+// written exactly as a user would store it on disk.
+constexpr const char* kGraphText = R"(paraconv-graph 1
+# stem
+name custom-two-branch
+task stem conv 12 4096
+# branch A: heavy 3x3 pipeline
+task a_reduce conv 4 1024
+task a_conv pool 6
+task a_out conv 10 8192
+# branch B: cheap pointwise path
+task b_conv conv 5 2048
+task b_out conv 5 2048
+# join
+task join other 2
+ipr 0 1 8192
+ipr 1 2 4096
+ipr 2 3 4096
+ipr 0 4 8192
+ipr 4 5 6144
+ipr 3 6 10240
+ipr 5 6 6144
+)";
+
+}  // namespace
+
+int main() {
+  using namespace paraconv;
+
+  const graph::TaskGraph g = graph::read_graph_string(kGraphText);
+  std::cout << "Loaded '" << g.name() << "': " << g.node_count()
+            << " tasks, " << g.edge_count() << " IPRs, critical path "
+            << graph::critical_path_length(g).value << " time units.\n\n";
+
+  pim::PimConfig config = pim::PimConfig::neurocube(16);
+  config.pe_count = 4;
+
+  const core::ParaConvResult r =
+      core::ParaConv(config, {.iterations = 50}).schedule(g);
+  std::cout << report::render_kernel_gantt(g, r.kernel, config.pe_count)
+            << "\n";
+
+  const sched::LatencyReport latency = sched::iteration_latency(g, r.kernel);
+  std::cout << "throughput: one inference every "
+            << r.metrics.iteration_time.value << " time units; latency "
+            << latency.iteration_latency.value << " (pipeline depth "
+            << latency.windows_spanned << " windows)\n";
+
+  // Round-trip back to text: what you load is what you can save.
+  const std::string saved = graph::write_graph_string(g);
+  const graph::TaskGraph reloaded = graph::read_graph_string(saved);
+  std::cout << "\nround-trip check: " << reloaded.node_count() << " tasks, "
+            << reloaded.edge_count() << " IPRs preserved.\n";
+  return 0;
+}

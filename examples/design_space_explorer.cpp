@@ -1,0 +1,85 @@
+// Design-space explorer: the paper's future-work direction of "a general
+// model that can be adaptively applied to different system architectures"
+// (Sec. 5). Sweeps PE count and per-PE cache size under a fixed silicon
+// budget and reports the throughput-optimal PIM configuration per workload.
+#include <iostream>
+#include <optional>
+
+#include "paraconv.hpp"
+
+namespace {
+
+using namespace paraconv;
+
+/// Crude area model: one PE datapath counts as 8 "tiles", cache costs one
+/// tile per 2 KiB. A budget of 640 tiles admits e.g. 64 PEs x 16 KiB
+/// (64*8 + 64*8 = 1024 > budget) down to 16 PEs x 64 KiB.
+struct AreaModel {
+  std::int64_t tiles_per_pe{8};
+  std::int64_t bytes_per_tile{2 * 1024};
+
+  std::int64_t cost(int pes, Bytes cache_per_pe) const {
+    return pes * tiles_per_pe +
+           pes * ceil_div(cache_per_pe.value, bytes_per_tile);
+  }
+};
+
+}  // namespace
+
+int main() {
+  const AreaModel area;
+  const std::int64_t budget = 512;
+
+  std::cout << "Design-space exploration under a silicon budget of "
+            << budget << " tiles (PE = " << area.tiles_per_pe
+            << " tiles, cache = 1 tile per "
+            << format_bytes(Bytes{area.bytes_per_tile}) << ").\n\n";
+
+  for (const std::string& name :
+       {std::string{"character-2"}, std::string{"shortest-path"},
+        std::string{"protein"}}) {
+    const graph::TaskGraph g =
+        graph::build_paper_benchmark(graph::paper_benchmark(name));
+
+    TablePrinter table("Benchmark '" + name + "'");
+    table.set_header({"PEs", "cache/PE", "area", "kernel p", "R_max",
+                      "total time", "best?"});
+
+    std::optional<TimeUnits> best_time;
+    int best_row = -1;
+    std::vector<std::vector<std::string>> rows;
+    for (const int pes : {8, 16, 32, 48, 64}) {
+      for (const std::int64_t cache_kib : {4LL, 16LL, 64LL}) {
+        const Bytes per_pe{cache_kib * 1024};
+        const std::int64_t cost = area.cost(pes, per_pe);
+        if (cost > budget) continue;
+
+        pim::PimConfig config = pim::PimConfig::neurocube(pes);
+        config.pe_cache_bytes = per_pe;
+        const core::ParaConvResult r =
+            core::ParaConv(config, {.iterations = 100}).schedule(g);
+        rows.push_back({std::to_string(pes),
+                        std::to_string(cache_kib) + " KiB",
+                        std::to_string(cost),
+                        std::to_string(r.metrics.iteration_time.value),
+                        std::to_string(r.metrics.r_max),
+                        std::to_string(r.metrics.total_time.value), ""});
+        if (!best_time.has_value() || r.metrics.total_time < *best_time) {
+          best_time = r.metrics.total_time;
+          best_row = static_cast<int>(rows.size()) - 1;
+        }
+      }
+    }
+    for (int i = 0; i < static_cast<int>(rows.size()); ++i) {
+      rows[static_cast<std::size_t>(i)][6] = (i == best_row) ? "<== best" : "";
+      table.add_row(rows[static_cast<std::size_t>(i)]);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: compute-starved workloads prefer spending tiles on "
+               "PEs; prologue-bound ones trade PEs for cache to cut "
+               "retiming.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Energy explorer: replay Para-CONV and baseline schedules on the machine
+// model and break energy down by component — the "energy issue for PIM"
+// the paper's conclusion defers to future work.
+#include <iostream>
+
+#include "paraconv.hpp"
+
+int main() {
+  using namespace paraconv;
+
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark("string-matching"));
+  std::cout << "Benchmark 'string-matching': " << g.node_count()
+            << " tasks, " << g.edge_count() << " IPRs\n\n";
+
+  TablePrinter table("Energy per 20 iterations, machine-model replay");
+  table.set_header({"PEs", "allocator", "cache uJ", "eDRAM uJ", "NoC uJ",
+                    "compute uJ", "total uJ", "eDRAM accesses"});
+
+  const auto uj = [](Picojoules e) { return format_fixed(e.value / 1e6, 2); };
+  const auto add_row = [&](int pe, const std::string& label,
+                           const pim::MachineStats& stats) {
+    table.add_row({
+        std::to_string(pe),
+        label,
+        uj(stats.energy.cache),
+        uj(stats.energy.edram),
+        uj(stats.energy.noc),
+        uj(stats.energy.compute),
+        uj(stats.energy.total()),
+        std::to_string(stats.edram_accesses),
+    });
+  };
+
+  for (const int pe : {16, 32, 64}) {
+    const pim::PimConfig config = pim::PimConfig::neurocube(pe);
+
+    // Baseline, replayed through the same machine model.
+    const core::SpartaResult base = core::Sparta(config).schedule(g);
+    pim::Machine base_machine(config);
+    add_row(pe, "SPARTA",
+            base_machine.run(g, core::to_kernel_schedule(g, base),
+                             {.iterations = 20}));
+
+    for (const core::AllocatorKind alloc :
+         {core::AllocatorKind::kKnapsackDp,
+          core::AllocatorKind::kGreedyDeadline,
+          core::AllocatorKind::kEnergyAware}) {
+      core::ParaConvOptions options;
+      options.iterations = 20;
+      options.allocator = alloc;
+      const core::ParaConvResult result =
+          core::ParaConv(config, options).schedule(g);
+
+      pim::Machine machine(config);
+      add_row(pe, core::to_string(alloc),
+              machine.run(g, result.kernel, {.iterations = 20}));
+    }
+    table.add_rule();
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the paper's DP optimizes the *prologue*, not traffic —"
+         " it caches the retiming-sensitive IPRs, which are not the largest"
+         " ones, so its eDRAM energy can trail even the baseline's"
+         " byte-greedy policy. The energy-aware allocator keeps the DP's"
+         " prologue and spends leftover capacity on the biggest remaining"
+         " IPRs, recovering the eDRAM term (visible at 32/64 PEs).\n";
+  return 0;
+}

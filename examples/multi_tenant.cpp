@@ -1,0 +1,53 @@
+// Multi-tenant PIM: co-locate several CNN applications on one PE array with
+// work-proportional space partitioning, and compare against exclusive use.
+#include <iostream>
+
+#include "paraconv.hpp"
+
+int main() {
+  using namespace paraconv;
+
+  const graph::TaskGraph vision =
+      graph::build_paper_benchmark(graph::paper_benchmark("flower"));
+  const graph::TaskGraph speech =
+      graph::build_paper_benchmark(graph::paper_benchmark("speech-1"));
+  const graph::TaskGraph analytics =
+      graph::build_paper_benchmark(graph::paper_benchmark("stock-predict"));
+
+  const pim::PimConfig config = pim::PimConfig::neurocube(64);
+  const std::vector<const graph::TaskGraph*> apps{&vision, &speech,
+                                                  &analytics};
+
+  const core::ColocationResult shared =
+      core::schedule_colocated(apps, config);
+
+  TablePrinter table("Three tenants on one 64-PE array");
+  table.set_header({"application", "tasks", "PEs", "kernel p", "R_max",
+                    "shared total", "exclusive total", "slowdown"});
+  const char* names[] = {"flower", "speech-1", "stock-predict"};
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const core::ParaConvResult exclusive =
+        core::ParaConv(config).schedule(*apps[i]);
+    const core::RunResult& m = shared.apps[i].metrics;
+    table.add_row({
+        names[i],
+        std::to_string(apps[i]->node_count()),
+        std::to_string(shared.partitions[i].pe_count),
+        std::to_string(m.iteration_time.value),
+        std::to_string(m.r_max),
+        std::to_string(m.total_time.value),
+        std::to_string(exclusive.metrics.total_time.value),
+        format_fixed(static_cast<double>(m.total_time.value) /
+                         static_cast<double>(
+                             exclusive.metrics.total_time.value),
+                     2) + "x",
+    });
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPartitions are work-proportional and isolated: each "
+               "application keeps its own PEs and cache slice, so tenants "
+               "cannot interfere — at the cost of the slowdown shown vs "
+               "exclusive use of the whole array.\n";
+  return 0;
+}

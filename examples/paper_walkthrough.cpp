@@ -1,0 +1,83 @@
+// Paper walkthrough: reproduces the paper's exposition step by step on its
+// own motivational example — Sec. 2.3's configuration, Theorem 3.1's bound,
+// Fig. 4's six cases, the Sec. 3.3 dynamic program, and the resulting
+// prologue + kernel. Run it to see every concept with concrete numbers.
+#include <iostream>
+
+#include "paraconv.hpp"
+
+int main() {
+  using namespace paraconv;
+
+  std::cout << "==== 1. The application (Fig. 2(b)) ====\n";
+  const graph::TaskGraph g = graph::motivational_example(2_KiB);
+  std::cout << g.node_count() << " convolutions, " << g.edge_count()
+            << " intermediate processing results (IPRs); critical path "
+            << graph::critical_path_length(g).value << " time units.\n\n";
+
+  std::cout << "==== 2. The architecture (Sec. 2.3) ====\n";
+  pim::PimConfig config;
+  config.pe_count = 4;
+  config.pe_cache_bytes = 2_KiB;  // each PE cache holds exactly one IPR
+  config.validate();
+  std::cout << config.pe_count << " PEs, " << format_bytes(config.pe_cache_bytes)
+            << " cache each (one IPR), eDRAM "
+            << config.cache_bytes_per_unit / config.edram_bytes_per_unit
+            << "x slower per byte.\n\n";
+
+  std::cout << "==== 3. The compacted objective schedule (Fig. 3(b)) ====\n";
+  const sched::Packing packing = sched::pack_topological(g, config.pe_count);
+  std::cout << "All five tasks packed into p = " << packing.period.value
+            << " time units (resource bound "
+            << sched::period_lower_bound(g, config.pe_count).value
+            << ") — legal only because retiming will move producers into "
+               "earlier iterations.\n\n";
+
+  std::cout << "==== 4. Theorem 3.1 and the six cases (Fig. 4) ====\n";
+  const auto deltas = retiming::compute_edge_deltas(
+      g, packing.placement, packing.period, config);
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    const retiming::EdgeDelta& d = deltas[e.value];
+    std::cout << "  I(" << g.task(ipr.src).name << "->"
+              << g.task(ipr.dst).name << "): delta(cache)=" << d.cache
+              << " delta(eDRAM)=" << d.edram << "  -> "
+              << retiming::to_string(retiming::classify(d))
+              << (retiming::allocation_sensitive(d)
+                      ? "  [competes for cache]"
+                      : "  [eDRAM, free]")
+              << "\n";
+  }
+  std::cout << "Every delta lies in {0,1,2}: Theorem 3.1's bound.\n\n";
+
+  std::cout << "==== 5. The dynamic program (Sec. 3.3) ====\n";
+  const auto items = alloc::build_items(g, packing.placement, deltas);
+  const auto allocation = alloc::knapsack_allocate(
+      g, items, alloc::KnapsackOptions{config.total_cache_bytes(), 64});
+  std::cout << items.size() << " sensitive IPRs compete for "
+            << format_bytes(config.total_cache_bytes())
+            << " of array cache; the DP caches " << allocation.cached_count
+            << " of them for a total profit (sum of dR) of "
+            << allocation.total_profit << ".\n\n";
+
+  std::cout << "==== 6. Retiming and the prologue (Sec. 3.2) ====\n";
+  const core::ParaConvResult r = core::ParaConv(config).schedule(g);
+  for (const graph::NodeId v : g.nodes()) {
+    std::cout << "  r(" << g.task(v).name
+              << ") = " << r.kernel.retiming[v.value] << "\n";
+  }
+  std::cout << "R_max = " << r.metrics.r_max << ", prologue = R_max x p = "
+            << r.metrics.prologue_time.value << " time units.\n\n"
+            << report::render_expanded_gantt(g, r.kernel, config.pe_count,
+                                             r.metrics.r_max + 2)
+            << "\n";
+
+  std::cout << "==== 7. The result (Table 1's story) ====\n";
+  const core::SpartaResult base = core::Sparta(config, {100}).schedule(g);
+  std::cout << "Baseline pays " << base.metrics.iteration_time.value
+            << " time units per iteration; Para-CONV completes one every "
+            << r.kernel.period.value << " after the prologue: "
+            << format_fixed(core::speedup(base.metrics, r.metrics), 2)
+            << "x higher throughput over 100 iterations.\n";
+  return 0;
+}

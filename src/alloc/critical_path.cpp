@@ -1,0 +1,109 @@
+#include "alloc/critical_path.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "graph/algorithms.hpp"
+#include "retiming/retiming.hpp"
+
+namespace paraconv::alloc {
+namespace {
+
+std::vector<int> distances_for(const graph::TaskGraph& g,
+                               const std::vector<retiming::EdgeDelta>& deltas,
+                               const std::vector<pim::AllocSite>& site) {
+  std::vector<int> d(g.edge_count());
+  for (const graph::EdgeId e : g.edges()) {
+    d[e.value] = site[e.value] == pim::AllocSite::kCache
+                     ? deltas[e.value].cache
+                     : deltas[e.value].edram;
+  }
+  return d;
+}
+
+/// Longest distance from any source down to each node (forward pass),
+/// complementing the tail lengths from minimal_retiming.
+std::vector<int> head_lengths(const graph::TaskGraph& g,
+                              const std::vector<int>& distance) {
+  const auto topo = graph::topological_order(g);
+  PARACONV_CHECK(topo.has_value(), "acyclic graph required");
+  std::vector<int> head(g.node_count(), 0);
+  for (const graph::NodeId v : *topo) {
+    for (const graph::EdgeId e : g.in_edges(v)) {
+      const graph::NodeId u = g.ipr(e).src;
+      head[v.value] = std::max(head[v.value], head[u.value] + distance[e.value]);
+    }
+  }
+  return head;
+}
+
+}  // namespace
+
+int realized_r_max(const graph::TaskGraph& g,
+                   const std::vector<retiming::EdgeDelta>& deltas,
+                   const std::vector<pim::AllocSite>& site) {
+  PARACONV_REQUIRE(deltas.size() == g.edge_count() &&
+                       site.size() == g.edge_count(),
+                   "per-edge vectors must match graph");
+  const std::vector<int> d = distances_for(g, deltas, site);
+  return retiming::minimal_retiming(g, d).r_max();
+}
+
+AllocationResult critical_path_allocate(
+    const graph::TaskGraph& g, const std::vector<retiming::EdgeDelta>& deltas,
+    const std::vector<AllocationItem>& items, Bytes capacity) {
+  PARACONV_REQUIRE(deltas.size() == g.edge_count(),
+                   "one delta pair per edge required");
+
+  // Item index by edge id for quick lookup of candidate edges.
+  std::vector<std::optional<std::size_t>> item_of(g.edge_count());
+  for (std::size_t m = 0; m < items.size(); ++m) {
+    item_of[items[m].edge.value] = m;
+  }
+
+  std::vector<bool> chosen(items.size(), false);
+  std::vector<pim::AllocSite> site(g.edge_count(), pim::AllocSite::kEdram);
+  Bytes used{};
+
+  while (true) {
+    const std::vector<int> dist = distances_for(g, deltas, site);
+    const retiming::Retiming tail = retiming::minimal_retiming(g, dist);
+    const int r_max = tail.r_max();
+    if (r_max == 0) break;
+    const std::vector<int> head = head_lengths(g, dist);
+
+    // Candidate: an uncached sensitive edge lying on a critical path
+    // (head(src) + d_e + tail(dst) == R_max) that still fits.
+    std::optional<std::size_t> best;
+    for (const graph::EdgeId e : g.edges()) {
+      if (!item_of[e.value].has_value()) continue;
+      const std::size_t m = *item_of[e.value];
+      if (chosen[m]) continue;
+      if (used + items[m].size > capacity) continue;
+      const graph::Ipr& ipr = g.ipr(e);
+      const int through =
+          head[ipr.src.value] + dist[e.value] + tail.value[ipr.dst.value];
+      if (through != r_max) continue;
+      if (!best.has_value()) {
+        best = m;
+        continue;
+      }
+      const AllocationItem& a = items[m];
+      const AllocationItem& b = items[*best];
+      const std::int64_t lhs =
+          static_cast<std::int64_t>(a.profit) * b.size.value;
+      const std::int64_t rhs =
+          static_cast<std::int64_t>(b.profit) * a.size.value;
+      if (lhs > rhs || (lhs == rhs && a.edge.value < b.edge.value)) best = m;
+    }
+    if (!best.has_value()) break;  // critical path cannot be shortened further
+
+    chosen[*best] = true;
+    used += items[*best].size;
+    site[items[*best].edge.value] = pim::AllocSite::kCache;
+  }
+
+  return materialize(g, items, chosen);
+}
+
+}  // namespace paraconv::alloc

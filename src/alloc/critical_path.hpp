@@ -1,0 +1,26 @@
+// Critical-path-aware allocation (extension / ablation).
+//
+// The paper's DP maximizes the *sum* of ΔR, a proxy for the true objective
+// of minimizing R_max (the longest distance-weighted path). This allocator
+// optimizes the true objective directly: it repeatedly finds the current
+// critical path and caches the allocation-sensitive edge on it with the best
+// profit-per-byte, until the capacity is exhausted or R_max stops improving.
+// The Table-2/ablation benches compare its R_max against the paper's DP.
+#pragma once
+
+#include "alloc/item.hpp"
+#include "retiming/delta.hpp"
+
+namespace paraconv::alloc {
+
+AllocationResult critical_path_allocate(
+    const graph::TaskGraph& g, const std::vector<retiming::EdgeDelta>& deltas,
+    const std::vector<AllocationItem>& items, Bytes capacity);
+
+/// R_max realized by a given per-edge allocation (helper shared with tests):
+/// longest path with edge weights delta_cache/delta_edram per the site.
+int realized_r_max(const graph::TaskGraph& g,
+                   const std::vector<retiming::EdgeDelta>& deltas,
+                   const std::vector<pim::AllocSite>& site);
+
+}  // namespace paraconv::alloc

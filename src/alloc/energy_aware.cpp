@@ -1,0 +1,51 @@
+#include "alloc/energy_aware.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "alloc/critical_path.hpp"
+
+namespace paraconv::alloc {
+
+AllocationResult energy_aware_allocate(
+    const graph::TaskGraph& g, const std::vector<retiming::EdgeDelta>& deltas,
+    const std::vector<AllocationItem>& items, Bytes capacity) {
+  PARACONV_REQUIRE(deltas.size() == g.edge_count(),
+                   "one delta pair per edge required");
+
+  // Phase 1: prologue-optimal base allocation.
+  AllocationResult result = critical_path_allocate(g, deltas, items, capacity);
+
+  // Phase 2: fill the remainder with the largest uncached IPRs that fit
+  // (largest-first is the classic subset-sum greedy; ties on edge id).
+  std::vector<graph::EdgeId> uncached;
+  for (const graph::EdgeId e : g.edges()) {
+    if (result.site[e.value] == pim::AllocSite::kEdram) uncached.push_back(e);
+  }
+  std::sort(uncached.begin(), uncached.end(),
+            [&](graph::EdgeId a, graph::EdgeId b) {
+              if (g.ipr(a).size != g.ipr(b).size) {
+                return g.ipr(a).size > g.ipr(b).size;
+              }
+              return a.value < b.value;
+            });
+
+  // ΔR profit of the sensitive edges cached in phase 2 still counts toward
+  // total_profit (their distances drop as a side effect).
+  std::vector<int> profit_of(g.edge_count(), 0);
+  for (const AllocationItem& item : items) {
+    profit_of[item.edge.value] = item.profit;
+  }
+
+  for (const graph::EdgeId e : uncached) {
+    const Bytes size = g.ipr(e).size;
+    if (result.cache_bytes_used + size > capacity) continue;
+    result.site[e.value] = pim::AllocSite::kCache;
+    result.cache_bytes_used += size;
+    result.total_profit += profit_of[e.value];
+    ++result.cached_count;
+  }
+  return result;
+}
+
+}  // namespace paraconv::alloc

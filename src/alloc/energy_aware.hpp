@@ -1,0 +1,24 @@
+// Energy-aware allocation (paper Sec. 5 future work: "study energy issue
+// for PIM architecture with CNN applications").
+//
+// Two-phase policy built on the observation that caching an IPR never
+// *increases* any retiming distance (delta_cache <= delta_edram):
+//
+//   1. Throughput phase — allocate for minimum R_max with the
+//      critical-path-aware allocator (the prologue objective).
+//   2. Energy phase — spend the *remaining* cache capacity on the
+//      largest uncached IPRs, throughput-neutral but shifting the maximum
+//      traffic volume from eDRAM (expensive per byte) to on-chip cache.
+//      Allocation-insensitive edges (ΔR = 0) participate here too.
+#pragma once
+
+#include "alloc/item.hpp"
+#include "retiming/delta.hpp"
+
+namespace paraconv::alloc {
+
+AllocationResult energy_aware_allocate(
+    const graph::TaskGraph& g, const std::vector<retiming::EdgeDelta>& deltas,
+    const std::vector<AllocationItem>& items, Bytes capacity);
+
+}  // namespace paraconv::alloc

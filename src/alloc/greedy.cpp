@@ -1,0 +1,52 @@
+#include "alloc/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace paraconv::alloc {
+namespace {
+
+AllocationResult take_in_order(const graph::TaskGraph& g,
+                               const std::vector<AllocationItem>& items,
+                               const std::vector<std::size_t>& order,
+                               Bytes capacity) {
+  std::vector<bool> chosen(items.size(), false);
+  Bytes used{};
+  for (const std::size_t m : order) {
+    if (used + items[m].size <= capacity) {
+      chosen[m] = true;
+      used += items[m].size;
+    }
+  }
+  return materialize(g, items, chosen);
+}
+
+}  // namespace
+
+AllocationResult greedy_density_allocate(
+    const graph::TaskGraph& g, const std::vector<AllocationItem>& items,
+    Bytes capacity) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    // Compare profit/size as cross-products to stay in integers.
+    const std::int64_t lhs = static_cast<std::int64_t>(items[a].profit) *
+                             items[b].size.value;
+    const std::int64_t rhs = static_cast<std::int64_t>(items[b].profit) *
+                             items[a].size.value;
+    if (lhs != rhs) return lhs > rhs;
+    return items[a].edge.value < items[b].edge.value;
+  });
+  return take_in_order(g, items, order, capacity);
+}
+
+AllocationResult greedy_deadline_allocate(
+    const graph::TaskGraph& g, const std::vector<AllocationItem>& items,
+    Bytes capacity) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Items arrive already deadline-sorted from build_items.
+  return take_in_order(g, items, order, capacity);
+}
+
+}  // namespace paraconv::alloc

@@ -1,0 +1,22 @@
+// Greedy baseline allocators (ablation comparators for the knapsack DP).
+#pragma once
+
+#include "alloc/item.hpp"
+
+namespace paraconv::alloc {
+
+/// Profit-density greedy: items sorted by ΔR per byte (descending), taken
+/// while they fit. The classic knapsack heuristic; can be arbitrarily far
+/// from optimal on adversarial instances but is O(n log n).
+AllocationResult greedy_density_allocate(const graph::TaskGraph& g,
+                                         const std::vector<AllocationItem>& items,
+                                         Bytes capacity);
+
+/// First-come (deadline-order) greedy: takes items in deadline order while
+/// they fit. Models a runtime allocator with no lookahead — the policy the
+/// SPARTA-style baseline uses for its cache.
+AllocationResult greedy_deadline_allocate(
+    const graph::TaskGraph& g, const std::vector<AllocationItem>& items,
+    Bytes capacity);
+
+}  // namespace paraconv::alloc

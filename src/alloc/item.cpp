@@ -1,0 +1,51 @@
+#include "alloc/item.hpp"
+
+#include <algorithm>
+
+#include "retiming/cases.hpp"
+
+namespace paraconv::alloc {
+
+std::vector<AllocationItem> build_items(
+    const graph::TaskGraph& g,
+    const std::vector<sched::TaskPlacement>& placement,
+    const std::vector<retiming::EdgeDelta>& deltas) {
+  PARACONV_REQUIRE(placement.size() == g.node_count(),
+                   "one placement per node required");
+  PARACONV_REQUIRE(deltas.size() == g.edge_count(),
+                   "one delta pair per edge required");
+
+  std::vector<AllocationItem> items;
+  for (const graph::EdgeId e : g.edges()) {
+    const int profit = retiming::delta_r(deltas[e.value]);
+    if (profit == 0) continue;
+    const graph::Ipr& ipr = g.ipr(e);
+    items.push_back(AllocationItem{e, ipr.size, profit,
+                                   placement[ipr.dst.value].start});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const AllocationItem& a, const AllocationItem& b) {
+              if (a.deadline != b.deadline) return a.deadline < b.deadline;
+              return a.edge.value < b.edge.value;
+            });
+  return items;
+}
+
+AllocationResult materialize(const graph::TaskGraph& g,
+                             const std::vector<AllocationItem>& items,
+                             const std::vector<bool>& chosen) {
+  PARACONV_REQUIRE(chosen.size() == items.size(),
+                   "one decision per item required");
+  AllocationResult result;
+  result.site.assign(g.edge_count(), pim::AllocSite::kEdram);
+  for (std::size_t m = 0; m < items.size(); ++m) {
+    if (!chosen[m]) continue;
+    result.site[items[m].edge.value] = pim::AllocSite::kCache;
+    result.total_profit += items[m].profit;
+    result.cache_bytes_used += items[m].size;
+    ++result.cached_count;
+  }
+  return result;
+}
+
+}  // namespace paraconv::alloc

@@ -1,0 +1,49 @@
+// Allocation items (paper Sec. 3.3.1).
+//
+// Only allocation-sensitive IPRs (cases 2, 3, 5 — ΔR > 0) compete for cache
+// capacity; allocation-insensitive IPRs (cases 1, 4, 6) are placed in eDRAM
+// to save space. Items are sorted by deadline — the consumer's start time in
+// the initial objective schedule — matching the paper's "increasing order of
+// deadline" precomputation.
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "pim/config.hpp"
+#include "retiming/delta.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::alloc {
+
+struct AllocationItem {
+  graph::EdgeId edge;
+  Bytes size;
+  /// ΔR(m): retiming-distance reduction gained by caching this IPR.
+  int profit{0};
+  /// Deadline d_m: consumer start time in the objective schedule.
+  TimeUnits deadline{0};
+};
+
+/// Extracts the allocation-sensitive items, sorted by deadline ascending
+/// (ties: edge id ascending). O(n log n) as stated in the paper.
+std::vector<AllocationItem> build_items(
+    const graph::TaskGraph& g,
+    const std::vector<sched::TaskPlacement>& placement,
+    const std::vector<retiming::EdgeDelta>& deltas);
+
+/// Final allocation: per-edge site plus bookkeeping.
+struct AllocationResult {
+  std::vector<pim::AllocSite> site;  // indexed by EdgeId::value
+  int total_profit{0};
+  Bytes cache_bytes_used{};
+  std::size_t cached_count{0};
+};
+
+/// Builds the per-edge site vector from the chosen item subset: chosen
+/// edges to cache, everything else (including all ΔR = 0 edges) to eDRAM.
+AllocationResult materialize(const graph::TaskGraph& g,
+                             const std::vector<AllocationItem>& items,
+                             const std::vector<bool>& chosen);
+
+}  // namespace paraconv::alloc

@@ -1,0 +1,93 @@
+#include "alloc/knapsack.hpp"
+
+#include <algorithm>
+
+namespace paraconv::alloc {
+namespace {
+
+struct Discretized {
+  std::vector<std::int64_t> weight;  // per item, in quantum cells
+  std::int64_t capacity{0};          // in quantum cells
+};
+
+Discretized discretize(const std::vector<AllocationItem>& items,
+                       const KnapsackOptions& options) {
+  PARACONV_REQUIRE(options.capacity >= Bytes{0},
+                   "capacity must be non-negative");
+  PARACONV_REQUIRE(options.quantum_bytes >= 1, "quantum must be positive");
+  Discretized d;
+  d.capacity = options.capacity.value / options.quantum_bytes;
+  d.weight.reserve(items.size());
+  for (const AllocationItem& item : items) {
+    PARACONV_REQUIRE(item.size > Bytes{0}, "item size must be positive");
+    PARACONV_REQUIRE(item.profit > 0, "items must carry positive profit");
+    d.weight.push_back(ceil_div(item.size.value, options.quantum_bytes));
+  }
+  return d;
+}
+
+/// Full B table, row-major [m][q] with m in [0, n], q in [0, Q].
+std::vector<std::vector<int>> build_table(
+    const std::vector<AllocationItem>& items, const Discretized& d) {
+  const std::size_t n = items.size();
+  const auto q_max = static_cast<std::size_t>(d.capacity);
+  std::vector<std::vector<int>> b(n + 1, std::vector<int>(q_max + 1, 0));
+  for (std::size_t m = 1; m <= n; ++m) {
+    const auto w = static_cast<std::size_t>(d.weight[m - 1]);
+    const int profit = items[m - 1].profit;
+    for (std::size_t q = 0; q <= q_max; ++q) {
+      b[m][q] = b[m - 1][q];
+      if (w <= q) {
+        b[m][q] = std::max(b[m][q], b[m - 1][q - w] + profit);
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+AllocationResult knapsack_allocate(const graph::TaskGraph& g,
+                                   const std::vector<AllocationItem>& items,
+                                   const KnapsackOptions& options) {
+  const Discretized d = discretize(items, options);
+  const auto table = build_table(items, d);
+
+  // Reconstruct the chosen subset by walking the table backwards: item m is
+  // in the optimal set iff its row improved on the row above.
+  std::vector<bool> chosen(items.size(), false);
+  auto q = static_cast<std::size_t>(d.capacity);
+  for (std::size_t m = items.size(); m >= 1; --m) {
+    if (table[m][q] != table[m - 1][q]) {
+      chosen[m - 1] = true;
+      q -= static_cast<std::size_t>(d.weight[m - 1]);
+    }
+  }
+
+  AllocationResult result = materialize(g, items, chosen);
+  PARACONV_CHECK(result.total_profit ==
+                     table[items.size()][static_cast<std::size_t>(d.capacity)],
+                 "reconstruction does not match DP optimum");
+  PARACONV_CHECK(result.cache_bytes_used <= options.capacity,
+                 "knapsack overcommitted cache capacity");
+  return result;
+}
+
+int knapsack_profit(const std::vector<AllocationItem>& items,
+                    const KnapsackOptions& options) {
+  // Profit-only query: a single rolling row (capacity iterated downward so
+  // each item is used at most once) — O(S) memory instead of the full
+  // O(n*S) table the reconstruction needs.
+  const Discretized d = discretize(items, options);
+  std::vector<int> row(static_cast<std::size_t>(d.capacity) + 1, 0);
+  for (std::size_t m = 0; m < items.size(); ++m) {
+    const auto w = static_cast<std::size_t>(d.weight[m]);
+    if (w > row.size() - 1) continue;
+    for (std::size_t q = row.size() - 1; q >= w; --q) {
+      row[q] = std::max(row[q], row[q - w] + items[m].profit);
+    }
+  }
+  return row.back();
+}
+
+}  // namespace paraconv::alloc

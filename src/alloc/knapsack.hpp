@@ -1,0 +1,40 @@
+// The paper's dynamic-programming allocation (Sec. 3.3.2).
+//
+// B[S, m] is the maximum total profit (sum of ΔR) achievable for the first m
+// deadline-sorted items within cache capacity S:
+//
+//   B[S, m] = 0                                     if m == 0 or S == 0
+//   B[S, 1] = 0                                     if sp_1 > S
+//   B[S, 1] = ΔR(1)                                 if sp_1 <= S
+//   B[S, m] = max(B[S, m-1],
+//                 B[S - sp_m, m-1] + ΔR(m))         if m > 1
+//
+// Capacity is discretized to `quantum_bytes` cells; item weights round *up*
+// and capacity rounds *down*, so the selected set never overcommits the real
+// byte budget. Each table entry is O(1), giving the paper's O(n * S) time.
+#pragma once
+
+#include "alloc/item.hpp"
+
+namespace paraconv::alloc {
+
+struct KnapsackOptions {
+  Bytes capacity{};
+  /// Capacity-discretization cell. 1 byte reproduces the exact DP; larger
+  /// cells trade optimality for table size (default 256 B, well below any
+  /// realistic IPR size).
+  std::int64_t quantum_bytes{256};
+};
+
+/// Optimal (within discretization) cache allocation. Items must be the
+/// deadline-sorted output of build_items.
+AllocationResult knapsack_allocate(const graph::TaskGraph& g,
+                                   const std::vector<AllocationItem>& items,
+                                   const KnapsackOptions& options);
+
+/// The raw optimal profit without materializing an allocation (used by tests
+/// to cross-check against brute force).
+int knapsack_profit(const std::vector<AllocationItem>& items,
+                    const KnapsackOptions& options);
+
+}  // namespace paraconv::alloc

@@ -1,0 +1,62 @@
+#include "alloc/optimal.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "alloc/critical_path.hpp"
+
+namespace paraconv::alloc {
+
+OptimalResult optimal_r_max_allocate(
+    const graph::TaskGraph& g, const std::vector<retiming::EdgeDelta>& deltas,
+    const std::vector<AllocationItem>& items, const OptimalOptions& options) {
+  PARACONV_REQUIRE(deltas.size() == g.edge_count(),
+                   "one delta pair per edge required");
+  PARACONV_REQUIRE(items.size() <= options.max_items,
+                   "instance too large for exhaustive search");
+  PARACONV_REQUIRE(options.capacity >= Bytes{0},
+                   "capacity must be non-negative");
+
+  const std::size_t n = items.size();
+  std::vector<pim::AllocSite> site(g.edge_count());
+
+  int best_r_max = std::numeric_limits<int>::max();
+  Bytes best_bytes{std::numeric_limits<std::int64_t>::max()};
+  std::uint32_t best_mask = 0;
+
+  for (std::uint32_t mask = 0; mask < (1U << n); ++mask) {
+    Bytes used{};
+    bool feasible = true;
+    for (std::size_t i = 0; i < n && feasible; ++i) {
+      if (mask & (1U << i)) {
+        used += items[i].size;
+        if (used > options.capacity) feasible = false;
+      }
+    }
+    if (!feasible) continue;
+
+    std::fill(site.begin(), site.end(), pim::AllocSite::kEdram);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1U << i)) {
+        site[items[i].edge.value] = pim::AllocSite::kCache;
+      }
+    }
+    const int r_max = realized_r_max(g, deltas, site);
+    if (r_max < best_r_max || (r_max == best_r_max && used < best_bytes)) {
+      best_r_max = r_max;
+      best_bytes = used;
+      best_mask = mask;
+    }
+  }
+
+  std::vector<bool> chosen(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    chosen[i] = (best_mask & (1U << i)) != 0;
+  }
+  OptimalResult result;
+  result.allocation = materialize(g, items, chosen);
+  result.r_max = best_r_max;
+  return result;
+}
+
+}  // namespace paraconv::alloc

@@ -1,0 +1,34 @@
+// Exact minimum-R_max allocation by exhaustive search (small instances).
+//
+// The paper's DP maximizes the *sum* of ΔR — a proxy objective. This
+// allocator optimizes the true objective (the maximum retiming value, i.e.
+// the prologue) directly by enumerating all feasible cache subsets. It is
+// exponential in the sensitive-edge count and exists to measure the proxy
+// gap in tests and the allocator ablation; refuse instances beyond
+// `max_items`.
+#pragma once
+
+#include "alloc/item.hpp"
+#include "retiming/delta.hpp"
+
+namespace paraconv::alloc {
+
+struct OptimalOptions {
+  Bytes capacity{};
+  /// Hard limit on the exhaustive search (2^max_items subsets).
+  std::size_t max_items{22};
+};
+
+struct OptimalResult {
+  AllocationResult allocation;
+  int r_max{0};
+};
+
+/// Minimum achievable R_max over all capacity-feasible cache subsets;
+/// ties broken toward fewer cached bytes. Throws ContractViolation when
+/// items.size() > options.max_items.
+OptimalResult optimal_r_max_allocate(
+    const graph::TaskGraph& g, const std::vector<retiming::EdgeDelta>& deltas,
+    const std::vector<AllocationItem>& items, const OptimalOptions& options);
+
+}  // namespace paraconv::alloc

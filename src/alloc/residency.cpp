@@ -1,0 +1,82 @@
+#include "alloc/residency.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace paraconv::alloc {
+
+ResidencyProfile cache_residency(const graph::TaskGraph& g,
+                                 const sched::KernelSchedule& kernel,
+                                 int pe_count) {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  PARACONV_REQUIRE(kernel.placement.size() == g.node_count() &&
+                       kernel.allocation.size() == g.edge_count() &&
+                       kernel.retiming.size() == g.node_count(),
+                   "kernel schedule does not match graph");
+  PARACONV_REQUIRE(kernel.period > TimeUnits{0}, "period must be positive");
+  const std::int64_t p = kernel.period.value;
+
+  // Per PE: baseline bytes resident across the whole window (full-period
+  // laps of long-lived IPRs) plus +/- events at partial-arc boundaries.
+  std::vector<std::int64_t> base(static_cast<std::size_t>(pe_count), 0);
+  std::vector<std::map<std::int64_t, std::int64_t>> events(
+      static_cast<std::size_t>(pe_count));
+
+  const auto add_arc = [&](int pe, std::int64_t from, std::int64_t to,
+                           std::int64_t bytes) {
+    // Arc [from, to) in folded window coordinates; may wrap. A wrapping
+    // arc is "resident everywhere except [to, from)".
+    auto& ev = events[static_cast<std::size_t>(pe)];
+    if (from == to) return;  // empty arc
+    if (from < to) {
+      ev[from] += bytes;
+      ev[to] -= bytes;
+    } else {
+      base[static_cast<std::size_t>(pe)] += bytes;
+      ev[to] -= bytes;
+      ev[from] += bytes;
+    }
+  };
+
+  for (const graph::EdgeId e : g.edges()) {
+    if (kernel.allocation[e.value] != pim::AllocSite::kCache) continue;
+    const graph::Ipr& ipr = g.ipr(e);
+    const sched::TaskPlacement& prod = kernel.placement[ipr.src.value];
+    const sched::TaskPlacement& cons = kernel.placement[ipr.dst.value];
+    const int d = kernel.retiming[ipr.src.value] -
+                  kernel.retiming[ipr.dst.value];
+    PARACONV_REQUIRE(d >= 0, "kernel carries an illegal retiming");
+
+    const std::int64_t produce = prod.start.value +
+                                 g.task(ipr.src).exec_time.value;
+    const std::int64_t consume = cons.start.value + d * p;
+    const std::int64_t span = consume - produce;
+    PARACONV_REQUIRE(span >= 0, "consumer precedes producer in the kernel");
+
+    const std::int64_t full_laps = span / p;
+    base[static_cast<std::size_t>(prod.pe)] += full_laps * ipr.size.value;
+    const std::int64_t rem = span % p;
+    if (rem > 0) {
+      const std::int64_t from = produce % p;
+      const std::int64_t to = (produce + rem) % p;
+      add_arc(prod.pe, from, to, ipr.size.value);
+    }
+  }
+
+  ResidencyProfile profile;
+  profile.peak_per_pe.resize(static_cast<std::size_t>(pe_count));
+  for (int pe = 0; pe < pe_count; ++pe) {
+    std::int64_t current = base[static_cast<std::size_t>(pe)];
+    std::int64_t peak = current;
+    for (const auto& [time, delta] : events[static_cast<std::size_t>(pe)]) {
+      current += delta;
+      peak = std::max(peak, current);
+    }
+    profile.peak_per_pe[static_cast<std::size_t>(pe)] = Bytes{peak};
+    profile.peak = std::max(profile.peak, Bytes{peak});
+    profile.peak_total += Bytes{peak};
+  }
+  return profile;
+}
+
+}  // namespace paraconv::alloc

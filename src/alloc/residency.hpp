@@ -1,0 +1,35 @@
+// Steady-state cache residency analysis.
+//
+// A cached IPR occupies its producer's PE cache from the producer's finish
+// until the consumer's start, d_ij windows later — so in steady state
+// several in-flight copies of the same IPR coexist. The knapsack's
+// aggregate-capacity model ignores this timing; the residency profile
+// computes the *actual* peak concurrent bytes per PE cache, predicting
+// whether the machine model will observe eviction fallbacks
+// (peak <= per-PE capacity implies none).
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::alloc {
+
+struct ResidencyProfile {
+  /// Peak concurrent cached bytes per PE (indexed by PE id).
+  std::vector<Bytes> peak_per_pe;
+  /// Maximum over PEs.
+  Bytes peak{};
+  /// Sum over PEs of their peaks (upper bound on concurrent array usage).
+  Bytes peak_total{};
+};
+
+/// Folds every cached edge's residency interval into one steady-state
+/// kernel window and returns per-PE peaks.
+ResidencyProfile cache_residency(const graph::TaskGraph& g,
+                                 const sched::KernelSchedule& kernel,
+                                 int pe_count);
+
+}  // namespace paraconv::alloc

@@ -1,0 +1,106 @@
+#include "alloc/residency_constrained.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "alloc/residency.hpp"
+#include "retiming/retiming.hpp"
+
+namespace paraconv::alloc {
+namespace {
+
+/// Kernel view of a candidate allocation: minimal retiming for the chosen
+/// sites (the realized distances are what determines residency).
+sched::KernelSchedule kernel_for(
+    const graph::TaskGraph& g,
+    const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
+    const std::vector<retiming::EdgeDelta>& deltas,
+    const std::vector<pim::AllocSite>& site) {
+  std::vector<int> required(g.edge_count());
+  for (const graph::EdgeId e : g.edges()) {
+    required[e.value] = site[e.value] == pim::AllocSite::kCache
+                            ? deltas[e.value].cache
+                            : deltas[e.value].edram;
+  }
+  sched::KernelSchedule kernel;
+  kernel.period = period;
+  kernel.placement = placement;
+  kernel.retiming = retiming::minimal_retiming(g, required).value;
+  kernel.distance = std::move(required);
+  kernel.allocation = site;
+  return kernel;
+}
+
+}  // namespace
+
+AllocationResult residency_constrained_allocate(
+    const graph::TaskGraph& g,
+    const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
+    const std::vector<retiming::EdgeDelta>& deltas,
+    const std::vector<AllocationItem>& items, Bytes pe_cache_bytes) {
+  PARACONV_REQUIRE(pe_cache_bytes >= Bytes{0},
+                   "capacity must be non-negative");
+  PARACONV_REQUIRE(deltas.size() == g.edge_count(),
+                   "one delta pair per edge required");
+
+  const int pe_count =
+      1 + std::accumulate(placement.begin(), placement.end(), 0,
+                          [](int acc, const sched::TaskPlacement& p) {
+                            return std::max(acc, p.pe);
+                          });
+
+  // Start from the maximum-profit set (everything sensitive cached), then
+  // repair: while some producer cache's steady-state peak overflows, evict
+  // the lowest profit-density cached item on that PE. Each round removes
+  // one item, so the loop terminates; the final profile fits every PE by
+  // construction, which makes machine replay fallback-free.
+  std::vector<bool> chosen(items.size(), true);
+  std::vector<std::optional<std::size_t>> item_of(g.edge_count());
+  for (std::size_t m = 0; m < items.size(); ++m) {
+    item_of[items[m].edge.value] = m;
+  }
+
+  while (true) {
+    AllocationResult result = materialize(g, items, chosen);
+    const sched::KernelSchedule kernel =
+        kernel_for(g, placement, period, deltas, result.site);
+    const ResidencyProfile profile = cache_residency(g, kernel, pe_count);
+
+    // Most-overcommitted PE.
+    int worst_pe = -1;
+    Bytes worst_peak{};
+    for (int pe = 0; pe < pe_count; ++pe) {
+      const Bytes peak = profile.peak_per_pe[static_cast<std::size_t>(pe)];
+      if (peak > pe_cache_bytes && peak > worst_peak) {
+        worst_pe = pe;
+        worst_peak = peak;
+      }
+    }
+    if (worst_pe < 0) return result;  // every PE fits
+
+    // Evict the lowest profit-density cached item produced on that PE.
+    std::optional<std::size_t> victim;
+    for (const graph::EdgeId e : g.edges()) {
+      if (result.site[e.value] != pim::AllocSite::kCache) continue;
+      if (placement[g.ipr(e).src.value].pe != worst_pe) continue;
+      const std::size_t m = *item_of[e.value];
+      if (!victim.has_value()) {
+        victim = m;
+        continue;
+      }
+      const AllocationItem& a = items[m];
+      const AllocationItem& b = items[*victim];
+      const std::int64_t lhs =
+          static_cast<std::int64_t>(a.profit) * b.size.value;
+      const std::int64_t rhs =
+          static_cast<std::int64_t>(b.profit) * a.size.value;
+      if (lhs < rhs || (lhs == rhs && a.edge.value > b.edge.value)) victim = m;
+    }
+    PARACONV_CHECK(victim.has_value(),
+                   "overcommitted PE without any cached item");
+    chosen[*victim] = false;
+  }
+}
+
+}  // namespace paraconv::alloc

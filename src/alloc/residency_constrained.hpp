@@ -1,0 +1,32 @@
+// Residency-constrained allocation (extension).
+//
+// The paper's knapsack treats the PE-array cache as one aggregate pool, but
+// a cached IPR physically occupies its *producer's* cache for its whole
+// inter-iteration lifetime, and several in-flight copies coexist. This
+// allocator enforces the real constraint directly: it admits sensitive IPRs
+// in profit-per-byte order, accepting a candidate only if the steady-state
+// occupancy of every arc it adds stays within the producer's physical cache
+// — so the machine model replays the result with zero eviction fallbacks by
+// construction (cf. the capacity-shrinking feedback loop in core::ParaConv,
+// which approximates the same guarantee from outside the allocator).
+#pragma once
+
+#include "alloc/item.hpp"
+#include "retiming/delta.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::alloc {
+
+/// Greedy profit-density allocation under per-PE residency feasibility.
+/// `placement`/`period` describe the packing; each candidate's residency
+/// interval is derived from its own cache-site distance (caching an edge
+/// can only shorten other edges' intervals, so per-candidate admission with
+/// the pessimistic eDRAM-distance intervals of *unchosen* edges is safe —
+/// unchosen edges occupy no cache at all).
+AllocationResult residency_constrained_allocate(
+    const graph::TaskGraph& g,
+    const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
+    const std::vector<retiming::EdgeDelta>& deltas,
+    const std::vector<AllocationItem>& items, Bytes pe_cache_bytes);
+
+}  // namespace paraconv::alloc

@@ -1,0 +1,44 @@
+#include "bench_support/experiments.hpp"
+
+namespace paraconv::bench_support {
+
+const std::vector<int>& paper_pe_counts() {
+  static const std::vector<int> kCounts{16, 32, 64};
+  return kCounts;
+}
+
+ExperimentRow run_cell(const graph::PaperBenchmark& bench, int pe_count,
+                       std::int64_t iterations,
+                       core::AllocatorKind allocator) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(bench);
+  const pim::PimConfig config = pim::PimConfig::neurocube(pe_count);
+
+  ExperimentRow row;
+  row.benchmark = bench.name;
+  row.vertices = g.node_count();
+  row.edges = g.edge_count();
+  row.pe_count = pe_count;
+
+  core::SpartaOptions sparta_options;
+  sparta_options.iterations = iterations;
+  row.sparta = core::Sparta(config, sparta_options).schedule(g).metrics;
+
+  core::ParaConvOptions para_options;
+  para_options.iterations = iterations;
+  para_options.allocator = allocator;
+  row.para_conv = core::ParaConv(config, para_options).schedule(g).metrics;
+  return row;
+}
+
+std::vector<ExperimentRow> run_grid(std::int64_t iterations,
+                                    core::AllocatorKind allocator) {
+  std::vector<ExperimentRow> rows;
+  for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+    for (const int pe : paper_pe_counts()) {
+      rows.push_back(run_cell(bench, pe, iterations, allocator));
+    }
+  }
+  return rows;
+}
+
+}  // namespace paraconv::bench_support

@@ -1,0 +1,44 @@
+// Shared experiment drivers for the per-table/per-figure bench harnesses.
+//
+// Every harness runs the same (benchmark x PE-count) grid the paper reports:
+// the twelve Table-1 graphs on 16, 32 and 64 processing engines, with both
+// schedulers, and formats the rows each artifact needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/para_conv.hpp"
+#include "core/sparta.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::bench_support {
+
+/// The PE-array sizes of the paper's evaluation (Sec. 4.1).
+const std::vector<int>& paper_pe_counts();
+
+/// Default iteration count used by the throughput tables.
+constexpr std::int64_t kDefaultIterations = 100;
+
+struct ExperimentRow {
+  std::string benchmark;
+  std::size_t vertices{0};
+  std::size_t edges{0};
+  int pe_count{0};
+  core::RunResult sparta;
+  core::RunResult para_conv;
+};
+
+/// Runs both schedulers for one benchmark/PE-count cell.
+ExperimentRow run_cell(const graph::PaperBenchmark& bench, int pe_count,
+                       std::int64_t iterations = kDefaultIterations,
+                       core::AllocatorKind allocator =
+                           core::AllocatorKind::kKnapsackDp);
+
+/// The full grid, benchmark-major then PE-count (12 x 3 rows).
+std::vector<ExperimentRow> run_grid(
+    std::int64_t iterations = kDefaultIterations,
+    core::AllocatorKind allocator = core::AllocatorKind::kKnapsackDp);
+
+}  // namespace paraconv::bench_support

@@ -1,0 +1,146 @@
+#include "cnn/builders.hpp"
+
+namespace paraconv::cnn {
+namespace {
+
+/// Appends one inception module to `net` after layer `in`; returns the
+/// concat layer id. Branch widths follow Szegedy et al., Table 1.
+LayerId append_inception(Network& net, const std::string& prefix, LayerId in,
+                         int c1, int c3_reduce, int c3, int c5_reduce, int c5,
+                         int pool_proj) {
+  const LayerId b1 =
+      net.add_conv(prefix + "/1x1", in, ConvParams{c1, 1, 1, 0});
+  const LayerId b3r =
+      net.add_conv(prefix + "/3x3_reduce", in, ConvParams{c3_reduce, 1, 1, 0});
+  const LayerId b3 =
+      net.add_conv(prefix + "/3x3", b3r, ConvParams{c3, 3, 1, 1});
+  const LayerId b5r =
+      net.add_conv(prefix + "/5x5_reduce", in, ConvParams{c5_reduce, 1, 1, 0});
+  const LayerId b5 =
+      net.add_conv(prefix + "/5x5", b5r, ConvParams{c5, 5, 1, 2});
+  const LayerId bp = net.add_pool(prefix + "/pool", in,
+                                  PoolParams{PoolMode::kMax, 3, 1, 1});
+  const LayerId bpp =
+      net.add_conv(prefix + "/pool_proj", bp, ConvParams{pool_proj, 1, 1, 0});
+  return net.add_concat(prefix + "/output", {b1, b3, b5, bpp});
+}
+
+}  // namespace
+
+Network make_googlenet() {
+  Network net("googlenet");
+  const LayerId input = net.add_input("data", Shape{3, 224, 224});
+
+  // Stem.
+  const LayerId c1 =
+      net.add_conv("conv1/7x7_s2", input, ConvParams{64, 7, 2, 3});
+  const LayerId p1 =
+      net.add_pool("pool1/3x3_s2", c1, PoolParams{PoolMode::kMax, 3, 2, 1});
+  const LayerId c2r =
+      net.add_conv("conv2/3x3_reduce", p1, ConvParams{64, 1, 1, 0});
+  const LayerId c2 = net.add_conv("conv2/3x3", c2r, ConvParams{192, 3, 1, 1});
+  const LayerId p2 =
+      net.add_pool("pool2/3x3_s2", c2, PoolParams{PoolMode::kMax, 3, 2, 1});
+
+  // Inception stacks.
+  LayerId x = append_inception(net, "inception_3a", p2, 64, 96, 128, 16, 32, 32);
+  x = append_inception(net, "inception_3b", x, 128, 128, 192, 32, 96, 64);
+  x = net.add_pool("pool3/3x3_s2", x, PoolParams{PoolMode::kMax, 3, 2, 1});
+  x = append_inception(net, "inception_4a", x, 192, 96, 208, 16, 48, 64);
+  x = append_inception(net, "inception_4b", x, 160, 112, 224, 24, 64, 64);
+  x = append_inception(net, "inception_4c", x, 128, 128, 256, 24, 64, 64);
+  x = append_inception(net, "inception_4d", x, 112, 144, 288, 32, 64, 64);
+  x = append_inception(net, "inception_4e", x, 256, 160, 320, 32, 128, 128);
+  x = net.add_pool("pool4/3x3_s2", x, PoolParams{PoolMode::kMax, 3, 2, 1});
+  x = append_inception(net, "inception_5a", x, 256, 160, 320, 32, 128, 128);
+  x = append_inception(net, "inception_5b", x, 384, 192, 384, 48, 128, 128);
+
+  // Classifier head.
+  x = net.add_pool("pool5/7x7_s1", x, PoolParams{PoolMode::kAverage, 7, 1, 0});
+  net.add_fc("loss3/classifier", x, FcParams{1000});
+  return net;
+}
+
+Network make_inception_module(Shape input, int c1, int c3_reduce, int c3,
+                              int c5_reduce, int c5, int pool_proj) {
+  Network net("inception_module");
+  const LayerId in = net.add_input("data", input);
+  append_inception(net, "inception", in, c1, c3_reduce, c3, c5_reduce, c5,
+                   pool_proj);
+  return net;
+}
+
+Network make_lenet5() {
+  Network net("lenet5");
+  const LayerId input = net.add_input("data", Shape{1, 32, 32});
+  const LayerId c1 = net.add_conv("c1", input, ConvParams{6, 5, 1, 0});
+  const LayerId s2 =
+      net.add_pool("s2", c1, PoolParams{PoolMode::kAverage, 2, 2, 0});
+  const LayerId c3 = net.add_conv("c3", s2, ConvParams{16, 5, 1, 0});
+  const LayerId s4 =
+      net.add_pool("s4", c3, PoolParams{PoolMode::kAverage, 2, 2, 0});
+  const LayerId c5 = net.add_conv("c5", s4, ConvParams{120, 5, 1, 0});
+  const LayerId f6 = net.add_fc("f6", c5, FcParams{84});
+  net.add_fc("output", f6, FcParams{10});
+  return net;
+}
+
+Network make_alexnet() {
+  Network net("alexnet");
+  const LayerId input = net.add_input("data", Shape{3, 227, 227});
+  LayerId x = net.add_conv("conv1", input, ConvParams{96, 11, 4, 0});
+  x = net.add_pool("pool1", x, PoolParams{PoolMode::kMax, 3, 2, 0});
+  x = net.add_conv("conv2", x, ConvParams{256, 5, 1, 2});
+  x = net.add_pool("pool2", x, PoolParams{PoolMode::kMax, 3, 2, 0});
+  x = net.add_conv("conv3", x, ConvParams{384, 3, 1, 1});
+  x = net.add_conv("conv4", x, ConvParams{384, 3, 1, 1});
+  x = net.add_conv("conv5", x, ConvParams{256, 3, 1, 1});
+  x = net.add_pool("pool5", x, PoolParams{PoolMode::kMax, 3, 2, 0});
+  x = net.add_fc("fc6", x, FcParams{4096});
+  x = net.add_fc("fc7", x, FcParams{4096});
+  net.add_fc("fc8", x, FcParams{1000});
+  return net;
+}
+
+Network make_vgg16() {
+  Network net("vgg16");
+  const LayerId input = net.add_input("data", Shape{3, 224, 224});
+  LayerId x = input;
+  int block = 1;
+  int conv_in_block = 1;
+  const auto conv = [&](int channels) {
+    x = net.add_conv("conv" + std::to_string(block) + "_" +
+                         std::to_string(conv_in_block++),
+                     x, ConvParams{channels, 3, 1, 1});
+  };
+  const auto pool = [&] {
+    x = net.add_pool("pool" + std::to_string(block), x,
+                     PoolParams{PoolMode::kMax, 2, 2, 0});
+    ++block;
+    conv_in_block = 1;
+  };
+  conv(64);
+  conv(64);
+  pool();
+  conv(128);
+  conv(128);
+  pool();
+  conv(256);
+  conv(256);
+  conv(256);
+  pool();
+  conv(512);
+  conv(512);
+  conv(512);
+  pool();
+  conv(512);
+  conv(512);
+  conv(512);
+  pool();
+  x = net.add_fc("fc6", x, FcParams{4096});
+  x = net.add_fc("fc7", x, FcParams{4096});
+  net.add_fc("fc8", x, FcParams{1000});
+  return net;
+}
+
+}  // namespace paraconv::cnn

@@ -1,0 +1,34 @@
+// Builders for reference networks used in the evaluation.
+//
+// GoogLeNet (Szegedy et al., CVPR'15) is the paper's source of real-life CNN
+// task graphs [16]; LeNet-5 stands in for the character-recognition
+// applications.
+#pragma once
+
+#include "cnn/network.hpp"
+
+namespace paraconv::cnn {
+
+/// Full GoogLeNet v1 (a.k.a. Inception v1): 224x224x3 input, stem, nine
+/// inception modules (3a..5b), average pool and the 1000-way classifier.
+/// Auxiliary classifiers are omitted (inference-time network).
+Network make_googlenet();
+
+/// One standalone inception module on a given input shape; useful for
+/// focused experiments on a single branching subgraph.
+Network make_inception_module(Shape input, int c1, int c3_reduce, int c3,
+                              int c5_reduce, int c5, int pool_proj);
+
+/// LeNet-5 style digit/character recognizer (32x32x1 input).
+Network make_lenet5();
+
+/// AlexNet (single-tower Caffe variant, 227x227x3 input): ~61M weights —
+/// the paper's intro-scale example of "hundreds of megabytes for filter
+/// weight storage".
+Network make_alexnet();
+
+/// VGG-16 (224x224x3 input): ~138M weights, ~15.5G MACs per image — the
+/// upper end of the paper's 30K-600K operations-per-pixel envelope.
+Network make_vgg16();
+
+}  // namespace paraconv::cnn

@@ -1,0 +1,119 @@
+#include "cnn/layer.hpp"
+
+#include <numeric>
+
+namespace paraconv::cnn {
+namespace {
+
+struct KindNameVisitor {
+  const char* operator()(const InputParams&) const { return "input"; }
+  const char* operator()(const ConvParams&) const { return "conv"; }
+  const char* operator()(const PoolParams&) const { return "pool"; }
+  const char* operator()(const FcParams&) const { return "fc"; }
+  const char* operator()(const ConcatParams&) const { return "concat"; }
+};
+
+const Shape& single_input(const std::vector<Shape>& inputs) {
+  PARACONV_REQUIRE(inputs.size() == 1, "layer expects exactly one input");
+  PARACONV_REQUIRE(inputs.front().valid(), "input shape must be valid");
+  return inputs.front();
+}
+
+}  // namespace
+
+const char* layer_kind_name(const LayerParams& params) {
+  return std::visit(KindNameVisitor{}, params);
+}
+
+Shape infer_output_shape(const LayerParams& params,
+                         const std::vector<Shape>& inputs) {
+  return std::visit(
+      [&](const auto& p) -> Shape {
+        using P = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<P, InputParams>) {
+          PARACONV_REQUIRE(inputs.empty(), "input layer takes no inputs");
+          PARACONV_REQUIRE(p.shape.valid(), "input shape must be valid");
+          return p.shape;
+        } else if constexpr (std::is_same_v<P, ConvParams>) {
+          const Shape& in = single_input(inputs);
+          PARACONV_REQUIRE(p.kernel >= 1 && p.stride >= 1 && p.pad >= 0 &&
+                               p.out_channels >= 1,
+                           "invalid convolution parameters");
+          const int oh = conv_out_extent(in.height, p.kernel, p.stride, p.pad);
+          const int ow = conv_out_extent(in.width, p.kernel, p.stride, p.pad);
+          PARACONV_REQUIRE(oh >= 1 && ow >= 1,
+                           "convolution output collapses to zero extent");
+          return Shape{p.out_channels, oh, ow};
+        } else if constexpr (std::is_same_v<P, PoolParams>) {
+          const Shape& in = single_input(inputs);
+          PARACONV_REQUIRE(p.kernel >= 1 && p.stride >= 1 && p.pad >= 0,
+                           "invalid pooling parameters");
+          const int oh = conv_out_extent(in.height, p.kernel, p.stride, p.pad);
+          const int ow = conv_out_extent(in.width, p.kernel, p.stride, p.pad);
+          PARACONV_REQUIRE(oh >= 1 && ow >= 1,
+                           "pooling output collapses to zero extent");
+          return Shape{in.channels, oh, ow};
+        } else if constexpr (std::is_same_v<P, FcParams>) {
+          single_input(inputs);  // validates arity and shape
+          PARACONV_REQUIRE(p.out_features >= 1, "invalid fc parameters");
+          return Shape{p.out_features, 1, 1};
+        } else {
+          static_assert(std::is_same_v<P, ConcatParams>);
+          PARACONV_REQUIRE(inputs.size() >= 2,
+                           "concat requires at least two inputs");
+          int channels = 0;
+          for (const Shape& s : inputs) {
+            PARACONV_REQUIRE(s.valid(), "concat input shape must be valid");
+            PARACONV_REQUIRE(s.height == inputs.front().height &&
+                                 s.width == inputs.front().width,
+                             "concat inputs must share spatial extent");
+            channels += s.channels;
+          }
+          return Shape{channels, inputs.front().height, inputs.front().width};
+        }
+      },
+      params);
+}
+
+std::int64_t layer_macs(const LayerParams& params,
+                        const std::vector<Shape>& inputs) {
+  return std::visit(
+      [&](const auto& p) -> std::int64_t {
+        using P = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<P, ConvParams>) {
+          const Shape& in = single_input(inputs);
+          const Shape out = infer_output_shape(params, inputs);
+          return out.elements() * in.channels * p.kernel * p.kernel;
+        } else if constexpr (std::is_same_v<P, PoolParams>) {
+          const Shape out = infer_output_shape(params, inputs);
+          return out.elements() * p.kernel * p.kernel;
+        } else if constexpr (std::is_same_v<P, FcParams>) {
+          const Shape& in = single_input(inputs);
+          return in.elements() * p.out_features;
+        } else {
+          return 0;
+        }
+      },
+      params);
+}
+
+std::int64_t layer_weight_count(const LayerParams& params,
+                                const std::vector<Shape>& inputs) {
+  return std::visit(
+      [&](const auto& p) -> std::int64_t {
+        using P = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<P, ConvParams>) {
+          const Shape& in = single_input(inputs);
+          return static_cast<std::int64_t>(p.out_channels) * in.channels *
+                 p.kernel * p.kernel;
+        } else if constexpr (std::is_same_v<P, FcParams>) {
+          const Shape& in = single_input(inputs);
+          return in.elements() * p.out_features;
+        } else {
+          return 0;
+        }
+      },
+      params);
+}
+
+}  // namespace paraconv::cnn

@@ -1,0 +1,73 @@
+// CNN layer descriptors (paper Sec. 2.2: convolutional, pooling and
+// fully-connected layers; fully-connected is treated as a special
+// convolution). Concat models the channel-join of GoogLeNet inception
+// branches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cnn/shape.hpp"
+
+namespace paraconv::cnn {
+
+struct LayerId {
+  std::uint32_t value{0};
+  friend constexpr auto operator<=>(LayerId, LayerId) = default;
+};
+
+struct InputParams {
+  Shape shape;
+};
+
+struct ConvParams {
+  int out_channels{1};
+  int kernel{1};
+  int stride{1};
+  int pad{0};
+};
+
+enum class PoolMode : std::uint8_t { kMax, kAverage };
+
+struct PoolParams {
+  PoolMode mode{PoolMode::kMax};
+  int kernel{2};
+  int stride{2};
+  int pad{0};
+};
+
+struct FcParams {
+  int out_features{1};
+};
+
+/// Channel-wise concatenation of all inputs (same spatial extent required).
+struct ConcatParams {};
+
+using LayerParams =
+    std::variant<InputParams, ConvParams, PoolParams, FcParams, ConcatParams>;
+
+struct Layer {
+  std::string name;
+  LayerParams params;
+  std::vector<LayerId> inputs;  // empty only for InputParams
+};
+
+const char* layer_kind_name(const LayerParams& params);
+
+/// Shape inference for one layer given its input shapes.
+/// Throws ContractViolation on inconsistent inputs.
+Shape infer_output_shape(const LayerParams& params,
+                         const std::vector<Shape>& inputs);
+
+/// Multiply-accumulate count of one layer (0 for input/concat; pooling is
+/// counted as one op per window element).
+std::int64_t layer_macs(const LayerParams& params,
+                        const std::vector<Shape>& inputs);
+
+/// Number of filter weights held by the layer (conv and fc only).
+std::int64_t layer_weight_count(const LayerParams& params,
+                                const std::vector<Shape>& inputs);
+
+}  // namespace paraconv::cnn

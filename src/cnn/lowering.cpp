@@ -1,0 +1,98 @@
+#include "cnn/lowering.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace paraconv::cnn {
+namespace {
+
+graph::TaskKind task_kind_for(const LayerParams& params) {
+  if (std::holds_alternative<ConvParams>(params)) {
+    return graph::TaskKind::kConvolution;
+  }
+  if (std::holds_alternative<PoolParams>(params)) {
+    return graph::TaskKind::kPooling;
+  }
+  if (std::holds_alternative<FcParams>(params)) {
+    return graph::TaskKind::kFullyConnected;
+  }
+  return graph::TaskKind::kOther;
+}
+
+}  // namespace
+
+graph::TaskGraph lower_to_task_graph(const Network& net,
+                                     const LoweringOptions& options) {
+  PARACONV_REQUIRE(options.channel_groups >= 1,
+                   "channel_groups must be positive");
+  PARACONV_REQUIRE(options.macs_per_time_unit >= 1,
+                   "macs_per_time_unit must be positive");
+  PARACONV_REQUIRE(options.element_bytes >= 1,
+                   "element_bytes must be positive");
+
+  graph::TaskGraph g(net.name());
+
+  // Per-layer list of task ids (one per channel group); empty for elided
+  // input layers.
+  std::vector<std::vector<graph::NodeId>> tasks_of(net.layer_count());
+
+  for (std::uint32_t li = 0; li < net.layer_count(); ++li) {
+    const LayerId lid{li};
+    const Layer& layer = net.layer(lid);
+    if (std::holds_alternative<InputParams>(layer.params)) continue;
+
+    const Shape out = net.output_shape(lid);
+    int groups = 1;
+    if (std::holds_alternative<ConvParams>(layer.params) ||
+        std::holds_alternative<PoolParams>(layer.params) ||
+        std::holds_alternative<FcParams>(layer.params)) {
+      groups = std::min(options.channel_groups, out.channels);
+    }
+
+    const std::int64_t macs = net.macs(lid);
+    const std::int64_t exec = std::max<std::int64_t>(
+        1, ceil_div(ceil_div(macs, groups), options.macs_per_time_unit));
+
+    const std::int64_t weight_bytes =
+        net.weight_count(lid) * options.element_bytes;
+    for (int gi = 0; gi < groups; ++gi) {
+      graph::Task task;
+      task.name = groups == 1
+                      ? layer.name
+                      : layer.name + "#" + std::to_string(gi);
+      task.kind = task_kind_for(layer.params);
+      task.exec_time = TimeUnits{exec};
+      task.weights = Bytes{weight_bytes / groups};
+      tasks_of[li].push_back(g.add_task(std::move(task)));
+    }
+
+    // Wire edges from each producer layer's tasks.
+    const bool channelwise =
+        std::holds_alternative<PoolParams>(layer.params);
+    for (const LayerId in : layer.inputs) {
+      const auto& producers = tasks_of[in.value];
+      if (producers.empty()) continue;  // elided input layer
+      const Bytes prod_part{std::max<std::int64_t>(
+          1, net.output_shape(in).bytes(options.element_bytes).value /
+                 static_cast<std::int64_t>(producers.size()))};
+      if (channelwise && producers.size() == tasks_of[li].size()) {
+        for (std::size_t k = 0; k < producers.size(); ++k) {
+          g.add_ipr(producers[k], tasks_of[li][k], prod_part);
+        }
+      } else {
+        for (const graph::NodeId p : producers) {
+          for (const graph::NodeId c : tasks_of[li]) {
+            g.add_ipr(p, c, prod_part);
+          }
+        }
+      }
+    }
+  }
+
+  g.validate();
+  return g;
+}
+
+}  // namespace paraconv::cnn

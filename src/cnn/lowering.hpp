@@ -1,0 +1,36 @@
+// Lowering a CNN layer DAG to the paper's task-graph application model.
+//
+// The paper partitions CNN applications "based on the functionality (i.e.,
+// convolution, or pooling) to obtain CNN graphs" (Sec. 4.1). We additionally
+// support channel-group partitioning: a convolutional layer with C output
+// channels may be split into g tasks of C/g channels each, which exposes the
+// data-level parallelism Para-CONV schedules across PEs and yields the IPR
+// traffic between producer and consumer groups.
+#pragma once
+
+#include "cnn/network.hpp"
+#include "graph/task_graph.hpp"
+
+namespace paraconv::cnn {
+
+struct LoweringOptions {
+  /// Maximum tasks per layer (actual group count is min(groups, channels)).
+  int channel_groups{1};
+
+  /// MAC throughput of one PE per abstract time unit; task execution time is
+  /// ceil(layer_macs / groups / macs_per_time_unit), at least 1.
+  std::int64_t macs_per_time_unit{20'000'000};
+
+  /// Bytes per feature-map element (fp16 by default).
+  int element_bytes{2};
+};
+
+/// Lowers `net` to a TaskGraph. Input layers are elided (their consumers
+/// become graph sources); concat layers become single 1-time-unit tasks.
+/// For channel-wise layers (pooling) with matching group counts, producer
+/// group i feeds only consumer group i; all other connections are
+/// all-to-all between producer and consumer groups.
+graph::TaskGraph lower_to_task_graph(const Network& net,
+                                     const LoweringOptions& options);
+
+}  // namespace paraconv::cnn

@@ -1,0 +1,79 @@
+#include "cnn/network.hpp"
+
+#include <numeric>
+
+namespace paraconv::cnn {
+
+LayerId Network::add_layer(Layer layer) {
+  for (const LayerId in : layer.inputs) {
+    PARACONV_REQUIRE(in.value < layers_.size(),
+                     "layer inputs must be added before consumers");
+  }
+  const LayerId id{static_cast<std::uint32_t>(layers_.size())};
+  shapes_.push_back(infer_output_shape(layer.params, input_shapes(layer)));
+  for (const LayerId in : layer.inputs) consumers_[in.value].push_back(id);
+  layers_.push_back(std::move(layer));
+  consumers_.emplace_back();
+  return id;
+}
+
+std::vector<Shape> Network::input_shapes(const Layer& layer) const {
+  std::vector<Shape> shapes;
+  shapes.reserve(layer.inputs.size());
+  for (const LayerId in : layer.inputs) shapes.push_back(shapes_[in.value]);
+  return shapes;
+}
+
+LayerId Network::add_input(std::string name, Shape shape) {
+  return add_layer(Layer{std::move(name), InputParams{shape}, {}});
+}
+
+LayerId Network::add_conv(std::string name, LayerId input, ConvParams params) {
+  return add_layer(Layer{std::move(name), params, {input}});
+}
+
+LayerId Network::add_pool(std::string name, LayerId input, PoolParams params) {
+  return add_layer(Layer{std::move(name), params, {input}});
+}
+
+LayerId Network::add_fc(std::string name, LayerId input, FcParams params) {
+  return add_layer(Layer{std::move(name), params, {input}});
+}
+
+LayerId Network::add_concat(std::string name, std::vector<LayerId> inputs) {
+  return add_layer(Layer{std::move(name), ConcatParams{}, std::move(inputs)});
+}
+
+std::int64_t Network::macs(LayerId id) const {
+  const Layer& l = layer(id);
+  return layer_macs(l.params, input_shapes(l));
+}
+
+std::int64_t Network::weight_count(LayerId id) const {
+  const Layer& l = layer(id);
+  return layer_weight_count(l.params, input_shapes(l));
+}
+
+std::int64_t Network::total_macs() const {
+  std::int64_t total = 0;
+  for (std::uint32_t i = 0; i < layers_.size(); ++i) total += macs(LayerId{i});
+  return total;
+}
+
+std::int64_t Network::total_weights() const {
+  std::int64_t total = 0;
+  for (std::uint32_t i = 0; i < layers_.size(); ++i) {
+    total += weight_count(LayerId{i});
+  }
+  return total;
+}
+
+std::vector<LayerId> Network::outputs() const {
+  std::vector<LayerId> out;
+  for (std::uint32_t i = 0; i < layers_.size(); ++i) {
+    if (consumers_[i].empty()) out.push_back(LayerId{i});
+  }
+  return out;
+}
+
+}  // namespace paraconv::cnn

@@ -1,0 +1,63 @@
+// A CNN as a DAG of layers, with shape inference and cost accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cnn/layer.hpp"
+
+namespace paraconv::cnn {
+
+/// Layer DAG with memoized shape inference.
+///
+/// Layers must be added in topological order (inputs before consumers);
+/// this is the natural order for hand-built and generated networks and
+/// keeps inference single-pass.
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  LayerId add_input(std::string name, Shape shape);
+  LayerId add_conv(std::string name, LayerId input, ConvParams params);
+  LayerId add_pool(std::string name, LayerId input, PoolParams params);
+  LayerId add_fc(std::string name, LayerId input, FcParams params);
+  LayerId add_concat(std::string name, std::vector<LayerId> inputs);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  const Layer& layer(LayerId id) const {
+    PARACONV_REQUIRE(id.value < layers_.size(), "invalid layer id");
+    return layers_[id.value];
+  }
+
+  /// Output feature-map shape of a layer (memoized at insertion).
+  const Shape& output_shape(LayerId id) const {
+    PARACONV_REQUIRE(id.value < shapes_.size(), "invalid layer id");
+    return shapes_[id.value];
+  }
+
+  /// Per-layer multiply-accumulate count.
+  std::int64_t macs(LayerId id) const;
+  /// Per-layer filter weight count.
+  std::int64_t weight_count(LayerId id) const;
+
+  /// Whole-network totals.
+  std::int64_t total_macs() const;
+  std::int64_t total_weights() const;
+
+  /// Layers with no consumers (network outputs).
+  std::vector<LayerId> outputs() const;
+
+ private:
+  LayerId add_layer(Layer layer);
+  std::vector<Shape> input_shapes(const Layer& layer) const;
+
+  std::string name_;
+  std::vector<Layer> layers_;
+  std::vector<Shape> shapes_;
+  std::vector<std::vector<LayerId>> consumers_;
+};
+
+}  // namespace paraconv::cnn

@@ -1,0 +1,244 @@
+#include "cnn/reference_ops.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace paraconv::cnn {
+namespace {
+
+std::vector<float> random_weights(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> w(count);
+  for (float& v : w) {
+    v = static_cast<float>(rng.uniform_real() * 0.2 - 0.1);
+  }
+  return w;
+}
+
+}  // namespace
+
+ConvWeights make_test_conv_weights(const ConvParams& params, int in_channels,
+                                   std::uint64_t seed) {
+  PARACONV_REQUIRE(in_channels >= 1, "in_channels must be positive");
+  const auto filter_count = static_cast<std::size_t>(params.out_channels) *
+                            static_cast<std::size_t>(in_channels) *
+                            static_cast<std::size_t>(params.kernel) *
+                            static_cast<std::size_t>(params.kernel);
+  ConvWeights w;
+  w.filters = random_weights(filter_count, seed);
+  w.bias = random_weights(static_cast<std::size_t>(params.out_channels),
+                          seed ^ 0x5151);
+  return w;
+}
+
+Tensor conv2d(const Tensor& input, const ConvParams& params,
+              const ConvWeights& weights, std::int64_t* macs_executed) {
+  const Shape in = input.shape();
+  const Shape out = infer_output_shape(params, {in});
+  const std::size_t expected =
+      static_cast<std::size_t>(params.out_channels) *
+      static_cast<std::size_t>(in.channels) *
+      static_cast<std::size_t>(params.kernel) *
+      static_cast<std::size_t>(params.kernel);
+  PARACONV_REQUIRE(weights.filters.size() == expected,
+                   "filter tensor size mismatch");
+  PARACONV_REQUIRE(
+      weights.bias.size() == static_cast<std::size_t>(params.out_channels),
+      "bias size mismatch");
+
+  Tensor result(out);
+  std::int64_t macs = 0;
+  const int k = params.kernel;
+  for (int oc = 0; oc < out.channels; ++oc) {
+    for (int oy = 0; oy < out.height; ++oy) {
+      for (int ox = 0; ox < out.width; ++ox) {
+        float acc = weights.bias[static_cast<std::size_t>(oc)];
+        const int base_y = oy * params.stride - params.pad;
+        const int base_x = ox * params.stride - params.pad;
+        for (int ic = 0; ic < in.channels; ++ic) {
+          for (int ky = 0; ky < k; ++ky) {
+            for (int kx = 0; kx < k; ++kx) {
+              const std::size_t widx =
+                  ((static_cast<std::size_t>(oc) *
+                        static_cast<std::size_t>(in.channels) +
+                    static_cast<std::size_t>(ic)) *
+                       static_cast<std::size_t>(k) +
+                   static_cast<std::size_t>(ky)) *
+                      static_cast<std::size_t>(k) +
+                  static_cast<std::size_t>(kx);
+              acc += weights.filters[widx] *
+                     input.at_padded(ic, base_y + ky, base_x + kx);
+              ++macs;
+            }
+          }
+        }
+        result.at(oc, oy, ox) = acc;
+      }
+    }
+  }
+  if (macs_executed != nullptr) *macs_executed = macs;
+  return result;
+}
+
+std::vector<float> im2col(const Tensor& input, const ConvParams& params) {
+  const Shape in = input.shape();
+  const Shape out = infer_output_shape(params, {in});
+  const int k = params.kernel;
+  const std::size_t rows = static_cast<std::size_t>(in.channels) *
+                           static_cast<std::size_t>(k) *
+                           static_cast<std::size_t>(k);
+  const std::size_t cols = static_cast<std::size_t>(out.height) *
+                           static_cast<std::size_t>(out.width);
+  std::vector<float> matrix(rows * cols, 0.0f);
+
+  std::size_t row = 0;
+  for (int ic = 0; ic < in.channels; ++ic) {
+    for (int ky = 0; ky < k; ++ky) {
+      for (int kx = 0; kx < k; ++kx, ++row) {
+        std::size_t col = 0;
+        for (int oy = 0; oy < out.height; ++oy) {
+          for (int ox = 0; ox < out.width; ++ox, ++col) {
+            matrix[row * cols + col] = input.at_padded(
+                ic, oy * params.stride - params.pad + ky,
+                ox * params.stride - params.pad + kx);
+          }
+        }
+      }
+    }
+  }
+  return matrix;
+}
+
+Tensor conv2d_im2col(const Tensor& input, const ConvParams& params,
+                     const ConvWeights& weights) {
+  const Shape in = input.shape();
+  const Shape out = infer_output_shape(params, {in});
+  const std::size_t rows = static_cast<std::size_t>(in.channels) *
+                           static_cast<std::size_t>(params.kernel) *
+                           static_cast<std::size_t>(params.kernel);
+  const std::size_t cols = static_cast<std::size_t>(out.height) *
+                           static_cast<std::size_t>(out.width);
+  PARACONV_REQUIRE(weights.filters.size() ==
+                       static_cast<std::size_t>(params.out_channels) * rows,
+                   "filter tensor size mismatch");
+  PARACONV_REQUIRE(
+      weights.bias.size() == static_cast<std::size_t>(params.out_channels),
+      "bias size mismatch");
+
+  const std::vector<float> columns = im2col(input, params);
+  Tensor result(out);
+  for (int oc = 0; oc < params.out_channels; ++oc) {
+    const float* filter = weights.filters.data() +
+                          static_cast<std::size_t>(oc) * rows;
+    for (std::size_t col = 0; col < cols; ++col) {
+      float acc = weights.bias[static_cast<std::size_t>(oc)];
+      for (std::size_t row = 0; row < rows; ++row) {
+        acc += filter[row] * columns[row * cols + col];
+      }
+      result.data()[static_cast<std::size_t>(oc) * cols + col] = acc;
+    }
+  }
+  return result;
+}
+
+Tensor pool2d(const Tensor& input, const PoolParams& params) {
+  const Shape in = input.shape();
+  const Shape out = infer_output_shape(params, {in});
+  Tensor result(out);
+  const int k = params.kernel;
+  for (int c = 0; c < out.channels; ++c) {
+    for (int oy = 0; oy < out.height; ++oy) {
+      for (int ox = 0; ox < out.width; ++ox) {
+        const int base_y = oy * params.stride - params.pad;
+        const int base_x = ox * params.stride - params.pad;
+        if (params.mode == PoolMode::kMax) {
+          float best = std::numeric_limits<float>::lowest();
+          for (int ky = 0; ky < k; ++ky) {
+            for (int kx = 0; kx < k; ++kx) {
+              best = std::max(best, input.at_padded(c, base_y + ky,
+                                                    base_x + kx));
+            }
+          }
+          result.at(c, oy, ox) = best;
+        } else {
+          float sum = 0.0f;
+          for (int ky = 0; ky < k; ++ky) {
+            for (int kx = 0; kx < k; ++kx) {
+              sum += input.at_padded(c, base_y + ky, base_x + kx);
+            }
+          }
+          result.at(c, oy, ox) = sum / static_cast<float>(k * k);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+FcWeights make_test_fc_weights(const FcParams& params, std::int64_t in_features,
+                               std::uint64_t seed) {
+  PARACONV_REQUIRE(in_features >= 1, "in_features must be positive");
+  FcWeights w;
+  w.matrix = random_weights(
+      static_cast<std::size_t>(params.out_features) *
+          static_cast<std::size_t>(in_features),
+      seed);
+  w.bias = random_weights(static_cast<std::size_t>(params.out_features),
+                          seed ^ 0xFC15);
+  return w;
+}
+
+Tensor fully_connected(const Tensor& input, const FcParams& params,
+                       const FcWeights& weights) {
+  const std::int64_t in_features = input.shape().elements();
+  PARACONV_REQUIRE(
+      weights.matrix.size() ==
+          static_cast<std::size_t>(params.out_features) *
+              static_cast<std::size_t>(in_features),
+      "fc matrix size mismatch");
+  Tensor result(Shape{params.out_features, 1, 1});
+  for (int o = 0; o < params.out_features; ++o) {
+    float acc = weights.bias[static_cast<std::size_t>(o)];
+    for (std::int64_t i = 0; i < in_features; ++i) {
+      acc += weights.matrix[static_cast<std::size_t>(o) *
+                                static_cast<std::size_t>(in_features) +
+                            static_cast<std::size_t>(i)] *
+             input.data()[static_cast<std::size_t>(i)];
+    }
+    result.at(o, 0, 0) = acc;
+  }
+  return result;
+}
+
+Tensor concat(const std::vector<Tensor>& inputs) {
+  PARACONV_REQUIRE(inputs.size() >= 2, "concat requires at least two inputs");
+  std::vector<Shape> shapes;
+  shapes.reserve(inputs.size());
+  for (const Tensor& t : inputs) shapes.push_back(t.shape());
+  const Shape out = infer_output_shape(ConcatParams{}, shapes);
+
+  Tensor result(out);
+  int channel_base = 0;
+  for (const Tensor& t : inputs) {
+    const Shape s = t.shape();
+    for (int c = 0; c < s.channels; ++c) {
+      for (int y = 0; y < s.height; ++y) {
+        for (int x = 0; x < s.width; ++x) {
+          result.at(channel_base + c, y, x) = t.at(c, y, x);
+        }
+      }
+    }
+    channel_base += s.channels;
+  }
+  return result;
+}
+
+Tensor relu(const Tensor& input) {
+  Tensor result = input;
+  for (float& v : result.data()) v = std::max(v, 0.0f);
+  return result;
+}
+
+}  // namespace paraconv::cnn

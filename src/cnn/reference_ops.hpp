@@ -1,0 +1,59 @@
+// Reference (naive, obviously-correct) forward operators for the CNN layer
+// descriptors. Used by tests to validate shape inference and cost accounting
+// and by examples to run real inference through the modelled networks.
+#pragma once
+
+#include <cstdint>
+
+#include "cnn/layer.hpp"
+#include "cnn/tensor.hpp"
+
+namespace paraconv::cnn {
+
+/// Convolution weights: [out_c][in_c][k][k] flattened out_c-major, plus one
+/// bias per output channel.
+struct ConvWeights {
+  std::vector<float> filters;
+  std::vector<float> bias;
+};
+
+/// Deterministic pseudo-random weights for reproducible examples/tests.
+ConvWeights make_test_conv_weights(const ConvParams& params, int in_channels,
+                                   std::uint64_t seed);
+
+/// y = conv(x, w) with zero padding; returns the MAC count actually executed
+/// via `macs_executed` (for cross-checking layer_macs).
+Tensor conv2d(const Tensor& input, const ConvParams& params,
+              const ConvWeights& weights, std::int64_t* macs_executed = nullptr);
+
+/// Lowers the input to a column matrix (in_c*k*k rows x out_h*out_w
+/// columns), the standard GEMM formulation of convolution.
+std::vector<float> im2col(const Tensor& input, const ConvParams& params);
+
+/// Convolution via im2col + matrix multiply; numerically equivalent to
+/// `conv2d` (same summation order per output), used as a cross-check and as
+/// the compute pattern PIM dataflows actually execute.
+Tensor conv2d_im2col(const Tensor& input, const ConvParams& params,
+                     const ConvWeights& weights);
+
+Tensor pool2d(const Tensor& input, const PoolParams& params);
+
+/// Fully connected: weights [out][in] flattened out-major, one bias per out.
+struct FcWeights {
+  std::vector<float> matrix;
+  std::vector<float> bias;
+};
+
+FcWeights make_test_fc_weights(const FcParams& params, std::int64_t in_features,
+                               std::uint64_t seed);
+
+Tensor fully_connected(const Tensor& input, const FcParams& params,
+                       const FcWeights& weights);
+
+/// Channel concatenation (spatial extents must match).
+Tensor concat(const std::vector<Tensor>& inputs);
+
+/// Elementwise ReLU.
+Tensor relu(const Tensor& input);
+
+}  // namespace paraconv::cnn

@@ -1,0 +1,3 @@
+#include "cnn/shape.hpp"
+
+// Header-only; translation unit anchors the component in the build.

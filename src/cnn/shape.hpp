@@ -1,0 +1,41 @@
+// Feature-map shapes and shape arithmetic for CNN layers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace paraconv::cnn {
+
+/// Channel-major feature-map shape (C, H, W). Batch size is 1 throughout:
+/// the paper's dataflow iterates over inputs, one image per iteration.
+struct Shape {
+  int channels{0};
+  int height{0};
+  int width{0};
+
+  friend constexpr bool operator==(const Shape&, const Shape&) = default;
+
+  constexpr std::int64_t elements() const {
+    return static_cast<std::int64_t>(channels) * height * width;
+  }
+
+  /// Storage footprint; element_bytes defaults to 2 (fp16, the precision
+  /// used by Neurocube-class accelerators).
+  constexpr Bytes bytes(int element_bytes = 2) const {
+    return Bytes{elements() * element_bytes};
+  }
+
+  constexpr bool valid() const {
+    return channels > 0 && height > 0 && width > 0;
+  }
+};
+
+/// Spatial output size of a convolution/pooling window:
+/// floor((in + 2*pad - kernel) / stride) + 1.
+constexpr int conv_out_extent(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace paraconv::cnn

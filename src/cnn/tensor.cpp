@@ -1,0 +1,3 @@
+#include "cnn/tensor.hpp"
+
+// Header-only; translation unit anchors the component in the build.

@@ -1,0 +1,55 @@
+// Minimal CHW float tensor for the reference CNN forward operators.
+//
+// The reference operators exist to ground the cost model: tests check that
+// the MAC/byte accounting used by the scheduler matches what a real forward
+// pass touches, and the examples run actual inference through the lowered
+// graphs.
+#pragma once
+
+#include <vector>
+
+#include "cnn/shape.hpp"
+
+namespace paraconv::cnn {
+
+/// Dense channel-major (C, H, W) float tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(shape),
+        data_(static_cast<std::size_t>(shape.elements()), 0.0f) {
+    PARACONV_REQUIRE(shape.valid(), "tensor shape must be valid");
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+
+  float at(int c, int y, int x) const { return data_[index(c, y, x)]; }
+  float& at(int c, int y, int x) { return data_[index(c, y, x)]; }
+
+  /// Zero-padded read: coordinates outside the spatial extent return 0.
+  float at_padded(int c, int y, int x) const {
+    if (y < 0 || x < 0 || y >= shape_.height || x >= shape_.width) return 0.0f;
+    return at(c, y, x);
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+ private:
+  std::size_t index(int c, int y, int x) const {
+    PARACONV_REQUIRE(c >= 0 && c < shape_.channels && y >= 0 &&
+                         y < shape_.height && x >= 0 && x < shape_.width,
+                     "tensor index out of range");
+    return (static_cast<std::size_t>(c) * static_cast<std::size_t>(shape_.height) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(shape_.width) +
+           static_cast<std::size_t>(x);
+  }
+
+  Shape shape_{};
+  std::vector<float> data_;
+};
+
+}  // namespace paraconv::cnn

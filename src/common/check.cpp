@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace paraconv::detail {
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << kind << " violated: " << message << " [" << expr << "] at " << file
+      << ":" << line;
+  throw ContractViolation(oss.str());
+}
+
+}  // namespace paraconv::detail

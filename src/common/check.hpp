@@ -1,0 +1,44 @@
+// Contract-checking support for the paraconv library.
+//
+// Preconditions and invariants are enforced with PARACONV_CHECK /
+// PARACONV_REQUIRE; violations throw ContractViolation so that tests can
+// assert on misuse and library consumers get a diagnosable error instead of
+// undefined behaviour.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace paraconv {
+
+/// Thrown when a library precondition or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace paraconv
+
+/// Precondition check: validates arguments at public API boundaries.
+#define PARACONV_REQUIRE(expr, message)                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::paraconv::detail::contract_failure("precondition", #expr, __FILE__, \
+                                           __LINE__, (message));            \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check: validates library-internal consistency.
+#define PARACONV_CHECK(expr, message)                                     \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::paraconv::detail::contract_failure("invariant", #expr, __FILE__,  \
+                                           __LINE__, (message));          \
+    }                                                                     \
+  } while (false)

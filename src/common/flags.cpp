@@ -1,0 +1,154 @@
+#include "common/flags.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace paraconv {
+
+void FlagParser::add_string(const std::string& name,
+                            std::string default_value, std::string doc) {
+  PARACONV_REQUIRE(!flags_.contains(name), "duplicate flag: " + name);
+  Flag f;
+  f.kind = Kind::kString;
+  f.doc = std::move(doc);
+  f.string_value = std::move(default_value);
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void FlagParser::add_int(const std::string& name, std::int64_t default_value,
+                         std::string doc) {
+  PARACONV_REQUIRE(!flags_.contains(name), "duplicate flag: " + name);
+  Flag f;
+  f.kind = Kind::kInt;
+  f.doc = std::move(doc);
+  f.int_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+void FlagParser::add_bool(const std::string& name, bool default_value,
+                          std::string doc) {
+  PARACONV_REQUIRE(!flags_.contains(name), "duplicate flag: " + name);
+  Flag f;
+  f.kind = Kind::kBool;
+  f.doc = std::move(doc);
+  f.bool_value = default_value;
+  flags_.emplace(name, std::move(f));
+  order_.push_back(name);
+}
+
+bool FlagParser::parse(const std::vector<std::string>& args,
+                       std::string* error) {
+  PARACONV_REQUIRE(error != nullptr, "error output required");
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      *error = "unknown flag: --" + name;
+      return false;
+    }
+    Flag& f = it->second;
+
+    if (f.kind == Kind::kBool && !inline_value.has_value()) {
+      f.bool_value = true;
+      continue;
+    }
+
+    std::string value;
+    if (inline_value.has_value()) {
+      value = *inline_value;
+    } else if (i + 1 < args.size()) {
+      value = args[++i];
+    } else {
+      *error = "flag --" + name + " expects a value";
+      return false;
+    }
+
+    switch (f.kind) {
+      case Kind::kString:
+        f.string_value = value;
+        break;
+      case Kind::kInt: {
+        std::int64_t parsed = 0;
+        const auto [ptr, ec] = std::from_chars(
+            value.data(), value.data() + value.size(), parsed);
+        if (ec != std::errc{} || ptr != value.data() + value.size()) {
+          *error = "flag --" + name + " expects an integer, got '" + value +
+                   "'";
+          return false;
+        }
+        f.int_value = parsed;
+        break;
+      }
+      case Kind::kBool: {
+        if (value == "true" || value == "1") {
+          f.bool_value = true;
+        } else if (value == "false" || value == "0") {
+          f.bool_value = false;
+        } else {
+          *error = "flag --" + name + " expects true/false, got '" + value +
+                   "'";
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+const FlagParser::Flag& FlagParser::flag(const std::string& name,
+                                         Kind kind) const {
+  const auto it = flags_.find(name);
+  PARACONV_REQUIRE(it != flags_.end(), "undeclared flag: " + name);
+  PARACONV_REQUIRE(it->second.kind == kind, "flag type mismatch: " + name);
+  return it->second;
+}
+
+const std::string& FlagParser::get_string(const std::string& name) const {
+  return flag(name, Kind::kString).string_value;
+}
+
+std::int64_t FlagParser::get_int(const std::string& name) const {
+  return flag(name, Kind::kInt).int_value;
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  return flag(name, Kind::kBool).bool_value;
+}
+
+std::string FlagParser::usage() const {
+  std::ostringstream os;
+  for (const std::string& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name;
+    switch (f.kind) {
+      case Kind::kString:
+        os << " <string> (default: " << f.string_value << ")";
+        break;
+      case Kind::kInt:
+        os << " <int> (default: " << f.int_value << ")";
+        break;
+      case Kind::kBool:
+        os << " (default: " << (f.bool_value ? "true" : "false") << ")";
+        break;
+    }
+    os << "\n      " << f.doc << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace paraconv

@@ -1,0 +1,57 @@
+// Minimal command-line flag parser for the CLI tool and examples.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` forms, plus
+// positional arguments. Unknown flags are an error (catches typos);
+// repeated flags keep the last value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace paraconv {
+
+class FlagParser {
+ public:
+  /// Declare flags before parsing. `doc` feeds the usage text.
+  void add_string(const std::string& name, std::string default_value,
+                  std::string doc);
+  void add_int(const std::string& name, std::int64_t default_value,
+               std::string doc);
+  void add_bool(const std::string& name, bool default_value, std::string doc);
+
+  /// Parses argv (excluding argv[0]). Returns false and fills `error` on
+  /// malformed input or unknown flags.
+  bool parse(const std::vector<std::string>& args, std::string* error);
+
+  const std::string& get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// One line per declared flag: "--name (default: ...)  doc".
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kBool };
+  struct Flag {
+    Kind kind;
+    std::string doc;
+    std::string string_value;
+    std::int64_t int_value{0};
+    bool bool_value{false};
+  };
+
+  const Flag& flag(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace paraconv

@@ -1,0 +1,4 @@
+#include "common/rng.hpp"
+
+// Header-only implementation; this translation unit anchors the component in
+// the build so that ODR-used symbols have a home if any are added later.

@@ -1,0 +1,81 @@
+// Deterministic random number generation.
+//
+// All synthetic workloads in this repository are generated from explicit
+// seeds so every experiment is exactly reproducible. We use splitmix64 for
+// seeding and xoshiro256** as the main generator (both public-domain
+// algorithms by Blackman & Vigna), rather than std::mt19937, so that the
+// stream is identical across standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace paraconv {
+
+/// splitmix64 step; used to expand a single 64-bit seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic pseudo-random generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    PARACONV_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>((*this)());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_real() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace paraconv

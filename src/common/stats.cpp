@@ -1,0 +1,15 @@
+#include "common/stats.hpp"
+
+namespace paraconv {
+
+double percentile(std::vector<double> sample, double p) {
+  PARACONV_REQUIRE(!sample.empty(), "percentile of empty sample");
+  PARACONV_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  std::sort(sample.begin(), sample.end());
+  if (p == 0.0) return sample.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sample.size())));
+  return sample[std::min(rank, sample.size()) - 1];
+}
+
+}  // namespace paraconv

@@ -1,0 +1,57 @@
+// Streaming summary statistics (Welford) and percentiles, used by the
+// multi-seed synthetic benchmark harness to report mean +- stddev series.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace paraconv {
+
+/// Numerically stable streaming accumulator for mean/variance/extrema.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const {
+    PARACONV_REQUIRE(count_ > 0, "mean of empty sample");
+    return mean_;
+  }
+  /// Sample variance (n - 1 denominator); 0 for a single observation.
+  double variance() const {
+    PARACONV_REQUIRE(count_ > 0, "variance of empty sample");
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    PARACONV_REQUIRE(count_ > 0, "min of empty sample");
+    return min_;
+  }
+  double max() const {
+    PARACONV_REQUIRE(count_ > 0, "max of empty sample");
+    return max_;
+  }
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Nearest-rank percentile (p in [0, 100]) of a sample; does not require
+/// the input to be sorted.
+double percentile(std::vector<double> sample, double p);
+
+}  // namespace paraconv

@@ -1,0 +1,44 @@
+#include "common/strings.hpp"
+
+#include <cstdio>
+
+namespace paraconv {
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string{s};
+  return std::string(width - s.size(), ' ') + std::string{s};
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string{s};
+  return std::string{s} + std::string(width - s.size(), ' ');
+}
+
+}  // namespace paraconv

@@ -1,0 +1,23 @@
+// Small string helpers shared by table printers and DOT export.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paraconv {
+
+/// Join elements with a separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Fixed-precision decimal formatting ("12.34").
+std::string format_fixed(double v, int decimals);
+
+/// Left-pad / right-pad to a width with spaces (no-op if already wider).
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+}  // namespace paraconv

@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace paraconv {
+
+void TablePrinter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  PARACONV_REQUIRE(header_.empty() || row.size() == header_.size(),
+                   "row width must match header width");
+  rows_.push_back(Row{std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TablePrinter::add_rule() { pending_rule_ = true; }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    widths.resize(std::max(widths.size(), row.cells.size()), 0);
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    os << line << "\n";
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << " " << pad_right(cell, widths[c]) << " |";
+    }
+    os << "\n";
+  };
+
+  if (!title_.empty()) os << title_ << "\n";
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const Row& row : rows_) {
+    if (row.rule_before) rule();
+    emit(row.cells);
+  }
+  rule();
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  if (!header_.empty()) os << join(header_, ",") << "\n";
+  for (const Row& row : rows_) os << join(row.cells, ",") << "\n";
+}
+
+}  // namespace paraconv

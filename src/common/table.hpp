@@ -1,0 +1,47 @@
+// Plain-text table printer used by the per-table/per-figure bench harnesses
+// to print the same rows the paper reports.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paraconv {
+
+/// Column-aligned ASCII table with an optional title, printed to a stream.
+///
+/// Usage:
+///   TablePrinter t{"Table 1"};
+///   t.set_header({"Benchmark", "SPARTA", "Para-CONV"});
+///   t.add_row({"cat", "4.7", "4.0"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  TablePrinter() = default;
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next row (e.g. above an "Average"
+  /// summary line).
+  void add_rule();
+
+  void print(std::ostream& os) const;
+  /// Comma-separated dump (header + rows) for downstream plotting.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before{false};
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_{false};
+};
+
+}  // namespace paraconv

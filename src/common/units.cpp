@@ -1,0 +1,28 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace paraconv {
+
+std::string format_bytes(Bytes b) {
+  static constexpr std::array<const char*, 4> kSuffix{"B", "KiB", "MiB",
+                                                      "GiB"};
+  double v = static_cast<double>(b.value);
+  std::size_t idx = 0;
+  while (v >= 1024.0 && idx + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++idx;
+  }
+  char buf[32];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld B",
+                  static_cast<long long>(b.value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kSuffix[idx]);
+  }
+  return buf;
+}
+
+}  // namespace paraconv

@@ -1,0 +1,108 @@
+// Strong unit types used across the library.
+//
+// The paper's model works in abstract "time units" (one unit ~= the execution
+// slot of a convolution task) and bytes for intermediate-processing-result
+// (IPR) sizes. Energy is tracked in picojoules by the PIM machine model.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace paraconv {
+
+/// Discrete scheduling time, in abstract time units (paper Sec. 2.2).
+/// Signed so that slack arithmetic (e.g. `finish - start - latency`) is safe.
+struct TimeUnits {
+  std::int64_t value{0};
+
+  constexpr TimeUnits() = default;
+  constexpr explicit TimeUnits(std::int64_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(TimeUnits, TimeUnits) = default;
+  friend constexpr TimeUnits operator+(TimeUnits a, TimeUnits b) {
+    return TimeUnits{a.value + b.value};
+  }
+  friend constexpr TimeUnits operator-(TimeUnits a, TimeUnits b) {
+    return TimeUnits{a.value - b.value};
+  }
+  constexpr TimeUnits& operator+=(TimeUnits o) {
+    value += o.value;
+    return *this;
+  }
+  friend constexpr TimeUnits operator*(TimeUnits a, std::int64_t k) {
+    return TimeUnits{a.value * k};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, TimeUnits t) {
+  return os << t.value << "tu";
+}
+
+/// Data volume in bytes.
+struct Bytes {
+  std::int64_t value{0};
+
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.value + b.value};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.value - b.value};
+  }
+  constexpr Bytes& operator+=(Bytes o) {
+    value += o.value;
+    return *this;
+  }
+};
+
+constexpr Bytes operator""_B(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v)};
+}
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1024};
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return Bytes{static_cast<std::int64_t>(v) * 1024 * 1024};
+}
+
+inline std::ostream& operator<<(std::ostream& os, Bytes b) {
+  return os << b.value << "B";
+}
+
+/// Energy in picojoules (accumulated by the PIM energy model).
+struct Picojoules {
+  double value{0.0};
+
+  constexpr Picojoules() = default;
+  constexpr explicit Picojoules(double v) : value(v) {}
+
+  friend constexpr auto operator<=>(Picojoules, Picojoules) = default;
+  friend constexpr Picojoules operator+(Picojoules a, Picojoules b) {
+    return Picojoules{a.value + b.value};
+  }
+  constexpr Picojoules& operator+=(Picojoules o) {
+    value += o.value;
+    return *this;
+  }
+  friend constexpr Picojoules operator*(Picojoules a, double k) {
+    return Picojoules{a.value * k};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Picojoules e) {
+  return os << e.value << "pJ";
+}
+
+/// Ceiling division for non-negative numerator and positive denominator.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a >= 0) ? (a + b - 1) / b : -((-a) / b);
+}
+
+/// Human-readable byte formatting ("3.2 KiB").
+std::string format_bytes(Bytes b);
+
+}  // namespace paraconv

@@ -1,0 +1,33 @@
+#include "core/analysis.hpp"
+
+#include "retiming/cases.hpp"
+#include "sched/bounds.hpp"
+
+namespace paraconv::core {
+
+ScheduleAnalysis analyze(const graph::TaskGraph& g,
+                         const pim::PimConfig& config,
+                         const ParaConvResult& result) {
+  PARACONV_REQUIRE(result.kernel.placement.size() == g.node_count(),
+                   "result does not match graph");
+
+  ScheduleAnalysis a;
+  a.period_lower_bound = sched::period_lower_bound(g, config.pe_count);
+  a.period_optimality = static_cast<double>(a.period_lower_bound.value) /
+                        static_cast<double>(result.kernel.period.value);
+  a.r_max_lower_bound =
+      sched::retiming_lower_bound(g, result.kernel.period);
+
+  a.latency = sched::iteration_latency(g, result.kernel);
+  a.residency = alloc::cache_residency(g, result.kernel, config.pe_count);
+
+  for (const retiming::EdgeDelta& d : result.deltas) {
+    ++a.case_census[static_cast<std::size_t>(
+        static_cast<int>(retiming::classify(d)) - 1)];
+    if (retiming::allocation_sensitive(d)) ++a.sensitive_iprs;
+  }
+  a.cached_iprs = result.kernel.cached_edge_count();
+  return a;
+}
+
+}  // namespace paraconv::core

@@ -1,0 +1,43 @@
+// One-call schedule analysis: bundles every derived view of a scheduling
+// result (bounds, latency, residency, case census) for the CLI, examples
+// and reports.
+#pragma once
+
+#include <array>
+
+#include "alloc/residency.hpp"
+#include "core/para_conv.hpp"
+#include "sched/latency.hpp"
+
+namespace paraconv::core {
+
+struct ScheduleAnalysis {
+  /// Resource lower bound max(ceil(W/N), c_max) and how close the kernel
+  /// period came to it (1.0 = optimal packing).
+  TimeUnits period_lower_bound{0};
+  double period_optimality{1.0};
+
+  /// Pipelining lower bound ceil(CP/p) - 1 on the maximum retiming value
+  /// (sched/bounds.hpp); the achieved R_max can never be below it.
+  int r_max_lower_bound{0};
+
+  /// Single-input latency through the pipeline.
+  sched::LatencyReport latency;
+
+  /// Steady-state per-PE cache residency.
+  alloc::ResidencyProfile residency;
+
+  /// Count of IPRs per Fig.-4 case (index 0 = case 1).
+  std::array<std::size_t, 6> case_census{};
+
+  /// Sensitive IPRs (cases 2/3/5) and how many the allocation cached.
+  std::size_t sensitive_iprs{0};
+  std::size_t cached_iprs{0};
+};
+
+/// Analyzes a Para-CONV result against its graph and configuration.
+ScheduleAnalysis analyze(const graph::TaskGraph& g,
+                         const pim::PimConfig& config,
+                         const ParaConvResult& result);
+
+}  // namespace paraconv::core

@@ -1,0 +1,67 @@
+#include "core/colocate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace paraconv::core {
+
+ColocationResult schedule_colocated(
+    const std::vector<const graph::TaskGraph*>& apps,
+    const pim::PimConfig& config, const ColocateOptions& options) {
+  PARACONV_REQUIRE(!apps.empty(), "at least one application required");
+  for (const graph::TaskGraph* app : apps) {
+    PARACONV_REQUIRE(app != nullptr, "null application");
+  }
+  PARACONV_REQUIRE(config.pe_count >= static_cast<int>(apps.size()),
+                   "need at least one PE per application");
+
+  // Proportional shares by total work (largest-remainder rounding with a
+  // floor of one PE per application).
+  std::vector<std::int64_t> work(apps.size());
+  std::int64_t total_work = 0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    work[i] = apps[i]->total_work().value;
+    total_work += work[i];
+  }
+  PARACONV_CHECK(total_work > 0, "applications carry no work");
+
+  std::vector<int> share(apps.size(), 1);
+  int remaining = config.pe_count - static_cast<int>(apps.size());
+  // Distribute the remaining PEs by repeatedly granting one to the
+  // application with the highest work-per-assigned-PE ratio. O(PEs * apps),
+  // tiny for realistic sizes, and exactly fair for equal workloads.
+  while (remaining > 0) {
+    std::size_t best = 0;
+    double best_ratio = -1.0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const double ratio =
+          static_cast<double>(work[i]) / static_cast<double>(share[i]);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    ++share[best];
+    --remaining;
+  }
+
+  ColocationResult result;
+  int next_pe = 0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    Partition part;
+    part.first_pe = next_pe;
+    part.pe_count = share[i];
+    next_pe += share[i];
+    result.partitions.push_back(part);
+
+    pim::PimConfig sub = config;
+    sub.pe_count = part.pe_count;  // cache follows: total = count * per-PE
+    ParaConvOptions scheduler_options = options.scheduler;
+    result.apps.push_back(
+        ParaConv(sub, scheduler_options).schedule(*apps[i]));
+  }
+  PARACONV_CHECK(next_pe == config.pe_count, "partitioning must be exact");
+  return result;
+}
+
+}  // namespace paraconv::core

@@ -1,0 +1,42 @@
+// Multi-application co-location on one PIM array.
+//
+// A Neurocube-class accelerator hosts several CNN applications at once
+// (e.g. the paper's image, speech and analytics workloads). This extension
+// space-partitions the PE array: each application receives a contiguous PE
+// range sized by its share of the total work (at least one PE each) plus
+// the matching slice of aggregate cache, and is scheduled independently by
+// Para-CONV inside its partition. Partitions are isolated — no cross-
+// application interference by construction.
+#pragma once
+
+#include <vector>
+
+#include "core/para_conv.hpp"
+
+namespace paraconv::core {
+
+struct Partition {
+  /// First PE of the partition and partition width.
+  int first_pe{0};
+  int pe_count{0};
+};
+
+struct ColocationResult {
+  /// Per-application schedules, in input order; placements use PE ids
+  /// local to the partition (add partition.first_pe for global ids).
+  std::vector<ParaConvResult> apps;
+  std::vector<Partition> partitions;
+};
+
+struct ColocateOptions {
+  ParaConvOptions scheduler{};
+};
+
+/// Partitions `config.pe_count` PEs over the applications proportionally to
+/// their total work and schedules each independently.
+/// Requires apps.size() >= 1 and config.pe_count >= apps.size().
+ColocationResult schedule_colocated(
+    const std::vector<const graph::TaskGraph*>& apps,
+    const pim::PimConfig& config, const ColocateOptions& options = {});
+
+}  // namespace paraconv::core

@@ -1,0 +1,27 @@
+#include "core/metrics.hpp"
+
+#include "common/check.hpp"
+
+namespace paraconv::core {
+
+namespace {
+double as_double(TimeUnits t) { return static_cast<double>(t.value); }
+}  // namespace
+
+double time_ratio_percent(const RunResult& base, const RunResult& ours) {
+  PARACONV_REQUIRE(base.total_time > TimeUnits{0},
+                   "baseline total time must be positive");
+  return 100.0 * as_double(ours.total_time) / as_double(base.total_time);
+}
+
+double time_reduction_percent(const RunResult& base, const RunResult& ours) {
+  return 100.0 - time_ratio_percent(base, ours);
+}
+
+double speedup(const RunResult& base, const RunResult& ours) {
+  PARACONV_REQUIRE(ours.total_time > TimeUnits{0},
+                   "total time must be positive");
+  return as_double(base.total_time) / as_double(ours.total_time);
+}
+
+}  // namespace paraconv::core

@@ -1,0 +1,52 @@
+// Run metrics shared by Para-CONV and the baseline, and the comparison
+// helpers the evaluation tables report.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace paraconv::core {
+
+struct RunResult {
+  std::string scheduler;
+
+  /// Steady-state time per application iteration: the kernel period p for
+  /// Para-CONV, the per-iteration makespan L for the baseline (Fig. 5).
+  TimeUnits iteration_time{0};
+
+  /// Maximum retiming value R_max (0 for the non-pipelined baseline;
+  /// Table 2).
+  int r_max{0};
+
+  /// Prologue duration R_max * p.
+  TimeUnits prologue_time{0};
+
+  /// End-to-end time for the requested number of iterations, prologue
+  /// included (Table 1).
+  TimeUnits total_time{0};
+
+  /// Number of IPRs allocated to on-chip cache (Fig. 6) and their volume.
+  std::size_t cached_iprs{0};
+  Bytes cache_bytes_used{};
+
+  /// eDRAM (off-PE) traffic per steady-state iteration: the data-movement
+  /// volume Para-CONV minimizes.
+  Bytes offchip_bytes_per_iteration{};
+
+  /// Busy PE-time divided by available PE-time in steady state.
+  double pe_utilization{0.0};
+};
+
+/// ours/base as a percentage — how Table 1's "IMP (%)" column is actually
+/// computed in the paper (see DESIGN.md).
+double time_ratio_percent(const RunResult& base, const RunResult& ours);
+
+/// (1 - ours/base) * 100 — the "reduction of total execution time" the
+/// paper's text quotes (abstract: 53.42%).
+double time_reduction_percent(const RunResult& base, const RunResult& ours);
+
+/// base/ours — throughput acceleration ("1.87x" in the paper's text).
+double speedup(const RunResult& base, const RunResult& ours);
+
+}  // namespace paraconv::core

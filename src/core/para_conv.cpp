@@ -1,0 +1,169 @@
+#include "core/para_conv.hpp"
+
+#include "alloc/critical_path.hpp"
+#include "alloc/energy_aware.hpp"
+#include "alloc/greedy.hpp"
+#include "alloc/knapsack.hpp"
+#include "alloc/residency.hpp"
+#include "alloc/residency_constrained.hpp"
+#include "common/strings.hpp"
+#include "retiming/retiming.hpp"
+#include "sched/packer.hpp"
+#include "sched/modulo.hpp"
+#include "sched/refine.hpp"
+#include "sched/validator.hpp"
+
+namespace paraconv::core {
+
+const char* to_string(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kKnapsackDp:
+      return "knapsack-dp";
+    case AllocatorKind::kGreedyDensity:
+      return "greedy-density";
+    case AllocatorKind::kGreedyDeadline:
+      return "greedy-deadline";
+    case AllocatorKind::kCriticalPath:
+      return "critical-path";
+    case AllocatorKind::kEnergyAware:
+      return "energy-aware";
+    case AllocatorKind::kResidencyConstrained:
+      return "residency-constrained";
+  }
+  return "unknown";
+}
+
+ParaConv::ParaConv(pim::PimConfig config, ParaConvOptions options)
+    : config_(config), options_(options) {
+  config_.validate();
+  PARACONV_REQUIRE(options_.iterations >= 1,
+                   "at least one iteration required");
+  PARACONV_REQUIRE(options_.knapsack_quantum_bytes >= 1,
+                   "knapsack quantum must be positive");
+}
+
+ParaConvResult ParaConv::schedule(const graph::TaskGraph& g) const {
+  g.validate();
+
+  // Step 1: compacted objective schedule with the minimum period.
+  sched::Packing packing;
+  switch (options_.packer) {
+    case PackerKind::kTopological:
+      packing = sched::pack_topological(g, config_.pe_count);
+      break;
+    case PackerKind::kLpt:
+      packing = sched::pack_ignore_dependencies(g, config_.pe_count);
+      break;
+    case PackerKind::kLocality:
+      packing = sched::pack_locality(g, config_);
+      break;
+    case PackerKind::kModulo:
+      packing = sched::pack_modulo(g, config_);
+      break;
+  }
+  if (options_.refine_steps > 0) {
+    sched::RefineOptions refine;
+    refine.max_steps = options_.refine_steps;
+    packing = sched::refine_packing(g, packing, config_, refine).packing;
+  }
+
+  // Step 2: per-edge retiming-distance pairs (Theorem 3.1 envelope).
+  ParaConvResult result;
+  result.deltas =
+      retiming::compute_edge_deltas(g, packing.placement, packing.period,
+                                    config_);
+
+  // Steps 3-4: cache/eDRAM allocation of the sensitive IPRs, then minimal
+  // legal retiming for the chosen per-edge distances. With residency-aware
+  // mode, the allocation capacity shrinks until the steady-state per-PE
+  // residency peak fits the PE cache.
+  result.items = alloc::build_items(g, packing.placement, result.deltas);
+  const Bytes full_capacity = config_.total_cache_bytes();
+  Bytes capacity = full_capacity;
+  alloc::AllocationResult allocation;
+
+  constexpr int kMaxResidencyRounds = 16;
+  for (int round = 0;; ++round) {
+    switch (options_.allocator) {
+      case AllocatorKind::kKnapsackDp:
+        allocation = alloc::knapsack_allocate(
+            g, result.items,
+            alloc::KnapsackOptions{capacity,
+                                   options_.knapsack_quantum_bytes});
+        break;
+      case AllocatorKind::kGreedyDensity:
+        allocation = alloc::greedy_density_allocate(g, result.items, capacity);
+        break;
+      case AllocatorKind::kGreedyDeadline:
+        allocation =
+            alloc::greedy_deadline_allocate(g, result.items, capacity);
+        break;
+      case AllocatorKind::kCriticalPath:
+        allocation = alloc::critical_path_allocate(g, result.deltas,
+                                                   result.items, capacity);
+        break;
+      case AllocatorKind::kEnergyAware:
+        allocation = alloc::energy_aware_allocate(g, result.deltas,
+                                                  result.items, capacity);
+        break;
+      case AllocatorKind::kResidencyConstrained:
+        allocation = alloc::residency_constrained_allocate(
+            g, packing.placement, packing.period, result.deltas,
+            result.items, config_.pe_cache_bytes);
+        break;
+    }
+
+    std::vector<int> required(g.edge_count());
+    for (const graph::EdgeId e : g.edges()) {
+      required[e.value] = allocation.site[e.value] == pim::AllocSite::kCache
+                              ? result.deltas[e.value].cache
+                              : result.deltas[e.value].edram;
+    }
+    const retiming::Retiming retimed = retiming::minimal_retiming(g, required);
+    PARACONV_CHECK(retiming::is_legal(g, retimed, required),
+                   "minimal retiming must be legal");
+
+    result.kernel.period = packing.period;
+    result.kernel.placement = packing.placement;
+    result.kernel.retiming = retimed.value;
+    result.kernel.distance = std::move(required);
+    result.kernel.allocation = allocation.site;
+
+    if (!options_.residency_aware || allocation.cached_count == 0 ||
+        round == kMaxResidencyRounds) {
+      break;
+    }
+    const alloc::ResidencyProfile residency =
+        alloc::cache_residency(g, result.kernel, config_.pe_count);
+    if (residency.peak <= config_.pe_cache_bytes) break;
+    capacity = Bytes{std::max<std::int64_t>(0, capacity.value * 7 / 10)};
+  }
+
+  const auto issues = sched::validate_kernel_schedule(g, result.kernel,
+                                                      config_, full_capacity);
+  PARACONV_CHECK(issues.empty(),
+                 "Para-CONV emitted an invalid schedule: " +
+                     (issues.empty() ? std::string{} : issues.front()));
+
+  // Metrics.
+  RunResult& m = result.metrics;
+  m.scheduler = "Para-CONV";
+  m.iteration_time = packing.period;
+  m.r_max = result.kernel.r_max();
+  m.prologue_time = packing.period * m.r_max;
+  m.total_time =
+      packing.period * (options_.iterations + m.r_max);
+  m.cached_iprs = allocation.cached_count;
+  m.cache_bytes_used = allocation.cache_bytes_used;
+  for (const graph::EdgeId e : g.edges()) {
+    if (result.kernel.allocation[e.value] == pim::AllocSite::kEdram) {
+      m.offchip_bytes_per_iteration += g.ipr(e).size;
+    }
+  }
+  m.pe_utilization = static_cast<double>(g.total_work().value) /
+                     (static_cast<double>(config_.pe_count) *
+                      static_cast<double>(packing.period.value));
+  return result;
+}
+
+}  // namespace paraconv::core

@@ -1,0 +1,90 @@
+// Para-CONV: the paper's primary contribution (Sec. 3).
+//
+// Pipeline:
+//   1. Pack one iteration's tasks onto the PE array ignoring intra-iteration
+//      precedence — the compacted "initial objective task schedule"
+//      (Sec. 3.3.3) with the minimum period p.
+//   2. Compute each IPR's (delta_cache, delta_edram) retiming-distance pair
+//      (Sec. 3.2, Theorem 3.1) and classify into the six cases of Fig. 4.
+//   3. ΔR = 0 edges go to eDRAM; ΔR > 0 edges compete for the aggregate
+//      cache capacity via the dynamic-programming model (Sec. 3.3.2).
+//   4. The chosen allocation fixes per-edge required distances; the minimal
+//      legal retiming is their longest path, giving R_max and the prologue.
+//
+// The result is a validated KernelSchedule plus the metrics the evaluation
+// tables report.
+#pragma once
+
+#include "alloc/item.hpp"
+#include "core/metrics.hpp"
+#include "pim/config.hpp"
+#include "retiming/delta.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::core {
+
+enum class AllocatorKind {
+  kKnapsackDp,     // the paper's DP (default)
+  kGreedyDensity,  // profit-per-byte heuristic (ablation)
+  kGreedyDeadline, // first-come, deadline order (ablation)
+  kCriticalPath,   // direct R_max minimization (extension, ablation)
+  kEnergyAware,    // min R_max, then max cached traffic (future-work ext.)
+  kResidencyConstrained,  // max profit under per-PE residency feasibility
+};
+
+const char* to_string(AllocatorKind kind);
+
+enum class PackerKind {
+  kTopological,  // precedence-aware compaction (default)
+  kLpt,          // pure longest-processing-time packing (ablation)
+  kLocality,     // topology-aware (mesh/ring) producer-proximity packing
+  kModulo,       // iterative modulo scheduling (compiler-style, extension)
+};
+
+struct ParaConvOptions {
+  /// Application iterations the throughput metric accounts for.
+  std::int64_t iterations{100};
+  AllocatorKind allocator{AllocatorKind::kKnapsackDp};
+  PackerKind packer{PackerKind::kTopological};
+  /// Capacity discretization of the knapsack DP.
+  std::int64_t knapsack_quantum_bytes{256};
+  /// Local-search moves applied to the packing before the delta analysis
+  /// (0 disables; see sched::refine_packing).
+  int refine_steps{0};
+
+  /// Extension: the paper's knapsack treats the PE-array cache as one
+  /// aggregate pool, but a cached IPR occupies its *producer's* cache for
+  /// its whole inter-iteration lifetime, so several in-flight copies can
+  /// overcommit a single PE (observable as eviction fallbacks in the
+  /// machine model). When enabled, the allocation capacity is shrunk
+  /// geometrically until the analytic steady-state residency peak
+  /// (alloc::cache_residency) fits every PE cache.
+  bool residency_aware{false};
+};
+
+struct ParaConvResult {
+  sched::KernelSchedule kernel;
+  RunResult metrics;
+  /// Per-edge delta pairs (exposed for analysis, tests and the case census).
+  std::vector<retiming::EdgeDelta> deltas;
+  /// Deadline-sorted allocation-sensitive items the allocator saw.
+  std::vector<alloc::AllocationItem> items;
+};
+
+class ParaConv {
+ public:
+  explicit ParaConv(pim::PimConfig config, ParaConvOptions options = {});
+
+  /// Schedules `g`; the returned kernel is checked against the independent
+  /// validator before being handed out.
+  ParaConvResult schedule(const graph::TaskGraph& g) const;
+
+  const pim::PimConfig& config() const { return config_; }
+  const ParaConvOptions& options() const { return options_; }
+
+ private:
+  pim::PimConfig config_;
+  ParaConvOptions options_;
+};
+
+}  // namespace paraconv::core

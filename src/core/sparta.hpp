@@ -1,0 +1,57 @@
+// SPARTA-style baseline (paper Sec. 4.2, comparator [6]).
+//
+// SPARTA (Donyanavard et al., CODES'16) is a throughput-aware runtime task
+// allocator for many-core platforms: it characterizes tasks and prioritizes
+// them during allocation, but performs no software pipelining. We
+// reconstruct that contract as a dependency-respecting HEFT-style list
+// scheduler with upward-rank priorities and earliest-finish-time PE
+// selection, plus a first-come greedy cache policy (a runtime allocator has
+// no global lookahead). Each application iteration executes as one
+// non-overlapped schedule of length L, so throughput pays the critical path
+// every iteration. See DESIGN.md Sec. 2 for the substitution rationale.
+#pragma once
+
+#include "core/metrics.hpp"
+#include "pim/config.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::core {
+
+enum class ListPolicy : std::uint8_t {
+  kEft,        // append-only earliest-finish-time (default)
+  kInsertion,  // HEFT insertion policy (fills idle gaps)
+};
+
+struct SpartaOptions {
+  std::int64_t iterations{100};
+  ListPolicy policy{ListPolicy::kEft};
+};
+
+struct SpartaResult {
+  sched::ListScheduleResult schedule;
+  /// Per-edge allocation (indexed by EdgeId::value).
+  std::vector<pim::AllocSite> allocation;
+  RunResult metrics;
+};
+
+class Sparta {
+ public:
+  explicit Sparta(pim::PimConfig config, SpartaOptions options = {});
+
+  SpartaResult schedule(const graph::TaskGraph& g) const;
+
+  const pim::PimConfig& config() const { return config_; }
+
+ private:
+  pim::PimConfig config_;
+  SpartaOptions options_;
+};
+
+/// Views a baseline schedule as a degenerate kernel schedule — period = the
+/// per-iteration makespan, no retiming, distances 0 — so the machine model,
+/// Gantt renderer and trace exporter can replay the baseline with the same
+/// tooling as Para-CONV.
+sched::KernelSchedule to_kernel_schedule(const graph::TaskGraph& g,
+                                         const SpartaResult& result);
+
+}  // namespace paraconv::core

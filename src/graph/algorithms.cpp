@@ -1,0 +1,115 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace paraconv::graph {
+
+std::optional<std::vector<NodeId>> topological_order(const TaskGraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> in_degree(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    in_degree[v] = g.in_edges(NodeId{v}).size();
+  }
+
+  std::queue<NodeId> ready;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push(NodeId{v});
+  }
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (const EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.ipr(e).dst;
+      if (--in_degree[w.value] == 0) ready.push(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool is_acyclic(const TaskGraph& g) { return topological_order(g).has_value(); }
+
+std::vector<NodeId> sources(const TaskGraph& g) {
+  std::vector<NodeId> out;
+  for (const NodeId v : g.nodes()) {
+    if (g.in_edges(v).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> sinks(const TaskGraph& g) {
+  std::vector<NodeId> out;
+  for (const NodeId v : g.nodes()) {
+    if (g.out_edges(v).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+TimeUnits critical_path_length(const TaskGraph& g) {
+  const auto ranks = upward_rank(g);
+  TimeUnits best{0};
+  for (const TimeUnits r : ranks) best = std::max(best, r);
+  return best;
+}
+
+std::vector<TimeUnits> upward_rank(const TaskGraph& g) {
+  const auto order = topological_order(g);
+  PARACONV_REQUIRE(order.has_value(), "upward_rank requires an acyclic graph");
+
+  std::vector<TimeUnits> rank(g.node_count(), TimeUnits{0});
+  // Process in reverse topological order: each node's rank is its own
+  // execution time plus the best successor rank.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    TimeUnits best_succ{0};
+    for (const EdgeId e : g.out_edges(v)) {
+      best_succ = std::max(best_succ, rank[g.ipr(e).dst.value]);
+    }
+    rank[v.value] = g.task(v).exec_time + best_succ;
+  }
+  return rank;
+}
+
+std::vector<int> longest_path_by_edge_weight(const TaskGraph& g,
+                                             const std::vector<int>& weight) {
+  PARACONV_REQUIRE(weight.size() == g.edge_count(),
+                   "one weight per edge required");
+  const auto order = topological_order(g);
+  PARACONV_REQUIRE(order.has_value(),
+                   "longest_path_by_edge_weight requires an acyclic graph");
+
+  std::vector<int> value(g.node_count(), 0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId v = *it;
+    int best = 0;
+    for (const EdgeId e : g.out_edges(v)) {
+      best = std::max(best, value[g.ipr(e).dst.value] + weight[e.value]);
+    }
+    value[v.value] = best;
+  }
+  return value;
+}
+
+DegreeStats degree_stats(const TaskGraph& g) {
+  DegreeStats s;
+  std::size_t total = 0;
+  for (const NodeId v : g.nodes()) {
+    const std::size_t in = g.in_edges(v).size();
+    const std::size_t out = g.out_edges(v).size();
+    s.max_in = std::max(s.max_in, in);
+    s.max_out = std::max(s.max_out, out);
+    total += in + out;
+  }
+  if (g.node_count() > 0) {
+    s.avg_degree =
+        static_cast<double>(total) / static_cast<double>(g.node_count());
+  }
+  return s;
+}
+
+}  // namespace paraconv::graph

@@ -1,0 +1,47 @@
+// Graph algorithms on TaskGraph: topological ordering, acyclicity, critical
+// path, degree statistics. These underpin both the schedulers and the
+// retiming analysis.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace paraconv::graph {
+
+/// Kahn topological order; std::nullopt if the graph has a cycle.
+std::optional<std::vector<NodeId>> topological_order(const TaskGraph& g);
+
+/// True iff the graph has no directed cycle.
+bool is_acyclic(const TaskGraph& g);
+
+/// Nodes with no incoming / no outgoing edges.
+std::vector<NodeId> sources(const TaskGraph& g);
+std::vector<NodeId> sinks(const TaskGraph& g);
+
+/// Length of the longest path measured in summed task execution times
+/// (edges contribute zero). This is the dependency-limited lower bound on a
+/// single iteration's makespan for any non-pipelined scheduler.
+TimeUnits critical_path_length(const TaskGraph& g);
+
+/// Longest path from each node to any sink, measured in execution time of
+/// the node itself plus downstream tasks ("upward rank" with zero
+/// communication). Used as the SPARTA-style scheduling priority.
+std::vector<TimeUnits> upward_rank(const TaskGraph& g);
+
+/// Longest path measured in edge weights supplied per edge (used for the
+/// retiming value computation R_max: weights are the per-edge retiming
+/// distances d_ij). Returns per-node values r(i) with sinks at 0.
+std::vector<int> longest_path_by_edge_weight(const TaskGraph& g,
+                                             const std::vector<int>& weight);
+
+struct DegreeStats {
+  std::size_t max_in{0};
+  std::size_t max_out{0};
+  double avg_degree{0.0};  // average total degree (in + out)
+};
+
+DegreeStats degree_stats(const TaskGraph& g);
+
+}  // namespace paraconv::graph

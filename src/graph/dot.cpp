@@ -1,0 +1,25 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace paraconv::graph {
+
+std::string to_dot(const TaskGraph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box];\n";
+  for (const NodeId v : g.nodes()) {
+    const Task& t = g.task(v);
+    os << "  n" << v.value << " [label=\"" << t.name << "\\n"
+       << to_string(t.kind) << " c=" << t.exec_time.value << "\"];\n";
+  }
+  for (const EdgeId e : g.edges()) {
+    const Ipr& ipr = g.ipr(e);
+    os << "  n" << ipr.src.value << " -> n" << ipr.dst.value << " [label=\""
+       << format_bytes(ipr.size) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace paraconv::graph

@@ -1,0 +1,14 @@
+// Graphviz DOT export for task graphs and annotated allocations.
+#pragma once
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace paraconv::graph {
+
+/// Renders the graph in Graphviz DOT syntax. Node labels show the task name
+/// and execution time; edge labels show the IPR byte size.
+std::string to_dot(const TaskGraph& g);
+
+}  // namespace paraconv::graph

@@ -1,0 +1,257 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace paraconv::graph {
+namespace {
+
+/// Distributes `vertices` nodes across roughly sqrt(vertices) layers, each
+/// layer non-empty, with mild random jitter. Returns per-node layer index;
+/// node ids are assigned in non-decreasing layer order.
+std::vector<std::size_t> assign_layers(std::size_t vertices, Rng& rng) {
+  const auto layer_count = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(std::sqrt(
+             static_cast<double>(vertices)))));
+  // Start from an even split, then jitter by moving nodes between adjacent
+  // layers while keeping every layer non-empty.
+  std::vector<std::size_t> layer_size(layer_count, vertices / layer_count);
+  for (std::size_t i = 0; i < vertices % layer_count; ++i) ++layer_size[i];
+  for (std::size_t step = 0; step < layer_count; ++step) {
+    const auto from = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(layer_count) - 1));
+    const auto to = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(layer_count) - 1));
+    if (layer_size[from] > 1) {
+      --layer_size[from];
+      ++layer_size[to];
+    }
+  }
+
+  std::vector<std::size_t> layer_of;
+  layer_of.reserve(vertices);
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    layer_of.insert(layer_of.end(), layer_size[l], l);
+  }
+  return layer_of;
+}
+
+std::uint64_t edge_key(std::size_t i, std::size_t j, std::size_t n) {
+  return static_cast<std::uint64_t>(i) * n + j;
+}
+
+}  // namespace
+
+TaskGraph generate_layered_dag(const GeneratorConfig& config) {
+  const std::size_t n = config.vertices;
+  const std::size_t m = config.edges;
+  PARACONV_REQUIRE(n >= 2, "generator requires at least two vertices");
+  PARACONV_REQUIRE(m + 1 >= n, "need at least vertices-1 edges to connect");
+  PARACONV_REQUIRE(m <= n * (n - 1) / 2, "edge count exceeds DAG capacity");
+  PARACONV_REQUIRE(config.min_exec >= 1 && config.min_exec <= config.max_exec,
+                   "invalid execution-time range");
+  PARACONV_REQUIRE(
+      config.min_ipr_bytes >= 1 && config.min_ipr_bytes <= config.max_ipr_bytes,
+      "invalid IPR size range");
+
+  Rng rng(config.seed);
+  const std::vector<std::size_t> layer_of = assign_layers(n, rng);
+  const std::size_t layer_count = layer_of.back() + 1;
+
+  // First node index of each layer, for sampling within a layer.
+  std::vector<std::size_t> layer_begin(layer_count + 1, n);
+  for (std::size_t v = n; v-- > 0;) layer_begin[layer_of[v]] = v;
+  layer_begin[layer_count] = n;
+
+  TaskGraph g(config.name);
+  for (std::size_t v = 0; v < n; ++v) {
+    Task t;
+    t.name = config.name + "_T" + std::to_string(v + 1);
+    t.kind = rng.bernoulli(config.pooling_fraction) ? TaskKind::kPooling
+                                                    : TaskKind::kConvolution;
+    t.exec_time =
+        t.kind == TaskKind::kPooling
+            ? TimeUnits{4}
+            : TimeUnits{rng.uniform_int(config.min_exec, config.max_exec)};
+    g.add_task(std::move(t));
+  }
+
+  const auto draw_size = [&] {
+    const std::int64_t raw =
+        rng.uniform_int(config.min_ipr_bytes, config.max_ipr_bytes);
+    return Bytes{std::max<std::int64_t>(64, (raw / 64) * 64)};
+  };
+
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(m * 2);
+  std::size_t added = 0;
+
+  // Connectivity backbone: every node beyond layer 0 receives one in-edge
+  // from a uniformly random node in the previous layer.
+  for (std::size_t v = layer_begin[1]; v < n; ++v) {
+    const std::size_t l = layer_of[v];
+    const std::size_t lo = layer_begin[l - 1];
+    const std::size_t hi = layer_begin[l] - 1;
+    const auto u = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(hi)));
+    used.insert(edge_key(u, v, n));
+    g.add_ipr(NodeId{static_cast<std::uint32_t>(u)},
+              NodeId{static_cast<std::uint32_t>(v)}, draw_size());
+    ++added;
+  }
+  PARACONV_CHECK(added <= m, "backbone exceeded requested edge budget");
+
+  // Extra edges: rejection-sample forward pairs, biased toward adjacent
+  // layers (CNN locality), falling back to exhaustive enumeration if the
+  // random phase stalls near saturation.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 60 * (m + 16);
+  while (added < m && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    std::size_t v;
+    if (rng.bernoulli(config.adjacent_layer_bias) &&
+        layer_of[u] + 1 < layer_count) {
+      const std::size_t l = layer_of[u] + 1;
+      v = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(layer_begin[l]),
+                          static_cast<std::int64_t>(layer_begin[l + 1]) - 1));
+    } else {
+      v = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    if (u >= v) continue;  // keep node-id order == topological order
+    if (!used.insert(edge_key(u, v, n)).second) continue;
+    g.add_ipr(NodeId{static_cast<std::uint32_t>(u)},
+              NodeId{static_cast<std::uint32_t>(v)}, draw_size());
+    ++added;
+  }
+  if (added < m) {
+    // Deterministic sweep over all remaining forward pairs.
+    for (std::size_t u = 0; u < n && added < m; ++u) {
+      for (std::size_t v = u + 1; v < n && added < m; ++v) {
+        if (!used.insert(edge_key(u, v, n)).second) continue;
+        g.add_ipr(NodeId{static_cast<std::uint32_t>(u)},
+                  NodeId{static_cast<std::uint32_t>(v)}, draw_size());
+        ++added;
+      }
+    }
+  }
+  PARACONV_CHECK(added == m, "generator failed to reach requested edge count");
+
+  g.validate();
+  return g;
+}
+
+namespace {
+
+/// Shared sampling helpers for the structured generators.
+class TaskSampler {
+ public:
+  TaskSampler(const GeneratorConfig& config, Rng& rng)
+      : config_(config), rng_(rng) {
+    PARACONV_REQUIRE(
+        config.min_exec >= 1 && config.min_exec <= config.max_exec,
+        "invalid execution-time range");
+    PARACONV_REQUIRE(config.min_ipr_bytes >= 1 &&
+                         config.min_ipr_bytes <= config.max_ipr_bytes,
+                     "invalid IPR size range");
+  }
+
+  Task task(const std::string& name) {
+    Task t;
+    t.name = config_.name + "_" + name;
+    t.kind = rng_.bernoulli(config_.pooling_fraction)
+                 ? TaskKind::kPooling
+                 : TaskKind::kConvolution;
+    t.exec_time = t.kind == TaskKind::kPooling
+                      ? TimeUnits{4}
+                      : TimeUnits{rng_.uniform_int(config_.min_exec,
+                                                   config_.max_exec)};
+    return t;
+  }
+
+  Bytes ipr() {
+    const std::int64_t raw =
+        rng_.uniform_int(config_.min_ipr_bytes, config_.max_ipr_bytes);
+    return Bytes{std::max<std::int64_t>(64, (raw / 64) * 64)};
+  }
+
+ private:
+  const GeneratorConfig& config_;
+  Rng& rng_;
+};
+
+}  // namespace
+
+TaskGraph generate_fork_join(const GeneratorConfig& config, int stages,
+                             int branches, int branch_length) {
+  PARACONV_REQUIRE(stages >= 1 && branches >= 1 && branch_length >= 1,
+                   "fork-join shape parameters must be positive");
+  Rng rng(config.seed);
+  TaskSampler sampler(config, rng);
+
+  TaskGraph g(config.name);
+  NodeId previous_join{};
+  bool has_previous = false;
+  for (int s = 0; s < stages; ++s) {
+    const std::string stage = "s" + std::to_string(s);
+    const NodeId fork = g.add_task(sampler.task(stage + "_fork"));
+    if (has_previous) g.add_ipr(previous_join, fork, sampler.ipr());
+
+    std::vector<NodeId> branch_tails;
+    for (int b = 0; b < branches; ++b) {
+      NodeId prev = fork;
+      for (int k = 0; k < branch_length; ++k) {
+        const NodeId cur = g.add_task(sampler.task(
+            stage + "_b" + std::to_string(b) + "_" + std::to_string(k)));
+        g.add_ipr(prev, cur, sampler.ipr());
+        prev = cur;
+      }
+      branch_tails.push_back(prev);
+    }
+
+    const NodeId join = g.add_task(sampler.task(stage + "_join"));
+    for (const NodeId tail : branch_tails) {
+      g.add_ipr(tail, join, sampler.ipr());
+    }
+    previous_join = join;
+    has_previous = true;
+  }
+  g.validate();
+  return g;
+}
+
+TaskGraph generate_diamond_chain(const GeneratorConfig& config, int stages,
+                                 int width) {
+  PARACONV_REQUIRE(stages >= 1 && width >= 1,
+                   "diamond shape parameters must be positive");
+  Rng rng(config.seed);
+  TaskSampler sampler(config, rng);
+
+  TaskGraph g(config.name);
+  NodeId neck = g.add_task(sampler.task("neck0"));
+  for (int s = 0; s < stages; ++s) {
+    std::vector<NodeId> belly;
+    for (int w = 0; w < width; ++w) {
+      const NodeId n = g.add_task(sampler.task(
+          "d" + std::to_string(s) + "_" + std::to_string(w)));
+      g.add_ipr(neck, n, sampler.ipr());
+      belly.push_back(n);
+    }
+    const NodeId next = g.add_task(sampler.task(
+        "neck" + std::to_string(s + 1)));
+    for (const NodeId n : belly) g.add_ipr(n, next, sampler.ipr());
+    neck = next;
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace paraconv::graph

@@ -1,0 +1,64 @@
+// Seeded synthetic task-graph generator.
+//
+// The paper evaluates on task graphs extracted from CNN applications
+// (GoogLeNet-derived plus nine applications from `cat` to `protein`), only
+// characterizing each by its vertex and edge counts (Table 1). The graphs
+// themselves are not published, so we reconstruct them with a layered-DAG
+// generator that hits the published (|V|, |E|) exactly, with a CNN-like
+// layered topology and deterministic seeding. See DESIGN.md Sec. 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace paraconv::graph {
+
+struct GeneratorConfig {
+  std::string name{"synthetic"};
+  std::size_t vertices{16};
+  std::size_t edges{32};
+  std::uint64_t seed{1};
+
+  /// Task execution times are drawn uniformly from [min_exec, max_exec]
+  /// (abstract time units). The default range keeps transfers (1-16 units
+  /// under the default PIM config) comparable to but not dominating
+  /// execution, as in the paper's examples.
+  std::int64_t min_exec{8};
+  std::int64_t max_exec{32};
+
+  /// IPR sizes are drawn uniformly from [min_ipr_bytes, max_ipr_bytes] and
+  /// rounded to 64-byte lines.
+  std::int64_t min_ipr_bytes{2 * 1024};
+  std::int64_t max_ipr_bytes{16 * 1024};
+
+  /// Fraction of non-sink tasks that are pooling (executed in 4 time units).
+  double pooling_fraction{0.2};
+
+  /// Probability that an extra edge connects adjacent layers (vs. a longer
+  /// skip connection), mimicking CNN locality.
+  double adjacent_layer_bias{0.7};
+};
+
+/// Generates a connected layered DAG with exactly `vertices` nodes and
+/// `edges` edges. Node ids are a valid topological order by construction.
+///
+/// Requires: vertices >= 2, vertices - 1 <= edges <= vertices*(vertices-1)/2.
+TaskGraph generate_layered_dag(const GeneratorConfig& config);
+
+/// Fork-join (inception-style) DAG: a chain of `stages` blocks, each a fork
+/// task, `branches` parallel branch chains of `branch_length` tasks, and a
+/// join task. Mirrors GoogLeNet's repeated inception modules. Exec/size
+/// parameters come from `config`; its vertices/edges fields are ignored.
+TaskGraph generate_fork_join(const GeneratorConfig& config, int stages,
+                             int branches, int branch_length);
+
+/// Wide-then-narrow "diamond chain": alternating expansion to `width`
+/// parallel tasks and contraction to one — the maximally width-oscillating
+/// family, stressing packers and the retiming analysis differently from
+/// the layered generator. Exec/size parameters come from `config`.
+TaskGraph generate_diamond_chain(const GeneratorConfig& config, int stages,
+                                 int width);
+
+}  // namespace paraconv::graph

@@ -1,0 +1,64 @@
+#include "graph/paper_benchmarks.hpp"
+
+#include <algorithm>
+
+#include "graph/generator.hpp"
+
+namespace paraconv::graph {
+
+const std::vector<PaperBenchmark>& paper_benchmarks() {
+  // Vertex/edge counts transcribed from Table 1 of the paper. Seeds are
+  // arbitrary but fixed; they were chosen once and never tuned.
+  static const std::vector<PaperBenchmark> kTable{
+      {"cat", 9, 21, 0xC0FFEE01},
+      {"car", 13, 28, 0xC0FFEE02},
+      {"flower", 21, 51, 0xC0FFEE03},
+      {"character-1", 46, 121, 0xC0FFEE04},
+      {"character-2", 52, 130, 0xC0FFEE05},
+      {"image-compress", 70, 178, 0xC0FFEE06},
+      {"stock-predict", 83, 218, 0xC0FFEE07},
+      {"string-matching", 102, 267, 0xC0FFEE08},
+      {"shortest-path", 191, 506, 0xC0FFEE09},
+      {"speech-1", 247, 652, 0xC0FFEE0A},
+      {"speech-2", 369, 981, 0xC0FFEE0B},
+      {"protein", 546, 1449, 0xC0FFEE0C},
+  };
+  return kTable;
+}
+
+const PaperBenchmark& paper_benchmark(const std::string& name) {
+  const auto& table = paper_benchmarks();
+  const auto it = std::find_if(
+      table.begin(), table.end(),
+      [&](const PaperBenchmark& b) { return b.name == name; });
+  PARACONV_REQUIRE(it != table.end(), "unknown paper benchmark: " + name);
+  return *it;
+}
+
+TaskGraph build_paper_benchmark(const PaperBenchmark& bench) {
+  GeneratorConfig config;
+  config.name = bench.name;
+  config.vertices = bench.vertices;
+  config.edges = bench.edges;
+  config.seed = bench.seed;
+  return generate_layered_dag(config);
+}
+
+TaskGraph motivational_example(Bytes ipr_bytes) {
+  PARACONV_REQUIRE(ipr_bytes > Bytes{0}, "IPR size must be positive");
+  TaskGraph g("motivational");
+  const NodeId t1 = g.add_task({"T1", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId t2 = g.add_task({"T2", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId t3 = g.add_task({"T3", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId t4 = g.add_task({"T4", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId t5 = g.add_task({"T5", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(t1, t2, ipr_bytes);
+  g.add_ipr(t1, t3, ipr_bytes);
+  g.add_ipr(t2, t4, ipr_bytes);  // I_{2,4}
+  g.add_ipr(t2, t5, ipr_bytes);  // I_{2,5}
+  g.add_ipr(t3, t4, ipr_bytes);  // I_{3,4}
+  g.add_ipr(t3, t5, ipr_bytes);  // I_{3,5}
+  return g;
+}
+
+}  // namespace paraconv::graph

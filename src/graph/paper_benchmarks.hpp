@@ -1,0 +1,39 @@
+// The twelve benchmark task graphs of the paper's evaluation (Table 1).
+//
+// Each benchmark is reconstructed with the published vertex/edge counts via
+// the seeded layered-DAG generator; seeds are fixed per benchmark so every
+// run of every harness sees identical graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace paraconv::graph {
+
+struct PaperBenchmark {
+  std::string name;
+  std::size_t vertices;
+  std::size_t edges;
+  std::uint64_t seed;
+};
+
+/// All twelve benchmarks in the paper's Table 1 order
+/// (cat 9/21 ... protein 546/1449).
+const std::vector<PaperBenchmark>& paper_benchmarks();
+
+/// Looks up a benchmark by name; throws ContractViolation if unknown.
+const PaperBenchmark& paper_benchmark(const std::string& name);
+
+/// Builds the reconstructed task graph for one benchmark.
+TaskGraph build_paper_benchmark(const PaperBenchmark& bench);
+
+/// The paper's motivational example (Figs. 2(b)/3, Sec. 2.3): five
+/// unit-time convolutions T1..T5 where T1 feeds T2/T3 and both feed T4/T5
+/// through the IPRs I_{2,4}, I_{2,5}, I_{3,4}, I_{3,5}. `ipr_bytes` sizes
+/// every IPR (the example assumes one IPR fills one PE cache).
+TaskGraph motivational_example(Bytes ipr_bytes = Bytes{8 * 1024});
+
+}  // namespace paraconv::graph

@@ -1,0 +1,128 @@
+#include "graph/serialize.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace paraconv::graph {
+namespace {
+
+TaskKind parse_kind(const std::string& word, int line) {
+  if (word == "conv") return TaskKind::kConvolution;
+  if (word == "pool") return TaskKind::kPooling;
+  if (word == "fc") return TaskKind::kFullyConnected;
+  if (word == "input") return TaskKind::kInput;
+  if (word == "other") return TaskKind::kOther;
+  PARACONV_REQUIRE(false, "line " + std::to_string(line) +
+                              ": unknown task kind '" + word + "'");
+  return TaskKind::kOther;
+}
+
+std::int64_t parse_int(const std::string& word, int line) {
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(word, &consumed);
+    PARACONV_REQUIRE(consumed == word.size(),
+                     "line " + std::to_string(line) + ": trailing characters");
+    return value;
+  } catch (const std::logic_error&) {
+    throw ContractViolation("line " + std::to_string(line) +
+                            ": expected an integer, got '" + word + "'");
+  }
+}
+
+}  // namespace
+
+void write_graph(std::ostream& os, const TaskGraph& g) {
+  os << "paraconv-graph 1\n";
+  os << "name " << g.name() << "\n";
+  for (const NodeId v : g.nodes()) {
+    const Task& t = g.task(v);
+    os << "task " << t.name << " " << to_string(t.kind) << " "
+       << t.exec_time.value;
+    if (t.weights > Bytes{0}) os << " " << t.weights.value;
+    os << "\n";
+  }
+  for (const EdgeId e : g.edges()) {
+    const Ipr& ipr = g.ipr(e);
+    os << "ipr " << ipr.src.value << " " << ipr.dst.value << " "
+       << ipr.size.value << "\n";
+  }
+}
+
+std::string write_graph_string(const TaskGraph& g) {
+  std::ostringstream os;
+  write_graph(os, g);
+  return os.str();
+}
+
+TaskGraph read_graph(std::istream& is) {
+  std::string line;
+  int line_no = 0;
+
+  const auto next_meaningful = [&](std::string* out) {
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      *out = line;
+      return true;
+    }
+    return false;
+  };
+
+  std::string current;
+  PARACONV_REQUIRE(next_meaningful(&current), "empty graph file");
+  PARACONV_REQUIRE(current == "paraconv-graph 1",
+                   "line " + std::to_string(line_no) +
+                       ": missing 'paraconv-graph 1' header");
+
+  TaskGraph g;
+  while (next_meaningful(&current)) {
+    const std::vector<std::string> words = split(current, ' ');
+    PARACONV_REQUIRE(!words.empty(), "line " + std::to_string(line_no) +
+                                         ": empty record");
+    if (words[0] == "name") {
+      PARACONV_REQUIRE(words.size() == 2, "line " + std::to_string(line_no) +
+                                              ": name takes one word");
+      g.set_name(words[1]);
+    } else if (words[0] == "task") {
+      PARACONV_REQUIRE(words.size() == 4 || words.size() == 5,
+                       "line " + std::to_string(line_no) +
+                           ": task expects <name> <kind> <exec> [weights]");
+      Task t;
+      t.name = words[1];
+      t.kind = parse_kind(words[2], line_no);
+      t.exec_time = TimeUnits{parse_int(words[3], line_no)};
+      if (words.size() == 5) {
+        t.weights = Bytes{parse_int(words[4], line_no)};
+      }
+      g.add_task(std::move(t));
+    } else if (words[0] == "ipr") {
+      PARACONV_REQUIRE(words.size() == 4,
+                       "line " + std::to_string(line_no) +
+                           ": ipr expects <src> <dst> <bytes>");
+      const std::int64_t src = parse_int(words[1], line_no);
+      const std::int64_t dst = parse_int(words[2], line_no);
+      PARACONV_REQUIRE(src >= 0 && dst >= 0 &&
+                           src < static_cast<std::int64_t>(g.node_count()) &&
+                           dst < static_cast<std::int64_t>(g.node_count()),
+                       "line " + std::to_string(line_no) +
+                           ": ipr endpoint out of range");
+      g.add_ipr(NodeId{static_cast<std::uint32_t>(src)},
+                NodeId{static_cast<std::uint32_t>(dst)},
+                Bytes{parse_int(words[3], line_no)});
+    } else {
+      PARACONV_REQUIRE(false, "line " + std::to_string(line_no) +
+                                  ": unknown record '" + words[0] + "'");
+    }
+  }
+  g.validate();
+  return g;
+}
+
+TaskGraph read_graph_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_graph(is);
+}
+
+}  // namespace paraconv::graph

@@ -1,0 +1,32 @@
+// Plain-text serialization of task graphs.
+//
+// Line-oriented format, stable across versions:
+//
+//   paraconv-graph 1
+//   name <graph name>
+//   task <name> <kind> <exec_time>
+//   ...
+//   ipr <src_index> <dst_index> <bytes>
+//   ...
+//
+// Task indices refer to `task` line order. Blank lines and lines starting
+// with '#' are ignored. Used to snapshot benchmark graphs and to feed
+// externally-generated applications into the scheduler.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace paraconv::graph {
+
+void write_graph(std::ostream& os, const TaskGraph& g);
+std::string write_graph_string(const TaskGraph& g);
+
+/// Parses a graph; throws ContractViolation with a line number on malformed
+/// input.
+TaskGraph read_graph(std::istream& is);
+TaskGraph read_graph_string(const std::string& text);
+
+}  // namespace paraconv::graph

@@ -1,0 +1,82 @@
+#include "graph/task_graph.hpp"
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+
+namespace paraconv::graph {
+
+const char* to_string(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kConvolution:
+      return "conv";
+    case TaskKind::kPooling:
+      return "pool";
+    case TaskKind::kFullyConnected:
+      return "fc";
+    case TaskKind::kInput:
+      return "input";
+    case TaskKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+NodeId TaskGraph::add_task(Task task) {
+  PARACONV_REQUIRE(task.exec_time > TimeUnits{0},
+                   "task execution time must be positive");
+  const NodeId id{static_cast<std::uint32_t>(tasks_.size())};
+  tasks_.push_back(std::move(task));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId TaskGraph::add_ipr(NodeId src, NodeId dst, Bytes size) {
+  PARACONV_REQUIRE(src.value < tasks_.size(), "edge source must exist");
+  PARACONV_REQUIRE(dst.value < tasks_.size(), "edge target must exist");
+  PARACONV_REQUIRE(src != dst, "self-loops are not allowed");
+  PARACONV_REQUIRE(size > Bytes{0}, "IPR size must be positive");
+  const EdgeId id{static_cast<std::uint32_t>(iprs_.size())};
+  iprs_.push_back(Ipr{src, dst, size});
+  out_[src.value].push_back(id);
+  in_[dst.value].push_back(id);
+  return id;
+}
+
+std::vector<NodeId> TaskGraph::nodes() const {
+  std::vector<NodeId> ids(tasks_.size());
+  for (std::uint32_t i = 0; i < tasks_.size(); ++i) ids[i] = NodeId{i};
+  return ids;
+}
+
+std::vector<EdgeId> TaskGraph::edges() const {
+  std::vector<EdgeId> ids(iprs_.size());
+  for (std::uint32_t i = 0; i < iprs_.size(); ++i) ids[i] = EdgeId{i};
+  return ids;
+}
+
+TimeUnits TaskGraph::total_work() const {
+  return std::accumulate(
+      tasks_.begin(), tasks_.end(), TimeUnits{0},
+      [](TimeUnits acc, const Task& t) { return acc + t.exec_time; });
+}
+
+Bytes TaskGraph::total_ipr_bytes() const {
+  return std::accumulate(
+      iprs_.begin(), iprs_.end(), Bytes{0},
+      [](Bytes acc, const Ipr& e) { return acc + e.size; });
+}
+
+TimeUnits TaskGraph::max_exec_time() const {
+  TimeUnits best{0};
+  for (const Task& t : tasks_) best = std::max(best, t.exec_time);
+  return best;
+}
+
+void TaskGraph::validate() const {
+  PARACONV_REQUIRE(!tasks_.empty(), "graph must contain at least one task");
+  PARACONV_REQUIRE(is_acyclic(*this), "task graph must be acyclic");
+}
+
+}  // namespace paraconv::graph

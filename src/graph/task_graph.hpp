@@ -1,0 +1,131 @@
+// Task-graph application model (paper Sec. 2.2).
+//
+// A CNN application is a weighted DAG G = (V, E, P, R): each vertex is a
+// convolution/pooling task executed once per iteration (period p); each
+// directed edge (V_i, V_j) is an *intermediate processing result* (IPR)
+// I_{i,j} produced by V_i and consumed by V_j. IPRs carry a byte size used by
+// the cache-capacity-constrained allocation (paper Sec. 3.3) and the PIM
+// machine model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace paraconv::graph {
+
+/// Strongly-typed vertex handle.
+struct NodeId {
+  std::uint32_t value{0};
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// Strongly-typed edge (IPR) handle.
+struct EdgeId {
+  std::uint32_t value{0};
+  friend constexpr auto operator<=>(EdgeId, EdgeId) = default;
+};
+
+/// Functional role of a task (paper partitions applications by
+/// convolution/pooling functionality, Sec. 4.1).
+enum class TaskKind : std::uint8_t {
+  kConvolution,
+  kPooling,
+  kFullyConnected,
+  kInput,
+  kOther,
+};
+
+const char* to_string(TaskKind kind);
+
+/// One convolution/pooling operation V_i with execution time c_i.
+struct Task {
+  std::string name;
+  TaskKind kind{TaskKind::kConvolution};
+  TimeUnits exec_time{1};
+  /// Filter-weight footprint the task reads each execution (0 = weightless
+  /// or pinned; populated by the CNN lowering, consumed by the machine
+  /// model when PimConfig::weights_resident is false).
+  Bytes weights{0};
+};
+
+/// One intermediate processing result I_{i,j} (directed edge).
+struct Ipr {
+  NodeId src;
+  NodeId dst;
+  Bytes size{1};
+};
+
+/// Directed acyclic task graph with byte-weighted edges.
+///
+/// Invariants: no self-loops; endpoints of every edge are valid node ids.
+/// Acyclicity is a property of how callers build the graph; it is checked by
+/// `paraconv::graph::is_acyclic` and enforced by `validate`.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a task; returns its id. Execution time must be positive.
+  NodeId add_task(Task task);
+
+  /// Adds an IPR edge from src to dst; returns its id.
+  /// Requires valid, distinct endpoints and positive size.
+  EdgeId add_ipr(NodeId src, NodeId dst, Bytes size);
+
+  std::size_t node_count() const { return tasks_.size(); }
+  std::size_t edge_count() const { return iprs_.size(); }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const Task& task(NodeId id) const {
+    PARACONV_REQUIRE(id.value < tasks_.size(), "invalid node id");
+    return tasks_[id.value];
+  }
+  Task& task(NodeId id) {
+    PARACONV_REQUIRE(id.value < tasks_.size(), "invalid node id");
+    return tasks_[id.value];
+  }
+  const Ipr& ipr(EdgeId id) const {
+    PARACONV_REQUIRE(id.value < iprs_.size(), "invalid edge id");
+    return iprs_[id.value];
+  }
+
+  /// Edge ids leaving / entering a node.
+  const std::vector<EdgeId>& out_edges(NodeId id) const {
+    PARACONV_REQUIRE(id.value < out_.size(), "invalid node id");
+    return out_[id.value];
+  }
+  const std::vector<EdgeId>& in_edges(NodeId id) const {
+    PARACONV_REQUIRE(id.value < in_.size(), "invalid node id");
+    return in_[id.value];
+  }
+
+  /// All node ids in insertion order.
+  std::vector<NodeId> nodes() const;
+  /// All edge ids in insertion order.
+  std::vector<EdgeId> edges() const;
+
+  /// Sum of task execution times (the per-iteration work W).
+  TimeUnits total_work() const;
+  /// Sum of IPR byte sizes.
+  Bytes total_ipr_bytes() const;
+  /// Largest single task execution time.
+  TimeUnits max_exec_time() const;
+
+  /// Throws ContractViolation if the graph contains a cycle or has no nodes.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<Ipr> iprs_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace paraconv::graph

@@ -1,0 +1,38 @@
+#include "graph/unfold.hpp"
+
+namespace paraconv::graph {
+
+TaskGraph unfold(const TaskGraph& g, int factor) {
+  PARACONV_REQUIRE(factor >= 1, "unfold factor must be positive");
+  g.validate();
+
+  TaskGraph out(g.name() + "_x" + std::to_string(factor));
+  for (int k = 0; k < factor; ++k) {
+    for (const NodeId v : g.nodes()) {
+      Task task = g.task(v);
+      task.name += "@" + std::to_string(k);
+      out.add_task(std::move(task));
+    }
+  }
+  const auto n = static_cast<std::uint32_t>(g.node_count());
+  for (int k = 0; k < factor; ++k) {
+    const std::uint32_t base = static_cast<std::uint32_t>(k) * n;
+    for (const EdgeId e : g.edges()) {
+      const Ipr& ipr = g.ipr(e);
+      out.add_ipr(NodeId{base + ipr.src.value}, NodeId{base + ipr.dst.value},
+                  ipr.size);
+    }
+  }
+  return out;
+}
+
+UnfoldedId unfold_origin(const TaskGraph& original, NodeId unfolded_node) {
+  const auto n = static_cast<std::uint32_t>(original.node_count());
+  PARACONV_REQUIRE(n > 0, "original graph must be non-empty");
+  UnfoldedId id;
+  id.original = NodeId{unfolded_node.value % n};
+  id.copy = static_cast<int>(unfolded_node.value / n);
+  return id;
+}
+
+}  // namespace paraconv::graph

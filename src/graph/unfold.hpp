@@ -1,0 +1,30 @@
+// Iteration unfolding (unrolling).
+//
+// Classic companion to retiming in periodic dataflow scheduling: schedule
+// `factor` consecutive application iterations as one super-iteration. The
+// unfolded graph is `factor` disjoint copies of the original (iterations
+// are independent in the paper's model — all cross-iteration coupling comes
+// from the retiming transformation itself). Unfolding reduces the packing
+// quantization loss: the super-period covers `factor` inputs, so the
+// effective per-iteration period can drop below the single-iteration
+// optimum when task granularity is coarse relative to p.
+#pragma once
+
+#include "graph/task_graph.hpp"
+
+namespace paraconv::graph {
+
+/// `factor` disjoint copies of `g`; copy k's task names carry an "@k"
+/// suffix. Node/edge ids are copy-major: original id v in copy k maps to
+/// k * g.node_count() + v (same for edges).
+TaskGraph unfold(const TaskGraph& g, int factor);
+
+/// Maps an unfolded node id back to (original node, copy index).
+struct UnfoldedId {
+  NodeId original;
+  int copy{0};
+};
+
+UnfoldedId unfold_origin(const TaskGraph& original, NodeId unfolded_node);
+
+}  // namespace paraconv::graph

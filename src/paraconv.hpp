@@ -1,0 +1,72 @@
+// Umbrella header: the full public API of the Para-CONV library.
+//
+// Quick start:
+//
+//   #include "paraconv.hpp"
+//
+//   auto g = paraconv::graph::build_paper_benchmark(
+//       paraconv::graph::paper_benchmark("flower"));
+//   paraconv::core::ParaConv scheduler(
+//       paraconv::pim::PimConfig::neurocube(32));
+//   auto result = scheduler.schedule(g);
+//   // result.kernel    — validated periodic schedule (period, placement,
+//   //                    retiming, per-IPR cache/eDRAM allocation)
+//   // result.metrics   — throughput / prologue / cache metrics
+#pragma once
+
+#include "alloc/critical_path.hpp"
+#include "alloc/energy_aware.hpp"
+#include "alloc/greedy.hpp"
+#include "alloc/item.hpp"
+#include "alloc/knapsack.hpp"
+#include "alloc/residency.hpp"
+#include "alloc/residency_constrained.hpp"
+#include "alloc/optimal.hpp"
+#include "cnn/builders.hpp"
+#include "cnn/layer.hpp"
+#include "cnn/lowering.hpp"
+#include "cnn/network.hpp"
+#include "cnn/reference_ops.hpp"
+#include "cnn/shape.hpp"
+#include "cnn/tensor.hpp"
+#include "common/check.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/analysis.hpp"
+#include "core/colocate.hpp"
+#include "core/metrics.hpp"
+#include "core/para_conv.hpp"
+#include "core/sparta.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/dot.hpp"
+#include "graph/generator.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "graph/serialize.hpp"
+#include "graph/unfold.hpp"
+#include "graph/task_graph.hpp"
+#include "pim/cache.hpp"
+#include "pim/config.hpp"
+#include "pim/energy.hpp"
+#include "pim/interconnect.hpp"
+#include "pim/machine.hpp"
+#include "pim/vault.hpp"
+#include "retiming/cases.hpp"
+#include "retiming/delta.hpp"
+#include "retiming/retiming.hpp"
+#include "retiming/transform.hpp"
+#include "report/csv.hpp"
+#include "report/gantt.hpp"
+#include "report/json.hpp"
+#include "report/trace.hpp"
+#include "sched/bounds.hpp"
+#include "sched/latency.hpp"
+#include "sched/modulo.hpp"
+#include "sched/packer.hpp"
+#include "sched/prologue.hpp"
+#include "sched/refine.hpp"
+#include "sched/schedule.hpp"
+#include "sched/validator.hpp"

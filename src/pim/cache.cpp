@@ -1,0 +1,58 @@
+#include "pim/cache.hpp"
+
+#include <algorithm>
+
+namespace paraconv::pim {
+
+bool Cache::access(std::uint64_t block) {
+  const auto it = index_.find(block);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+bool Cache::insert(std::uint64_t block, Bytes size) {
+  PARACONV_REQUIRE(size > Bytes{0}, "block size must be positive");
+  if (size > capacity_) return false;
+
+  if (const auto it = index_.find(block); it != index_.end()) {
+    // Refresh: remove the old copy, fall through to re-insert.
+    used_ = used_ - it->second->size;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+
+  while (used_ + size > capacity_) evict_lru();
+
+  lru_.push_front(Entry{block, size});
+  index_[block] = lru_.begin();
+  used_ += size;
+  stats_.peak_used = std::max(stats_.peak_used, used_);
+  ++stats_.insertions;
+  stats_.bytes_inserted += size;
+  return true;
+}
+
+void Cache::erase(std::uint64_t block) {
+  const auto it = index_.find(block);
+  if (it == index_.end()) return;
+  used_ = used_ - it->second->size;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void Cache::evict_lru() {
+  PARACONV_CHECK(!lru_.empty(), "evicting from an empty cache");
+  const Entry victim = lru_.back();
+  lru_.pop_back();
+  index_.erase(victim.block);
+  used_ = used_ - victim.size;
+  ++stats_.evictions;
+  stats_.bytes_evicted += victim.size;
+}
+
+}  // namespace paraconv::pim

@@ -1,0 +1,75 @@
+// Per-PE data cache model with LRU replacement and access statistics.
+//
+// The cache holds intermediate processing results between their production
+// and their (last) consumption. The allocator treats the PE-array cache as a
+// single capacity-S pool (paper Sec. 3.3); the machine model additionally
+// tracks per-PE residency and counts spills when the static allocation
+// over-commits a PE at runtime.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace paraconv::pim {
+
+struct CacheStats {
+  std::int64_t hits{0};
+  std::int64_t misses{0};
+  std::int64_t insertions{0};
+  std::int64_t evictions{0};
+  Bytes bytes_inserted{};
+  Bytes bytes_evicted{};
+  /// High-water mark of concurrent occupancy (for cross-checking the
+  /// analytic residency profile).
+  Bytes peak_used{};
+};
+
+/// LRU cache keyed by an opaque 64-bit block id (IPR instance id).
+class Cache {
+ public:
+  explicit Cache(Bytes capacity) : capacity_(capacity) {
+    PARACONV_REQUIRE(capacity > Bytes{0}, "cache capacity must be positive");
+  }
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+
+  /// True iff the block is resident; refreshes LRU position and counts a
+  /// hit/miss.
+  bool access(std::uint64_t block);
+
+  /// Non-mutating residency probe (no stats, no LRU update).
+  bool contains(std::uint64_t block) const {
+    return index_.contains(block);
+  }
+
+  /// Inserts a block, evicting LRU entries as needed. Blocks larger than
+  /// the capacity are rejected (returns false) — they can only live in
+  /// eDRAM. Re-inserting a resident block refreshes it.
+  bool insert(std::uint64_t block, Bytes size);
+
+  /// Removes a block if resident (a consumed IPR frees its space).
+  void erase(std::uint64_t block);
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t block;
+    Bytes size;
+  };
+
+  void evict_lru();
+
+  Bytes capacity_;
+  Bytes used_{};
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace paraconv::pim

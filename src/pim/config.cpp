@@ -1,0 +1,90 @@
+#include "pim/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paraconv::pim {
+
+const char* to_string(NocTopology topology) {
+  switch (topology) {
+    case NocTopology::kCrossbar:
+      return "crossbar";
+    case NocTopology::kMesh2D:
+      return "mesh2d";
+    case NocTopology::kRing:
+      return "ring";
+  }
+  return "unknown";
+}
+
+const char* to_string(AllocSite site) {
+  switch (site) {
+    case AllocSite::kCache:
+      return "cache";
+    case AllocSite::kEdram:
+      return "eDRAM";
+  }
+  return "unknown";
+}
+
+TimeUnits PimConfig::transfer_time(AllocSite site, Bytes size) const {
+  PARACONV_REQUIRE(size >= Bytes{0}, "transfer size must be non-negative");
+  const std::int64_t bw = site == AllocSite::kCache ? cache_bytes_per_unit
+                                                    : edram_bytes_per_unit;
+  return TimeUnits{std::max<std::int64_t>(1, ceil_div(size.value, bw))};
+}
+
+int PimConfig::hop_count(int src_pe, int dst_pe) const {
+  PARACONV_REQUIRE(src_pe >= 0 && src_pe < pe_count, "invalid source PE");
+  PARACONV_REQUIRE(dst_pe >= 0 && dst_pe < pe_count, "invalid destination PE");
+  if (src_pe == dst_pe) return 0;
+  switch (topology) {
+    case NocTopology::kCrossbar:
+      return 1;
+    case NocTopology::kMesh2D: {
+      const int width = static_cast<int>(
+          std::ceil(std::sqrt(static_cast<double>(pe_count))));
+      const int dx = std::abs(src_pe % width - dst_pe % width);
+      const int dy = std::abs(src_pe / width - dst_pe / width);
+      return dx + dy;
+    }
+    case NocTopology::kRing: {
+      const int direct = std::abs(src_pe - dst_pe);
+      return std::min(direct, pe_count - direct);
+    }
+  }
+  return 1;
+}
+
+TimeUnits PimConfig::noc_latency(int src_pe, int dst_pe) const {
+  if (topology == NocTopology::kCrossbar || src_pe == dst_pe) {
+    return TimeUnits{0};
+  }
+  return TimeUnits{hop_count(src_pe, dst_pe) * noc_hop_units};
+}
+
+void PimConfig::validate() const {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  PARACONV_REQUIRE(pe_cache_bytes > Bytes{0}, "PE cache must be non-empty");
+  PARACONV_REQUIRE(vault_count >= 1, "at least one vault required");
+  PARACONV_REQUIRE(cache_bytes_per_unit >= 1 && edram_bytes_per_unit >= 1,
+                   "bandwidths must be positive");
+  PARACONV_REQUIRE(cache_bytes_per_unit >= edram_bytes_per_unit,
+                   "cache must be at least as fast as eDRAM");
+  PARACONV_REQUIRE(cache_pj_per_byte > 0 && edram_pj_per_byte > 0 &&
+                       noc_pj_per_byte >= 0 && compute_pj_per_unit >= 0,
+                   "energy constants must be positive");
+  PARACONV_REQUIRE(edram_pj_per_byte >= cache_pj_per_byte,
+                   "eDRAM access must cost at least as much as cache");
+  PARACONV_REQUIRE(noc_hop_units >= 0, "hop latency must be non-negative");
+}
+
+PimConfig PimConfig::neurocube(int pe_count) {
+  PimConfig cfg;
+  cfg.pe_count = pe_count;
+  cfg.vault_count = std::max(16, pe_count / 4);
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace paraconv::pim

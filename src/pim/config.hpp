@@ -1,0 +1,96 @@
+// PIM architecture configuration (paper Sec. 2.1 / Sec. 4.1).
+//
+// Models a Neurocube-class 3D-stacked memory: an array of processing engines
+// (each with pFIFO, ALU datapath, register file and a small data cache) on
+// the logic die, connected by a crossbar and through TSVs to eDRAM vaults in
+// the stacked tiers. The paper's key architectural facts:
+//   * the whole PE array has only 100-300 KB of cache (Sec. 2.3),
+//   * an eDRAM fetch costs 2-10x the time/energy of an on-chip cache access
+//     (Sec. 2.2, refs [7,14]),
+//   * up to 64 PEs with crossbar interconnection (Sec. 4.1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace paraconv::pim {
+
+/// Where an intermediate processing result lives (paper: on-chip cache in
+/// the PE array, or eDRAM in the 3D-stacked memory).
+enum class AllocSite : std::uint8_t { kCache, kEdram };
+
+const char* to_string(AllocSite site);
+
+/// On-chip network joining the PEs. The paper evaluates a crossbar
+/// (Sec. 4.1); mesh and ring model the "other emerging PIM architectures"
+/// of its future-work section. A crossbar delivers any hand-off in the
+/// base transfer time; mesh/ring add per-hop router latency that the
+/// retiming analysis sees and compensates for.
+enum class NocTopology : std::uint8_t { kCrossbar, kMesh2D, kRing };
+
+const char* to_string(NocTopology topology);
+
+struct PimConfig {
+  /// Number of processing engines (16/32/64 in the evaluation).
+  int pe_count{16};
+
+  /// Data-cache capacity per PE. 16 KiB x 16 PEs = 256 KiB, inside the
+  /// paper's 100-300 KB envelope for the whole array.
+  Bytes pe_cache_bytes{16 * 1024};
+
+  /// Number of eDRAM vaults reachable over TSVs.
+  int vault_count{16};
+
+  /// Transfer bandwidth used to derive IPR transfer times, in bytes per
+  /// abstract time unit. The cache:eDRAM ratio is the paper's 2-10x knob
+  /// (default 8x, inside the envelope of [7,14]).
+  std::int64_t cache_bytes_per_unit{4 * 1024};
+  std::int64_t edram_bytes_per_unit{512};
+
+  /// Energy model (DESTINY-flavoured constants, pJ per byte moved).
+  double cache_pj_per_byte{0.11};
+  double edram_pj_per_byte{0.66};
+  /// Crossbar hop energy between distinct PEs.
+  double noc_pj_per_byte{0.05};
+  /// Compute energy per task time unit (amortized MAC array activity).
+  double compute_pj_per_unit{640.0};
+
+  /// PE-to-PE network shape and per-hop router latency (time units).
+  /// Crossbar hand-offs add nothing beyond the base transfer time.
+  NocTopology topology{NocTopology::kCrossbar};
+  std::int64_t noc_hop_units{1};
+
+  /// When true (default), filter weights are pinned in PE-local storage
+  /// and cost nothing at runtime; when false, every task execution streams
+  /// its weight footprint from the eDRAM vaults (the paper's "several
+  /// hundreds of megabytes for filter weight storage" pressure).
+  bool weights_resident{true};
+
+  /// Aggregate cache capacity of the PE array — the knapsack capacity S.
+  Bytes total_cache_bytes() const {
+    return Bytes{static_cast<std::int64_t>(pe_count) * pe_cache_bytes.value};
+  }
+
+  /// Transfer time of `size` bytes from the given site, in time units.
+  /// At least 1 (an IPR hand-off is never free).
+  TimeUnits transfer_time(AllocSite site, Bytes size) const;
+
+  /// Router hops between two PEs under the configured topology
+  /// (0 for src == dst; crossbar counts any remote PE as one hop).
+  int hop_count(int src_pe, int dst_pe) const;
+
+  /// Extra on-chip-network latency of a cross-PE hand-off: zero for the
+  /// crossbar (folded into the base transfer), hops * noc_hop_units for
+  /// mesh/ring.
+  TimeUnits noc_latency(int src_pe, int dst_pe) const;
+
+  /// Throws ContractViolation if any field is out of range.
+  void validate() const;
+
+  /// The three evaluation configurations of the paper (16/32/64 PEs).
+  static PimConfig neurocube(int pe_count);
+};
+
+}  // namespace paraconv::pim

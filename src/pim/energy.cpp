@@ -1,0 +1,3 @@
+#include "pim/energy.hpp"
+
+// Header-only; translation unit anchors the component in the build.

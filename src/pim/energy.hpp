@@ -1,0 +1,54 @@
+// Energy accounting for the PIM machine model.
+//
+// The paper defers energy study to future work (Sec. 5); we implement the
+// straightforward model its architecture implies — per-byte costs for cache,
+// eDRAM and crossbar traffic plus amortized compute energy — so the
+// `energy_explorer` example and the memory-ratio ablation can quantify it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "pim/config.hpp"
+
+namespace paraconv::pim {
+
+struct EnergyBreakdown {
+  Picojoules cache{};
+  Picojoules edram{};
+  Picojoules noc{};
+  Picojoules compute{};
+
+  Picojoules total() const { return cache + edram + noc + compute; }
+};
+
+/// Accumulates energy events against a fixed configuration.
+class EnergyModel {
+ public:
+  explicit EnergyModel(const PimConfig& config) : config_(config) {}
+
+  void on_cache_access(Bytes size) {
+    breakdown_.cache +=
+        Picojoules{config_.cache_pj_per_byte * static_cast<double>(size.value)};
+  }
+  void on_edram_access(Bytes size) {
+    breakdown_.edram +=
+        Picojoules{config_.edram_pj_per_byte * static_cast<double>(size.value)};
+  }
+  void on_noc_transfer(Bytes size) {
+    breakdown_.noc +=
+        Picojoules{config_.noc_pj_per_byte * static_cast<double>(size.value)};
+  }
+  void on_compute(TimeUnits busy) {
+    breakdown_.compute += Picojoules{config_.compute_pj_per_unit *
+                                     static_cast<double>(busy.value)};
+  }
+
+  const EnergyBreakdown& breakdown() const { return breakdown_; }
+
+ private:
+  PimConfig config_;
+  EnergyBreakdown breakdown_;
+};
+
+}  // namespace paraconv::pim

@@ -1,0 +1,16 @@
+#include "pim/interconnect.hpp"
+
+namespace paraconv::pim {
+
+TimeUnits Interconnect::transfer(int src, int dst, Bytes size) {
+  PARACONV_REQUIRE(src >= 0 && src < pe_count_, "invalid source PE");
+  PARACONV_REQUIRE(dst >= 0 && dst < pe_count_, "invalid destination PE");
+  PARACONV_REQUIRE(size > Bytes{0}, "transfer size must be positive");
+  if (src == dst) return TimeUnits{0};
+  ++stats_.messages;
+  stats_.bytes_moved += size;
+  return TimeUnits{std::max<std::int64_t>(
+      1, ceil_div(size.value, bytes_per_unit_))};
+}
+
+}  // namespace paraconv::pim

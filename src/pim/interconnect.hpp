@@ -1,0 +1,39 @@
+// Crossbar interconnect between PEs (paper Sec. 4.1: "up to 64 processing
+// engines with cross-bar interconnection"). A crossbar gives uniform
+// single-hop latency between any pair of distinct PEs; same-PE transfers are
+// free (register-file/pFIFO local).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace paraconv::pim {
+
+struct InterconnectStats {
+  std::int64_t messages{0};
+  Bytes bytes_moved{};
+};
+
+class Interconnect {
+ public:
+  Interconnect(int pe_count, std::int64_t bytes_per_unit)
+      : pe_count_(pe_count), bytes_per_unit_(bytes_per_unit) {
+    PARACONV_REQUIRE(pe_count >= 1, "interconnect needs at least one PE");
+    PARACONV_REQUIRE(bytes_per_unit >= 1, "link bandwidth must be positive");
+  }
+
+  /// Latency to move `size` bytes from PE `src` to PE `dst`.
+  /// Zero for src == dst.
+  TimeUnits transfer(int src, int dst, Bytes size);
+
+  const InterconnectStats& stats() const { return stats_; }
+
+ private:
+  int pe_count_;
+  std::int64_t bytes_per_unit_;
+  InterconnectStats stats_;
+};
+
+}  // namespace paraconv::pim

@@ -1,0 +1,259 @@
+#include "pim/machine.hpp"
+
+#include <algorithm>
+
+#include "retiming/delta.hpp"
+
+namespace paraconv::pim {
+namespace {
+
+/// One timed event in the replay: an IPR instance being produced (stored)
+/// or consumed (loaded), or a task executing.
+struct Event {
+  enum class Kind : std::uint8_t { kProduce, kConsume, kExecute };
+
+  TimeUnits time{};
+  Kind kind{Kind::kExecute};
+  graph::EdgeId edge{};
+  graph::NodeId node{};
+  std::int64_t iteration{0};
+  int pe{0};
+};
+
+std::uint64_t block_id(graph::EdgeId edge, std::int64_t iteration) {
+  return (static_cast<std::uint64_t>(edge.value) << 32) ^
+         static_cast<std::uint64_t>(iteration);
+}
+
+}  // namespace
+
+const char* to_string(MemoryEvent::Kind kind) {
+  switch (kind) {
+    case MemoryEvent::Kind::kCacheInsert:
+      return "cache-insert";
+    case MemoryEvent::Kind::kCacheHit:
+      return "cache-hit";
+    case MemoryEvent::Kind::kCacheFallback:
+      return "cache-fallback";
+    case MemoryEvent::Kind::kVaultWrite:
+      return "vault-write";
+    case MemoryEvent::Kind::kVaultRead:
+      return "vault-read";
+    case MemoryEvent::Kind::kNocTransfer:
+      return "noc-transfer";
+    case MemoryEvent::Kind::kWeightFetch:
+      return "weight-fetch";
+  }
+  return "unknown";
+}
+
+Machine::Machine(const PimConfig& config) : config_(config) {
+  config_.validate();
+}
+
+MachineStats Machine::run(const graph::TaskGraph& g,
+                          const sched::KernelSchedule& kernel,
+                          const MachineRunOptions& options) {
+  PARACONV_REQUIRE(options.iterations >= 1,
+                   "at least one iteration required");
+  PARACONV_REQUIRE(kernel.allocation.size() == g.edge_count(),
+                   "kernel schedule does not match graph");
+
+  const sched::ExpandedSchedule expanded =
+      sched::expand_schedule(g, kernel, options.iterations);
+
+  // Components.
+  std::vector<Cache> caches;
+  caches.reserve(static_cast<std::size_t>(config_.pe_count));
+  for (int pe = 0; pe < config_.pe_count; ++pe) {
+    caches.emplace_back(config_.pe_cache_bytes);
+  }
+  std::vector<Vault> vaults;
+  vaults.reserve(static_cast<std::size_t>(config_.vault_count));
+  for (int v = 0; v < config_.vault_count; ++v) {
+    vaults.emplace_back(v, config_.edram_bytes_per_unit);
+  }
+  Interconnect noc(config_.pe_count, config_.cache_bytes_per_unit);
+  EnergyModel energy(config_);
+
+  // Build the event timeline: per task instance one execute event, per
+  // in-edge one consume event at the instance start, and per out-edge one
+  // produce event at the instance finish.
+  std::vector<Event> events;
+  events.reserve(expanded.instances.size() * 3);
+  std::vector<TimeUnits> pe_busy(static_cast<std::size_t>(config_.pe_count),
+                                 TimeUnits{0});
+
+  for (const sched::TaskInstance& inst : expanded.instances) {
+    const TimeUnits finish = inst.start + g.task(inst.node).exec_time;
+    events.push_back(Event{inst.start, Event::Kind::kExecute, {}, inst.node,
+                           inst.iteration, inst.pe});
+    for (const graph::EdgeId e : g.in_edges(inst.node)) {
+      events.push_back(Event{inst.start, Event::Kind::kConsume, e, inst.node,
+                             inst.iteration, inst.pe});
+    }
+    for (const graph::EdgeId e : g.out_edges(inst.node)) {
+      events.push_back(Event{finish, Event::Kind::kProduce, e, inst.node,
+                             inst.iteration, inst.pe});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    // Produces before consumes at equal timestamps: a hand-off completing
+    // exactly at a consumer's start is legal.
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+
+  MachineStats stats;
+  const int r_max = kernel.r_max();
+
+  const auto notify = [&options](MemoryEvent::Kind kind, graph::EdgeId edge,
+                                 int pe, Bytes bytes, TimeUnits time) {
+    if (options.observer) {
+      options.observer(MemoryEvent{time, kind, edge, pe, bytes});
+    }
+  };
+
+  // Vault queueing diagnostics: busy-until horizon per vault.
+  std::vector<TimeUnits> vault_busy_until(
+      static_cast<std::size_t>(config_.vault_count), TimeUnits{0});
+  const auto vault_access = [&](std::size_t vault_idx, TimeUnits at,
+                                TimeUnits service) {
+    TimeUnits& busy = vault_busy_until[vault_idx];
+    if (busy > at) {
+      ++stats.vault_contention_events;
+      stats.vault_wait_time += busy - at;
+      busy += service;
+    } else {
+      busy = at + service;
+    }
+  };
+
+  for (const Event& ev : events) {
+    switch (ev.kind) {
+      case Event::Kind::kExecute: {
+        ++stats.tasks_executed;
+        const graph::Task& task = g.task(ev.node);
+        pe_busy[static_cast<std::size_t>(ev.pe)] += task.exec_time;
+        energy.on_compute(task.exec_time);
+        if (!config_.weights_resident && task.weights > Bytes{0}) {
+          const std::size_t vault_idx =
+              ev.node.value % static_cast<std::size_t>(config_.vault_count);
+          const TimeUnits service = vaults[vault_idx].read(task.weights);
+          vault_access(vault_idx, ev.time, service);
+          ++stats.edram_accesses;
+          stats.edram_bytes += task.weights;
+          stats.weight_bytes += task.weights;
+          energy.on_edram_access(task.weights);
+          notify(MemoryEvent::Kind::kWeightFetch, graph::EdgeId{}, ev.pe,
+                 task.weights, ev.time);
+        }
+        break;
+      }
+      case Event::Kind::kProduce: {
+        const graph::Ipr& ipr = g.ipr(ev.edge);
+        if (kernel.allocation[ev.edge.value] == AllocSite::kCache) {
+          caches[static_cast<std::size_t>(ev.pe)].insert(
+              block_id(ev.edge, ev.iteration), ipr.size);
+          energy.on_cache_access(ipr.size);
+          notify(MemoryEvent::Kind::kCacheInsert, ev.edge, ev.pe, ipr.size,
+                 ev.time);
+        } else {
+          const std::size_t vault_idx =
+              ev.edge.value % static_cast<std::size_t>(config_.vault_count);
+          const TimeUnits service = vaults[vault_idx].write(ipr.size);
+          vault_access(vault_idx, ev.time, service);
+          ++stats.edram_accesses;
+          stats.edram_bytes += ipr.size;
+          energy.on_edram_access(ipr.size);
+          notify(MemoryEvent::Kind::kVaultWrite, ev.edge, ev.pe, ipr.size,
+                 ev.time);
+        }
+        break;
+      }
+      case Event::Kind::kConsume: {
+        const graph::Ipr& ipr = g.ipr(ev.edge);
+        // Readiness: the producing instance is the same application
+        // iteration; its window precedes the consumer's by the realized
+        // retiming distance.
+        const std::int64_t producer_window =
+            ev.iteration + r_max - kernel.retiming[ipr.src.value];
+        const sched::TaskPlacement& prod = kernel.placement[ipr.src.value];
+        const TimeUnits produce_finish =
+            TimeUnits{producer_window * kernel.period.value} + prod.start +
+            g.task(ipr.src).exec_time;
+        const TimeUnits transfer = retiming::effective_edge_transfer(
+            config_, kernel.allocation[ev.edge.value], ipr.size, prod.pe,
+            ev.pe, kernel.period);
+        if (produce_finish + transfer > ev.time) {
+          if (options.strict) {
+            PARACONV_CHECK(false, "data-readiness violation for IPR " +
+                                      g.task(ipr.src).name + " -> " +
+                                      g.task(ipr.dst).name);
+          }
+          ++stats.readiness_violations;
+        }
+
+        if (kernel.allocation[ev.edge.value] == AllocSite::kCache) {
+          auto& producer_cache = caches[static_cast<std::size_t>(prod.pe)];
+          const std::uint64_t block = block_id(ev.edge, ev.iteration);
+          if (producer_cache.access(block)) {
+            energy.on_cache_access(ipr.size);
+            producer_cache.erase(block);  // consumed; free the space
+            notify(MemoryEvent::Kind::kCacheHit, ev.edge, ev.pe, ipr.size,
+                   ev.time);
+          } else {
+            // The static allocation over-committed this PE's cache and the
+            // block was evicted: fall back to eDRAM.
+            ++stats.cache_fallbacks;
+            const std::size_t vault_idx =
+                ev.edge.value % static_cast<std::size_t>(config_.vault_count);
+            const TimeUnits service = vaults[vault_idx].read(ipr.size);
+            vault_access(vault_idx, ev.time, service);
+            ++stats.edram_accesses;
+            stats.edram_bytes += ipr.size;
+            energy.on_edram_access(ipr.size);
+            notify(MemoryEvent::Kind::kCacheFallback, ev.edge, ev.pe,
+                   ipr.size, ev.time);
+          }
+          if (prod.pe != ev.pe) {
+            noc.transfer(prod.pe, ev.pe, ipr.size);
+            stats.noc_bytes += ipr.size;
+            energy.on_noc_transfer(ipr.size);
+            notify(MemoryEvent::Kind::kNocTransfer, ev.edge, ev.pe, ipr.size,
+                   ev.time);
+          }
+        } else {
+          const std::size_t vault_idx =
+              ev.edge.value % static_cast<std::size_t>(config_.vault_count);
+          const TimeUnits service = vaults[vault_idx].read(ipr.size);
+          vault_access(vault_idx, ev.time, service);
+          ++stats.edram_accesses;
+          stats.edram_bytes += ipr.size;
+          energy.on_edram_access(ipr.size);
+          notify(MemoryEvent::Kind::kVaultRead, ev.edge, ev.pe, ipr.size,
+                 ev.time);
+        }
+        break;
+      }
+    }
+  }
+
+  stats.makespan = expanded.makespan;
+  for (const Cache& c : caches) {
+    stats.cache_hits += c.stats().hits;
+    stats.cache_misses += c.stats().misses;
+    stats.cache_evictions += c.stats().evictions;
+    stats.cache_peak_per_pe.push_back(c.stats().peak_used);
+  }
+  stats.energy = energy.breakdown();
+  stats.pe_utilization.resize(static_cast<std::size_t>(config_.pe_count));
+  for (int pe = 0; pe < config_.pe_count; ++pe) {
+    stats.pe_utilization[static_cast<std::size_t>(pe)] =
+        static_cast<double>(pe_busy[static_cast<std::size_t>(pe)].value) /
+        static_cast<double>(stats.makespan.value);
+  }
+  return stats;
+}
+
+}  // namespace paraconv::pim

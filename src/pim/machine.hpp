@@ -1,0 +1,116 @@
+// Event-driven PIM machine model.
+//
+// Executes an expanded (prologue + steady-state) schedule on the modelled
+// PE array: every IPR hand-off is replayed against per-PE LRU caches, eDRAM
+// vaults and the crossbar, with data-readiness enforced *independently* of
+// the analytic scheduler. This is the dynamic cross-check for the static
+// model — if the scheduler's arithmetic is right, the machine observes zero
+// readiness violations and a steady-state period equal to the analytic p —
+// and the source of the movement/energy numbers reported by the examples
+// and ablations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "pim/cache.hpp"
+#include "pim/config.hpp"
+#include "pim/energy.hpp"
+#include "pim/interconnect.hpp"
+#include "pim/vault.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::pim {
+
+struct MachineStats {
+  TimeUnits makespan{};
+  std::int64_t tasks_executed{0};
+
+  /// Aggregated over all PE caches.
+  std::int64_t cache_hits{0};
+  std::int64_t cache_misses{0};
+  std::int64_t cache_evictions{0};
+
+  /// eDRAM vault traffic (includes refetches of evicted cache-resident IPRs).
+  std::int64_t edram_accesses{0};
+  Bytes edram_bytes{};
+
+  /// Filter-weight streaming volume (only when !config.weights_resident).
+  Bytes weight_bytes{};
+
+  /// Cross-PE crossbar traffic.
+  Bytes noc_bytes{};
+
+  /// Consumptions that found their cached IPR evicted and fell back to
+  /// eDRAM (the runtime cost of an over-committed static allocation).
+  std::int64_t cache_fallbacks{0};
+
+  /// Vault bandwidth contention diagnostics: accesses that arrived while
+  /// their vault was still servicing an earlier request, and the total
+  /// queueing delay they would have observed. The static model assumes
+  /// uncontended vaults; a large value here flags that assumption.
+  std::int64_t vault_contention_events{0};
+  TimeUnits vault_wait_time{};
+
+  /// Data-readiness violations observed (0 for any valid schedule; only
+  /// populated when running with strict = false).
+  std::int64_t readiness_violations{0};
+
+  EnergyBreakdown energy{};
+
+  /// Per-PE busy fraction over the simulated makespan.
+  std::vector<double> pe_utilization;
+
+  /// Per-PE high-water mark of concurrent cache occupancy (cross-checks
+  /// the analytic alloc::cache_residency profile).
+  std::vector<Bytes> cache_peak_per_pe;
+};
+
+/// One observable memory-system event during replay (for tracing tools).
+struct MemoryEvent {
+  enum class Kind : std::uint8_t {
+    kCacheInsert,    // IPR produced into the producer's cache
+    kCacheHit,       // IPR consumed from cache
+    kCacheFallback,  // cached IPR found evicted; refetched from eDRAM
+    kVaultWrite,     // IPR produced into an eDRAM vault
+    kVaultRead,      // IPR consumed from an eDRAM vault
+    kNocTransfer,    // cross-PE hand-off over the crossbar/mesh/ring
+    kWeightFetch,    // filter weights streamed from a vault
+  };
+
+  TimeUnits time{};
+  Kind kind{Kind::kCacheInsert};
+  /// Edge for IPR events; the consuming/producing node's PE either way.
+  graph::EdgeId edge{};
+  int pe{0};
+  Bytes bytes{};
+};
+
+const char* to_string(MemoryEvent::Kind kind);
+
+struct MachineRunOptions {
+  std::int64_t iterations{8};
+  /// Strict mode throws ContractViolation on the first data-readiness
+  /// violation; otherwise violations are counted in the stats.
+  bool strict{true};
+  /// Optional observer invoked for every memory-system event, in time
+  /// order. Null disables observation (no overhead).
+  std::function<void(const MemoryEvent&)> observer{};
+};
+
+class Machine {
+ public:
+  explicit Machine(const PimConfig& config);
+
+  /// Replays `kernel` over the requested iterations.
+  MachineStats run(const graph::TaskGraph& g,
+                   const sched::KernelSchedule& kernel,
+                   const MachineRunOptions& options);
+
+ private:
+  PimConfig config_;
+};
+
+}  // namespace paraconv::pim

@@ -1,0 +1,19 @@
+#include "pim/vault.hpp"
+
+namespace paraconv::pim {
+
+TimeUnits Vault::read(Bytes size) {
+  PARACONV_REQUIRE(size > Bytes{0}, "read size must be positive");
+  ++stats_.reads;
+  stats_.bytes_read += size;
+  return latency(size);
+}
+
+TimeUnits Vault::write(Bytes size) {
+  PARACONV_REQUIRE(size > Bytes{0}, "write size must be positive");
+  ++stats_.writes;
+  stats_.bytes_written += size;
+  return latency(size);
+}
+
+}  // namespace paraconv::pim

@@ -1,0 +1,49 @@
+// eDRAM vault model: stacked-memory storage reached through TSVs.
+//
+// The vault services IPR reads/writes with a bandwidth-derived latency; it
+// tracks traffic so that the machine model can report off-PE fetch volume
+// (the quantity Para-CONV minimizes).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "pim/config.hpp"
+
+namespace paraconv::pim {
+
+struct VaultStats {
+  std::int64_t reads{0};
+  std::int64_t writes{0};
+  Bytes bytes_read{};
+  Bytes bytes_written{};
+};
+
+class Vault {
+ public:
+  Vault(int id, std::int64_t bytes_per_unit)
+      : id_(id), bytes_per_unit_(bytes_per_unit) {
+    PARACONV_REQUIRE(bytes_per_unit >= 1, "vault bandwidth must be positive");
+  }
+
+  int id() const { return id_; }
+
+  /// Latency to read `size` bytes; records traffic.
+  TimeUnits read(Bytes size);
+  /// Latency to write `size` bytes; records traffic.
+  TimeUnits write(Bytes size);
+
+  const VaultStats& stats() const { return stats_; }
+
+ private:
+  TimeUnits latency(Bytes size) const {
+    return TimeUnits{std::max<std::int64_t>(
+        1, ceil_div(size.value, bytes_per_unit_))};
+  }
+
+  int id_;
+  std::int64_t bytes_per_unit_;
+  VaultStats stats_;
+};
+
+}  // namespace paraconv::pim

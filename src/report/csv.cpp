@@ -1,0 +1,43 @@
+#include "report/csv.hpp"
+
+#include "common/strings.hpp"
+
+namespace paraconv::report {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_experiment_csv(
+    std::ostream& os,
+    const std::vector<bench_support::ExperimentRow>& rows) {
+  os << "benchmark,vertices,edges,pe_count,"
+        "sparta_iteration_time,sparta_total_time,sparta_cached_iprs,"
+        "para_iteration_time,para_r_max,para_prologue_time,para_total_time,"
+        "para_cached_iprs,para_offchip_bytes,ratio_percent,"
+        "reduction_percent\n";
+  for (const bench_support::ExperimentRow& row : rows) {
+    os << csv_escape(row.benchmark) << ',' << row.vertices << ','
+       << row.edges << ',' << row.pe_count << ','
+       << row.sparta.iteration_time.value << ','
+       << row.sparta.total_time.value << ',' << row.sparta.cached_iprs << ','
+       << row.para_conv.iteration_time.value << ',' << row.para_conv.r_max
+       << ',' << row.para_conv.prologue_time.value << ','
+       << row.para_conv.total_time.value << ',' << row.para_conv.cached_iprs
+       << ',' << row.para_conv.offchip_bytes_per_iteration.value << ','
+       << format_fixed(core::time_ratio_percent(row.sparta, row.para_conv), 2)
+       << ','
+       << format_fixed(
+              core::time_reduction_percent(row.sparta, row.para_conv), 2)
+       << '\n';
+  }
+}
+
+}  // namespace paraconv::report

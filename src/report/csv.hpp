@@ -1,0 +1,19 @@
+// CSV export of experiment grids — the machine-readable companion of the
+// table harnesses, for plotting Figure 5/6 series externally.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "bench_support/experiments.hpp"
+
+namespace paraconv::report {
+
+/// RFC-4180 field quoting (quotes fields containing separators/quotes).
+std::string csv_escape(const std::string& field);
+
+/// One row per (benchmark, pe_count) cell with both schedulers' metrics.
+void write_experiment_csv(std::ostream& os,
+                          const std::vector<bench_support::ExperimentRow>& rows);
+
+}  // namespace paraconv::report

@@ -1,0 +1,140 @@
+#include "report/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace paraconv::report {
+namespace {
+
+/// A canvas of rows x columns characters, initialized to '.', with helpers
+/// for stamping labelled blocks.
+class Canvas {
+ public:
+  Canvas(std::size_t rows, std::size_t cols)
+      : cols_(cols), cells_(rows, std::string(cols, '.')) {}
+
+  void stamp(std::size_t row, std::int64_t col_begin, std::int64_t col_end,
+             const std::string& label) {
+    if (row >= cells_.size()) return;
+    const auto begin =
+        static_cast<std::size_t>(std::max<std::int64_t>(0, col_begin));
+    const auto end = static_cast<std::size_t>(std::clamp<std::int64_t>(
+        col_end, 0, static_cast<std::int64_t>(cols_)));
+    for (std::size_t c = begin; c < end; ++c) {
+      const std::size_t offset = c - begin;
+      cells_[row][c] = offset < label.size() ? label[offset] : '=';
+    }
+  }
+
+  std::string render(const std::vector<std::string>& row_labels,
+                     bool truncated) const {
+    PARACONV_CHECK(row_labels.size() == cells_.size(),
+                   "one label per canvas row");
+    std::size_t label_width = 0;
+    for (const std::string& l : row_labels) {
+      label_width = std::max(label_width, l.size());
+    }
+    std::ostringstream os;
+    for (std::size_t r = 0; r < cells_.size(); ++r) {
+      os << pad_right(row_labels[r], label_width) << " |" << cells_[r]
+         << (truncated ? "..." : "|") << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  std::size_t cols_;
+  std::vector<std::string> cells_;
+};
+
+std::string task_label(const graph::TaskGraph& g, graph::NodeId v,
+                       int label_width) {
+  std::string name = g.task(v).name;
+  // Keep the distinguishing tail of hierarchical names (e.g. "..._T12").
+  const std::size_t slash = name.find_last_of("/_");
+  if (slash != std::string::npos && slash + 1 < name.size()) {
+    name = name.substr(slash + 1);
+  }
+  if (static_cast<int>(name.size()) > label_width) {
+    name.resize(static_cast<std::size_t>(label_width));
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string render_kernel_gantt(const graph::TaskGraph& g,
+                                const sched::KernelSchedule& kernel,
+                                int pe_count, const GanttOptions& options) {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  PARACONV_REQUIRE(kernel.placement.size() == g.node_count(),
+                   "kernel schedule does not match graph");
+  PARACONV_REQUIRE(options.max_width >= 1 && options.label_width >= 1,
+                   "invalid gantt options");
+
+  const bool truncated = kernel.period.value > options.max_width;
+  const std::size_t width = static_cast<std::size_t>(
+      std::min(kernel.period.value, options.max_width));
+  Canvas canvas(static_cast<std::size_t>(pe_count), width);
+
+  for (const graph::NodeId v : g.nodes()) {
+    const sched::TaskPlacement& p = kernel.placement[v.value];
+    canvas.stamp(static_cast<std::size_t>(p.pe), p.start.value,
+                 p.start.value + g.task(v).exec_time.value,
+                 task_label(g, v, options.label_width));
+  }
+
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<std::size_t>(pe_count));
+  for (int pe = 0; pe < pe_count; ++pe) {
+    labels.push_back("PE" + std::to_string(pe));
+  }
+  std::ostringstream os;
+  os << "kernel period p = " << kernel.period.value << " time units, R_max = "
+     << kernel.r_max() << "\n";
+  os << canvas.render(labels, truncated);
+  return os.str();
+}
+
+std::string render_expanded_gantt(const graph::TaskGraph& g,
+                                  const sched::KernelSchedule& kernel,
+                                  int pe_count, std::int64_t windows,
+                                  const GanttOptions& options) {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  PARACONV_REQUIRE(windows >= 1, "at least one window required");
+
+  // Expand enough iterations to cover the requested windows.
+  const std::int64_t iterations = windows;  // upper bound: one per window
+  const sched::ExpandedSchedule expanded =
+      sched::expand_schedule(g, kernel, iterations);
+
+  const std::int64_t span =
+      std::min(windows * kernel.period.value, options.max_width);
+  const bool truncated = windows * kernel.period.value > options.max_width;
+  Canvas canvas(static_cast<std::size_t>(pe_count),
+                static_cast<std::size_t>(span));
+
+  for (const sched::TaskInstance& inst : expanded.instances) {
+    if (inst.start.value >= span) continue;
+    canvas.stamp(static_cast<std::size_t>(inst.pe), inst.start.value,
+                 inst.start.value + g.task(inst.node).exec_time.value,
+                 task_label(g, inst.node, options.label_width));
+  }
+
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<std::size_t>(pe_count));
+  for (int pe = 0; pe < pe_count; ++pe) {
+    labels.push_back("PE" + std::to_string(pe));
+  }
+  std::ostringstream os;
+  os << "prologue: " << kernel.r_max() << " windows ("
+     << kernel.r_max() * kernel.period.value << " time units)\n";
+  os << canvas.render(labels, truncated);
+  return os.str();
+}
+
+}  // namespace paraconv::report

@@ -1,0 +1,38 @@
+// ASCII Gantt rendering of kernel schedules.
+//
+// Renders the steady-state kernel window (one row per PE, one column per
+// time unit) and the prologue ramp-up, in the style of the paper's Fig. 3
+// timelines. Used by the CLI and examples for human inspection of
+// schedules.
+#pragma once
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::report {
+
+struct GanttOptions {
+  /// Maximum rendered width in time units; longer kernels are truncated
+  /// with an ellipsis marker.
+  std::int64_t max_width{120};
+  /// Label width per task cell (task names are truncated/padded to this).
+  int label_width{3};
+};
+
+/// Renders one kernel window: each PE row shows its tasks at their start
+/// offsets, with '.' for idle time units.
+std::string render_kernel_gantt(const graph::TaskGraph& g,
+                                const sched::KernelSchedule& kernel,
+                                int pe_count,
+                                const GanttOptions& options = {});
+
+/// Renders the first `windows` windows of the expanded schedule (prologue
+/// ramp plus early steady state) as one timeline per PE.
+std::string render_expanded_gantt(const graph::TaskGraph& g,
+                                  const sched::KernelSchedule& kernel,
+                                  int pe_count, std::int64_t windows,
+                                  const GanttOptions& options = {});
+
+}  // namespace paraconv::report

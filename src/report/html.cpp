@@ -1,0 +1,139 @@
+#include "report/html.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "report/json.hpp"
+
+namespace paraconv::report {
+namespace {
+
+/// Evenly-spaced hues for retiming values; fixed saturation/lightness keeps
+/// the lanes readable on white.
+std::string color_for_retiming(int r, int r_max) {
+  const int hue = r_max == 0 ? 210 : 210 + (130 * r) / std::max(1, r_max);
+  return "hsl(" + std::to_string(hue) + ",60%,62%)";
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_html_report(const graph::TaskGraph& g,
+                               const pim::PimConfig& config,
+                               const core::ParaConvResult& result,
+                               const HtmlReportOptions& options) {
+  PARACONV_REQUIRE(options.px_per_unit >= 1, "pixel scale must be positive");
+  const sched::KernelSchedule& kernel = result.kernel;
+  const int r_max = kernel.r_max();
+  const std::int64_t windows =
+      options.windows > 0 ? options.windows : r_max + 3;
+
+  const core::ScheduleAnalysis analysis = core::analyze(g, config, result);
+  const sched::ExpandedSchedule expanded =
+      sched::expand_schedule(g, kernel, windows);
+
+  const int lane_height = 22;
+  const int label_gutter = 48;
+  const std::int64_t span = windows * kernel.period.value;
+  const std::int64_t svg_width = label_gutter + span * options.px_per_unit + 8;
+  const int svg_height = (config.pe_count + 1) * lane_height + 24;
+
+  std::ostringstream os;
+  os << "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>"
+     << html_escape(g.name()) << " — Para-CONV schedule</title>"
+     << "<style>body{font:14px sans-serif;margin:24px}"
+     << "table{border-collapse:collapse}td,th{border:1px solid #ccc;"
+     << "padding:4px 10px;text-align:left}rect:hover{opacity:.7}"
+     << "</style></head><body>";
+  os << "<h1>" << html_escape(g.name()) << " on " << config.pe_count
+     << " PEs</h1>";
+
+  // Metrics summary.
+  os << "<table><tr><th>metric</th><th>value</th></tr>"
+     << "<tr><td>kernel period p</td><td>" << kernel.period.value
+     << " tu (optimality "
+     << format_fixed(analysis.period_optimality * 100.0, 1)
+     << "%)</td></tr>"
+     << "<tr><td>R_max / prologue</td><td>" << r_max << " windows / "
+     << result.metrics.prologue_time.value << " tu</td></tr>"
+     << "<tr><td>iteration latency</td><td>"
+     << analysis.latency.iteration_latency.value << " tu across "
+     << analysis.latency.windows_spanned << " windows</td></tr>"
+     << "<tr><td>IPRs cached</td><td>" << analysis.cached_iprs << " of "
+     << analysis.sensitive_iprs << " sensitive (" << g.edge_count()
+     << " total)</td></tr>"
+     << "<tr><td>peak cache residency</td><td>"
+     << format_bytes(analysis.residency.peak) << " / PE (capacity "
+     << format_bytes(config.pe_cache_bytes) << ")</td></tr></table>";
+
+  // SVG Gantt.
+  os << "<h2>Timeline (first " << windows << " windows; colour = retiming "
+     << "value)</h2>";
+  os << "<svg width=\"" << svg_width << "\" height=\"" << svg_height
+     << "\" xmlns=\"http://www.w3.org/2000/svg\">";
+  // Window separators.
+  for (std::int64_t w = 0; w <= windows; ++w) {
+    const std::int64_t x =
+        label_gutter + w * kernel.period.value * options.px_per_unit;
+    os << "<line x1=\"" << x << "\" y1=\"0\" x2=\"" << x << "\" y2=\""
+       << config.pe_count * lane_height << "\" stroke=\"#ddd\"/>";
+  }
+  // Lane labels.
+  for (int pe = 0; pe < config.pe_count; ++pe) {
+    os << "<text x=\"2\" y=\"" << pe * lane_height + 15
+       << "\" fill=\"#555\">PE" << pe << "</text>";
+  }
+  // Task blocks.
+  for (const sched::TaskInstance& inst : expanded.instances) {
+    if (inst.start.value >= span) continue;
+    const graph::Task& task = g.task(inst.node);
+    const std::int64_t x = label_gutter + inst.start.value * options.px_per_unit;
+    const std::int64_t width =
+        std::max<std::int64_t>(1, task.exec_time.value * options.px_per_unit -
+                                      1);
+    const int y = inst.pe * lane_height + 2;
+    const int r = kernel.retiming[inst.node.value];
+    os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << width
+       << "\" height=\"" << lane_height - 4 << "\" fill=\""
+       << color_for_retiming(r, r_max) << "\"><title>"
+       << html_escape(task.name) << " (iter " << inst.iteration << ", r="
+       << r << ", " << task.exec_time.value << " tu)</title></rect>";
+  }
+  os << "</svg>";
+
+  // Case census footer.
+  os << "<h2>Fig.-4 case census</h2><table><tr>";
+  for (int c = 1; c <= 6; ++c) os << "<th>case " << c << "</th>";
+  os << "</tr><tr>";
+  for (const std::size_t count : analysis.case_census) {
+    os << "<td>" << count << "</td>";
+  }
+  os << "</tr></table></body></html>";
+  return os.str();
+}
+
+}  // namespace paraconv::report

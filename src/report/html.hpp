@@ -1,0 +1,29 @@
+// Self-contained HTML/SVG schedule report.
+//
+// Renders a kernel schedule as an interactive-free, dependency-free HTML
+// page: an SVG Gantt of the prologue + early steady-state windows (one lane
+// per PE, tasks colored by retiming value), plus a metrics summary table.
+// Open the output in any browser; nothing external is loaded.
+#pragma once
+
+#include <string>
+
+#include "core/analysis.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::report {
+
+struct HtmlReportOptions {
+  /// Windows to render (prologue + a few steady ones by default).
+  std::int64_t windows{0};  // 0 = R_max + 3
+  /// Pixels per time unit.
+  int px_per_unit{6};
+};
+
+std::string render_html_report(const graph::TaskGraph& g,
+                               const pim::PimConfig& config,
+                               const core::ParaConvResult& result,
+                               const HtmlReportOptions& options = {});
+
+}  // namespace paraconv::report

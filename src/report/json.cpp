@@ -1,0 +1,222 @@
+#include "report/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace paraconv::report {
+
+JsonValue::JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+JsonValue::JsonValue(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
+JsonValue::JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}
+JsonValue::JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+JsonValue::JsonValue(std::string s)
+    : kind_(Kind::kString), string_(std::move(s)) {}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  PARACONV_REQUIRE(kind_ == Kind::kArray, "push_back requires an array");
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  PARACONV_REQUIRE(kind_ == Kind::kObject, "set requires an object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out, bool pretty, int indent) const {
+  const auto newline = [&](int level) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(level) * 2, ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      PARACONV_REQUIRE(std::isfinite(double_),
+                       "JSON cannot represent non-finite numbers");
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.12g", double_);
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(indent + 1);
+        array_[i].dump_to(out, pretty, indent + 1);
+      }
+      if (!array_.empty()) newline(indent);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(indent + 1);
+        out += '"';
+        out += json_escape(object_[i].first);
+        out += pretty ? "\": " : "\":";
+        object_[i].second.dump_to(out, pretty, indent + 1);
+      }
+      if (!object_.empty()) newline(indent);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(bool pretty) const {
+  std::string out;
+  dump_to(out, pretty, 0);
+  return out;
+}
+
+JsonValue to_json(const core::RunResult& metrics) {
+  JsonValue v = JsonValue::object();
+  v.set("scheduler", metrics.scheduler);
+  v.set("iteration_time", metrics.iteration_time.value);
+  v.set("r_max", metrics.r_max);
+  v.set("prologue_time", metrics.prologue_time.value);
+  v.set("total_time", metrics.total_time.value);
+  v.set("cached_iprs", static_cast<std::int64_t>(metrics.cached_iprs));
+  v.set("cache_bytes_used", metrics.cache_bytes_used.value);
+  v.set("offchip_bytes_per_iteration",
+        metrics.offchip_bytes_per_iteration.value);
+  v.set("pe_utilization", metrics.pe_utilization);
+  return v;
+}
+
+JsonValue to_json(const graph::TaskGraph& g,
+                  const sched::KernelSchedule& kernel) {
+  PARACONV_REQUIRE(kernel.placement.size() == g.node_count(),
+                   "kernel schedule does not match graph");
+  JsonValue v = JsonValue::object();
+  v.set("graph", g.name());
+  v.set("period", kernel.period.value);
+  v.set("r_max", kernel.r_max());
+
+  JsonValue tasks = JsonValue::array();
+  for (const graph::NodeId n : g.nodes()) {
+    JsonValue t = JsonValue::object();
+    t.set("name", g.task(n).name);
+    t.set("pe", kernel.placement[n.value].pe);
+    t.set("start", kernel.placement[n.value].start.value);
+    t.set("exec_time", g.task(n).exec_time.value);
+    t.set("retiming", kernel.retiming[n.value]);
+    tasks.push_back(std::move(t));
+  }
+  v.set("tasks", std::move(tasks));
+
+  JsonValue edges = JsonValue::array();
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    JsonValue t = JsonValue::object();
+    t.set("src", g.task(ipr.src).name);
+    t.set("dst", g.task(ipr.dst).name);
+    t.set("bytes", ipr.size.value);
+    t.set("distance", kernel.distance[e.value]);
+    t.set("site", pim::to_string(kernel.allocation[e.value]));
+    edges.push_back(std::move(t));
+  }
+  v.set("iprs", std::move(edges));
+  return v;
+}
+
+JsonValue to_json(const pim::MachineStats& stats) {
+  JsonValue v = JsonValue::object();
+  v.set("makespan", stats.makespan.value);
+  v.set("tasks_executed", stats.tasks_executed);
+  v.set("cache_hits", stats.cache_hits);
+  v.set("cache_misses", stats.cache_misses);
+  v.set("cache_evictions", stats.cache_evictions);
+  v.set("cache_fallbacks", stats.cache_fallbacks);
+  v.set("edram_accesses", stats.edram_accesses);
+  v.set("edram_bytes", stats.edram_bytes.value);
+  v.set("noc_bytes", stats.noc_bytes.value);
+  v.set("readiness_violations", stats.readiness_violations);
+  JsonValue energy = JsonValue::object();
+  energy.set("cache_pj", stats.energy.cache.value);
+  energy.set("edram_pj", stats.energy.edram.value);
+  energy.set("noc_pj", stats.energy.noc.value);
+  energy.set("compute_pj", stats.energy.compute.value);
+  energy.set("total_pj", stats.energy.total().value);
+  v.set("energy", std::move(energy));
+  JsonValue util = JsonValue::array();
+  for (const double u : stats.pe_utilization) util.push_back(u);
+  v.set("pe_utilization", std::move(util));
+  return v;
+}
+
+}  // namespace paraconv::report

@@ -1,0 +1,63 @@
+// Minimal dependency-free JSON writer plus serializers for schedules,
+// metrics and machine statistics. The CLI and downstream analysis scripts
+// consume these dumps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "pim/machine.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::report {
+
+/// Tiny write-only JSON value. Supports the subset the library emits:
+/// null, bool, int64, double, string, array, object (insertion-ordered).
+class JsonValue {
+ public:
+  JsonValue() = default;  // null
+  JsonValue(bool b);                           // NOLINT(google-explicit-*)
+  JsonValue(std::int64_t i);                   // NOLINT
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}  // NOLINT
+  JsonValue(double d);                         // NOLINT
+  JsonValue(const char* s);                    // NOLINT
+  JsonValue(std::string s);                    // NOLINT
+
+  static JsonValue array();
+  static JsonValue object();
+
+  /// Array append; requires array kind (converts a null value in place).
+  JsonValue& push_back(JsonValue v);
+  /// Object insert/overwrite; requires object kind (converts null).
+  JsonValue& set(const std::string& key, JsonValue v);
+
+  /// Compact serialization (no whitespace); `pretty` adds 2-space indent.
+  std::string dump(bool pretty = false) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  void dump_to(std::string& out, bool pretty, int indent) const;
+
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  std::int64_t int_{0};
+  double double_{0.0};
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+JsonValue to_json(const core::RunResult& metrics);
+JsonValue to_json(const graph::TaskGraph& g,
+                  const sched::KernelSchedule& kernel);
+JsonValue to_json(const pim::MachineStats& stats);
+
+}  // namespace paraconv::report

@@ -1,0 +1,92 @@
+#include "report/trace.hpp"
+
+#include "common/check.hpp"
+#include "report/json.hpp"
+
+namespace paraconv::report {
+namespace {
+
+JsonValue compute_events(const graph::TaskGraph& g,
+                         const sched::KernelSchedule& kernel,
+                         const TraceOptions& options) {
+  const sched::ExpandedSchedule expanded =
+      sched::expand_schedule(g, kernel, options.iterations);
+  const double us_per_unit =
+      static_cast<double>(options.ns_per_time_unit) / 1000.0;
+
+  JsonValue events = JsonValue::array();
+  for (const sched::TaskInstance& inst : expanded.instances) {
+    const graph::Task& task = g.task(inst.node);
+    JsonValue ev = JsonValue::object();
+    ev.set("name", task.name);
+    ev.set("cat", graph::to_string(task.kind));
+    ev.set("ph", "X");
+    ev.set("ts", static_cast<double>(inst.start.value) * us_per_unit);
+    ev.set("dur", static_cast<double>(task.exec_time.value) * us_per_unit);
+    ev.set("pid", 0);
+    ev.set("tid", inst.pe);
+    JsonValue args = JsonValue::object();
+    args.set("iteration", inst.iteration);
+    args.set("window", inst.window);
+    args.set("retiming", kernel.retiming[inst.node.value]);
+    ev.set("args", std::move(args));
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const graph::TaskGraph& g,
+                            const sched::KernelSchedule& kernel,
+                            const TraceOptions& options) {
+  PARACONV_REQUIRE(options.iterations >= 1, "at least one iteration required");
+  PARACONV_REQUIRE(options.ns_per_time_unit >= 1,
+                   "time scale must be positive");
+  return compute_events(g, kernel, options).dump();
+}
+
+std::string to_chrome_trace_with_memory(const graph::TaskGraph& g,
+                                        const sched::KernelSchedule& kernel,
+                                        const pim::PimConfig& config,
+                                        const TraceOptions& options) {
+  PARACONV_REQUIRE(options.iterations >= 1, "at least one iteration required");
+  PARACONV_REQUIRE(options.ns_per_time_unit >= 1,
+                   "time scale must be positive");
+
+  JsonValue events = compute_events(g, kernel, options);
+  const double us_per_unit =
+      static_cast<double>(options.ns_per_time_unit) / 1000.0;
+
+  pim::Machine machine(config);
+  pim::MachineRunOptions run;
+  run.iterations = options.iterations;
+  run.strict = false;  // traces are diagnostics; never abort mid-capture
+  run.observer = [&](const pim::MemoryEvent& mem) {
+    JsonValue ev = JsonValue::object();
+    const graph::Ipr* ipr = mem.kind == pim::MemoryEvent::Kind::kWeightFetch
+                                ? nullptr
+                                : &g.ipr(mem.edge);
+    std::string name = pim::to_string(mem.kind);
+    if (ipr != nullptr) {
+      name += " " + g.task(ipr->src).name + "->" + g.task(ipr->dst).name;
+    }
+    ev.set("name", std::move(name));
+    ev.set("cat", "memory");
+    ev.set("ph", "i");  // instant event
+    ev.set("s", "t");   // thread-scoped
+    ev.set("ts", static_cast<double>(mem.time.value) * us_per_unit);
+    ev.set("pid", 1);
+    // One row per event kind keeps the memory lanes readable.
+    ev.set("tid", static_cast<int>(mem.kind));
+    JsonValue args = JsonValue::object();
+    args.set("pe", mem.pe);
+    args.set("bytes", mem.bytes.value);
+    ev.set("args", std::move(args));
+    events.push_back(std::move(ev));
+  };
+  machine.run(g, kernel, run);
+  return events.dump();
+}
+
+}  // namespace paraconv::report

@@ -1,0 +1,39 @@
+// Chrome-tracing export of expanded schedules.
+//
+// Emits the chrome://tracing / Perfetto "trace event" JSON array format:
+// one complete event ("ph":"X") per task instance, with the PE as the
+// thread id — load the output in a trace viewer to inspect prologue
+// ramp-up and steady-state pipelining visually.
+#pragma once
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "pim/machine.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::report {
+
+struct TraceOptions {
+  /// Iterations to expand into the trace.
+  std::int64_t iterations{4};
+  /// Nanoseconds per abstract time unit (trace timestamps are in
+  /// microseconds; 1000 keeps unit boundaries readable).
+  std::int64_t ns_per_time_unit{1000};
+};
+
+/// Trace of the kernel schedule (prologue + steady state).
+std::string to_chrome_trace(const graph::TaskGraph& g,
+                            const sched::KernelSchedule& kernel,
+                            const TraceOptions& options = {});
+
+/// Compute lanes (pid 0) plus the machine model's memory-system events as
+/// instant events (pid 1, one thread row per event kind): cache traffic,
+/// vault reads/writes, NoC hand-offs, fallbacks, weight streaming. Runs the
+/// machine internally with the given config.
+std::string to_chrome_trace_with_memory(const graph::TaskGraph& g,
+                                        const sched::KernelSchedule& kernel,
+                                        const pim::PimConfig& config,
+                                        const TraceOptions& options = {});
+
+}  // namespace paraconv::report

@@ -1,0 +1,44 @@
+#include "retiming/cases.hpp"
+
+namespace paraconv::retiming {
+
+AllocationCase classify(const EdgeDelta& delta) {
+  PARACONV_REQUIRE(delta.cache >= 0 && delta.cache <= delta.edram &&
+                       delta.edram <= 2,
+                   "delta pair outside the Theorem 3.1 envelope");
+  if (delta.cache == 0 && delta.edram == 0) return AllocationCase::kCase1;
+  if (delta.cache == 0 && delta.edram == 1) return AllocationCase::kCase2;
+  if (delta.cache == 0 && delta.edram == 2) return AllocationCase::kCase3;
+  if (delta.cache == 1 && delta.edram == 1) return AllocationCase::kCase4;
+  if (delta.cache == 1 && delta.edram == 2) return AllocationCase::kCase5;
+  return AllocationCase::kCase6;  // (2,2)
+}
+
+int delta_r(const EdgeDelta& delta) {
+  PARACONV_REQUIRE(delta.cache <= delta.edram, "inconsistent delta pair");
+  return delta.edram - delta.cache;
+}
+
+bool allocation_sensitive(const EdgeDelta& delta) {
+  return delta_r(delta) > 0;
+}
+
+const char* to_string(AllocationCase c) {
+  switch (c) {
+    case AllocationCase::kCase1:
+      return "case1(0,0)";
+    case AllocationCase::kCase2:
+      return "case2(0,1)";
+    case AllocationCase::kCase3:
+      return "case3(0,2)";
+    case AllocationCase::kCase4:
+      return "case4(1,1)";
+    case AllocationCase::kCase5:
+      return "case5(1,2)";
+    case AllocationCase::kCase6:
+      return "case6(2,2)";
+  }
+  return "unknown";
+}
+
+}  // namespace paraconv::retiming

@@ -1,0 +1,39 @@
+// The six allocation cases of the paper's Figure 4.
+//
+// Each IPR's (delta_cache, delta_edram) pair — both in {0,1,2} with
+// delta_cache <= delta_edram — falls into exactly one of six cases:
+//
+//   Case 1: (0,0)   Case 2: (0,1)   Case 3: (0,2)
+//   Case 4: (1,1)   Case 5: (1,2)   Case 6: (2,2)
+//
+// Cases 1, 4 and 6 are allocation-insensitive (ΔR = 0): the IPR goes to
+// eDRAM to save cache space. Cases 2, 3 and 5 gain ΔR = delta_edram -
+// delta_cache by being cached and compete for cache capacity (Sec. 3.2).
+#pragma once
+
+#include "retiming/delta.hpp"
+
+namespace paraconv::retiming {
+
+enum class AllocationCase : int {
+  kCase1 = 1,
+  kCase2 = 2,
+  kCase3 = 3,
+  kCase4 = 4,
+  kCase5 = 5,
+  kCase6 = 6,
+};
+
+/// Classifies one edge's delta pair. Throws ContractViolation for pairs
+/// outside the Theorem 3.1 envelope.
+AllocationCase classify(const EdgeDelta& delta);
+
+/// Profit of caching: ΔR = delta_edram - delta_cache.
+int delta_r(const EdgeDelta& delta);
+
+/// True for cases 2, 3 and 5 (caching reduces the retiming distance).
+bool allocation_sensitive(const EdgeDelta& delta);
+
+const char* to_string(AllocationCase c);
+
+}  // namespace paraconv::retiming

@@ -1,0 +1,82 @@
+#include "retiming/delta.hpp"
+
+#include <algorithm>
+
+namespace paraconv::retiming {
+
+TimeUnits effective_transfer(const pim::PimConfig& config, pim::AllocSite site,
+                             Bytes size, TimeUnits period) {
+  PARACONV_REQUIRE(period > TimeUnits{0}, "period must be positive");
+  const TimeUnits raw = config.transfer_time(site, size);
+  return std::min(raw, period);
+}
+
+TimeUnits effective_edge_transfer(const pim::PimConfig& config,
+                                  pim::AllocSite site, Bytes size, int src_pe,
+                                  int dst_pe, TimeUnits period) {
+  PARACONV_REQUIRE(period > TimeUnits{0}, "period must be positive");
+  // A same-PE hand-off stays in the producer's register file / pFIFO
+  // (paper Fig. 1) and costs nothing — matching the baseline list
+  // scheduler's semantics, so both schedulers replay identically on the
+  // machine model.
+  if (src_pe == dst_pe) return TimeUnits{0};
+  const TimeUnits raw =
+      config.transfer_time(site, size) + config.noc_latency(src_pe, dst_pe);
+  return std::min(raw, period);
+}
+
+int required_distance(TimeUnits producer_start, TimeUnits producer_exec,
+                      TimeUnits transfer, TimeUnits consumer_start,
+                      TimeUnits period) {
+  PARACONV_REQUIRE(period > TimeUnits{0}, "period must be positive");
+  const std::int64_t slack_deficit = producer_start.value +
+                                     producer_exec.value + transfer.value -
+                                     consumer_start.value;
+  if (slack_deficit <= 0) return 0;
+  return static_cast<int>(ceil_div(slack_deficit, period.value));
+}
+
+std::vector<EdgeDelta> compute_edge_deltas(
+    const graph::TaskGraph& g,
+    const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
+    const pim::PimConfig& config) {
+  PARACONV_REQUIRE(placement.size() == g.node_count(),
+                   "one placement per node required");
+  for (const graph::NodeId v : g.nodes()) {
+    PARACONV_REQUIRE(placement[v.value].start >= TimeUnits{0} &&
+                         placement[v.value].start + g.task(v).exec_time <=
+                             period,
+                     "every task must fit inside the kernel window");
+  }
+
+  std::vector<EdgeDelta> deltas(g.edge_count());
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    const sched::TaskPlacement& prod = placement[ipr.src.value];
+    const sched::TaskPlacement& cons = placement[ipr.dst.value];
+    const TimeUnits exec = g.task(ipr.src).exec_time;
+
+    EdgeDelta d;
+    d.cache = required_distance(
+        prod.start, exec,
+        effective_edge_transfer(config, pim::AllocSite::kCache, ipr.size,
+                                prod.pe, cons.pe, period),
+        cons.start, period);
+    d.edram = required_distance(
+        prod.start, exec,
+        effective_edge_transfer(config, pim::AllocSite::kEdram, ipr.size,
+                                prod.pe, cons.pe, period),
+        cons.start, period);
+
+    // Theorem 3.1: with s_i + c_i <= p and c_ij <= p, the deficit is at most
+    // 2p, so both distances are bounded by 2. The cache distance can never
+    // exceed the eDRAM distance because cache transfers are no slower.
+    PARACONV_CHECK(d.cache >= 0 && d.edram >= 0, "negative retiming distance");
+    PARACONV_CHECK(d.cache <= d.edram, "cache distance exceeds eDRAM distance");
+    PARACONV_CHECK(d.edram <= 2, "Theorem 3.1 bound violated");
+    deltas[e.value] = d;
+  }
+  return deltas;
+}
+
+}  // namespace paraconv::retiming

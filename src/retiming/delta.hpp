@@ -1,0 +1,55 @@
+// Per-edge retiming-distance analysis (paper Sec. 3.2).
+//
+// Given the compacted packing (task i at start s_i, period p), an IPR edge
+// (i, j) with transfer latency c_ij requires an inter-iteration distance
+//
+//   d_ij >= ceil((s_i + c_i + c_ij - s_j) / p).
+//
+// The transfer latency depends on the allocation site, so every edge has a
+// pair (delta_cache, delta_edram) with delta_cache <= delta_edram. Under the
+// model's assumption c_ij <= p (an IPR hand-off never exceeds one period —
+// larger transfers are pipelined; we clamp accordingly), both values lie in
+// {0, 1, 2}: this is exactly Theorem 3.1's bound of "at most two more
+// iterations ahead".
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "pim/config.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::retiming {
+
+/// Required inter-iteration distances for one edge under both allocations.
+struct EdgeDelta {
+  int cache{0};
+  int edram{0};
+};
+
+/// Transfer latency of `size` bytes from `site`, clamped to one period
+/// (model assumption c_ij <= p, paper proof of Theorem 3.1).
+TimeUnits effective_transfer(const pim::PimConfig& config, pim::AllocSite site,
+                             Bytes size, TimeUnits period);
+
+/// Full hand-off latency of one edge: site transfer plus on-chip-network
+/// hop latency between the producer and consumer PEs, clamped to one
+/// period. Same-PE hand-offs are free (register-file/pFIFO local, paper
+/// Fig. 1). This is the c_ij used by the delta analysis, the validator and
+/// the machine model.
+TimeUnits effective_edge_transfer(const pim::PimConfig& config,
+                                  pim::AllocSite site, Bytes size, int src_pe,
+                                  int dst_pe, TimeUnits period);
+
+/// Required distance for a single edge given producer/consumer placement.
+int required_distance(TimeUnits producer_start, TimeUnits producer_exec,
+                      TimeUnits transfer, TimeUnits consumer_start,
+                      TimeUnits period);
+
+/// Computes (delta_cache, delta_edram) for every edge of `g` under the given
+/// packing. Postcondition: 0 <= cache <= edram <= 2 for every edge.
+std::vector<EdgeDelta> compute_edge_deltas(
+    const graph::TaskGraph& g, const std::vector<sched::TaskPlacement>& placement,
+    TimeUnits period, const pim::PimConfig& config);
+
+}  // namespace paraconv::retiming

@@ -1,0 +1,57 @@
+#include "retiming/retiming.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace paraconv::retiming {
+
+int Retiming::r_max() const {
+  int best = 0;
+  for (const int r : value) best = std::max(best, r);
+  return best;
+}
+
+Retiming minimal_retiming(const graph::TaskGraph& g,
+                          const std::vector<int>& required_distance) {
+  PARACONV_REQUIRE(required_distance.size() == g.edge_count(),
+                   "one required distance per edge");
+  for (const int d : required_distance) {
+    PARACONV_REQUIRE(d >= 0, "required distances must be non-negative");
+  }
+  Retiming r;
+  r.value = graph::longest_path_by_edge_weight(g, required_distance);
+  return r;
+}
+
+bool is_legal(const graph::TaskGraph& g, const Retiming& retiming,
+              const std::vector<int>& required_distance) {
+  if (retiming.value.size() != g.node_count() ||
+      required_distance.size() != g.edge_count()) {
+    return false;
+  }
+  for (const int r : retiming.value) {
+    if (r < 0) return false;
+  }
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    const int d =
+        retiming.value[ipr.src.value] - retiming.value[ipr.dst.value];
+    if (d < required_distance[e.value]) return false;
+  }
+  return true;
+}
+
+std::vector<int> realized_distances(const graph::TaskGraph& g,
+                                    const Retiming& retiming) {
+  PARACONV_REQUIRE(retiming.value.size() == g.node_count(),
+                   "retiming does not match graph");
+  std::vector<int> d(g.edge_count());
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    d[e.value] = retiming.value[ipr.src.value] - retiming.value[ipr.dst.value];
+  }
+  return d;
+}
+
+}  // namespace paraconv::retiming

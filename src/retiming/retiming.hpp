@@ -1,0 +1,40 @@
+// Retiming values and legality (paper Definition 3.1).
+//
+// Retiming R maps each task to a non-negative integer: R(i) iterations of
+// task i are re-allocated into the prologue. A retiming is legal for edge
+// (i, j) iff R(i) >= R(i,j) >= R(j); with per-edge distances d_ij =
+// R(i) - R(j) this reduces to d_ij >= 0 and d_ij at least the distance the
+// data hand-off requires. The minimal legal retiming for fixed per-edge
+// distances is the longest path (by distance) from each node to a sink.
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace paraconv::retiming {
+
+struct Retiming {
+  /// Per-node retiming value r(i) >= 0 (indexed by NodeId::value).
+  std::vector<int> value;
+
+  /// R_max = max_i r(i); prologue time = R_max * p (paper Sec. 3.2).
+  int r_max() const;
+};
+
+/// Minimal legal retiming for the given per-edge required distances:
+/// r(i) = max over out-edges e=(i,j) of (r(j) + required[e]), sinks at 0.
+/// Requires required[e] >= 0 for all edges.
+Retiming minimal_retiming(const graph::TaskGraph& g,
+                          const std::vector<int>& required_distance);
+
+/// Checks Definition 3.1 legality: for every edge e=(i,j),
+/// r(i) - r(j) >= required[e] and all values are non-negative.
+bool is_legal(const graph::TaskGraph& g, const Retiming& retiming,
+              const std::vector<int>& required_distance);
+
+/// Per-edge realized distances d_ij = r(i) - r(j).
+std::vector<int> realized_distances(const graph::TaskGraph& g,
+                                    const Retiming& retiming);
+
+}  // namespace paraconv::retiming

@@ -1,0 +1,69 @@
+#include "retiming/transform.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace paraconv::retiming {
+
+UnrolledDag unroll(const graph::TaskGraph& g, const Retiming& retiming,
+                   std::int64_t windows) {
+  PARACONV_REQUIRE(windows >= 1, "at least one window required");
+  PARACONV_REQUIRE(retiming.value.size() == g.node_count(),
+                   "retiming does not match graph");
+  const std::vector<int> distance = realized_distances(g, retiming);
+  for (const int d : distance) {
+    PARACONV_REQUIRE(d >= 0, "retiming must be legal (non-negative distances)");
+  }
+
+  UnrolledDag dag;
+  const std::size_t n = g.node_count();
+  dag.instances.reserve(static_cast<std::size_t>(windows) * n);
+  for (std::int64_t w = 0; w < windows; ++w) {
+    for (const graph::NodeId v : g.nodes()) {
+      dag.instances.push_back(UnrolledInstance{v, w});
+    }
+  }
+  dag.boundary_reads.assign(g.edge_count(), 0);
+
+  for (std::int64_t w = 0; w < windows; ++w) {
+    for (const graph::EdgeId e : g.edges()) {
+      const graph::Ipr& ipr = g.ipr(e);
+      const std::int64_t producer_window = w - distance[e.value];
+      const std::size_t consumer_index =
+          static_cast<std::size_t>(w) * n + ipr.dst.value;
+      if (producer_window < 0) {
+        ++dag.boundary_reads[e.value];
+        continue;
+      }
+      const std::size_t producer_index =
+          static_cast<std::size_t>(producer_window) * n + ipr.src.value;
+      dag.dependencies.emplace_back(producer_index, consumer_index);
+    }
+  }
+  return dag;
+}
+
+bool unrolled_is_executable(const graph::TaskGraph& g,
+                            const Retiming& retiming) {
+  if (retiming.value.size() != g.node_count()) return false;
+  const std::vector<int> distance = realized_distances(g, retiming);
+
+  // Executable window-by-window iff the zero-distance subgraph (the
+  // dependencies that stay inside one window) is acyclic; positive
+  // distances always point to earlier windows.
+  for (const int d : distance) {
+    if (d < 0) return false;
+  }
+  graph::TaskGraph same_window("same-window");
+  for (const graph::NodeId v : g.nodes()) {
+    same_window.add_task(g.task(v));
+  }
+  for (const graph::EdgeId e : g.edges()) {
+    if (distance[e.value] == 0) {
+      const graph::Ipr& ipr = g.ipr(e);
+      same_window.add_ipr(ipr.src, ipr.dst, ipr.size);
+    }
+  }
+  return graph::is_acyclic(same_window);
+}
+
+}  // namespace paraconv::retiming

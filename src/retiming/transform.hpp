@@ -1,0 +1,48 @@
+// Graph transformations induced by retiming.
+//
+// Retiming turns intra-iteration dependencies into inter-iteration
+// dependencies (paper Sec. 3.1). `unroll` materializes that transformation:
+// it builds the explicit DAG of task *instances* over a finite horizon of
+// iterations, where the instance of consumer j for iteration L depends on
+// the producer instance of iteration L executed d_ij windows earlier.
+// Dependencies reaching before the horizon (the prologue's warm-up reads)
+// are recorded separately. Used for verification and visualization.
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "retiming/retiming.hpp"
+
+namespace paraconv::retiming {
+
+struct UnrolledInstance {
+  graph::NodeId node;
+  std::int64_t window{0};
+};
+
+struct UnrolledDag {
+  /// Instances in window-major order; instance index = window * node_count
+  /// + node id.
+  std::vector<UnrolledInstance> instances;
+  /// Dependency pairs (producer instance index, consumer instance index).
+  std::vector<std::pair<std::size_t, std::size_t>> dependencies;
+  /// Edges whose producer instance falls before window 0 (prologue
+  /// boundary reads), one count per original edge id.
+  std::vector<std::int64_t> boundary_reads;
+};
+
+/// Unrolls `windows` windows of the retimed execution. In window w, every
+/// task executes once; the consumer of edge (i, j) with distance
+/// d = r(i) - r(j) reads the output produced in window w - d.
+/// Requires a legal retiming (all realized distances non-negative).
+UnrolledDag unroll(const graph::TaskGraph& g, const Retiming& retiming,
+                   std::int64_t windows);
+
+/// True iff the unrolled dependence relation is acyclic *and* every
+/// dependency points backward or sideways in window order with a positive
+/// distance, i.e. the retimed steady state is executable window by window.
+bool unrolled_is_executable(const graph::TaskGraph& g,
+                            const Retiming& retiming);
+
+}  // namespace paraconv::retiming

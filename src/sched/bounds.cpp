@@ -1,0 +1,22 @@
+#include "sched/bounds.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace paraconv::sched {
+
+TimeUnits period_lower_bound(const graph::TaskGraph& g, int pe_count) {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  return TimeUnits{std::max(ceil_div(g.total_work().value, pe_count),
+                            g.max_exec_time().value)};
+}
+
+int retiming_lower_bound(const graph::TaskGraph& g, TimeUnits period) {
+  PARACONV_REQUIRE(period > TimeUnits{0}, "period must be positive");
+  const TimeUnits cp = graph::critical_path_length(g);
+  return static_cast<int>(
+      std::max<std::int64_t>(0, ceil_div(cp.value, period.value) - 1));
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,25 @@
+// Scheduling lower bounds.
+//
+// Complements the validator: any kernel schedule for graph G on N PEs obeys
+//   p      >= max(ceil(W / N), c_max)                      (resources)
+//   R_max  >= ceil(CP / p) - 1                             (pipelining)
+// where W is total work, c_max the longest task and CP the execution-time
+// critical path. The second bound holds because one iteration's tasks span
+// at most (R_max + 1) windows of length p, and no schedule can run a
+// dependency chain faster than its summed execution time. These bounds let
+// Table 2 report how close the DP's prologue is to the attainable minimum.
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::sched {
+
+/// max(ceil(W/N), c_max): no kernel period can be shorter.
+TimeUnits period_lower_bound(const graph::TaskGraph& g, int pe_count);
+
+/// ceil(CP/p) - 1 (>= 0): no legal retiming for a period-p kernel can have
+/// a smaller maximum retiming value.
+int retiming_lower_bound(const graph::TaskGraph& g, TimeUnits period);
+
+}  // namespace paraconv::sched

@@ -1,0 +1,40 @@
+#include "sched/latency.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace paraconv::sched {
+
+LatencyReport iteration_latency(const graph::TaskGraph& g,
+                                const KernelSchedule& kernel) {
+  PARACONV_REQUIRE(kernel.placement.size() == g.node_count() &&
+                       kernel.retiming.size() == g.node_count(),
+                   "kernel schedule does not match graph");
+  PARACONV_REQUIRE(kernel.period > TimeUnits{0}, "period must be positive");
+
+  const int r_max = kernel.r_max();
+  std::int64_t earliest = std::numeric_limits<std::int64_t>::max();
+  std::int64_t latest = std::numeric_limits<std::int64_t>::min();
+  int min_r = std::numeric_limits<int>::max();
+  int max_r = std::numeric_limits<int>::min();
+
+  for (const graph::NodeId v : g.nodes()) {
+    const int r = kernel.retiming[v.value];
+    min_r = std::min(min_r, r);
+    max_r = std::max(max_r, r);
+    // Iteration L's instance of v runs in window L + r_max - r.
+    const std::int64_t offset =
+        static_cast<std::int64_t>(r_max - r) * kernel.period.value;
+    const std::int64_t start = offset + kernel.placement[v.value].start.value;
+    earliest = std::min(earliest, start);
+    latest = std::max(latest, start + g.task(v).exec_time.value);
+  }
+
+  LatencyReport report;
+  report.iteration_latency = TimeUnits{latest - earliest};
+  report.windows_spanned = 1 + max_r - min_r;
+  report.period = kernel.period;
+  return report;
+}
+
+}  // namespace paraconv::sched

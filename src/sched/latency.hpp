@@ -1,0 +1,31 @@
+// Per-iteration latency analysis.
+//
+// Retiming trades latency for throughput: iteration L's tasks are spread
+// over windows [L, L + R_max - min r], so while the array *completes* one
+// iteration every p time units, a single input takes up to
+// (R_max - r_min + 1) windows from its first task to its last. The paper
+// reports only throughput; this analysis quantifies the latency side of
+// the trade so users can bound end-to-end response time.
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::sched {
+
+struct LatencyReport {
+  /// Steady-state span from the start of an iteration's earliest task to
+  /// the finish of its latest task.
+  TimeUnits iteration_latency{0};
+  /// Number of kernel windows one iteration touches
+  /// (1 + max r - min r over tasks).
+  int windows_spanned{1};
+  /// Throughput period for reference (one result per `period`).
+  TimeUnits period{0};
+};
+
+/// Latency of one application iteration under the retimed kernel schedule.
+LatencyReport iteration_latency(const graph::TaskGraph& g,
+                                const KernelSchedule& kernel);
+
+}  // namespace paraconv::sched

@@ -1,0 +1,118 @@
+#include "sched/modulo.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "graph/algorithms.hpp"
+#include "sched/bounds.hpp"
+
+namespace paraconv::sched {
+namespace {
+
+/// Per-PE occupancy of the modulo reservation table: one flag per
+/// (PE, offset) cell.
+class ReservationTable {
+ public:
+  ReservationTable(int pe_count, std::int64_t ii)
+      : ii_(ii),
+        busy_(static_cast<std::size_t>(pe_count) *
+                  static_cast<std::size_t>(ii),
+              false) {}
+
+  /// First PE with [offset, offset+exec) free, or nullopt.
+  std::optional<int> find_pe(std::int64_t offset, std::int64_t exec,
+                             int pe_count) const {
+    for (int pe = 0; pe < pe_count; ++pe) {
+      bool free = true;
+      for (std::int64_t t = offset; t < offset + exec && free; ++t) {
+        free = !busy_[index(pe, t)];
+      }
+      if (free) return pe;
+    }
+    return std::nullopt;
+  }
+
+  void occupy(int pe, std::int64_t offset, std::int64_t exec) {
+    for (std::int64_t t = offset; t < offset + exec; ++t) {
+      busy_[index(pe, t)] = true;
+    }
+  }
+
+ private:
+  std::size_t index(int pe, std::int64_t t) const {
+    return static_cast<std::size_t>(pe) * static_cast<std::size_t>(ii_) +
+           static_cast<std::size_t>(t);
+  }
+
+  std::int64_t ii_;
+  std::vector<bool> busy_;
+};
+
+/// One scheduling attempt at a fixed initiation interval; nullopt if some
+/// task found no slot within the search budget.
+std::optional<Packing> try_schedule(const graph::TaskGraph& g,
+                                    const pim::PimConfig& config,
+                                    std::int64_t ii,
+                                    const ModuloOptions& options,
+                                    const std::vector<graph::NodeId>& order) {
+  ReservationTable table(config.pe_count, ii);
+  std::vector<std::int64_t> absolute(g.node_count(), 0);
+  Packing packing;
+  packing.placement.resize(g.node_count());
+  packing.period = TimeUnits{ii};
+
+  for (const graph::NodeId v : order) {
+    const std::int64_t exec = g.task(v).exec_time.value;
+    if (exec > ii) return std::nullopt;
+
+    std::int64_t earliest = 0;
+    for (const graph::EdgeId e : g.in_edges(v)) {
+      const graph::Ipr& ipr = g.ipr(e);
+      const std::int64_t latency = std::min<std::int64_t>(
+          ii, config.transfer_time(pim::AllocSite::kEdram, ipr.size).value);
+      earliest = std::max(earliest, absolute[ipr.src.value] +
+                                        g.task(ipr.src).exec_time.value +
+                                        latency);
+    }
+
+    bool placed = false;
+    const std::int64_t budget =
+        earliest + static_cast<std::int64_t>(options.search_windows) * ii;
+    for (std::int64_t t = earliest; t <= budget && !placed; ++t) {
+      const std::int64_t offset = t % ii;
+      if (offset + exec > ii) continue;  // tasks must not wrap the window
+      const std::optional<int> pe =
+          table.find_pe(offset, exec, config.pe_count);
+      if (!pe.has_value()) continue;
+      table.occupy(*pe, offset, exec);
+      absolute[v.value] = t;
+      packing.placement[v.value] = TaskPlacement{*pe, TimeUnits{offset}};
+      placed = true;
+    }
+    if (!placed) return std::nullopt;
+  }
+  return packing;
+}
+
+}  // namespace
+
+Packing pack_modulo(const graph::TaskGraph& g, const pim::PimConfig& config,
+                    const ModuloOptions& options) {
+  config.validate();
+  PARACONV_REQUIRE(options.search_windows >= 1 && options.max_ii_growth >= 1,
+                   "invalid modulo-scheduling options");
+  const auto order = graph::topological_order(g);
+  PARACONV_REQUIRE(order.has_value(), "pack_modulo requires an acyclic graph");
+
+  const std::int64_t mii = period_lower_bound(g, config.pe_count).value;
+  for (std::int64_t ii = mii;
+       ii <= mii + options.max_ii_growth + g.total_work().value; ++ii) {
+    std::optional<Packing> packing =
+        try_schedule(g, config, ii, options, *order);
+    if (packing.has_value()) return std::move(*packing);
+  }
+  PARACONV_CHECK(false, "modulo scheduling failed to converge");
+  return {};
+}
+
+}  // namespace paraconv::sched

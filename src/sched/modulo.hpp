@@ -1,0 +1,34 @@
+// Iterative modulo scheduling (Rau-style, simplified).
+//
+// The compiler-literature alternative to the paper's pack-then-retime
+// pipeline: choose *absolute* start times t_i >= t_pred + c_pred + latency
+// along dependencies, mapping each task to window t_i / II and offset
+// t_i mod II under per-PE resource constraints. Offsets then sit after
+// their producers' (modulo the initiation interval II), so the recomputed
+// per-edge retiming distances equal the window differences — R_max tracks
+// ceil(depth/II) instead of the dependency-oblivious packers' per-edge
+// ceiling accumulation. The ablation quantifies the prologue gap.
+#pragma once
+
+#include "pim/config.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::sched {
+
+struct ModuloOptions {
+  /// Slot-search window per task (in multiples of II) before the initiation
+  /// interval is enlarged and scheduling restarts.
+  int search_windows{4};
+  /// Upper bound on II growth (multiples of the resource MII) before giving
+  /// up; within it, scheduling always succeeds (II = W serializes).
+  int max_ii_growth{64};
+};
+
+/// Modulo-schedules `g` on `config.pe_count` PEs. The returned period is
+/// the achieved initiation interval (>= the resource bound); placements
+/// satisfy the usual kernel-window invariants. Hand-off latencies assume
+/// the conservative eDRAM site so any later allocation only adds slack.
+Packing pack_modulo(const graph::TaskGraph& g, const pim::PimConfig& config,
+                    const ModuloOptions& options = {});
+
+}  // namespace paraconv::sched

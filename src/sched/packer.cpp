@@ -1,0 +1,267 @@
+#include "sched/packer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+
+namespace paraconv::sched {
+
+Packing pack_ignore_dependencies(const graph::TaskGraph& g, int pe_count) {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+
+  std::vector<graph::NodeId> order = g.nodes();
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              const TimeUnits ca = g.task(a).exec_time;
+              const TimeUnits cb = g.task(b).exec_time;
+              if (ca != cb) return ca > cb;  // longest first
+              return a.value < b.value;
+            });
+
+  std::vector<TimeUnits> load(static_cast<std::size_t>(pe_count),
+                              TimeUnits{0});
+  Packing result;
+  result.placement.resize(g.node_count());
+  for (const graph::NodeId v : order) {
+    const auto lightest = static_cast<std::size_t>(std::distance(
+        load.begin(), std::min_element(load.begin(), load.end())));
+    result.placement[v.value] =
+        TaskPlacement{static_cast<int>(lightest), load[lightest]};
+    load[lightest] += g.task(v).exec_time;
+  }
+  result.period = *std::max_element(load.begin(), load.end());
+  PARACONV_CHECK(result.period > TimeUnits{0}, "empty packing");
+  return result;
+}
+
+Packing pack_topological(const graph::TaskGraph& g, int pe_count) {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  const auto topo = graph::topological_order(g);
+  PARACONV_REQUIRE(topo.has_value(),
+                   "pack_topological requires an acyclic graph");
+
+  std::vector<TimeUnits> load(static_cast<std::size_t>(pe_count),
+                              TimeUnits{0});
+  Packing result;
+  result.placement.resize(g.node_count());
+  for (const graph::NodeId v : *topo) {
+    const auto lightest = static_cast<std::size_t>(std::distance(
+        load.begin(), std::min_element(load.begin(), load.end())));
+    result.placement[v.value] =
+        TaskPlacement{static_cast<int>(lightest), load[lightest]};
+    load[lightest] += g.task(v).exec_time;
+  }
+  result.period = *std::max_element(load.begin(), load.end());
+  PARACONV_CHECK(result.period > TimeUnits{0}, "empty packing");
+  return result;
+}
+
+Packing pack_locality(const graph::TaskGraph& g,
+                      const pim::PimConfig& config) {
+  config.validate();
+  const int pe_count = config.pe_count;
+  const auto topo = graph::topological_order(g);
+  PARACONV_REQUIRE(topo.has_value(), "pack_locality requires an acyclic graph");
+
+  // Load slack within which locality may override pure balance: one
+  // average task, so the period bound degrades by at most max_exec.
+  const TimeUnits slack = g.max_exec_time();
+
+  std::vector<TimeUnits> load(static_cast<std::size_t>(pe_count),
+                              TimeUnits{0});
+  Packing result;
+  result.placement.resize(g.node_count());
+  for (const graph::NodeId v : *topo) {
+    const TimeUnits lightest = *std::min_element(load.begin(), load.end());
+    int best_pe = -1;
+    std::int64_t best_hops = 0;
+    for (int pe = 0; pe < pe_count; ++pe) {
+      if (load[static_cast<std::size_t>(pe)] > lightest + slack) continue;
+      std::int64_t hops = 0;
+      for (const graph::EdgeId e : g.in_edges(v)) {
+        hops += config.hop_count(result.placement[g.ipr(e).src.value].pe, pe);
+      }
+      if (best_pe < 0 || hops < best_hops ||
+          (hops == best_hops &&
+           load[static_cast<std::size_t>(pe)] <
+               load[static_cast<std::size_t>(best_pe)])) {
+        best_pe = pe;
+        best_hops = hops;
+      }
+    }
+    PARACONV_CHECK(best_pe >= 0, "no eligible PE found");
+    result.placement[v.value] =
+        TaskPlacement{best_pe, load[static_cast<std::size_t>(best_pe)]};
+    load[static_cast<std::size_t>(best_pe)] += g.task(v).exec_time;
+  }
+  result.period = *std::max_element(load.begin(), load.end());
+  PARACONV_CHECK(result.period > TimeUnits{0}, "empty packing");
+  return result;
+}
+
+ListScheduleResult list_schedule(const graph::TaskGraph& g, int pe_count,
+                                 const std::vector<TimeUnits>& edge_transfer) {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  PARACONV_REQUIRE(edge_transfer.size() == g.edge_count(),
+                   "one transfer latency per edge required");
+
+  // Upward rank including transfer latencies: rank(i) = c_i +
+  // max over out-edges e=(i,j) of (transfer_e + rank(j)).
+  const auto topo = graph::topological_order(g);
+  PARACONV_REQUIRE(topo.has_value(), "list_schedule requires an acyclic graph");
+  std::vector<TimeUnits> rank(g.node_count(), TimeUnits{0});
+  for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+    const graph::NodeId v = *it;
+    TimeUnits best{0};
+    for (const graph::EdgeId e : g.out_edges(v)) {
+      const graph::NodeId w = g.ipr(e).dst;
+      best = std::max(best, edge_transfer[e.value] + rank[w.value]);
+    }
+    rank[v.value] = g.task(v).exec_time + best;
+  }
+
+  // Priority order: rank descending, node id ascending for determinism.
+  // Scheduling in this order is dependency-safe because a producer's rank
+  // strictly exceeds every consumer's rank... only along its own paths; we
+  // therefore still gate each task on predecessor completion below.
+  std::vector<graph::NodeId> order = g.nodes();
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              if (rank[a.value] != rank[b.value]) {
+                return rank[a.value] > rank[b.value];
+              }
+              return a.value < b.value;
+            });
+
+  std::vector<TimeUnits> pe_available(static_cast<std::size_t>(pe_count),
+                                      TimeUnits{0});
+  std::vector<TimeUnits> finish(g.node_count(), TimeUnits{0});
+  std::vector<bool> scheduled(g.node_count(), false);
+
+  ListScheduleResult result;
+  result.placement.resize(g.node_count());
+
+  for (const graph::NodeId v : order) {
+    // All predecessors appear earlier in rank order (their rank is strictly
+    // larger along the edge), so they are already scheduled.
+    TimeUnits best_finish{0};
+    int best_pe = -1;
+    TimeUnits best_start{0};
+    for (int pe = 0; pe < pe_count; ++pe) {
+      TimeUnits ready{0};
+      for (const graph::EdgeId e : g.in_edges(v)) {
+        const graph::NodeId u = g.ipr(e).src;
+        PARACONV_CHECK(scheduled[u.value],
+                       "predecessor not yet scheduled in rank order");
+        const TimeUnits hand_off =
+            result.placement[u.value].pe == pe ? TimeUnits{0}
+                                               : edge_transfer[e.value];
+        ready = std::max(ready, finish[u.value] + hand_off);
+      }
+      const TimeUnits start =
+          std::max(ready, pe_available[static_cast<std::size_t>(pe)]);
+      const TimeUnits fin = start + g.task(v).exec_time;
+      if (best_pe < 0 || fin < best_finish) {
+        best_pe = pe;
+        best_finish = fin;
+        best_start = start;
+      }
+    }
+    result.placement[v.value] = TaskPlacement{best_pe, best_start};
+    finish[v.value] = best_finish;
+    pe_available[static_cast<std::size_t>(best_pe)] = best_finish;
+    scheduled[v.value] = true;
+    result.makespan = std::max(result.makespan, best_finish);
+  }
+  return result;
+}
+
+ListScheduleResult list_schedule_insertion(
+    const graph::TaskGraph& g, int pe_count,
+    const std::vector<TimeUnits>& edge_transfer) {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  PARACONV_REQUIRE(edge_transfer.size() == g.edge_count(),
+                   "one transfer latency per edge required");
+
+  const auto topo = graph::topological_order(g);
+  PARACONV_REQUIRE(topo.has_value(),
+                   "list_schedule_insertion requires an acyclic graph");
+  std::vector<TimeUnits> rank(g.node_count(), TimeUnits{0});
+  for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+    const graph::NodeId v = *it;
+    TimeUnits best{0};
+    for (const graph::EdgeId e : g.out_edges(v)) {
+      best = std::max(best, edge_transfer[e.value] + rank[g.ipr(e).dst.value]);
+    }
+    rank[v.value] = g.task(v).exec_time + best;
+  }
+
+  std::vector<graph::NodeId> order = g.nodes();
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              if (rank[a.value] != rank[b.value]) {
+                return rank[a.value] > rank[b.value];
+              }
+              return a.value < b.value;
+            });
+
+  // Per-PE sorted busy intervals [start, end).
+  struct Interval {
+    TimeUnits start;
+    TimeUnits end;
+  };
+  std::vector<std::vector<Interval>> busy(
+      static_cast<std::size_t>(pe_count));
+  std::vector<TimeUnits> finish(g.node_count(), TimeUnits{0});
+
+  // Earliest start >= ready on `pe` fitting a task of length `exec`.
+  const auto earliest_gap = [&](int pe, TimeUnits ready, TimeUnits exec) {
+    TimeUnits candidate = ready;
+    for (const Interval& iv : busy[static_cast<std::size_t>(pe)]) {
+      if (candidate + exec <= iv.start) break;  // fits before this interval
+      candidate = std::max(candidate, iv.end);
+    }
+    return candidate;
+  };
+  const auto occupy = [&](int pe, TimeUnits start, TimeUnits exec) {
+    auto& intervals = busy[static_cast<std::size_t>(pe)];
+    const Interval iv{start, start + exec};
+    const auto pos = std::lower_bound(
+        intervals.begin(), intervals.end(), iv,
+        [](const Interval& a, const Interval& b) { return a.start < b.start; });
+    intervals.insert(pos, iv);
+  };
+
+  ListScheduleResult result;
+  result.placement.resize(g.node_count());
+  for (const graph::NodeId v : order) {
+    int best_pe = -1;
+    TimeUnits best_start{0};
+    TimeUnits best_finish{0};
+    for (int pe = 0; pe < pe_count; ++pe) {
+      TimeUnits ready{0};
+      for (const graph::EdgeId e : g.in_edges(v)) {
+        const graph::NodeId u = g.ipr(e).src;
+        const TimeUnits hand_off =
+            result.placement[u.value].pe == pe ? TimeUnits{0}
+                                               : edge_transfer[e.value];
+        ready = std::max(ready, finish[u.value] + hand_off);
+      }
+      const TimeUnits start = earliest_gap(pe, ready, g.task(v).exec_time);
+      const TimeUnits fin = start + g.task(v).exec_time;
+      if (best_pe < 0 || fin < best_finish) {
+        best_pe = pe;
+        best_start = start;
+        best_finish = fin;
+      }
+    }
+    result.placement[v.value] = TaskPlacement{best_pe, best_start};
+    finish[v.value] = best_finish;
+    occupy(best_pe, best_start, g.task(v).exec_time);
+    result.makespan = std::max(result.makespan, best_finish);
+  }
+  return result;
+}
+
+}  // namespace paraconv::sched

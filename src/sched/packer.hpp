@@ -1,0 +1,66 @@
+// Resource-constrained task packers.
+//
+// Para-CONV packs all tasks of one iteration onto the PE array *ignoring*
+// intra-iteration precedence (retiming legalizes this), compacting each
+// iteration to the minimum execution time (paper Fig. 3(b)). The baseline
+// scheduler instead respects intra-iteration dependencies (no retiming) and
+// therefore pays the critical path every iteration.
+#pragma once
+
+#include <vector>
+
+#include "pim/config.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::sched {
+
+struct Packing {
+  std::vector<TaskPlacement> placement;
+  /// Kernel period p = makespan of the packing.
+  TimeUnits period{0};
+};
+
+/// Longest-processing-time-first packing onto `pe_count` identical PEs,
+/// ignoring precedence. Deterministic: ties break on node id / PE index.
+/// Guarantees period <= total_work/pe_count + max_exec (LPT bound) and that
+/// every task fits inside [0, period].
+Packing pack_ignore_dependencies(const graph::TaskGraph& g, int pe_count);
+
+/// Topology-aware packing: tasks are placed in topological order onto the
+/// least-loaded PE. The period matches the greedy load-balancing bound of
+/// pack_ignore_dependencies, but producers tend to start before consumers
+/// inside the window, so many edges need no retiming distance at all
+/// (delta = 0) — shortening the prologue. Used by Para-CONV as the "initial
+/// objective task schedule" (paper Sec. 3.3.3).
+Packing pack_topological(const graph::TaskGraph& g, int pe_count);
+
+/// Locality-aware topological packing for hop-latency NoCs (mesh/ring):
+/// tasks are placed in topological order; among the PEs within `slack` of
+/// the lightest load, the one minimizing total hop distance to the task's
+/// producers wins. On a crossbar this degenerates to pack_topological
+/// (all hop counts equal). Period is at most pack_topological's period
+/// plus the slack.
+Packing pack_locality(const graph::TaskGraph& g, const pim::PimConfig& config);
+
+struct ListScheduleResult {
+  std::vector<TaskPlacement> placement;
+  TimeUnits makespan{0};
+};
+
+/// Dependency-respecting HEFT-style list scheduler: tasks are prioritized by
+/// upward rank (execution + downstream transfer), each scheduled on the PE
+/// with the earliest finish time. `edge_transfer[e]` is the hand-off latency
+/// of edge e when producer and consumer run on different PEs (same-PE
+/// hand-offs are free). Used by the SPARTA-style baseline.
+ListScheduleResult list_schedule(const graph::TaskGraph& g, int pe_count,
+                                 const std::vector<TimeUnits>& edge_transfer);
+
+/// Insertion-based variant of `list_schedule`: instead of appending after a
+/// PE's last task, each task may fill an earlier idle gap on the PE (HEFT's
+/// insertion policy). Same priorities and dependency semantics; typically
+/// equal or shorter makespans at slightly higher scheduling cost.
+ListScheduleResult list_schedule_insertion(
+    const graph::TaskGraph& g, int pe_count,
+    const std::vector<TimeUnits>& edge_transfer);
+
+}  // namespace paraconv::sched

@@ -1,0 +1,38 @@
+#include "sched/prologue.hpp"
+
+namespace paraconv::sched {
+
+std::vector<WindowProfile> prologue_profile(const graph::TaskGraph& g,
+                                            const KernelSchedule& kernel,
+                                            int pe_count) {
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  PARACONV_REQUIRE(kernel.retiming.size() == g.node_count(),
+                   "kernel schedule does not match graph");
+  PARACONV_REQUIRE(kernel.period > TimeUnits{0}, "period must be positive");
+
+  const int r_max = kernel.r_max();
+  std::vector<WindowProfile> profile(static_cast<std::size_t>(r_max) + 1);
+  for (std::size_t w = 0; w < profile.size(); ++w) {
+    profile[w].window = static_cast<std::int64_t>(w);
+  }
+
+  const double denom = static_cast<double>(pe_count) *
+                       static_cast<double>(kernel.period.value);
+  for (const graph::NodeId v : g.nodes()) {
+    // Task v is active in window w iff w >= r_max - r(v); within the
+    // profile's range that is windows [r_max - r(v), r_max].
+    const auto first = static_cast<std::size_t>(r_max - kernel.retiming[v.value]);
+    for (std::size_t w = first; w < profile.size(); ++w) {
+      ++profile[w].active_tasks;
+      profile[w].utilization +=
+          static_cast<double>(g.task(v).exec_time.value) / denom;
+    }
+  }
+  return profile;
+}
+
+TimeUnits prologue_time(const KernelSchedule& kernel) {
+  return kernel.period * kernel.r_max();
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,33 @@
+// Prologue analysis (paper Sec. 2.3 / 3.2).
+//
+// The first R_max kernel windows form the prologue: task i only starts
+// participating from window R_max - r(i), so early windows run partially
+// filled while the pipeline ramps up (Fig. 3(b), time units 0-9). These
+// helpers quantify that ramp for reporting and tests.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace paraconv::sched {
+
+struct WindowProfile {
+  std::int64_t window{0};
+  /// Number of task executions in this window.
+  std::size_t active_tasks{0};
+  /// Busy PE-time in the window divided by pe_count * period.
+  double utilization{0.0};
+};
+
+/// Per-window activity for the prologue windows plus the first steady-state
+/// window (R_max + 1 entries). Utilization is non-decreasing through the
+/// prologue and maximal in steady state.
+std::vector<WindowProfile> prologue_profile(const graph::TaskGraph& g,
+                                            const KernelSchedule& kernel,
+                                            int pe_count);
+
+/// Prologue duration R_max * p.
+TimeUnits prologue_time(const KernelSchedule& kernel);
+
+}  // namespace paraconv::sched

@@ -1,0 +1,92 @@
+#include "sched/refine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "retiming/delta.hpp"
+
+namespace paraconv::sched {
+namespace {
+
+/// Rebuilds compacted placements from a PE assignment: tasks keep node-id
+/// order within their PE and run back-to-back from 0.
+Packing compact(const graph::TaskGraph& g, const std::vector<int>& pe_of,
+                int pe_count) {
+  Packing packing;
+  packing.placement.resize(g.node_count());
+  std::vector<TimeUnits> load(static_cast<std::size_t>(pe_count),
+                              TimeUnits{0});
+  for (const graph::NodeId v : g.nodes()) {
+    const auto pe = static_cast<std::size_t>(pe_of[v.value]);
+    packing.placement[v.value] = TaskPlacement{pe_of[v.value], load[pe]};
+    load[pe] += g.task(v).exec_time;
+  }
+  packing.period = *std::max_element(load.begin(), load.end());
+  return packing;
+}
+
+int distance_sum(const graph::TaskGraph& g, const Packing& packing,
+                 const pim::PimConfig& config) {
+  int sum = 0;
+  for (const retiming::EdgeDelta& d : retiming::compute_edge_deltas(
+           g, packing.placement, packing.period, config)) {
+    sum += d.edram;
+  }
+  return sum;
+}
+
+}  // namespace
+
+RefineResult refine_packing(const graph::TaskGraph& g, const Packing& initial,
+                            const pim::PimConfig& config,
+                            const RefineOptions& options) {
+  PARACONV_REQUIRE(options.max_steps >= 0, "max_steps must be non-negative");
+  PARACONV_REQUIRE(initial.placement.size() == g.node_count(),
+                   "packing does not match graph");
+
+  std::vector<int> pe_of(g.node_count());
+  for (const graph::NodeId v : g.nodes()) {
+    pe_of[v.value] = initial.placement[v.value].pe;
+  }
+
+  RefineResult result;
+  result.packing = compact(g, pe_of, config.pe_count);
+  // Compacting alone must not worsen the period (it only removes gaps).
+  PARACONV_CHECK(result.packing.period <= initial.period,
+                 "compaction increased the period");
+  result.distance_sum_before = distance_sum(g, result.packing, config);
+  result.distance_sum_after = result.distance_sum_before;
+
+  Rng rng(options.seed);
+  for (int step = 0; step < options.max_steps; ++step) {
+    const auto v = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(g.node_count()) - 1));
+    const int target_pe =
+        static_cast<int>(rng.uniform_int(0, config.pe_count - 1));
+    if (pe_of[v] == target_pe) continue;
+
+    const int old_pe = pe_of[v];
+    pe_of[v] = target_pe;
+    const Packing candidate = compact(g, pe_of, config.pe_count);
+    if (candidate.period > result.packing.period) {
+      pe_of[v] = old_pe;
+      continue;
+    }
+    const int candidate_sum = distance_sum(g, candidate, config);
+    const bool better =
+        candidate_sum < result.distance_sum_after ||
+        (candidate_sum == result.distance_sum_after &&
+         candidate.period < result.packing.period);
+    if (!better) {
+      pe_of[v] = old_pe;
+      continue;
+    }
+    result.packing = candidate;
+    result.distance_sum_after = candidate_sum;
+    ++result.accepted_moves;
+  }
+  return result;
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,37 @@
+// Local-search refinement of the objective packing.
+//
+// The packers optimize the period alone; the retiming distances (hence the
+// prologue) also depend on *where within the window* producers and
+// consumers land. This deterministic hill-climb perturbs the packing —
+// moving one task to another PE — accepting only moves that keep the
+// period from growing and strictly shrink the summed eDRAM-site required
+// distances (a cheap upper-bound proxy for the prologue pressure).
+#pragma once
+
+#include "pim/config.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::sched {
+
+struct RefineOptions {
+  /// Candidate moves examined (each is O(E) to evaluate).
+  int max_steps{256};
+  /// Deterministic seed for the move generator.
+  std::uint64_t seed{0x5EED};
+};
+
+struct RefineResult {
+  Packing packing;
+  /// Summed eDRAM required distances before/after (after <= before).
+  int distance_sum_before{0};
+  int distance_sum_after{0};
+  int accepted_moves{0};
+};
+
+/// Refines `initial`; the returned packing has period <= initial.period and
+/// never a larger distance sum.
+RefineResult refine_packing(const graph::TaskGraph& g, const Packing& initial,
+                            const pim::PimConfig& config,
+                            const RefineOptions& options = {});
+
+}  // namespace paraconv::sched

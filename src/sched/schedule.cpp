@@ -1,0 +1,58 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+namespace paraconv::sched {
+
+int KernelSchedule::r_max() const {
+  int best = 0;
+  for (const int r : retiming) best = std::max(best, r);
+  return best;
+}
+
+std::size_t KernelSchedule::cached_edge_count() const {
+  return static_cast<std::size_t>(
+      std::count(allocation.begin(), allocation.end(), pim::AllocSite::kCache));
+}
+
+ExpandedSchedule expand_schedule(const graph::TaskGraph& g,
+                                 const KernelSchedule& kernel,
+                                 std::int64_t iterations) {
+  PARACONV_REQUIRE(iterations >= 1, "at least one iteration required");
+  PARACONV_REQUIRE(kernel.placement.size() == g.node_count(),
+                   "kernel schedule does not match graph");
+  PARACONV_REQUIRE(kernel.retiming.size() == g.node_count(),
+                   "kernel schedule does not match graph");
+  PARACONV_REQUIRE(kernel.period > TimeUnits{0}, "period must be positive");
+
+  const int r_max = kernel.r_max();
+  ExpandedSchedule out;
+  out.prologue = kernel.period * r_max;
+  out.instances.reserve(static_cast<std::size_t>(iterations) * g.node_count());
+
+  for (std::int64_t iter = 0; iter < iterations; ++iter) {
+    for (const graph::NodeId v : g.nodes()) {
+      const std::int64_t window =
+          iter + r_max - kernel.retiming[v.value];
+      const TaskPlacement& place = kernel.placement[v.value];
+      TaskInstance inst;
+      inst.node = v;
+      inst.iteration = iter;
+      inst.window = window;
+      inst.pe = place.pe;
+      inst.start = TimeUnits{window * kernel.period.value} + place.start;
+      out.makespan = std::max(out.makespan,
+                              inst.start + g.task(v).exec_time);
+      out.instances.push_back(inst);
+    }
+  }
+  std::sort(out.instances.begin(), out.instances.end(),
+            [](const TaskInstance& a, const TaskInstance& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.pe != b.pe) return a.pe < b.pe;
+              return a.node.value < b.node.value;
+            });
+  return out;
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,77 @@
+// Schedule representations.
+//
+// Para-CONV's output is a *kernel schedule*: a periodic steady-state pattern
+// of length p in which every task of the (retimed) application executes
+// exactly once, together with per-task retiming values and per-edge
+// inter-iteration distances and allocation sites. The prologue (paper
+// Sec. 2.3) is derived from the retiming values by `expand_schedule`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "graph/task_graph.hpp"
+#include "pim/config.hpp"
+
+namespace paraconv::sched {
+
+/// Placement of one task inside the kernel window [0, p).
+struct TaskPlacement {
+  int pe{0};
+  TimeUnits start{0};
+};
+
+/// Periodic steady-state schedule for a task graph on a PE array.
+struct KernelSchedule {
+  /// Kernel period p: the window repeats every p time units.
+  TimeUnits period{0};
+
+  /// Per-node placement (indexed by NodeId::value).
+  std::vector<TaskPlacement> placement;
+
+  /// Per-node retiming value r(i) >= 0 (indexed by NodeId::value).
+  std::vector<int> retiming;
+
+  /// Per-edge inter-iteration distance d_ij = r(i) - r(j) (indexed by
+  /// EdgeId::value). Non-negative for any legal retiming.
+  std::vector<int> distance;
+
+  /// Per-edge allocation site for the IPR (indexed by EdgeId::value).
+  std::vector<pim::AllocSite> allocation;
+
+  /// Maximum retiming value R_max over all tasks; prologue = R_max * p.
+  int r_max() const;
+
+  /// Number of edges allocated to on-chip cache.
+  std::size_t cached_edge_count() const;
+};
+
+/// One concrete task execution in the expanded (prologue + steady-state)
+/// timeline.
+struct TaskInstance {
+  graph::NodeId node;
+  /// Application iteration index this execution computes (0-based).
+  std::int64_t iteration{0};
+  /// Kernel-window index t in which it runs; absolute start is
+  /// t * period + placement.start.
+  std::int64_t window{0};
+  int pe{0};
+  TimeUnits start{0};  // absolute
+};
+
+/// Fully expanded schedule for `iterations` application iterations.
+struct ExpandedSchedule {
+  std::vector<TaskInstance> instances;  // sorted by absolute start time
+  TimeUnits makespan{0};
+  TimeUnits prologue{0};
+};
+
+/// Expands a kernel schedule over the given iteration count. Task i of
+/// iteration L runs in window L + R_max - r(i); the first R_max windows are
+/// the prologue (paper Sec. 3.2: prologue time = R_max * p).
+ExpandedSchedule expand_schedule(const graph::TaskGraph& g,
+                                 const KernelSchedule& kernel,
+                                 std::int64_t iterations);
+
+}  // namespace paraconv::sched

@@ -1,0 +1,126 @@
+#include "sched/validator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "retiming/delta.hpp"
+
+namespace paraconv::sched {
+namespace {
+
+std::string describe_edge(const graph::TaskGraph& g, graph::EdgeId e) {
+  const graph::Ipr& ipr = g.ipr(e);
+  std::ostringstream os;
+  os << "I(" << g.task(ipr.src).name << " -> " << g.task(ipr.dst).name << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> validate_kernel_schedule(const graph::TaskGraph& g,
+                                                  const KernelSchedule& kernel,
+                                                  const pim::PimConfig& config,
+                                                  Bytes cache_capacity) {
+  std::vector<std::string> issues;
+  const auto add = [&issues](const std::string& msg) { issues.push_back(msg); };
+
+  // Structural consistency.
+  if (kernel.placement.size() != g.node_count()) {
+    add("placement size does not match node count");
+    return issues;
+  }
+  if (kernel.retiming.size() != g.node_count()) {
+    add("retiming size does not match node count");
+    return issues;
+  }
+  if (kernel.distance.size() != g.edge_count()) {
+    add("distance size does not match edge count");
+    return issues;
+  }
+  if (kernel.allocation.size() != g.edge_count()) {
+    add("allocation size does not match edge count");
+    return issues;
+  }
+  if (kernel.period <= TimeUnits{0}) {
+    add("period must be positive");
+    return issues;
+  }
+
+  // Window containment and PE range.
+  for (const graph::NodeId v : g.nodes()) {
+    const TaskPlacement& p = kernel.placement[v.value];
+    if (p.pe < 0 || p.pe >= config.pe_count) {
+      add("task " + g.task(v).name + " placed on invalid PE");
+    }
+    if (p.start < TimeUnits{0} ||
+        p.start + g.task(v).exec_time > kernel.period) {
+      add("task " + g.task(v).name + " does not fit in the kernel window");
+    }
+    if (kernel.retiming[v.value] < 0) {
+      add("task " + g.task(v).name + " has negative retiming value");
+    }
+  }
+  if (!issues.empty()) return issues;
+
+  // PE exclusivity within the window. Because every window repeats the same
+  // pattern and tasks do not wrap, checking one window suffices.
+  std::vector<graph::NodeId> order = g.nodes();
+  std::sort(order.begin(), order.end(), [&](graph::NodeId a, graph::NodeId b) {
+    const TaskPlacement& pa = kernel.placement[a.value];
+    const TaskPlacement& pb = kernel.placement[b.value];
+    if (pa.pe != pb.pe) return pa.pe < pb.pe;
+    if (pa.start != pb.start) return pa.start < pb.start;
+    return a.value < b.value;
+  });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const graph::NodeId prev = order[i - 1];
+    const graph::NodeId cur = order[i];
+    const TaskPlacement& pp = kernel.placement[prev.value];
+    const TaskPlacement& pc = kernel.placement[cur.value];
+    if (pp.pe == pc.pe && pp.start + g.task(prev).exec_time > pc.start) {
+      add("tasks " + g.task(prev).name + " and " + g.task(cur).name +
+          " overlap on PE " + std::to_string(pp.pe));
+    }
+  }
+
+  // Retiming legality and dependency timing.
+  Bytes cached{};
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    const int d = kernel.distance[e.value];
+    const int realized =
+        kernel.retiming[ipr.src.value] - kernel.retiming[ipr.dst.value];
+    if (realized < d) {
+      add("edge " + describe_edge(g, e) +
+          ": retiming values do not provide the recorded distance");
+    }
+    if (d < 0) {
+      add("edge " + describe_edge(g, e) + ": negative distance");
+      continue;
+    }
+    const TaskPlacement& prod = kernel.placement[ipr.src.value];
+    const TaskPlacement& cons = kernel.placement[ipr.dst.value];
+    const TimeUnits transfer = retiming::effective_edge_transfer(
+        config, kernel.allocation[e.value], ipr.size, prod.pe, cons.pe,
+        kernel.period);
+    const std::int64_t lhs = prod.start.value +
+                             g.task(ipr.src).exec_time.value + transfer.value;
+    const std::int64_t rhs =
+        cons.start.value + static_cast<std::int64_t>(realized) *
+                               kernel.period.value;
+    if (lhs > rhs) {
+      add("edge " + describe_edge(g, e) + ": data not ready (needs " +
+          std::to_string(lhs) + ", available " + std::to_string(rhs) + ")");
+    }
+    if (kernel.allocation[e.value] == pim::AllocSite::kCache) {
+      cached += ipr.size;
+    }
+  }
+  if (cached > cache_capacity) {
+    add("cached IPR bytes exceed aggregate cache capacity");
+  }
+
+  return issues;
+}
+
+}  // namespace paraconv::sched

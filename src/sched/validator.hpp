@@ -1,0 +1,30 @@
+// Independent kernel-schedule validator.
+//
+// Checks every property the scheduler is supposed to guarantee, without
+// sharing code with the scheduler: structural consistency, PE exclusivity,
+// window containment, retiming legality (Definition 3.1), dependency timing
+// under the allocation-dependent transfer latencies, and the aggregate cache
+// capacity bound. Returns human-readable issues; an empty list means valid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pim/config.hpp"
+#include "sched/schedule.hpp"
+
+namespace paraconv::sched {
+
+std::vector<std::string> validate_kernel_schedule(const graph::TaskGraph& g,
+                                                  const KernelSchedule& kernel,
+                                                  const pim::PimConfig& config,
+                                                  Bytes cache_capacity);
+
+inline bool is_valid_kernel_schedule(const graph::TaskGraph& g,
+                                     const KernelSchedule& kernel,
+                                     const pim::PimConfig& config,
+                                     Bytes cache_capacity) {
+  return validate_kernel_schedule(g, kernel, config, cache_capacity).empty();
+}
+
+}  // namespace paraconv::sched

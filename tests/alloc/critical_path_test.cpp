@@ -1,0 +1,127 @@
+#include "alloc/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "pim/config.hpp"
+#include "retiming/delta.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::alloc {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+/// Chain a -> b -> c where both edges are case 5 (cache 1, eDRAM 2).
+struct ChainFixture {
+  TaskGraph g{"cp"};
+  std::vector<retiming::EdgeDelta> deltas;
+  std::vector<AllocationItem> items;
+
+  ChainFixture() {
+    const NodeId a = g.add_task(Task{"a", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId b = g.add_task(Task{"b", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId c = g.add_task(Task{"c", TaskKind::kConvolution, TimeUnits{1}});
+    const auto e0 = g.add_ipr(a, b, 4_KiB);
+    const auto e1 = g.add_ipr(b, c, 4_KiB);
+    deltas = {{1, 2}, {1, 2}};
+    items = {AllocationItem{e0, 4_KiB, 1, TimeUnits{0}},
+             AllocationItem{e1, 4_KiB, 1, TimeUnits{1}}};
+  }
+};
+
+TEST(RealizedRMaxTest, MatchesAllocationSites) {
+  const ChainFixture f;
+  EXPECT_EQ(realized_r_max(f.g, f.deltas,
+                           {pim::AllocSite::kEdram, pim::AllocSite::kEdram}),
+            4);
+  EXPECT_EQ(realized_r_max(f.g, f.deltas,
+                           {pim::AllocSite::kCache, pim::AllocSite::kEdram}),
+            3);
+  EXPECT_EQ(realized_r_max(f.g, f.deltas,
+                           {pim::AllocSite::kCache, pim::AllocSite::kCache}),
+            2);
+}
+
+TEST(CriticalPathAllocateTest, CachesWholeChainWhenCapacityAllows) {
+  const ChainFixture f;
+  const AllocationResult r =
+      critical_path_allocate(f.g, f.deltas, f.items, 16_KiB);
+  EXPECT_EQ(r.cached_count, 2U);
+  EXPECT_EQ(realized_r_max(f.g, f.deltas, r.site), 2);
+}
+
+TEST(CriticalPathAllocateTest, StopsAtCapacity) {
+  const ChainFixture f;
+  const AllocationResult r =
+      critical_path_allocate(f.g, f.deltas, f.items, 4_KiB);
+  EXPECT_EQ(r.cached_count, 1U);
+  EXPECT_LE(r.cache_bytes_used, 4_KiB);
+  EXPECT_EQ(realized_r_max(f.g, f.deltas, r.site), 3);
+}
+
+TEST(CriticalPathAllocateTest, SpendsOnlyWhereItHelps) {
+  // Two parallel chains; one is longer (the critical one). With capacity
+  // for one item, it must be spent on the long chain.
+  TaskGraph g("two-chains");
+  const NodeId a = g.add_task(Task{"a", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId b = g.add_task(Task{"b", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId c = g.add_task(Task{"c", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId x = g.add_task(Task{"x", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId y = g.add_task(Task{"y", TaskKind::kConvolution, TimeUnits{1}});
+  const auto long1 = g.add_ipr(a, b, 4_KiB);
+  const auto long2 = g.add_ipr(b, c, 4_KiB);
+  const auto shorte = g.add_ipr(x, y, 4_KiB);
+  const std::vector<retiming::EdgeDelta> deltas{{0, 2}, {0, 2}, {0, 2}};
+  const std::vector<AllocationItem> items{
+      AllocationItem{long1, 4_KiB, 2, TimeUnits{0}},
+      AllocationItem{long2, 4_KiB, 2, TimeUnits{1}},
+      AllocationItem{shorte, 4_KiB, 2, TimeUnits{2}}};
+
+  const AllocationResult r = critical_path_allocate(g, deltas, items, 8_KiB);
+  // All-eDRAM: long chain R_max = 4, short chain 2. Caching both long
+  // edges drops R_max to 2; the short edge is left in eDRAM.
+  EXPECT_EQ(r.site[long1.value], pim::AllocSite::kCache);
+  EXPECT_EQ(r.site[long2.value], pim::AllocSite::kCache);
+  EXPECT_EQ(r.site[shorte.value], pim::AllocSite::kEdram);
+  EXPECT_EQ(realized_r_max(g, deltas, r.site), 2);
+}
+
+TEST(CriticalPathAllocateTest, NeverWorseThanAllEdram) {
+  graph::GeneratorConfig gen;
+  gen.vertices = 60;
+  gen.edges = 160;
+  gen.seed = 21;
+  const graph::TaskGraph g = graph::generate_layered_dag(gen);
+  const pim::PimConfig cfg = pim::PimConfig::neurocube(16);
+  const sched::Packing packing = sched::pack_topological(g, 16);
+  const auto deltas = retiming::compute_edge_deltas(
+      g, packing.placement, packing.period, cfg);
+  std::vector<AllocationItem> items;
+  for (const graph::EdgeId e : g.edges()) {
+    const int profit = deltas[e.value].edram - deltas[e.value].cache;
+    if (profit > 0) {
+      items.push_back(AllocationItem{e, g.ipr(e).size, profit, TimeUnits{0}});
+    }
+  }
+  const std::vector<pim::AllocSite> all_edram(g.edge_count(),
+                                              pim::AllocSite::kEdram);
+  const AllocationResult r =
+      critical_path_allocate(g, deltas, items, cfg.total_cache_bytes());
+  EXPECT_LE(realized_r_max(g, deltas, r.site),
+            realized_r_max(g, deltas, all_edram));
+  EXPECT_LE(r.cache_bytes_used, cfg.total_cache_bytes());
+}
+
+TEST(CriticalPathAllocateTest, ZeroCapacityAllocatesNothing) {
+  const ChainFixture f;
+  const AllocationResult r =
+      critical_path_allocate(f.g, f.deltas, f.items, Bytes{0});
+  EXPECT_EQ(r.cached_count, 0U);
+}
+
+}  // namespace
+}  // namespace paraconv::alloc

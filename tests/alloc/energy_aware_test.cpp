@@ -1,0 +1,86 @@
+#include "alloc/energy_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alloc/critical_path.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "pim/config.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::alloc {
+namespace {
+
+struct Prepared {
+  graph::TaskGraph g;
+  std::vector<retiming::EdgeDelta> deltas;
+  std::vector<AllocationItem> items;
+  Bytes capacity;
+
+  explicit Prepared(const std::string& bench, int pes)
+      : g(graph::build_paper_benchmark(graph::paper_benchmark(bench))) {
+    const pim::PimConfig cfg = pim::PimConfig::neurocube(pes);
+    const sched::Packing packing = sched::pack_topological(g, pes);
+    deltas = retiming::compute_edge_deltas(g, packing.placement,
+                                           packing.period, cfg);
+    items = build_items(g, packing.placement, deltas);
+    capacity = cfg.total_cache_bytes();
+  }
+};
+
+TEST(EnergyAwareTest, MatchesCriticalPathRmax) {
+  for (const char* bench : {"flower", "character-2", "stock-predict"}) {
+    const Prepared p(bench, 32);
+    const AllocationResult base =
+        critical_path_allocate(p.g, p.deltas, p.items, p.capacity);
+    const AllocationResult energy =
+        energy_aware_allocate(p.g, p.deltas, p.items, p.capacity);
+    EXPECT_EQ(realized_r_max(p.g, p.deltas, energy.site),
+              realized_r_max(p.g, p.deltas, base.site))
+        << bench;
+  }
+}
+
+TEST(EnergyAwareTest, CachesStrictlyMoreTrafficWhenCapacityRemains) {
+  const Prepared p("character-2", 32);
+  const AllocationResult base =
+      critical_path_allocate(p.g, p.deltas, p.items, p.capacity);
+  const AllocationResult energy =
+      energy_aware_allocate(p.g, p.deltas, p.items, p.capacity);
+  EXPECT_GE(energy.cached_count, base.cached_count);
+  EXPECT_GE(energy.cache_bytes_used, base.cache_bytes_used);
+  // Capacity large relative to the sensitive set: the energy phase must
+  // have used the slack.
+  if (base.cache_bytes_used + Bytes{16 * 1024} < p.capacity) {
+    EXPECT_GT(energy.cache_bytes_used, base.cache_bytes_used);
+  }
+}
+
+TEST(EnergyAwareTest, RespectsCapacity) {
+  for (const std::int64_t kib : {1LL, 8LL, 64LL, 512LL}) {
+    const Prepared p("stock-predict", 16);
+    const Bytes capacity{kib * 1024};
+    const AllocationResult r =
+        energy_aware_allocate(p.g, p.deltas, p.items, capacity);
+    EXPECT_LE(r.cache_bytes_used, capacity);
+  }
+}
+
+TEST(EnergyAwareTest, InsensitiveEdgesParticipate) {
+  // With capacity exceeding the total IPR volume, every edge gets cached —
+  // including the ΔR = 0 ones the throughput allocators ignore.
+  const Prepared p("cat", 16);
+  const AllocationResult r =
+      energy_aware_allocate(p.g, p.deltas, p.items, Bytes{64 * 1024 * 1024});
+  EXPECT_EQ(r.cached_count, p.g.edge_count());
+  EXPECT_EQ(r.cache_bytes_used, p.g.total_ipr_bytes());
+}
+
+TEST(EnergyAwareTest, ZeroCapacityCachesNothing) {
+  const Prepared p("cat", 16);
+  const AllocationResult r =
+      energy_aware_allocate(p.g, p.deltas, p.items, Bytes{0});
+  EXPECT_EQ(r.cached_count, 0U);
+}
+
+}  // namespace
+}  // namespace paraconv::alloc

@@ -1,0 +1,104 @@
+#include "alloc/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alloc/knapsack.hpp"
+#include "common/rng.hpp"
+
+namespace paraconv::alloc {
+namespace {
+
+struct Instance {
+  graph::TaskGraph g{"greedy"};
+  std::vector<AllocationItem> items;
+
+  explicit Instance(
+      const std::vector<std::pair<std::int64_t, int>>& size_profit) {
+    const auto hub = g.add_task(
+        graph::Task{"hub", graph::TaskKind::kConvolution, TimeUnits{1}});
+    for (std::size_t i = 0; i < size_profit.size(); ++i) {
+      const auto n = g.add_task(graph::Task{
+          "n" + std::to_string(i), graph::TaskKind::kConvolution,
+          TimeUnits{1}});
+      const auto e = g.add_ipr(hub, n, Bytes{size_profit[i].first});
+      items.push_back(AllocationItem{e, Bytes{size_profit[i].first},
+                                     size_profit[i].second,
+                                     TimeUnits{static_cast<std::int64_t>(i)}});
+    }
+  }
+};
+
+TEST(GreedyDensityTest, PrefersProfitPerByte) {
+  // (10, 1) density 0.1; (4, 2) density 0.5; (5, 1) density 0.2.
+  const Instance inst({{10, 1}, {4, 2}, {5, 1}});
+  const AllocationResult r =
+      greedy_density_allocate(inst.g, inst.items, Bytes{9});
+  // Takes (4,2) then (5,1); (10,1) does not fit.
+  EXPECT_EQ(r.total_profit, 3);
+  EXPECT_EQ(r.cached_count, 2U);
+  EXPECT_EQ(r.site[1], pim::AllocSite::kCache);
+  EXPECT_EQ(r.site[2], pim::AllocSite::kCache);
+  EXPECT_EQ(r.site[0], pim::AllocSite::kEdram);
+}
+
+TEST(GreedyDensityTest, CanBeSuboptimal) {
+  // Density greedy grabs the small dense item and blocks the better pair.
+  const Instance inst({{6, 3}, {5, 2}, {5, 2}});
+  const AllocationResult greedy =
+      greedy_density_allocate(inst.g, inst.items, Bytes{10});
+  const int optimal = knapsack_profit(inst.items, KnapsackOptions{Bytes{10}, 1});
+  EXPECT_EQ(optimal, 4);           // the two (5,2) items
+  EXPECT_EQ(greedy.total_profit, 3);  // (6,3) then nothing fits
+}
+
+TEST(GreedyDeadlineTest, TakesInGivenOrderWhileFitting) {
+  const Instance inst({{4, 1}, {5, 2}, {2, 2}});
+  const AllocationResult r =
+      greedy_deadline_allocate(inst.g, inst.items, Bytes{7});
+  // Deadline order: item0 (4) fits, item1 (5) does not, item2 (2) fits.
+  EXPECT_EQ(r.cached_count, 2U);
+  EXPECT_EQ(r.total_profit, 3);
+  EXPECT_EQ(r.site[0], pim::AllocSite::kCache);
+  EXPECT_EQ(r.site[1], pim::AllocSite::kEdram);
+  EXPECT_EQ(r.site[2], pim::AllocSite::kCache);
+}
+
+class GreedyBoundTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyBoundTest, NeverExceedsOptimumOrCapacity) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::int64_t, int>> spec;
+  const int n = static_cast<int>(rng.uniform_int(1, 20));
+  for (int i = 0; i < n; ++i) {
+    spec.emplace_back(rng.uniform_int(1, 40),
+                      static_cast<int>(rng.uniform_int(1, 2)));
+  }
+  const Instance inst(spec);
+  const Bytes capacity{rng.uniform_int(0, 120)};
+  const int optimal = knapsack_profit(inst.items, KnapsackOptions{capacity, 1});
+
+  using AllocFn = AllocationResult (*)(const graph::TaskGraph&,
+                                       const std::vector<AllocationItem>&,
+                                       Bytes);
+  for (const AllocFn allocate :
+       {AllocFn{greedy_density_allocate}, AllocFn{greedy_deadline_allocate}}) {
+    const AllocationResult r = allocate(inst.g, inst.items, capacity);
+    EXPECT_LE(r.total_profit, optimal);
+    EXPECT_LE(r.cache_bytes_used, capacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyBoundTest,
+                         testing::Range<std::uint64_t>(1, 16));
+
+TEST(GreedyTest, EmptyItems) {
+  const Instance inst({});
+  EXPECT_EQ(greedy_density_allocate(inst.g, inst.items, Bytes{10}).cached_count,
+            0U);
+  EXPECT_EQ(
+      greedy_deadline_allocate(inst.g, inst.items, Bytes{10}).cached_count,
+      0U);
+}
+
+}  // namespace
+}  // namespace paraconv::alloc

@@ -1,0 +1,86 @@
+#include "alloc/item.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::alloc {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+/// A -> B, A -> C, B -> C with hand-chosen deltas and placements.
+struct Fixture {
+  TaskGraph g{"items"};
+  std::vector<sched::TaskPlacement> placement;
+  std::vector<retiming::EdgeDelta> deltas;
+
+  Fixture() {
+    const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId b = g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId c = g.add_task(Task{"C", TaskKind::kConvolution, TimeUnits{1}});
+    g.add_ipr(a, b, 2_KiB);  // edge 0: consumer B @5, dR = 1
+    g.add_ipr(a, c, 4_KiB);  // edge 1: consumer C @2, dR = 0 (excluded)
+    g.add_ipr(b, c, 8_KiB);  // edge 2: consumer C @2, dR = 2
+    placement = {{0, TimeUnits{0}}, {1, TimeUnits{5}}, {2, TimeUnits{2}}};
+    deltas = {{0, 1}, {1, 1}, {0, 2}};
+  }
+};
+
+TEST(BuildItemsTest, ExcludesInsensitiveEdgesAndSortsByDeadline) {
+  const Fixture f;
+  const auto items = build_items(f.g, f.placement, f.deltas);
+  ASSERT_EQ(items.size(), 2U);
+  // Edge 2's consumer starts at 2 (earlier deadline), edge 0's at 5.
+  EXPECT_EQ(items[0].edge.value, 2U);
+  EXPECT_EQ(items[0].deadline.value, 2);
+  EXPECT_EQ(items[0].profit, 2);
+  EXPECT_EQ(items[0].size, 8_KiB);
+  EXPECT_EQ(items[1].edge.value, 0U);
+  EXPECT_EQ(items[1].deadline.value, 5);
+  EXPECT_EQ(items[1].profit, 1);
+}
+
+TEST(BuildItemsTest, DeadlineTiesBreakOnEdgeId) {
+  Fixture f;
+  f.placement[1].start = TimeUnits{2};  // B and C both start at 2
+  const auto items = build_items(f.g, f.placement, f.deltas);
+  ASSERT_EQ(items.size(), 2U);
+  EXPECT_EQ(items[0].edge.value, 0U);
+  EXPECT_EQ(items[1].edge.value, 2U);
+}
+
+TEST(BuildItemsTest, AllInsensitiveYieldsEmpty) {
+  Fixture f;
+  f.deltas = {{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_TRUE(build_items(f.g, f.placement, f.deltas).empty());
+}
+
+TEST(MaterializeTest, ChosenGoCacheRestGoEdram) {
+  const Fixture f;
+  const auto items = build_items(f.g, f.placement, f.deltas);
+  const AllocationResult r = materialize(f.g, items, {true, false});
+  ASSERT_EQ(r.site.size(), 3U);
+  EXPECT_EQ(r.site[2], pim::AllocSite::kCache);   // chosen item 0 = edge 2
+  EXPECT_EQ(r.site[0], pim::AllocSite::kEdram);   // unchosen item
+  EXPECT_EQ(r.site[1], pim::AllocSite::kEdram);   // insensitive edge
+  EXPECT_EQ(r.total_profit, 2);
+  EXPECT_EQ(r.cache_bytes_used, 8_KiB);
+  EXPECT_EQ(r.cached_count, 1U);
+}
+
+TEST(MaterializeTest, ArityMismatchThrows) {
+  const Fixture f;
+  const auto items = build_items(f.g, f.placement, f.deltas);
+  EXPECT_THROW(materialize(f.g, items, {true}), ContractViolation);
+}
+
+TEST(BuildItemsTest, ArityMismatchThrows) {
+  const Fixture f;
+  EXPECT_THROW(build_items(f.g, {}, f.deltas), ContractViolation);
+  EXPECT_THROW(build_items(f.g, f.placement, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::alloc

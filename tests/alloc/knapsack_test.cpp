@@ -1,0 +1,181 @@
+#include "alloc/knapsack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+
+namespace paraconv::alloc {
+namespace {
+
+/// Items detached from any real graph: edge ids index a synthetic graph
+/// built to match.
+struct Instance {
+  graph::TaskGraph g{"knapsack"};
+  std::vector<AllocationItem> items;
+
+  explicit Instance(const std::vector<std::pair<std::int64_t, int>>&
+                        size_profit_pairs) {
+    // One hub node pair per item so edge ids are dense.
+    const auto hub = g.add_task(
+        graph::Task{"hub", graph::TaskKind::kConvolution, TimeUnits{1}});
+    for (std::size_t i = 0; i < size_profit_pairs.size(); ++i) {
+      const auto n = g.add_task(graph::Task{
+          "n" + std::to_string(i), graph::TaskKind::kConvolution,
+          TimeUnits{1}});
+      const auto e = g.add_ipr(hub, n, Bytes{size_profit_pairs[i].first});
+      items.push_back(AllocationItem{e, Bytes{size_profit_pairs[i].first},
+                                     size_profit_pairs[i].second,
+                                     TimeUnits{static_cast<std::int64_t>(i)}});
+    }
+  }
+};
+
+/// Exhaustive optimum for small instances.
+int brute_force(const std::vector<AllocationItem>& items, Bytes capacity) {
+  const std::size_t n = items.size();
+  int best = 0;
+  for (std::uint32_t mask = 0; mask < (1U << n); ++mask) {
+    Bytes used{};
+    int profit = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1U << i)) {
+        used += items[i].size;
+        profit += items[i].profit;
+      }
+    }
+    if (used <= capacity) best = std::max(best, profit);
+  }
+  return best;
+}
+
+TEST(KnapsackTest, HandInstance) {
+  // Classic: capacity 10, items (size, profit): (5,1) (4,2) (6,2) (3,1).
+  const Instance inst({{5, 1}, {4, 2}, {6, 2}, {3, 1}});
+  const KnapsackOptions options{Bytes{10}, 1};
+  EXPECT_EQ(knapsack_profit(inst.items, options), 4);  // {4,2} + {6,2}
+  const AllocationResult r = knapsack_allocate(inst.g, inst.items, options);
+  EXPECT_EQ(r.total_profit, 4);
+  EXPECT_LE(r.cache_bytes_used, Bytes{10});
+  EXPECT_EQ(r.cached_count, 2U);
+}
+
+TEST(KnapsackTest, ZeroCapacitySelectsNothing) {
+  const Instance inst({{5, 1}, {4, 2}});
+  const KnapsackOptions options{Bytes{0}, 1};
+  EXPECT_EQ(knapsack_profit(inst.items, options), 0);
+  const AllocationResult r = knapsack_allocate(inst.g, inst.items, options);
+  EXPECT_EQ(r.cached_count, 0U);
+  for (const pim::AllocSite s : r.site) {
+    EXPECT_EQ(s, pim::AllocSite::kEdram);
+  }
+}
+
+TEST(KnapsackTest, EverythingFitsWhenCapacityAmple) {
+  const Instance inst({{5, 1}, {4, 2}, {6, 2}});
+  const KnapsackOptions options{Bytes{100}, 1};
+  const AllocationResult r = knapsack_allocate(inst.g, inst.items, options);
+  EXPECT_EQ(r.total_profit, 5);
+  EXPECT_EQ(r.cached_count, 3U);
+}
+
+TEST(KnapsackTest, EmptyItemListIsFine) {
+  const Instance inst({});
+  const KnapsackOptions options{Bytes{10}, 1};
+  EXPECT_EQ(knapsack_profit(inst.items, options), 0);
+  const AllocationResult r = knapsack_allocate(inst.g, inst.items, options);
+  EXPECT_EQ(r.cached_count, 0U);
+}
+
+class KnapsackRandomTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackRandomTest, MatchesBruteForceAtUnitQuantum) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::int64_t, int>> spec;
+  const int n = static_cast<int>(rng.uniform_int(1, 14));
+  for (int i = 0; i < n; ++i) {
+    spec.emplace_back(rng.uniform_int(1, 30),
+                      static_cast<int>(rng.uniform_int(1, 2)));
+  }
+  const Instance inst(spec);
+  const Bytes capacity{rng.uniform_int(0, 80)};
+  const KnapsackOptions options{capacity, 1};
+  EXPECT_EQ(knapsack_profit(inst.items, options),
+            brute_force(inst.items, capacity));
+  const AllocationResult r = knapsack_allocate(inst.g, inst.items, options);
+  EXPECT_EQ(r.total_profit, brute_force(inst.items, capacity));
+  EXPECT_LE(r.cache_bytes_used, capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandomTest,
+                         testing::Range<std::uint64_t>(1, 25));
+
+TEST(KnapsackTest, CoarseQuantumNeverOvercommits) {
+  Rng rng(99);
+  std::vector<std::pair<std::int64_t, int>> spec;
+  for (int i = 0; i < 40; ++i) {
+    spec.emplace_back(rng.uniform_int(100, 9000),
+                      static_cast<int>(rng.uniform_int(1, 2)));
+  }
+  const Instance inst(spec);
+  for (const std::int64_t quantum : {1LL, 64LL, 256LL, 1024LL}) {
+    const KnapsackOptions options{Bytes{32 * 1024}, quantum};
+    const AllocationResult r = knapsack_allocate(inst.g, inst.items, options);
+    EXPECT_LE(r.cache_bytes_used, options.capacity) << "quantum " << quantum;
+  }
+}
+
+TEST(KnapsackTest, CoarserQuantumOnlyLosesProfit) {
+  Rng rng(7);
+  std::vector<std::pair<std::int64_t, int>> spec;
+  for (int i = 0; i < 30; ++i) {
+    spec.emplace_back(rng.uniform_int(100, 5000),
+                      static_cast<int>(rng.uniform_int(1, 2)));
+  }
+  const Instance inst(spec);
+  int prev = std::numeric_limits<int>::max();
+  for (const std::int64_t quantum : {1LL, 256LL, 4096LL}) {
+    const int profit = knapsack_profit(
+        inst.items, KnapsackOptions{Bytes{20 * 1024}, quantum});
+    EXPECT_LE(profit, prev);
+    prev = profit;
+  }
+}
+
+TEST(KnapsackTest, ProfitQueryMatchesFullTableAllocation) {
+  // knapsack_profit uses a rolling row; knapsack_allocate the full table.
+  // They must agree on every instance.
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<std::int64_t, int>> spec;
+    const int n = static_cast<int>(rng.uniform_int(0, 25));
+    for (int i = 0; i < n; ++i) {
+      spec.emplace_back(rng.uniform_int(1, 500),
+                        static_cast<int>(rng.uniform_int(1, 2)));
+    }
+    const Instance inst(spec);
+    const KnapsackOptions options{Bytes{rng.uniform_int(0, 2000)},
+                                  rng.uniform_int(1, 64)};
+    EXPECT_EQ(knapsack_profit(inst.items, options),
+              knapsack_allocate(inst.g, inst.items, options).total_profit)
+        << "trial " << trial;
+  }
+}
+
+TEST(KnapsackTest, RejectsInvalidOptions) {
+  const Instance inst({{5, 1}});
+  EXPECT_THROW(knapsack_profit(inst.items, KnapsackOptions{Bytes{10}, 0}),
+               ContractViolation);
+  EXPECT_THROW(knapsack_profit(inst.items, KnapsackOptions{Bytes{-1}, 1}),
+               ContractViolation);
+}
+
+TEST(KnapsackTest, RejectsNonPositiveProfitItems) {
+  Instance inst({{5, 1}});
+  inst.items[0].profit = 0;
+  EXPECT_THROW(knapsack_profit(inst.items, KnapsackOptions{Bytes{10}, 1}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::alloc

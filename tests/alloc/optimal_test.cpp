@@ -1,0 +1,117 @@
+#include "alloc/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alloc/critical_path.hpp"
+#include "alloc/knapsack.hpp"
+#include "graph/generator.hpp"
+#include "pim/config.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::alloc {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+/// Instance where the ΔR-sum proxy is misleading: caching two profit-1
+/// edges on *different* paths leaves a (1,2) edge on the critical path,
+/// while the optimum spends everything on the single critical chain.
+struct ProxyGapFixture {
+  TaskGraph g{"proxy-gap"};
+  std::vector<retiming::EdgeDelta> deltas;
+  std::vector<AllocationItem> items;
+
+  ProxyGapFixture() {
+    // Chain x -> y -> z (deltas (0,2) each, big sizes) plus a cheap side
+    // edge a -> b with (1,2) and tiny size.
+    const NodeId x = g.add_task(Task{"x", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId y = g.add_task(Task{"y", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId z = g.add_task(Task{"z", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId a = g.add_task(Task{"a", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId b = g.add_task(Task{"b", TaskKind::kConvolution, TimeUnits{1}});
+    const auto e0 = g.add_ipr(x, y, 6_KiB);
+    const auto e1 = g.add_ipr(y, z, 6_KiB);
+    const auto e2 = g.add_ipr(a, b, 1_KiB);
+    deltas = {{0, 2}, {0, 2}, {1, 2}};
+    items = {AllocationItem{e0, 6_KiB, 2, TimeUnits{0}},
+             AllocationItem{e1, 6_KiB, 2, TimeUnits{1}},
+             AllocationItem{e2, 1_KiB, 1, TimeUnits{2}}};
+  }
+};
+
+TEST(OptimalTest, FindsTrueMinimumRmax) {
+  const ProxyGapFixture f;
+  // Capacity fits the whole chain (12 KiB) but then not the side edge.
+  const OptimalResult best = optimal_r_max_allocate(
+      f.g, f.deltas, f.items, OptimalOptions{.capacity = 12_KiB});
+  // Caching the chain: chain R_max = 0, side edge eDRAM = 2 -> R_max 2.
+  // Caching chain + side impossible (13 KiB). Any other subset leaves a
+  // (0,2) chain edge: R_max >= 2. Optimum is 2.
+  EXPECT_EQ(best.r_max, 2);
+  EXPECT_LE(best.allocation.cache_bytes_used, 12_KiB);
+}
+
+TEST(OptimalTest, NeverWorseThanHeuristics) {
+  graph::GeneratorConfig gen;
+  gen.vertices = 24;
+  gen.edges = 60;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    gen.seed = seed;
+    const TaskGraph g = graph::generate_layered_dag(gen);
+    const pim::PimConfig cfg = pim::PimConfig::neurocube(8);
+    const sched::Packing packing = sched::pack_topological(g, 8);
+    const auto deltas = retiming::compute_edge_deltas(
+        g, packing.placement, packing.period, cfg);
+    const auto items = build_items(g, packing.placement, deltas);
+    if (items.size() > 18) continue;  // keep the exhaustive search small
+
+    const Bytes capacity{32 * 1024};
+    const OptimalResult best = optimal_r_max_allocate(
+        g, deltas, items, OptimalOptions{.capacity = capacity});
+
+    const AllocationResult dp = knapsack_allocate(
+        g, items, KnapsackOptions{capacity, 64});
+    const AllocationResult cp =
+        critical_path_allocate(g, deltas, items, capacity);
+
+    EXPECT_LE(best.r_max, realized_r_max(g, deltas, dp.site)) << seed;
+    EXPECT_LE(best.r_max, realized_r_max(g, deltas, cp.site)) << seed;
+  }
+}
+
+TEST(OptimalTest, ProxyGapExistsOnAdversarialInstance) {
+  // Capacity for one chain edge + the side edge: the ΔR-sum optimum may
+  // prefer {chain edge (ΔR 2), side (ΔR 1)} = 3, but R_max stays 2 either
+  // way; with capacity for only the side edge the proxies diverge.
+  const ProxyGapFixture f;
+  const Bytes capacity = 7_KiB;  // one chain edge + side edge
+  const AllocationResult dp =
+      knapsack_allocate(f.g, f.items, KnapsackOptions{capacity, 1});
+  const OptimalResult best = optimal_r_max_allocate(
+      f.g, f.deltas, f.items, OptimalOptions{.capacity = capacity});
+  // The true objective can never be beaten by the proxy solution.
+  EXPECT_LE(best.r_max, realized_r_max(f.g, f.deltas, dp.site));
+}
+
+TEST(OptimalTest, RejectsOversizedInstances) {
+  const ProxyGapFixture f;
+  OptimalOptions options;
+  options.capacity = 1_KiB;
+  options.max_items = 2;
+  EXPECT_THROW(optimal_r_max_allocate(f.g, f.deltas, f.items, options),
+               ContractViolation);
+}
+
+TEST(OptimalTest, EmptyItemsGiveAllEdramRmax) {
+  const ProxyGapFixture f;
+  const OptimalResult best = optimal_r_max_allocate(
+      f.g, f.deltas, {}, OptimalOptions{.capacity = 1_MiB});
+  EXPECT_EQ(best.r_max, 4);  // the (0,2)+(0,2) chain in eDRAM
+  EXPECT_EQ(best.allocation.cached_count, 0U);
+}
+
+}  // namespace
+}  // namespace paraconv::alloc

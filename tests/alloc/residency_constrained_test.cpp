@@ -1,0 +1,112 @@
+#include "alloc/residency_constrained.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alloc/residency.hpp"
+#include "core/para_conv.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "pim/machine.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::alloc {
+namespace {
+
+struct Prepared {
+  graph::TaskGraph g;
+  pim::PimConfig config;
+  sched::Packing packing;
+  std::vector<retiming::EdgeDelta> deltas;
+  std::vector<AllocationItem> items;
+
+  explicit Prepared(const char* bench, int pes)
+      : g(graph::build_paper_benchmark(graph::paper_benchmark(bench))),
+        config(pim::PimConfig::neurocube(pes)),
+        packing(sched::pack_topological(g, pes)),
+        deltas(retiming::compute_edge_deltas(g, packing.placement,
+                                             packing.period, config)),
+        items(build_items(g, packing.placement, deltas)) {}
+};
+
+class ResidencyConstrainedTest : public testing::TestWithParam<const char*> {
+};
+
+TEST_P(ResidencyConstrainedTest, EveryPeFitsItsCache) {
+  const Prepared p(GetParam(), 32);
+  const AllocationResult r = residency_constrained_allocate(
+      p.g, p.packing.placement, p.packing.period, p.deltas, p.items,
+      p.config.pe_cache_bytes);
+
+  // Rebuild the kernel exactly as the allocator does and verify the
+  // resulting per-PE peaks.
+  core::ParaConvOptions options;
+  options.allocator = core::AllocatorKind::kResidencyConstrained;
+  const core::ParaConvResult full =
+      core::ParaConv(p.config, options).schedule(p.g);
+  const ResidencyProfile profile =
+      cache_residency(p.g, full.kernel, p.config.pe_count);
+  if (full.metrics.cached_iprs > 0) {
+    EXPECT_LE(profile.peak, p.config.pe_cache_bytes);
+  }
+  EXPECT_EQ(full.metrics.cached_iprs, r.cached_count);
+}
+
+TEST_P(ResidencyConstrainedTest, MachineReplayFallbackFree) {
+  const Prepared p(GetParam(), 32);
+  core::ParaConvOptions options;
+  options.allocator = core::AllocatorKind::kResidencyConstrained;
+  const core::ParaConvResult r =
+      core::ParaConv(p.config, options).schedule(p.g);
+  pim::Machine machine(p.config);
+  const pim::MachineStats stats =
+      machine.run(p.g, r.kernel, {.iterations = r.metrics.r_max + 8});
+  EXPECT_EQ(stats.cache_fallbacks, 0);
+  EXPECT_EQ(stats.cache_evictions, 0);
+}
+
+TEST_P(ResidencyConstrainedTest, CachesAtLeastAsMuchAsShrinkLoop) {
+  // The per-PE-aware repair is never cruder than the global capacity
+  // shrinking loop: both end fallback-free, but the constrained allocator
+  // prunes per offending PE instead of starving every PE at once.
+  const Prepared p(GetParam(), 32);
+
+  core::ParaConvOptions constrained;
+  constrained.allocator = core::AllocatorKind::kResidencyConstrained;
+  const auto direct = core::ParaConv(p.config, constrained).schedule(p.g);
+
+  core::ParaConvOptions shrink;
+  shrink.residency_aware = true;
+  const auto loop = core::ParaConv(p.config, shrink).schedule(p.g);
+
+  EXPECT_GE(direct.metrics.cached_iprs, loop.metrics.cached_iprs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, ResidencyConstrainedTest,
+                         testing::Values("flower", "character-2",
+                                         "stock-predict", "shortest-path"),
+                         [](const testing::TestParamInfo<const char*>& pi) {
+                           std::string name = pi.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ResidencyConstrainedTest, GenerousCacheKeepsEverything) {
+  Prepared p("cat", 16);
+  p.config.pe_cache_bytes = 4_MiB;
+  const AllocationResult r = residency_constrained_allocate(
+      p.g, p.packing.placement, p.packing.period, p.deltas, p.items,
+      p.config.pe_cache_bytes);
+  EXPECT_EQ(r.cached_count, p.items.size());
+}
+
+TEST(ResidencyConstrainedTest, ZeroCapacityEvictsEverything) {
+  const Prepared p("cat", 16);
+  const AllocationResult r = residency_constrained_allocate(
+      p.g, p.packing.placement, p.packing.period, p.deltas, p.items,
+      Bytes{0});
+  EXPECT_EQ(r.cached_count, 0U);
+}
+
+}  // namespace
+}  // namespace paraconv::alloc

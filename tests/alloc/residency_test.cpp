@@ -1,0 +1,150 @@
+#include "alloc/residency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "pim/machine.hpp"
+
+namespace paraconv::alloc {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+using sched::KernelSchedule;
+using sched::TaskPlacement;
+
+TEST(ResidencyTest, SingleEdgeSameWindow) {
+  TaskGraph g("r1");
+  const NodeId a = g.add_task(Task{"a", TaskKind::kConvolution, TimeUnits{2}});
+  const NodeId b = g.add_task(Task{"b", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, 4_KiB);
+  KernelSchedule k;
+  k.period = TimeUnits{6};
+  k.placement = {TaskPlacement{0, TimeUnits{0}}, TaskPlacement{1, TimeUnits{4}}};
+  k.retiming = {0, 0};
+  k.distance = {0};
+  k.allocation = {pim::AllocSite::kCache};
+
+  const ResidencyProfile p = cache_residency(g, k, 2);
+  // Resident on PE0 from t=2 to t=4: peak 4 KiB on PE0, 0 on PE1.
+  EXPECT_EQ(p.peak_per_pe[0], 4_KiB);
+  EXPECT_EQ(p.peak_per_pe[1], Bytes{0});
+  EXPECT_EQ(p.peak, 4_KiB);
+  EXPECT_EQ(p.peak_total, 4_KiB);
+}
+
+TEST(ResidencyTest, CrossWindowEdgeKeepsCopiesInFlight) {
+  // Distance 2 with a short window: the IPR lives ~2 full periods, so two
+  // copies (consecutive iterations) coexist almost always.
+  TaskGraph g("r2");
+  const NodeId a = g.add_task(Task{"a", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId b = g.add_task(Task{"b", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, 2_KiB);
+  KernelSchedule k;
+  k.period = TimeUnits{2};
+  k.placement = {TaskPlacement{0, TimeUnits{0}}, TaskPlacement{1, TimeUnits{1}}};
+  k.retiming = {2, 0};
+  k.distance = {2};
+  k.allocation = {pim::AllocSite::kCache};
+
+  const ResidencyProfile p = cache_residency(g, k, 2);
+  // Span = 2*2 + 1 - 1 = 4 = 2 full periods: 2 copies everywhere.
+  EXPECT_EQ(p.peak_per_pe[0], 4_KiB);
+}
+
+TEST(ResidencyTest, WrappingArcCounted) {
+  // Producer finishes late in the window, consumer starts early next
+  // window: the residency arc wraps the boundary.
+  TaskGraph g("r3");
+  const NodeId a = g.add_task(Task{"a", TaskKind::kConvolution, TimeUnits{4}});
+  const NodeId b = g.add_task(Task{"b", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, 1_KiB);
+  KernelSchedule k;
+  k.period = TimeUnits{5};
+  k.placement = {TaskPlacement{0, TimeUnits{0}}, TaskPlacement{1, TimeUnits{1}}};
+  k.retiming = {1, 0};
+  k.distance = {1};
+  k.allocation = {pim::AllocSite::kCache};
+
+  const ResidencyProfile p = cache_residency(g, k, 2);
+  // Resident from t=4 to t=6 (folded: [4,5) and [0,1)): peak one copy.
+  EXPECT_EQ(p.peak_per_pe[0], 1_KiB);
+}
+
+TEST(ResidencyTest, EdramEdgesDoNotOccupyCache) {
+  TaskGraph g("r4");
+  const NodeId a = g.add_task(Task{"a", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId b = g.add_task(Task{"b", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, 8_KiB);
+  KernelSchedule k;
+  k.period = TimeUnits{4};
+  k.placement = {TaskPlacement{0, TimeUnits{0}}, TaskPlacement{1, TimeUnits{3}}};
+  k.retiming = {0, 0};
+  k.distance = {0};
+  k.allocation = {pim::AllocSite::kEdram};
+  const ResidencyProfile p = cache_residency(g, k, 2);
+  EXPECT_EQ(p.peak_total, Bytes{0});
+}
+
+TEST(ResidencyTest, PeakWithinCapacityPredictsNoMachineFallbacks) {
+  // The analytic residency profile and the machine's LRU caches must agree:
+  // when every PE's peak fits its cache, the replay has zero fallbacks.
+  for (const char* name : {"cat", "car", "flower", "character-1"}) {
+    const graph::TaskGraph g =
+        graph::build_paper_benchmark(graph::paper_benchmark(name));
+    const pim::PimConfig config = pim::PimConfig::neurocube(32);
+    const core::ParaConvResult r = core::ParaConv(config).schedule(g);
+
+    const ResidencyProfile profile =
+        cache_residency(g, r.kernel, config.pe_count);
+    pim::Machine machine(config);
+    const pim::MachineStats stats =
+        machine.run(g, r.kernel, {.iterations = 6});
+    if (profile.peak <= config.pe_cache_bytes) {
+      EXPECT_EQ(stats.cache_fallbacks, 0) << name;
+    } else {
+      EXPECT_GT(stats.cache_evictions, 0) << name;
+    }
+  }
+}
+
+TEST(ResidencyTest, AnalyticPeaksMatchMachineHighWaterMarks) {
+  // With no evictions (residency-aware allocation) and enough iterations to
+  // reach full steady state, the machine's per-PE occupancy high-water mark
+  // must equal the analytic profile exactly.
+  for (const char* name : {"flower", "character-1", "stock-predict"}) {
+    const graph::TaskGraph g =
+        graph::build_paper_benchmark(graph::paper_benchmark(name));
+    const pim::PimConfig config = pim::PimConfig::neurocube(32);
+    core::ParaConvOptions options;
+    options.residency_aware = true;
+    const core::ParaConvResult r =
+        core::ParaConv(config, options).schedule(g);
+
+    const ResidencyProfile analytic =
+        cache_residency(g, r.kernel, config.pe_count);
+    pim::Machine machine(config);
+    const pim::MachineStats stats = machine.run(
+        g, r.kernel, {.iterations = r.metrics.r_max + 8});
+    ASSERT_EQ(stats.cache_evictions, 0) << name;
+    ASSERT_EQ(stats.cache_peak_per_pe.size(),
+              analytic.peak_per_pe.size());
+    for (std::size_t pe = 0; pe < analytic.peak_per_pe.size(); ++pe) {
+      EXPECT_EQ(stats.cache_peak_per_pe[pe], analytic.peak_per_pe[pe])
+          << name << " PE" << pe;
+    }
+  }
+}
+
+TEST(ResidencyTest, RejectsInvalidArguments) {
+  TaskGraph g("r5");
+  g.add_task(Task{"a", TaskKind::kConvolution, TimeUnits{1}});
+  KernelSchedule k;
+  EXPECT_THROW(cache_residency(g, k, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::alloc

@@ -1,0 +1,91 @@
+#include "cnn/builders.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::cnn {
+namespace {
+
+TEST(GoogLeNetTest, ClassifierOutputsThousandClasses) {
+  const Network net = make_googlenet();
+  const auto outs = net.outputs();
+  ASSERT_EQ(outs.size(), 1U);
+  EXPECT_EQ(net.output_shape(outs[0]), (Shape{1000, 1, 1}));
+}
+
+TEST(GoogLeNetTest, StageShapesMatchPaper) {
+  const Network net = make_googlenet();
+  // Walk by name to the well-known stage boundaries of Szegedy et al.
+  const auto shape_of = [&](const std::string& name) -> Shape {
+    for (std::uint32_t i = 0; i < net.layer_count(); ++i) {
+      if (net.layer(LayerId{i}).name == name) {
+        return net.output_shape(LayerId{i});
+      }
+    }
+    ADD_FAILURE() << "layer not found: " << name;
+    return {};
+  };
+  EXPECT_EQ(shape_of("conv1/7x7_s2"), (Shape{64, 112, 112}));
+  EXPECT_EQ(shape_of("pool2/3x3_s2"), (Shape{192, 28, 28}));
+  EXPECT_EQ(shape_of("inception_3a/output"), (Shape{256, 28, 28}));
+  EXPECT_EQ(shape_of("inception_3b/output"), (Shape{480, 28, 28}));
+  EXPECT_EQ(shape_of("inception_4a/output"), (Shape{512, 14, 14}));
+  EXPECT_EQ(shape_of("inception_4e/output"), (Shape{832, 14, 14}));
+  EXPECT_EQ(shape_of("inception_5b/output"), (Shape{1024, 7, 7}));
+  EXPECT_EQ(shape_of("pool5/7x7_s1"), (Shape{1024, 1, 1}));
+}
+
+TEST(GoogLeNetTest, WeightCountNearPublishedSevenMillion) {
+  const Network net = make_googlenet();
+  // ~6.99M parameters (weights; biases not modelled) for inference-time
+  // GoogLeNet v1 without auxiliary classifiers.
+  EXPECT_GT(net.total_weights(), 5'500'000);
+  EXPECT_LT(net.total_weights(), 7'500'000);
+}
+
+TEST(GoogLeNetTest, MacCountNearPublishedOnePointFiveBillion) {
+  const Network net = make_googlenet();
+  // The paper's source [16] reports ~1.5G multiply-adds per 224x224 image.
+  EXPECT_GT(net.total_macs(), 1'000'000'000);
+  EXPECT_LT(net.total_macs(), 2'200'000'000);
+}
+
+TEST(GoogLeNetTest, NineInceptionModules) {
+  const Network net = make_googlenet();
+  std::size_t concats = 0;
+  for (std::uint32_t i = 0; i < net.layer_count(); ++i) {
+    if (std::holds_alternative<ConcatParams>(net.layer(LayerId{i}).params)) {
+      ++concats;
+    }
+  }
+  EXPECT_EQ(concats, 9U);
+}
+
+TEST(InceptionModuleTest, OutputChannelsAreBranchSum) {
+  const Network net =
+      make_inception_module(Shape{192, 28, 28}, 64, 96, 128, 16, 32, 32);
+  const auto outs = net.outputs();
+  ASSERT_EQ(outs.size(), 1U);
+  EXPECT_EQ(net.output_shape(outs[0]), (Shape{64 + 128 + 32 + 32, 28, 28}));
+}
+
+TEST(LeNetTest, ClassicShapes) {
+  const Network net = make_lenet5();
+  EXPECT_EQ(net.output_shape(LayerId{1}), (Shape{6, 28, 28}));    // c1
+  EXPECT_EQ(net.output_shape(LayerId{2}), (Shape{6, 14, 14}));    // s2
+  EXPECT_EQ(net.output_shape(LayerId{3}), (Shape{16, 10, 10}));   // c3
+  EXPECT_EQ(net.output_shape(LayerId{4}), (Shape{16, 5, 5}));     // s4
+  EXPECT_EQ(net.output_shape(LayerId{5}), (Shape{120, 1, 1}));    // c5
+  EXPECT_EQ(net.output_shape(LayerId{6}), (Shape{84, 1, 1}));     // f6
+  const auto outs = net.outputs();
+  ASSERT_EQ(outs.size(), 1U);
+  EXPECT_EQ(net.output_shape(outs[0]), (Shape{10, 1, 1}));
+}
+
+TEST(LeNetTest, ClassicWeightCount) {
+  // c1 150 + c3 2400 + c5 48000 + f6 10080 + out 840 = 61470 (weights only,
+  // full-connectivity c3 variant).
+  EXPECT_EQ(make_lenet5().total_weights(), 61470);
+}
+
+}  // namespace
+}  // namespace paraconv::cnn

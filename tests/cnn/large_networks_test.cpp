@@ -1,0 +1,91 @@
+// AlexNet and VGG-16: the intro-scale networks (paper Sec. 1: "several
+// hundreds of megabytes for filter weight storage and 30K-600K operations
+// per input pixel").
+#include <gtest/gtest.h>
+
+#include "cnn/builders.hpp"
+#include "cnn/lowering.hpp"
+#include "graph/algorithms.hpp"
+
+namespace paraconv::cnn {
+namespace {
+
+TEST(AlexNetTest, ClassicStageShapes) {
+  const Network net = make_alexnet();
+  EXPECT_EQ(net.output_shape(LayerId{1}), (Shape{96, 55, 55}));   // conv1
+  EXPECT_EQ(net.output_shape(LayerId{2}), (Shape{96, 27, 27}));   // pool1
+  EXPECT_EQ(net.output_shape(LayerId{3}), (Shape{256, 27, 27}));  // conv2
+  EXPECT_EQ(net.output_shape(LayerId{4}), (Shape{256, 13, 13}));  // pool2
+  EXPECT_EQ(net.output_shape(LayerId{7}), (Shape{256, 13, 13}));  // conv5
+  EXPECT_EQ(net.output_shape(LayerId{8}), (Shape{256, 6, 6}));    // pool5
+  const auto outs = net.outputs();
+  ASSERT_EQ(outs.size(), 1U);
+  EXPECT_EQ(net.output_shape(outs[0]), (Shape{1000, 1, 1}));
+}
+
+TEST(AlexNetTest, PublishedWeightCount) {
+  // ~61M parameters (weights only; single-tower Caffe variant).
+  const std::int64_t weights = make_alexnet().total_weights();
+  EXPECT_GT(weights, 58'000'000);
+  EXPECT_LT(weights, 63'000'000);
+}
+
+TEST(AlexNetTest, PublishedMacCount) {
+  // ~0.7G multiply-adds per 227x227 image.
+  const std::int64_t macs = make_alexnet().total_macs();
+  EXPECT_GT(macs, 600'000'000);
+  EXPECT_LT(macs, 1'300'000'000);
+}
+
+TEST(Vgg16Test, ClassicStageShapes) {
+  const Network net = make_vgg16();
+  const auto shape_of = [&](const std::string& name) -> Shape {
+    for (std::uint32_t i = 0; i < net.layer_count(); ++i) {
+      if (net.layer(LayerId{i}).name == name) {
+        return net.output_shape(LayerId{i});
+      }
+    }
+    ADD_FAILURE() << "layer not found: " << name;
+    return {};
+  };
+  EXPECT_EQ(shape_of("conv1_2"), (Shape{64, 224, 224}));
+  EXPECT_EQ(shape_of("pool1"), (Shape{64, 112, 112}));
+  EXPECT_EQ(shape_of("conv3_3"), (Shape{256, 56, 56}));
+  EXPECT_EQ(shape_of("pool5"), (Shape{512, 7, 7}));
+  EXPECT_EQ(shape_of("fc8"), (Shape{1000, 1, 1}));
+}
+
+TEST(Vgg16Test, PublishedWeightCount) {
+  // ~138M parameters.
+  const std::int64_t weights = make_vgg16().total_weights();
+  EXPECT_GT(weights, 134'000'000);
+  EXPECT_LT(weights, 141'000'000);
+}
+
+TEST(Vgg16Test, PublishedMacCount) {
+  // ~15.5G multiply-adds per 224x224 image.
+  const std::int64_t macs = make_vgg16().total_macs();
+  EXPECT_GT(macs, 14'000'000'000);
+  EXPECT_LT(macs, 16'500'000'000);
+}
+
+TEST(Vgg16Test, WeightStorageIsHundredsOfMegabytes) {
+  // The paper's intro claim, at fp16: 138M weights ~= 276 MB.
+  const std::int64_t bytes = make_vgg16().total_weights() * 2;
+  EXPECT_GT(bytes, 200'000'000);
+}
+
+TEST(LargeNetworksTest, LowerToSchedulableGraphs) {
+  for (const Network& net : {make_alexnet(), make_vgg16()}) {
+    LoweringOptions options;
+    options.channel_groups = 4;
+    options.macs_per_time_unit = 50'000'000;
+    const graph::TaskGraph g = lower_to_task_graph(net, options);
+    EXPECT_TRUE(graph::is_acyclic(g));
+    EXPECT_GT(g.node_count(), 20U);
+    EXPECT_GT(g.total_work().value, 0);
+  }
+}
+
+}  // namespace
+}  // namespace paraconv::cnn

@@ -1,0 +1,111 @@
+#include "cnn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::cnn {
+namespace {
+
+TEST(InferShapeTest, InputPassesThrough) {
+  const Shape s = infer_output_shape(InputParams{Shape{3, 8, 8}}, {});
+  EXPECT_EQ(s, (Shape{3, 8, 8}));
+}
+
+TEST(InferShapeTest, InputRejectsInputs) {
+  EXPECT_THROW(infer_output_shape(InputParams{Shape{1, 1, 1}}, {{1, 1, 1}}),
+               ContractViolation);
+}
+
+TEST(InferShapeTest, ConvComputesOutput) {
+  const Shape s =
+      infer_output_shape(ConvParams{16, 3, 1, 1}, {Shape{8, 28, 28}});
+  EXPECT_EQ(s, (Shape{16, 28, 28}));
+}
+
+TEST(InferShapeTest, ConvStrideShrinks) {
+  const Shape s =
+      infer_output_shape(ConvParams{64, 7, 2, 3}, {Shape{3, 224, 224}});
+  EXPECT_EQ(s, (Shape{64, 112, 112}));
+}
+
+TEST(InferShapeTest, ConvRejectsCollapsedOutput) {
+  EXPECT_THROW(infer_output_shape(ConvParams{4, 9, 1, 0}, {Shape{1, 5, 5}}),
+               ContractViolation);
+}
+
+TEST(InferShapeTest, ConvRequiresSingleInput) {
+  EXPECT_THROW(infer_output_shape(ConvParams{4, 3, 1, 1}, {}),
+               ContractViolation);
+  EXPECT_THROW(infer_output_shape(ConvParams{4, 3, 1, 1},
+                                  {Shape{1, 8, 8}, Shape{1, 8, 8}}),
+               ContractViolation);
+}
+
+TEST(InferShapeTest, PoolPreservesChannels) {
+  const Shape s = infer_output_shape(PoolParams{PoolMode::kMax, 2, 2, 0},
+                                     {Shape{6, 28, 28}});
+  EXPECT_EQ(s, (Shape{6, 14, 14}));
+}
+
+TEST(InferShapeTest, FcFlattens) {
+  const Shape s = infer_output_shape(FcParams{10}, {Shape{16, 5, 5}});
+  EXPECT_EQ(s, (Shape{10, 1, 1}));
+}
+
+TEST(InferShapeTest, ConcatSumsChannels) {
+  const Shape s = infer_output_shape(
+      ConcatParams{}, {Shape{64, 28, 28}, Shape{128, 28, 28},
+                       Shape{32, 28, 28}, Shape{32, 28, 28}});
+  EXPECT_EQ(s, (Shape{256, 28, 28}));
+}
+
+TEST(InferShapeTest, ConcatRejectsSpatialMismatch) {
+  EXPECT_THROW(infer_output_shape(ConcatParams{},
+                                  {Shape{4, 28, 28}, Shape{4, 14, 14}}),
+               ContractViolation);
+}
+
+TEST(InferShapeTest, ConcatRequiresTwoInputs) {
+  EXPECT_THROW(infer_output_shape(ConcatParams{}, {Shape{4, 8, 8}}),
+               ContractViolation);
+}
+
+TEST(LayerMacsTest, ConvFormula) {
+  // out 16x28x28, each output needs in_c(8) * 3 * 3 MACs.
+  const std::int64_t macs =
+      layer_macs(ConvParams{16, 3, 1, 1}, {Shape{8, 28, 28}});
+  EXPECT_EQ(macs, 16LL * 28 * 28 * 8 * 9);
+}
+
+TEST(LayerMacsTest, PoolCountsWindowOps) {
+  const std::int64_t macs =
+      layer_macs(PoolParams{PoolMode::kAverage, 2, 2, 0}, {Shape{6, 28, 28}});
+  EXPECT_EQ(macs, 6LL * 14 * 14 * 4);
+}
+
+TEST(LayerMacsTest, FcIsDenseProduct) {
+  EXPECT_EQ(layer_macs(FcParams{10}, {Shape{16, 5, 5}}), 16LL * 5 * 5 * 10);
+}
+
+TEST(LayerMacsTest, InputAndConcatAreFree) {
+  EXPECT_EQ(layer_macs(InputParams{Shape{3, 8, 8}}, {}), 0);
+  EXPECT_EQ(layer_macs(ConcatParams{}, {Shape{2, 4, 4}, Shape{2, 4, 4}}), 0);
+}
+
+TEST(LayerWeightsTest, ConvAndFc) {
+  EXPECT_EQ(layer_weight_count(ConvParams{16, 3, 1, 1}, {Shape{8, 28, 28}}),
+            16LL * 8 * 9);
+  EXPECT_EQ(layer_weight_count(FcParams{10}, {Shape{16, 5, 5}}),
+            16LL * 25 * 10);
+  EXPECT_EQ(layer_weight_count(PoolParams{}, {Shape{4, 8, 8}}), 0);
+}
+
+TEST(LayerKindNameTest, AllVariants) {
+  EXPECT_STREQ(layer_kind_name(InputParams{}), "input");
+  EXPECT_STREQ(layer_kind_name(ConvParams{}), "conv");
+  EXPECT_STREQ(layer_kind_name(PoolParams{}), "pool");
+  EXPECT_STREQ(layer_kind_name(FcParams{}), "fc");
+  EXPECT_STREQ(layer_kind_name(ConcatParams{}), "concat");
+}
+
+}  // namespace
+}  // namespace paraconv::cnn

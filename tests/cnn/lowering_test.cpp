@@ -1,0 +1,126 @@
+#include "cnn/lowering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/builders.hpp"
+#include "graph/algorithms.hpp"
+
+namespace paraconv::cnn {
+namespace {
+
+Network chain() {
+  Network net("chain");
+  const LayerId in = net.add_input("in", Shape{1, 16, 16});
+  const LayerId c1 = net.add_conv("c1", in, ConvParams{8, 3, 1, 1});
+  const LayerId p1 =
+      net.add_pool("p1", c1, PoolParams{PoolMode::kMax, 2, 2, 0});
+  net.add_conv("c2", p1, ConvParams{16, 3, 1, 1});
+  return net;
+}
+
+TEST(LoweringTest, SingleGroupChain) {
+  const graph::TaskGraph g = lower_to_task_graph(chain(), LoweringOptions{});
+  // Input elided: three tasks, two edges.
+  EXPECT_EQ(g.node_count(), 3U);
+  EXPECT_EQ(g.edge_count(), 2U);
+  EXPECT_TRUE(graph::is_acyclic(g));
+}
+
+TEST(LoweringTest, TaskKindsFollowLayers) {
+  const graph::TaskGraph g = lower_to_task_graph(chain(), LoweringOptions{});
+  EXPECT_EQ(g.task(graph::NodeId{0}).kind, graph::TaskKind::kConvolution);
+  EXPECT_EQ(g.task(graph::NodeId{1}).kind, graph::TaskKind::kPooling);
+  EXPECT_EQ(g.task(graph::NodeId{2}).kind, graph::TaskKind::kConvolution);
+}
+
+TEST(LoweringTest, EdgeBytesAreProducerFeatureMap) {
+  LoweringOptions options;
+  options.element_bytes = 2;
+  const graph::TaskGraph g = lower_to_task_graph(chain(), options);
+  // c1 output: 8x16x16 fp16 = 4096 B; p1 output: 8x8x8 fp16 = 1024 B.
+  EXPECT_EQ(g.ipr(graph::EdgeId{0}).size.value, 8 * 16 * 16 * 2);
+  EXPECT_EQ(g.ipr(graph::EdgeId{1}).size.value, 8 * 8 * 8 * 2);
+}
+
+TEST(LoweringTest, ChannelGroupsSplitLayers) {
+  LoweringOptions options;
+  options.channel_groups = 4;
+  const graph::TaskGraph g = lower_to_task_graph(chain(), options);
+  // Each of the three layers splits into 4 tasks.
+  EXPECT_EQ(g.node_count(), 12U);
+  // conv->pool is channelwise one-to-one (4 edges); pool->conv is
+  // all-to-all (16 edges).
+  EXPECT_EQ(g.edge_count(), 20U);
+  EXPECT_TRUE(graph::is_acyclic(g));
+}
+
+TEST(LoweringTest, GroupCountCappedByChannels) {
+  Network net("narrow");
+  const LayerId in = net.add_input("in", Shape{1, 8, 8});
+  net.add_conv("c", in, ConvParams{2, 3, 1, 1});  // only 2 channels
+  LoweringOptions options;
+  options.channel_groups = 8;
+  const graph::TaskGraph g = lower_to_task_graph(net, options);
+  EXPECT_EQ(g.node_count(), 2U);
+}
+
+TEST(LoweringTest, ExecTimeScalesWithMacsAndFloorsAtOne) {
+  Network net("wide");
+  const LayerId in = net.add_input("in", Shape{64, 56, 56});
+  net.add_conv("c", in, ConvParams{64, 3, 1, 1});
+  LoweringOptions coarse;
+  coarse.macs_per_time_unit = 1'000'000;
+  const graph::TaskGraph heavy = lower_to_task_graph(net, coarse);
+  const std::int64_t macs = 64LL * 56 * 56 * 64 * 9;
+  EXPECT_EQ(heavy.task(graph::NodeId{0}).exec_time.value,
+            (macs + 999'999) / 1'000'000);
+
+  LoweringOptions generous;
+  generous.macs_per_time_unit = macs * 10;
+  const graph::TaskGraph light = lower_to_task_graph(net, generous);
+  EXPECT_EQ(light.task(graph::NodeId{0}).exec_time.value, 1);
+}
+
+TEST(LoweringTest, InceptionModuleBranches) {
+  const Network net =
+      make_inception_module(Shape{192, 28, 28}, 64, 96, 128, 16, 32, 32);
+  const graph::TaskGraph g = lower_to_task_graph(net, LoweringOptions{});
+  // 7 branch layers + concat = 8 tasks; edges: concat gets 4 inputs,
+  // 3x3 and 5x5 reducers chain, pool chain; input elided.
+  EXPECT_EQ(g.node_count(), 8U);
+  EXPECT_EQ(g.edge_count(), 7U);
+  const auto sinks = graph::sinks(g);
+  ASSERT_EQ(sinks.size(), 1U);
+  EXPECT_EQ(g.task(sinks[0]).kind, graph::TaskKind::kOther);  // concat
+}
+
+TEST(LoweringTest, GoogLeNetLowersToValidatedGraph) {
+  LoweringOptions options;
+  options.channel_groups = 2;
+  const graph::TaskGraph g =
+      lower_to_task_graph(make_googlenet(), options);
+  EXPECT_GT(g.node_count(), 100U);
+  EXPECT_TRUE(graph::is_acyclic(g));
+  // Every non-source task consumes at least one IPR.
+  for (const graph::NodeId v : g.nodes()) {
+    if (g.in_edges(v).empty()) {
+      // Sources must correspond to the stem fed by the elided input.
+      EXPECT_NE(g.task(v).name.find("conv1"), std::string::npos);
+    }
+  }
+}
+
+TEST(LoweringTest, InvalidOptionsThrow) {
+  LoweringOptions bad;
+  bad.channel_groups = 0;
+  EXPECT_THROW(lower_to_task_graph(chain(), bad), ContractViolation);
+  bad = {};
+  bad.macs_per_time_unit = 0;
+  EXPECT_THROW(lower_to_task_graph(chain(), bad), ContractViolation);
+  bad = {};
+  bad.element_bytes = 0;
+  EXPECT_THROW(lower_to_task_graph(chain(), bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::cnn

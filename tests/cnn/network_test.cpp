@@ -1,0 +1,85 @@
+#include "cnn/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::cnn {
+namespace {
+
+Network tiny() {
+  Network net("tiny");
+  const LayerId in = net.add_input("in", Shape{1, 8, 8});
+  const LayerId c = net.add_conv("c", in, ConvParams{4, 3, 1, 1});
+  const LayerId p = net.add_pool("p", c, PoolParams{PoolMode::kMax, 2, 2, 0});
+  net.add_fc("out", p, FcParams{10});
+  return net;
+}
+
+TEST(NetworkTest, LayerCountAndNames) {
+  const Network net = tiny();
+  EXPECT_EQ(net.layer_count(), 4U);
+  EXPECT_EQ(net.layer(LayerId{0}).name, "in");
+  EXPECT_EQ(net.layer(LayerId{3}).name, "out");
+  EXPECT_EQ(net.name(), "tiny");
+}
+
+TEST(NetworkTest, ShapesInferredAtInsertion) {
+  const Network net = tiny();
+  EXPECT_EQ(net.output_shape(LayerId{0}), (Shape{1, 8, 8}));
+  EXPECT_EQ(net.output_shape(LayerId{1}), (Shape{4, 8, 8}));
+  EXPECT_EQ(net.output_shape(LayerId{2}), (Shape{4, 4, 4}));
+  EXPECT_EQ(net.output_shape(LayerId{3}), (Shape{10, 1, 1}));
+}
+
+TEST(NetworkTest, PerLayerCosts) {
+  const Network net = tiny();
+  EXPECT_EQ(net.macs(LayerId{0}), 0);
+  EXPECT_EQ(net.macs(LayerId{1}), 4LL * 8 * 8 * 1 * 9);
+  EXPECT_EQ(net.macs(LayerId{2}), 4LL * 4 * 4 * 4);
+  EXPECT_EQ(net.macs(LayerId{3}), 4LL * 4 * 4 * 10);
+  EXPECT_EQ(net.weight_count(LayerId{1}), 4LL * 1 * 9);
+  EXPECT_EQ(net.weight_count(LayerId{3}), 4LL * 16 * 10);
+}
+
+TEST(NetworkTest, TotalsAreSums) {
+  const Network net = tiny();
+  std::int64_t macs = 0;
+  std::int64_t weights = 0;
+  for (std::uint32_t i = 0; i < net.layer_count(); ++i) {
+    macs += net.macs(LayerId{i});
+    weights += net.weight_count(LayerId{i});
+  }
+  EXPECT_EQ(net.total_macs(), macs);
+  EXPECT_EQ(net.total_weights(), weights);
+}
+
+TEST(NetworkTest, OutputsAreConsumerless) {
+  const Network net = tiny();
+  const auto outs = net.outputs();
+  ASSERT_EQ(outs.size(), 1U);
+  EXPECT_EQ(outs[0].value, 3U);
+}
+
+TEST(NetworkTest, ConcatJoinsBranches) {
+  Network net("branchy");
+  const LayerId in = net.add_input("in", Shape{8, 16, 16});
+  const LayerId b1 = net.add_conv("b1", in, ConvParams{4, 1, 1, 0});
+  const LayerId b2 = net.add_conv("b2", in, ConvParams{12, 3, 1, 1});
+  const LayerId cat = net.add_concat("cat", {b1, b2});
+  EXPECT_EQ(net.output_shape(cat), (Shape{16, 16, 16}));
+  EXPECT_EQ(net.outputs().size(), 1U);
+}
+
+TEST(NetworkTest, ForwardReferenceThrows) {
+  Network net;
+  EXPECT_THROW(net.add_conv("c", LayerId{0}, ConvParams{4, 3, 1, 1}),
+               ContractViolation);
+}
+
+TEST(NetworkTest, InvalidLayerIdThrows) {
+  const Network net = tiny();
+  EXPECT_THROW(net.layer(LayerId{99}), ContractViolation);
+  EXPECT_THROW(net.output_shape(LayerId{99}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::cnn

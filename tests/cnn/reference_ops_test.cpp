@@ -1,0 +1,228 @@
+#include "cnn/reference_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace paraconv::cnn {
+namespace {
+
+TEST(TensorTest, IndexingAndPadding) {
+  Tensor t(Shape{2, 3, 3});
+  t.at(1, 2, 0) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 0), 5.0f);
+  EXPECT_FLOAT_EQ(t.at_padded(1, 2, 0), 5.0f);
+  EXPECT_FLOAT_EQ(t.at_padded(0, -1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at_padded(0, 0, 3), 0.0f);
+  EXPECT_THROW(t.at(2, 0, 0), ContractViolation);
+  EXPECT_THROW(Tensor(Shape{0, 1, 1}), ContractViolation);
+}
+
+TEST(Conv2dTest, IdentityKernelCopiesInput) {
+  Tensor in(Shape{1, 3, 3});
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) in.at(0, y, x) = static_cast<float>(y * 3 + x);
+  }
+  const ConvParams params{1, 1, 1, 0};
+  ConvWeights w;
+  w.filters = {1.0f};
+  w.bias = {0.0f};
+  const Tensor out = conv2d(in, params, w);
+  ASSERT_EQ(out.shape(), in.shape());
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      EXPECT_FLOAT_EQ(out.at(0, y, x), in.at(0, y, x));
+    }
+  }
+}
+
+TEST(Conv2dTest, SumKernelWithPadding) {
+  Tensor in(Shape{1, 2, 2});
+  in.at(0, 0, 0) = 1;
+  in.at(0, 0, 1) = 2;
+  in.at(0, 1, 0) = 3;
+  in.at(0, 1, 1) = 4;
+  const ConvParams params{1, 3, 1, 1};
+  ConvWeights w;
+  w.filters.assign(9, 1.0f);  // 3x3 all-ones
+  w.bias = {0.0f};
+  const Tensor out = conv2d(in, params, w);
+  // Center of each padded window sums the in-bounds values.
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1 + 2 + 3 + 4);  // whole image in window
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 1 + 2 + 3 + 4);
+}
+
+TEST(Conv2dTest, BiasIsAdded) {
+  Tensor in(Shape{1, 1, 1});
+  in.at(0, 0, 0) = 2.0f;
+  ConvWeights w;
+  w.filters = {3.0f};
+  w.bias = {10.0f};
+  const Tensor out = conv2d(in, ConvParams{1, 1, 1, 0}, w);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 16.0f);
+}
+
+TEST(Conv2dTest, ExecutedMacsMatchLayerAccounting) {
+  const ConvParams params{4, 3, 1, 1};
+  const Shape in_shape{3, 8, 8};
+  Tensor in(in_shape);
+  const ConvWeights w = make_test_conv_weights(params, in_shape.channels, 1);
+  std::int64_t macs = 0;
+  conv2d(in, params, w, &macs);
+  EXPECT_EQ(macs, layer_macs(params, {in_shape}));
+}
+
+TEST(Conv2dTest, MismatchedWeightsThrow) {
+  Tensor in(Shape{2, 4, 4});
+  ConvWeights w;
+  w.filters.assign(5, 0.0f);  // wrong size
+  w.bias = {0.0f};
+  EXPECT_THROW(conv2d(in, ConvParams{1, 1, 1, 0}, w), ContractViolation);
+}
+
+TEST(Im2colTest, MatrixLayoutForKnownInput) {
+  Tensor in(Shape{1, 2, 2});
+  in.at(0, 0, 0) = 1;
+  in.at(0, 0, 1) = 2;
+  in.at(0, 1, 0) = 3;
+  in.at(0, 1, 1) = 4;
+  // 2x2 kernel, stride 1, no pad: single output position; the column is
+  // the flattened window.
+  const auto matrix = im2col(in, ConvParams{1, 2, 1, 0});
+  ASSERT_EQ(matrix.size(), 4U);
+  EXPECT_FLOAT_EQ(matrix[0], 1);
+  EXPECT_FLOAT_EQ(matrix[1], 2);
+  EXPECT_FLOAT_EQ(matrix[2], 3);
+  EXPECT_FLOAT_EQ(matrix[3], 4);
+}
+
+TEST(Im2colTest, PaddingFillsZeros) {
+  Tensor in(Shape{1, 1, 1});
+  in.at(0, 0, 0) = 7;
+  // 3x3 kernel with pad 1: nine positions, center is the value.
+  const auto matrix = im2col(in, ConvParams{1, 3, 1, 1});
+  ASSERT_EQ(matrix.size(), 9U);
+  EXPECT_FLOAT_EQ(matrix[4], 7);
+  float sum = 0;
+  for (const float v : matrix) sum += v;
+  EXPECT_FLOAT_EQ(sum, 7);
+}
+
+struct ConvCase {
+  int in_c, h, w, out_c, kernel, stride, pad;
+};
+
+class Im2colEquivalenceTest : public testing::TestWithParam<ConvCase> {};
+
+TEST_P(Im2colEquivalenceTest, MatchesDirectConvolution) {
+  const auto& c = GetParam();
+  const Shape in_shape{c.in_c, c.h, c.w};
+  const ConvParams params{c.out_c, c.kernel, c.stride, c.pad};
+
+  Tensor in(in_shape);
+  Rng rng(77);
+  for (float& v : in.data()) {
+    v = static_cast<float>(rng.uniform_real() * 2.0 - 1.0);
+  }
+  const ConvWeights w = make_test_conv_weights(params, c.in_c, 5);
+
+  const Tensor direct = conv2d(in, params, w);
+  const Tensor gemm = conv2d_im2col(in, params, w);
+  ASSERT_EQ(direct.shape(), gemm.shape());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.data()[i], gemm.data()[i], 1e-4f) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Im2colEquivalenceTest,
+    testing::Values(ConvCase{1, 5, 5, 1, 3, 1, 1}, ConvCase{3, 8, 8, 4, 3, 1, 1},
+                    ConvCase{2, 9, 9, 3, 3, 2, 1}, ConvCase{4, 7, 7, 2, 5, 1, 2},
+                    ConvCase{3, 12, 12, 8, 1, 1, 0},
+                    ConvCase{2, 11, 13, 3, 7, 2, 3}));
+
+TEST(Pool2dTest, MaxPick) {
+  Tensor in(Shape{1, 2, 2});
+  in.at(0, 0, 0) = 1;
+  in.at(0, 0, 1) = 9;
+  in.at(0, 1, 0) = -3;
+  in.at(0, 1, 1) = 4;
+  const Tensor out = pool2d(in, PoolParams{PoolMode::kMax, 2, 2, 0});
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 9.0f);
+}
+
+TEST(Pool2dTest, AverageIncludesPadZeros) {
+  Tensor in(Shape{1, 2, 2});
+  in.at(0, 0, 0) = 4;
+  in.at(0, 0, 1) = 4;
+  in.at(0, 1, 0) = 4;
+  in.at(0, 1, 1) = 4;
+  const Tensor out = pool2d(in, PoolParams{PoolMode::kAverage, 2, 2, 0});
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+}
+
+TEST(Pool2dTest, ChannelsIndependent) {
+  Tensor in(Shape{2, 2, 2});
+  in.at(0, 0, 0) = 7;
+  in.at(1, 0, 0) = -7;
+  const Tensor out = pool2d(in, PoolParams{PoolMode::kMax, 2, 2, 0});
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 0.0f);  // max of {-7, 0, 0, 0}
+}
+
+TEST(FullyConnectedTest, HandComputedProduct) {
+  Tensor in(Shape{2, 1, 1});
+  in.at(0, 0, 0) = 1.0f;
+  in.at(1, 0, 0) = 2.0f;
+  FcWeights w;
+  w.matrix = {1.0f, 2.0f,   // out0
+              3.0f, 4.0f};  // out1
+  w.bias = {0.5f, -0.5f};
+  const Tensor out = fully_connected(in, FcParams{2}, w);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1 + 4 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 3 + 8 - 0.5f);
+}
+
+TEST(FullyConnectedTest, MismatchedMatrixThrows) {
+  Tensor in(Shape{2, 1, 1});
+  FcWeights w;
+  w.matrix = {1.0f};
+  w.bias = {0.0f};
+  EXPECT_THROW(fully_connected(in, FcParams{1}, w), ContractViolation);
+}
+
+TEST(ConcatTest, ChannelLayoutPreserved) {
+  Tensor a(Shape{1, 2, 2});
+  a.at(0, 0, 0) = 1;
+  Tensor b(Shape{2, 2, 2});
+  b.at(0, 1, 1) = 2;
+  b.at(1, 0, 1) = 3;
+  const Tensor out = concat({a, b});
+  ASSERT_EQ(out.shape(), (Shape{3, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(2, 0, 1), 3.0f);
+}
+
+TEST(ReluTest, ClampsNegatives) {
+  Tensor t(Shape{1, 1, 2});
+  t.at(0, 0, 0) = -1.5f;
+  t.at(0, 0, 1) = 2.5f;
+  const Tensor out = relu(t);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 2.5f);
+}
+
+TEST(TestWeightsTest, DeterministicBySeed) {
+  const ConvParams params{2, 3, 1, 1};
+  const ConvWeights a = make_test_conv_weights(params, 3, 42);
+  const ConvWeights b = make_test_conv_weights(params, 3, 42);
+  EXPECT_EQ(a.filters, b.filters);
+  EXPECT_EQ(a.bias, b.bias);
+  const ConvWeights c = make_test_conv_weights(params, 3, 43);
+  EXPECT_NE(a.filters, c.filters);
+}
+
+}  // namespace
+}  // namespace paraconv::cnn

@@ -1,0 +1,52 @@
+#include "cnn/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::cnn {
+namespace {
+
+TEST(ShapeTest, ElementsAndBytes) {
+  const Shape s{3, 224, 224};
+  EXPECT_EQ(s.elements(), 3LL * 224 * 224);
+  EXPECT_EQ(s.bytes().value, 3LL * 224 * 224 * 2);   // fp16 default
+  EXPECT_EQ(s.bytes(4).value, 3LL * 224 * 224 * 4);  // fp32
+}
+
+TEST(ShapeTest, Validity) {
+  EXPECT_TRUE((Shape{1, 1, 1}.valid()));
+  EXPECT_FALSE((Shape{0, 5, 5}.valid()));
+  EXPECT_FALSE((Shape{5, 0, 5}.valid()));
+  EXPECT_FALSE((Shape{5, 5, 0}.valid()));
+  EXPECT_FALSE(Shape{}.valid());
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ((Shape{1, 2, 3}), (Shape{1, 2, 3}));
+  EXPECT_NE((Shape{1, 2, 3}), (Shape{3, 2, 1}));
+}
+
+struct ExtentCase {
+  int in, kernel, stride, pad, expected;
+};
+
+class ConvOutExtentTest : public testing::TestWithParam<ExtentCase> {};
+
+TEST_P(ConvOutExtentTest, MatchesFormula) {
+  const auto& c = GetParam();
+  EXPECT_EQ(conv_out_extent(c.in, c.kernel, c.stride, c.pad), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownLayers, ConvOutExtentTest,
+    testing::Values(
+        ExtentCase{224, 7, 2, 3, 112},  // GoogLeNet conv1
+        ExtentCase{112, 3, 2, 1, 56},   // GoogLeNet pool1 (pad 1)
+        ExtentCase{56, 3, 1, 1, 56},    // 3x3 same
+        ExtentCase{28, 5, 1, 2, 28},    // 5x5 same
+        ExtentCase{32, 5, 1, 0, 28},    // LeNet c1
+        ExtentCase{28, 2, 2, 0, 14},    // LeNet s2
+        ExtentCase{7, 7, 1, 0, 1},      // global average pool
+        ExtentCase{1, 1, 1, 0, 1}));
+
+}  // namespace
+}  // namespace paraconv::cnn

@@ -1,0 +1,46 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv {
+namespace {
+
+TEST(CheckTest, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(PARACONV_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(CheckTest, RequireThrowsContractViolation) {
+  EXPECT_THROW(PARACONV_REQUIRE(false, "must fail"), ContractViolation);
+}
+
+TEST(CheckTest, CheckThrowsContractViolation) {
+  EXPECT_THROW(PARACONV_CHECK(false, "invariant broken"), ContractViolation);
+}
+
+TEST(CheckTest, MessageContainsContext) {
+  try {
+    PARACONV_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, InvariantKindInMessage) {
+  try {
+    PARACONV_CHECK(false, "state corrupt");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, IsLogicError) {
+  EXPECT_THROW(PARACONV_CHECK(false, "x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace paraconv

@@ -1,0 +1,126 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv {
+namespace {
+
+FlagParser make_parser() {
+  FlagParser flags;
+  flags.add_string("name", "default", "a string flag");
+  flags.add_int("count", 7, "an int flag");
+  flags.add_bool("verbose", false, "a bool flag");
+  return flags;
+}
+
+TEST(FlagParserTest, DefaultsApply) {
+  FlagParser flags = make_parser();
+  std::string error;
+  ASSERT_TRUE(flags.parse({}, &error)) << error;
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(FlagParserTest, SpaceSeparatedValues) {
+  FlagParser flags = make_parser();
+  std::string error;
+  ASSERT_TRUE(flags.parse({"--name", "abc", "--count", "42"}, &error));
+  EXPECT_EQ(flags.get_string("name"), "abc");
+  EXPECT_EQ(flags.get_int("count"), 42);
+}
+
+TEST(FlagParserTest, EqualsSeparatedValues) {
+  FlagParser flags = make_parser();
+  std::string error;
+  ASSERT_TRUE(flags.parse({"--name=xyz", "--count=-3"}, &error));
+  EXPECT_EQ(flags.get_string("name"), "xyz");
+  EXPECT_EQ(flags.get_int("count"), -3);
+}
+
+TEST(FlagParserTest, BareBoolSetsTrue) {
+  FlagParser flags = make_parser();
+  std::string error;
+  ASSERT_TRUE(flags.parse({"--verbose"}, &error));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(FlagParserTest, ExplicitBoolValues) {
+  FlagParser flags = make_parser();
+  std::string error;
+  ASSERT_TRUE(flags.parse({"--verbose=true"}, &error));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+
+  FlagParser flags2 = make_parser();
+  ASSERT_TRUE(flags2.parse({"--verbose=false"}, &error));
+  EXPECT_FALSE(flags2.get_bool("verbose"));
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser flags = make_parser();
+  std::string error;
+  ASSERT_TRUE(flags.parse({"run", "--count", "3", "extra"}, &error));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"run", "extra"}));
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser flags = make_parser();
+  std::string error;
+  ASSERT_TRUE(flags.parse({"--count", "1", "--count", "2"}, &error));
+  EXPECT_EQ(flags.get_int("count"), 2);
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser flags = make_parser();
+  std::string error;
+  EXPECT_FALSE(flags.parse({"--typo"}, &error));
+  EXPECT_NE(error.find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagParserTest, MalformedIntRejected) {
+  FlagParser flags = make_parser();
+  std::string error;
+  EXPECT_FALSE(flags.parse({"--count", "abc"}, &error));
+  EXPECT_NE(error.find("integer"), std::string::npos);
+  FlagParser flags2 = make_parser();
+  EXPECT_FALSE(flags2.parse({"--count", "12x"}, &error));
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  FlagParser flags = make_parser();
+  std::string error;
+  EXPECT_FALSE(flags.parse({"--count"}, &error));
+  EXPECT_NE(error.find("expects a value"), std::string::npos);
+}
+
+TEST(FlagParserTest, MalformedBoolRejected) {
+  FlagParser flags = make_parser();
+  std::string error;
+  EXPECT_FALSE(flags.parse({"--verbose=maybe"}, &error));
+}
+
+TEST(FlagParserTest, TypeMismatchAndUndeclaredThrow) {
+  FlagParser flags = make_parser();
+  std::string error;
+  ASSERT_TRUE(flags.parse({}, &error));
+  EXPECT_THROW(flags.get_int("name"), ContractViolation);
+  EXPECT_THROW(flags.get_string("nope"), ContractViolation);
+}
+
+TEST(FlagParserTest, DuplicateDeclarationThrows) {
+  FlagParser flags;
+  flags.add_int("x", 1, "doc");
+  EXPECT_THROW(flags.add_string("x", "", "doc"), ContractViolation);
+}
+
+TEST(FlagParserTest, UsageListsAllFlags) {
+  const FlagParser flags = make_parser();
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("a string flag"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paraconv

@@ -1,0 +1,105 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace paraconv {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, UniformIntRequiresOrderedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 4), ContractViolation);
+}
+
+TEST(RngTest, SingletonRangeAlwaysReturnsValue) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+struct RangeCase {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+class UniformIntRangeTest : public testing::TestWithParam<RangeCase> {};
+
+TEST_P(UniformIntRangeTest, StaysInBoundsAndCoversRange) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lo * 31 + hi));
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    seen.insert(v);
+  }
+  // For small ranges the generator should hit every value.
+  if (hi - lo < 16) {
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(hi - lo + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, UniformIntRangeTest,
+                         testing::Values(RangeCase{0, 1}, RangeCase{-5, 5},
+                                         RangeCase{0, 9}, RangeCase{100, 107},
+                                         RangeCase{-1000, 1000},
+                                         RangeCase{0, 1'000'000}));
+
+TEST(RngTest, UniformIntMeanIsCentered) {
+  Rng rng(99);
+  double sum = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.uniform_int(0, 100));
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 50.0, 1.0);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace paraconv

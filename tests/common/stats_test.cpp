@@ -1,0 +1,67 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv {
+namespace {
+
+TEST(RunningStatsTest, MeanAndExtrema) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 6.0, 8.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(RunningStatsTest, SampleVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatsTest, EmptySampleRejected) {
+  const RunningStats s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.variance(), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+}
+
+TEST(RunningStatsTest, NegativeValuesHandled) {
+  RunningStats s;
+  for (const double x : {-5.0, 0.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(PercentileTest, NearestRank) {
+  const std::vector<double> sample{15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(sample, 0), 15);
+  EXPECT_DOUBLE_EQ(percentile(sample, 30), 20);
+  EXPECT_DOUBLE_EQ(percentile(sample, 40), 20);
+  EXPECT_DOUBLE_EQ(percentile(sample, 50), 35);
+  EXPECT_DOUBLE_EQ(percentile(sample, 100), 50);
+}
+
+TEST(PercentileTest, UnsortedInputAccepted) {
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 50), 5);
+}
+
+TEST(PercentileTest, InvalidArgumentsRejected) {
+  EXPECT_THROW(percentile({}, 50), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, -1), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, 101), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv

@@ -1,0 +1,43 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv {
+namespace {
+
+TEST(JoinTest, BasicAndEdgeCases) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"", ""}, "-"), "-");
+}
+
+TEST(SplitTest, BasicAndEdgeCases) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(SplitJoinTest, RoundTrips) {
+  const std::vector<std::string> parts{"alpha", "beta", "", "gamma"};
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.145, 2), "3.15");  // round-half-away via printf
+  EXPECT_EQ(format_fixed(-1.5, 0), "-2");
+  EXPECT_EQ(format_fixed(0.0, 3), "0.000");
+}
+
+TEST(PadTest, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");  // no truncation
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+  EXPECT_EQ(pad_left("", 3), "   ");
+}
+
+}  // namespace
+}  // namespace paraconv

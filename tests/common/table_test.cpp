@@ -1,0 +1,78 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace paraconv {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t;
+  t.set_header({"name", "v"});
+  t.add_row({"a", "100"});
+  t.add_row({"longer", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | v   |"), std::string::npos);
+  EXPECT_NE(out.find("| a      | 100 |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 1   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, TitlePrintedFirst) {
+  TablePrinter t{"My Table"};
+  t.set_header({"x"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().rfind("My Table\n", 0), 0U);
+}
+
+TEST(TablePrinterTest, RowWidthMismatchThrows) {
+  TablePrinter t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, RuleInsertsSeparator) {
+  TablePrinter t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"avg"});
+  std::ostringstream os;
+  t.print(os);
+  // header rule + top + bottom + the explicit one = 4 horizontal rules.
+  std::size_t rules = 0;
+  std::istringstream in(os.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4U);
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter t;
+  t.set_header({"a"});
+  EXPECT_EQ(t.row_count(), 0U);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2U);
+}
+
+}  // namespace
+}  // namespace paraconv

@@ -1,0 +1,83 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paraconv {
+namespace {
+
+TEST(TimeUnitsTest, ArithmeticAndComparison) {
+  const TimeUnits a{5};
+  const TimeUnits b{3};
+  EXPECT_EQ((a + b).value, 8);
+  EXPECT_EQ((a - b).value, 2);
+  EXPECT_EQ((a * 4).value, 20);
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+  TimeUnits c{1};
+  c += TimeUnits{2};
+  EXPECT_EQ(c.value, 3);
+}
+
+TEST(TimeUnitsTest, DefaultIsZero) { EXPECT_EQ(TimeUnits{}.value, 0); }
+
+TEST(TimeUnitsTest, StreamFormat) {
+  std::ostringstream os;
+  os << TimeUnits{42};
+  EXPECT_EQ(os.str(), "42tu");
+}
+
+TEST(BytesTest, LiteralsProduceExpectedValues) {
+  EXPECT_EQ((4_B).value, 4);
+  EXPECT_EQ((2_KiB).value, 2048);
+  EXPECT_EQ((3_MiB).value, 3 * 1024 * 1024);
+}
+
+TEST(BytesTest, Arithmetic) {
+  Bytes b = 1_KiB;
+  b += 1_KiB;
+  EXPECT_EQ(b, 2_KiB);
+  EXPECT_EQ((2_KiB - 1_KiB), 1_KiB);
+  EXPECT_LT(1_KiB, 1_MiB);
+}
+
+TEST(PicojoulesTest, AccumulatesAndScales) {
+  Picojoules e{1.5};
+  e += Picojoules{0.5};
+  EXPECT_DOUBLE_EQ(e.value, 2.0);
+  EXPECT_DOUBLE_EQ((e * 3.0).value, 6.0);
+  EXPECT_DOUBLE_EQ((Picojoules{1.0} + Picojoules{2.0}).value, 3.0);
+}
+
+struct CeilDivCase {
+  std::int64_t a;
+  std::int64_t b;
+  std::int64_t expected;
+};
+
+class CeilDivTest : public testing::TestWithParam<CeilDivCase> {};
+
+TEST_P(CeilDivTest, MatchesExpectation) {
+  const CeilDivCase& c = GetParam();
+  EXPECT_EQ(ceil_div(c.a, c.b), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, CeilDivTest,
+    testing::Values(CeilDivCase{0, 5, 0}, CeilDivCase{1, 5, 1},
+                    CeilDivCase{5, 5, 1}, CeilDivCase{6, 5, 2},
+                    CeilDivCase{10, 5, 2}, CeilDivCase{11, 5, 3},
+                    CeilDivCase{1, 1, 1}, CeilDivCase{999, 1000, 1},
+                    CeilDivCase{1000, 1000, 1}, CeilDivCase{1001, 1000, 2}));
+
+TEST(FormatBytesTest, HumanReadable) {
+  EXPECT_EQ(format_bytes(512_B), "512 B");
+  EXPECT_EQ(format_bytes(1_KiB), "1.0 KiB");
+  EXPECT_EQ(format_bytes(Bytes{1536}), "1.5 KiB");
+  EXPECT_EQ(format_bytes(2_MiB), "2.0 MiB");
+  EXPECT_EQ(format_bytes(Bytes{0}), "0 B");
+}
+
+}  // namespace
+}  // namespace paraconv

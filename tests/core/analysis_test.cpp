@@ -1,0 +1,59 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::core {
+namespace {
+
+TEST(AnalysisTest, BundlesConsistentViews) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("character-1"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  const ParaConvResult r = ParaConv(config).schedule(g);
+  const ScheduleAnalysis a = analyze(g, config, r);
+
+  // Bounds: the kernel can never beat the resource lower bound.
+  EXPECT_LE(a.period_lower_bound, r.kernel.period);
+  EXPECT_GT(a.period_optimality, 0.0);
+  EXPECT_LE(a.period_optimality, 1.0 + 1e-9);
+
+  // Census covers every edge exactly once.
+  std::size_t census_total = 0;
+  for (const std::size_t c : a.case_census) census_total += c;
+  EXPECT_EQ(census_total, g.edge_count());
+
+  // Sensitive = cases 2 + 3 + 5; the allocation cannot cache more
+  // sensitive IPRs than exist (ΔR=0 edges are never cached by the DP).
+  EXPECT_EQ(a.sensitive_iprs,
+            a.case_census[1] + a.case_census[2] + a.case_census[4]);
+  EXPECT_LE(a.cached_iprs, a.sensitive_iprs);
+
+  // Cross-module agreement.
+  EXPECT_EQ(a.latency.period, r.kernel.period);
+  EXPECT_EQ(a.residency.peak_per_pe.size(),
+            static_cast<std::size_t>(config.pe_count));
+}
+
+TEST(AnalysisTest, HighPeCountPacksOptimally) {
+  // With PEs >= tasks the period equals max exec time: optimality 1.0.
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("cat"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(64);
+  const ParaConvResult r = ParaConv(config).schedule(g);
+  const ScheduleAnalysis a = analyze(g, config, r);
+  EXPECT_DOUBLE_EQ(a.period_optimality, 1.0);
+  EXPECT_EQ(r.kernel.period, g.max_exec_time());
+}
+
+TEST(AnalysisTest, RejectsMismatchedResult) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("cat"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  ParaConvResult empty;
+  EXPECT_THROW(analyze(g, config, empty), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::core

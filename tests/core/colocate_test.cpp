@@ -1,0 +1,111 @@
+#include "core/colocate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/paper_benchmarks.hpp"
+#include "sched/validator.hpp"
+
+namespace paraconv::core {
+namespace {
+
+graph::TaskGraph bench(const char* name) {
+  return graph::build_paper_benchmark(graph::paper_benchmark(name));
+}
+
+TEST(ColocateTest, PartitionsAreDisjointAndExhaustive) {
+  const graph::TaskGraph a = bench("cat");
+  const graph::TaskGraph b = bench("flower");
+  const graph::TaskGraph c = bench("character-1");
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+
+  const ColocationResult r = schedule_colocated({&a, &b, &c}, config);
+  ASSERT_EQ(r.partitions.size(), 3U);
+  ASSERT_EQ(r.apps.size(), 3U);
+
+  int covered = 0;
+  int next_expected = 0;
+  for (const Partition& p : r.partitions) {
+    EXPECT_EQ(p.first_pe, next_expected);
+    EXPECT_GE(p.pe_count, 1);
+    covered += p.pe_count;
+    next_expected += p.pe_count;
+  }
+  EXPECT_EQ(covered, config.pe_count);
+}
+
+TEST(ColocateTest, SharesFollowWork) {
+  const graph::TaskGraph small = bench("cat");        // 9 tasks
+  const graph::TaskGraph large = bench("protein");    // 546 tasks
+  const pim::PimConfig config = pim::PimConfig::neurocube(64);
+  const ColocationResult r = schedule_colocated({&small, &large}, config);
+  EXPECT_LT(r.partitions[0].pe_count, r.partitions[1].pe_count);
+  EXPECT_GE(r.partitions[0].pe_count, 1);
+}
+
+TEST(ColocateTest, EqualWorkloadsSplitEvenly) {
+  const graph::TaskGraph a = bench("speech-1");
+  const graph::TaskGraph b = bench("speech-1");
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  const ColocationResult r = schedule_colocated({&a, &b}, config);
+  EXPECT_EQ(r.partitions[0].pe_count, 16);
+  EXPECT_EQ(r.partitions[1].pe_count, 16);
+}
+
+TEST(ColocateTest, EachScheduleValidInItsPartition) {
+  const graph::TaskGraph a = bench("car");
+  const graph::TaskGraph b = bench("stock-predict");
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  const ColocationResult r = schedule_colocated({&a, &b}, config);
+
+  const graph::TaskGraph* graphs[] = {&a, &b};
+  for (std::size_t i = 0; i < r.apps.size(); ++i) {
+    pim::PimConfig sub = config;
+    sub.pe_count = r.partitions[i].pe_count;
+    EXPECT_TRUE(sched::is_valid_kernel_schedule(
+        *graphs[i], r.apps[i].kernel, sub, sub.total_cache_bytes()))
+        << "app " << i;
+    // All local PE ids stay inside the partition width.
+    for (const sched::TaskPlacement& p : r.apps[i].kernel.placement) {
+      EXPECT_GE(p.pe, 0);
+      EXPECT_LT(p.pe, r.partitions[i].pe_count);
+    }
+  }
+}
+
+TEST(ColocateTest, SingleAppGetsWholeArray) {
+  const graph::TaskGraph a = bench("flower");
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  const ColocationResult r = schedule_colocated({&a}, config);
+  ASSERT_EQ(r.partitions.size(), 1U);
+  EXPECT_EQ(r.partitions[0].pe_count, 16);
+  // Identical to scheduling directly.
+  const ParaConvResult direct = ParaConv(config).schedule(a);
+  EXPECT_EQ(r.apps[0].metrics.total_time, direct.metrics.total_time);
+}
+
+TEST(ColocateTest, RejectsInvalidInputs) {
+  const graph::TaskGraph a = bench("cat");
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  EXPECT_THROW(schedule_colocated({}, config), ContractViolation);
+  EXPECT_THROW(schedule_colocated({&a, nullptr}, config), ContractViolation);
+
+  pim::PimConfig tiny = config;
+  tiny.pe_count = 1;
+  const graph::TaskGraph b = bench("car");
+  EXPECT_THROW(schedule_colocated({&a, &b}, tiny), ContractViolation);
+}
+
+TEST(ColocateTest, ColocationCostsThroughputVsExclusive) {
+  // Sharing the array is never faster than running alone on all PEs.
+  const graph::TaskGraph a = bench("string-matching");
+  const graph::TaskGraph b = bench("shortest-path");
+  const pim::PimConfig config = pim::PimConfig::neurocube(64);
+  const ColocationResult shared = schedule_colocated({&a, &b}, config);
+  const ParaConvResult alone_a = ParaConv(config).schedule(a);
+  const ParaConvResult alone_b = ParaConv(config).schedule(b);
+  EXPECT_GE(shared.apps[0].metrics.total_time, alone_a.metrics.total_time);
+  EXPECT_GE(shared.apps[1].metrics.total_time, alone_b.metrics.total_time);
+}
+
+}  // namespace
+}  // namespace paraconv::core

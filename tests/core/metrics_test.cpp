@@ -1,0 +1,48 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace paraconv::core {
+namespace {
+
+RunResult with_total(std::int64_t total) {
+  RunResult r;
+  r.total_time = TimeUnits{total};
+  return r;
+}
+
+TEST(MetricsTest, RatioMatchesPaperConvention) {
+  // cat @ 16 cores in Table 1: 4.0 / 4.7 -> 85.1%.
+  EXPECT_NEAR(time_ratio_percent(with_total(470), with_total(400)), 85.106,
+              0.001);
+}
+
+TEST(MetricsTest, ReductionIsComplementOfRatio) {
+  const RunResult base = with_total(1000);
+  const RunResult ours = with_total(400);
+  EXPECT_DOUBLE_EQ(time_ratio_percent(base, ours), 40.0);
+  EXPECT_DOUBLE_EQ(time_reduction_percent(base, ours), 60.0);
+}
+
+TEST(MetricsTest, SpeedupIsInverseRatio) {
+  EXPECT_DOUBLE_EQ(speedup(with_total(1000), with_total(500)), 2.0);
+  EXPECT_DOUBLE_EQ(speedup(with_total(500), with_total(1000)), 0.5);
+}
+
+TEST(MetricsTest, EqualTimesMeanNoChange) {
+  const RunResult r = with_total(123);
+  EXPECT_DOUBLE_EQ(time_ratio_percent(r, r), 100.0);
+  EXPECT_DOUBLE_EQ(time_reduction_percent(r, r), 0.0);
+  EXPECT_DOUBLE_EQ(speedup(r, r), 1.0);
+}
+
+TEST(MetricsTest, ZeroTimesRejected) {
+  EXPECT_THROW(time_ratio_percent(with_total(0), with_total(10)),
+               ContractViolation);
+  EXPECT_THROW(speedup(with_total(10), with_total(0)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::core

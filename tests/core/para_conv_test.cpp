@@ -1,0 +1,175 @@
+#include "core/para_conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/paper_benchmarks.hpp"
+#include "retiming/retiming.hpp"
+#include "sched/validator.hpp"
+
+namespace paraconv::core {
+namespace {
+
+struct GridCase {
+  const char* benchmark;
+  int pe_count;
+};
+
+class ParaConvGridTest : public testing::TestWithParam<GridCase> {};
+
+TEST_P(ParaConvGridTest, EmitsValidatedSchedule) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(GetParam().benchmark));
+  const pim::PimConfig config = pim::PimConfig::neurocube(GetParam().pe_count);
+  const ParaConvResult r = ParaConv(config).schedule(g);
+
+  const auto issues = sched::validate_kernel_schedule(
+      g, r.kernel, config, config.total_cache_bytes());
+  EXPECT_TRUE(issues.empty())
+      << (issues.empty() ? "" : issues.front());
+}
+
+TEST_P(ParaConvGridTest, MetricsAreInternallyConsistent) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(GetParam().benchmark));
+  const pim::PimConfig config = pim::PimConfig::neurocube(GetParam().pe_count);
+  ParaConvOptions options;
+  options.iterations = 50;
+  const ParaConvResult r = ParaConv(config, options).schedule(g);
+  const RunResult& m = r.metrics;
+
+  EXPECT_EQ(m.scheduler, "Para-CONV");
+  EXPECT_EQ(m.r_max, r.kernel.r_max());
+  EXPECT_EQ(m.prologue_time.value, m.iteration_time.value * m.r_max);
+  EXPECT_EQ(m.total_time.value, m.iteration_time.value * (50 + m.r_max));
+  EXPECT_EQ(m.cached_iprs, r.kernel.cached_edge_count());
+  EXPECT_GT(m.pe_utilization, 0.0);
+  EXPECT_LE(m.pe_utilization, 1.0 + 1e-9);
+
+  // Off-chip volume + cached volume covers every IPR byte exactly once.
+  EXPECT_EQ(m.offchip_bytes_per_iteration + m.cache_bytes_used,
+            g.total_ipr_bytes());
+}
+
+TEST_P(ParaConvGridTest, RetimingIsMinimalForChosenDistances) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(GetParam().benchmark));
+  const pim::PimConfig config = pim::PimConfig::neurocube(GetParam().pe_count);
+  const ParaConvResult r = ParaConv(config).schedule(g);
+  const retiming::Retiming minimal =
+      retiming::minimal_retiming(g, r.kernel.distance);
+  EXPECT_EQ(minimal.value, r.kernel.retiming);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParaConvGridTest,
+    testing::Values(GridCase{"cat", 16}, GridCase{"cat", 64},
+                    GridCase{"flower", 32}, GridCase{"character-2", 16},
+                    GridCase{"stock-predict", 32},
+                    GridCase{"shortest-path", 64}, GridCase{"speech-1", 16},
+                    GridCase{"protein", 64}),
+    [](const testing::TestParamInfo<GridCase>& param_info) {
+      std::string name = std::string(param_info.param.benchmark) + "_" +
+                         std::to_string(param_info.param.pe_count);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ParaConvTest, DeterministicAcrossRuns) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("flower"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  const ParaConvResult a = ParaConv(config).schedule(g);
+  const ParaConvResult b = ParaConv(config).schedule(g);
+  EXPECT_EQ(a.kernel.retiming, b.kernel.retiming);
+  EXPECT_EQ(a.kernel.distance, b.kernel.distance);
+  EXPECT_EQ(a.metrics.total_time, b.metrics.total_time);
+}
+
+TEST(ParaConvTest, AllAllocatorsProduceValidSchedules) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("character-1"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  for (const AllocatorKind kind :
+       {AllocatorKind::kKnapsackDp, AllocatorKind::kGreedyDensity,
+        AllocatorKind::kGreedyDeadline, AllocatorKind::kCriticalPath}) {
+    ParaConvOptions options;
+    options.allocator = kind;
+    const ParaConvResult r = ParaConv(config, options).schedule(g);
+    EXPECT_TRUE(sched::is_valid_kernel_schedule(g, r.kernel, config,
+                                                config.total_cache_bytes()))
+        << to_string(kind);
+  }
+}
+
+TEST(ParaConvTest, KnapsackProfitAtLeastGreedy) {
+  // The DP maximizes total ΔR, so greedy heuristics can never cache a more
+  // profitable set. Compare via the summed distance reduction.
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("speech-1"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+
+  const auto total_distance = [&](AllocatorKind kind) {
+    ParaConvOptions options;
+    options.allocator = kind;
+    options.knapsack_quantum_bytes = 64;
+    const ParaConvResult r = ParaConv(config, options).schedule(g);
+    int sum = 0;
+    for (const int d : r.kernel.distance) sum += d;
+    return sum;
+  };
+  EXPECT_LE(total_distance(AllocatorKind::kKnapsackDp),
+            total_distance(AllocatorKind::kGreedyDeadline));
+  EXPECT_LE(total_distance(AllocatorKind::kKnapsackDp),
+            total_distance(AllocatorKind::kGreedyDensity));
+}
+
+TEST(ParaConvTest, ZeroCacheForcesEverythingToEdram) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("cat"));
+  pim::PimConfig config = pim::PimConfig::neurocube(16);
+  config.pe_cache_bytes = Bytes{1};  // nothing fits
+  const ParaConvResult r = ParaConv(config).schedule(g);
+  EXPECT_EQ(r.metrics.cached_iprs, 0U);
+  for (const pim::AllocSite s : r.kernel.allocation) {
+    EXPECT_EQ(s, pim::AllocSite::kEdram);
+  }
+}
+
+TEST(ParaConvTest, LargerCacheNeverIncreasesRmax) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("image-compress"));
+  int prev = std::numeric_limits<int>::max();
+  for (const std::int64_t kib : {0LL, 4LL, 16LL, 64LL, 256LL}) {
+    pim::PimConfig config = pim::PimConfig::neurocube(32);
+    config.pe_cache_bytes = Bytes{std::max<std::int64_t>(1, kib * 1024)};
+    ParaConvOptions options;
+    options.allocator = AllocatorKind::kCriticalPath;
+    const ParaConvResult r = ParaConv(config, options).schedule(g);
+    EXPECT_LE(r.metrics.r_max, prev) << kib << " KiB";
+    prev = r.metrics.r_max;
+  }
+}
+
+TEST(ParaConvTest, RejectsInvalidOptions) {
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  EXPECT_THROW(ParaConv(config, ParaConvOptions{.iterations = 0}),
+               ContractViolation);
+  EXPECT_THROW(
+      ParaConv(config, ParaConvOptions{.knapsack_quantum_bytes = 0}),
+      ContractViolation);
+  pim::PimConfig bad = config;
+  bad.pe_count = 0;
+  EXPECT_THROW(ParaConv{bad}, ContractViolation);
+}
+
+TEST(AllocatorKindTest, Names) {
+  EXPECT_STREQ(to_string(AllocatorKind::kKnapsackDp), "knapsack-dp");
+  EXPECT_STREQ(to_string(AllocatorKind::kGreedyDensity), "greedy-density");
+  EXPECT_STREQ(to_string(AllocatorKind::kGreedyDeadline), "greedy-deadline");
+  EXPECT_STREQ(to_string(AllocatorKind::kCriticalPath), "critical-path");
+}
+
+}  // namespace
+}  // namespace paraconv::core

@@ -1,0 +1,106 @@
+#include "core/sparta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::core {
+namespace {
+
+struct GridCase {
+  const char* benchmark;
+  int pe_count;
+};
+
+class SpartaGridTest : public testing::TestWithParam<GridCase> {};
+
+TEST_P(SpartaGridTest, ScheduleRespectsDependencies) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(GetParam().benchmark));
+  const pim::PimConfig config = pim::PimConfig::neurocube(GetParam().pe_count);
+  const SpartaResult r = Sparta(config).schedule(g);
+
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    const sched::TaskPlacement& prod = r.schedule.placement[ipr.src.value];
+    const sched::TaskPlacement& cons = r.schedule.placement[ipr.dst.value];
+    const TimeUnits hand_off =
+        prod.pe == cons.pe
+            ? TimeUnits{0}
+            : config.transfer_time(r.allocation[e.value], ipr.size);
+    EXPECT_LE(prod.start + g.task(ipr.src).exec_time + hand_off, cons.start);
+  }
+}
+
+TEST_P(SpartaGridTest, MakespanBoundedBelowByCriticalPathAndWork) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(GetParam().benchmark));
+  const pim::PimConfig config = pim::PimConfig::neurocube(GetParam().pe_count);
+  const SpartaResult r = Sparta(config).schedule(g);
+  EXPECT_GE(r.metrics.iteration_time, graph::critical_path_length(g));
+  EXPECT_GE(r.metrics.iteration_time.value,
+            ceil_div(g.total_work().value, config.pe_count));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpartaGridTest,
+    testing::Values(GridCase{"cat", 16}, GridCase{"flower", 32},
+                    GridCase{"string-matching", 16},
+                    GridCase{"shortest-path", 64}, GridCase{"protein", 32}),
+    [](const testing::TestParamInfo<GridCase>& param_info) {
+      std::string name = std::string(param_info.param.benchmark) + "_" +
+                         std::to_string(param_info.param.pe_count);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(SpartaTest, NoPipelineNoPrologue) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("car"));
+  const SpartaResult r =
+      Sparta(pim::PimConfig::neurocube(16), {25}).schedule(g);
+  EXPECT_EQ(r.metrics.scheduler, "SPARTA");
+  EXPECT_EQ(r.metrics.r_max, 0);
+  EXPECT_EQ(r.metrics.prologue_time.value, 0);
+  EXPECT_EQ(r.metrics.total_time.value, r.metrics.iteration_time.value * 25);
+}
+
+TEST(SpartaTest, CacheAllocationRespectsCapacity) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("speech-2"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  const SpartaResult r = Sparta(config).schedule(g);
+  Bytes cached{};
+  std::size_t count = 0;
+  for (const graph::EdgeId e : g.edges()) {
+    if (r.allocation[e.value] == pim::AllocSite::kCache) {
+      cached += g.ipr(e).size;
+      ++count;
+    }
+  }
+  EXPECT_LE(cached, config.total_cache_bytes());
+  EXPECT_EQ(count, r.metrics.cached_iprs);
+  EXPECT_EQ(cached, r.metrics.cache_bytes_used);
+}
+
+TEST(SpartaTest, MorePesNeverHurtThroughput) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("protein"));
+  TimeUnits prev{std::numeric_limits<std::int64_t>::max()};
+  for (const int pe : {8, 16, 32, 64}) {
+    const SpartaResult r =
+        Sparta(pim::PimConfig::neurocube(pe)).schedule(g);
+    EXPECT_LE(r.metrics.iteration_time, prev);
+    prev = r.metrics.iteration_time;
+  }
+}
+
+TEST(SpartaTest, RejectsInvalidOptions) {
+  EXPECT_THROW(Sparta(pim::PimConfig::neurocube(16), {0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::core

@@ -1,0 +1,132 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace paraconv::graph {
+namespace {
+
+Task conv(const std::string& name, std::int64_t exec) {
+  return Task{name, TaskKind::kConvolution, TimeUnits{exec}};
+}
+
+/// Diamond: A -> {B, C} -> D with exec times 1, 2, 3, 4.
+TaskGraph diamond() {
+  TaskGraph g("diamond");
+  const NodeId a = g.add_task(conv("A", 1));
+  const NodeId b = g.add_task(conv("B", 2));
+  const NodeId c = g.add_task(conv("C", 3));
+  const NodeId d = g.add_task(conv("D", 4));
+  g.add_ipr(a, b, 1_KiB);
+  g.add_ipr(a, c, 1_KiB);
+  g.add_ipr(b, d, 1_KiB);
+  g.add_ipr(c, d, 1_KiB);
+  return g;
+}
+
+TEST(TopologicalOrderTest, RespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 4U);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < 4; ++i) pos[(*order)[i].value] = i;
+  for (const EdgeId e : g.edges()) {
+    EXPECT_LT(pos[g.ipr(e).src.value], pos[g.ipr(e).dst.value]);
+  }
+}
+
+TEST(TopologicalOrderTest, DetectsCycle) {
+  TaskGraph g;
+  const NodeId a = g.add_task(conv("A", 1));
+  const NodeId b = g.add_task(conv("B", 1));
+  const NodeId c = g.add_task(conv("C", 1));
+  g.add_ipr(a, b, 1_KiB);
+  g.add_ipr(b, c, 1_KiB);
+  g.add_ipr(c, a, 1_KiB);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(SourcesSinksTest, Diamond) {
+  const TaskGraph g = diamond();
+  const auto src = sources(g);
+  const auto snk = sinks(g);
+  ASSERT_EQ(src.size(), 1U);
+  EXPECT_EQ(src[0].value, 0U);
+  ASSERT_EQ(snk.size(), 1U);
+  EXPECT_EQ(snk[0].value, 3U);
+}
+
+TEST(CriticalPathTest, DiamondTakesLongerBranch) {
+  // A(1) -> C(3) -> D(4) = 8.
+  EXPECT_EQ(critical_path_length(diamond()).value, 8);
+}
+
+TEST(CriticalPathTest, SingleNode) {
+  TaskGraph g;
+  g.add_task(conv("solo", 7));
+  EXPECT_EQ(critical_path_length(g).value, 7);
+}
+
+TEST(UpwardRankTest, DiamondValues) {
+  const auto rank = upward_rank(diamond());
+  ASSERT_EQ(rank.size(), 4U);
+  EXPECT_EQ(rank[3].value, 4);  // D
+  EXPECT_EQ(rank[1].value, 6);  // B -> D
+  EXPECT_EQ(rank[2].value, 7);  // C -> D
+  EXPECT_EQ(rank[0].value, 8);  // A -> C -> D
+}
+
+TEST(UpwardRankTest, ProducerAlwaysOutranksConsumer) {
+  const TaskGraph g = diamond();
+  const auto rank = upward_rank(g);
+  for (const EdgeId e : g.edges()) {
+    EXPECT_GT(rank[g.ipr(e).src.value], rank[g.ipr(e).dst.value]);
+  }
+}
+
+TEST(LongestPathByEdgeWeightTest, UnitWeightsGiveDepth) {
+  const TaskGraph g = diamond();
+  const std::vector<int> weights(g.edge_count(), 1);
+  const auto value = longest_path_by_edge_weight(g, weights);
+  EXPECT_EQ(value[3], 0);  // sink
+  EXPECT_EQ(value[1], 1);
+  EXPECT_EQ(value[2], 1);
+  EXPECT_EQ(value[0], 2);
+}
+
+TEST(LongestPathByEdgeWeightTest, ZeroWeightsGiveZero) {
+  const TaskGraph g = diamond();
+  const std::vector<int> weights(g.edge_count(), 0);
+  const auto value = longest_path_by_edge_weight(g, weights);
+  EXPECT_TRUE(std::all_of(value.begin(), value.end(),
+                          [](int v) { return v == 0; }));
+}
+
+TEST(LongestPathByEdgeWeightTest, MixedWeights) {
+  const TaskGraph g = diamond();
+  // Edge order: A->B, A->C, B->D, C->D.
+  const std::vector<int> weights{2, 0, 0, 1};
+  const auto value = longest_path_by_edge_weight(g, weights);
+  EXPECT_EQ(value[0], 2);  // max(A->B: 2+0, A->C: 0+1) = 2
+  EXPECT_EQ(value[1], 0);
+  EXPECT_EQ(value[2], 1);
+}
+
+TEST(LongestPathByEdgeWeightTest, WrongWeightCountThrows) {
+  const TaskGraph g = diamond();
+  EXPECT_THROW(longest_path_by_edge_weight(g, std::vector<int>{1}),
+               ContractViolation);
+}
+
+TEST(DegreeStatsTest, Diamond) {
+  const DegreeStats s = degree_stats(diamond());
+  EXPECT_EQ(s.max_in, 2U);
+  EXPECT_EQ(s.max_out, 2U);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);  // 8 endpoint incidences / 4 nodes
+}
+
+}  // namespace
+}  // namespace paraconv::graph

@@ -1,0 +1,42 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::graph {
+namespace {
+
+TEST(DotTest, ContainsNodesAndEdges) {
+  TaskGraph g("demo");
+  const NodeId a =
+      g.add_task(Task{"convA", TaskKind::kConvolution, TimeUnits{2}});
+  const NodeId b = g.add_task(Task{"poolB", TaskKind::kPooling, TimeUnits{1}});
+  g.add_ipr(a, b, 2_KiB);
+
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("convA"), std::string::npos);
+  EXPECT_NE(dot.find("poolB"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("2.0 KiB"), std::string::npos);
+  EXPECT_NE(dot.find("c=2"), std::string::npos);
+}
+
+TEST(DotTest, EdgeCountMatches) {
+  TaskGraph g("demo");
+  const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId b = g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId c = g.add_task(Task{"C", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, 1_KiB);
+  g.add_ipr(a, c, 1_KiB);
+  g.add_ipr(b, c, 1_KiB);
+  const std::string dot = to_dot(g);
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, 3U);
+}
+
+}  // namespace
+}  // namespace paraconv::graph

@@ -1,0 +1,160 @@
+#include "graph/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/dot.hpp"
+
+namespace paraconv::graph {
+namespace {
+
+struct SizeCase {
+  std::size_t vertices;
+  std::size_t edges;
+};
+
+class GeneratorSizeTest : public testing::TestWithParam<SizeCase> {};
+
+TEST_P(GeneratorSizeTest, HitsExactCounts) {
+  GeneratorConfig config;
+  config.vertices = GetParam().vertices;
+  config.edges = GetParam().edges;
+  config.seed = 11;
+  const TaskGraph g = generate_layered_dag(config);
+  EXPECT_EQ(g.node_count(), GetParam().vertices);
+  EXPECT_EQ(g.edge_count(), GetParam().edges);
+}
+
+TEST_P(GeneratorSizeTest, IsAcyclicWithTopologicalIds) {
+  GeneratorConfig config;
+  config.vertices = GetParam().vertices;
+  config.edges = GetParam().edges;
+  config.seed = 22;
+  const TaskGraph g = generate_layered_dag(config);
+  EXPECT_TRUE(is_acyclic(g));
+  for (const EdgeId e : g.edges()) {
+    EXPECT_LT(g.ipr(e).src.value, g.ipr(e).dst.value);
+  }
+}
+
+TEST_P(GeneratorSizeTest, EveryNonSourceHasProducer) {
+  GeneratorConfig config;
+  config.vertices = GetParam().vertices;
+  config.edges = GetParam().edges;
+  config.seed = 33;
+  const TaskGraph g = generate_layered_dag(config);
+  // The backbone guarantees at most the first layer lacks in-edges; at
+  // minimum the graph has a single connected sweep of producers.
+  std::size_t source_count = sources(g).size();
+  EXPECT_GE(source_count, 1U);
+  EXPECT_LE(source_count, g.node_count() / 2 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeneratorSizeTest,
+    testing::Values(SizeCase{2, 1}, SizeCase{9, 21}, SizeCase{13, 28},
+                    SizeCase{21, 51}, SizeCase{46, 121}, SizeCase{100, 400},
+                    SizeCase{191, 506}, SizeCase{546, 1449},
+                    SizeCase{64, 64 * 63 / 2}));  // fully saturated DAG
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorConfig config;
+  config.vertices = 50;
+  config.edges = 130;
+  config.seed = 77;
+  const TaskGraph a = generate_layered_dag(config);
+  const TaskGraph b = generate_layered_dag(config);
+  EXPECT_EQ(to_dot(a), to_dot(b));
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentGraphs) {
+  GeneratorConfig a;
+  a.vertices = 50;
+  a.edges = 130;
+  a.seed = 1;
+  GeneratorConfig b = a;
+  b.seed = 2;
+  EXPECT_NE(to_dot(generate_layered_dag(a)), to_dot(generate_layered_dag(b)));
+}
+
+TEST(GeneratorTest, ExecTimesWithinRange) {
+  GeneratorConfig config;
+  config.vertices = 80;
+  config.edges = 200;
+  config.seed = 5;
+  config.min_exec = 3;
+  config.max_exec = 9;
+  config.pooling_fraction = 0.0;
+  const TaskGraph g = generate_layered_dag(config);
+  for (const NodeId v : g.nodes()) {
+    EXPECT_GE(g.task(v).exec_time.value, 3);
+    EXPECT_LE(g.task(v).exec_time.value, 9);
+  }
+}
+
+TEST(GeneratorTest, IprSizesWithinRangeAndLineAligned) {
+  GeneratorConfig config;
+  config.vertices = 60;
+  config.edges = 150;
+  config.seed = 6;
+  config.min_ipr_bytes = 1024;
+  config.max_ipr_bytes = 8192;
+  const TaskGraph g = generate_layered_dag(config);
+  for (const EdgeId e : g.edges()) {
+    EXPECT_GE(g.ipr(e).size.value, 64);
+    EXPECT_LE(g.ipr(e).size.value, 8192);
+    EXPECT_EQ(g.ipr(e).size.value % 64, 0);
+  }
+}
+
+TEST(GeneratorTest, PoolingFractionRespectedAtExtremes) {
+  GeneratorConfig config;
+  config.vertices = 40;
+  config.edges = 90;
+  config.seed = 8;
+  config.pooling_fraction = 0.0;
+  const TaskGraph all_conv = generate_layered_dag(config);
+  for (const NodeId v : all_conv.nodes()) {
+    EXPECT_EQ(all_conv.task(v).kind, TaskKind::kConvolution);
+  }
+  config.pooling_fraction = 1.0;
+  const TaskGraph all_pool = generate_layered_dag(config);
+  for (const NodeId v : all_pool.nodes()) {
+    EXPECT_EQ(all_pool.task(v).kind, TaskKind::kPooling);
+  }
+}
+
+TEST(GeneratorTest, RejectsInfeasibleConfigs) {
+  GeneratorConfig config;
+  config.vertices = 1;
+  config.edges = 0;
+  EXPECT_THROW(generate_layered_dag(config), ContractViolation);
+
+  config.vertices = 10;
+  config.edges = 5;  // fewer than vertices-1
+  EXPECT_THROW(generate_layered_dag(config), ContractViolation);
+
+  config.edges = 46;  // above n*(n-1)/2 = 45
+  EXPECT_THROW(generate_layered_dag(config), ContractViolation);
+
+  config.edges = 20;
+  config.min_exec = 0;
+  EXPECT_THROW(generate_layered_dag(config), ContractViolation);
+
+  config.min_exec = 1;
+  config.min_ipr_bytes = 0;
+  EXPECT_THROW(generate_layered_dag(config), ContractViolation);
+}
+
+TEST(GeneratorTest, NamePropagatesToGraphAndTasks) {
+  GeneratorConfig config;
+  config.name = "myapp";
+  config.vertices = 10;
+  config.edges = 20;
+  const TaskGraph g = generate_layered_dag(config);
+  EXPECT_EQ(g.name(), "myapp");
+  EXPECT_EQ(g.task(NodeId{0}).name.rfind("myapp_T", 0), 0U);
+}
+
+}  // namespace
+}  // namespace paraconv::graph

@@ -1,0 +1,80 @@
+#include "graph/paper_benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace paraconv::graph {
+namespace {
+
+TEST(PaperBenchmarksTest, TwelveBenchmarksInTableOrder) {
+  const auto& table = paper_benchmarks();
+  ASSERT_EQ(table.size(), 12U);
+  EXPECT_EQ(table.front().name, "cat");
+  EXPECT_EQ(table.back().name, "protein");
+}
+
+struct ExpectedSize {
+  const char* name;
+  std::size_t vertices;
+  std::size_t edges;
+};
+
+class PaperBenchmarkSizeTest : public testing::TestWithParam<ExpectedSize> {};
+
+TEST_P(PaperBenchmarkSizeTest, TableEntryMatchesPaper) {
+  const auto& b = paper_benchmark(GetParam().name);
+  EXPECT_EQ(b.vertices, GetParam().vertices);
+  EXPECT_EQ(b.edges, GetParam().edges);
+}
+
+TEST_P(PaperBenchmarkSizeTest, BuiltGraphMatchesEntry) {
+  const auto& b = paper_benchmark(GetParam().name);
+  const TaskGraph g = build_paper_benchmark(b);
+  EXPECT_EQ(g.node_count(), GetParam().vertices);
+  EXPECT_EQ(g.edge_count(), GetParam().edges);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(g.name(), GetParam().name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTwelve, PaperBenchmarkSizeTest,
+    testing::Values(ExpectedSize{"cat", 9, 21}, ExpectedSize{"car", 13, 28},
+                    ExpectedSize{"flower", 21, 51},
+                    ExpectedSize{"character-1", 46, 121},
+                    ExpectedSize{"character-2", 52, 130},
+                    ExpectedSize{"image-compress", 70, 178},
+                    ExpectedSize{"stock-predict", 83, 218},
+                    ExpectedSize{"string-matching", 102, 267},
+                    ExpectedSize{"shortest-path", 191, 506},
+                    ExpectedSize{"speech-1", 247, 652},
+                    ExpectedSize{"speech-2", 369, 981},
+                    ExpectedSize{"protein", 546, 1449}));
+
+TEST(PaperBenchmarksTest, UnknownNameThrows) {
+  EXPECT_THROW(paper_benchmark("alexnet"), ContractViolation);
+}
+
+TEST(PaperBenchmarksTest, SeedsAreDistinct) {
+  const auto& table = paper_benchmarks();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (std::size_t j = i + 1; j < table.size(); ++j) {
+      EXPECT_NE(table[i].seed, table[j].seed);
+    }
+  }
+}
+
+TEST(PaperBenchmarksTest, BuildIsDeterministic) {
+  const auto& b = paper_benchmark("flower");
+  const TaskGraph g1 = build_paper_benchmark(b);
+  const TaskGraph g2 = build_paper_benchmark(b);
+  ASSERT_EQ(g1.edge_count(), g2.edge_count());
+  for (const EdgeId e : g1.edges()) {
+    EXPECT_EQ(g1.ipr(e).src, g2.ipr(e).src);
+    EXPECT_EQ(g1.ipr(e).dst, g2.ipr(e).dst);
+    EXPECT_EQ(g1.ipr(e).size, g2.ipr(e).size);
+  }
+}
+
+}  // namespace
+}  // namespace paraconv::graph

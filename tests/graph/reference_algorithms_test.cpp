@@ -1,0 +1,103 @@
+// Cross-checks of the graph algorithms against brute-force references on
+// small random DAGs (exhaustive path enumeration is exponential, so the
+// instances stay tiny while the seeds vary).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generator.hpp"
+
+namespace paraconv::graph {
+namespace {
+
+/// Longest exec-time path ending criteria via explicit DFS enumeration.
+TimeUnits brute_force_critical_path(const TaskGraph& g) {
+  TimeUnits best{0};
+  std::function<void(NodeId, TimeUnits)> dfs = [&](NodeId v, TimeUnits acc) {
+    const TimeUnits total = acc + g.task(v).exec_time;
+    best = std::max(best, total);
+    for (const EdgeId e : g.out_edges(v)) dfs(g.ipr(e).dst, total);
+  };
+  for (const NodeId v : g.nodes()) dfs(v, TimeUnits{0});
+  return best;
+}
+
+int brute_force_longest_weighted(const TaskGraph& g, NodeId from,
+                                 const std::vector<int>& weight) {
+  int best = 0;
+  std::function<void(NodeId, int)> dfs = [&](NodeId v, int acc) {
+    best = std::max(best, acc);
+    for (const EdgeId e : g.out_edges(v)) {
+      dfs(g.ipr(e).dst, acc + weight[e.value]);
+    }
+  };
+  dfs(from, 0);
+  return best;
+}
+
+TaskGraph small_random(std::uint64_t seed) {
+  Rng rng(seed);
+  GeneratorConfig config;
+  config.vertices = static_cast<std::size_t>(rng.uniform_int(3, 10));
+  config.edges = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(config.vertices - 1),
+      static_cast<std::int64_t>(config.vertices * (config.vertices - 1) / 2)));
+  config.seed = seed * 1337;
+  return generate_layered_dag(config);
+}
+
+class ReferenceAlgorithmsTest : public testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReferenceAlgorithmsTest, CriticalPathMatchesEnumeration) {
+  const TaskGraph g = small_random(GetParam());
+  EXPECT_EQ(critical_path_length(g), brute_force_critical_path(g));
+}
+
+TEST_P(ReferenceAlgorithmsTest, WeightedLongestPathMatchesEnumeration) {
+  const TaskGraph g = small_random(GetParam());
+  Rng rng(GetParam() ^ 0xABCD);
+  std::vector<int> weight(g.edge_count());
+  for (int& w : weight) w = static_cast<int>(rng.uniform_int(0, 3));
+  const auto value = longest_path_by_edge_weight(g, weight);
+  for (const NodeId v : g.nodes()) {
+    EXPECT_EQ(value[v.value], brute_force_longest_weighted(g, v, weight));
+  }
+}
+
+TEST_P(ReferenceAlgorithmsTest, UpwardRankIsExecTimeLongestPathFromNode) {
+  const TaskGraph g = small_random(GetParam());
+  const auto rank = upward_rank(g);
+  for (const NodeId v : g.nodes()) {
+    // Rank(v) equals the brute-force longest exec-time path starting at v.
+    TimeUnits best{0};
+    std::function<void(NodeId, TimeUnits)> dfs = [&](NodeId u,
+                                                     TimeUnits acc) {
+      const TimeUnits total = acc + g.task(u).exec_time;
+      best = std::max(best, total);
+      for (const EdgeId e : g.out_edges(u)) dfs(g.ipr(e).dst, total);
+    };
+    dfs(v, TimeUnits{0});
+    EXPECT_EQ(rank[v.value], best);
+  }
+}
+
+TEST_P(ReferenceAlgorithmsTest, TopologicalOrderIsAPermutation) {
+  const TaskGraph g = small_random(GetParam());
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<bool> seen(g.node_count(), false);
+  for (const NodeId v : *order) {
+    EXPECT_FALSE(seen[v.value]);
+    seen[v.value] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceAlgorithmsTest,
+                         testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace paraconv::graph

@@ -1,0 +1,113 @@
+#include "graph/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/dot.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::graph {
+namespace {
+
+TEST(SerializeTest, RoundTripsHandBuiltGraph) {
+  TaskGraph g("demo");
+  const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{2}});
+  const NodeId b = g.add_task(Task{"B", TaskKind::kPooling, TimeUnits{1}});
+  const NodeId c =
+      g.add_task(Task{"C", TaskKind::kFullyConnected, TimeUnits{3}});
+  g.add_ipr(a, b, 2_KiB);
+  g.add_ipr(b, c, 4_KiB);
+
+  const TaskGraph back = read_graph_string(write_graph_string(g));
+  EXPECT_EQ(back.name(), "demo");
+  ASSERT_EQ(back.node_count(), 3U);
+  ASSERT_EQ(back.edge_count(), 2U);
+  EXPECT_EQ(back.task(NodeId{1}).kind, TaskKind::kPooling);
+  EXPECT_EQ(back.task(NodeId{2}).exec_time.value, 3);
+  EXPECT_EQ(back.ipr(EdgeId{1}).size, 4_KiB);
+  EXPECT_EQ(to_dot(back), to_dot(g));
+}
+
+TEST(SerializeTest, RoundTripsAllPaperBenchmarks) {
+  for (const PaperBenchmark& bench : paper_benchmarks()) {
+    const TaskGraph g = build_paper_benchmark(bench);
+    const TaskGraph back = read_graph_string(write_graph_string(g));
+    EXPECT_EQ(to_dot(back), to_dot(g)) << bench.name;
+  }
+}
+
+TEST(SerializeTest, WeightFootprintsRoundTrip) {
+  TaskGraph g("weights");
+  Task heavy{"conv", TaskKind::kConvolution, TimeUnits{4}};
+  heavy.weights = 12_KiB;
+  const NodeId a = g.add_task(std::move(heavy));
+  const NodeId b = g.add_task(Task{"pool", TaskKind::kPooling, TimeUnits{1}});
+  g.add_ipr(a, b, 2_KiB);
+
+  const std::string text = write_graph_string(g);
+  EXPECT_NE(text.find("task conv conv 4 12288"), std::string::npos);
+  EXPECT_NE(text.find("task pool pool 1\n"), std::string::npos);
+
+  const TaskGraph back = read_graph_string(text);
+  EXPECT_EQ(back.task(NodeId{0}).weights, 12_KiB);
+  EXPECT_EQ(back.task(NodeId{1}).weights, Bytes{0});
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  const TaskGraph g = read_graph_string(
+      "paraconv-graph 1\n"
+      "# a comment\n"
+      "\n"
+      "name mini\n"
+      "task t0 conv 1\n"
+      "task t1 conv 2\n"
+      "# another comment\n"
+      "ipr 0 1 1024\n");
+  EXPECT_EQ(g.name(), "mini");
+  EXPECT_EQ(g.node_count(), 2U);
+  EXPECT_EQ(g.edge_count(), 1U);
+}
+
+TEST(SerializeTest, RejectsMissingHeader) {
+  EXPECT_THROW(read_graph_string("name x\n"), ContractViolation);
+  EXPECT_THROW(read_graph_string(""), ContractViolation);
+}
+
+TEST(SerializeTest, RejectsMalformedRecords) {
+  const std::string header = "paraconv-graph 1\ntask t0 conv 1\n";
+  EXPECT_THROW(read_graph_string(header + "task missing-kind\n"),
+               ContractViolation);
+  EXPECT_THROW(read_graph_string(header + "task t1 alien 1\n"),
+               ContractViolation);
+  EXPECT_THROW(read_graph_string(header + "task t1 conv notanint\n"),
+               ContractViolation);
+  EXPECT_THROW(read_graph_string(header + "frobnicate 1 2\n"),
+               ContractViolation);
+}
+
+TEST(SerializeTest, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(read_graph_string("paraconv-graph 1\n"
+                                 "task t0 conv 1\n"
+                                 "task t1 conv 1\n"
+                                 "ipr 0 5 1024\n"),
+               ContractViolation);
+}
+
+TEST(SerializeTest, ErrorMessagesCarryLineNumbers) {
+  try {
+    read_graph_string("paraconv-graph 1\ntask t0 conv 1\nipr 0 0 64\n");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    // Self-loop rejected by the graph; parse errors elsewhere carry the
+    // offending line number.
+    SUCCEED();
+  }
+  try {
+    read_graph_string("paraconv-graph 1\ntask t0 conv nope\n");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace paraconv::graph

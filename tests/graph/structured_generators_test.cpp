@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generator.hpp"
+#include "sched/validator.hpp"
+
+namespace paraconv::graph {
+namespace {
+
+GeneratorConfig cfg(std::uint64_t seed) {
+  GeneratorConfig c;
+  c.name = "structured";
+  c.seed = seed;
+  return c;
+}
+
+TEST(ForkJoinTest, ShapeCounts) {
+  // Per stage: fork + branches*length + join nodes; edges: fork->branch
+  // heads via chain of length L per branch (L edges each) + branches joins
+  // + inter-stage link.
+  const int stages = 3;
+  const int branches = 4;
+  const int length = 2;
+  const TaskGraph g = generate_fork_join(cfg(1), stages, branches, length);
+  EXPECT_EQ(g.node_count(),
+            static_cast<std::size_t>(stages * (2 + branches * length)));
+  EXPECT_EQ(g.edge_count(),
+            static_cast<std::size_t>(stages * (branches * (length + 1)) +
+                                     (stages - 1)));
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(sources(g).size(), 1U);
+  EXPECT_EQ(sinks(g).size(), 1U);
+}
+
+TEST(ForkJoinTest, BranchWidthVisibleInDegrees) {
+  const TaskGraph g = generate_fork_join(cfg(2), 1, 6, 1);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.max_out, 6U);  // fork fans out to every branch
+  EXPECT_EQ(stats.max_in, 6U);   // join collects every branch
+}
+
+TEST(DiamondChainTest, ShapeCounts) {
+  const int stages = 4;
+  const int width = 5;
+  const TaskGraph g = generate_diamond_chain(cfg(3), stages, width);
+  EXPECT_EQ(g.node_count(), static_cast<std::size_t>(1 + stages * (width + 1)));
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(stages * 2 * width));
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(sources(g).size(), 1U);
+  EXPECT_EQ(sinks(g).size(), 1U);
+}
+
+TEST(StructuredGeneratorsTest, DeterministicBySeed) {
+  const TaskGraph a = generate_fork_join(cfg(7), 2, 3, 2);
+  const TaskGraph b = generate_fork_join(cfg(7), 2, 3, 2);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (const NodeId v : a.nodes()) {
+    EXPECT_EQ(a.task(v).exec_time, b.task(v).exec_time);
+  }
+  const TaskGraph c = generate_fork_join(cfg(8), 2, 3, 2);
+  bool any_diff = false;
+  for (const NodeId v : a.nodes()) {
+    if (a.task(v).exec_time != c.task(v).exec_time) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(StructuredGeneratorsTest, RejectInvalidShapes) {
+  EXPECT_THROW(generate_fork_join(cfg(1), 0, 1, 1), ContractViolation);
+  EXPECT_THROW(generate_fork_join(cfg(1), 1, 0, 1), ContractViolation);
+  EXPECT_THROW(generate_diamond_chain(cfg(1), 1, 0), ContractViolation);
+  GeneratorConfig bad = cfg(1);
+  bad.min_exec = 0;
+  EXPECT_THROW(generate_fork_join(bad, 1, 1, 1), ContractViolation);
+}
+
+TEST(StructuredGeneratorsTest, ScheduleEndToEnd) {
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  for (const TaskGraph& g :
+       {generate_fork_join(cfg(11), 4, 4, 3),
+        generate_diamond_chain(cfg(12), 6, 8)}) {
+    const core::ParaConvResult r = core::ParaConv(config).schedule(g);
+    EXPECT_TRUE(sched::is_valid_kernel_schedule(g, r.kernel, config,
+                                                config.total_cache_bytes()))
+        << g.name();
+    // Fork-join and diamond graphs are chain-synchronized: pipelining must
+    // still beat the non-retimed critical path per iteration.
+    EXPECT_LT(r.kernel.period, critical_path_length(g)) << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace paraconv::graph

@@ -1,0 +1,130 @@
+#include "graph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::graph {
+namespace {
+
+Task conv(const std::string& name, std::int64_t exec = 1) {
+  return Task{name, TaskKind::kConvolution, TimeUnits{exec}};
+}
+
+TEST(TaskGraphTest, AddAndQueryTasks) {
+  TaskGraph g("t");
+  const NodeId a = g.add_task(conv("A", 2));
+  const NodeId b = g.add_task(conv("B", 3));
+  EXPECT_EQ(g.node_count(), 2U);
+  EXPECT_EQ(g.task(a).name, "A");
+  EXPECT_EQ(g.task(b).exec_time.value, 3);
+  EXPECT_EQ(g.name(), "t");
+}
+
+TEST(TaskGraphTest, AddAndQueryEdges) {
+  TaskGraph g;
+  const NodeId a = g.add_task(conv("A"));
+  const NodeId b = g.add_task(conv("B"));
+  const EdgeId e = g.add_ipr(a, b, 4_KiB);
+  EXPECT_EQ(g.edge_count(), 1U);
+  EXPECT_EQ(g.ipr(e).src, a);
+  EXPECT_EQ(g.ipr(e).dst, b);
+  EXPECT_EQ(g.ipr(e).size, 4_KiB);
+  ASSERT_EQ(g.out_edges(a).size(), 1U);
+  EXPECT_EQ(g.out_edges(a)[0], e);
+  ASSERT_EQ(g.in_edges(b).size(), 1U);
+  EXPECT_EQ(g.in_edges(b)[0], e);
+  EXPECT_TRUE(g.out_edges(b).empty());
+  EXPECT_TRUE(g.in_edges(a).empty());
+}
+
+TEST(TaskGraphTest, RejectsSelfLoop) {
+  TaskGraph g;
+  const NodeId a = g.add_task(conv("A"));
+  EXPECT_THROW(g.add_ipr(a, a, 1_KiB), ContractViolation);
+}
+
+TEST(TaskGraphTest, RejectsInvalidEndpoints) {
+  TaskGraph g;
+  const NodeId a = g.add_task(conv("A"));
+  EXPECT_THROW(g.add_ipr(a, NodeId{5}, 1_KiB), ContractViolation);
+  EXPECT_THROW(g.add_ipr(NodeId{5}, a, 1_KiB), ContractViolation);
+}
+
+TEST(TaskGraphTest, RejectsNonPositiveWeights) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_task(Task{"bad", TaskKind::kConvolution, TimeUnits{0}}),
+               ContractViolation);
+  const NodeId a = g.add_task(conv("A"));
+  const NodeId b = g.add_task(conv("B"));
+  EXPECT_THROW(g.add_ipr(a, b, Bytes{0}), ContractViolation);
+}
+
+TEST(TaskGraphTest, InvalidIdAccessThrows) {
+  TaskGraph g;
+  g.add_task(conv("A"));
+  EXPECT_THROW(g.task(NodeId{1}), ContractViolation);
+  EXPECT_THROW(g.ipr(EdgeId{0}), ContractViolation);
+  EXPECT_THROW(g.out_edges(NodeId{9}), ContractViolation);
+  EXPECT_THROW(g.in_edges(NodeId{9}), ContractViolation);
+}
+
+TEST(TaskGraphTest, Totals) {
+  TaskGraph g;
+  const NodeId a = g.add_task(conv("A", 2));
+  const NodeId b = g.add_task(conv("B", 5));
+  const NodeId c = g.add_task(conv("C", 1));
+  g.add_ipr(a, b, 1_KiB);
+  g.add_ipr(b, c, 3_KiB);
+  EXPECT_EQ(g.total_work().value, 8);
+  EXPECT_EQ(g.total_ipr_bytes(), 4_KiB);
+  EXPECT_EQ(g.max_exec_time().value, 5);
+}
+
+TEST(TaskGraphTest, NodesAndEdgesEnumerateInOrder) {
+  TaskGraph g;
+  const NodeId a = g.add_task(conv("A"));
+  const NodeId b = g.add_task(conv("B"));
+  const NodeId c = g.add_task(conv("C"));
+  g.add_ipr(a, b, 1_KiB);
+  g.add_ipr(b, c, 1_KiB);
+  const auto nodes = g.nodes();
+  ASSERT_EQ(nodes.size(), 3U);
+  EXPECT_EQ(nodes[0], a);
+  EXPECT_EQ(nodes[2], c);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2U);
+  EXPECT_EQ(edges[0].value, 0U);
+  EXPECT_EQ(edges[1].value, 1U);
+}
+
+TEST(TaskGraphTest, ValidateRejectsEmptyGraph) {
+  TaskGraph g;
+  EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+TEST(TaskGraphTest, ValidateRejectsCycle) {
+  TaskGraph g;
+  const NodeId a = g.add_task(conv("A"));
+  const NodeId b = g.add_task(conv("B"));
+  g.add_ipr(a, b, 1_KiB);
+  g.add_ipr(b, a, 1_KiB);
+  EXPECT_THROW(g.validate(), ContractViolation);
+}
+
+TEST(TaskGraphTest, ValidateAcceptsDag) {
+  TaskGraph g;
+  const NodeId a = g.add_task(conv("A"));
+  const NodeId b = g.add_task(conv("B"));
+  g.add_ipr(a, b, 1_KiB);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(TaskKindTest, Names) {
+  EXPECT_STREQ(to_string(TaskKind::kConvolution), "conv");
+  EXPECT_STREQ(to_string(TaskKind::kPooling), "pool");
+  EXPECT_STREQ(to_string(TaskKind::kFullyConnected), "fc");
+  EXPECT_STREQ(to_string(TaskKind::kInput), "input");
+  EXPECT_STREQ(to_string(TaskKind::kOther), "other");
+}
+
+}  // namespace
+}  // namespace paraconv::graph

@@ -1,0 +1,101 @@
+#include "graph/unfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "sched/validator.hpp"
+
+namespace paraconv::graph {
+namespace {
+
+TEST(UnfoldTest, CopiesAreDisjointAndComplete) {
+  const TaskGraph g = motivational_example();
+  const TaskGraph u = unfold(g, 3);
+  EXPECT_EQ(u.node_count(), 3 * g.node_count());
+  EXPECT_EQ(u.edge_count(), 3 * g.edge_count());
+  EXPECT_TRUE(is_acyclic(u));
+  EXPECT_EQ(u.total_work().value, 3 * g.total_work().value);
+  EXPECT_EQ(u.name(), "motivational_x3");
+
+  // No edge crosses copies.
+  const auto n = static_cast<std::uint32_t>(g.node_count());
+  for (const EdgeId e : u.edges()) {
+    EXPECT_EQ(u.ipr(e).src.value / n, u.ipr(e).dst.value / n);
+  }
+}
+
+TEST(UnfoldTest, FactorOneIsIdentityUpToName) {
+  const TaskGraph g = motivational_example();
+  const TaskGraph u = unfold(g, 1);
+  EXPECT_EQ(u.node_count(), g.node_count());
+  EXPECT_EQ(u.edge_count(), g.edge_count());
+  EXPECT_EQ(u.task(NodeId{0}).name, "T1@0");
+}
+
+TEST(UnfoldTest, OriginMappingRoundTrips) {
+  const TaskGraph g = motivational_example();
+  const TaskGraph u = unfold(g, 4);
+  for (const NodeId v : u.nodes()) {
+    const UnfoldedId id = unfold_origin(g, v);
+    EXPECT_GE(id.copy, 0);
+    EXPECT_LT(id.copy, 4);
+    EXPECT_EQ(u.task(v).exec_time, g.task(id.original).exec_time);
+    EXPECT_EQ(u.task(v).name, g.task(id.original).name + "@" +
+                                  std::to_string(id.copy));
+  }
+}
+
+TEST(UnfoldTest, RejectsInvalidFactor) {
+  const TaskGraph g = motivational_example();
+  EXPECT_THROW(unfold(g, 0), ContractViolation);
+}
+
+class UnfoldThroughputTest : public testing::TestWithParam<const char*> {};
+
+TEST(UnfoldTest, WeightsCarryOver) {
+  TaskGraph g("w");
+  Task t{"a", TaskKind::kConvolution, TimeUnits{1}};
+  t.weights = 3_KiB;
+  g.add_task(std::move(t));
+  g.add_task(Task{"b", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(NodeId{0}, NodeId{1}, 1_KiB);
+  const TaskGraph u = unfold(g, 2);
+  EXPECT_EQ(u.task(NodeId{2}).weights, 3_KiB);
+}
+
+TEST_P(UnfoldThroughputTest, SuperIterationImprovesOrMatchesThroughput) {
+  // The per-input period of the unfolded schedule (super-period / factor)
+  // is bounded by the single-iteration period plus amortized packing slack.
+  const TaskGraph g =
+      build_paper_benchmark(paper_benchmark(GetParam()));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+
+  const core::ParaConvResult single = core::ParaConv(config).schedule(g);
+  for (const int factor : {2, 4}) {
+    const TaskGraph u = unfold(g, factor);
+    const core::ParaConvResult super = core::ParaConv(config).schedule(u);
+    EXPECT_TRUE(sched::is_valid_kernel_schedule(
+        u, super.kernel, config, config.total_cache_bytes()));
+    const double per_input =
+        static_cast<double>(super.kernel.period.value) / factor;
+    EXPECT_LE(per_input,
+              static_cast<double>(single.kernel.period.value) +
+                  static_cast<double>(g.max_exec_time().value))
+        << "factor " << factor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, UnfoldThroughputTest,
+                         testing::Values("cat", "flower", "character-1"),
+                         [](const testing::TestParamInfo<const char*>& pi) {
+                           std::string name = pi.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace paraconv::graph

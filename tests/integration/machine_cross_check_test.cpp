@@ -1,0 +1,81 @@
+// Static/dynamic cross-check: every schedule the analytic pipeline emits
+// must replay on the event-driven machine model with zero data-readiness
+// violations, and the observed makespan must match the analytic expansion.
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "pim/machine.hpp"
+
+namespace paraconv {
+namespace {
+
+class MachineCrossCheckTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(MachineCrossCheckTest, ReplayIsCleanAndTimingsAgree) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark(GetParam()));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  const core::ParaConvResult r = core::ParaConv(config).schedule(g);
+
+  constexpr std::int64_t kIterations = 6;
+  pim::Machine machine(config);
+  const pim::MachineStats stats =
+      machine.run(g, r.kernel, {.iterations = kIterations, .strict = true});
+
+  EXPECT_EQ(stats.readiness_violations, 0);
+  EXPECT_EQ(stats.tasks_executed,
+            kIterations * static_cast<std::int64_t>(g.node_count()));
+
+  // Analytic makespan: the last window is kIterations - 1 + R_max; the
+  // machine must finish inside that window.
+  const sched::ExpandedSchedule expanded =
+      sched::expand_schedule(g, r.kernel, kIterations);
+  EXPECT_EQ(stats.makespan, expanded.makespan);
+  EXPECT_LE(stats.makespan.value,
+            (kIterations + r.metrics.r_max) * r.kernel.period.value);
+}
+
+TEST_P(MachineCrossCheckTest, SteadyStatePeriodMatchesAnalyticP) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark(GetParam()));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  const core::ParaConvResult r = core::ParaConv(config).schedule(g);
+
+  // Makespan difference between n and n+1 iterations is exactly one period
+  // once the pipeline is full.
+  pim::Machine m1(config);
+  pim::Machine m2(config);
+  const auto s4 = m1.run(g, r.kernel, {.iterations = 4});
+  const auto s5 = m2.run(g, r.kernel, {.iterations = 5});
+  EXPECT_EQ((s5.makespan - s4.makespan).value, r.kernel.period.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, MachineCrossCheckTest,
+                         testing::Values("cat", "flower", "character-1",
+                                         "stock-predict", "shortest-path"),
+                         [](const testing::TestParamInfo<const char*>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(MachineCrossCheckTest, CachedVolumeWithinPerPeCapacityHasFewFallbacks) {
+  // The knapsack treats the PE-array cache as one pool; the machine tracks
+  // per-PE caches. Fallbacks may occur but must stay a small fraction of
+  // consumptions.
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("character-2"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  const core::ParaConvResult r = core::ParaConv(config).schedule(g);
+  pim::Machine machine(config);
+  const auto stats = machine.run(g, r.kernel, {.iterations = 10});
+  const std::int64_t consumptions =
+      10 * static_cast<std::int64_t>(g.edge_count());
+  EXPECT_LT(stats.cache_fallbacks, consumptions / 4);
+}
+
+}  // namespace
+}  // namespace paraconv

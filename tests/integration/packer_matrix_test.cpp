@@ -1,0 +1,83 @@
+// Differential matrix: every packer x allocator combination must produce a
+// validated kernel whose metrics respect the theoretical relations, across
+// a sample of the benchmark grid. This is the broad compatibility net for
+// the policy space the options expose.
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "sched/bounds.hpp"
+#include "sched/validator.hpp"
+
+namespace paraconv {
+namespace {
+
+struct Combo {
+  const char* benchmark;
+  core::PackerKind packer;
+  core::AllocatorKind allocator;
+};
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  for (const char* bench : {"flower", "stock-predict"}) {
+    for (const core::PackerKind packer :
+         {core::PackerKind::kTopological, core::PackerKind::kLpt,
+          core::PackerKind::kLocality, core::PackerKind::kModulo}) {
+      for (const core::AllocatorKind allocator :
+           {core::AllocatorKind::kKnapsackDp,
+            core::AllocatorKind::kGreedyDensity,
+            core::AllocatorKind::kGreedyDeadline,
+            core::AllocatorKind::kCriticalPath,
+            core::AllocatorKind::kEnergyAware,
+            core::AllocatorKind::kResidencyConstrained}) {
+        combos.push_back(Combo{bench, packer, allocator});
+      }
+    }
+  }
+  return combos;
+}
+
+class PackerAllocatorMatrixTest : public testing::TestWithParam<Combo> {};
+
+TEST_P(PackerAllocatorMatrixTest, ValidatedAndWithinBounds) {
+  const Combo& combo = GetParam();
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark(combo.benchmark));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+
+  core::ParaConvOptions options;
+  options.packer = combo.packer;
+  options.allocator = combo.allocator;
+  const core::ParaConvResult r = core::ParaConv(config, options).schedule(g);
+
+  const auto issues = sched::validate_kernel_schedule(
+      g, r.kernel, config, config.total_cache_bytes());
+  ASSERT_TRUE(issues.empty()) << issues.front();
+
+  EXPECT_GE(r.kernel.period, sched::period_lower_bound(g, config.pe_count));
+  EXPECT_GE(r.metrics.r_max,
+            sched::retiming_lower_bound(g, r.kernel.period));
+  EXPECT_LE(r.metrics.cache_bytes_used, config.total_cache_bytes());
+  for (const retiming::EdgeDelta& d : r.deltas) {
+    EXPECT_GE(d.cache, 0);
+    EXPECT_LE(d.cache, d.edram);
+    EXPECT_LE(d.edram, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PackerAllocatorMatrixTest, testing::ValuesIn(all_combos()),
+    [](const testing::TestParamInfo<Combo>& pi) {
+      std::string name = std::string(pi.param.benchmark) + "_p" +
+                         std::to_string(static_cast<int>(pi.param.packer)) +
+                         "_a" +
+                         std::to_string(static_cast<int>(pi.param.allocator));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace paraconv

@@ -1,0 +1,190 @@
+#include "pim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.hpp"
+
+namespace paraconv::pim {
+namespace {
+
+/// Trivially-correct LRU reference: ordered deque of (block, size), front =
+/// most recent, linear scans everywhere.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(Bytes capacity) : capacity_(capacity) {}
+
+  bool access(std::uint64_t block) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == block) {
+        const auto entry = *it;
+        entries_.erase(it);
+        entries_.push_front(entry);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool insert(std::uint64_t block, Bytes size) {
+    if (size > capacity_) return false;
+    erase(block);
+    while (used_ + size.value > capacity_.value) {
+      used_ -= entries_.back().second.value;
+      entries_.pop_back();
+    }
+    entries_.emplace_front(block, size);
+    used_ += size.value;
+    return true;
+  }
+
+  void erase(std::uint64_t block) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == block) {
+        used_ -= it->second.value;
+        entries_.erase(it);
+        return;
+      }
+    }
+  }
+
+  bool contains(std::uint64_t block) const {
+    for (const auto& [b, s] : entries_) {
+      if (b == block) return true;
+    }
+    return false;
+  }
+
+  Bytes used() const { return Bytes{used_}; }
+
+ private:
+  Bytes capacity_;
+  std::int64_t used_{0};
+  std::deque<std::pair<std::uint64_t, Bytes>> entries_;
+};
+
+TEST(CacheTest, InsertAndHit) {
+  Cache c(4_KiB);
+  EXPECT_TRUE(c.insert(1, 1_KiB));
+  EXPECT_TRUE(c.access(1));
+  EXPECT_EQ(c.stats().hits, 1);
+  EXPECT_EQ(c.stats().misses, 0);
+  EXPECT_EQ(c.used(), 1_KiB);
+}
+
+TEST(CacheTest, MissOnAbsent) {
+  Cache c(4_KiB);
+  EXPECT_FALSE(c.access(99));
+  EXPECT_EQ(c.stats().misses, 1);
+}
+
+TEST(CacheTest, LruEvictionOrder) {
+  Cache c(3_KiB);
+  c.insert(1, 1_KiB);
+  c.insert(2, 1_KiB);
+  c.insert(3, 1_KiB);
+  c.access(1);          // 1 becomes most recent; LRU order now 2, 3, 1
+  c.insert(4, 2_KiB);   // must evict 2 and 3
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_EQ(c.stats().evictions, 2);
+  EXPECT_EQ(c.stats().bytes_evicted, 2_KiB);
+}
+
+TEST(CacheTest, OversizedBlockRejected) {
+  Cache c(1_KiB);
+  EXPECT_FALSE(c.insert(1, 2_KiB));
+  EXPECT_EQ(c.used(), Bytes{0});
+  EXPECT_EQ(c.stats().insertions, 0);
+}
+
+TEST(CacheTest, ReinsertRefreshesWithoutDoubleCount) {
+  Cache c(4_KiB);
+  c.insert(1, 1_KiB);
+  c.insert(1, 2_KiB);  // resize + refresh
+  EXPECT_EQ(c.used(), 2_KiB);
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(CacheTest, EraseFreesSpace) {
+  Cache c(2_KiB);
+  c.insert(1, 2_KiB);
+  c.erase(1);
+  EXPECT_EQ(c.used(), Bytes{0});
+  EXPECT_FALSE(c.contains(1));
+  c.erase(1);  // idempotent
+  EXPECT_TRUE(c.insert(2, 2_KiB));
+  EXPECT_EQ(c.stats().evictions, 0);
+}
+
+TEST(CacheTest, CapacityExactlyFilled) {
+  Cache c(2_KiB);
+  EXPECT_TRUE(c.insert(1, 1_KiB));
+  EXPECT_TRUE(c.insert(2, 1_KiB));
+  EXPECT_EQ(c.used(), c.capacity());
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(CacheTest, AccessRefreshesLru) {
+  Cache c(2_KiB);
+  c.insert(1, 1_KiB);
+  c.insert(2, 1_KiB);
+  c.access(1);         // LRU is now 2
+  c.insert(3, 1_KiB);  // evicts 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(CacheTest, StatsVolumeTracking) {
+  Cache c(8_KiB);
+  c.insert(1, 2_KiB);
+  c.insert(2, 3_KiB);
+  EXPECT_EQ(c.stats().bytes_inserted, 5_KiB);
+  EXPECT_EQ(c.stats().insertions, 2);
+}
+
+class CacheReferenceModelTest : public testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CacheReferenceModelTest, RandomOperationsMatchReferenceLru) {
+  Rng rng(GetParam());
+  Cache cache(8_KiB);
+  ReferenceLru reference(8_KiB);
+
+  for (int op = 0; op < 2000; ++op) {
+    const std::uint64_t block =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 15));
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {
+        const Bytes size{rng.uniform_int(1, 10) * 512};
+        EXPECT_EQ(cache.insert(block, size), reference.insert(block, size));
+        break;
+      }
+      case 1:
+        EXPECT_EQ(cache.access(block), reference.access(block));
+        break;
+      default:
+        cache.erase(block);
+        reference.erase(block);
+        break;
+    }
+    ASSERT_EQ(cache.used(), reference.used()) << "op " << op;
+    ASSERT_EQ(cache.contains(block), reference.contains(block)) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheReferenceModelTest,
+                         testing::Range<std::uint64_t>(1, 9));
+
+TEST(CacheTest, InvalidConstructionAndInsert) {
+  EXPECT_THROW(Cache(Bytes{0}), ContractViolation);
+  Cache c(1_KiB);
+  EXPECT_THROW(c.insert(1, Bytes{0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::pim

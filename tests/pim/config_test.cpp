@@ -1,0 +1,107 @@
+#include "pim/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::pim {
+namespace {
+
+TEST(PimConfigTest, DefaultsValidate) {
+  PimConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(PimConfigTest, TotalCacheScalesWithPeCount) {
+  PimConfig cfg;
+  cfg.pe_count = 16;
+  cfg.pe_cache_bytes = 16_KiB;
+  EXPECT_EQ(cfg.total_cache_bytes(), Bytes{16 * 16 * 1024});
+  cfg.pe_count = 64;
+  EXPECT_EQ(cfg.total_cache_bytes(), 1_MiB);
+}
+
+TEST(PimConfigTest, NeurocubePresetInsidePaperEnvelope) {
+  // The paper cites 100-300 KB of cache for the PE array (Sec. 2.3) at the
+  // 16-PE configuration.
+  const PimConfig cfg = PimConfig::neurocube(16);
+  EXPECT_GE(cfg.total_cache_bytes().value, 100 * 1024);
+  EXPECT_LE(cfg.total_cache_bytes().value, 300 * 1024);
+  EXPECT_EQ(cfg.pe_count, 16);
+}
+
+TEST(PimConfigTest, EdramPenaltyInsidePaperEnvelope) {
+  // Fetching from DRAM vaults costs 2x-10x cache (Sec. 2.2).
+  const PimConfig cfg;
+  const double ratio = static_cast<double>(cfg.cache_bytes_per_unit) /
+                       static_cast<double>(cfg.edram_bytes_per_unit);
+  EXPECT_GE(ratio, 2.0);
+  EXPECT_LE(ratio, 10.0);
+  EXPECT_GE(cfg.edram_pj_per_byte / cfg.cache_pj_per_byte, 2.0);
+  EXPECT_LE(cfg.edram_pj_per_byte / cfg.cache_pj_per_byte, 10.0);
+}
+
+TEST(PimConfigTest, TransferTimeCeilsAndFloorsAtOne) {
+  PimConfig cfg;
+  cfg.cache_bytes_per_unit = 4096;
+  cfg.edram_bytes_per_unit = 512;
+  EXPECT_EQ(cfg.transfer_time(AllocSite::kCache, Bytes{1}).value, 1);
+  EXPECT_EQ(cfg.transfer_time(AllocSite::kCache, Bytes{4096}).value, 1);
+  EXPECT_EQ(cfg.transfer_time(AllocSite::kCache, Bytes{4097}).value, 2);
+  EXPECT_EQ(cfg.transfer_time(AllocSite::kEdram, Bytes{4096}).value, 8);
+}
+
+TEST(PimConfigTest, EdramNeverFasterThanCache) {
+  const PimConfig cfg;
+  for (const std::int64_t size : {64, 1024, 4096, 16384, 65536}) {
+    EXPECT_LE(cfg.transfer_time(AllocSite::kCache, Bytes{size}),
+              cfg.transfer_time(AllocSite::kEdram, Bytes{size}));
+  }
+}
+
+struct BadConfigCase {
+  const char* label;
+  void (*mutate)(PimConfig&);
+};
+
+class PimConfigValidationTest : public testing::TestWithParam<BadConfigCase> {
+};
+
+TEST_P(PimConfigValidationTest, Rejected) {
+  PimConfig cfg;
+  GetParam().mutate(cfg);
+  EXPECT_THROW(cfg.validate(), ContractViolation) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadConfigs, PimConfigValidationTest,
+    testing::Values(
+        BadConfigCase{"zero PEs", [](PimConfig& c) { c.pe_count = 0; }},
+        BadConfigCase{"empty cache",
+                      [](PimConfig& c) { c.pe_cache_bytes = Bytes{0}; }},
+        BadConfigCase{"no vaults", [](PimConfig& c) { c.vault_count = 0; }},
+        BadConfigCase{"zero cache bw",
+                      [](PimConfig& c) { c.cache_bytes_per_unit = 0; }},
+        BadConfigCase{"zero edram bw",
+                      [](PimConfig& c) { c.edram_bytes_per_unit = 0; }},
+        BadConfigCase{"edram faster than cache",
+                      [](PimConfig& c) {
+                        c.edram_bytes_per_unit = c.cache_bytes_per_unit * 2;
+                      }},
+        BadConfigCase{"edram energy cheaper than cache",
+                      [](PimConfig& c) { c.edram_pj_per_byte = 0.01; }},
+        BadConfigCase{"negative noc energy",
+                      [](PimConfig& c) { c.noc_pj_per_byte = -1.0; }}),
+    [](const testing::TestParamInfo<BadConfigCase>& param_info) {
+      std::string name = param_info.param.label;
+      for (char& ch : name) {
+        if (ch == ' ') ch = '_';
+      }
+      return name;
+    });
+
+TEST(AllocSiteTest, Names) {
+  EXPECT_STREQ(to_string(AllocSite::kCache), "cache");
+  EXPECT_STREQ(to_string(AllocSite::kEdram), "eDRAM");
+}
+
+}  // namespace
+}  // namespace paraconv::pim

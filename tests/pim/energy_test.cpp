@@ -1,0 +1,51 @@
+#include "pim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::pim {
+namespace {
+
+PimConfig unit_config() {
+  PimConfig cfg;
+  cfg.cache_pj_per_byte = 1.0;
+  cfg.edram_pj_per_byte = 4.0;
+  cfg.noc_pj_per_byte = 0.5;
+  cfg.compute_pj_per_unit = 10.0;
+  return cfg;
+}
+
+TEST(EnergyModelTest, AccumulatesPerComponent) {
+  EnergyModel e(unit_config());
+  e.on_cache_access(Bytes{100});
+  e.on_edram_access(Bytes{50});
+  e.on_noc_transfer(Bytes{200});
+  e.on_compute(TimeUnits{3});
+  EXPECT_DOUBLE_EQ(e.breakdown().cache.value, 100.0);
+  EXPECT_DOUBLE_EQ(e.breakdown().edram.value, 200.0);
+  EXPECT_DOUBLE_EQ(e.breakdown().noc.value, 100.0);
+  EXPECT_DOUBLE_EQ(e.breakdown().compute.value, 30.0);
+  EXPECT_DOUBLE_EQ(e.breakdown().total().value, 430.0);
+}
+
+TEST(EnergyModelTest, StartsAtZero) {
+  EnergyModel e(unit_config());
+  EXPECT_DOUBLE_EQ(e.breakdown().total().value, 0.0);
+}
+
+TEST(EnergyModelTest, RepeatedEventsSum) {
+  EnergyModel e(unit_config());
+  for (int i = 0; i < 10; ++i) e.on_cache_access(Bytes{10});
+  EXPECT_DOUBLE_EQ(e.breakdown().cache.value, 100.0);
+}
+
+TEST(EnergyBreakdownTest, TotalIsComponentSum) {
+  EnergyBreakdown b;
+  b.cache = Picojoules{1};
+  b.edram = Picojoules{2};
+  b.noc = Picojoules{3};
+  b.compute = Picojoules{4};
+  EXPECT_DOUBLE_EQ(b.total().value, 10.0);
+}
+
+}  // namespace
+}  // namespace paraconv::pim

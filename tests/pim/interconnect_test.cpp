@@ -1,0 +1,40 @@
+#include "pim/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::pim {
+namespace {
+
+TEST(InterconnectTest, SamePeTransferIsFree) {
+  Interconnect x(4, 1024);
+  EXPECT_EQ(x.transfer(2, 2, 8_KiB).value, 0);
+  EXPECT_EQ(x.stats().messages, 0);
+  EXPECT_EQ(x.stats().bytes_moved, Bytes{0});
+}
+
+TEST(InterconnectTest, CrossPeLatencyAndStats) {
+  Interconnect x(4, 1024);
+  EXPECT_EQ(x.transfer(0, 1, 1_KiB).value, 1);
+  EXPECT_EQ(x.transfer(1, 3, Bytes{1025}).value, 2);
+  EXPECT_EQ(x.stats().messages, 2);
+  EXPECT_EQ(x.stats().bytes_moved.value, 1024 + 1025);
+}
+
+TEST(InterconnectTest, UniformCrossbarLatency) {
+  Interconnect x(64, 2048);
+  const TimeUnits a = x.transfer(0, 63, 4_KiB);
+  const TimeUnits b = x.transfer(30, 31, 4_KiB);
+  EXPECT_EQ(a, b);  // crossbar: single hop regardless of PE distance
+}
+
+TEST(InterconnectTest, RejectsInvalidEndpointsAndSizes) {
+  Interconnect x(4, 1024);
+  EXPECT_THROW(x.transfer(-1, 0, 1_KiB), ContractViolation);
+  EXPECT_THROW(x.transfer(0, 4, 1_KiB), ContractViolation);
+  EXPECT_THROW(x.transfer(0, 1, Bytes{0}), ContractViolation);
+  EXPECT_THROW(Interconnect(0, 1024), ContractViolation);
+  EXPECT_THROW(Interconnect(4, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::pim

@@ -1,0 +1,188 @@
+#include "pim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::pim {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+using sched::KernelSchedule;
+using sched::TaskPlacement;
+
+PimConfig two_pe_config() {
+  PimConfig cfg;
+  cfg.pe_count = 2;
+  cfg.pe_cache_bytes = 4_KiB;
+  cfg.vault_count = 2;
+  cfg.cache_bytes_per_unit = 4 * 1024;  // 1 KiB IPR -> 1 unit
+  cfg.edram_bytes_per_unit = 512;       // 1 KiB IPR -> 2 units
+  cfg.validate();
+  return cfg;
+}
+
+/// A(2) -> B(2) with a 1 KiB IPR; producer on PE0, consumer on PE1 at
+/// offset 3 (slack covers the 1-unit cache transfer), period 5.
+struct Pipeline {
+  TaskGraph g{"machine-test"};
+  KernelSchedule kernel;
+
+  explicit Pipeline(AllocSite site) {
+    const NodeId a =
+        g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{2}});
+    const NodeId b =
+        g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{2}});
+    g.add_ipr(a, b, 1_KiB);
+
+    kernel.period = TimeUnits{5};
+    kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                        TaskPlacement{1, TimeUnits{3}}};
+    kernel.retiming = {0, 0};
+    kernel.distance = {0};
+    kernel.allocation = {site};
+  }
+};
+
+TEST(MachineTest, ValidCachedScheduleRunsClean) {
+  const Pipeline p(AllocSite::kCache);
+  Machine machine(two_pe_config());
+  const MachineStats stats = machine.run(p.g, p.kernel, {.iterations = 10});
+  EXPECT_EQ(stats.tasks_executed, 20);
+  EXPECT_EQ(stats.readiness_violations, 0);
+  EXPECT_EQ(stats.cache_hits, 10);  // one consumption per iteration
+  EXPECT_EQ(stats.cache_fallbacks, 0);
+  EXPECT_EQ(stats.edram_accesses, 0);
+  EXPECT_EQ(stats.noc_bytes, 10_KiB);  // cross-PE hand-off each iteration
+}
+
+TEST(MachineTest, EdramAllocationRoutesThroughVaults) {
+  Pipeline p(AllocSite::kEdram);
+  // eDRAM transfer takes 2 units: consumer offset 3 still works (2+2 <= ...
+  // no: 0+2+2=4 > 3), so push the consumer to offset 4.
+  p.kernel.placement[1].start = TimeUnits{4};
+  p.kernel.period = TimeUnits{6};
+  Machine machine(two_pe_config());
+  const MachineStats stats = machine.run(p.g, p.kernel, {.iterations = 10});
+  EXPECT_EQ(stats.readiness_violations, 0);
+  EXPECT_EQ(stats.edram_accesses, 20);  // one write + one read per iteration
+  EXPECT_EQ(stats.edram_bytes, 20_KiB);
+  EXPECT_EQ(stats.cache_hits, 0);
+}
+
+TEST(MachineTest, StrictModeThrowsOnReadinessViolation) {
+  Pipeline p(AllocSite::kCache);
+  p.kernel.placement[1].start = TimeUnits{1};  // before A finishes
+  Machine machine(two_pe_config());
+  EXPECT_THROW(machine.run(p.g, p.kernel, {.iterations = 2, .strict = true}),
+               ContractViolation);
+}
+
+TEST(MachineTest, LenientModeCountsViolations) {
+  Pipeline p(AllocSite::kCache);
+  p.kernel.placement[1].start = TimeUnits{1};
+  Machine machine(two_pe_config());
+  const MachineStats stats =
+      machine.run(p.g, p.kernel, {.iterations = 4, .strict = false});
+  EXPECT_EQ(stats.readiness_violations, 4);
+}
+
+TEST(MachineTest, OvercommittedCacheFallsBackToEdram) {
+  // A produces two cached 3 KiB IPRs into a 4 KiB cache: the second insert
+  // evicts the first, so one consumer per iteration misses and refetches.
+  TaskGraph g("overcommit");
+  const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{2}});
+  const NodeId b = g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId c = g.add_task(Task{"C", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, 3_KiB);
+  g.add_ipr(a, c, 3_KiB);
+
+  KernelSchedule kernel;
+  kernel.period = TimeUnits{6};
+  kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                      TaskPlacement{1, TimeUnits{4}},
+                      TaskPlacement{1, TimeUnits{5}}};
+  kernel.retiming = {0, 0, 0};
+  kernel.distance = {0, 0};
+  kernel.allocation = {AllocSite::kCache, AllocSite::kCache};
+
+  Machine machine(two_pe_config());
+  const MachineStats stats = machine.run(g, kernel, {.iterations = 5});
+  EXPECT_EQ(stats.readiness_violations, 0);
+  EXPECT_EQ(stats.cache_fallbacks, 5);   // first IPR evicted every iteration
+  EXPECT_EQ(stats.cache_evictions, 5);
+  EXPECT_EQ(stats.edram_accesses, 5);    // the refetches
+}
+
+TEST(MachineTest, UtilizationAndMakespanAreConsistent) {
+  const Pipeline p(AllocSite::kCache);
+  Machine machine(two_pe_config());
+  const MachineStats stats = machine.run(p.g, p.kernel, {.iterations = 8});
+  // Makespan: windows 0..7, last B finishes at 7*5 + 3 + 2 = 40.
+  EXPECT_EQ(stats.makespan.value, 40);
+  ASSERT_EQ(stats.pe_utilization.size(), 2U);
+  EXPECT_NEAR(stats.pe_utilization[0], 16.0 / 40.0, 1e-9);
+  EXPECT_NEAR(stats.pe_utilization[1], 16.0 / 40.0, 1e-9);
+}
+
+TEST(MachineTest, EnergyGrowsWithIterations) {
+  const Pipeline p(AllocSite::kCache);
+  Machine machine(two_pe_config());
+  const auto s2 = machine.run(p.g, p.kernel, {.iterations = 2});
+  Machine machine2(two_pe_config());
+  const auto s4 = machine2.run(p.g, p.kernel, {.iterations = 4});
+  EXPECT_GT(s4.energy.total(), s2.energy.total());
+  EXPECT_NEAR(s4.energy.compute.value, 2.0 * s2.energy.compute.value, 1e-6);
+}
+
+TEST(MachineTest, VaultContentionDetectedWhenOversubscribed) {
+  // One producer fans out two eDRAM IPRs that map to the same vault (single
+  // vault config): simultaneous writes at the producer's finish contend.
+  TaskGraph g("contention");
+  const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{2}});
+  const NodeId b = g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId c = g.add_task(Task{"C", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, 2_KiB);
+  g.add_ipr(a, c, 2_KiB);
+
+  KernelSchedule kernel;
+  kernel.period = TimeUnits{10};
+  kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                      TaskPlacement{1, TimeUnits{7}},
+                      TaskPlacement{1, TimeUnits{8}}};
+  kernel.retiming = {0, 0, 0};
+  kernel.distance = {0, 0};
+  kernel.allocation = {AllocSite::kEdram, AllocSite::kEdram};
+
+  PimConfig cfg = two_pe_config();
+  cfg.vault_count = 1;
+  Machine machine(cfg);
+  const MachineStats stats = machine.run(g, kernel, {.iterations = 3});
+  EXPECT_GT(stats.vault_contention_events, 0);
+  EXPECT_GT(stats.vault_wait_time.value, 0);
+}
+
+TEST(MachineTest, NoContentionWithDedicatedVaults) {
+  Pipeline q(AllocSite::kEdram);
+  q.kernel.placement[1].start = TimeUnits{4};
+  q.kernel.period = TimeUnits{6};
+  Machine machine(two_pe_config());
+  const MachineStats stats = machine.run(q.g, q.kernel, {.iterations = 3});
+  EXPECT_EQ(stats.vault_contention_events, 0);
+  EXPECT_EQ(stats.vault_wait_time.value, 0);
+}
+
+TEST(MachineTest, RejectsInvalidArguments) {
+  const Pipeline p(AllocSite::kCache);
+  Machine machine(two_pe_config());
+  EXPECT_THROW(machine.run(p.g, p.kernel, {.iterations = 0}),
+               ContractViolation);
+  KernelSchedule broken = p.kernel;
+  broken.allocation.clear();
+  EXPECT_THROW(machine.run(p.g, broken, {.iterations = 1}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::pim

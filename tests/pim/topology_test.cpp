@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "pim/config.hpp"
+#include "pim/machine.hpp"
+#include "retiming/delta.hpp"
+#include "sched/packer.hpp"
+#include "sched/validator.hpp"
+
+namespace paraconv::pim {
+namespace {
+
+PimConfig with_topology(NocTopology topology, int pes = 16) {
+  PimConfig cfg = PimConfig::neurocube(pes);
+  cfg.topology = topology;
+  cfg.noc_hop_units = 2;
+  return cfg;
+}
+
+TEST(TopologyTest, CrossbarHopsAreUniform) {
+  const PimConfig cfg = with_topology(NocTopology::kCrossbar, 64);
+  EXPECT_EQ(cfg.hop_count(0, 0), 0);
+  EXPECT_EQ(cfg.hop_count(0, 1), 1);
+  EXPECT_EQ(cfg.hop_count(0, 63), 1);
+  EXPECT_EQ(cfg.noc_latency(0, 63), TimeUnits{0});  // folded into base time
+}
+
+TEST(TopologyTest, MeshUsesManhattanDistance) {
+  // 16 PEs -> 4x4 mesh.
+  const PimConfig cfg = with_topology(NocTopology::kMesh2D, 16);
+  EXPECT_EQ(cfg.hop_count(0, 0), 0);
+  EXPECT_EQ(cfg.hop_count(0, 1), 1);    // (0,0) -> (1,0)
+  EXPECT_EQ(cfg.hop_count(0, 5), 2);    // (0,0) -> (1,1)
+  EXPECT_EQ(cfg.hop_count(0, 15), 6);   // (0,0) -> (3,3)
+  EXPECT_EQ(cfg.hop_count(3, 12), 6);   // corners swap
+  EXPECT_EQ(cfg.noc_latency(0, 15), TimeUnits{12});  // 6 hops x 2 units
+}
+
+TEST(TopologyTest, RingUsesShorterArc) {
+  const PimConfig cfg = with_topology(NocTopology::kRing, 16);
+  EXPECT_EQ(cfg.hop_count(0, 1), 1);
+  EXPECT_EQ(cfg.hop_count(0, 8), 8);
+  EXPECT_EQ(cfg.hop_count(0, 15), 1);  // wraps around
+  EXPECT_EQ(cfg.hop_count(2, 14), 4);
+}
+
+TEST(TopologyTest, InvalidPesRejected) {
+  const PimConfig cfg = with_topology(NocTopology::kMesh2D, 16);
+  EXPECT_THROW(cfg.hop_count(-1, 0), ContractViolation);
+  EXPECT_THROW(cfg.hop_count(0, 16), ContractViolation);
+}
+
+TEST(TopologyTest, Names) {
+  EXPECT_STREQ(to_string(NocTopology::kCrossbar), "crossbar");
+  EXPECT_STREQ(to_string(NocTopology::kMesh2D), "mesh2d");
+  EXPECT_STREQ(to_string(NocTopology::kRing), "ring");
+}
+
+class TopologyPipelineTest : public testing::TestWithParam<NocTopology> {};
+
+TEST_P(TopologyPipelineTest, SchedulesValidateAndReplayCleanly) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("character-1"));
+  const PimConfig cfg = with_topology(GetParam(), 32);
+  const core::ParaConvResult r = core::ParaConv(cfg).schedule(g);
+
+  EXPECT_TRUE(sched::is_valid_kernel_schedule(g, r.kernel, cfg,
+                                              cfg.total_cache_bytes()));
+  Machine machine(cfg);
+  const MachineStats stats =
+      machine.run(g, r.kernel, {.iterations = 4, .strict = true});
+  EXPECT_EQ(stats.readiness_violations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyPipelineTest,
+                         testing::Values(NocTopology::kCrossbar,
+                                         NocTopology::kMesh2D,
+                                         NocTopology::kRing),
+                         [](const testing::TestParamInfo<NocTopology>& param_info) {
+                           return to_string(param_info.param);
+                         });
+
+TEST(TopologyTest, SlowerNetworksNeverReduceEdgeDeltas) {
+  // Hop latency only adds to hand-off times, so on the identical packing
+  // every per-edge required distance under mesh/ring dominates the
+  // crossbar's, for both allocation sites.
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("stock-predict"));
+  const sched::Packing packing = sched::pack_topological(g, 32);
+
+  const auto deltas_for = [&](NocTopology topology) {
+    return retiming::compute_edge_deltas(g, packing.placement, packing.period,
+                                         with_topology(topology, 32));
+  };
+  const auto crossbar = deltas_for(NocTopology::kCrossbar);
+  for (const NocTopology slower : {NocTopology::kMesh2D, NocTopology::kRing}) {
+    const auto deltas = deltas_for(slower);
+    for (std::size_t e = 0; e < deltas.size(); ++e) {
+      EXPECT_GE(deltas[e].cache, crossbar[e].cache);
+      EXPECT_GE(deltas[e].edram, crossbar[e].edram);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paraconv::pim

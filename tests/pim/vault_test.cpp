@@ -1,0 +1,35 @@
+#include "pim/vault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::pim {
+namespace {
+
+TEST(VaultTest, ReadLatencyFromBandwidth) {
+  Vault v(0, 512);
+  EXPECT_EQ(v.read(Bytes{512}).value, 1);
+  EXPECT_EQ(v.read(Bytes{513}).value, 2);
+  EXPECT_EQ(v.read(Bytes{1}).value, 1);
+}
+
+TEST(VaultTest, TrafficAccounting) {
+  Vault v(3, 1024);
+  v.read(1_KiB);
+  v.read(2_KiB);
+  v.write(4_KiB);
+  EXPECT_EQ(v.stats().reads, 2);
+  EXPECT_EQ(v.stats().writes, 1);
+  EXPECT_EQ(v.stats().bytes_read, 3_KiB);
+  EXPECT_EQ(v.stats().bytes_written, 4_KiB);
+  EXPECT_EQ(v.id(), 3);
+}
+
+TEST(VaultTest, RejectsInvalidArguments) {
+  EXPECT_THROW(Vault(0, 0), ContractViolation);
+  Vault v(0, 512);
+  EXPECT_THROW(v.read(Bytes{0}), ContractViolation);
+  EXPECT_THROW(v.write(Bytes{0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::pim

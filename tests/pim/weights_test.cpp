@@ -1,0 +1,126 @@
+// Weight-streaming model: when PimConfig::weights_resident is false, each
+// task execution reads its filter footprint from the vaults.
+#include <gtest/gtest.h>
+
+#include "cnn/builders.hpp"
+#include "cnn/lowering.hpp"
+#include "core/para_conv.hpp"
+#include "pim/machine.hpp"
+
+namespace paraconv::pim {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+struct Fixture {
+  TaskGraph g{"weights"};
+  sched::KernelSchedule kernel;
+
+  Fixture() {
+    Task a{"A", TaskKind::kConvolution, TimeUnits{2}};
+    a.weights = 4_KiB;
+    Task b{"B", TaskKind::kConvolution, TimeUnits{2}};
+    b.weights = Bytes{0};  // weightless (e.g. pooling)
+    const NodeId na = g.add_task(std::move(a));
+    const NodeId nb = g.add_task(std::move(b));
+    g.add_ipr(na, nb, 1_KiB);
+    kernel.period = TimeUnits{5};
+    kernel.placement = {sched::TaskPlacement{0, TimeUnits{0}},
+                        sched::TaskPlacement{1, TimeUnits{3}}};
+    kernel.retiming = {0, 0};
+    kernel.distance = {0};
+    kernel.allocation = {AllocSite::kCache};
+  }
+};
+
+PimConfig config(bool resident) {
+  PimConfig cfg;
+  cfg.pe_count = 2;
+  cfg.pe_cache_bytes = 8_KiB;
+  cfg.cache_bytes_per_unit = 4 * 1024;
+  cfg.edram_bytes_per_unit = 512;
+  cfg.weights_resident = resident;
+  cfg.validate();
+  return cfg;
+}
+
+TEST(WeightStreamingTest, ResidentWeightsCostNothing) {
+  const Fixture f;
+  Machine machine(config(true));
+  const MachineStats stats = machine.run(f.g, f.kernel, {.iterations = 4});
+  EXPECT_EQ(stats.weight_bytes, Bytes{0});
+  EXPECT_EQ(stats.edram_accesses, 0);
+}
+
+TEST(WeightStreamingTest, StreamedWeightsGenerateVaultTraffic) {
+  const Fixture f;
+  Machine machine(config(false));
+  const MachineStats stats = machine.run(f.g, f.kernel, {.iterations = 4});
+  // Only task A carries weights: 4 iterations x 4 KiB.
+  EXPECT_EQ(stats.weight_bytes, 16_KiB);
+  EXPECT_EQ(stats.edram_accesses, 4);
+  EXPECT_EQ(stats.edram_bytes, 16_KiB);
+  EXPECT_GT(stats.energy.edram.value, 0.0);
+}
+
+TEST(WeightStreamingTest, LoweredGraphsCarryWeightFootprints) {
+  const cnn::Network net = cnn::make_lenet5();
+  cnn::LoweringOptions options;
+  options.element_bytes = 2;
+  const graph::TaskGraph g = cnn::lower_to_task_graph(net, options);
+
+  // c1 task: 150 weights x 2 bytes.
+  Bytes total{};
+  for (const NodeId v : g.nodes()) {
+    total += g.task(v).weights;
+    if (g.task(v).name == "c1") {
+      EXPECT_EQ(g.task(v).weights, Bytes{150 * 2});
+    }
+    if (g.task(v).kind == graph::TaskKind::kPooling) {
+      EXPECT_EQ(g.task(v).weights, Bytes{0});
+    }
+  }
+  EXPECT_EQ(total, Bytes{net.total_weights() * 2});
+}
+
+TEST(WeightStreamingTest, ChannelGroupsSplitTheFootprint) {
+  cnn::Network net("one-conv");
+  const auto in = net.add_input("in", cnn::Shape{8, 8, 8});
+  net.add_conv("c", in, cnn::ConvParams{16, 3, 1, 1});
+  cnn::LoweringOptions options;
+  options.channel_groups = 4;
+  const graph::TaskGraph g = cnn::lower_to_task_graph(net, options);
+  ASSERT_EQ(g.node_count(), 4U);
+  const std::int64_t per_group = 16LL * 8 * 9 * 2 / 4;
+  for (const NodeId v : g.nodes()) {
+    EXPECT_EQ(g.task(v).weights.value, per_group);
+  }
+}
+
+TEST(WeightStreamingTest, EndToEndGoogLeNetEnergyGap) {
+  cnn::LoweringOptions lowering;
+  lowering.channel_groups = 2;
+  const graph::TaskGraph g =
+      cnn::lower_to_task_graph(cnn::make_googlenet(), lowering);
+  const core::ParaConvResult r =
+      core::ParaConv(PimConfig::neurocube(32)).schedule(g);
+
+  PimConfig resident = PimConfig::neurocube(32);
+  PimConfig streaming = resident;
+  streaming.weights_resident = false;
+
+  const MachineStats pinned =
+      Machine(resident).run(g, r.kernel, {.iterations = 2});
+  const MachineStats streamed =
+      Machine(streaming).run(g, r.kernel, {.iterations = 2});
+  EXPECT_EQ(pinned.weight_bytes, Bytes{0});
+  // 2 iterations x ~7M weights x 2 bytes.
+  EXPECT_GT(streamed.weight_bytes.value, 20'000'000);
+  EXPECT_GT(streamed.energy.total(), pinned.energy.total());
+}
+
+}  // namespace
+}  // namespace paraconv::pim

@@ -1,0 +1,69 @@
+#include "report/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paraconv::report {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsUntouched) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with space"), "with space");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithSeparators) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvExportTest, WritesHeaderAndRows) {
+  bench_support::ExperimentRow row;
+  row.benchmark = "cat";
+  row.vertices = 9;
+  row.edges = 21;
+  row.pe_count = 16;
+  row.sparta.iteration_time = TimeUnits{10};
+  row.sparta.total_time = TimeUnits{1000};
+  row.sparta.cached_iprs = 4;
+  row.para_conv.iteration_time = TimeUnits{5};
+  row.para_conv.r_max = 3;
+  row.para_conv.prologue_time = TimeUnits{15};
+  row.para_conv.total_time = TimeUnits{515};
+  row.para_conv.cached_iprs = 6;
+  row.para_conv.offchip_bytes_per_iteration = 2_KiB;
+
+  std::ostringstream os;
+  write_experiment_csv(os, {row});
+  const std::string out = os.str();
+
+  std::istringstream in(out);
+  std::string header;
+  std::string data;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, data));
+  EXPECT_EQ(header.rfind("benchmark,vertices,edges,pe_count", 0), 0U);
+  EXPECT_EQ(data, "cat,9,21,16,10,1000,4,5,3,15,515,6,2048,51.50,48.50");
+}
+
+TEST(CsvExportTest, OneLinePerRow) {
+  std::vector<bench_support::ExperimentRow> rows(3);
+  for (auto& r : rows) {
+    r.benchmark = "x";
+    r.sparta.total_time = TimeUnits{10};
+    r.para_conv.total_time = TimeUnits{5};
+    r.sparta.iteration_time = TimeUnits{1};
+    r.para_conv.iteration_time = TimeUnits{1};
+  }
+  std::ostringstream os;
+  write_experiment_csv(os, rows);
+  std::size_t lines = 0;
+  std::istringstream in(os.str());
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 4U);  // header + 3 rows
+}
+
+}  // namespace
+}  // namespace paraconv::report

@@ -1,0 +1,99 @@
+#include "report/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paraconv::report {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+using sched::KernelSchedule;
+using sched::TaskPlacement;
+
+struct Fixture {
+  TaskGraph g{"gantt"};
+  KernelSchedule kernel;
+
+  Fixture() {
+    const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{2}});
+    const NodeId b = g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{3}});
+    g.add_ipr(a, b, 1_KiB);
+    kernel.period = TimeUnits{5};
+    kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                        TaskPlacement{1, TimeUnits{2}}};
+    kernel.retiming = {0, 0};
+    kernel.distance = {0};
+    kernel.allocation = {pim::AllocSite::kCache};
+  }
+};
+
+TEST(GanttTest, KernelShowsTasksAndIdle) {
+  const Fixture f;
+  const std::string out = render_kernel_gantt(f.g, f.kernel, 2);
+  EXPECT_NE(out.find("kernel period p = 5"), std::string::npos);
+  EXPECT_NE(out.find("PE0 |A=...|"), std::string::npos);
+  EXPECT_NE(out.find("PE1 |..B==|"), std::string::npos);
+}
+
+TEST(GanttTest, EveryPeGetsARow) {
+  const Fixture f;
+  const std::string out = render_kernel_gantt(f.g, f.kernel, 4);
+  EXPECT_NE(out.find("PE2"), std::string::npos);
+  EXPECT_NE(out.find("PE3"), std::string::npos);
+}
+
+TEST(GanttTest, LongKernelTruncated) {
+  Fixture f;
+  f.kernel.period = TimeUnits{500};
+  GanttOptions options;
+  options.max_width = 20;
+  const std::string out = render_kernel_gantt(f.g, f.kernel, 2, options);
+  EXPECT_NE(out.find("..."), std::string::npos);
+  // Each row width: "PE0 |" + 20 cells + "..." = bounded.
+  std::istringstream in(out);
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    EXPECT_LE(line.size(), 5U + 20U + 3U);
+  }
+}
+
+TEST(GanttTest, ExpandedShowsPrologueHeader) {
+  Fixture f;
+  f.kernel.retiming = {1, 0};
+  f.kernel.distance = {1};
+  const std::string out = render_expanded_gantt(f.g, f.kernel, 2, 3);
+  EXPECT_NE(out.find("prologue: 1 windows (5 time units)"),
+            std::string::npos);
+  // Window 0 holds only A; B appears from window 1.
+  const std::size_t pe1 = out.find("PE1 |");
+  ASSERT_NE(pe1, std::string::npos);
+  EXPECT_EQ(out.substr(pe1 + 5, 5), ".....");
+}
+
+TEST(GanttTest, LabelTailUsedForHierarchicalNames) {
+  TaskGraph g("named");
+  g.add_task(Task{"inception_3a/T7", TaskKind::kConvolution, TimeUnits{2}});
+  KernelSchedule k;
+  k.period = TimeUnits{3};
+  k.placement = {TaskPlacement{0, TimeUnits{0}}};
+  k.retiming = {0};
+  const std::string out = render_kernel_gantt(g, k, 1);
+  EXPECT_NE(out.find("T7"), std::string::npos);
+}
+
+TEST(GanttTest, RejectsInvalidArguments) {
+  const Fixture f;
+  EXPECT_THROW(render_kernel_gantt(f.g, f.kernel, 0), ContractViolation);
+  GanttOptions bad;
+  bad.max_width = 0;
+  EXPECT_THROW(render_kernel_gantt(f.g, f.kernel, 2, bad), ContractViolation);
+  EXPECT_THROW(render_expanded_gantt(f.g, f.kernel, 2, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::report

@@ -1,0 +1,78 @@
+#include "report/html.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::report {
+namespace {
+
+struct Rendered {
+  graph::TaskGraph g;
+  pim::PimConfig config;
+  core::ParaConvResult result;
+  std::string html;
+
+  explicit Rendered(const char* bench, int pes = 16)
+      : g(graph::build_paper_benchmark(graph::paper_benchmark(bench))),
+        config(pim::PimConfig::neurocube(pes)),
+        result(core::ParaConv(config).schedule(g)),
+        html(render_html_report(g, config, result)) {}
+};
+
+TEST(HtmlReportTest, ContainsStructureAndMetrics) {
+  const Rendered r("flower");
+  EXPECT_EQ(r.html.rfind("<!DOCTYPE html>", 0), 0U);
+  EXPECT_NE(r.html.find("</html>"), std::string::npos);
+  EXPECT_NE(r.html.find("<svg"), std::string::npos);
+  EXPECT_NE(r.html.find("flower on 16 PEs"), std::string::npos);
+  EXPECT_NE(r.html.find("kernel period p"), std::string::npos);
+  EXPECT_NE(r.html.find("R_max / prologue"), std::string::npos);
+  EXPECT_NE(r.html.find("case 6"), std::string::npos);
+}
+
+TEST(HtmlReportTest, OneLaneLabelPerPe) {
+  const Rendered r("cat", 8);
+  for (int pe = 0; pe < 8; ++pe) {
+    EXPECT_NE(r.html.find(">PE" + std::to_string(pe) + "<"),
+              std::string::npos);
+  }
+}
+
+TEST(HtmlReportTest, TaskBlocksCarryTooltips) {
+  const Rendered r("cat");
+  // Every instance rect has a <title> tooltip with the task name.
+  EXPECT_NE(r.html.find("<title>cat_T1 (iter 0"), std::string::npos);
+  std::size_t rects = 0;
+  for (std::size_t pos = r.html.find("<rect"); pos != std::string::npos;
+       pos = r.html.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  // Windows default to R_max + 3; every window holds at most node_count
+  // instances and the steady windows hold exactly node_count.
+  EXPECT_GE(rects, r.g.node_count());
+}
+
+TEST(HtmlReportTest, EscapesMarkupInNames) {
+  graph::TaskGraph g("x<y&z");
+  g.add_task({"a<b", graph::TaskKind::kConvolution, TimeUnits{1}});
+  g.add_task({"c", graph::TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(graph::NodeId{0}, graph::NodeId{1}, 1_KiB);
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  const core::ParaConvResult result = core::ParaConv(config).schedule(g);
+  const std::string html = render_html_report(g, config, result);
+  EXPECT_EQ(html.find("a<b"), std::string::npos);
+  EXPECT_NE(html.find("a&lt;b"), std::string::npos);
+  EXPECT_NE(html.find("x&lt;y&amp;z"), std::string::npos);
+}
+
+TEST(HtmlReportTest, RejectsInvalidOptions) {
+  const Rendered r("cat");
+  HtmlReportOptions bad;
+  bad.px_per_unit = 0;
+  EXPECT_THROW(render_html_report(r.g, r.config, r.result, bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::report

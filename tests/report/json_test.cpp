@@ -1,0 +1,119 @@
+#include "report/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::report {
+namespace {
+
+TEST(JsonValueTest, Scalars) {
+  EXPECT_EQ(JsonValue{}.dump(), "null");
+  EXPECT_EQ(JsonValue{true}.dump(), "true");
+  EXPECT_EQ(JsonValue{false}.dump(), "false");
+  EXPECT_EQ(JsonValue{std::int64_t{42}}.dump(), "42");
+  EXPECT_EQ(JsonValue{-7}.dump(), "-7");
+  EXPECT_EQ(JsonValue{1.5}.dump(), "1.5");
+  EXPECT_EQ(JsonValue{"hi"}.dump(), "\"hi\"");
+}
+
+TEST(JsonValueTest, ArraysAndObjects) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1).push_back("two").push_back(JsonValue{});
+  EXPECT_EQ(arr.dump(), "[1,\"two\",null]");
+
+  JsonValue obj = JsonValue::object();
+  obj.set("a", 1).set("b", JsonValue::array());
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":[]}");
+}
+
+TEST(JsonValueTest, SetOverwritesExistingKey) {
+  JsonValue obj = JsonValue::object();
+  obj.set("k", 1);
+  obj.set("k", 2);
+  EXPECT_EQ(obj.dump(), "{\"k\":2}");
+}
+
+TEST(JsonValueTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string{"\x01"}), "\\u0001");
+  EXPECT_EQ(JsonValue{"x\ty"}.dump(), "\"x\\ty\"");
+}
+
+TEST(JsonValueTest, PrettyPrintIndents) {
+  JsonValue obj = JsonValue::object();
+  obj.set("a", 1);
+  EXPECT_EQ(obj.dump(true), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonValueTest, KindMisuseThrows) {
+  JsonValue arr = JsonValue::array();
+  EXPECT_THROW(arr.set("k", 1), ContractViolation);
+  JsonValue obj = JsonValue::object();
+  EXPECT_THROW(obj.push_back(1), ContractViolation);
+}
+
+TEST(JsonValueTest, NonFiniteDoubleRejected) {
+  const JsonValue v{std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(v.dump(), ContractViolation);
+}
+
+TEST(JsonSerializersTest, MetricsRoundTrip) {
+  core::RunResult m;
+  m.scheduler = "Para-CONV";
+  m.iteration_time = TimeUnits{10};
+  m.r_max = 3;
+  m.prologue_time = TimeUnits{30};
+  m.total_time = TimeUnits{1030};
+  m.cached_iprs = 5;
+  m.cache_bytes_used = 4_KiB;
+  m.offchip_bytes_per_iteration = 8_KiB;
+  m.pe_utilization = 0.75;
+  const std::string dump = to_json(m).dump();
+  EXPECT_NE(dump.find("\"scheduler\":\"Para-CONV\""), std::string::npos);
+  EXPECT_NE(dump.find("\"r_max\":3"), std::string::npos);
+  EXPECT_NE(dump.find("\"total_time\":1030"), std::string::npos);
+  EXPECT_NE(dump.find("\"pe_utilization\":0.75"), std::string::npos);
+}
+
+TEST(JsonSerializersTest, ScheduleDumpCoversTasksAndIprs) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("cat"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  const core::ParaConvResult r = core::ParaConv(config).schedule(g);
+  const std::string dump = to_json(g, r.kernel).dump();
+  EXPECT_NE(dump.find("\"graph\":\"cat\""), std::string::npos);
+  EXPECT_NE(dump.find("cat_T1"), std::string::npos);
+  // 9 tasks, 21 IPR entries.
+  std::size_t retiming_fields = 0;
+  for (std::size_t pos = dump.find("\"retiming\"");
+       pos != std::string::npos; pos = dump.find("\"retiming\"", pos + 1)) {
+    ++retiming_fields;
+  }
+  EXPECT_EQ(retiming_fields, 9U);
+  std::size_t site_fields = 0;
+  for (std::size_t pos = dump.find("\"site\""); pos != std::string::npos;
+       pos = dump.find("\"site\"", pos + 1)) {
+    ++site_fields;
+  }
+  EXPECT_EQ(site_fields, 21U);
+}
+
+TEST(JsonSerializersTest, MachineStatsDump) {
+  pim::MachineStats stats;
+  stats.makespan = TimeUnits{100};
+  stats.tasks_executed = 50;
+  stats.edram_bytes = 1_KiB;
+  stats.pe_utilization = {0.5, 0.25};
+  const std::string dump = to_json(stats).dump();
+  EXPECT_NE(dump.find("\"makespan\":100"), std::string::npos);
+  EXPECT_NE(dump.find("\"edram_bytes\":1024"), std::string::npos);
+  EXPECT_NE(dump.find("\"pe_utilization\":[0.5,0.25]"), std::string::npos);
+  EXPECT_NE(dump.find("\"total_pj\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paraconv::report

@@ -1,0 +1,150 @@
+#include "report/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::report {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+struct Fixture {
+  TaskGraph g{"trace"};
+  sched::KernelSchedule kernel;
+
+  Fixture() {
+    const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{2}});
+    const NodeId b = g.add_task(Task{"B", TaskKind::kPooling, TimeUnits{1}});
+    g.add_ipr(a, b, 1_KiB);
+    kernel.period = TimeUnits{4};
+    kernel.placement = {sched::TaskPlacement{0, TimeUnits{0}},
+                        sched::TaskPlacement{1, TimeUnits{2}}};
+    kernel.retiming = {0, 0};
+    kernel.distance = {0};
+    kernel.allocation = {pim::AllocSite::kCache};
+  }
+};
+
+TEST(TraceTest, EmitsOneCompleteEventPerInstance) {
+  const Fixture f;
+  const std::string trace = to_chrome_trace(f.g, f.kernel, {.iterations = 3});
+  std::size_t events = 0;
+  for (std::size_t pos = trace.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = trace.find("\"ph\":\"X\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 6U);  // 2 tasks x 3 iterations
+  EXPECT_EQ(trace.front(), '[');
+  EXPECT_EQ(trace.back(), ']');
+}
+
+TEST(TraceTest, TimesScaleWithConfiguredUnit) {
+  const Fixture f;
+  TraceOptions options;
+  options.iterations = 1;
+  options.ns_per_time_unit = 2000;  // 2us per unit
+  const std::string trace = to_chrome_trace(f.g, f.kernel, options);
+  // B starts at offset 2 units = 4us, duration 1 unit = 2us.
+  EXPECT_NE(trace.find("\"ts\":4"), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":2"), std::string::npos);
+}
+
+TEST(TraceTest, CarriesPeAndIterationMetadata) {
+  const Fixture f;
+  const std::string trace = to_chrome_trace(f.g, f.kernel, {.iterations = 2});
+  EXPECT_NE(trace.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(trace.find("\"iteration\":1"), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"pool\""), std::string::npos);
+}
+
+TEST(TraceTest, RealScheduleProducesParseableSkeleton) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("cat"));
+  const core::ParaConvResult r =
+      core::ParaConv(pim::PimConfig::neurocube(16)).schedule(g);
+  const std::string trace = to_chrome_trace(g, r.kernel, {.iterations = 2});
+  // Balanced brackets and braces (cheap well-formedness check).
+  std::int64_t braces = 0;
+  std::int64_t brackets = 0;
+  for (const char c : trace) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceTest, MemoryTraceAddsMemoryLane) {
+  const Fixture f;
+  pim::PimConfig config;
+  config.pe_count = 2;
+  config.pe_cache_bytes = 4_KiB;
+  config.validate();
+  const std::string trace =
+      to_chrome_trace_with_memory(f.g, f.kernel, config, {.iterations = 2});
+  EXPECT_NE(trace.find("\"cat\":\"memory\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(trace.find("cache-insert"), std::string::npos);
+  EXPECT_NE(trace.find("cache-hit"), std::string::npos);
+  // Compute lane still present.
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(MemoryObserverTest, EventsArriveInTimeOrderWithCounts) {
+  Fixture f;
+  // Leave slack for the cross-PE hand-off so strict replay is clean.
+  f.kernel.placement[1].start = TimeUnits{3};
+  pim::PimConfig config;
+  config.pe_count = 2;
+  config.pe_cache_bytes = 4_KiB;
+  config.validate();
+  pim::Machine machine(config);
+  std::vector<pim::MemoryEvent> seen;
+  pim::MachineRunOptions options;
+  options.iterations = 3;
+  options.observer = [&](const pim::MemoryEvent& ev) { seen.push_back(ev); };
+  machine.run(f.g, f.kernel, options);
+
+  // One cached edge: insert + hit per iteration.
+  std::size_t inserts = 0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(seen[i].time, seen[i - 1].time);
+    }
+    if (seen[i].kind == pim::MemoryEvent::Kind::kCacheInsert) ++inserts;
+    if (seen[i].kind == pim::MemoryEvent::Kind::kCacheHit) ++hits;
+  }
+  EXPECT_EQ(inserts, 3U);
+  EXPECT_EQ(hits, 3U);
+}
+
+TEST(MemoryObserverTest, KindNames) {
+  EXPECT_STREQ(pim::to_string(pim::MemoryEvent::Kind::kCacheInsert),
+               "cache-insert");
+  EXPECT_STREQ(pim::to_string(pim::MemoryEvent::Kind::kVaultRead),
+               "vault-read");
+  EXPECT_STREQ(pim::to_string(pim::MemoryEvent::Kind::kWeightFetch),
+               "weight-fetch");
+}
+
+TEST(TraceTest, RejectsInvalidOptions) {
+  const Fixture f;
+  EXPECT_THROW(to_chrome_trace(f.g, f.kernel, {.iterations = 0}),
+               ContractViolation);
+  EXPECT_THROW(
+      to_chrome_trace(f.g, f.kernel, {.iterations = 1, .ns_per_time_unit = 0}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::report

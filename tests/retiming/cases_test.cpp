@@ -1,0 +1,70 @@
+#include "retiming/cases.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::retiming {
+namespace {
+
+struct CaseRow {
+  int cache;
+  int edram;
+  AllocationCase expected;
+  int expected_delta_r;
+};
+
+class SixCasesTest : public testing::TestWithParam<CaseRow> {};
+
+TEST_P(SixCasesTest, ClassificationMatchesFigure4) {
+  const auto& row = GetParam();
+  const EdgeDelta d{row.cache, row.edram};
+  EXPECT_EQ(classify(d), row.expected);
+  EXPECT_EQ(delta_r(d), row.expected_delta_r);
+  EXPECT_EQ(allocation_sensitive(d), row.expected_delta_r > 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure4, SixCasesTest,
+    testing::Values(CaseRow{0, 0, AllocationCase::kCase1, 0},
+                    CaseRow{0, 1, AllocationCase::kCase2, 1},
+                    CaseRow{0, 2, AllocationCase::kCase3, 2},
+                    CaseRow{1, 1, AllocationCase::kCase4, 0},
+                    CaseRow{1, 2, AllocationCase::kCase5, 1},
+                    CaseRow{2, 2, AllocationCase::kCase6, 0}));
+
+TEST(SixCasesTest, EnvelopeIsExhaustive) {
+  // Every legal (cache <= edram <= 2) pair maps to one of the six cases;
+  // exactly the six pairs exist.
+  int count = 0;
+  for (int cache = 0; cache <= 2; ++cache) {
+    for (int edram = cache; edram <= 2; ++edram) {
+      EXPECT_NO_THROW(classify(EdgeDelta{cache, edram}));
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 6);
+}
+
+TEST(SixCasesTest, InvalidPairsRejected) {
+  EXPECT_THROW(classify(EdgeDelta{2, 1}), ContractViolation);   // cache > edram
+  EXPECT_THROW(classify(EdgeDelta{-1, 0}), ContractViolation);  // negative
+  EXPECT_THROW(classify(EdgeDelta{0, 3}), ContractViolation);   // beyond bound
+  EXPECT_THROW(delta_r(EdgeDelta{2, 0}), ContractViolation);
+}
+
+TEST(SixCasesTest, InsensitiveCasesAreOneFourSix) {
+  // Paper Sec. 3.2: cases 1, 4 and 6 do not change the prologue.
+  EXPECT_FALSE(allocation_sensitive(EdgeDelta{0, 0}));
+  EXPECT_FALSE(allocation_sensitive(EdgeDelta{1, 1}));
+  EXPECT_FALSE(allocation_sensitive(EdgeDelta{2, 2}));
+  EXPECT_TRUE(allocation_sensitive(EdgeDelta{0, 1}));
+  EXPECT_TRUE(allocation_sensitive(EdgeDelta{0, 2}));
+  EXPECT_TRUE(allocation_sensitive(EdgeDelta{1, 2}));
+}
+
+TEST(SixCasesTest, Names) {
+  EXPECT_STREQ(to_string(AllocationCase::kCase1), "case1(0,0)");
+  EXPECT_STREQ(to_string(AllocationCase::kCase6), "case6(2,2)");
+}
+
+}  // namespace
+}  // namespace paraconv::retiming

@@ -1,0 +1,151 @@
+#include "retiming/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::retiming {
+namespace {
+
+pim::PimConfig config() {
+  pim::PimConfig cfg;
+  cfg.pe_count = 4;
+  cfg.cache_bytes_per_unit = 4 * 1024;
+  cfg.edram_bytes_per_unit = 512;
+  cfg.validate();
+  return cfg;
+}
+
+TEST(RequiredDistanceTest, ZeroWhenSlackCoversTransfer) {
+  // Producer 0..2, transfer 1, consumer at 3: ready exactly in time.
+  EXPECT_EQ(required_distance(TimeUnits{0}, TimeUnits{2}, TimeUnits{1},
+                              TimeUnits{3}, TimeUnits{5}),
+            0);
+}
+
+TEST(RequiredDistanceTest, OneWhenDeficitWithinOnePeriod) {
+  EXPECT_EQ(required_distance(TimeUnits{0}, TimeUnits{2}, TimeUnits{2},
+                              TimeUnits{3}, TimeUnits{5}),
+            1);
+  EXPECT_EQ(required_distance(TimeUnits{3}, TimeUnits{2}, TimeUnits{1},
+                              TimeUnits{1}, TimeUnits{5}),
+            1);
+}
+
+TEST(RequiredDistanceTest, TwoAtTheTheoremBound) {
+  // Worst case: producer ends at p, transfer p, consumer at 0.
+  EXPECT_EQ(required_distance(TimeUnits{3}, TimeUnits{2}, TimeUnits{5},
+                              TimeUnits{0}, TimeUnits{5}),
+            2);
+}
+
+TEST(RequiredDistanceTest, ExactBoundaryNeedsNoExtraIteration) {
+  // Deficit exactly k*p requires exactly k.
+  EXPECT_EQ(required_distance(TimeUnits{0}, TimeUnits{5}, TimeUnits{5},
+                              TimeUnits{0}, TimeUnits{5}),
+            2);
+  EXPECT_EQ(required_distance(TimeUnits{0}, TimeUnits{3}, TimeUnits{2},
+                              TimeUnits{0}, TimeUnits{5}),
+            1);
+}
+
+TEST(EffectiveTransferTest, ClampsToPeriod) {
+  const pim::PimConfig cfg = config();
+  EXPECT_EQ(effective_transfer(cfg, pim::AllocSite::kEdram, 64_KiB,
+                               TimeUnits{7}),
+            TimeUnits{7});
+  EXPECT_EQ(effective_transfer(cfg, pim::AllocSite::kCache, 1_KiB,
+                               TimeUnits{7}),
+            TimeUnits{1});
+}
+
+struct DeltaCase {
+  std::size_t vertices;
+  std::size_t edges;
+  int pe_count;
+  std::uint64_t seed;
+};
+
+class DeltaPropertyTest : public testing::TestWithParam<DeltaCase> {};
+
+/// Theorem 3.1 property: every delta pair lies in the envelope
+/// 0 <= cache <= edram <= 2, for any packing produced by either packer.
+TEST_P(DeltaPropertyTest, Theorem31EnvelopeHolds) {
+  const auto& c = GetParam();
+  graph::GeneratorConfig gen;
+  gen.vertices = c.vertices;
+  gen.edges = c.edges;
+  gen.seed = c.seed;
+  const graph::TaskGraph g = graph::generate_layered_dag(gen);
+  const pim::PimConfig cfg = pim::PimConfig::neurocube(c.pe_count);
+
+  for (const bool topological : {true, false}) {
+    const sched::Packing packing =
+        topological ? sched::pack_topological(g, c.pe_count)
+                    : sched::pack_ignore_dependencies(g, c.pe_count);
+    const auto deltas =
+        compute_edge_deltas(g, packing.placement, packing.period, cfg);
+    ASSERT_EQ(deltas.size(), g.edge_count());
+    for (const EdgeDelta& d : deltas) {
+      EXPECT_GE(d.cache, 0);
+      EXPECT_LE(d.cache, d.edram);
+      EXPECT_LE(d.edram, 2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DeltaPropertyTest,
+    testing::Values(DeltaCase{9, 21, 4, 1}, DeltaCase{9, 21, 64, 2},
+                    DeltaCase{52, 130, 16, 3}, DeltaCase{52, 130, 64, 4},
+                    DeltaCase{191, 506, 16, 5}, DeltaCase{191, 506, 64, 6},
+                    DeltaCase{546, 1449, 32, 7}, DeltaCase{20, 60, 1, 8}));
+
+TEST(DeltaTest, TopologicalPackingBoundsDeficitByExecPlusTransfer) {
+  // Topological packing orders producers no later than consumers
+  // (s_i <= s_j), so the deficit of edge (i, j) is at most c_i + c_ij and
+  // each per-edge distance is bounded by ceil((c_i + c_ij) / p) — a
+  // strictly tighter envelope than Theorem 3.1's generic bound of 2.
+  graph::GeneratorConfig gen;
+  gen.vertices = 100;
+  gen.edges = 260;
+  gen.seed = 17;
+  const graph::TaskGraph g = graph::generate_layered_dag(gen);
+  const pim::PimConfig cfg = pim::PimConfig::neurocube(16);
+
+  const sched::Packing p = sched::pack_topological(g, 16);
+  const auto deltas = compute_edge_deltas(g, p.placement, p.period, cfg);
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    const TimeUnits transfer = effective_transfer(
+        cfg, pim::AllocSite::kEdram, ipr.size, p.period);
+    const int bound = static_cast<int>(
+        ceil_div(g.task(ipr.src).exec_time.value + transfer.value,
+                 p.period.value));
+    EXPECT_LE(deltas[e.value].edram, bound);
+  }
+}
+
+TEST(DeltaTest, MisfitPlacementRejected) {
+  graph::TaskGraph g("misfit");
+  const auto a = g.add_task(
+      graph::Task{"A", graph::TaskKind::kConvolution, TimeUnits{4}});
+  const auto b = g.add_task(
+      graph::Task{"B", graph::TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, 1_KiB);
+  const std::vector<sched::TaskPlacement> placement{
+      {0, TimeUnits{2}}, {1, TimeUnits{0}}};  // A ends at 6 > period 5
+  EXPECT_THROW(
+      compute_edge_deltas(g, placement, TimeUnits{5}, config()),
+      ContractViolation);
+}
+
+TEST(RequiredDistanceTest, RejectsNonPositivePeriod) {
+  EXPECT_THROW(required_distance(TimeUnits{0}, TimeUnits{1}, TimeUnits{1},
+                                 TimeUnits{0}, TimeUnits{0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::retiming

@@ -1,0 +1,109 @@
+#include "retiming/retiming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+
+namespace paraconv::retiming {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+TaskGraph diamond() {
+  TaskGraph g("diamond");
+  const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId b = g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId c = g.add_task(Task{"C", TaskKind::kConvolution, TimeUnits{1}});
+  const NodeId d = g.add_task(Task{"D", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, 1_KiB);  // edge 0
+  g.add_ipr(a, c, 1_KiB);  // edge 1
+  g.add_ipr(b, d, 1_KiB);  // edge 2
+  g.add_ipr(c, d, 1_KiB);  // edge 3
+  return g;
+}
+
+TEST(MinimalRetimingTest, LongestPathOfDistances) {
+  const TaskGraph g = diamond();
+  const Retiming r = minimal_retiming(g, {1, 0, 2, 1});
+  EXPECT_EQ(r.value[3], 0);  // sink
+  EXPECT_EQ(r.value[1], 2);  // B: edge 2
+  EXPECT_EQ(r.value[2], 1);  // C: edge 3
+  EXPECT_EQ(r.value[0], 3);  // A: max(1+2, 0+1)
+  EXPECT_EQ(r.r_max(), 3);
+}
+
+TEST(MinimalRetimingTest, ZeroDistancesNeedNoRetiming) {
+  const TaskGraph g = diamond();
+  const Retiming r = minimal_retiming(g, {0, 0, 0, 0});
+  EXPECT_EQ(r.r_max(), 0);
+}
+
+TEST(MinimalRetimingTest, IsAlwaysLegal) {
+  graph::GeneratorConfig gen;
+  gen.vertices = 60;
+  gen.edges = 150;
+  gen.seed = 4;
+  const TaskGraph g = graph::generate_layered_dag(gen);
+  std::vector<int> required(g.edge_count());
+  for (std::size_t e = 0; e < required.size(); ++e) {
+    required[e] = static_cast<int>(e % 3);  // distances in {0,1,2}
+  }
+  const Retiming r = minimal_retiming(g, required);
+  EXPECT_TRUE(is_legal(g, r, required));
+}
+
+TEST(MinimalRetimingTest, IsMinimal) {
+  // Reducing any positive retiming value by one breaks legality for graphs
+  // where each value is forced (a simple chain makes every value tight).
+  TaskGraph g("chain");
+  NodeId prev = g.add_task(Task{"t0", TaskKind::kConvolution, TimeUnits{1}});
+  for (int i = 1; i < 4; ++i) {
+    const NodeId cur = g.add_task(
+        Task{"t" + std::to_string(i), TaskKind::kConvolution, TimeUnits{1}});
+    g.add_ipr(prev, cur, 1_KiB);
+    prev = cur;
+  }
+  const std::vector<int> required{1, 1, 1};
+  const Retiming r = minimal_retiming(g, required);
+  EXPECT_EQ(r.r_max(), 3);
+  for (std::size_t i = 0; i < r.value.size(); ++i) {
+    if (r.value[i] == 0) continue;
+    Retiming lowered = r;
+    --lowered.value[i];
+    EXPECT_FALSE(is_legal(g, lowered, required)) << "node " << i;
+  }
+}
+
+TEST(IsLegalTest, DetectsViolations) {
+  const TaskGraph g = diamond();
+  const std::vector<int> required{1, 0, 0, 0};
+  Retiming r;
+  r.value = {0, 0, 0, 0};  // edge 0 needs distance 1
+  EXPECT_FALSE(is_legal(g, r, required));
+  r.value = {1, 0, 0, 0};
+  EXPECT_TRUE(is_legal(g, r, required));
+  r.value = {1, -1, 0, 0};  // negative value
+  EXPECT_FALSE(is_legal(g, r, required));
+  r.value = {1, 0, 0};  // wrong arity
+  EXPECT_FALSE(is_legal(g, r, required));
+}
+
+TEST(RealizedDistancesTest, MatchesValueDifferences) {
+  const TaskGraph g = diamond();
+  Retiming r;
+  r.value = {3, 2, 1, 0};
+  const auto d = realized_distances(g, r);
+  EXPECT_EQ(d, (std::vector<int>{1, 2, 2, 1}));
+}
+
+TEST(MinimalRetimingTest, RejectsInvalidArguments) {
+  const TaskGraph g = diamond();
+  EXPECT_THROW(minimal_retiming(g, {1, 0}), ContractViolation);
+  EXPECT_THROW(minimal_retiming(g, {1, 0, -1, 0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::retiming

@@ -1,0 +1,74 @@
+#include "sched/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::sched {
+namespace {
+
+TEST(BoundsTest, PeriodBoundHandValues) {
+  const graph::TaskGraph g = graph::motivational_example();
+  // Five unit tasks: W = 5, c_max = 1.
+  EXPECT_EQ(period_lower_bound(g, 4).value, 2);   // ceil(5/4)
+  EXPECT_EQ(period_lower_bound(g, 5).value, 1);
+  EXPECT_EQ(period_lower_bound(g, 1).value, 5);
+}
+
+TEST(BoundsTest, RetimingBoundHandValues) {
+  const graph::TaskGraph g = graph::motivational_example();
+  // Critical path = 3 (three unit-time levels).
+  EXPECT_EQ(graph::critical_path_length(g).value, 3);
+  EXPECT_EQ(retiming_lower_bound(g, TimeUnits{1}), 2);
+  EXPECT_EQ(retiming_lower_bound(g, TimeUnits{2}), 1);
+  EXPECT_EQ(retiming_lower_bound(g, TimeUnits{3}), 0);
+  EXPECT_EQ(retiming_lower_bound(g, TimeUnits{100}), 0);
+}
+
+struct Cell {
+  const char* benchmark;
+  int pe_count;
+};
+
+class BoundsPropertyTest : public testing::TestWithParam<Cell> {};
+
+TEST_P(BoundsPropertyTest, EveryEmittedScheduleRespectsBothBounds) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(GetParam().benchmark));
+  const pim::PimConfig config = pim::PimConfig::neurocube(GetParam().pe_count);
+
+  for (const core::PackerKind packer :
+       {core::PackerKind::kTopological, core::PackerKind::kLpt}) {
+    core::ParaConvOptions options;
+    options.packer = packer;
+    const core::ParaConvResult r =
+        core::ParaConv(config, options).schedule(g);
+    EXPECT_GE(r.kernel.period, period_lower_bound(g, config.pe_count));
+    EXPECT_GE(r.metrics.r_max, retiming_lower_bound(g, r.kernel.period));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundsPropertyTest,
+    testing::Values(Cell{"cat", 16}, Cell{"flower", 64},
+                    Cell{"character-2", 32}, Cell{"shortest-path", 16},
+                    Cell{"protein", 64}),
+    [](const testing::TestParamInfo<Cell>& pi) {
+      std::string name = std::string(pi.param.benchmark) + "_" +
+                         std::to_string(pi.param.pe_count);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(BoundsTest, RejectsInvalidArguments) {
+  const graph::TaskGraph g = graph::motivational_example();
+  EXPECT_THROW(period_lower_bound(g, 0), ContractViolation);
+  EXPECT_THROW(retiming_lower_bound(g, TimeUnits{0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::sched

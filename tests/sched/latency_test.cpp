@@ -1,0 +1,104 @@
+#include "sched/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "core/sparta.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::sched {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+/// Chain a->b->c, unit tasks, period 2, retiming 2/1/0 (fully pipelined).
+struct Fixture {
+  TaskGraph g{"latency"};
+  KernelSchedule kernel;
+
+  Fixture() {
+    const NodeId a = g.add_task(Task{"a", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId b = g.add_task(Task{"b", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId c = g.add_task(Task{"c", TaskKind::kConvolution, TimeUnits{1}});
+    g.add_ipr(a, b, 1_KiB);
+    g.add_ipr(b, c, 1_KiB);
+    kernel.period = TimeUnits{2};
+    kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                        TaskPlacement{1, TimeUnits{0}},
+                        TaskPlacement{2, TimeUnits{1}}};
+    kernel.retiming = {2, 1, 0};
+    kernel.distance = {1, 1};
+    kernel.allocation = {pim::AllocSite::kCache, pim::AllocSite::kCache};
+  }
+};
+
+TEST(LatencyTest, HandComputedChain) {
+  const Fixture f;
+  const LatencyReport report = iteration_latency(f.g, f.kernel);
+  // a at window offset 0 (start 0); b window 1 (start 2); c window 2
+  // (start 5, finish 6): latency 6, spanning 3 windows.
+  EXPECT_EQ(report.iteration_latency.value, 6);
+  EXPECT_EQ(report.windows_spanned, 3);
+  EXPECT_EQ(report.period.value, 2);
+}
+
+TEST(LatencyTest, NoRetimingLatencyStaysInOneWindow) {
+  Fixture f;
+  f.kernel.period = TimeUnits{3};
+  f.kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                        TaskPlacement{0, TimeUnits{1}},
+                        TaskPlacement{0, TimeUnits{2}}};
+  f.kernel.retiming = {0, 0, 0};
+  const LatencyReport report = iteration_latency(f.g, f.kernel);
+  EXPECT_EQ(report.windows_spanned, 1);
+  EXPECT_EQ(report.iteration_latency.value, 3);
+}
+
+TEST(LatencyTest, RetimingTradesLatencyForThroughput) {
+  // Para-CONV's per-iteration completion interval (period) shrinks versus
+  // the baseline, but single-iteration latency can only grow or match the
+  // compacted window.
+  for (const char* name : {"flower", "stock-predict", "shortest-path"}) {
+    const graph::TaskGraph g =
+        graph::build_paper_benchmark(graph::paper_benchmark(name));
+    const pim::PimConfig config = pim::PimConfig::neurocube(32);
+    const core::ParaConvResult ours = core::ParaConv(config).schedule(g);
+    const LatencyReport report = iteration_latency(g, ours.kernel);
+
+    EXPECT_GE(report.iteration_latency, ours.kernel.period) << name;
+    EXPECT_EQ(report.windows_spanned, 1 + ours.metrics.r_max) << name;
+
+    // Latency is bounded by the full pipeline depth.
+    EXPECT_LE(report.iteration_latency.value,
+              (ours.metrics.r_max + 1) * ours.kernel.period.value)
+        << name;
+  }
+}
+
+TEST(LatencyTest, LatencyAtLeastCriticalPath) {
+  // No schedule can return one input's result faster than the dependency
+  // chain allows.
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("character-1"));
+  const core::ParaConvResult r =
+      core::ParaConv(pim::PimConfig::neurocube(64)).schedule(g);
+  EXPECT_GE(iteration_latency(g, r.kernel).iteration_latency,
+            graph::critical_path_length(g));
+}
+
+TEST(LatencyTest, RejectsInvalidArguments) {
+  const Fixture f;
+  KernelSchedule broken = f.kernel;
+  broken.retiming.clear();
+  EXPECT_THROW(iteration_latency(f.g, broken), ContractViolation);
+  broken = f.kernel;
+  broken.period = TimeUnits{0};
+  EXPECT_THROW(iteration_latency(f.g, broken), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::sched

@@ -1,0 +1,166 @@
+#include "sched/packer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/units.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generator.hpp"
+
+namespace paraconv::sched {
+namespace {
+
+graph::TaskGraph random_graph(std::size_t v, std::size_t e,
+                              std::uint64_t seed) {
+  graph::GeneratorConfig config;
+  config.vertices = v;
+  config.edges = e;
+  config.seed = seed;
+  return graph::generate_layered_dag(config);
+}
+
+/// No two tasks on the same PE overlap, and every task fits in [0, period].
+void expect_resource_feasible(const graph::TaskGraph& g, const Packing& p,
+                              int pe_count) {
+  ASSERT_EQ(p.placement.size(), g.node_count());
+  std::vector<graph::NodeId> order = g.nodes();
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              if (p.placement[a.value].pe != p.placement[b.value].pe) {
+                return p.placement[a.value].pe < p.placement[b.value].pe;
+              }
+              return p.placement[a.value].start < p.placement[b.value].start;
+            });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const TaskPlacement& place = p.placement[order[i].value];
+    EXPECT_GE(place.pe, 0);
+    EXPECT_LT(place.pe, pe_count);
+    EXPECT_GE(place.start, TimeUnits{0});
+    EXPECT_LE(place.start + g.task(order[i]).exec_time, p.period);
+    if (i > 0) {
+      const graph::NodeId prev = order[i - 1];
+      if (p.placement[prev.value].pe == place.pe) {
+        EXPECT_LE(p.placement[prev.value].start + g.task(prev).exec_time,
+                  place.start);
+      }
+    }
+  }
+}
+
+struct PackCase {
+  std::size_t vertices;
+  std::size_t edges;
+  int pe_count;
+  std::uint64_t seed;
+};
+
+class PackerPropertyTest : public testing::TestWithParam<PackCase> {};
+
+TEST_P(PackerPropertyTest, LptPackingIsFeasibleAndTight) {
+  const auto& c = GetParam();
+  const graph::TaskGraph g = random_graph(c.vertices, c.edges, c.seed);
+  const Packing p = pack_ignore_dependencies(g, c.pe_count);
+  expect_resource_feasible(g, p, c.pe_count);
+
+  // Lower bounds: max task time and mean load. Upper bound: LPT guarantee.
+  const std::int64_t work = g.total_work().value;
+  const std::int64_t lower =
+      std::max(g.max_exec_time().value, ceil_div(work, c.pe_count));
+  EXPECT_GE(p.period.value, lower);
+  EXPECT_LE(p.period.value,
+            ceil_div(work, c.pe_count) + g.max_exec_time().value);
+}
+
+TEST_P(PackerPropertyTest, TopologicalPackingIsFeasibleAndOrdersProducers) {
+  const auto& c = GetParam();
+  const graph::TaskGraph g = random_graph(c.vertices, c.edges, c.seed);
+  const Packing p = pack_topological(g, c.pe_count);
+  expect_resource_feasible(g, p, c.pe_count);
+  EXPECT_LE(p.period.value, ceil_div(g.total_work().value, c.pe_count) +
+                                g.max_exec_time().value);
+
+  // Producers never start after consumers (starts are monotone in
+  // topological position under least-loaded assignment).
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    EXPECT_LE(p.placement[ipr.src.value].start,
+              p.placement[ipr.dst.value].start);
+  }
+}
+
+TEST_P(PackerPropertyTest, ListScheduleRespectsDependencies) {
+  const auto& c = GetParam();
+  const graph::TaskGraph g = random_graph(c.vertices, c.edges, c.seed);
+  std::vector<TimeUnits> transfer(g.edge_count(), TimeUnits{2});
+  const ListScheduleResult r = list_schedule(g, c.pe_count, transfer);
+
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    const TaskPlacement& prod = r.placement[ipr.src.value];
+    const TaskPlacement& cons = r.placement[ipr.dst.value];
+    const TimeUnits hand_off =
+        prod.pe == cons.pe ? TimeUnits{0} : transfer[e.value];
+    EXPECT_LE(prod.start + g.task(ipr.src).exec_time + hand_off, cons.start);
+  }
+  EXPECT_GE(r.makespan, graph::critical_path_length(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PackerPropertyTest,
+    testing::Values(PackCase{9, 21, 4, 1}, PackCase{9, 21, 16, 2},
+                    PackCase{50, 130, 8, 3}, PackCase{50, 130, 32, 4},
+                    PackCase{100, 260, 16, 5}, PackCase{100, 260, 64, 6},
+                    PackCase{200, 520, 64, 7}, PackCase{30, 100, 1, 8}));
+
+TEST(PackerTest, SinglePeSerializesEverything) {
+  const graph::TaskGraph g = random_graph(20, 50, 9);
+  const Packing p = pack_ignore_dependencies(g, 1);
+  EXPECT_EQ(p.period, g.total_work());
+}
+
+TEST(PackerTest, MorePesNeverIncreasePeriod) {
+  const graph::TaskGraph g = random_graph(64, 160, 10);
+  TimeUnits prev{std::numeric_limits<std::int64_t>::max()};
+  for (const int pe : {1, 2, 4, 8, 16, 32}) {
+    const Packing p = pack_ignore_dependencies(g, pe);
+    EXPECT_LE(p.period, prev);
+    prev = p.period;
+  }
+}
+
+TEST(PackerTest, DeterministicPlacement) {
+  const graph::TaskGraph g = random_graph(40, 100, 11);
+  const Packing a = pack_ignore_dependencies(g, 8);
+  const Packing b = pack_ignore_dependencies(g, 8);
+  for (std::size_t i = 0; i < a.placement.size(); ++i) {
+    EXPECT_EQ(a.placement[i].pe, b.placement[i].pe);
+    EXPECT_EQ(a.placement[i].start, b.placement[i].start);
+  }
+}
+
+TEST(PackerTest, RejectsInvalidArguments) {
+  const graph::TaskGraph g = random_graph(10, 20, 12);
+  EXPECT_THROW(pack_ignore_dependencies(g, 0), ContractViolation);
+  EXPECT_THROW(pack_topological(g, 0), ContractViolation);
+  EXPECT_THROW(list_schedule(g, 4, {}), ContractViolation);
+}
+
+TEST(ListScheduleTest, ChainOnManyPesPaysCriticalPath) {
+  graph::TaskGraph g("chain");
+  graph::NodeId prev = g.add_task(
+      graph::Task{"t0", graph::TaskKind::kConvolution, TimeUnits{3}});
+  for (int i = 1; i < 5; ++i) {
+    const graph::NodeId cur = g.add_task(graph::Task{
+        "t" + std::to_string(i), graph::TaskKind::kConvolution, TimeUnits{3}});
+    g.add_ipr(prev, cur, 1_KiB);
+    prev = cur;
+  }
+  const ListScheduleResult r =
+      list_schedule(g, 16, std::vector<TimeUnits>(4, TimeUnits{5}));
+  // EFT keeps the chain on one PE (no transfers): makespan = 15.
+  EXPECT_EQ(r.makespan.value, 15);
+}
+
+}  // namespace
+}  // namespace paraconv::sched

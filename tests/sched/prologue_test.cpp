@@ -1,0 +1,80 @@
+#include "sched/prologue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::sched {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+/// Chain A -> B -> C with retiming 2, 1, 0; period 3; all exec 1.
+struct Fixture {
+  TaskGraph g{"prologue"};
+  KernelSchedule kernel;
+
+  Fixture() {
+    const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId b = g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId c = g.add_task(Task{"C", TaskKind::kConvolution, TimeUnits{1}});
+    g.add_ipr(a, b, 1_KiB);
+    g.add_ipr(b, c, 1_KiB);
+    kernel.period = TimeUnits{3};
+    kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                        TaskPlacement{1, TimeUnits{0}},
+                        TaskPlacement{2, TimeUnits{0}}};
+    kernel.retiming = {2, 1, 0};
+    kernel.distance = {1, 1};
+    kernel.allocation = {pim::AllocSite::kCache, pim::AllocSite::kCache};
+  }
+};
+
+TEST(PrologueTest, ProfileRampsUp) {
+  const Fixture f;
+  const auto profile = prologue_profile(f.g, f.kernel, 3);
+  ASSERT_EQ(profile.size(), 3U);  // R_max + 1 windows
+  EXPECT_EQ(profile[0].active_tasks, 1U);  // only A (r=2)
+  EXPECT_EQ(profile[1].active_tasks, 2U);  // A, B
+  EXPECT_EQ(profile[2].active_tasks, 3U);  // steady state
+}
+
+TEST(PrologueTest, UtilizationMonotoneAndBounded) {
+  const Fixture f;
+  const auto profile = prologue_profile(f.g, f.kernel, 3);
+  double prev = 0.0;
+  for (const WindowProfile& w : profile) {
+    EXPECT_GE(w.utilization, prev);
+    EXPECT_LE(w.utilization, 1.0 + 1e-9);
+    prev = w.utilization;
+  }
+  // Steady state: 3 unit-time tasks over 3 PEs x 3 time units.
+  EXPECT_NEAR(profile.back().utilization, 3.0 / 9.0, 1e-9);
+}
+
+TEST(PrologueTest, PrologueTimeIsRmaxTimesPeriod) {
+  const Fixture f;
+  EXPECT_EQ(prologue_time(f.kernel).value, 6);
+}
+
+TEST(PrologueTest, NoRetimingMeansSingleSteadyWindow) {
+  Fixture f;
+  f.kernel.retiming = {0, 0, 0};
+  f.kernel.distance = {0, 0};
+  const auto profile = prologue_profile(f.g, f.kernel, 3);
+  ASSERT_EQ(profile.size(), 1U);
+  EXPECT_EQ(profile[0].active_tasks, 3U);
+  EXPECT_EQ(prologue_time(f.kernel).value, 0);
+}
+
+TEST(PrologueTest, RejectsInvalidArguments) {
+  const Fixture f;
+  EXPECT_THROW(prologue_profile(f.g, f.kernel, 0), ContractViolation);
+  KernelSchedule broken = f.kernel;
+  broken.retiming.clear();
+  EXPECT_THROW(prologue_profile(f.g, broken, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::sched

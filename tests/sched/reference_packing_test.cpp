@@ -1,0 +1,70 @@
+// Packer quality against the exhaustive optimum on tiny instances: greedy
+// load balancing is not optimal in general, but must stay within its
+// theoretical bound of the brute-force minimal period.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::sched {
+namespace {
+
+/// Minimal makespan over all PE assignments (precedence-free packing).
+TimeUnits brute_force_min_period(const graph::TaskGraph& g, int pe_count) {
+  const std::size_t n = g.node_count();
+  std::vector<TimeUnits> load(static_cast<std::size_t>(pe_count),
+                              TimeUnits{0});
+  TimeUnits best{std::numeric_limits<std::int64_t>::max()};
+  std::function<void(std::size_t)> assign = [&](std::size_t v) {
+    if (v == n) {
+      TimeUnits makespan{0};
+      for (const TimeUnits l : load) makespan = std::max(makespan, l);
+      best = std::min(best, makespan);
+      return;
+    }
+    for (int pe = 0; pe < pe_count; ++pe) {
+      load[static_cast<std::size_t>(pe)] +=
+          g.task(graph::NodeId{static_cast<std::uint32_t>(v)}).exec_time;
+      assign(v + 1);
+      load[static_cast<std::size_t>(pe)] = load[static_cast<std::size_t>(pe)] -
+          g.task(graph::NodeId{static_cast<std::uint32_t>(v)}).exec_time;
+    }
+  };
+  assign(0);
+  return best;
+}
+
+class ReferencePackingTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReferencePackingTest, PackersWithinBoundsOfOptimum) {
+  Rng rng(GetParam());
+  graph::GeneratorConfig config;
+  config.vertices = static_cast<std::size_t>(rng.uniform_int(3, 9));
+  config.edges = config.vertices;
+  config.seed = GetParam() * 31;
+  config.min_exec = 1;
+  config.max_exec = 9;
+  const graph::TaskGraph g = graph::generate_layered_dag(config);
+  const int pe_count = static_cast<int>(rng.uniform_int(2, 3));
+
+  const TimeUnits optimum = brute_force_min_period(g, pe_count);
+  const TimeUnits lpt = pack_ignore_dependencies(g, pe_count).period;
+  const TimeUnits topo = pack_topological(g, pe_count).period;
+
+  EXPECT_GE(lpt, optimum);
+  EXPECT_GE(topo, optimum);
+  // LPT's 4/3 - 1/(3m) approximation guarantee for makespan scheduling.
+  EXPECT_LE(3 * lpt.value, 4 * optimum.value + g.max_exec_time().value);
+  // Greedy (non-sorted) guarantee: within max task time of the optimum's
+  // balance bound.
+  EXPECT_LE(topo.value, optimum.value + g.max_exec_time().value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferencePackingTest,
+                         testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace paraconv::sched

@@ -1,0 +1,95 @@
+#include "sched/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/para_conv.hpp"
+#include "graph/generator.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "sched/validator.hpp"
+
+namespace paraconv::sched {
+namespace {
+
+graph::TaskGraph bench(const char* name) {
+  return graph::build_paper_benchmark(graph::paper_benchmark(name));
+}
+
+TEST(RefineTest, NeverWorsensPeriodOrDistanceSum) {
+  for (const char* name : {"flower", "character-2", "stock-predict"}) {
+    const graph::TaskGraph g = bench(name);
+    const pim::PimConfig config = pim::PimConfig::neurocube(16);
+    const Packing initial = pack_topological(g, 16);
+    const RefineResult r = refine_packing(g, initial, config);
+    EXPECT_LE(r.packing.period, initial.period) << name;
+    EXPECT_LE(r.distance_sum_after, r.distance_sum_before) << name;
+  }
+}
+
+TEST(RefineTest, ZeroStepsIsIdentityCompaction) {
+  const graph::TaskGraph g = bench("car");
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  const Packing initial = pack_topological(g, 16);
+  RefineOptions options;
+  options.max_steps = 0;
+  const RefineResult r = refine_packing(g, initial, config, options);
+  EXPECT_EQ(r.accepted_moves, 0);
+  EXPECT_EQ(r.distance_sum_after, r.distance_sum_before);
+  EXPECT_EQ(r.packing.period, initial.period);
+}
+
+TEST(RefineTest, RefinedPackingStaysResourceFeasible) {
+  const graph::TaskGraph g = bench("character-1");
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  RefineOptions options;
+  options.max_steps = 512;
+  const RefineResult r =
+      refine_packing(g, pack_topological(g, 16), config, options);
+
+  // Tasks on the same PE must not overlap and must fit the period.
+  std::vector<TimeUnits> load(16, TimeUnits{0});
+  for (const graph::NodeId v : g.nodes()) {
+    const TaskPlacement& p = r.packing.placement[v.value];
+    ASSERT_GE(p.pe, 0);
+    ASSERT_LT(p.pe, 16);
+    EXPECT_EQ(p.start, load[static_cast<std::size_t>(p.pe)]);  // compacted
+    load[static_cast<std::size_t>(p.pe)] += g.task(v).exec_time;
+  }
+  for (const TimeUnits l : load) EXPECT_LE(l, r.packing.period);
+}
+
+TEST(RefineTest, DeterministicForFixedSeed) {
+  const graph::TaskGraph g = bench("flower");
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  const Packing initial = pack_topological(g, 16);
+  const RefineResult a = refine_packing(g, initial, config);
+  const RefineResult b = refine_packing(g, initial, config);
+  EXPECT_EQ(a.distance_sum_after, b.distance_sum_after);
+  EXPECT_EQ(a.accepted_moves, b.accepted_moves);
+}
+
+TEST(RefineTest, EndToEndThroughParaConvStaysValid) {
+  const graph::TaskGraph g = bench("stock-predict");
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  core::ParaConvOptions options;
+  options.refine_steps = 256;
+  const core::ParaConvResult refined =
+      core::ParaConv(config, options).schedule(g);
+  EXPECT_TRUE(sched::is_valid_kernel_schedule(g, refined.kernel, config,
+                                              config.total_cache_bytes()));
+
+  const core::ParaConvResult plain = core::ParaConv(config).schedule(g);
+  EXPECT_LE(refined.metrics.iteration_time, plain.metrics.iteration_time);
+}
+
+TEST(RefineTest, RejectsInvalidArguments) {
+  const graph::TaskGraph g = bench("cat");
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  RefineOptions options;
+  options.max_steps = -1;
+  EXPECT_THROW(refine_packing(g, pack_topological(g, 16), config, options),
+               ContractViolation);
+  EXPECT_THROW(refine_packing(g, Packing{}, config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::sched

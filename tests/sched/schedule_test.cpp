@@ -1,0 +1,105 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::sched {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+/// A(1) -> B(1) with retiming r(A)=1, r(B)=0: distance 1, period 2.
+struct Fixture {
+  TaskGraph g{"expand"};
+  KernelSchedule kernel;
+
+  Fixture() {
+    const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{1}});
+    const NodeId b = g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{1}});
+    g.add_ipr(a, b, 1_KiB);
+    kernel.period = TimeUnits{2};
+    kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                        TaskPlacement{1, TimeUnits{0}}};
+    kernel.retiming = {1, 0};
+    kernel.distance = {1};
+    kernel.allocation = {pim::AllocSite::kCache};
+  }
+};
+
+TEST(KernelScheduleTest, RMaxAndCachedCount) {
+  const Fixture f;
+  EXPECT_EQ(f.kernel.r_max(), 1);
+  EXPECT_EQ(f.kernel.cached_edge_count(), 1U);
+}
+
+TEST(ExpandScheduleTest, WindowAssignment) {
+  const Fixture f;
+  const ExpandedSchedule x = expand_schedule(f.g, f.kernel, 3);
+  ASSERT_EQ(x.instances.size(), 6U);
+  // Task A (r=1) of iteration L runs in window L; task B (r=0) in window
+  // L+1: A leads B by exactly the retiming distance.
+  for (const TaskInstance& inst : x.instances) {
+    if (inst.node.value == 0) {
+      EXPECT_EQ(inst.window, inst.iteration);
+    } else {
+      EXPECT_EQ(inst.window, inst.iteration + 1);
+    }
+    EXPECT_EQ(inst.start.value,
+              inst.window * 2 +
+                  f.kernel.placement[inst.node.value].start.value);
+  }
+}
+
+TEST(ExpandScheduleTest, PrologueAndMakespan) {
+  const Fixture f;
+  const ExpandedSchedule x = expand_schedule(f.g, f.kernel, 3);
+  EXPECT_EQ(x.prologue.value, 2);  // R_max(1) * p(2)
+  // Last instance: B of iteration 2 in window 3, start 6, finish 7.
+  EXPECT_EQ(x.makespan.value, 7);
+}
+
+TEST(ExpandScheduleTest, InstancesSortedByStart) {
+  const Fixture f;
+  const ExpandedSchedule x = expand_schedule(f.g, f.kernel, 5);
+  for (std::size_t i = 1; i < x.instances.size(); ++i) {
+    EXPECT_LE(x.instances[i - 1].start, x.instances[i].start);
+  }
+}
+
+TEST(ExpandScheduleTest, IterationCoverage) {
+  const Fixture f;
+  const ExpandedSchedule x = expand_schedule(f.g, f.kernel, 4);
+  std::vector<int> per_iteration(4, 0);
+  for (const TaskInstance& inst : x.instances) {
+    ASSERT_GE(inst.iteration, 0);
+    ASSERT_LT(inst.iteration, 4);
+    ++per_iteration[static_cast<std::size_t>(inst.iteration)];
+  }
+  for (const int count : per_iteration) EXPECT_EQ(count, 2);
+}
+
+TEST(ExpandScheduleTest, ZeroRetimingHasNoPrologue) {
+  Fixture f;
+  f.kernel.retiming = {0, 0};
+  f.kernel.distance = {0};
+  f.kernel.placement[1].start = TimeUnits{1};
+  const ExpandedSchedule x = expand_schedule(f.g, f.kernel, 2);
+  EXPECT_EQ(x.prologue.value, 0);
+  EXPECT_EQ(x.makespan.value, 4);  // B of iteration 1: start 3, finish 4
+}
+
+TEST(ExpandScheduleTest, RejectsInvalidArguments) {
+  const Fixture f;
+  EXPECT_THROW(expand_schedule(f.g, f.kernel, 0), ContractViolation);
+  KernelSchedule broken = f.kernel;
+  broken.placement.clear();
+  EXPECT_THROW(expand_schedule(f.g, broken, 1), ContractViolation);
+  broken = f.kernel;
+  broken.period = TimeUnits{0};
+  EXPECT_THROW(expand_schedule(f.g, broken, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace paraconv::sched

@@ -1,0 +1,147 @@
+#include "sched/validator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paraconv::sched {
+namespace {
+
+using graph::NodeId;
+using graph::Task;
+using graph::TaskGraph;
+using graph::TaskKind;
+
+pim::PimConfig config() {
+  pim::PimConfig cfg;
+  cfg.pe_count = 2;
+  cfg.pe_cache_bytes = 4_KiB;
+  cfg.cache_bytes_per_unit = 4 * 1024;  // 1 KiB -> 1 unit
+  cfg.edram_bytes_per_unit = 512;       // 1 KiB -> 2 units
+  cfg.validate();
+  return cfg;
+}
+
+/// A(2)@PE0:0 -> B(2)@PE1:3, cached 1 KiB edge, period 5, no retiming.
+struct Fixture {
+  TaskGraph g{"validator"};
+  KernelSchedule kernel;
+
+  Fixture() {
+    const NodeId a = g.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{2}});
+    const NodeId b = g.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{2}});
+    g.add_ipr(a, b, 1_KiB);
+    kernel.period = TimeUnits{5};
+    kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                        TaskPlacement{1, TimeUnits{3}}};
+    kernel.retiming = {0, 0};
+    kernel.distance = {0};
+    kernel.allocation = {pim::AllocSite::kCache};
+  }
+};
+
+TEST(ValidatorTest, AcceptsValidSchedule) {
+  const Fixture f;
+  EXPECT_TRUE(is_valid_kernel_schedule(f.g, f.kernel, config(), 8_KiB));
+}
+
+struct MutationCase {
+  const char* name;
+  void (*mutate)(KernelSchedule&);
+  const char* expected_fragment;
+};
+
+class ValidatorMutationTest : public testing::TestWithParam<MutationCase> {};
+
+TEST_P(ValidatorMutationTest, Rejected) {
+  Fixture f;
+  GetParam().mutate(f.kernel);
+  const auto issues =
+      validate_kernel_schedule(f.g, f.kernel, config(), 8_KiB);
+  ASSERT_FALSE(issues.empty()) << GetParam().name;
+  bool found = false;
+  for (const std::string& issue : issues) {
+    if (issue.find(GetParam().expected_fragment) != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "first issue: " << issues.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mutations, ValidatorMutationTest,
+    testing::Values(
+        MutationCase{"bad_pe",
+                     [](KernelSchedule& k) { k.placement[0].pe = 7; },
+                     "invalid PE"},
+        MutationCase{"negative_pe",
+                     [](KernelSchedule& k) { k.placement[1].pe = -1; },
+                     "invalid PE"},
+        MutationCase{"task_outside_window",
+                     [](KernelSchedule& k) {
+                       k.placement[1].start = TimeUnits{4};
+                     },
+                     "does not fit"},
+        MutationCase{"negative_retiming",
+                     [](KernelSchedule& k) { k.retiming = {0, -1}; },
+                     "negative retiming"},
+        MutationCase{"overlap",
+                     [](KernelSchedule& k) {
+                       k.placement[1] = TaskPlacement{0, TimeUnits{1}};
+                     },
+                     "overlap"},
+        MutationCase{"distance_not_realized",
+                     [](KernelSchedule& k) { k.distance = {1}; },
+                     "do not provide"},
+        MutationCase{"data_not_ready",
+                     [](KernelSchedule& k) {
+                       k.placement[1].start = TimeUnits{2};
+                     },
+                     "not ready"},
+        MutationCase{"zero_period",
+                     [](KernelSchedule& k) { k.period = TimeUnits{0}; },
+                     "period"},
+        MutationCase{"size_mismatch",
+                     [](KernelSchedule& k) { k.distance.clear(); },
+                     "distance size"}),
+    [](const testing::TestParamInfo<MutationCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(ValidatorTest, SlowEdramTransferNeedsDistance) {
+  Fixture f;
+  f.kernel.allocation = {pim::AllocSite::kEdram};  // transfer now 2 units
+  // 0 + 2 + 2 = 4 > 3: not ready within the same window.
+  EXPECT_FALSE(is_valid_kernel_schedule(f.g, f.kernel, config(), 8_KiB));
+
+  // One iteration of retiming fixes it: 4 <= 3 + 1*5.
+  f.kernel.retiming = {1, 0};
+  f.kernel.distance = {1};
+  EXPECT_TRUE(is_valid_kernel_schedule(f.g, f.kernel, config(), 8_KiB));
+}
+
+TEST(ValidatorTest, CacheCapacityEnforced) {
+  const Fixture f;
+  const auto issues =
+      validate_kernel_schedule(f.g, f.kernel, config(), Bytes{512});
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().find("capacity"), std::string::npos);
+}
+
+TEST(ValidatorTest, TransferClampedToPeriod) {
+  // A huge eDRAM transfer is clamped to one period, so distance 2 always
+  // suffices (Theorem 3.1).
+  Fixture f;
+  TaskGraph g2{"clamp"};
+  const NodeId a =
+      g2.add_task(Task{"A", TaskKind::kConvolution, TimeUnits{2}});
+  const NodeId b =
+      g2.add_task(Task{"B", TaskKind::kConvolution, TimeUnits{2}});
+  g2.add_ipr(a, b, 64_KiB);  // raw eDRAM transfer = 128 units >> period
+  KernelSchedule k = f.kernel;
+  k.allocation = {pim::AllocSite::kEdram};
+  k.retiming = {2, 0};
+  k.distance = {2};
+  EXPECT_TRUE(is_valid_kernel_schedule(g2, k, config(), 8_KiB));
+}
+
+}  // namespace
+}  // namespace paraconv::sched

@@ -1,0 +1,251 @@
+// paraconv_cli — command-line front end to the Para-CONV library.
+//
+// Commands:
+//   list                       the twelve paper benchmarks
+//   run      [flags]           schedule one benchmark, print metrics
+//   dot      [flags]           emit the benchmark graph in Graphviz DOT
+//   csv      [flags]           full 12x3 experiment grid as CSV
+//   explain  [flags]           per-edge case census and allocation detail
+//   report   [flags]           self-contained HTML/SVG schedule report
+//
+// Try: paraconv_cli run --benchmark flower --pes 32 --gantt
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "paraconv.hpp"
+#include "report/csv.hpp"
+#include "report/gantt.hpp"
+#include "report/html.hpp"
+#include "report/json.hpp"
+#include "report/trace.hpp"
+
+namespace {
+
+using namespace paraconv;
+
+core::AllocatorKind parse_allocator(const std::string& name) {
+  if (name == "dp") return core::AllocatorKind::kKnapsackDp;
+  if (name == "greedy-density") return core::AllocatorKind::kGreedyDensity;
+  if (name == "greedy-deadline") return core::AllocatorKind::kGreedyDeadline;
+  if (name == "critical-path") return core::AllocatorKind::kCriticalPath;
+  if (name == "energy-aware") return core::AllocatorKind::kEnergyAware;
+  if (name == "residency-constrained") {
+    return core::AllocatorKind::kResidencyConstrained;
+  }
+  PARACONV_REQUIRE(false, "unknown allocator: " + name +
+                              " (expected dp, greedy-density, "
+                              "greedy-deadline, critical-path or "
+                              "energy-aware)");
+  return core::AllocatorKind::kKnapsackDp;
+}
+
+int cmd_list() {
+  TablePrinter table("Paper benchmarks (Table 1)");
+  table.set_header({"name", "vertices", "edges"});
+  for (const graph::PaperBenchmark& b : graph::paper_benchmarks()) {
+    table.add_row({b.name, std::to_string(b.vertices),
+                   std::to_string(b.edges)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const FlagParser& flags) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(flags.get_string("benchmark")));
+  const pim::PimConfig config =
+      pim::PimConfig::neurocube(static_cast<int>(flags.get_int("pes")));
+
+  core::ParaConvOptions options;
+  options.iterations = flags.get_int("iterations");
+  options.allocator = parse_allocator(flags.get_string("allocator"));
+  if (flags.get_string("packer") == "lpt") {
+    options.packer = core::PackerKind::kLpt;
+  } else if (flags.get_string("packer") == "modulo") {
+    options.packer = core::PackerKind::kModulo;
+  } else if (flags.get_string("packer") == "locality") {
+    options.packer = core::PackerKind::kLocality;
+  } else {
+    options.packer = core::PackerKind::kTopological;
+  }
+  const core::ParaConvResult ours =
+      core::ParaConv(config, options).schedule(g);
+
+  core::SpartaOptions base_options;
+  base_options.iterations = options.iterations;
+  const core::SpartaResult base =
+      core::Sparta(config, base_options).schedule(g);
+
+  if (flags.get_bool("json")) {
+    report::JsonValue out = report::JsonValue::object();
+    out.set("benchmark", g.name());
+    out.set("pe_count", config.pe_count);
+    out.set("para_conv", report::to_json(ours.metrics));
+    out.set("sparta", report::to_json(base.metrics));
+    out.set("schedule", report::to_json(g, ours.kernel));
+    if (flags.get_bool("machine")) {
+      pim::Machine machine(config);
+      out.set("machine", report::to_json(machine.run(
+                             g, ours.kernel,
+                             {.iterations = options.iterations})));
+    }
+    std::cout << out.dump(/*pretty=*/true) << "\n";
+    return 0;
+  }
+
+  TablePrinter table("'" + g.name() + "' on " +
+                     std::to_string(config.pe_count) + " PEs, " +
+                     std::to_string(options.iterations) + " iterations");
+  table.set_header({"metric", "SPARTA", "Para-CONV"});
+  table.add_row({"iteration time",
+                 std::to_string(base.metrics.iteration_time.value),
+                 std::to_string(ours.metrics.iteration_time.value)});
+  table.add_row({"R_max", "0", std::to_string(ours.metrics.r_max)});
+  table.add_row({"total time",
+                 std::to_string(base.metrics.total_time.value),
+                 std::to_string(ours.metrics.total_time.value)});
+  table.add_row({"IPRs in cache", std::to_string(base.metrics.cached_iprs),
+                 std::to_string(ours.metrics.cached_iprs)});
+  table.add_row({"off-chip/iter",
+                 format_bytes(base.metrics.offchip_bytes_per_iteration),
+                 format_bytes(ours.metrics.offchip_bytes_per_iteration)});
+  table.print(std::cout);
+  std::cout << "speedup: "
+            << format_fixed(core::speedup(base.metrics, ours.metrics), 2)
+            << "x\n";
+
+  if (flags.get_bool("gantt")) {
+    std::cout << "\n"
+              << report::render_kernel_gantt(g, ours.kernel, config.pe_count);
+  }
+  if (flags.get_bool("trace")) {
+    std::cout << "\n" << report::to_chrome_trace(g, ours.kernel) << "\n";
+  }
+  if (flags.get_bool("machine") && !flags.get_bool("json")) {
+    pim::Machine machine(config);
+    const pim::MachineStats stats = machine.run(
+        g, ours.kernel, {.iterations = std::min<std::int64_t>(
+                             options.iterations, 20)});
+    std::cout << "\nmachine replay: makespan " << stats.makespan.value
+              << ", eDRAM accesses " << stats.edram_accesses
+              << ", cache fallbacks " << stats.cache_fallbacks
+              << ", vault contention " << stats.vault_contention_events
+              << ", energy "
+              << format_fixed(stats.energy.total().value / 1e6, 2)
+              << " uJ\n";
+  }
+  return 0;
+}
+
+int cmd_report(const FlagParser& flags) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(flags.get_string("benchmark")));
+  const pim::PimConfig config =
+      pim::PimConfig::neurocube(static_cast<int>(flags.get_int("pes")));
+  const core::ParaConvResult result = core::ParaConv(config).schedule(g);
+  std::cout << report::render_html_report(g, config, result) << "\n";
+  return 0;
+}
+
+int cmd_dot(const FlagParser& flags) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(flags.get_string("benchmark")));
+  std::cout << graph::to_dot(g);
+  return 0;
+}
+
+int cmd_csv(const FlagParser& flags) {
+  const auto rows = bench_support::run_grid(flags.get_int("iterations"));
+  report::write_experiment_csv(std::cout, rows);
+  return 0;
+}
+
+int cmd_explain(const FlagParser& flags) {
+  const graph::TaskGraph g = graph::build_paper_benchmark(
+      graph::paper_benchmark(flags.get_string("benchmark")));
+  const pim::PimConfig config =
+      pim::PimConfig::neurocube(static_cast<int>(flags.get_int("pes")));
+  const core::ParaConvResult r = core::ParaConv(config).schedule(g);
+
+  std::size_t census[6] = {};
+  for (const retiming::EdgeDelta& d : r.deltas) {
+    ++census[static_cast<int>(retiming::classify(d)) - 1];
+  }
+  TablePrinter cases("Fig.-4 case census, '" + g.name() + "' @ " +
+                     std::to_string(config.pe_count) + " PEs");
+  cases.set_header({"case", "(cache,eDRAM)", "IPRs", "allocation-sensitive"});
+  const char* labels[6] = {"(0,0)", "(0,1)", "(0,2)",
+                           "(1,1)", "(1,2)", "(2,2)"};
+  const bool sensitive[6] = {false, true, true, false, true, false};
+  for (int c = 0; c < 6; ++c) {
+    cases.add_row({std::to_string(c + 1), labels[c],
+                   std::to_string(census[c]), sensitive[c] ? "yes" : "no"});
+  }
+  cases.print(std::cout);
+
+  std::cout << "\nsensitive IPRs competing for cache: " << r.items.size()
+            << "\ncached by the knapsack DP: " << r.metrics.cached_iprs
+            << " (" << format_bytes(r.metrics.cache_bytes_used) << " of "
+            << format_bytes(config.total_cache_bytes()) << ")"
+            << "\nR_max = " << r.metrics.r_max << ", prologue = "
+            << r.metrics.prologue_time.value << " time units\n";
+
+  const sched::LatencyReport latency = sched::iteration_latency(g, r.kernel);
+  const alloc::ResidencyProfile residency =
+      alloc::cache_residency(g, r.kernel, config.pe_count);
+  std::cout << "iteration latency: " << latency.iteration_latency.value
+            << " time units across " << latency.windows_spanned
+            << " windows (one result every " << latency.period.value
+            << ")\npeak concurrent cache residency: "
+            << format_bytes(residency.peak) << " per PE (capacity "
+            << format_bytes(config.pe_cache_bytes) << "), "
+            << format_bytes(residency.peak_total) << " array-wide\n";
+  return 0;
+}
+
+int usage(const FlagParser& flags) {
+  std::cout << "usage: paraconv_cli <list|run|dot|csv|explain|report>"
+               " [flags]\n\n"
+            << flags.usage();
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.add_string("benchmark", "flower", "paper benchmark name");
+  flags.add_int("pes", 32, "processing-engine count");
+  flags.add_int("iterations", 100, "application iterations");
+  flags.add_string("allocator", "dp",
+                   "dp | greedy-density | greedy-deadline | critical-path | "
+                   "energy-aware | residency-constrained");
+  flags.add_string("packer", "topo", "topo | lpt | locality | modulo");
+  flags.add_bool("gantt", false, "render the kernel schedule");
+  flags.add_bool("trace", false, "emit a chrome://tracing JSON timeline");
+  flags.add_bool("json", false, "emit JSON instead of tables");
+  flags.add_bool("machine", false, "replay on the machine model");
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  if (!flags.parse(args, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return usage(flags);
+  }
+  if (flags.positional().empty()) return usage(flags);
+
+  const std::string& command = flags.positional().front();
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(flags);
+    if (command == "dot") return cmd_dot(flags);
+    if (command == "report") return cmd_report(flags);
+    if (command == "csv") return cmd_csv(flags);
+    if (command == "explain") return cmd_explain(flags);
+    std::cerr << "error: unknown command '" << command << "'\n";
+    return usage(flags);
+  } catch (const paraconv::ContractViolation& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
