@@ -2,6 +2,10 @@
 // model that can be adaptively applied to different system architectures"
 // (Sec. 5). Sweeps PE count and per-PE cache size under a fixed silicon
 // budget and reports the throughput-optimal PIM configuration per workload.
+//
+// The silicon-budget grid is a dse::GridSpec evaluated by the parallel
+// sweep engine — the same enumeration/evaluation path as the CLI `sweep`
+// subcommand and the bench-harness experiment grid.
 #include <iostream>
 #include <optional>
 
@@ -35,50 +39,68 @@ int main() {
             << " tiles, cache = 1 tile per "
             << format_bytes(Bytes{area.bytes_per_tile}) << ").\n\n";
 
+  // One declarative grid: workloads x every in-budget (PEs, cache) point.
+  dse::GridSpec spec;
+  spec.iterations = 100;
   for (const std::string& name :
        {std::string{"character-2"}, std::string{"shortest-path"},
         std::string{"protein"}}) {
-    const graph::TaskGraph g =
-        graph::build_paper_benchmark(graph::paper_benchmark(name));
+    spec.cases.push_back({name, graph::build_paper_benchmark(
+                                    graph::paper_benchmark(name))});
+  }
+  for (const int pes : {8, 16, 32, 48, 64}) {
+    for (const std::int64_t cache_kib : {4LL, 16LL, 64LL}) {
+      const Bytes per_pe{cache_kib * 1024};
+      if (area.cost(pes, per_pe) > budget) continue;
+      pim::PimConfig config = pim::PimConfig::neurocube(pes);
+      config.pe_cache_bytes = per_pe;
+      spec.configs.push_back(config);
+    }
+  }
 
-    TablePrinter table("Benchmark '" + name + "'");
+  dse::SweepOptions options;
+  options.jobs = 0;  // all hardware threads; results identical to serial
+  options.with_baseline = false;
+  const dse::SweepResult sweep = dse::run_sweep(spec, options);
+
+  // Cells are grid-ordered (case-major), so each workload owns one
+  // contiguous block of configs.size() rows.
+  const std::size_t per_case = spec.configs.size();
+  for (std::size_t c = 0; c < spec.cases.size(); ++c) {
+    TablePrinter table("Benchmark '" + spec.cases[c].name + "'");
     table.set_header({"PEs", "cache/PE", "area", "kernel p", "R_max",
                       "total time", "best?"});
 
     std::optional<TimeUnits> best_time;
-    int best_row = -1;
-    std::vector<std::vector<std::string>> rows;
-    for (const int pes : {8, 16, 32, 48, 64}) {
-      for (const std::int64_t cache_kib : {4LL, 16LL, 64LL}) {
-        const Bytes per_pe{cache_kib * 1024};
-        const std::int64_t cost = area.cost(pes, per_pe);
-        if (cost > budget) continue;
-
-        pim::PimConfig config = pim::PimConfig::neurocube(pes);
-        config.pe_cache_bytes = per_pe;
-        const core::ParaConvResult r =
-            core::ParaConv(config, {.iterations = 100}).schedule(g);
-        rows.push_back({std::to_string(pes),
-                        std::to_string(cache_kib) + " KiB",
-                        std::to_string(cost),
-                        std::to_string(r.metrics.iteration_time.value),
-                        std::to_string(r.metrics.r_max),
-                        std::to_string(r.metrics.total_time.value), ""});
-        if (!best_time.has_value() || r.metrics.total_time < *best_time) {
-          best_time = r.metrics.total_time;
-          best_row = static_cast<int>(rows.size()) - 1;
-        }
+    std::size_t best_row = 0;
+    const std::size_t base = c * per_case;
+    for (std::size_t i = 0; i < per_case; ++i) {
+      const dse::CellResult& cell = sweep.cells[base + i];
+      if (!best_time.has_value() || cell.para.total_time < *best_time) {
+        best_time = cell.para.total_time;
+        best_row = i;
       }
     }
-    for (int i = 0; i < static_cast<int>(rows.size()); ++i) {
-      rows[static_cast<std::size_t>(i)][6] = (i == best_row) ? "<== best" : "";
-      table.add_row(rows[static_cast<std::size_t>(i)]);
+    for (std::size_t i = 0; i < per_case; ++i) {
+      const dse::CellResult& cell = sweep.cells[base + i];
+      table.add_row(
+          {std::to_string(cell.config.pe_count),
+           std::to_string(cell.config.pe_cache_bytes.value / 1024) + " KiB",
+           std::to_string(area.cost(cell.config.pe_count,
+                                    cell.config.pe_cache_bytes)),
+           std::to_string(cell.para.iteration_time.value),
+           std::to_string(cell.para.r_max),
+           std::to_string(cell.para.total_time.value),
+           i == best_row ? "<== best" : ""});
     }
     table.print(std::cout);
     std::cout << "\n";
   }
 
-  std::cout << "Reading: compute-starved workloads prefer spending tiles on "
+  std::cout << "Swept " << sweep.cells.size() << " cells on "
+            << sweep.jobs_used << " worker thread(s) in "
+            << format_fixed(sweep.wall_seconds, 3) << " s.\n"
+            << "Reading: compute-starved workloads prefer spending tiles on "
                "PEs; prologue-bound ones trade PEs for cache to cut "
                "retiming.\n";
   return 0;

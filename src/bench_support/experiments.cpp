@@ -1,6 +1,23 @@
 #include "bench_support/experiments.hpp"
 
+#include "dse/sweep.hpp"
+
 namespace paraconv::bench_support {
+
+namespace {
+
+ExperimentRow to_experiment_row(const dse::CellResult& cell) {
+  ExperimentRow row;
+  row.benchmark = cell.benchmark;
+  row.vertices = cell.vertices;
+  row.edges = cell.edges;
+  row.pe_count = cell.config.pe_count;
+  row.sparta = cell.sparta;
+  row.para_conv = cell.para;
+  return row;
+}
+
+}  // namespace
 
 const std::vector<int>& paper_pe_counts() {
   static const std::vector<int> kCounts{16, 32, 64};
@@ -10,33 +27,29 @@ const std::vector<int>& paper_pe_counts() {
 ExperimentRow run_cell(const graph::PaperBenchmark& bench, int pe_count,
                        std::int64_t iterations,
                        core::AllocatorKind allocator) {
-  const graph::TaskGraph g = graph::build_paper_benchmark(bench);
-  const pim::PimConfig config = pim::PimConfig::neurocube(pe_count);
-
-  ExperimentRow row;
-  row.benchmark = bench.name;
-  row.vertices = g.node_count();
-  row.edges = g.edge_count();
-  row.pe_count = pe_count;
-
-  core::SpartaOptions sparta_options;
-  sparta_options.iterations = iterations;
-  row.sparta = core::Sparta(config, sparta_options).schedule(g).metrics;
-
-  core::ParaConvOptions para_options;
-  para_options.iterations = iterations;
-  para_options.allocator = allocator;
-  row.para_conv = core::ParaConv(config, para_options).schedule(g).metrics;
-  return row;
+  const dse::SweepCase sweep_case{bench.name,
+                                  graph::build_paper_benchmark(bench)};
+  return to_experiment_row(dse::evaluate_cell(
+      sweep_case, pim::PimConfig::neurocube(pe_count),
+      core::PackerKind::kTopological, allocator, iterations,
+      /*refine_steps=*/0, dse::cell_seed(0, 0), /*with_baseline=*/true,
+      /*cache=*/nullptr));
 }
 
 std::vector<ExperimentRow> run_grid(std::int64_t iterations,
-                                    core::AllocatorKind allocator) {
+                                    core::AllocatorKind allocator,
+                                    int jobs) {
+  dse::GridSpec spec = dse::paper_grid(paper_pe_counts(), iterations);
+  spec.allocators = {allocator};
+
+  dse::SweepOptions options;
+  options.jobs = jobs;
+  const dse::SweepResult sweep = dse::run_sweep(spec, options);
+
   std::vector<ExperimentRow> rows;
-  for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
-    for (const int pe : paper_pe_counts()) {
-      rows.push_back(run_cell(bench, pe, iterations, allocator));
-    }
+  rows.reserve(sweep.cells.size());
+  for (const dse::CellResult& cell : sweep.cells) {
+    rows.push_back(to_experiment_row(cell));
   }
   return rows;
 }

@@ -2,7 +2,10 @@
 //
 // Every harness runs the same (benchmark x PE-count) grid the paper reports:
 // the twelve Table-1 graphs on 16, 32 and 64 processing engines, with both
-// schedulers, and formats the rows each artifact needs.
+// schedulers, and formats the rows each artifact needs. The grid itself is
+// a dse::GridSpec evaluated by the dse sweep engine — the single
+// grid-enumeration code path shared with the CLI `sweep` subcommand and the
+// design-space-explorer example.
 #pragma once
 
 #include <cstdint>
@@ -36,9 +39,12 @@ ExperimentRow run_cell(const graph::PaperBenchmark& bench, int pe_count,
                        core::AllocatorKind allocator =
                            core::AllocatorKind::kKnapsackDp);
 
-/// The full grid, benchmark-major then PE-count (12 x 3 rows).
+/// The full grid, benchmark-major then PE-count (12 x 3 rows). `jobs`
+/// fans the cells across a work-stealing pool (1 = serial, 0 = hardware
+/// threads); the rows are identical whatever the job count.
 std::vector<ExperimentRow> run_grid(
     std::int64_t iterations = kDefaultIterations,
-    core::AllocatorKind allocator = core::AllocatorKind::kKnapsackDp);
+    core::AllocatorKind allocator = core::AllocatorKind::kKnapsackDp,
+    int jobs = 1);
 
 }  // namespace paraconv::bench_support

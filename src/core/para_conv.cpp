@@ -33,6 +33,20 @@ const char* to_string(AllocatorKind kind) {
   return "unknown";
 }
 
+const char* to_string(PackerKind kind) {
+  switch (kind) {
+    case PackerKind::kTopological:
+      return "topological";
+    case PackerKind::kLpt:
+      return "lpt";
+    case PackerKind::kLocality:
+      return "locality";
+    case PackerKind::kModulo:
+      return "modulo";
+  }
+  return "unknown";
+}
+
 ParaConv::ParaConv(pim::PimConfig config, ParaConvOptions options)
     : config_(config), options_(options) {
   config_.validate();
@@ -43,10 +57,15 @@ ParaConv::ParaConv(pim::PimConfig config, ParaConvOptions options)
 }
 
 ParaConvResult ParaConv::schedule(const graph::TaskGraph& g) const {
+  return schedule_packed(g, pack(g));
+}
+
+PackedSchedule ParaConv::pack(const graph::TaskGraph& g) const {
   g.validate();
 
   // Step 1: compacted objective schedule with the minimum period.
-  sched::Packing packing;
+  PackedSchedule packed;
+  sched::Packing& packing = packed.packing;
   switch (options_.packer) {
     case PackerKind::kTopological:
       packing = sched::pack_topological(g, config_.pe_count);
@@ -64,14 +83,26 @@ ParaConvResult ParaConv::schedule(const graph::TaskGraph& g) const {
   if (options_.refine_steps > 0) {
     sched::RefineOptions refine;
     refine.max_steps = options_.refine_steps;
+    refine.seed = options_.refine_seed;
     packing = sched::refine_packing(g, packing, config_, refine).packing;
   }
 
   // Step 2: per-edge retiming-distance pairs (Theorem 3.1 envelope).
+  packed.deltas = retiming::compute_edge_deltas(g, packing.placement,
+                                                packing.period, config_);
+  return packed;
+}
+
+ParaConvResult ParaConv::schedule_packed(const graph::TaskGraph& g,
+                                         const PackedSchedule& packed) const {
+  PARACONV_REQUIRE(packed.packing.placement.size() == g.node_count(),
+                   "packed schedule does not match the graph's node count");
+  PARACONV_REQUIRE(packed.deltas.size() == g.edge_count(),
+                   "packed schedule does not match the graph's edge count");
+  const sched::Packing& packing = packed.packing;
+
   ParaConvResult result;
-  result.deltas =
-      retiming::compute_edge_deltas(g, packing.placement, packing.period,
-                                    config_);
+  result.deltas = packed.deltas;
 
   // Steps 3-4: cache/eDRAM allocation of the sensitive IPRs, then minimal
   // legal retiming for the chosen per-edge distances. With residency-aware

@@ -19,6 +19,7 @@
 #include "core/metrics.hpp"
 #include "pim/config.hpp"
 #include "retiming/delta.hpp"
+#include "sched/packer.hpp"
 #include "sched/schedule.hpp"
 
 namespace paraconv::core {
@@ -41,6 +42,8 @@ enum class PackerKind {
   kModulo,       // iterative modulo scheduling (compiler-style, extension)
 };
 
+const char* to_string(PackerKind kind);
+
 struct ParaConvOptions {
   /// Application iterations the throughput metric accounts for.
   std::int64_t iterations{100};
@@ -51,6 +54,10 @@ struct ParaConvOptions {
   /// Local-search moves applied to the packing before the delta analysis
   /// (0 disables; see sched::refine_packing).
   int refine_steps{0};
+  /// Seed for the refinement move generator (only consulted when
+  /// refine_steps > 0). The DSE sweep derives it from the grid index so
+  /// parallel sweeps stay deterministic.
+  std::uint64_t refine_seed{0x5EED};
 
   /// Extension: the paper's knapsack treats the PE-array cache as one
   /// aggregate pool, but a cached IPR occupies its *producer's* cache for
@@ -71,13 +78,34 @@ struct ParaConvResult {
   std::vector<alloc::AllocationItem> items;
 };
 
+/// The allocator-independent prefix of the pipeline (steps 1-2): the packed
+/// initial objective schedule and every edge's (delta_cache, delta_edram)
+/// pair. Everything downstream — allocation, retiming, metrics — is a pure
+/// function of this plus the allocator options, so ablations that vary only
+/// the allocator can reuse one PackedSchedule (see dse::MemoCache).
+struct PackedSchedule {
+  sched::Packing packing;
+  std::vector<retiming::EdgeDelta> deltas;
+};
+
 class ParaConv {
  public:
   explicit ParaConv(pim::PimConfig config, ParaConvOptions options = {});
 
   /// Schedules `g`; the returned kernel is checked against the independent
-  /// validator before being handed out.
+  /// validator before being handed out. Equivalent to
+  /// `schedule_packed(g, pack(g))`.
   ParaConvResult schedule(const graph::TaskGraph& g) const;
+
+  /// Steps 1-2: packing (per the configured packer + refinement) and the
+  /// per-edge retiming-distance pairs.
+  PackedSchedule pack(const graph::TaskGraph& g) const;
+
+  /// Steps 3-4 on a precomputed packing: cache/eDRAM allocation, minimal
+  /// legal retiming, validation and metrics. `packed` must come from
+  /// `pack()` on the same graph and an identical configuration/packer.
+  ParaConvResult schedule_packed(const graph::TaskGraph& g,
+                                 const PackedSchedule& packed) const;
 
   const pim::PimConfig& config() const { return config_; }
   const ParaConvOptions& options() const { return options_; }

@@ -1,0 +1,131 @@
+#include "dse/frontier.hpp"
+
+#include "common/strings.hpp"
+#include "core/metrics.hpp"
+#include "report/csv.hpp"
+
+namespace paraconv::dse {
+
+namespace {
+
+// True when `a` is at least as good as `b` on every objective and strictly
+// better on one. Throughput is 1/period, so "better" is a smaller period.
+bool dominates(const CellResult& a, const CellResult& b) {
+  const bool no_worse = a.para.iteration_time <= b.para.iteration_time &&
+                        a.para.r_max <= b.para.r_max &&
+                        a.energy_uj <= b.energy_uj;
+  const bool strictly_better = a.para.iteration_time < b.para.iteration_time ||
+                               a.para.r_max < b.para.r_max ||
+                               a.energy_uj < b.energy_uj;
+  return no_worse && strictly_better;
+}
+
+std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier) {
+  std::vector<std::string> row{
+      std::to_string(cell.index),
+      cell.benchmark,
+      std::to_string(cell.vertices),
+      std::to_string(cell.edges),
+      std::to_string(cell.config.pe_count),
+      std::to_string(cell.config.pe_cache_bytes.value),
+      pim::to_string(cell.config.topology),
+      core::to_string(cell.packer),
+      core::to_string(cell.allocator),
+      std::to_string(cell.para.iteration_time.value),
+      std::to_string(cell.para.r_max),
+      std::to_string(cell.para.prologue_time.value),
+      std::to_string(cell.para.total_time.value),
+      std::to_string(cell.para.cached_iprs),
+      std::to_string(cell.para.offchip_bytes_per_iteration.value),
+      format_fixed(cell.energy_uj, 3),
+      std::to_string(cell.sparta.total_time.value),
+      cell.sparta.total_time.value > 0
+          ? format_fixed(core::speedup(cell.sparta, cell.para), 2)
+          : std::string{},
+      on_frontier ? "1" : "0"};
+  return row;
+}
+
+const std::vector<std::string>& cell_header() {
+  static const std::vector<std::string> kHeader{
+      "index",          "benchmark",      "vertices",
+      "edges",          "pe_count",       "cache_per_pe_bytes",
+      "topology",       "packer",         "allocator",
+      "iteration_time", "r_max",          "prologue_time",
+      "total_time",     "cached_iprs",    "offchip_bytes",
+      "energy_uj",      "sparta_total_time", "speedup",
+      "frontier"};
+  return kHeader;
+}
+
+std::vector<bool> frontier_mask(const SweepResult& sweep) {
+  const std::vector<std::size_t> frontier = pareto_frontier(sweep.cells);
+  std::vector<bool> mask(sweep.cells.size(), false);
+  for (const std::size_t index : frontier) mask[index] = true;
+  return mask;
+}
+
+}  // namespace
+
+std::vector<std::size_t> pareto_frontier(
+    const std::vector<CellResult>& cells) {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < cells.size() && !dominated; ++j) {
+      dominated = j != i && dominates(cells[j], cells[i]);
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+void write_sweep_csv(std::ostream& os, const SweepResult& sweep) {
+  const std::vector<bool> mask = frontier_mask(sweep);
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(sweep.cells.size());
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    rows.push_back(cell_row(sweep.cells[i], mask[i]));
+  }
+  report::write_csv_table(os, cell_header(), rows);
+}
+
+void write_frontier_csv(std::ostream& os, const SweepResult& sweep) {
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t index : pareto_frontier(sweep.cells)) {
+    rows.push_back(cell_row(sweep.cells[index], true));
+  }
+  report::write_csv_table(os, cell_header(), rows);
+}
+
+report::JsonValue sweep_to_json(const SweepResult& sweep) {
+  report::JsonValue cells = report::JsonValue::array();
+  for (const CellResult& cell : sweep.cells) {
+    report::JsonValue c = report::JsonValue::object();
+    c.set("index", static_cast<std::int64_t>(cell.index));
+    c.set("benchmark", cell.benchmark);
+    c.set("vertices", static_cast<std::int64_t>(cell.vertices));
+    c.set("edges", static_cast<std::int64_t>(cell.edges));
+    c.set("pe_count", cell.config.pe_count);
+    c.set("cache_per_pe_bytes", cell.config.pe_cache_bytes.value);
+    c.set("topology", pim::to_string(cell.config.topology));
+    c.set("packer", core::to_string(cell.packer));
+    c.set("allocator", core::to_string(cell.allocator));
+    c.set("energy_uj", cell.energy_uj);
+    c.set("para_conv", report::to_json(cell.para));
+    if (cell.sparta.total_time.value > 0) {
+      c.set("sparta", report::to_json(cell.sparta));
+    }
+    cells.push_back(std::move(c));
+  }
+  report::JsonValue frontier = report::JsonValue::array();
+  for (const std::size_t index : pareto_frontier(sweep.cells)) {
+    frontier.push_back(static_cast<std::int64_t>(index));
+  }
+  report::JsonValue out = report::JsonValue::object();
+  out.set("cells", std::move(cells));
+  out.set("frontier", std::move(frontier));
+  return out;
+}
+
+}  // namespace paraconv::dse

@@ -1,0 +1,38 @@
+// Pareto-frontier extraction and serialization of sweep results.
+//
+// A sweep cell is judged on three objectives: throughput (1 / kernel
+// period, maximized), maximum retiming value R_max (prologue pressure,
+// minimized) and estimated energy per iteration (minimized). The frontier
+// is the set of non-dominated cells; serialization reuses the report/
+// writers (JsonValue, the generic CSV table writer) and emits only
+// deterministic fields, so parallel and serial sweeps dump byte-identical
+// artifacts.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "dse/sweep.hpp"
+#include "report/json.hpp"
+
+namespace paraconv::dse {
+
+/// Indices (into `cells`, ascending) of the non-dominated cells. A cell is
+/// dominated when another is no worse on all three objectives and strictly
+/// better on at least one; objective ties keep both cells.
+std::vector<std::size_t> pareto_frontier(
+    const std::vector<CellResult>& cells);
+
+/// One CSV row per cell, grid order, with a final `frontier` column.
+/// Deterministic: no wall-clock, job-count or cache fields.
+void write_sweep_csv(std::ostream& os, const SweepResult& sweep);
+
+/// Frontier cells only, grid order.
+void write_frontier_csv(std::ostream& os, const SweepResult& sweep);
+
+/// {"cells": [...], "frontier": [indices]} with the same determinism
+/// guarantee as the CSV writers.
+report::JsonValue sweep_to_json(const SweepResult& sweep);
+
+}  // namespace paraconv::dse

@@ -1,0 +1,135 @@
+#include "dse/memo_cache.hpp"
+
+#include "common/check.hpp"
+
+namespace paraconv::dse {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001B3ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (byte * 8)) & 0xFFU;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const graph::TaskGraph& g) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, g.node_count());
+  mix(h, g.edge_count());
+  for (const graph::NodeId n : g.nodes()) {
+    const graph::Task& task = g.task(n);
+    mix(h, static_cast<std::uint64_t>(task.kind));
+    mix(h, static_cast<std::uint64_t>(task.exec_time.value));
+    mix(h, static_cast<std::uint64_t>(task.weights.value));
+  }
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    mix(h, ipr.src.value);
+    mix(h, ipr.dst.value);
+    mix(h, static_cast<std::uint64_t>(ipr.size.value));
+  }
+  return h;
+}
+
+PackingKey make_packing_key(const graph::TaskGraph& g,
+                            const pim::PimConfig& config,
+                            core::PackerKind packer, int refine_steps,
+                            std::uint64_t refine_seed) {
+  PackingKey key;
+  key.graph = graph_fingerprint(g);
+  key.pe_count = config.pe_count;
+  key.pe_cache_bytes = config.pe_cache_bytes.value;
+  key.cache_bytes_per_unit = config.cache_bytes_per_unit;
+  key.edram_bytes_per_unit = config.edram_bytes_per_unit;
+  key.topology = static_cast<std::uint8_t>(config.topology);
+  key.noc_hop_units = config.noc_hop_units;
+  key.packer = static_cast<std::uint8_t>(packer);
+  key.refine_steps = refine_steps;
+  key.refine_seed = refine_steps > 0 ? refine_seed : 0;
+  return key;
+}
+
+std::uint64_t hash_key(const PackingKey& key) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, key.graph);
+  mix(h, static_cast<std::uint64_t>(key.pe_count));
+  mix(h, static_cast<std::uint64_t>(key.pe_cache_bytes));
+  mix(h, static_cast<std::uint64_t>(key.cache_bytes_per_unit));
+  mix(h, static_cast<std::uint64_t>(key.edram_bytes_per_unit));
+  mix(h, key.topology);
+  mix(h, static_cast<std::uint64_t>(key.noc_hop_units));
+  mix(h, key.packer);
+  mix(h, static_cast<std::uint64_t>(key.refine_steps));
+  mix(h, key.refine_seed);
+  return h;
+}
+
+MemoCache::MemoCache(std::size_t shard_count) : shards_(shard_count) {
+  PARACONV_REQUIRE(shard_count >= 1, "at least one shard required");
+}
+
+MemoCache::Shard& MemoCache::shard_for(const PackingKey& key) const {
+  // The map hashes with the low bits; pick the shard with the high ones so
+  // one shard's keys don't all collide into one bucket.
+  return shards_[(hash_key(key) >> 48) % shards_.size()];
+}
+
+MemoCache::Value MemoCache::find(const PackingKey& key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+MemoCache::Value MemoCache::insert(const PackingKey& key,
+                                   core::PackedSchedule value) {
+  auto holder =
+      std::make_shared<const core::PackedSchedule>(std::move(value));
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    it = shard.map.emplace(key, std::move(holder)).first;
+  }
+  return it->second;
+}
+
+MemoCache::Value MemoCache::get_or_compute(
+    const PackingKey& key,
+    const std::function<core::PackedSchedule()>& compute) {
+  if (Value found = find(key)) return found;
+  return insert(key, compute());
+}
+
+MemoCache::Stats MemoCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.map.size();
+  }
+  return stats;
+}
+
+void MemoCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace paraconv::dse

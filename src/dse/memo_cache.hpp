@@ -1,0 +1,112 @@
+// Memoization cache for the allocator-independent scheduling prefix.
+//
+// A sweep cell's packing and per-edge delta pairs depend only on (graph,
+// PIM configuration, packer, refinement) — not on the allocator, iteration
+// count or knapsack quantum. Ablation grids that vary the allocator
+// therefore recompute identical packings per cell; this cache keys the
+// PackedSchedule by a canonical fingerprint of exactly the inputs the
+// prefix reads, sharded and mutex-striped so concurrent sweep workers
+// don't serialize on one lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/para_conv.hpp"
+#include "graph/task_graph.hpp"
+#include "pim/config.hpp"
+
+namespace paraconv::dse {
+
+/// Canonical 64-bit structural fingerprint of a task graph (FNV-1a over
+/// task kinds/times/weights and edge endpoints/sizes; the name is ignored).
+/// Equal graphs hash equal on every platform and run.
+std::uint64_t graph_fingerprint(const graph::TaskGraph& g);
+
+/// Full key of the allocator-independent prefix. Compared field-by-field,
+/// so two configurations that differ in any packing- or delta-relevant
+/// input never share an entry (the hash only picks the shard/bucket).
+struct PackingKey {
+  std::uint64_t graph{0};
+  int pe_count{0};
+  std::int64_t pe_cache_bytes{0};
+  std::int64_t cache_bytes_per_unit{0};
+  std::int64_t edram_bytes_per_unit{0};
+  std::uint8_t topology{0};
+  std::int64_t noc_hop_units{0};
+  std::uint8_t packer{0};
+  int refine_steps{0};
+  std::uint64_t refine_seed{0};
+
+  friend bool operator==(const PackingKey&, const PackingKey&) = default;
+};
+
+PackingKey make_packing_key(const graph::TaskGraph& g,
+                            const pim::PimConfig& config,
+                            core::PackerKind packer, int refine_steps,
+                            std::uint64_t refine_seed);
+
+std::uint64_t hash_key(const PackingKey& key);
+
+class MemoCache {
+ public:
+  using Value = std::shared_ptr<const core::PackedSchedule>;
+
+  explicit MemoCache(std::size_t shard_count = 16);
+
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  /// Returns the resident value or nullptr; counts a hit or a miss.
+  Value find(const PackingKey& key) const;
+
+  /// Inserts unless the key is already resident; either way returns the
+  /// resident value (first insert wins, so concurrent duplicate computes
+  /// converge on one shared schedule).
+  Value insert(const PackingKey& key, core::PackedSchedule value);
+
+  /// find-or-(compute outside the lock)-then-insert. Racing callers may
+  /// compute the same value twice; the loser's copy is discarded.
+  Value get_or_compute(const PackingKey& key,
+                       const std::function<core::PackedSchedule()>& compute);
+
+  struct Stats {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t entries{0};
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  Stats stats() const;
+
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const PackingKey& key) const {
+      return static_cast<std::size_t>(hash_key(key));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PackingKey, Value, KeyHash> map;
+  };
+
+  Shard& shard_for(const PackingKey& key) const;
+
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace paraconv::dse

@@ -1,0 +1,183 @@
+#include "dse/sweep.hpp"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dse/thread_pool.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::dse {
+
+std::size_t GridSpec::cell_count() const {
+  return cases.size() * configs.size() * packers.size() * allocators.size();
+}
+
+GridSpec::Coordinates GridSpec::coordinates(std::size_t index) const {
+  PARACONV_REQUIRE(index < cell_count(), "grid index out of range");
+  Coordinates c;
+  c.allocator_index = index % allocators.size();
+  index /= allocators.size();
+  c.packer_index = index % packers.size();
+  index /= packers.size();
+  c.config_index = index % configs.size();
+  c.case_index = index / configs.size();
+  return c;
+}
+
+void GridSpec::validate() const {
+  PARACONV_REQUIRE(!cases.empty(), "grid needs at least one case");
+  PARACONV_REQUIRE(!configs.empty(), "grid needs at least one config");
+  PARACONV_REQUIRE(!packers.empty(), "grid needs at least one packer");
+  PARACONV_REQUIRE(!allocators.empty(), "grid needs at least one allocator");
+  PARACONV_REQUIRE(iterations >= 1, "at least one iteration required");
+  PARACONV_REQUIRE(refine_steps >= 0, "refine_steps must be >= 0");
+  for (const SweepCase& sweep_case : cases) sweep_case.graph.validate();
+  for (const pim::PimConfig& config : configs) config.validate();
+}
+
+GridSpec paper_grid(const std::vector<int>& pe_counts,
+                    std::int64_t iterations) {
+  GridSpec spec;
+  spec.iterations = iterations;
+  for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+    spec.cases.push_back({bench.name, graph::build_paper_benchmark(bench)});
+  }
+  for (const int pe_count : pe_counts) {
+    spec.configs.push_back(pim::PimConfig::neurocube(pe_count));
+  }
+  return spec;
+}
+
+std::uint64_t cell_seed(std::uint64_t sweep_seed, std::size_t index) {
+  std::uint64_t state = sweep_seed ^ (static_cast<std::uint64_t>(index) + 1);
+  return splitmix64(state);
+}
+
+double estimate_energy_uj(const graph::TaskGraph& g,
+                          const pim::PimConfig& config,
+                          const sched::KernelSchedule& kernel) {
+  double pj = config.compute_pj_per_unit *
+              static_cast<double>(g.total_work().value);
+  for (const graph::EdgeId e : g.edges()) {
+    const graph::Ipr& ipr = g.ipr(e);
+    const double size = static_cast<double>(ipr.size.value);
+    const double per_byte =
+        kernel.allocation[e.value] == pim::AllocSite::kCache
+            ? config.cache_pj_per_byte
+            : config.edram_pj_per_byte;
+    pj += 2.0 * per_byte * size;  // one write by the producer, one read
+    const int src_pe = kernel.placement[ipr.src.value].pe;
+    const int dst_pe = kernel.placement[ipr.dst.value].pe;
+    if (src_pe != dst_pe) pj += config.noc_pj_per_byte * size;
+  }
+  return pj / 1e6;
+}
+
+CellResult evaluate_cell(const SweepCase& sweep_case,
+                         const pim::PimConfig& config,
+                         core::PackerKind packer,
+                         core::AllocatorKind allocator,
+                         std::int64_t iterations, int refine_steps,
+                         std::uint64_t seed, bool with_baseline,
+                         MemoCache* cache) {
+  CellResult cell;
+  cell.benchmark = sweep_case.name;
+  cell.vertices = sweep_case.graph.node_count();
+  cell.edges = sweep_case.graph.edge_count();
+  cell.config = config;
+  cell.packer = packer;
+  cell.allocator = allocator;
+  cell.cell_seed = seed;
+
+  core::ParaConvOptions options;
+  options.iterations = iterations;
+  options.allocator = allocator;
+  options.packer = packer;
+  options.refine_steps = refine_steps;
+  options.refine_seed = seed;
+  const core::ParaConv scheduler(config, options);
+
+  core::ParaConvResult result;
+  if (cache != nullptr) {
+    const PackingKey key = make_packing_key(sweep_case.graph, config, packer,
+                                            refine_steps, seed);
+    const MemoCache::Value packed = cache->get_or_compute(
+        key, [&] { return scheduler.pack(sweep_case.graph); });
+    result = scheduler.schedule_packed(sweep_case.graph, *packed);
+  } else {
+    result = scheduler.schedule(sweep_case.graph);
+  }
+  cell.para = result.metrics;
+  cell.energy_uj = estimate_energy_uj(sweep_case.graph, config, result.kernel);
+
+  if (with_baseline) {
+    core::SpartaOptions base_options;
+    base_options.iterations = iterations;
+    cell.sparta =
+        core::Sparta(config, base_options).schedule(sweep_case.graph).metrics;
+  }
+  return cell;
+}
+
+SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
+  spec.validate();
+  PARACONV_REQUIRE(options.jobs >= 0, "jobs must be >= 0");
+  const int jobs =
+      options.jobs == 0 ? ThreadPool::hardware_threads() : options.jobs;
+
+  MemoCache local_cache;
+  MemoCache* cache =
+      options.cache != nullptr ? options.cache : &local_cache;
+
+  const std::size_t cells = spec.cell_count();
+  SweepResult result;
+  result.jobs_used = jobs;
+  result.cells.resize(cells);
+
+  const auto evaluate = [&](std::size_t index) {
+    const GridSpec::Coordinates at = spec.coordinates(index);
+    CellResult cell = evaluate_cell(
+        spec.cases[at.case_index], spec.configs[at.config_index],
+        spec.packers[at.packer_index], spec.allocators[at.allocator_index],
+        spec.iterations, spec.refine_steps, cell_seed(options.seed, index),
+        options.with_baseline, cache);
+    cell.index = index;
+    // Ordered reduction: each cell owns exactly slot `index`, so the
+    // assembled vector never depends on completion order.
+    result.cells[index] = std::move(cell);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (jobs == 1) {
+    for (std::size_t index = 0; index < cells; ++index) evaluate(index);
+  } else {
+    ThreadPool pool({.threads = jobs});
+    std::vector<std::future<void>> futures;
+    futures.reserve(cells);
+    for (std::size_t index = 0; index < cells; ++index) {
+      futures.push_back(pool.async([&evaluate, index] { evaluate(index); }));
+    }
+    // Surface the first failure in grid order (deterministic), but only
+    // after every cell settled — futures joined in order guarantee that.
+    std::exception_ptr first_error;
+    for (std::future<void>& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  result.cache_stats = cache->stats();
+  return result;
+}
+
+}  // namespace paraconv::dse

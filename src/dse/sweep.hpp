@@ -1,0 +1,130 @@
+// Parallel design-space sweep engine.
+//
+// A sweep is a declarative grid (cases x configs x packers x allocators)
+// whose cells are evaluated independently: Para-CONV (and optionally the
+// SPARTA baseline) on one graph under one configuration. Cells fan out
+// across a work-stealing ThreadPool and land in a pre-sized vector at their
+// grid index — a deterministic ordered reduction, so the result (and any
+// serialization of it) is byte-identical whatever the job count or the
+// completion order. Per-cell randomness (the packing refinement seed) is
+// derived from the grid index, never from a shared stateful generator.
+//
+// Enumeration order is case-major: case, then config, then packer, with
+// the allocator fastest — consecutive cells of an allocator ablation share
+// their (graph, config, packer) prefix and hit the MemoCache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/para_conv.hpp"
+#include "core/sparta.hpp"
+#include "dse/memo_cache.hpp"
+#include "graph/task_graph.hpp"
+#include "pim/config.hpp"
+
+namespace paraconv::dse {
+
+/// One named application graph of the sweep.
+struct SweepCase {
+  std::string name;
+  graph::TaskGraph graph;
+};
+
+/// Declarative grid specification. Every axis must be non-empty.
+struct GridSpec {
+  std::vector<SweepCase> cases;
+  std::vector<pim::PimConfig> configs;
+  std::vector<core::PackerKind> packers{core::PackerKind::kTopological};
+  std::vector<core::AllocatorKind> allocators{
+      core::AllocatorKind::kKnapsackDp};
+  std::int64_t iterations{100};
+  /// Packing refinement steps applied per cell (0 disables).
+  int refine_steps{0};
+
+  std::size_t cell_count() const;
+
+  /// Axis indices of one flat grid index (allocator fastest).
+  struct Coordinates {
+    std::size_t case_index{0};
+    std::size_t config_index{0};
+    std::size_t packer_index{0};
+    std::size_t allocator_index{0};
+  };
+  Coordinates coordinates(std::size_t index) const;
+
+  /// Throws ContractViolation on an empty axis or invalid config.
+  void validate() const;
+};
+
+/// The paper's evaluation grid: the twelve Table-1 benchmarks on a
+/// Neurocube configuration per PE count.
+GridSpec paper_grid(const std::vector<int>& pe_counts,
+                    std::int64_t iterations = 100);
+
+/// One evaluated grid cell.
+struct CellResult {
+  std::size_t index{0};
+  std::string benchmark;
+  std::size_t vertices{0};
+  std::size_t edges{0};
+  pim::PimConfig config;
+  core::PackerKind packer{core::PackerKind::kTopological};
+  core::AllocatorKind allocator{core::AllocatorKind::kKnapsackDp};
+  /// Deterministic per-cell seed: mix(sweep seed, grid index).
+  std::uint64_t cell_seed{0};
+  core::RunResult para;
+  /// Populated when SweepOptions::with_baseline.
+  core::RunResult sparta;
+  /// Analytic steady-state energy per iteration (see estimate_energy_uj).
+  double energy_uj{0.0};
+};
+
+struct SweepOptions {
+  /// Worker threads; 1 = run inline on the caller, 0 = hardware threads.
+  int jobs{1};
+  /// Also run the SPARTA baseline per cell (the Table-1 comparison needs
+  /// it; pure Para-CONV ablations can skip the extra list schedule).
+  bool with_baseline{true};
+  /// Folded with each grid index into CellResult::cell_seed.
+  std::uint64_t seed{0};
+  /// Shared packing cache; nullptr = a sweep-local cache.
+  MemoCache* cache{nullptr};
+};
+
+struct SweepResult {
+  /// Grid order (index i at cells[i]), independent of jobs/completion.
+  std::vector<CellResult> cells;
+  MemoCache::Stats cache_stats;
+  double wall_seconds{0.0};
+  int jobs_used{1};
+};
+
+/// Deterministic per-cell seed derivation (exposed for tests).
+std::uint64_t cell_seed(std::uint64_t sweep_seed, std::size_t index);
+
+/// Evaluates one cell; the single-cell path `bench_support::run_cell` and
+/// the grid engine share this so there is exactly one evaluation code path.
+CellResult evaluate_cell(const SweepCase& sweep_case,
+                         const pim::PimConfig& config,
+                         core::PackerKind packer,
+                         core::AllocatorKind allocator,
+                         std::int64_t iterations, int refine_steps,
+                         std::uint64_t seed, bool with_baseline,
+                         MemoCache* cache);
+
+/// Runs the full grid. Throws the first failing cell's exception (by grid
+/// order) after the pool quiesces.
+SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options = {});
+
+/// Analytic steady-state energy estimate of one kernel iteration, in
+/// microjoules: every IPR is written and read once at its allocation
+/// site's per-byte cost, cross-PE hand-offs pay the NoC cost, and compute
+/// charges the graph's total work. Cheaper than a machine replay and
+/// deterministic, which is what a Pareto sweep needs.
+double estimate_energy_uj(const graph::TaskGraph& g,
+                          const pim::PimConfig& config,
+                          const sched::KernelSchedule& kernel);
+
+}  // namespace paraconv::dse

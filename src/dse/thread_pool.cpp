@@ -1,0 +1,138 @@
+#include "dse/thread_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace paraconv::dse {
+
+namespace {
+
+// Identifies the pool (if any) the current thread belongs to, so nested
+// submissions can bypass the back-pressure cap (blocking a worker on its
+// own pool's full queue would deadlock).
+thread_local ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(Options options) {
+  PARACONV_REQUIRE(options.threads >= 0, "thread count must be >= 0");
+  PARACONV_REQUIRE(options.queue_capacity >= 1,
+                   "queue capacity must be >= 1");
+  queue_capacity_ = options.queue_capacity;
+  const int threads =
+      options.threads == 0 ? hardware_threads() : options.threads;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start only after every deque exists: a fast first worker may steal.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::jthread([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  space_ready_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  PARACONV_REQUIRE(task != nullptr, "cannot submit an empty task");
+  if (t_pool == this) {
+    // Nested submission: the worker's own deque, exempt from the cap.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_;
+    }
+    Worker& own = *workers_[t_index];
+    {
+      std::lock_guard<std::mutex> lock(own.mu);
+      own.tasks.push_back(std::move(task));
+    }
+    work_ready_.notify_one();
+    return;
+  }
+  std::size_t target = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_ready_.wait(
+        lock, [&] { return stopping_ || pending_ < queue_capacity_; });
+    // A pool being destroyed discards new work; memory-safety over
+    // completeness (submitting into a dying pool is a caller bug).
+    if (stopping_) return;
+    ++pending_;
+    target = next_worker_++ % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->tasks.push_front(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+bool ThreadPool::take_task(std::size_t self, std::function<void()>& out) {
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      std::lock_guard<std::mutex> stats(mu_);
+      --pending_;
+      ++executed_;
+      return true;
+    }
+  }
+  for (std::size_t offset = 1; offset < workers_.size(); ++offset) {
+    Worker& victim = *workers_[(self + offset) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.tasks.empty()) continue;
+    out = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    std::lock_guard<std::mutex> stats(mu_);
+    --pending_;
+    ++executed_;
+    ++stolen_;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_pool = this;
+  t_index = self;
+  for (;;) {
+    std::function<void()> task;
+    if (take_task(self, task)) {
+      space_ready_.notify_one();
+      task();
+      // Stop after the in-flight task, even with work still queued: the
+      // destructor must never wait for a long grid to drain.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    work_ready_.wait(lock, [&] { return stopping_ || pending_ > 0; });
+    if (stopping_) return;
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{executed_, stolen_};
+}
+
+}  // namespace paraconv::dse

@@ -1,0 +1,98 @@
+// Work-stealing thread pool for the design-space exploration engine.
+//
+// Each worker owns a deque: it pops its own back (LIFO, cache-friendly for
+// nested submissions) while idle workers steal from the front (FIFO, oldest
+// task first). External submissions are dealt round-robin across the worker
+// deques and bounded by `queue_capacity` — a full pool applies back-pressure
+// to the submitter instead of buffering an unbounded grid. Workers are
+// std::jthreads; destroying the pool stops them after their current task,
+// discards still-queued tasks (pending `async` futures observe
+// std::future_errc::broken_promise) and joins.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace paraconv::dse {
+
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker count; 0 means one per hardware thread.
+    int threads{0};
+    /// Bound on tasks pending across all deques; `submit` blocks at the cap.
+    std::size_t queue_capacity{4096};
+  };
+
+  explicit ThreadPool(Options options);
+  ThreadPool() : ThreadPool(Options{}) {}
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Blocks while the pool already holds `queue_capacity`
+  /// pending tasks; never blocks when called from a worker thread (nested
+  /// submissions go to the worker's own deque). Tasks must not throw —
+  /// use `async` for exception propagation.
+  void submit(std::function<void()> task);
+
+  /// `submit` with a future carrying the result or the thrown exception.
+  template <typename F>
+  auto async(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    submit([task]() mutable { (*task)(); });
+    return future;
+  }
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int hardware_threads();
+
+  struct Stats {
+    std::uint64_t executed{0};
+    /// Tasks a worker took from another worker's deque.
+    std::uint64_t stolen{0};
+  };
+  Stats stats() const;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+    std::jthread thread;  // started last, after every deque exists
+  };
+
+  void worker_loop(std::size_t self);
+  bool take_task(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// Guards sleeping/back-pressure; the per-worker deques have their own
+  /// locks so steals don't serialize on one mutex.
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable space_ready_;
+  std::size_t pending_{0};
+  std::size_t queue_capacity_{0};
+  bool stopping_{false};
+  std::size_t next_worker_{0};
+
+  std::uint64_t executed_{0};
+  std::uint64_t stolen_{0};
+};
+
+}  // namespace paraconv::dse

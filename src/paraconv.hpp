@@ -41,6 +41,10 @@
 #include "core/metrics.hpp"
 #include "core/para_conv.hpp"
 #include "core/sparta.hpp"
+#include "dse/frontier.hpp"
+#include "dse/memo_cache.hpp"
+#include "dse/sweep.hpp"
+#include "dse/thread_pool.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/dot.hpp"
 #include "graph/generator.hpp"

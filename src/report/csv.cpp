@@ -15,29 +15,51 @@ std::string csv_escape(const std::string& field) {
   return out;
 }
 
+void write_csv_table(std::ostream& os, const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) os << ',';
+    os << csv_escape(header[i]);
+  }
+  os << '\n';
+  for (const std::vector<std::string>& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  }
+}
+
 void write_experiment_csv(
     std::ostream& os,
     const std::vector<bench_support::ExperimentRow>& rows) {
-  os << "benchmark,vertices,edges,pe_count,"
-        "sparta_iteration_time,sparta_total_time,sparta_cached_iprs,"
-        "para_iteration_time,para_r_max,para_prologue_time,para_total_time,"
-        "para_cached_iprs,para_offchip_bytes,ratio_percent,"
-        "reduction_percent\n";
+  const std::vector<std::string> header{
+      "benchmark", "vertices", "edges", "pe_count",
+      "sparta_iteration_time", "sparta_total_time", "sparta_cached_iprs",
+      "para_iteration_time", "para_r_max", "para_prologue_time",
+      "para_total_time", "para_cached_iprs", "para_offchip_bytes",
+      "ratio_percent", "reduction_percent"};
+  std::vector<std::vector<std::string>> table;
+  table.reserve(rows.size());
   for (const bench_support::ExperimentRow& row : rows) {
-    os << csv_escape(row.benchmark) << ',' << row.vertices << ','
-       << row.edges << ',' << row.pe_count << ','
-       << row.sparta.iteration_time.value << ','
-       << row.sparta.total_time.value << ',' << row.sparta.cached_iprs << ','
-       << row.para_conv.iteration_time.value << ',' << row.para_conv.r_max
-       << ',' << row.para_conv.prologue_time.value << ','
-       << row.para_conv.total_time.value << ',' << row.para_conv.cached_iprs
-       << ',' << row.para_conv.offchip_bytes_per_iteration.value << ','
-       << format_fixed(core::time_ratio_percent(row.sparta, row.para_conv), 2)
-       << ','
-       << format_fixed(
-              core::time_reduction_percent(row.sparta, row.para_conv), 2)
-       << '\n';
+    table.push_back(
+        {row.benchmark, std::to_string(row.vertices),
+         std::to_string(row.edges), std::to_string(row.pe_count),
+         std::to_string(row.sparta.iteration_time.value),
+         std::to_string(row.sparta.total_time.value),
+         std::to_string(row.sparta.cached_iprs),
+         std::to_string(row.para_conv.iteration_time.value),
+         std::to_string(row.para_conv.r_max),
+         std::to_string(row.para_conv.prologue_time.value),
+         std::to_string(row.para_conv.total_time.value),
+         std::to_string(row.para_conv.cached_iprs),
+         std::to_string(row.para_conv.offchip_bytes_per_iteration.value),
+         format_fixed(core::time_ratio_percent(row.sparta, row.para_conv), 2),
+         format_fixed(
+             core::time_reduction_percent(row.sparta, row.para_conv), 2)});
   }
+  write_csv_table(os, header, table);
 }
 
 }  // namespace paraconv::report

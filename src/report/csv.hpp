@@ -12,6 +12,12 @@ namespace paraconv::report {
 /// RFC-4180 field quoting (quotes fields containing separators/quotes).
 std::string csv_escape(const std::string& field);
 
+/// Generic CSV table: one header line, then one line per row, every field
+/// escaped. All CSV artifacts (experiment grids, sweeps, frontiers) funnel
+/// through this single writer.
+void write_csv_table(std::ostream& os, const std::vector<std::string>& header,
+                     const std::vector<std::vector<std::string>>& rows);
+
 /// One row per (benchmark, pe_count) cell with both schedulers' metrics.
 void write_experiment_csv(std::ostream& os,
                           const std::vector<bench_support::ExperimentRow>& rows);

@@ -1,0 +1,190 @@
+#include "dse/memo_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::dse {
+namespace {
+
+graph::TaskGraph benchmark_graph(const std::string& name) {
+  return graph::build_paper_benchmark(graph::paper_benchmark(name));
+}
+
+core::PackedSchedule packed_with_period(std::int64_t period) {
+  core::PackedSchedule packed;
+  packed.packing.period = TimeUnits{period};
+  return packed;
+}
+
+TEST(MemoCacheTest, FingerprintIsStableAndStructural) {
+  const graph::TaskGraph a = benchmark_graph("cat");
+  const graph::TaskGraph b = benchmark_graph("cat");
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(b));
+  EXPECT_NE(graph_fingerprint(a), graph_fingerprint(benchmark_graph("car")));
+
+  // The name is presentation, not structure.
+  graph::TaskGraph renamed = benchmark_graph("cat");
+  renamed.set_name("completely-different");
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(renamed));
+
+  // A changed IPR size is structure.
+  graph::TaskGraph g("tiny");
+  const auto t0 = g.add_task({"a", graph::TaskKind::kConvolution,
+                              TimeUnits{1}});
+  const auto t1 = g.add_task({"b", graph::TaskKind::kConvolution,
+                              TimeUnits{1}});
+  g.add_ipr(t0, t1, Bytes{64});
+  graph::TaskGraph h("tiny");
+  const auto u0 = h.add_task({"a", graph::TaskKind::kConvolution,
+                              TimeUnits{1}});
+  const auto u1 = h.add_task({"b", graph::TaskKind::kConvolution,
+                              TimeUnits{1}});
+  h.add_ipr(u0, u1, Bytes{65});
+  EXPECT_NE(graph_fingerprint(g), graph_fingerprint(h));
+}
+
+TEST(MemoCacheTest, DistinctConfigsNeverCollide) {
+  const graph::TaskGraph g = benchmark_graph("cat");
+  const pim::PimConfig c16 = pim::PimConfig::neurocube(16);
+  pim::PimConfig c16_big_cache = c16;
+  c16_big_cache.pe_cache_bytes = Bytes{64 * 1024};
+  pim::PimConfig c16_slow_edram = c16;
+  c16_slow_edram.edram_bytes_per_unit /= 2;
+
+  const std::vector<PackingKey> keys{
+      make_packing_key(g, c16, core::PackerKind::kTopological, 0, 0),
+      make_packing_key(g, pim::PimConfig::neurocube(32),
+                       core::PackerKind::kTopological, 0, 0),
+      make_packing_key(g, c16_big_cache, core::PackerKind::kTopological, 0,
+                       0),
+      make_packing_key(g, c16_slow_edram, core::PackerKind::kTopological, 0,
+                       0),
+      make_packing_key(g, c16, core::PackerKind::kLpt, 0, 0),
+      make_packing_key(g, c16, core::PackerKind::kTopological, 8, 0),
+      make_packing_key(benchmark_graph("car"), c16,
+                       core::PackerKind::kTopological, 0, 0),
+  };
+  MemoCache cache;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_FALSE(keys[i] == keys[j]) << "keys " << i << "/" << j;
+    }
+    cache.insert(keys[i], packed_with_period(static_cast<std::int64_t>(i)));
+  }
+  EXPECT_EQ(cache.stats().entries, keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const MemoCache::Value value = cache.find(keys[i]);
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->packing.period.value, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(MemoCacheTest, RefineSeedOnlyKeyedWhenRefining) {
+  const graph::TaskGraph g = benchmark_graph("cat");
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  // refine_steps == 0 never consults the seed, so the key ignores it...
+  EXPECT_EQ(
+      make_packing_key(g, config, core::PackerKind::kTopological, 0, 1),
+      make_packing_key(g, config, core::PackerKind::kTopological, 0, 2));
+  // ...but with refinement enabled the seed changes the packing.
+  EXPECT_FALSE(
+      make_packing_key(g, config, core::PackerKind::kTopological, 8, 1) ==
+      make_packing_key(g, config, core::PackerKind::kTopological, 8, 2));
+}
+
+TEST(MemoCacheTest, HitMissAccounting) {
+  MemoCache cache;
+  const PackingKey key = make_packing_key(
+      benchmark_graph("cat"), pim::PimConfig::neurocube(16),
+      core::PackerKind::kTopological, 0, 0);
+  EXPECT_EQ(cache.find(key), nullptr);
+  cache.insert(key, packed_with_period(5));
+  EXPECT_NE(cache.find(key), nullptr);
+  EXPECT_NE(cache.find(key), nullptr);
+
+  const MemoCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_EQ(stats.hits, 2U);
+  EXPECT_EQ(stats.entries, 1U);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 2.0 / 3.0);
+
+  cache.clear();
+  const MemoCache::Stats cleared = cache.stats();
+  EXPECT_EQ(cleared.hits, 0U);
+  EXPECT_EQ(cleared.misses, 0U);
+  EXPECT_EQ(cleared.entries, 0U);
+  EXPECT_DOUBLE_EQ(cleared.hit_rate(), 0.0);
+}
+
+TEST(MemoCacheTest, FirstInsertWinsAndGetOrComputeComputesOnce) {
+  MemoCache cache;
+  const PackingKey key = make_packing_key(
+      benchmark_graph("cat"), pim::PimConfig::neurocube(16),
+      core::PackerKind::kTopological, 0, 0);
+  const MemoCache::Value first = cache.insert(key, packed_with_period(1));
+  const MemoCache::Value second = cache.insert(key, packed_with_period(2));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->packing.period.value, 1);
+
+  int computes = 0;
+  const auto compute = [&computes] {
+    ++computes;
+    return core::PackedSchedule{};
+  };
+  cache.get_or_compute(key, compute);
+  EXPECT_EQ(computes, 0);  // resident
+
+  MemoCache fresh;
+  fresh.get_or_compute(key, compute);
+  fresh.get_or_compute(key, compute);
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(MemoCacheTest, ConcurrentMixedAccessIsSafe) {
+  const graph::TaskGraph g = benchmark_graph("cat");
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 64;
+  std::vector<PackingKey> keys;
+  for (int i = 0; i < kKeysPerThread; ++i) {
+    // Distinct PE counts make distinct keys spread across shards.
+    keys.push_back(make_packing_key(g, pim::PimConfig::neurocube(i + 1),
+                                    core::PackerKind::kTopological, 0, 0));
+  }
+
+  MemoCache cache(/*shard_count=*/4);
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &keys, t] {
+      for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < kKeysPerThread; ++i) {
+          const PackingKey& key = keys[static_cast<std::size_t>(i)];
+          if ((t + round + i) % 3 == 0) {
+            cache.insert(key, packed_with_period(i));
+          } else {
+            const MemoCache::Value value = cache.find(key);
+            if (value != nullptr) {
+              EXPECT_EQ(value->packing.period.value, i);
+            }
+          }
+        }
+      }
+    });
+  }
+  threads.clear();  // join
+
+  const MemoCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, static_cast<std::uint64_t>(kKeysPerThread));
+  for (int i = 0; i < kKeysPerThread; ++i) {
+    const MemoCache::Value value =
+        cache.find(keys[static_cast<std::size_t>(i)]);
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->packing.period.value, i);
+  }
+}
+
+}  // namespace
+}  // namespace paraconv::dse

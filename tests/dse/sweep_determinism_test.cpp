@@ -1,0 +1,172 @@
+#include "dse/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dse/frontier.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::dse {
+namespace {
+
+// A small but real grid: two paper benchmarks x two PE counts x two
+// allocators x two packers, enough cells (16) to keep eight workers busy.
+GridSpec small_grid() {
+  GridSpec spec;
+  spec.iterations = 10;
+  for (const char* name : {"cat", "flower"}) {
+    spec.cases.push_back(
+        {name, graph::build_paper_benchmark(graph::paper_benchmark(name))});
+  }
+  spec.configs = {pim::PimConfig::neurocube(8), pim::PimConfig::neurocube(16)};
+  spec.packers = {core::PackerKind::kTopological, core::PackerKind::kLpt};
+  spec.allocators = {core::AllocatorKind::kKnapsackDp,
+                     core::AllocatorKind::kGreedyDeadline};
+  return spec;
+}
+
+std::string serialize(const SweepResult& sweep) {
+  std::ostringstream csv;
+  write_sweep_csv(csv, sweep);
+  return csv.str() + "\n---\n" + sweep_to_json(sweep).dump(/*pretty=*/true);
+}
+
+TEST(SweepDeterminismTest, GridEnumerationIsCaseMajorAllocatorMinor) {
+  const GridSpec spec = small_grid();
+  EXPECT_EQ(spec.cell_count(), 16U);
+  const GridSpec::Coordinates first = spec.coordinates(0);
+  EXPECT_EQ(first.case_index, 0U);
+  EXPECT_EQ(first.allocator_index, 0U);
+  const GridSpec::Coordinates second = spec.coordinates(1);
+  EXPECT_EQ(second.case_index, 0U);
+  EXPECT_EQ(second.config_index, 0U);
+  EXPECT_EQ(second.packer_index, 0U);
+  EXPECT_EQ(second.allocator_index, 1U);
+  const GridSpec::Coordinates last = spec.coordinates(15);
+  EXPECT_EQ(last.case_index, 1U);
+  EXPECT_EQ(last.config_index, 1U);
+  EXPECT_EQ(last.packer_index, 1U);
+  EXPECT_EQ(last.allocator_index, 1U);
+}
+
+TEST(SweepDeterminismTest, ParallelSweepIsByteIdenticalToSerial) {
+  const GridSpec spec = small_grid();
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  serial.seed = 7;
+  const SweepResult a = run_sweep(spec, serial);
+
+  SweepOptions parallel = serial;
+  parallel.jobs = 8;
+  const SweepResult b = run_sweep(spec, parallel);
+
+  ASSERT_EQ(a.cells.size(), spec.cell_count());
+  ASSERT_EQ(b.cells.size(), spec.cell_count());
+  EXPECT_EQ(serialize(a), serialize(b));
+
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].index, i);
+    EXPECT_EQ(a.cells[i].cell_seed, b.cells[i].cell_seed);
+    EXPECT_EQ(a.cells[i].para.total_time, b.cells[i].para.total_time);
+    EXPECT_EQ(a.cells[i].sparta.total_time, b.cells[i].sparta.total_time);
+  }
+}
+
+TEST(SweepDeterminismTest, RefinementStaysDeterministicUnderParallelism) {
+  GridSpec spec = small_grid();
+  spec.refine_steps = 32;  // exercises the per-cell seeded move generator
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  EXPECT_EQ(serialize(run_sweep(spec, serial)),
+            serialize(run_sweep(spec, parallel)));
+}
+
+TEST(SweepDeterminismTest, CellSeedDependsOnSweepSeedAndIndex) {
+  EXPECT_NE(cell_seed(0, 0), cell_seed(0, 1));
+  EXPECT_NE(cell_seed(0, 0), cell_seed(1, 0));
+  EXPECT_EQ(cell_seed(42, 17), cell_seed(42, 17));
+}
+
+TEST(SweepDeterminismTest, AllocatorAblationHitsTheMemoCache) {
+  const GridSpec spec = small_grid();
+  const SweepResult sweep = run_sweep(spec, SweepOptions{.jobs = 1});
+  // Two allocators per (case, config, packer) prefix: the second is always
+  // a hit, so exactly half the lookups hit and each prefix packs once.
+  EXPECT_EQ(sweep.cache_stats.misses, 8U);
+  EXPECT_EQ(sweep.cache_stats.hits, 8U);
+  EXPECT_EQ(sweep.cache_stats.entries, 8U);
+  EXPECT_GT(sweep.cache_stats.hit_rate(), 0.0);
+}
+
+TEST(SweepDeterminismTest, MemoizedCellsMatchUncachedScheduling) {
+  const GridSpec spec = small_grid();
+  const SweepResult sweep = run_sweep(spec, SweepOptions{.jobs = 1});
+  for (const CellResult& cell : sweep.cells) {
+    core::ParaConvOptions options;
+    options.iterations = spec.iterations;
+    options.allocator = cell.allocator;
+    options.packer = cell.packer;
+    const GridSpec::Coordinates at = spec.coordinates(cell.index);
+    const core::ParaConvResult direct =
+        core::ParaConv(cell.config, options)
+            .schedule(spec.cases[at.case_index].graph);
+    EXPECT_EQ(direct.metrics.total_time, cell.para.total_time);
+    EXPECT_EQ(direct.metrics.r_max, cell.para.r_max);
+    EXPECT_EQ(direct.metrics.cached_iprs, cell.para.cached_iprs);
+  }
+}
+
+TEST(SweepDeterminismTest, PaperGridMatchesTheEvaluationShape) {
+  const GridSpec spec = paper_grid({16, 32, 64}, 10);
+  EXPECT_EQ(spec.cases.size(), 12U);
+  EXPECT_EQ(spec.configs.size(), 3U);
+  EXPECT_EQ(spec.cell_count(), 36U);
+  EXPECT_EQ(spec.cases.front().name, "cat");
+  EXPECT_EQ(spec.cases.back().name, "protein");
+}
+
+TEST(SweepDeterminismTest, FrontierIsExactlyTheNonDominatedSet) {
+  const GridSpec spec = small_grid();
+  const SweepResult sweep = run_sweep(spec, SweepOptions{.jobs = 2});
+  const std::vector<std::size_t> frontier = pareto_frontier(sweep.cells);
+  ASSERT_FALSE(frontier.empty());
+
+  const auto dominates = [](const CellResult& x, const CellResult& y) {
+    return x.para.iteration_time <= y.para.iteration_time &&
+           x.para.r_max <= y.para.r_max && x.energy_uj <= y.energy_uj &&
+           (x.para.iteration_time < y.para.iteration_time ||
+            x.para.r_max < y.para.r_max || x.energy_uj < y.energy_uj);
+  };
+  std::vector<bool> on_frontier(sweep.cells.size(), false);
+  for (const std::size_t index : frontier) on_frontier[index] = true;
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < sweep.cells.size(); ++j) {
+      if (j != i && dominates(sweep.cells[j], sweep.cells[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_EQ(on_frontier[i], !dominated) << "cell " << i;
+  }
+}
+
+TEST(SweepDeterminismTest, SweepWithoutBaselineSkipsSparta) {
+  GridSpec spec = small_grid();
+  spec.allocators = {core::AllocatorKind::kKnapsackDp};
+  SweepOptions options;
+  options.with_baseline = false;
+  const SweepResult sweep = run_sweep(spec, options);
+  for (const CellResult& cell : sweep.cells) {
+    EXPECT_EQ(cell.sparta.total_time.value, 0);
+    EXPECT_GT(cell.para.total_time.value, 0);
+  }
+}
+
+}  // namespace
+}  // namespace paraconv::dse

@@ -7,8 +7,12 @@
 //   csv      [flags]           full 12x3 experiment grid as CSV
 //   explain  [flags]           per-edge case census and allocation detail
 //   report   [flags]           self-contained HTML/SVG schedule report
+//   sweep    [flags]           parallel design-space sweep (CSV/JSON +
+//                              Pareto frontier); see --jobs, --out
 //
 // Try: paraconv_cli run --benchmark flower --pes 32 --gantt
+//      paraconv_cli sweep --jobs 0 --allocators all --out sweep.csv
+#include <fstream>
 #include <iostream>
 
 #include "common/flags.hpp"
@@ -34,9 +38,47 @@ core::AllocatorKind parse_allocator(const std::string& name) {
   }
   PARACONV_REQUIRE(false, "unknown allocator: " + name +
                               " (expected dp, greedy-density, "
-                              "greedy-deadline, critical-path or "
-                              "energy-aware)");
+                              "greedy-deadline, critical-path, "
+                              "energy-aware or residency-constrained)");
   return core::AllocatorKind::kKnapsackDp;
+}
+
+core::PackerKind parse_packer(const std::string& name) {
+  if (name == "topo") return core::PackerKind::kTopological;
+  if (name == "lpt") return core::PackerKind::kLpt;
+  if (name == "locality") return core::PackerKind::kLocality;
+  if (name == "modulo") return core::PackerKind::kModulo;
+  PARACONV_REQUIRE(false, "unknown packer: " + name +
+                              " (expected topo, lpt, locality or modulo)");
+  return core::PackerKind::kTopological;
+}
+
+std::vector<core::AllocatorKind> parse_allocator_list(const std::string& csv) {
+  if (csv == "all") {
+    return {core::AllocatorKind::kKnapsackDp,
+            core::AllocatorKind::kGreedyDensity,
+            core::AllocatorKind::kGreedyDeadline,
+            core::AllocatorKind::kCriticalPath,
+            core::AllocatorKind::kEnergyAware,
+            core::AllocatorKind::kResidencyConstrained};
+  }
+  std::vector<core::AllocatorKind> kinds;
+  for (const std::string& name : split(csv, ',')) {
+    kinds.push_back(parse_allocator(name));
+  }
+  return kinds;
+}
+
+std::vector<core::PackerKind> parse_packer_list(const std::string& csv) {
+  if (csv == "all") {
+    return {core::PackerKind::kTopological, core::PackerKind::kLpt,
+            core::PackerKind::kLocality, core::PackerKind::kModulo};
+  }
+  std::vector<core::PackerKind> kinds;
+  for (const std::string& name : split(csv, ',')) {
+    kinds.push_back(parse_packer(name));
+  }
+  return kinds;
 }
 
 int cmd_list() {
@@ -59,15 +101,7 @@ int cmd_run(const FlagParser& flags) {
   core::ParaConvOptions options;
   options.iterations = flags.get_int("iterations");
   options.allocator = parse_allocator(flags.get_string("allocator"));
-  if (flags.get_string("packer") == "lpt") {
-    options.packer = core::PackerKind::kLpt;
-  } else if (flags.get_string("packer") == "modulo") {
-    options.packer = core::PackerKind::kModulo;
-  } else if (flags.get_string("packer") == "locality") {
-    options.packer = core::PackerKind::kLocality;
-  } else {
-    options.packer = core::PackerKind::kTopological;
-  }
+  options.packer = parse_packer(flags.get_string("packer"));
   const core::ParaConvResult ours =
       core::ParaConv(config, options).schedule(g);
 
@@ -155,7 +189,9 @@ int cmd_dot(const FlagParser& flags) {
 }
 
 int cmd_csv(const FlagParser& flags) {
-  const auto rows = bench_support::run_grid(flags.get_int("iterations"));
+  const auto rows = bench_support::run_grid(
+      flags.get_int("iterations"), core::AllocatorKind::kKnapsackDp,
+      static_cast<int>(flags.get_int("jobs")));
   report::write_experiment_csv(std::cout, rows);
   return 0;
 }
@@ -203,8 +239,73 @@ int cmd_explain(const FlagParser& flags) {
   return 0;
 }
 
+int cmd_sweep(const FlagParser& flags) {
+  dse::GridSpec spec;
+  spec.iterations = flags.get_int("iterations");
+  spec.allocators = parse_allocator_list(flags.get_string("allocators"));
+  spec.packers = parse_packer_list(flags.get_string("packers"));
+
+  const std::string benchmarks = flags.get_string("benchmarks");
+  if (benchmarks == "all") {
+    for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+      spec.cases.push_back(
+          {bench.name, graph::build_paper_benchmark(bench)});
+    }
+  } else {
+    for (const std::string& name : split(benchmarks, ',')) {
+      spec.cases.push_back({name, graph::build_paper_benchmark(
+                                      graph::paper_benchmark(name))});
+    }
+  }
+  for (const std::string& pes : split(flags.get_string("pe-counts"), ',')) {
+    PARACONV_REQUIRE(
+        !pes.empty() &&
+            pes.find_first_not_of("0123456789") == std::string::npos,
+        "--pe-counts expects comma-separated positive integers, got: '" +
+            pes + "'");
+    spec.configs.push_back(
+        pim::PimConfig::neurocube(static_cast<int>(std::stol(pes))));
+  }
+
+  dse::SweepOptions options;
+  options.jobs = static_cast<int>(flags.get_int("jobs"));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const dse::SweepResult sweep = dse::run_sweep(spec, options);
+
+  // Data goes to --out (or stdout); the run summary goes to stderr so the
+  // data stream stays byte-identical across job counts.
+  const std::string out_path = flags.get_string("out");
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    PARACONV_REQUIRE(file.good(), "cannot open --out file: " + out_path);
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+  if (flags.get_bool("json")) {
+    out << dse::sweep_to_json(sweep).dump(/*pretty=*/true) << "\n";
+  } else {
+    dse::write_sweep_csv(out, sweep);
+  }
+
+  const dse::MemoCache::Stats& cache = sweep.cache_stats;
+  std::cerr << "sweep: " << sweep.cells.size() << " cells ("
+            << spec.cases.size() << " benchmarks x " << spec.configs.size()
+            << " configs x " << spec.packers.size() << " packers x "
+            << spec.allocators.size() << " allocators), jobs "
+            << sweep.jobs_used << ", wall "
+            << format_fixed(sweep.wall_seconds, 3) << " s\n"
+            << "memo cache: " << cache.hits << " hits, " << cache.misses
+            << " misses (hit rate "
+            << format_fixed(100.0 * cache.hit_rate(), 1) << "%), "
+            << cache.entries << " entries\n"
+            << "Pareto frontier: "
+            << dse::pareto_frontier(sweep.cells).size() << " of "
+            << sweep.cells.size() << " cells\n";
+  return 0;
+}
+
 int usage(const FlagParser& flags) {
-  std::cout << "usage: paraconv_cli <list|run|dot|csv|explain|report>"
+  std::cout << "usage: paraconv_cli <list|run|dot|csv|explain|report|sweep>"
                " [flags]\n\n"
             << flags.usage();
   return 2;
@@ -225,6 +326,19 @@ int main(int argc, char** argv) {
   flags.add_bool("trace", false, "emit a chrome://tracing JSON timeline");
   flags.add_bool("json", false, "emit JSON instead of tables");
   flags.add_bool("machine", false, "replay on the machine model");
+  flags.add_int("jobs", 1,
+                "sweep: worker threads (1 = serial, 0 = all hardware "
+                "threads); results are identical for every value");
+  flags.add_int("seed", 0, "sweep: base seed mixed into each cell's seed");
+  flags.add_string("out", "", "sweep: write CSV/JSON here (default stdout)");
+  flags.add_string("benchmarks", "all",
+                   "sweep: comma-separated paper benchmarks, or 'all'");
+  flags.add_string("pe-counts", "16,32,64",
+                   "sweep: comma-separated PE-array sizes");
+  flags.add_string("allocators", "dp",
+                   "sweep: comma-separated allocator list, or 'all'");
+  flags.add_string("packers", "topo",
+                   "sweep: comma-separated packer list, or 'all'");
 
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string error;
@@ -242,6 +356,7 @@ int main(int argc, char** argv) {
     if (command == "report") return cmd_report(flags);
     if (command == "csv") return cmd_csv(flags);
     if (command == "explain") return cmd_explain(flags);
+    if (command == "sweep") return cmd_sweep(flags);
     std::cerr << "error: unknown command '" << command << "'\n";
     return usage(flags);
   } catch (const paraconv::ContractViolation& e) {
