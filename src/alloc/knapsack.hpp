@@ -23,6 +23,14 @@ struct KnapsackOptions {
   /// Capacity-discretization cell. 1 byte reproduces the exact DP; larger
   /// cells trade optimality for table size (default 256 B, well below any
   /// realistic IPR size).
+  ///
+  /// Discretization is deliberately one-sided: the cell count is
+  /// floor(capacity / quantum_bytes) while each item weighs
+  /// ceil(size / quantum_bytes) cells. At a non-aligned capacity this can
+  /// reject an item whose raw byte size would fit (e.g. a 257-B item
+  /// against 300 B at quantum 256: 2 cells needed, 1 available), but it can
+  /// never admit a set exceeding the real byte budget — conservative is the
+  /// only safe direction for a cache allocation.
   std::int64_t quantum_bytes{256};
 };
 

@@ -1,7 +1,6 @@
 #include "alloc/residency_constrained.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <optional>
 
 #include "alloc/residency.hpp"
@@ -38,17 +37,17 @@ AllocationResult residency_constrained_allocate(
     const graph::TaskGraph& g,
     const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
     const std::vector<retiming::EdgeDelta>& deltas,
-    const std::vector<AllocationItem>& items, Bytes pe_cache_bytes) {
+    const std::vector<AllocationItem>& items, int pe_count,
+    Bytes pe_cache_bytes) {
   PARACONV_REQUIRE(pe_cache_bytes >= Bytes{0},
                    "capacity must be non-negative");
   PARACONV_REQUIRE(deltas.size() == g.edge_count(),
                    "one delta pair per edge required");
-
-  const int pe_count =
-      1 + std::accumulate(placement.begin(), placement.end(), 0,
-                          [](int acc, const sched::TaskPlacement& p) {
-                            return std::max(acc, p.pe);
-                          });
+  PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
+  for (const sched::TaskPlacement& p : placement) {
+    PARACONV_REQUIRE(p.pe >= 0 && p.pe < pe_count,
+                     "placement PE outside the configured array");
+  }
 
   // Start from the maximum-profit set (everything sensitive cached), then
   // repair: while some producer cache's steady-state peak overflows, evict

@@ -23,10 +23,16 @@ namespace paraconv::alloc {
 /// can only shorten other edges' intervals, so per-candidate admission with
 /// the pessimistic eDRAM-distance intervals of *unchosen* edges is safe —
 /// unchosen edges occupy no cache at all).
+///
+/// `pe_count` is the configured PE-array size (not inferred from the
+/// placement), so the residency profile covers trailing idle PEs exactly
+/// like every other cache_residency caller; every placement PE must be in
+/// [0, pe_count).
 AllocationResult residency_constrained_allocate(
     const graph::TaskGraph& g,
     const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
     const std::vector<retiming::EdgeDelta>& deltas,
-    const std::vector<AllocationItem>& items, Bytes pe_cache_bytes);
+    const std::vector<AllocationItem>& items, int pe_count,
+    Bytes pe_cache_bytes);
 
 }  // namespace paraconv::alloc

@@ -1,0 +1,43 @@
+#include "common/parse.hpp"
+
+#include <charconv>
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace paraconv {
+
+std::optional<std::int64_t> parse_int64(std::string_view s) {
+  std::int64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || s.empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::vector<int>> parse_positive_int_list(std::string_view csv,
+                                                        std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  std::vector<int> values;
+  for (const std::string& token : split(csv, ',')) {
+    const std::optional<std::int64_t> parsed = parse_int64(token);
+    if (!parsed.has_value()) {
+      return fail("'" + token + "' is not an integer in range");
+    }
+    if (*parsed < 1) {
+      return fail("'" + token + "' is not a positive integer");
+    }
+    if (*parsed > std::numeric_limits<int>::max()) {
+      return fail("'" + token + "' is out of range");
+    }
+    values.push_back(static_cast<int>(*parsed));
+  }
+  if (values.empty()) return fail("the list is empty");
+  return values;
+}
+
+}  // namespace paraconv

@@ -1,0 +1,29 @@
+// Strict numeric parsing for user-facing input paths (CLI flags, config
+// strings).
+//
+// Unlike std::stol, these helpers never throw and never accept partial
+// tokens: the whole string must be a decimal integer within range, so
+// overflow ("99999999999999999999") and trailing junk ("16x") are ordinary
+// parse failures the caller can turn into a usage error instead of an
+// uncaught std::out_of_range abort.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paraconv {
+
+/// Parses a full decimal token (optional leading '-') into int64.
+/// Returns nullopt on empty input, junk, partial parse or overflow.
+std::optional<std::int64_t> parse_int64(std::string_view s);
+
+/// Parses a comma-separated list of strictly positive ints (each in
+/// [1, INT_MAX]). On failure returns nullopt and, when `error` is non-null,
+/// describes the offending token.
+std::optional<std::vector<int>> parse_positive_int_list(std::string_view csv,
+                                                        std::string* error);
+
+}  // namespace paraconv

@@ -7,6 +7,7 @@
 #include "alloc/residency.hpp"
 #include "alloc/residency_constrained.hpp"
 #include "common/strings.hpp"
+#include "obs/obs.hpp"
 #include "retiming/retiming.hpp"
 #include "sched/packer.hpp"
 #include "sched/modulo.hpp"
@@ -61,30 +62,34 @@ ParaConvResult ParaConv::schedule(const graph::TaskGraph& g) const {
 }
 
 PackedSchedule ParaConv::pack(const graph::TaskGraph& g) const {
+  const obs::ScopedSpan pack_span("pack", g.name().c_str());
   g.validate();
 
   // Step 1: compacted objective schedule with the minimum period.
   PackedSchedule packed;
   sched::Packing& packing = packed.packing;
-  switch (options_.packer) {
-    case PackerKind::kTopological:
-      packing = sched::pack_topological(g, config_.pe_count);
-      break;
-    case PackerKind::kLpt:
-      packing = sched::pack_ignore_dependencies(g, config_.pe_count);
-      break;
-    case PackerKind::kLocality:
-      packing = sched::pack_locality(g, config_);
-      break;
-    case PackerKind::kModulo:
-      packing = sched::pack_modulo(g, config_);
-      break;
-  }
-  if (options_.refine_steps > 0) {
-    sched::RefineOptions refine;
-    refine.max_steps = options_.refine_steps;
-    refine.seed = options_.refine_seed;
-    packing = sched::refine_packing(g, packing, config_, refine).packing;
+  {
+    const obs::ScopedSpan packer_span("packer", to_string(options_.packer));
+    switch (options_.packer) {
+      case PackerKind::kTopological:
+        packing = sched::pack_topological(g, config_.pe_count);
+        break;
+      case PackerKind::kLpt:
+        packing = sched::pack_ignore_dependencies(g, config_.pe_count);
+        break;
+      case PackerKind::kLocality:
+        packing = sched::pack_locality(g, config_);
+        break;
+      case PackerKind::kModulo:
+        packing = sched::pack_modulo(g, config_);
+        break;
+    }
+    if (options_.refine_steps > 0) {
+      sched::RefineOptions refine;
+      refine.max_steps = options_.refine_steps;
+      refine.seed = options_.refine_seed;
+      packing = sched::refine_packing(g, packing, config_, refine).packing;
+    }
   }
 
   // Step 2: per-edge retiming-distance pairs (Theorem 3.1 envelope).
@@ -95,6 +100,7 @@ PackedSchedule ParaConv::pack(const graph::TaskGraph& g) const {
 
 ParaConvResult ParaConv::schedule_packed(const graph::TaskGraph& g,
                                          const PackedSchedule& packed) const {
+  const obs::ScopedSpan schedule_span("schedule_packed", g.name().c_str());
   PARACONV_REQUIRE(packed.packing.placement.size() == g.node_count(),
                    "packed schedule does not match the graph's node count");
   PARACONV_REQUIRE(packed.deltas.size() == g.edge_count(),
@@ -115,7 +121,10 @@ ParaConvResult ParaConv::schedule_packed(const graph::TaskGraph& g,
 
   constexpr int kMaxResidencyRounds = 16;
   for (int round = 0;; ++round) {
-    switch (options_.allocator) {
+    {
+      const obs::ScopedSpan allocate_span("allocate",
+                                          to_string(options_.allocator));
+      switch (options_.allocator) {
       case AllocatorKind::kKnapsackDp:
         allocation = alloc::knapsack_allocate(
             g, result.items,
@@ -140,8 +149,9 @@ ParaConvResult ParaConv::schedule_packed(const graph::TaskGraph& g,
       case AllocatorKind::kResidencyConstrained:
         allocation = alloc::residency_constrained_allocate(
             g, packing.placement, packing.period, result.deltas,
-            result.items, config_.pe_cache_bytes);
+            result.items, config_.pe_count, config_.pe_cache_bytes);
         break;
+      }
     }
 
     std::vector<int> required(g.edge_count());
@@ -174,7 +184,8 @@ ParaConvResult ParaConv::schedule_packed(const graph::TaskGraph& g,
                                                       config_, full_capacity);
   PARACONV_CHECK(issues.empty(),
                  "Para-CONV emitted an invalid schedule: " +
-                     (issues.empty() ? std::string{} : issues.front()));
+                     (issues.empty() ? std::string{}
+                                     : sched::to_string(issues.front())));
 
   // Metrics.
   RunResult& m = result.metrics;

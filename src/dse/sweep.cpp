@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "dse/thread_pool.hpp"
 #include "graph/paper_benchmarks.hpp"
+#include "obs/obs.hpp"
 
 namespace paraconv::dse {
 
@@ -84,6 +85,15 @@ CellResult evaluate_cell(const SweepCase& sweep_case,
                          std::int64_t iterations, int refine_steps,
                          std::uint64_t seed, bool with_baseline,
                          MemoCache* cache) {
+  // Compose the per-cell label only when tracing is on; the disabled path
+  // must stay allocation-free.
+  const obs::ScopedSpan cell_span(
+      "cell", obs::active_registry() != nullptr
+                  ? sweep_case.name + "/" +
+                        std::to_string(config.pe_count) + "pe/" +
+                        core::to_string(packer) + "/" +
+                        core::to_string(allocator)
+                  : std::string{});
   CellResult cell;
   cell.benchmark = sweep_case.name;
   cell.vertices = sweep_case.graph.node_count();
@@ -151,6 +161,7 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
     result.cells[index] = std::move(cell);
   };
 
+  const MemoCache::Stats cache_before = cache->stats();
   const auto start = std::chrono::steady_clock::now();
   if (jobs == 1) {
     for (std::size_t index = 0; index < cells; ++index) evaluate(index);
@@ -171,12 +182,24 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
         if (first_error == nullptr) first_error = std::current_exception();
       }
     }
+    const ThreadPool::Stats pool_stats = pool.stats();
+    obs::count("dse.pool.executed",
+               static_cast<std::int64_t>(pool_stats.executed));
+    obs::count("dse.pool.stolen",
+               static_cast<std::int64_t>(pool_stats.stolen));
     if (first_error != nullptr) std::rethrow_exception(first_error);
   }
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds =
       std::chrono::duration<double>(end - start).count();
   result.cache_stats = cache->stats();
+  obs::count("dse.cells", static_cast<std::int64_t>(cells));
+  obs::count("dse.memo.hits",
+             static_cast<std::int64_t>(result.cache_stats.hits -
+                                       cache_before.hits));
+  obs::count("dse.memo.misses",
+             static_cast<std::int64_t>(result.cache_stats.misses -
+                                       cache_before.misses));
   return result;
 }
 

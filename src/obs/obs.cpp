@@ -1,0 +1,95 @@
+#include "obs/obs.hpp"
+
+#include <utility>
+
+namespace paraconv::obs {
+
+namespace {
+
+std::atomic<Registry*> g_registry{nullptr};
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+}  // namespace
+
+Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Registry::record_span(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+void Registry::add_counter(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::map<std::string, std::int64_t> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  counters_.clear();
+}
+
+std::int64_t Registry::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Registry* active_registry() {
+  return g_registry.load(std::memory_order_relaxed);
+}
+
+Registry* set_registry(Registry* registry) {
+  return g_registry.exchange(registry, std::memory_order_acq_rel);
+}
+
+std::uint32_t thread_id() {
+  thread_local const std::uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* detail)
+    : registry_(active_registry()), name_(name) {
+  if (registry_ != nullptr) {
+    detail_ = detail;
+    start_ns_ = registry_->now_ns();
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* name, std::string detail)
+    : registry_(active_registry()), name_(name) {
+  if (registry_ != nullptr) {
+    detail_ = std::move(detail);
+    start_ns_ = registry_->now_ns();
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (registry_ == nullptr) return;
+  SpanRecord record;
+  record.name = name_;
+  record.detail = std::move(detail_);
+  record.thread = thread_id();
+  record.start_ns = start_ns_;
+  record.duration_ns = registry_->now_ns() - start_ns_;
+  registry_->record_span(std::move(record));
+}
+
+void count(const char* name, std::int64_t delta) {
+  Registry* registry = active_registry();
+  if (registry != nullptr) registry->add_counter(name, delta);
+}
+
+}  // namespace paraconv::obs

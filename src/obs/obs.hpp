@@ -1,0 +1,126 @@
+// Pipeline observability: scoped trace spans and named counters.
+//
+// The scheduling pipeline (pack -> retime -> allocate -> validate) and the
+// DSE sweep report *where time goes* through this layer: a ScopedSpan
+// records {name, detail, thread, start, duration} into the installed
+// Registry on destruction, and count() accumulates named integer counters
+// (memo-cache hits, pool steals, validator diagnostics, ...). Writers in
+// obs/writer.hpp turn a Registry into a Chrome-trace JSON file or a
+// per-stage text summary.
+//
+// Null sink: no Registry is installed by default, and an uninstrumented run
+// pays exactly one relaxed atomic load per span/counter site — no locking,
+// no allocation, no clock read. Instrumented output never feeds the
+// deterministic data stream (CSV/JSON results); it is diagnostics only, so
+// results stay byte-identical with tracing on or off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace paraconv::obs {
+
+/// One finished span. Times are nanoseconds relative to the owning
+/// registry's epoch (its construction instant, steady clock).
+struct SpanRecord {
+  /// Stage name, stable across runs ("pack", "allocate", "validate", ...).
+  /// The per-stage summary aggregates by this.
+  std::string name;
+  /// Free-form qualifier ("knapsack-dp", "flower/32/topo/dp", ...); lands
+  /// in the trace event's args, never in the aggregation key.
+  std::string detail;
+  /// Small sequential id of the recording thread (0 = first thread seen).
+  std::uint32_t thread{0};
+  std::int64_t start_ns{0};
+  std::int64_t duration_ns{0};
+};
+
+/// Thread-safe collector of spans and counters. Cheap enough for the
+/// pipeline's coarse stages; not intended for per-task-instance events.
+class Registry {
+ public:
+  Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  void record_span(SpanRecord record);
+  void add_counter(const std::string& name, std::int64_t delta);
+
+  /// Snapshot in recording order.
+  std::vector<SpanRecord> spans() const;
+  /// Snapshot, name-sorted (std::map), so renderings are deterministic.
+  std::map<std::string, std::int64_t> counters() const;
+
+  void clear();
+
+  /// Nanoseconds elapsed since this registry's epoch.
+  std::int64_t now_ns() const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::string, std::int64_t> counters_;
+};
+
+/// The registry the library instrumentation writes to, or nullptr when
+/// observability is disabled (the default).
+Registry* active_registry();
+
+/// Installs `registry` process-wide (nullptr disables). Returns the
+/// previous registry. Installation is not synchronized against concurrently
+/// *running* instrumented work — install before launching the pipeline and
+/// uninstall after it quiesces (ScopedRegistry does both).
+Registry* set_registry(Registry* registry);
+
+/// RAII install/uninstall of a registry around a pipeline run.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry* registry)
+      : previous_(set_registry(registry)) {}
+  ~ScopedRegistry() { set_registry(previous_); }
+
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* previous_{nullptr};
+};
+
+/// Small sequential id of the calling thread (stable for its lifetime).
+std::uint32_t thread_id();
+
+/// Measures from construction to destruction and records into the registry
+/// that was active at construction. With no active registry the whole
+/// object is a no-op and never reads the clock.
+class ScopedSpan {
+ public:
+  /// The detail C-string is only copied when a registry is active, so
+  /// passing to_string(kind) costs nothing on the disabled path.
+  explicit ScopedSpan(const char* name, const char* detail = "");
+  /// Overload for composed details; build the string under an
+  /// active_registry() check to keep the disabled path allocation-free.
+  ScopedSpan(const char* name, std::string detail);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Registry* registry_;
+  const char* name_;
+  std::string detail_;
+  std::int64_t start_ns_{0};
+};
+
+/// Adds `delta` to the named counter of the active registry (no-op when
+/// observability is disabled).
+void count(const char* name, std::int64_t delta = 1);
+
+}  // namespace paraconv::obs

@@ -1,0 +1,105 @@
+#include "obs/writer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace paraconv::obs {
+
+report::JsonValue to_chrome_trace(const Registry& registry) {
+  report::JsonValue events = report::JsonValue::array();
+
+  report::JsonValue process = report::JsonValue::object();
+  process.set("name", "process_name");
+  process.set("ph", "M");
+  process.set("pid", 0);
+  report::JsonValue process_args = report::JsonValue::object();
+  process_args.set("name", "paraconv");
+  process.set("args", std::move(process_args));
+  events.push_back(std::move(process));
+
+  for (const SpanRecord& span : registry.spans()) {
+    report::JsonValue event = report::JsonValue::object();
+    event.set("name", span.name);
+    event.set("cat", "paraconv");
+    event.set("ph", "X");
+    // Trace timestamps are microseconds; keep sub-us resolution.
+    event.set("ts", static_cast<double>(span.start_ns) / 1000.0);
+    event.set("dur", static_cast<double>(span.duration_ns) / 1000.0);
+    event.set("pid", 0);
+    event.set("tid", static_cast<std::int64_t>(span.thread));
+    if (!span.detail.empty()) {
+      report::JsonValue args = report::JsonValue::object();
+      args.set("detail", span.detail);
+      event.set("args", std::move(args));
+    }
+    events.push_back(std::move(event));
+  }
+
+  for (const auto& [name, value] : registry.counters()) {
+    report::JsonValue event = report::JsonValue::object();
+    event.set("name", name);
+    event.set("ph", "C");
+    event.set("ts", 0.0);
+    event.set("pid", 0);
+    report::JsonValue args = report::JsonValue::object();
+    args.set("value", value);
+    event.set("args", std::move(args));
+    events.push_back(std::move(event));
+  }
+
+  report::JsonValue trace = report::JsonValue::object();
+  trace.set("traceEvents", std::move(events));
+  trace.set("displayTimeUnit", "ms");
+  return trace;
+}
+
+std::string to_chrome_trace_json(const Registry& registry, bool pretty) {
+  return to_chrome_trace(registry).dump(pretty);
+}
+
+std::string render_summary(const Registry& registry) {
+  struct Aggregate {
+    std::int64_t count{0};
+    std::int64_t total_ns{0};
+    std::int64_t max_ns{0};
+  };
+  std::map<std::string, Aggregate> stages;
+  for (const SpanRecord& span : registry.spans()) {
+    Aggregate& a = stages[span.name];
+    ++a.count;
+    a.total_ns += span.duration_ns;
+    a.max_ns = std::max(a.max_ns, span.duration_ns);
+  }
+
+  const auto ms = [](std::int64_t ns) {
+    return format_fixed(static_cast<double>(ns) / 1e6, 3);
+  };
+
+  std::ostringstream os;
+  TablePrinter table("pipeline stages");
+  table.set_header({"stage", "count", "total ms", "mean ms", "max ms"});
+  for (const auto& [name, a] : stages) {
+    table.add_row({name, std::to_string(a.count), ms(a.total_ns),
+                   ms(a.count == 0 ? 0 : a.total_ns / a.count),
+                   ms(a.max_ns)});
+  }
+  table.print(os);
+
+  const auto counters = registry.counters();
+  if (!counters.empty()) {
+    os << "\n";
+    TablePrinter counter_table("counters");
+    counter_table.set_header({"counter", "value"});
+    for (const auto& [name, value] : counters) {
+      counter_table.add_row({name, std::to_string(value)});
+    }
+    counter_table.print(os);
+  }
+  return os.str();
+}
+
+}  // namespace paraconv::obs

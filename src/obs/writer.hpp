@@ -1,0 +1,30 @@
+// Renderers for an obs::Registry: Chrome-trace JSON and a per-stage text
+// summary.
+//
+// The JSON output is the chrome://tracing / Perfetto "trace event" format
+// ({"traceEvents": [...]}) with one complete event ("ph":"X") per recorded
+// span — the recording thread is the trace row — and one counter event
+// ("ph":"C") per named counter. Load it via chrome://tracing or
+// https://ui.perfetto.dev. The summary aggregates spans by stage name
+// (count / total / mean / max) and lists the counters; it is wall-clock
+// diagnostics and must never be mixed into the deterministic data stream.
+#pragma once
+
+#include <string>
+
+#include "obs/obs.hpp"
+#include "report/json.hpp"
+
+namespace paraconv::obs {
+
+/// The registry's spans and counters as a trace-event JSON document.
+report::JsonValue to_chrome_trace(const Registry& registry);
+
+/// `to_chrome_trace(...).dump(pretty)`.
+std::string to_chrome_trace_json(const Registry& registry,
+                                 bool pretty = false);
+
+/// Plain-text per-stage timing table plus counters.
+std::string render_summary(const Registry& registry);
+
+}  // namespace paraconv::obs

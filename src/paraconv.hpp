@@ -31,6 +31,7 @@
 #include "cnn/tensor.hpp"
 #include "common/check.hpp"
 #include "common/flags.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -52,6 +53,8 @@
 #include "graph/serialize.hpp"
 #include "graph/unfold.hpp"
 #include "graph/task_graph.hpp"
+#include "obs/obs.hpp"
+#include "obs/writer.hpp"
 #include "pim/cache.hpp"
 #include "pim/config.hpp"
 #include "pim/energy.hpp"

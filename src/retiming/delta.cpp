@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace paraconv::retiming {
 
 TimeUnits effective_transfer(const pim::PimConfig& config, pim::AllocSite site,
@@ -40,6 +42,7 @@ std::vector<EdgeDelta> compute_edge_deltas(
     const graph::TaskGraph& g,
     const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
     const pim::PimConfig& config) {
+  const obs::ScopedSpan span("retime", "deltas");
   PARACONV_REQUIRE(placement.size() == g.node_count(),
                    "one placement per node required");
   for (const graph::NodeId v : g.nodes()) {

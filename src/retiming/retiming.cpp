@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "obs/obs.hpp"
 
 namespace paraconv::retiming {
 
@@ -14,6 +15,7 @@ int Retiming::r_max() const {
 
 Retiming minimal_retiming(const graph::TaskGraph& g,
                           const std::vector<int>& required_distance) {
+  const obs::ScopedSpan span("retime", "minimal");
   PARACONV_REQUIRE(required_distance.size() == g.edge_count(),
                    "one required distance per edge");
   for (const int d : required_distance) {

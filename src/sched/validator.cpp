@@ -1,8 +1,10 @@
 #include "sched/validator.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "retiming/delta.hpp"
 
 namespace paraconv::sched {
@@ -17,50 +19,132 @@ std::string describe_edge(const graph::TaskGraph& g, graph::EdgeId e) {
 
 }  // namespace
 
-std::vector<std::string> validate_kernel_schedule(const graph::TaskGraph& g,
-                                                  const KernelSchedule& kernel,
-                                                  const pim::PimConfig& config,
-                                                  Bytes cache_capacity) {
-  std::vector<std::string> issues;
-  const auto add = [&issues](const std::string& msg) { issues.push_back(msg); };
+const char* to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kPlacementSizeMismatch:
+      return "placement-size-mismatch";
+    case DiagCode::kRetimingSizeMismatch:
+      return "retiming-size-mismatch";
+    case DiagCode::kDistanceSizeMismatch:
+      return "distance-size-mismatch";
+    case DiagCode::kAllocationSizeMismatch:
+      return "allocation-size-mismatch";
+    case DiagCode::kNonPositivePeriod:
+      return "non-positive-period";
+    case DiagCode::kInvalidPe:
+      return "invalid-pe";
+    case DiagCode::kTaskOutsideWindow:
+      return "task-outside-window";
+    case DiagCode::kNegativeRetiming:
+      return "negative-retiming";
+    case DiagCode::kPeOverlap:
+      return "pe-overlap";
+    case DiagCode::kDistanceNotRealized:
+      return "distance-not-realized";
+    case DiagCode::kNegativeDistance:
+      return "negative-distance";
+    case DiagCode::kDataNotReady:
+      return "data-not-ready";
+    case DiagCode::kCacheOvercommitted:
+      return "cache-overcommitted";
+  }
+  return "unknown";
+}
+
+const char* to_string(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError:
+      return "error";
+    case DiagSeverity::kWarning:
+      return "warning";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Diagnostic& diagnostic) {
+  std::string out = std::string(to_string(diagnostic.severity)) + " [" +
+                    to_string(diagnostic.code) + "] " + diagnostic.message;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& diagnostic) {
+  return os << to_string(diagnostic);
+}
+
+bool has_code(const std::vector<Diagnostic>& diagnostics, DiagCode code) {
+  return std::any_of(
+      diagnostics.begin(), diagnostics.end(),
+      [code](const Diagnostic& d) { return d.code == code; });
+}
+
+std::vector<Diagnostic> validate_kernel_schedule(const graph::TaskGraph& g,
+                                                 const KernelSchedule& kernel,
+                                                 const pim::PimConfig& config,
+                                                 Bytes cache_capacity) {
+  const obs::ScopedSpan span("validate", g.name().c_str());
+  std::vector<Diagnostic> issues;
+  const auto add = [&issues](DiagCode code, std::string msg,
+                             std::optional<graph::NodeId> node = {},
+                             std::optional<graph::EdgeId> edge = {}) {
+    Diagnostic d;
+    d.code = code;
+    d.message = std::move(msg);
+    d.node = node;
+    d.edge = edge;
+    issues.push_back(std::move(d));
+  };
+  const auto finish = [&issues]() -> std::vector<Diagnostic>& {
+    if (!issues.empty()) {
+      obs::count("validate.diagnostics",
+                 static_cast<std::int64_t>(issues.size()));
+    }
+    return issues;
+  };
 
   // Structural consistency.
   if (kernel.placement.size() != g.node_count()) {
-    add("placement size does not match node count");
-    return issues;
+    add(DiagCode::kPlacementSizeMismatch,
+        "placement size does not match node count");
+    return finish();
   }
   if (kernel.retiming.size() != g.node_count()) {
-    add("retiming size does not match node count");
-    return issues;
+    add(DiagCode::kRetimingSizeMismatch,
+        "retiming size does not match node count");
+    return finish();
   }
   if (kernel.distance.size() != g.edge_count()) {
-    add("distance size does not match edge count");
-    return issues;
+    add(DiagCode::kDistanceSizeMismatch,
+        "distance size does not match edge count");
+    return finish();
   }
   if (kernel.allocation.size() != g.edge_count()) {
-    add("allocation size does not match edge count");
-    return issues;
+    add(DiagCode::kAllocationSizeMismatch,
+        "allocation size does not match edge count");
+    return finish();
   }
   if (kernel.period <= TimeUnits{0}) {
-    add("period must be positive");
-    return issues;
+    add(DiagCode::kNonPositivePeriod, "period must be positive");
+    return finish();
   }
 
   // Window containment and PE range.
   for (const graph::NodeId v : g.nodes()) {
     const TaskPlacement& p = kernel.placement[v.value];
     if (p.pe < 0 || p.pe >= config.pe_count) {
-      add("task " + g.task(v).name + " placed on invalid PE");
+      add(DiagCode::kInvalidPe,
+          "task " + g.task(v).name + " placed on invalid PE", v);
     }
     if (p.start < TimeUnits{0} ||
         p.start + g.task(v).exec_time > kernel.period) {
-      add("task " + g.task(v).name + " does not fit in the kernel window");
+      add(DiagCode::kTaskOutsideWindow,
+          "task " + g.task(v).name + " does not fit in the kernel window", v);
     }
     if (kernel.retiming[v.value] < 0) {
-      add("task " + g.task(v).name + " has negative retiming value");
+      add(DiagCode::kNegativeRetiming,
+          "task " + g.task(v).name + " has negative retiming value", v);
     }
   }
-  if (!issues.empty()) return issues;
+  if (!issues.empty()) return finish();
 
   // PE exclusivity within the window. Because every window repeats the same
   // pattern and tasks do not wrap, checking one window suffices.
@@ -78,8 +162,10 @@ std::vector<std::string> validate_kernel_schedule(const graph::TaskGraph& g,
     const TaskPlacement& pp = kernel.placement[prev.value];
     const TaskPlacement& pc = kernel.placement[cur.value];
     if (pp.pe == pc.pe && pp.start + g.task(prev).exec_time > pc.start) {
-      add("tasks " + g.task(prev).name + " and " + g.task(cur).name +
-          " overlap on PE " + std::to_string(pp.pe));
+      add(DiagCode::kPeOverlap,
+          "tasks " + g.task(prev).name + " and " + g.task(cur).name +
+              " overlap on PE " + std::to_string(pp.pe),
+          cur);
     }
   }
 
@@ -91,11 +177,14 @@ std::vector<std::string> validate_kernel_schedule(const graph::TaskGraph& g,
     const int realized =
         kernel.retiming[ipr.src.value] - kernel.retiming[ipr.dst.value];
     if (realized < d) {
-      add("edge " + describe_edge(g, e) +
-          ": retiming values do not provide the recorded distance");
+      add(DiagCode::kDistanceNotRealized,
+          "edge " + describe_edge(g, e) +
+              ": retiming values do not provide the recorded distance",
+          {}, e);
     }
     if (d < 0) {
-      add("edge " + describe_edge(g, e) + ": negative distance");
+      add(DiagCode::kNegativeDistance,
+          "edge " + describe_edge(g, e) + ": negative distance", {}, e);
       continue;
     }
     const TaskPlacement& prod = kernel.placement[ipr.src.value];
@@ -109,18 +198,22 @@ std::vector<std::string> validate_kernel_schedule(const graph::TaskGraph& g,
         cons.start.value + static_cast<std::int64_t>(realized) *
                                kernel.period.value;
     if (lhs > rhs) {
-      add("edge " + describe_edge(g, e) + ": data not ready (needs " +
-          std::to_string(lhs) + ", available " + std::to_string(rhs) + ")");
+      add(DiagCode::kDataNotReady,
+          "edge " + describe_edge(g, e) + ": data not ready (needs " +
+              std::to_string(lhs) + ", available " + std::to_string(rhs) +
+              ")",
+          {}, e);
     }
     if (kernel.allocation[e.value] == pim::AllocSite::kCache) {
       cached += ipr.size;
     }
   }
   if (cached > cache_capacity) {
-    add("cached IPR bytes exceed aggregate cache capacity");
+    add(DiagCode::kCacheOvercommitted,
+        "cached IPR bytes exceed aggregate cache capacity");
   }
 
-  return issues;
+  return finish();
 }
 
 }  // namespace paraconv::sched

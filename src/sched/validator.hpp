@@ -4,21 +4,72 @@
 // sharing code with the scheduler: structural consistency, PE exclusivity,
 // window containment, retiming legality (Definition 3.1), dependency timing
 // under the allocation-dependent transfer latencies, and the aggregate cache
-// capacity bound. Returns human-readable issues; an empty list means valid.
+// capacity bound. Returns typed Diagnostics with stable machine-readable
+// codes (plus a human-readable rendering); an empty list means valid.
 #pragma once
 
+#include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "graph/task_graph.hpp"
 #include "pim/config.hpp"
 #include "sched/schedule.hpp"
 
 namespace paraconv::sched {
 
-std::vector<std::string> validate_kernel_schedule(const graph::TaskGraph& g,
-                                                  const KernelSchedule& kernel,
-                                                  const pim::PimConfig& config,
-                                                  Bytes cache_capacity);
+/// Stable identifier of a violated schedule invariant. Codes are part of
+/// the tool contract (tests and sweep tooling match on them); add new ones
+/// at the end and never renumber or rename existing ones.
+enum class DiagCode {
+  kPlacementSizeMismatch,
+  kRetimingSizeMismatch,
+  kDistanceSizeMismatch,
+  kAllocationSizeMismatch,
+  kNonPositivePeriod,
+  kInvalidPe,
+  kTaskOutsideWindow,
+  kNegativeRetiming,
+  kPeOverlap,
+  kDistanceNotRealized,
+  kNegativeDistance,
+  kDataNotReady,
+  kCacheOvercommitted,
+};
+
+/// Stable kebab-case rendering of the code ("pe-overlap", "data-not-ready").
+const char* to_string(DiagCode code);
+
+enum class DiagSeverity {
+  kError,    // the schedule is invalid
+  kWarning,  // reserved for advisory findings (none emitted today)
+};
+
+const char* to_string(DiagSeverity severity);
+
+/// One validator finding: which invariant failed (stable code), how bad it
+/// is, where (the offending task/IPR when the check is local to one), and a
+/// human-readable message for display.
+struct Diagnostic {
+  DiagCode code{DiagCode::kPlacementSizeMismatch};
+  DiagSeverity severity{DiagSeverity::kError};
+  std::string message;
+  std::optional<graph::NodeId> node;
+  std::optional<graph::EdgeId> edge;
+};
+
+/// "error [pe-overlap] tasks A and B overlap on PE 3".
+std::string to_string(const Diagnostic& diagnostic);
+std::ostream& operator<<(std::ostream& os, const Diagnostic& diagnostic);
+
+/// True when any diagnostic carries the given code.
+bool has_code(const std::vector<Diagnostic>& diagnostics, DiagCode code);
+
+std::vector<Diagnostic> validate_kernel_schedule(const graph::TaskGraph& g,
+                                                 const KernelSchedule& kernel,
+                                                 const pim::PimConfig& config,
+                                                 Bytes cache_capacity);
 
 inline bool is_valid_kernel_schedule(const graph::TaskGraph& g,
                                      const KernelSchedule& kernel,

@@ -125,6 +125,36 @@ TEST(KnapsackTest, CoarseQuantumNeverOvercommits) {
   }
 }
 
+TEST(KnapsackTest, QuantumBoundarySemantics) {
+  // Non-aligned capacity: 300 B at quantum 256 floors to exactly one cell.
+  // Weights ceil, so a 257-B item needs two cells and is rejected even
+  // though 257 <= 300 in raw bytes, while a 200-B item (one cell) fits.
+  const KnapsackOptions options{Bytes{300}, 256};
+
+  const Instance too_big({{257, 5}});
+  EXPECT_EQ(knapsack_profit(too_big.items, options), 0);
+  EXPECT_EQ(knapsack_allocate(too_big.g, too_big.items, options).cached_count,
+            0U);
+
+  const Instance fits({{200, 5}});
+  EXPECT_EQ(knapsack_profit(fits.items, options), 5);
+  const AllocationResult r = knapsack_allocate(fits.g, fits.items, options);
+  EXPECT_EQ(r.cached_count, 1U);
+  EXPECT_EQ(r.cache_bytes_used, Bytes{200});
+
+  // An exactly-one-quantum item also fits: ceil(256/256) == floor(300/256).
+  const Instance exact({{256, 3}});
+  EXPECT_EQ(knapsack_profit(exact.items, options), 3);
+
+  // Two one-cell items need two cells; the floored capacity holds one.
+  const Instance pair({{200, 3}, {200, 3}});
+  EXPECT_EQ(knapsack_profit(pair.items, options), 3);
+
+  // Sub-quantum capacity floors to zero cells: nothing ever fits.
+  const KnapsackOptions tiny{Bytes{255}, 256};
+  EXPECT_EQ(knapsack_profit(fits.items, tiny), 0);
+}
+
 TEST(KnapsackTest, CoarserQuantumOnlyLosesProfit) {
   Rng rng(7);
   std::vector<std::pair<std::int64_t, int>> spec;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "alloc/residency.hpp"
+#include "common/check.hpp"
 #include "core/para_conv.hpp"
 #include "graph/paper_benchmarks.hpp"
 #include "pim/machine.hpp"
@@ -34,7 +35,7 @@ TEST_P(ResidencyConstrainedTest, EveryPeFitsItsCache) {
   const Prepared p(GetParam(), 32);
   const AllocationResult r = residency_constrained_allocate(
       p.g, p.packing.placement, p.packing.period, p.deltas, p.items,
-      p.config.pe_cache_bytes);
+      p.config.pe_count, p.config.pe_cache_bytes);
 
   // Rebuild the kernel exactly as the allocator does and verify the
   // resulting per-PE peaks.
@@ -96,15 +97,45 @@ TEST(ResidencyConstrainedTest, GenerousCacheKeepsEverything) {
   p.config.pe_cache_bytes = 4_MiB;
   const AllocationResult r = residency_constrained_allocate(
       p.g, p.packing.placement, p.packing.period, p.deltas, p.items,
-      p.config.pe_cache_bytes);
+      p.config.pe_count, p.config.pe_cache_bytes);
   EXPECT_EQ(r.cached_count, p.items.size());
+}
+
+TEST(ResidencyConstrainedTest, TrailingIdlePesDoNotShrinkTheArray) {
+  // Regression: the allocator used to infer the PE count from the highest
+  // PE referenced by the placement, so an array whose trailing PEs were
+  // idle was modelled as a smaller array. The configured count must win.
+  const Prepared p("cat", 4);
+  const AllocationResult on_four = residency_constrained_allocate(
+      p.g, p.packing.placement, p.packing.period, p.deltas, p.items,
+      /*pe_count=*/4, p.config.pe_cache_bytes);
+  // Same packing on a 16-PE array: PEs 4..15 are idle and must not change
+  // the outcome.
+  const AllocationResult on_sixteen = residency_constrained_allocate(
+      p.g, p.packing.placement, p.packing.period, p.deltas, p.items,
+      /*pe_count=*/16, p.config.pe_cache_bytes);
+  EXPECT_EQ(on_four.cached_count, on_sixteen.cached_count);
+  EXPECT_EQ(on_four.site, on_sixteen.site);
+}
+
+TEST(ResidencyConstrainedTest, PlacementOutsideConfiguredArrayIsRejected) {
+  const Prepared p("cat", 4);
+  // "cat" packed on 4 PEs references PEs beyond a 2-PE array.
+  EXPECT_THROW(residency_constrained_allocate(
+                   p.g, p.packing.placement, p.packing.period, p.deltas,
+                   p.items, /*pe_count=*/2, p.config.pe_cache_bytes),
+               ContractViolation);
+  EXPECT_THROW(residency_constrained_allocate(
+                   p.g, p.packing.placement, p.packing.period, p.deltas,
+                   p.items, /*pe_count=*/0, p.config.pe_cache_bytes),
+               ContractViolation);
 }
 
 TEST(ResidencyConstrainedTest, ZeroCapacityEvictsEverything) {
   const Prepared p("cat", 16);
   const AllocationResult r = residency_constrained_allocate(
       p.g, p.packing.placement, p.packing.period, p.deltas, p.items,
-      Bytes{0});
+      p.config.pe_count, Bytes{0});
   EXPECT_EQ(r.cached_count, 0U);
 }
 

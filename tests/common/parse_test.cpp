@@ -1,0 +1,90 @@
+#include "common/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace paraconv {
+namespace {
+
+TEST(ParseInt64Test, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_int64("0"), 0);
+  EXPECT_EQ(parse_int64("42"), 42);
+  EXPECT_EQ(parse_int64("-3"), -3);
+  EXPECT_EQ(parse_int64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_int64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ParseInt64Test, RejectsEmptyJunkAndPartialTokens) {
+  EXPECT_EQ(parse_int64(""), std::nullopt);
+  EXPECT_EQ(parse_int64(" 1"), std::nullopt);
+  EXPECT_EQ(parse_int64("1 "), std::nullopt);
+  EXPECT_EQ(parse_int64("1x"), std::nullopt);
+  EXPECT_EQ(parse_int64("x1"), std::nullopt);
+  EXPECT_EQ(parse_int64("-"), std::nullopt);
+  EXPECT_EQ(parse_int64("+1"), std::nullopt);
+  EXPECT_EQ(parse_int64("0x10"), std::nullopt);
+  EXPECT_EQ(parse_int64("1.5"), std::nullopt);
+}
+
+TEST(ParseInt64Test, RejectsOverflowInsteadOfThrowing) {
+  // The regression that motivated this helper: std::stol threw an uncaught
+  // std::out_of_range for a 20-digit --pe-counts token.
+  EXPECT_EQ(parse_int64("99999999999999999999"), std::nullopt);
+  EXPECT_EQ(parse_int64("9223372036854775808"), std::nullopt);
+  EXPECT_EQ(parse_int64("-9223372036854775809"), std::nullopt);
+}
+
+TEST(ParsePositiveIntListTest, AcceptsCsvOfPositiveInts) {
+  std::string error;
+  const auto one = parse_positive_int_list("16", &error);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(*one, (std::vector<int>{16}));
+
+  const auto many = parse_positive_int_list("16,32,64", &error);
+  ASSERT_TRUE(many.has_value());
+  EXPECT_EQ(*many, (std::vector<int>{16, 32, 64}));
+}
+
+TEST(ParsePositiveIntListTest, RejectsZeroWithDiagnostic) {
+  // "0" passed the old digits-only pre-check and then produced a zero-PE
+  // sweep; it must now fail up front with the token named.
+  std::string error;
+  EXPECT_EQ(parse_positive_int_list("0", &error), std::nullopt);
+  EXPECT_NE(error.find("'0'"), std::string::npos);
+
+  EXPECT_EQ(parse_positive_int_list("16,0,32", &error), std::nullopt);
+  EXPECT_NE(error.find("'0'"), std::string::npos);
+}
+
+TEST(ParsePositiveIntListTest, RejectsOverflowNegativesAndJunk) {
+  std::string error;
+  EXPECT_EQ(parse_positive_int_list("99999999999999999999", &error),
+            std::nullopt);
+  EXPECT_NE(error.find("99999999999999999999"), std::string::npos);
+
+  EXPECT_EQ(parse_positive_int_list("-3", &error), std::nullopt);
+  EXPECT_EQ(parse_positive_int_list("16,x", &error), std::nullopt);
+  EXPECT_EQ(parse_positive_int_list("1x", &error), std::nullopt);
+  // Beyond int but within int64: still out of the [1, INT_MAX] range.
+  EXPECT_EQ(parse_positive_int_list("4294967296", &error), std::nullopt);
+}
+
+TEST(ParsePositiveIntListTest, RejectsEmptyInputAndEmptyTokens) {
+  std::string error;
+  EXPECT_EQ(parse_positive_int_list("", &error), std::nullopt);
+  EXPECT_EQ(parse_positive_int_list(",", &error), std::nullopt);
+  EXPECT_EQ(parse_positive_int_list("16,,32", &error), std::nullopt);
+  EXPECT_EQ(parse_positive_int_list("16,", &error), std::nullopt);
+}
+
+TEST(ParsePositiveIntListTest, NullErrorPointerIsAllowed) {
+  EXPECT_EQ(parse_positive_int_list("0", nullptr), std::nullopt);
+  ASSERT_TRUE(parse_positive_int_list("8", nullptr).has_value());
+}
+
+}  // namespace
+}  // namespace paraconv

@@ -24,8 +24,7 @@ TEST_P(ParaConvGridTest, EmitsValidatedSchedule) {
 
   const auto issues = sched::validate_kernel_schedule(
       g, r.kernel, config, config.total_cache_bytes());
-  EXPECT_TRUE(issues.empty())
-      << (issues.empty() ? "" : issues.front());
+  EXPECT_TRUE(issues.empty()) << issues.front();
 }
 
 TEST_P(ParaConvGridTest, MetricsAreInternallyConsistent) {

@@ -81,6 +81,41 @@ TEST(ThreadPoolTest, NestedSubmissionsFromWorkersComplete) {
   EXPECT_EQ(done.load(), 8);
 }
 
+TEST(ThreadPoolTest, IdleWorkerStealsFromBlockedWorkersDeque) {
+  ThreadPool pool({.threads = 2});
+  std::atomic<bool> blocker_running{false};
+  std::atomic<bool> release{false};
+  std::future<void> blocker = pool.async([&] {
+    blocker_running.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (!blocker_running.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // With one worker pinned, the round-robin dealer still lands half of
+  // these in the blocked worker's deque; the free worker can only finish
+  // them by stealing.
+  constexpr int kTasks = 100;
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.async([&done] {
+      done.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& future : futures) future.get();
+
+  release.store(true);
+  blocker.get();
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_GT(pool.stats().stolen, 0U);
+  EXPECT_GE(pool.stats().executed, static_cast<std::uint64_t>(kTasks + 1));
+}
+
 TEST(ThreadPoolTest, DestructionMidQueueDoesNotDeadlock) {
   std::atomic<int> done{0};
   {
@@ -100,14 +135,21 @@ TEST(ThreadPoolTest, DestructionMidQueueDoesNotDeadlock) {
 TEST(ThreadPoolTest, PendingAsyncFutureBreaksOnDestruction) {
   std::future<void> blocked_future;
   std::future<void> pending_future;
+  std::atomic<bool> blocker_running{false};
   std::atomic<bool> release{false};
   {
     ThreadPool pool({.threads = 1});
-    blocked_future = pool.async([&release] {
+    blocked_future = pool.async([&] {
+      blocker_running.store(true);
       while (!release.load()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     });
+    // Wait until the worker holds the blocker; destroying the pool earlier
+    // would discard it while still queued and break blocked_future too.
+    while (!blocker_running.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     pending_future = pool.async([] {});  // stuck behind the blocker
     release.store(true);
   }

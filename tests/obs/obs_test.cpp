@@ -1,0 +1,187 @@
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/para_conv.hpp"
+#include "dse/frontier.hpp"
+#include "dse/sweep.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "obs/writer.hpp"
+
+namespace paraconv::obs {
+namespace {
+
+std::set<std::string> span_names(const Registry& registry) {
+  std::set<std::string> names;
+  for (const SpanRecord& span : registry.spans()) names.insert(span.name);
+  return names;
+}
+
+TEST(ObsTest, RegistryRecordsSpansAndCounters) {
+  Registry registry;
+  {
+    const ScopedRegistry scoped(&registry);
+    {
+      const ScopedSpan span("stage", "variant-a");
+    }
+    count("widgets", 2);
+    count("widgets");
+  }
+  const auto spans = registry.spans();
+  ASSERT_EQ(spans.size(), 1U);
+  EXPECT_EQ(spans[0].name, "stage");
+  EXPECT_EQ(spans[0].detail, "variant-a");
+  EXPECT_GE(spans[0].start_ns, 0);
+  EXPECT_GE(spans[0].duration_ns, 0);
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 1U);
+  EXPECT_EQ(counters.at("widgets"), 3);
+}
+
+TEST(ObsTest, NullSinkRecordsNothing) {
+  ASSERT_EQ(active_registry(), nullptr);
+  Registry registry;
+  {
+    const ScopedRegistry scoped(&registry);
+    const ScopedSpan span("recorded");
+  }
+  // Observability is now disabled again: these must all be no-ops.
+  {
+    const ScopedSpan span("dropped", "detail");
+    count("dropped.counter", 5);
+  }
+  EXPECT_EQ(registry.spans().size(), 1U);
+  EXPECT_TRUE(registry.counters().empty());
+}
+
+TEST(ObsTest, ScopedRegistryRestoresThePreviousRegistry) {
+  Registry outer;
+  Registry inner;
+  const ScopedRegistry outer_scope(&outer);
+  EXPECT_EQ(active_registry(), &outer);
+  {
+    const ScopedRegistry inner_scope(&inner);
+    EXPECT_EQ(active_registry(), &inner);
+  }
+  EXPECT_EQ(active_registry(), &outer);
+}
+
+TEST(ObsTest, SpanRecordsIntoTheRegistryActiveAtConstruction) {
+  Registry registry;
+  std::optional<ScopedSpan> span;
+  {
+    const ScopedRegistry scoped(&registry);
+    span.emplace("captured");
+  }
+  // The registry was uninstalled before the span ended; the record still
+  // lands in the registry that was active when timing started.
+  span.reset();
+  ASSERT_EQ(registry.spans().size(), 1U);
+  EXPECT_EQ(registry.spans()[0].name, "captured");
+}
+
+TEST(ObsTest, ThreadIdIsStablePerThread) {
+  EXPECT_EQ(thread_id(), thread_id());
+}
+
+TEST(ObsTest, ClearEmptiesTheRegistry) {
+  Registry registry;
+  const ScopedRegistry scoped(&registry);
+  { const ScopedSpan span("stage"); }
+  count("c");
+  registry.clear();
+  EXPECT_TRUE(registry.spans().empty());
+  EXPECT_TRUE(registry.counters().empty());
+}
+
+TEST(ObsWriterTest, ChromeTraceContainsSpansAndCounters) {
+  Registry registry;
+  {
+    const ScopedRegistry scoped(&registry);
+    { const ScopedSpan span("pack", "flower"); }
+    count("memo.hits", 7);
+  }
+  const std::string json = to_chrome_trace_json(registry);
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("pack"), std::string::npos);
+  EXPECT_NE(json.find("flower"), std::string::npos);
+  EXPECT_NE(json.find("memo.hits"), std::string::npos);
+  // One complete event and one counter event.
+  EXPECT_NE(json.find("\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"C\""), std::string::npos);
+}
+
+TEST(ObsWriterTest, SummaryAggregatesByStageName) {
+  Registry registry;
+  {
+    const ScopedRegistry scoped(&registry);
+    { const ScopedSpan span("pack"); }
+    { const ScopedSpan span("pack"); }
+    { const ScopedSpan span("validate"); }
+    count("validate.diagnostics", 3);
+  }
+  const std::string summary = render_summary(registry);
+  EXPECT_NE(summary.find("pack"), std::string::npos);
+  EXPECT_NE(summary.find("validate"), std::string::npos);
+  EXPECT_NE(summary.find("validate.diagnostics"), std::string::npos);
+  EXPECT_NE(summary.find("2"), std::string::npos);  // pack span count
+}
+
+TEST(ObsIntegrationTest, PipelineEmitsOneSpanPerStage) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("flower"));
+  Registry registry;
+  {
+    const ScopedRegistry scoped(&registry);
+    core::ParaConv(pim::PimConfig::neurocube(8)).schedule(g);
+  }
+  const std::set<std::string> names = span_names(registry);
+  for (const char* stage :
+       {"pack", "packer", "schedule_packed", "retime", "allocate",
+        "validate"}) {
+    EXPECT_TRUE(names.count(stage)) << "missing stage span: " << stage;
+  }
+}
+
+TEST(ObsIntegrationTest, SweepResultsAreIdenticalWithTracingOnAndOff) {
+  dse::GridSpec spec;
+  spec.cases.push_back(dse::SweepCase{
+      "flower", graph::build_paper_benchmark(graph::paper_benchmark("flower"))});
+  spec.configs = {pim::PimConfig::neurocube(8)};
+  spec.iterations = 50;
+
+  const auto to_csv = [](const dse::SweepResult& sweep) {
+    std::ostringstream os;
+    dse::write_sweep_csv(os, sweep);
+    return os.str();
+  };
+
+  dse::SweepOptions options;
+  options.jobs = 2;
+  const std::string untraced = to_csv(dse::run_sweep(spec, options));
+
+  Registry registry;
+  std::string traced;
+  {
+    const ScopedRegistry scoped(&registry);
+    traced = to_csv(dse::run_sweep(spec, options));
+  }
+
+  // Tracing is diagnostics-only: the data stream must be byte-identical.
+  EXPECT_EQ(traced, untraced);
+  // And the traced run actually observed the sweep.
+  EXPECT_TRUE(span_names(registry).count("cell"));
+  const auto counters = registry.counters();
+  ASSERT_TRUE(counters.count("dse.cells"));
+  EXPECT_EQ(counters.at("dse.cells"),
+            static_cast<std::int64_t>(spec.cell_count()));
+  EXPECT_TRUE(counters.count("dse.pool.executed"));
+}
+
+}  // namespace
+}  // namespace paraconv::obs

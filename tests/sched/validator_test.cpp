@@ -46,7 +46,8 @@ TEST(ValidatorTest, AcceptsValidSchedule) {
 struct MutationCase {
   const char* name;
   void (*mutate)(KernelSchedule&);
-  const char* expected_fragment;
+  /// The stable machine-readable code the mutation must trigger.
+  DiagCode expected_code;
 };
 
 class ValidatorMutationTest : public testing::TestWithParam<MutationCase> {};
@@ -57,13 +58,13 @@ TEST_P(ValidatorMutationTest, Rejected) {
   const auto issues =
       validate_kernel_schedule(f.g, f.kernel, config(), 8_KiB);
   ASSERT_FALSE(issues.empty()) << GetParam().name;
-  bool found = false;
-  for (const std::string& issue : issues) {
-    if (issue.find(GetParam().expected_fragment) != std::string::npos) {
-      found = true;
-    }
+  EXPECT_TRUE(has_code(issues, GetParam().expected_code))
+      << "expected [" << to_string(GetParam().expected_code)
+      << "], first issue: " << issues.front();
+  for (const Diagnostic& issue : issues) {
+    EXPECT_EQ(issue.severity, DiagSeverity::kError);
+    EXPECT_FALSE(issue.message.empty());
   }
-  EXPECT_TRUE(found) << "first issue: " << issues.front();
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -71,40 +72,69 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(
         MutationCase{"bad_pe",
                      [](KernelSchedule& k) { k.placement[0].pe = 7; },
-                     "invalid PE"},
+                     DiagCode::kInvalidPe},
         MutationCase{"negative_pe",
                      [](KernelSchedule& k) { k.placement[1].pe = -1; },
-                     "invalid PE"},
+                     DiagCode::kInvalidPe},
         MutationCase{"task_outside_window",
                      [](KernelSchedule& k) {
                        k.placement[1].start = TimeUnits{4};
                      },
-                     "does not fit"},
+                     DiagCode::kTaskOutsideWindow},
         MutationCase{"negative_retiming",
                      [](KernelSchedule& k) { k.retiming = {0, -1}; },
-                     "negative retiming"},
+                     DiagCode::kNegativeRetiming},
         MutationCase{"overlap",
                      [](KernelSchedule& k) {
                        k.placement[1] = TaskPlacement{0, TimeUnits{1}};
                      },
-                     "overlap"},
+                     DiagCode::kPeOverlap},
         MutationCase{"distance_not_realized",
                      [](KernelSchedule& k) { k.distance = {1}; },
-                     "do not provide"},
+                     DiagCode::kDistanceNotRealized},
         MutationCase{"data_not_ready",
                      [](KernelSchedule& k) {
                        k.placement[1].start = TimeUnits{2};
                      },
-                     "not ready"},
+                     DiagCode::kDataNotReady},
         MutationCase{"zero_period",
                      [](KernelSchedule& k) { k.period = TimeUnits{0}; },
-                     "period"},
+                     DiagCode::kNonPositivePeriod},
         MutationCase{"size_mismatch",
                      [](KernelSchedule& k) { k.distance.clear(); },
-                     "distance size"}),
+                     DiagCode::kDistanceSizeMismatch}),
     [](const testing::TestParamInfo<MutationCase>& param_info) {
       return param_info.param.name;
     });
+
+TEST(ValidatorTest, DiagnosticCarriesLocusAndStableRendering) {
+  Fixture f;
+  f.kernel.placement[1].start = TimeUnits{2};  // data-not-ready on edge 0
+  const auto issues =
+      validate_kernel_schedule(f.g, f.kernel, config(), 8_KiB);
+  ASSERT_EQ(issues.size(), 1U);
+  const Diagnostic& d = issues.front();
+  EXPECT_EQ(d.code, DiagCode::kDataNotReady);
+  ASSERT_TRUE(d.edge.has_value());
+  EXPECT_EQ(d.edge->value, 0U);
+  EXPECT_FALSE(d.node.has_value());
+  // The rendering leads with the stable code so logs stay grep-able.
+  EXPECT_NE(to_string(d).find("error [data-not-ready]"), std::string::npos);
+}
+
+TEST(ValidatorTest, CodeStringsAreStable) {
+  // These strings are a published contract (docs/USAGE.md); renaming one is
+  // a breaking change.
+  EXPECT_STREQ(to_string(DiagCode::kInvalidPe), "invalid-pe");
+  EXPECT_STREQ(to_string(DiagCode::kPeOverlap), "pe-overlap");
+  EXPECT_STREQ(to_string(DiagCode::kDataNotReady), "data-not-ready");
+  EXPECT_STREQ(to_string(DiagCode::kCacheOvercommitted),
+               "cache-overcommitted");
+  EXPECT_STREQ(to_string(DiagCode::kDistanceNotRealized),
+               "distance-not-realized");
+  EXPECT_STREQ(to_string(DiagCode::kNonPositivePeriod),
+               "non-positive-period");
+}
 
 TEST(ValidatorTest, SlowEdramTransferNeedsDistance) {
   Fixture f;
@@ -123,7 +153,8 @@ TEST(ValidatorTest, CacheCapacityEnforced) {
   const auto issues =
       validate_kernel_schedule(f.g, f.kernel, config(), Bytes{512});
   ASSERT_FALSE(issues.empty());
-  EXPECT_NE(issues.front().find("capacity"), std::string::npos);
+  EXPECT_TRUE(has_code(issues, DiagCode::kCacheOvercommitted));
+  EXPECT_NE(issues.front().message.find("capacity"), std::string::npos);
 }
 
 TEST(ValidatorTest, TransferClampedToPeriod) {

@@ -3,6 +3,7 @@
 // Commands:
 //   list                       the twelve paper benchmarks
 //   run      [flags]           schedule one benchmark, print metrics
+//                              (alias: schedule)
 //   dot      [flags]           emit the benchmark graph in Graphviz DOT
 //   csv      [flags]           full 12x3 experiment grid as CSV
 //   explain  [flags]           per-edge case census and allocation detail
@@ -10,12 +11,19 @@
 //   sweep    [flags]           parallel design-space sweep (CSV/JSON +
 //                              Pareto frontier); see --jobs, --out
 //
+// --trace <file> (run/schedule and sweep) dumps pipeline spans and counters
+// as Chrome-trace JSON; the per-stage summary goes to stderr, so data
+// streams stay byte-identical with tracing on or off.
+//
 // Try: paraconv_cli run --benchmark flower --pes 32 --gantt
 //      paraconv_cli sweep --jobs 0 --allocators all --out sweep.csv
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 
 #include "common/flags.hpp"
+#include "common/parse.hpp"
 #include "paraconv.hpp"
 #include "report/csv.hpp"
 #include "report/gantt.hpp"
@@ -26,6 +34,40 @@
 namespace {
 
 using namespace paraconv;
+
+/// Bad flag *values* (as opposed to malformed flag syntax, which FlagParser
+/// rejects) are usage errors: report and exit 2, never abort.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Integer flags flow into narrow library types; validate them at their use
+/// site so a negative or absurd value becomes a top-level usage error
+/// instead of a deep PARACONV_REQUIRE abort (or a silent wrap).
+std::int64_t require_int_at_least(const FlagParser& flags,
+                                  const std::string& name, std::int64_t min) {
+  const std::int64_t value = flags.get_int(name);
+  if (value < min) {
+    throw UsageError("--" + name + " must be >= " + std::to_string(min) +
+                     ", got " + std::to_string(value));
+  }
+  return value;
+}
+
+int require_pe_count(const FlagParser& flags) {
+  constexpr std::int64_t kMaxPes = 1 << 20;
+  const std::int64_t pes = require_int_at_least(flags, "pes", 1);
+  if (pes > kMaxPes) {
+    throw UsageError("--pes must be <= " + std::to_string(kMaxPes) +
+                     ", got " + std::to_string(pes));
+  }
+  return static_cast<int>(pes);
+}
+
+std::uint64_t require_seed(const FlagParser& flags) {
+  return static_cast<std::uint64_t>(require_int_at_least(flags, "seed", 0));
+}
 
 core::AllocatorKind parse_allocator(const std::string& name) {
   if (name == "dp") return core::AllocatorKind::kKnapsackDp;
@@ -96,10 +138,10 @@ int cmd_run(const FlagParser& flags) {
   const graph::TaskGraph g = graph::build_paper_benchmark(
       graph::paper_benchmark(flags.get_string("benchmark")));
   const pim::PimConfig config =
-      pim::PimConfig::neurocube(static_cast<int>(flags.get_int("pes")));
+      pim::PimConfig::neurocube(require_pe_count(flags));
 
   core::ParaConvOptions options;
-  options.iterations = flags.get_int("iterations");
+  options.iterations = require_int_at_least(flags, "iterations", 1);
   options.allocator = parse_allocator(flags.get_string("allocator"));
   options.packer = parse_packer(flags.get_string("packer"));
   const core::ParaConvResult ours =
@@ -152,7 +194,7 @@ int cmd_run(const FlagParser& flags) {
     std::cout << "\n"
               << report::render_kernel_gantt(g, ours.kernel, config.pe_count);
   }
-  if (flags.get_bool("trace")) {
+  if (flags.get_bool("timeline")) {
     std::cout << "\n" << report::to_chrome_trace(g, ours.kernel) << "\n";
   }
   if (flags.get_bool("machine") && !flags.get_bool("json")) {
@@ -175,7 +217,7 @@ int cmd_report(const FlagParser& flags) {
   const graph::TaskGraph g = graph::build_paper_benchmark(
       graph::paper_benchmark(flags.get_string("benchmark")));
   const pim::PimConfig config =
-      pim::PimConfig::neurocube(static_cast<int>(flags.get_int("pes")));
+      pim::PimConfig::neurocube(require_pe_count(flags));
   const core::ParaConvResult result = core::ParaConv(config).schedule(g);
   std::cout << report::render_html_report(g, config, result) << "\n";
   return 0;
@@ -190,8 +232,9 @@ int cmd_dot(const FlagParser& flags) {
 
 int cmd_csv(const FlagParser& flags) {
   const auto rows = bench_support::run_grid(
-      flags.get_int("iterations"), core::AllocatorKind::kKnapsackDp,
-      static_cast<int>(flags.get_int("jobs")));
+      require_int_at_least(flags, "iterations", 1),
+      core::AllocatorKind::kKnapsackDp,
+      static_cast<int>(require_int_at_least(flags, "jobs", 0)));
   report::write_experiment_csv(std::cout, rows);
   return 0;
 }
@@ -200,7 +243,7 @@ int cmd_explain(const FlagParser& flags) {
   const graph::TaskGraph g = graph::build_paper_benchmark(
       graph::paper_benchmark(flags.get_string("benchmark")));
   const pim::PimConfig config =
-      pim::PimConfig::neurocube(static_cast<int>(flags.get_int("pes")));
+      pim::PimConfig::neurocube(require_pe_count(flags));
   const core::ParaConvResult r = core::ParaConv(config).schedule(g);
 
   std::size_t census[6] = {};
@@ -241,7 +284,7 @@ int cmd_explain(const FlagParser& flags) {
 
 int cmd_sweep(const FlagParser& flags) {
   dse::GridSpec spec;
-  spec.iterations = flags.get_int("iterations");
+  spec.iterations = require_int_at_least(flags, "iterations", 1);
   spec.allocators = parse_allocator_list(flags.get_string("allocators"));
   spec.packers = parse_packer_list(flags.get_string("packers"));
 
@@ -257,19 +300,25 @@ int cmd_sweep(const FlagParser& flags) {
                                       graph::paper_benchmark(name))});
     }
   }
-  for (const std::string& pes : split(flags.get_string("pe-counts"), ',')) {
-    PARACONV_REQUIRE(
-        !pes.empty() &&
-            pes.find_first_not_of("0123456789") == std::string::npos,
-        "--pe-counts expects comma-separated positive integers, got: '" +
-            pes + "'");
-    spec.configs.push_back(
-        pim::PimConfig::neurocube(static_cast<int>(std::stol(pes))));
+  std::string pe_error;
+  const std::optional<std::vector<int>> pe_counts =
+      parse_positive_int_list(flags.get_string("pe-counts"), &pe_error);
+  if (!pe_counts.has_value()) {
+    throw UsageError(
+        "--pe-counts expects comma-separated positive integers: " + pe_error);
+  }
+  for (const int pes : *pe_counts) {
+    if (pes > (1 << 20)) {
+      throw UsageError("--pe-counts entries must be <= " +
+                       std::to_string(1 << 20) + ", got " +
+                       std::to_string(pes));
+    }
+    spec.configs.push_back(pim::PimConfig::neurocube(pes));
   }
 
   dse::SweepOptions options;
-  options.jobs = static_cast<int>(flags.get_int("jobs"));
-  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.jobs = static_cast<int>(require_int_at_least(flags, "jobs", 0));
+  options.seed = require_seed(flags);
   const dse::SweepResult sweep = dse::run_sweep(spec, options);
 
   // Data goes to --out (or stdout); the run summary goes to stderr so the
@@ -305,7 +354,8 @@ int cmd_sweep(const FlagParser& flags) {
 }
 
 int usage(const FlagParser& flags) {
-  std::cout << "usage: paraconv_cli <list|run|dot|csv|explain|report|sweep>"
+  std::cout << "usage: paraconv_cli "
+               "<list|run|schedule|dot|csv|explain|report|sweep>"
                " [flags]\n\n"
             << flags.usage();
   return 2;
@@ -323,7 +373,14 @@ int main(int argc, char** argv) {
                    "energy-aware | residency-constrained");
   flags.add_string("packer", "topo", "topo | lpt | locality | modulo");
   flags.add_bool("gantt", false, "render the kernel schedule");
-  flags.add_bool("trace", false, "emit a chrome://tracing JSON timeline");
+  flags.add_bool("timeline", false,
+                 "emit a chrome://tracing JSON timeline of the kernel "
+                 "schedule to stdout");
+  flags.add_string("trace", "",
+                   "run/schedule, sweep: write pipeline spans + counters "
+                   "(pack/retime/allocate/validate, per-cell) as "
+                   "Chrome-trace JSON to this file; per-stage summary goes "
+                   "to stderr");
   flags.add_bool("json", false, "emit JSON instead of tables");
   flags.add_bool("machine", false, "replay on the machine model");
   flags.add_int("jobs", 1,
@@ -349,15 +406,54 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) return usage(flags);
 
   const std::string& command = flags.positional().front();
+
+  // With --trace, collect pipeline spans/counters while the command runs
+  // and dump them afterwards. Trace output is diagnostics only: it goes to
+  // its own file (summary to stderr), never into the data stream, so
+  // CSV/JSON results stay byte-identical with tracing on or off.
+  const std::string trace_path = flags.get_string("trace");
+  std::optional<obs::Registry> registry;
+  if (!trace_path.empty()) {
+    registry.emplace();
+    obs::set_registry(&*registry);
+  }
+
   try {
-    if (command == "list") return cmd_list();
-    if (command == "run") return cmd_run(flags);
-    if (command == "dot") return cmd_dot(flags);
-    if (command == "report") return cmd_report(flags);
-    if (command == "csv") return cmd_csv(flags);
-    if (command == "explain") return cmd_explain(flags);
-    if (command == "sweep") return cmd_sweep(flags);
-    std::cerr << "error: unknown command '" << command << "'\n";
+    int rc = 0;
+    if (command == "list") {
+      rc = cmd_list();
+    } else if (command == "run" || command == "schedule") {
+      rc = cmd_run(flags);
+    } else if (command == "dot") {
+      rc = cmd_dot(flags);
+    } else if (command == "report") {
+      rc = cmd_report(flags);
+    } else if (command == "csv") {
+      rc = cmd_csv(flags);
+    } else if (command == "explain") {
+      rc = cmd_explain(flags);
+    } else if (command == "sweep") {
+      rc = cmd_sweep(flags);
+    } else {
+      std::cerr << "error: unknown command '" << command << "'\n";
+      return usage(flags);
+    }
+
+    if (registry.has_value()) {
+      obs::set_registry(nullptr);  // uninstall before serializing
+      std::ofstream trace_file(trace_path);
+      if (!trace_file.good()) {
+        std::cerr << "error: cannot open --trace file: " << trace_path
+                  << "\n";
+        return 1;
+      }
+      trace_file << obs::to_chrome_trace_json(*registry, /*pretty=*/true)
+                 << "\n";
+      std::cerr << obs::render_summary(*registry);
+    }
+    return rc;
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return usage(flags);
   } catch (const paraconv::ContractViolation& e) {
     std::cerr << "error: " << e.what() << "\n";
