@@ -52,4 +52,30 @@ BENCHMARK(BM_KnapsackCapacity)
     ->Range(64, 2048)
     ->Complexity(benchmark::oN);
 
+void BM_KnapsackReconstruct(benchmark::State& state) {
+  // The reconstruction path needs the full B table (knapsack_allocate),
+  // unlike the profit-only rolling row above — this is the benchmark that
+  // sees the table's memory layout.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto items = synthetic_items(n, 42);
+  graph::TaskGraph g("dp-bench");
+  const auto hub = g.add_task(
+      {"hub", graph::TaskKind::kConvolution, TimeUnits{1}});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto node = g.add_task({"n" + std::to_string(i),
+                                  graph::TaskKind::kConvolution,
+                                  TimeUnits{1}});
+    items[i].edge = g.add_ipr(hub, node, items[i].size);
+  }
+  const alloc::KnapsackOptions options{Bytes{512 * 1024}, 1024};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::knapsack_allocate(g, items, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackReconstruct)
+    ->RangeMultiplier(2)
+    ->Range(64, 1024)
+    ->Complexity(benchmark::oN);
+
 }  // namespace

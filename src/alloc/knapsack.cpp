@@ -26,19 +26,36 @@ Discretized discretize(const std::vector<AllocationItem>& items,
   return d;
 }
 
-/// Full B table, row-major [m][q] with m in [0, n], q in [0, Q].
-std::vector<std::vector<int>> build_table(
-    const std::vector<AllocationItem>& items, const Discretized& d) {
+/// Full B table, one contiguous row-major buffer of (n + 1) * (Q + 1)
+/// cells — at(m, q) with m in [0, n], q in [0, Q]. A single allocation
+/// instead of n + 1 separate heap rows keeps consecutive rows adjacent,
+/// which is what the row-above recurrence and the backward reconstruction
+/// walk actually touch.
+struct DpTable {
+  std::vector<int> cells;
+  std::size_t stride{0};  // Q + 1
+
+  int at(std::size_t m, std::size_t q) const {
+    return cells[m * stride + q];
+  }
+};
+
+DpTable build_table(const std::vector<AllocationItem>& items,
+                    const Discretized& d) {
   const std::size_t n = items.size();
   const auto q_max = static_cast<std::size_t>(d.capacity);
-  std::vector<std::vector<int>> b(n + 1, std::vector<int>(q_max + 1, 0));
+  DpTable b;
+  b.stride = q_max + 1;
+  b.cells.assign((n + 1) * b.stride, 0);
   for (std::size_t m = 1; m <= n; ++m) {
     const auto w = static_cast<std::size_t>(d.weight[m - 1]);
     const int profit = items[m - 1].profit;
+    int* row = b.cells.data() + m * b.stride;
+    const int* above = row - b.stride;
     for (std::size_t q = 0; q <= q_max; ++q) {
-      b[m][q] = b[m - 1][q];
+      row[q] = above[q];
       if (w <= q) {
-        b[m][q] = std::max(b[m][q], b[m - 1][q - w] + profit);
+        row[q] = std::max(row[q], above[q - w] + profit);
       }
     }
   }
@@ -58,7 +75,7 @@ AllocationResult knapsack_allocate(const graph::TaskGraph& g,
   std::vector<bool> chosen(items.size(), false);
   auto q = static_cast<std::size_t>(d.capacity);
   for (std::size_t m = items.size(); m >= 1; --m) {
-    if (table[m][q] != table[m - 1][q]) {
+    if (table.at(m, q) != table.at(m - 1, q)) {
       chosen[m - 1] = true;
       q -= static_cast<std::size_t>(d.weight[m - 1]);
     }
@@ -66,7 +83,8 @@ AllocationResult knapsack_allocate(const graph::TaskGraph& g,
 
   AllocationResult result = materialize(g, items, chosen);
   PARACONV_CHECK(result.total_profit ==
-                     table[items.size()][static_cast<std::size_t>(d.capacity)],
+                     table.at(items.size(),
+                              static_cast<std::size_t>(d.capacity)),
                  "reconstruction does not match DP optimum");
   PARACONV_CHECK(result.cache_bytes_used <= options.capacity,
                  "knapsack overcommitted cache capacity");

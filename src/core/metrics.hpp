@@ -36,6 +36,12 @@ struct RunResult {
 
   /// Busy PE-time divided by available PE-time in steady state.
   double pe_utilization{0.0};
+
+  /// How far the steady-state per-PE residency peak exceeds the PE cache
+  /// after a residency-aware capacity search exhausted its rounds (0 when
+  /// the search converged, was disabled, or nothing is cached). Non-zero
+  /// means the machine replay will observe eviction fallbacks.
+  Bytes residency_overcommit_bytes{};
 };
 
 /// ours/base as a percentage — how Table 1's "IMP (%)" column is actually

@@ -180,12 +180,17 @@ ParaConvResult ParaConv::schedule_packed(const graph::TaskGraph& g,
     capacity = Bytes{std::max<std::int64_t>(0, capacity.value * 7 / 10)};
   }
 
-  const auto issues = sched::validate_kernel_schedule(g, result.kernel,
-                                                      config_, full_capacity);
-  PARACONV_CHECK(issues.empty(),
+  // Only error-severity findings invalidate the schedule; warnings are
+  // advisory and flow to the caller through `diagnostics`. The exception
+  // text carries every error, not just the first.
+  auto issues = sched::validate_kernel_schedule(g, result.kernel,
+                                                config_, full_capacity);
+  PARACONV_CHECK(!sched::has_errors(issues),
                  "Para-CONV emitted an invalid schedule: " +
-                     (issues.empty() ? std::string{}
-                                     : sched::to_string(issues.front())));
+                     sched::render_errors(issues));
+  for (sched::Diagnostic& d : issues) {
+    result.diagnostics.push_back(std::move(d));
+  }
 
   // Metrics.
   RunResult& m = result.metrics;
@@ -205,6 +210,28 @@ ParaConvResult ParaConv::schedule_packed(const graph::TaskGraph& g,
   m.pe_utilization = static_cast<double>(g.total_work().value) /
                      (static_cast<double>(config_.pe_count) *
                       static_cast<double>(packing.period.value));
+
+  // The residency-aware capacity search can exhaust its rounds (or decay
+  // the capacity to nothing) while the final allocation still overcommits
+  // a PE cache. That schedule is legal — the machine model falls back to
+  // eDRAM — but silently returning it hid the degradation behind machine
+  // replays; surface it as a metric plus a warning diagnostic.
+  if (options_.residency_aware && allocation.cached_count > 0) {
+    const alloc::ResidencyProfile residency =
+        alloc::cache_residency(g, result.kernel, config_.pe_count);
+    if (residency.peak > config_.pe_cache_bytes) {
+      m.residency_overcommit_bytes = residency.peak - config_.pe_cache_bytes;
+      sched::Diagnostic finding;
+      finding.code = sched::DiagCode::kResidencyOvercommit;
+      finding.severity = sched::DiagSeverity::kWarning;
+      finding.message =
+          "residency-aware capacity search exhausted: steady-state peak " +
+          std::to_string(residency.peak.value) + " B exceeds the " +
+          std::to_string(config_.pe_cache_bytes.value) +
+          " B PE cache; expect eviction fallbacks";
+      result.diagnostics.push_back(std::move(finding));
+    }
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "retiming/delta.hpp"
 #include "sched/packer.hpp"
 #include "sched/schedule.hpp"
+#include "sched/validator.hpp"
 
 namespace paraconv::core {
 
@@ -76,6 +77,11 @@ struct ParaConvResult {
   std::vector<retiming::EdgeDelta> deltas;
   /// Deadline-sorted allocation-sensitive items the allocator saw.
   std::vector<alloc::AllocationItem> items;
+  /// Advisory (warning-severity) findings: the kernel is valid but degraded
+  /// — e.g. residency-overcommit after the residency-aware capacity search
+  /// ran out of rounds. Error-severity findings never appear here; they
+  /// abort scheduling with a ContractViolation instead.
+  std::vector<sched::Diagnostic> diagnostics;
 };
 
 /// The allocator-independent prefix of the pipeline (steps 1-2): the packed

@@ -1,0 +1,358 @@
+#include "dse/checkpoint.hpp"
+
+#include <bit>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "dse/memo_cache.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define PARACONV_CHECKPOINT_POSIX 1
+#endif
+
+namespace paraconv::dse {
+namespace {
+
+constexpr const char* kHeaderMagic = "paraconv-sweep-checkpoint";
+constexpr int kFormatVersion = 1;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t state = h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+  return splitmix64(state);
+}
+
+std::uint64_t mix_string(std::uint64_t h, const std::string& s) {
+  // FNV-1a over the bytes, then folded into the running hash.
+  std::uint64_t fnv = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    fnv ^= static_cast<unsigned char>(c);
+    fnv *= 0x100000001B3ULL;
+  }
+  return mix(mix(h, fnv), s.size());
+}
+
+std::uint64_t mix_double(std::uint64_t h, double d) {
+  return mix(h, std::bit_cast<std::uint64_t>(d));
+}
+
+/// Shortest decimal form that round-trips exactly (to_chars guarantee).
+std::string double_token(double d) {
+  char buf[64];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), d);
+  return std::string(buf, r.ptr);
+}
+
+bool parse_double(const std::string& token, double* out) {
+  const auto r = std::from_chars(token.data(), token.data() + token.size(),
+                                 *out);
+  return r.ec == std::errc{} && r.ptr == token.data() + token.size();
+}
+
+/// Tokens must contain no whitespace; escape space/backslash, "-" = empty.
+std::string escape_token(const std::string& s) {
+  if (s.empty()) return "-";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == ' ') {
+      out += "\\s";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_token(const std::string& s) {
+  if (s == "-") return {};
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 's':
+        out += ' ';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        out += s[i];
+        break;
+    }
+  }
+  return out;
+}
+
+/// Free-text tail field: spaces survive, newlines/backslashes are escaped
+/// so the record stays one line.
+std::string escape_text(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_text(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        out += s[i];
+        break;
+    }
+  }
+  return out;
+}
+
+void append_run_result(std::ostringstream& os, const core::RunResult& m) {
+  os << ' ' << escape_token(m.scheduler) << ' ' << m.iteration_time.value
+     << ' ' << m.r_max << ' ' << m.prologue_time.value << ' '
+     << m.total_time.value << ' ' << m.cached_iprs << ' '
+     << m.cache_bytes_used.value << ' '
+     << m.offchip_bytes_per_iteration.value << ' '
+     << double_token(m.pe_utilization) << ' '
+     << m.residency_overcommit_bytes.value;
+}
+
+bool parse_run_result(std::istringstream& is, core::RunResult* m) {
+  std::string scheduler;
+  std::string utilization;
+  std::int64_t iteration = 0;
+  std::int64_t prologue = 0;
+  std::int64_t total = 0;
+  std::int64_t cache_bytes = 0;
+  std::int64_t offchip = 0;
+  std::int64_t overcommit = 0;
+  if (!(is >> scheduler >> iteration >> m->r_max >> prologue >> total >>
+        m->cached_iprs >> cache_bytes >> offchip >> utilization >>
+        overcommit)) {
+    return false;
+  }
+  m->scheduler = unescape_token(scheduler);
+  m->iteration_time = TimeUnits{iteration};
+  m->prologue_time = TimeUnits{prologue};
+  m->total_time = TimeUnits{total};
+  m->cache_bytes_used = Bytes{cache_bytes};
+  m->offchip_bytes_per_iteration = Bytes{offchip};
+  m->residency_overcommit_bytes = Bytes{overcommit};
+  return parse_double(utilization, &m->pe_utilization);
+}
+
+std::string header_line(std::uint64_t fingerprint, std::size_t cells) {
+  std::ostringstream os;
+  os << kHeaderMagic << ' ' << kFormatVersion << ' ' << fingerprint << ' '
+     << cells;
+  return os.str();
+}
+
+}  // namespace
+
+std::uint64_t sweep_fingerprint(const GridSpec& spec,
+                                const SweepOptions& options) {
+  std::uint64_t h = 0x5EEDC0DE;
+  h = mix(h, spec.cases.size());
+  for (const SweepCase& sweep_case : spec.cases) {
+    h = mix_string(h, sweep_case.name);
+    h = mix(h, graph_fingerprint(sweep_case.graph));
+  }
+  h = mix(h, spec.configs.size());
+  for (const pim::PimConfig& config : spec.configs) {
+    h = mix(h, static_cast<std::uint64_t>(config.pe_count));
+    h = mix(h, static_cast<std::uint64_t>(config.pe_cache_bytes.value));
+    h = mix(h, static_cast<std::uint64_t>(config.vault_count));
+    h = mix(h, static_cast<std::uint64_t>(config.cache_bytes_per_unit));
+    h = mix(h, static_cast<std::uint64_t>(config.edram_bytes_per_unit));
+    h = mix_double(h, config.cache_pj_per_byte);
+    h = mix_double(h, config.edram_pj_per_byte);
+    h = mix_double(h, config.noc_pj_per_byte);
+    h = mix_double(h, config.compute_pj_per_unit);
+    h = mix(h, static_cast<std::uint64_t>(config.topology));
+    h = mix(h, static_cast<std::uint64_t>(config.noc_hop_units));
+    h = mix(h, config.weights_resident ? 1 : 0);
+  }
+  h = mix(h, spec.packers.size());
+  for (const core::PackerKind packer : spec.packers) {
+    h = mix(h, static_cast<std::uint64_t>(packer));
+  }
+  h = mix(h, spec.allocators.size());
+  for (const core::AllocatorKind allocator : spec.allocators) {
+    h = mix(h, static_cast<std::uint64_t>(allocator));
+  }
+  h = mix(h, static_cast<std::uint64_t>(spec.iterations));
+  h = mix(h, static_cast<std::uint64_t>(spec.refine_steps));
+  h = mix(h, options.seed);
+  h = mix(h, options.with_baseline ? 1 : 0);
+  return h;
+}
+
+std::string encode_cell_record(const CellResult& cell) {
+  std::ostringstream os;
+  os << "cell " << cell.index << ' ' << to_string(cell.status);
+  if (cell.status == CellStatus::kOk) {
+    os << ' ' << double_token(cell.energy_uj);
+    append_run_result(os, cell.para);
+    append_run_result(os, cell.sparta);
+  } else {
+    os << ' ' << escape_token(cell.error_code) << ' '
+       << escape_text(cell.error_message);
+  }
+  return os.str();
+}
+
+std::optional<CellResult> decode_cell_record(const std::string& line) {
+  std::istringstream is(line);
+  std::string tag;
+  std::string status;
+  CellResult cell;
+  if (!(is >> tag >> cell.index >> status) || tag != "cell") {
+    return std::nullopt;
+  }
+  if (status == "ok") {
+    std::string energy;
+    if (!(is >> energy) || !parse_double(energy, &cell.energy_uj)) {
+      return std::nullopt;
+    }
+    if (!parse_run_result(is, &cell.para)) return std::nullopt;
+    if (!parse_run_result(is, &cell.sparta)) return std::nullopt;
+    cell.status = CellStatus::kOk;
+    return cell;
+  }
+  if (status == "error") {
+    std::string code;
+    if (!(is >> code)) return std::nullopt;
+    cell.status = CellStatus::kError;
+    cell.error_code = unescape_token(code);
+    std::string message;
+    std::getline(is >> std::ws, message);
+    cell.error_message = unescape_text(message);
+    return cell;
+  }
+  return std::nullopt;
+}
+
+CheckpointLoad load_checkpoint(const std::string& path,
+                               std::uint64_t fingerprint, std::size_t cells) {
+  CheckpointLoad load;
+  load.ok_cells.resize(cells);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return load;  // missing file = empty checkpoint
+  load.file_found = true;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+
+  std::size_t offset = 0;
+  bool saw_header = false;
+  while (offset < contents.size()) {
+    const std::size_t newline = contents.find('\n', offset);
+    if (newline == std::string::npos) break;  // torn trailing line
+    const std::string line = contents.substr(offset, newline - offset);
+    if (!saw_header) {
+      PARACONV_REQUIRE(line == header_line(fingerprint, cells),
+                       "checkpoint '" + path +
+                           "' was written for a different sweep "
+                           "(grid/seed/options mismatch)");
+      saw_header = true;
+    } else {
+      const std::optional<CellResult> cell = decode_cell_record(line);
+      if (!cell.has_value()) break;  // corrupt tail: keep the valid prefix
+      ++load.records_read;
+      if (cell->index < cells && cell->status == CellStatus::kOk) {
+        // Last record per index wins (a resumed sweep re-appends).
+        load.ok_cells[cell->index] = *cell;
+      }
+    }
+    offset = newline + 1;
+    load.valid_bytes = static_cast<std::int64_t>(offset);
+  }
+  PARACONV_REQUIRE(saw_header || contents.empty(),
+                   "checkpoint '" + path + "' has no valid header");
+  return load;
+}
+
+CheckpointWriter::CheckpointWriter(
+    const std::string& path, std::uint64_t fingerprint, std::size_t cells,
+    std::optional<std::int64_t> resume_from_bytes) {
+  if (resume_from_bytes.has_value()) {
+    file_ = std::fopen(path.c_str(), "r+b");
+    PARACONV_REQUIRE(file_ != nullptr,
+                     "cannot reopen checkpoint file: " + path);
+#ifdef PARACONV_CHECKPOINT_POSIX
+    // Drop a torn trailing line before appending after it.
+    if (::ftruncate(::fileno(file_),
+                    static_cast<off_t>(*resume_from_bytes)) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      PARACONV_REQUIRE(false, "cannot truncate checkpoint file: " + path);
+    }
+#endif
+    std::fseek(file_, 0, SEEK_END);
+  } else {
+    file_ = std::fopen(path.c_str(), "wb");
+    PARACONV_REQUIRE(file_ != nullptr,
+                     "cannot open checkpoint file: " + path);
+    write_line(header_line(fingerprint, cells));
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CheckpointWriter::append(const CellResult& cell) {
+  const std::string line = encode_cell_record(cell);
+  const std::lock_guard<std::mutex> lock(mu_);
+  write_line(line);
+}
+
+void CheckpointWriter::write_line(const std::string& line) {
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+#ifdef PARACONV_CHECKPOINT_POSIX
+  ::fsync(::fileno(file_));
+#endif
+}
+
+}  // namespace paraconv::dse

@@ -1,0 +1,89 @@
+// Crash-safe sweep checkpointing.
+//
+// A checkpoint is a line-oriented append-only file: one header line naming
+// the sweep fingerprint and cell count, then one record per settled cell,
+// appended (flushed + fsync'd) as the cell completes. A crash can at worst
+// leave a torn final line, which the loader ignores — every fully-written
+// record survives. Records store only the *computed* fields of a cell
+// (metrics, energy, status); identity fields (benchmark, config, packer,
+// allocator, seed) are reconstructed from the grid on resume, which both
+// keeps records compact and guarantees a resumed cell is bit-equal to a
+// freshly evaluated one. Doubles round-trip exactly via shortest-form
+// std::to_chars.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dse/sweep.hpp"
+
+namespace paraconv::dse {
+
+/// Stable fingerprint of everything that determines a sweep's results:
+/// the grid (graph structures + names, config fields, packer/allocator
+/// axes, iterations, refinement) plus the sweep seed and baseline toggle.
+/// Execution knobs (jobs, fail_fast, checkpoint/resume) are excluded — a
+/// checkpoint taken at --jobs 1 resumes fine at --jobs 8.
+std::uint64_t sweep_fingerprint(const GridSpec& spec,
+                                const SweepOptions& options);
+
+/// One checkpoint line for a settled cell (no trailing newline).
+std::string encode_cell_record(const CellResult& cell);
+
+/// Parses one record line. Returns a CellResult with only the computed
+/// fields (index, status, metrics, energy, error code/message) populated,
+/// or nullopt for a malformed/torn line.
+std::optional<CellResult> decode_cell_record(const std::string& line);
+
+/// What load_checkpoint recovered.
+struct CheckpointLoad {
+  /// Last ok record per grid index; empty slots (missing, errored, torn)
+  /// mean the cell must be (re-)evaluated.
+  std::vector<std::optional<CellResult>> ok_cells;
+  /// Records parsed (ok + error).
+  std::size_t records_read{0};
+  /// File offset just past the last fully-parsed line. Appending must
+  /// start here so a torn trailing line never corrupts the next record.
+  std::int64_t valid_bytes{0};
+  /// False when the file does not exist (an empty checkpoint).
+  bool file_found{false};
+};
+
+/// Reads a checkpoint previously written for `fingerprint` and a grid of
+/// `cells` cells. A missing file is an empty checkpoint; a header for a
+/// different fingerprint or cell count throws ContractViolation (resuming
+/// someone else's sweep would silently fabricate results).
+CheckpointLoad load_checkpoint(const std::string& path,
+                               std::uint64_t fingerprint, std::size_t cells);
+
+/// Serialized, fsync'd appender. Thread-safe: sweep workers settle cells
+/// concurrently and funnel through one mutex here.
+class CheckpointWriter {
+ public:
+  /// Opens `path`. With resume_from_bytes set, keeps the existing file and
+  /// truncates it to that offset (dropping a torn trailing line) before
+  /// appending; otherwise truncates everything and writes a fresh header.
+  /// Throws ContractViolation when the file cannot be opened.
+  CheckpointWriter(const std::string& path, std::uint64_t fingerprint,
+                   std::size_t cells,
+                   std::optional<std::int64_t> resume_from_bytes);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Appends one record and forces it to disk before returning.
+  void append(const CellResult& cell);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::mutex mu_;
+  std::FILE* file_{nullptr};
+};
+
+}  // namespace paraconv::dse

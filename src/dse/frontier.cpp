@@ -21,6 +21,10 @@ bool dominates(const CellResult& a, const CellResult& b) {
 }
 
 std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier) {
+  // Error rows keep their identity columns (what failed) but leave every
+  // metric column empty — an empty cell reads as "no data", a zero would
+  // read as a perfect score.
+  const bool ok = cell.status == CellStatus::kOk;
   std::vector<std::string> row{
       std::to_string(cell.index),
       cell.benchmark,
@@ -31,18 +35,22 @@ std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier) {
       pim::to_string(cell.config.topology),
       core::to_string(cell.packer),
       core::to_string(cell.allocator),
-      std::to_string(cell.para.iteration_time.value),
-      std::to_string(cell.para.r_max),
-      std::to_string(cell.para.prologue_time.value),
-      std::to_string(cell.para.total_time.value),
-      std::to_string(cell.para.cached_iprs),
-      std::to_string(cell.para.offchip_bytes_per_iteration.value),
-      format_fixed(cell.energy_uj, 3),
-      std::to_string(cell.sparta.total_time.value),
-      cell.sparta.total_time.value > 0
+      ok ? std::to_string(cell.para.iteration_time.value) : std::string{},
+      ok ? std::to_string(cell.para.r_max) : std::string{},
+      ok ? std::to_string(cell.para.prologue_time.value) : std::string{},
+      ok ? std::to_string(cell.para.total_time.value) : std::string{},
+      ok ? std::to_string(cell.para.cached_iprs) : std::string{},
+      ok ? std::to_string(cell.para.offchip_bytes_per_iteration.value)
+         : std::string{},
+      ok ? format_fixed(cell.energy_uj, 3) : std::string{},
+      ok ? std::to_string(cell.sparta.total_time.value) : std::string{},
+      ok && cell.sparta.total_time.value > 0
           ? format_fixed(core::speedup(cell.sparta, cell.para), 2)
           : std::string{},
-      on_frontier ? "1" : "0"};
+      on_frontier ? "1" : "0",
+      to_string(cell.status),
+      cell.error_code,
+      cell.error_message};
   return row;
 }
 
@@ -54,7 +62,8 @@ const std::vector<std::string>& cell_header() {
       "iteration_time", "r_max",          "prologue_time",
       "total_time",     "cached_iprs",    "offchip_bytes",
       "energy_uj",      "sparta_total_time", "speedup",
-      "frontier"};
+      "frontier",       "status",         "error_code",
+      "error_message"};
   return kHeader;
 }
 
@@ -69,11 +78,16 @@ std::vector<bool> frontier_mask(const SweepResult& sweep) {
 
 std::vector<std::size_t> pareto_frontier(
     const std::vector<CellResult>& cells) {
+  // Error cells carry no metrics: they neither join the frontier nor
+  // dominate anything (a default-zero metric vector would dominate every
+  // real design point).
   std::vector<std::size_t> frontier;
   for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].status != CellStatus::kOk) continue;
     bool dominated = false;
     for (std::size_t j = 0; j < cells.size() && !dominated; ++j) {
-      dominated = j != i && dominates(cells[j], cells[i]);
+      dominated = j != i && cells[j].status == CellStatus::kOk &&
+                  dominates(cells[j], cells[i]);
     }
     if (!dominated) frontier.push_back(i);
   }
@@ -111,10 +125,16 @@ report::JsonValue sweep_to_json(const SweepResult& sweep) {
     c.set("topology", pim::to_string(cell.config.topology));
     c.set("packer", core::to_string(cell.packer));
     c.set("allocator", core::to_string(cell.allocator));
-    c.set("energy_uj", cell.energy_uj);
-    c.set("para_conv", report::to_json(cell.para));
-    if (cell.sparta.total_time.value > 0) {
-      c.set("sparta", report::to_json(cell.sparta));
+    c.set("status", to_string(cell.status));
+    if (cell.status == CellStatus::kOk) {
+      c.set("energy_uj", cell.energy_uj);
+      c.set("para_conv", report::to_json(cell.para));
+      if (cell.sparta.total_time.value > 0) {
+        c.set("sparta", report::to_json(cell.sparta));
+      }
+    } else {
+      c.set("error_code", cell.error_code);
+      c.set("error_message", cell.error_message);
     }
     cells.push_back(std::move(c));
   }

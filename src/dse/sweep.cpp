@@ -1,12 +1,16 @@
 #include "dse/sweep.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <future>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "dse/checkpoint.hpp"
 #include "dse/thread_pool.hpp"
 #include "graph/paper_benchmarks.hpp"
 #include "obs/obs.hpp"
@@ -36,8 +40,19 @@ void GridSpec::validate() const {
   PARACONV_REQUIRE(!allocators.empty(), "grid needs at least one allocator");
   PARACONV_REQUIRE(iterations >= 1, "at least one iteration required");
   PARACONV_REQUIRE(refine_steps >= 0, "refine_steps must be >= 0");
-  for (const SweepCase& sweep_case : cases) sweep_case.graph.validate();
-  for (const pim::PimConfig& config : configs) config.validate();
+  // Graphs and configs are deliberately not deep-validated here: a bad
+  // config or graph must fail its own cells (typed error rows), not veto
+  // every other cell of the sweep.
+}
+
+const char* to_string(CellStatus status) {
+  switch (status) {
+    case CellStatus::kOk:
+      return "ok";
+    case CellStatus::kError:
+      return "error";
+  }
+  return "unknown";
 }
 
 GridSpec paper_grid(const std::vector<int>& pe_counts,
@@ -136,6 +151,8 @@ CellResult evaluate_cell(const SweepCase& sweep_case,
 SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
   spec.validate();
   PARACONV_REQUIRE(options.jobs >= 0, "jobs must be >= 0");
+  PARACONV_REQUIRE(!options.resume || !options.checkpoint_path.empty(),
+                   "resume requires a checkpoint path");
   const int jobs =
       options.jobs == 0 ? ThreadPool::hardware_threads() : options.jobs;
 
@@ -148,58 +165,146 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
   result.jobs_used = jobs;
   result.cells.resize(cells);
 
-  const auto evaluate = [&](std::size_t index) {
+  // Fills the identity columns a checkpoint record omits; a resumed cell
+  // must be indistinguishable from a freshly evaluated one.
+  const auto fill_identity = [&](std::size_t index, CellResult& cell) {
     const GridSpec::Coordinates at = spec.coordinates(index);
-    CellResult cell = evaluate_cell(
-        spec.cases[at.case_index], spec.configs[at.config_index],
-        spec.packers[at.packer_index], spec.allocators[at.allocator_index],
-        spec.iterations, spec.refine_steps, cell_seed(options.seed, index),
-        options.with_baseline, cache);
     cell.index = index;
+    cell.benchmark = spec.cases[at.case_index].name;
+    cell.vertices = spec.cases[at.case_index].graph.node_count();
+    cell.edges = spec.cases[at.case_index].graph.edge_count();
+    cell.config = spec.configs[at.config_index];
+    cell.packer = spec.packers[at.packer_index];
+    cell.allocator = spec.allocators[at.allocator_index];
+    cell.cell_seed = cell_seed(options.seed, index);
+  };
+
+  std::vector<char> resumed(cells, 0);
+  std::unique_ptr<CheckpointWriter> checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    const std::uint64_t fingerprint = sweep_fingerprint(spec, options);
+    std::optional<std::int64_t> resume_from;
+    if (options.resume) {
+      CheckpointLoad load =
+          load_checkpoint(options.checkpoint_path, fingerprint, cells);
+      for (std::size_t index = 0; index < cells; ++index) {
+        if (!load.ok_cells[index].has_value()) continue;
+        CellResult cell = std::move(*load.ok_cells[index]);
+        fill_identity(index, cell);
+        result.cells[index] = std::move(cell);
+        resumed[index] = 1;
+      }
+      if (load.file_found) resume_from = load.valid_bytes;
+    }
+    checkpoint = std::make_unique<CheckpointWriter>(
+        options.checkpoint_path, fingerprint, cells, resume_from);
+  }
+
+  // Keep-going is the default: a failing cell becomes a typed error row and
+  // the sweep continues. With fail-fast the flag stops cells that have not
+  // started yet; cells already in flight settle normally, and the
+  // lowest-grid-index failure is rethrown after the join (its exception is
+  // parked per slot so the choice never depends on completion order).
+  std::atomic<bool> stop{false};
+  std::vector<std::exception_ptr> errors(cells);
+  std::atomic<std::size_t> evaluated{0};
+
+  const auto evaluate = [&](std::size_t index) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    evaluated.fetch_add(1, std::memory_order_relaxed);
+    CellResult cell;
+    fill_identity(index, cell);
+    const GridSpec::Coordinates at = spec.coordinates(index);
+    std::exception_ptr thrown;
+    try {
+      CellResult computed = evaluate_cell(
+          spec.cases[at.case_index], spec.configs[at.config_index],
+          spec.packers[at.packer_index], spec.allocators[at.allocator_index],
+          spec.iterations, spec.refine_steps, cell_seed(options.seed, index),
+          options.with_baseline, cache);
+      computed.index = index;
+      cell = std::move(computed);
+    } catch (const ContractViolation& violation) {
+      cell.status = CellStatus::kError;
+      cell.error_code = "contract-violation";
+      cell.error_message = violation.what();
+      thrown = std::current_exception();
+    } catch (const std::exception& error) {
+      cell.status = CellStatus::kError;
+      cell.error_code = "exception";
+      cell.error_message = error.what();
+      thrown = std::current_exception();
+    }
+    if (thrown != nullptr && options.fail_fast) {
+      errors[index] = thrown;
+      stop.store(true, std::memory_order_relaxed);
+    }
     // Ordered reduction: each cell owns exactly slot `index`, so the
     // assembled vector never depends on completion order.
     result.cells[index] = std::move(cell);
+    if (checkpoint != nullptr) checkpoint->append(result.cells[index]);
   };
 
   const MemoCache::Stats cache_before = cache->stats();
   const auto start = std::chrono::steady_clock::now();
+  std::uint64_t pool_executed = 0;
+  std::uint64_t pool_stolen = 0;
   if (jobs == 1) {
-    for (std::size_t index = 0; index < cells; ++index) evaluate(index);
+    for (std::size_t index = 0; index < cells; ++index) {
+      if (resumed[index]) continue;
+      evaluate(index);
+    }
+    pool_executed = evaluated.load();
   } else {
     ThreadPool pool({.threads = jobs});
     std::vector<std::future<void>> futures;
     futures.reserve(cells);
     for (std::size_t index = 0; index < cells; ++index) {
+      if (resumed[index]) continue;
       futures.push_back(pool.async([&evaluate, index] { evaluate(index); }));
     }
-    // Surface the first failure in grid order (deterministic), but only
-    // after every cell settled — futures joined in order guarantee that.
-    std::exception_ptr first_error;
-    for (std::future<void>& future : futures) {
-      try {
-        future.get();
-      } catch (...) {
-        if (first_error == nullptr) first_error = std::current_exception();
-      }
-    }
+    for (std::future<void>& future : futures) future.get();
     const ThreadPool::Stats pool_stats = pool.stats();
-    obs::count("dse.pool.executed",
-               static_cast<std::int64_t>(pool_stats.executed));
-    obs::count("dse.pool.stolen",
-               static_cast<std::int64_t>(pool_stats.stolen));
-    if (first_error != nullptr) std::rethrow_exception(first_error);
+    pool_executed = pool_stats.executed;
+    pool_stolen = pool_stats.stolen;
   }
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds =
       std::chrono::duration<double>(end - start).count();
   result.cache_stats = cache->stats();
+
+  for (std::size_t index = 0; index < cells; ++index) {
+    if (resumed[index]) {
+      ++result.cells_resumed;
+      ++result.cells_ok;
+    } else if (result.cells[index].status == CellStatus::kOk) {
+      ++result.cells_ok;
+    } else {
+      ++result.cells_failed;
+    }
+  }
+
+  // Counters land on the sequential and the parallel path alike, and
+  // before any fail-fast rethrow — an aborted sweep is still observable.
   obs::count("dse.cells", static_cast<std::int64_t>(cells));
+  obs::count("dse.cells.failed",
+             static_cast<std::int64_t>(result.cells_failed));
+  obs::count("dse.cells.resumed",
+             static_cast<std::int64_t>(result.cells_resumed));
+  obs::count("dse.pool.executed", static_cast<std::int64_t>(pool_executed));
+  obs::count("dse.pool.stolen", static_cast<std::int64_t>(pool_stolen));
   obs::count("dse.memo.hits",
              static_cast<std::int64_t>(result.cache_stats.hits -
                                        cache_before.hits));
   obs::count("dse.memo.misses",
              static_cast<std::int64_t>(result.cache_stats.misses -
                                        cache_before.misses));
+
+  if (options.fail_fast) {
+    for (std::size_t index = 0; index < cells; ++index) {
+      if (errors[index] != nullptr) std::rethrow_exception(errors[index]);
+    }
+  }
   return result;
 }
 

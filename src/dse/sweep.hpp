@@ -12,6 +12,13 @@
 // Enumeration order is case-major: case, then config, then packer, with
 // the allocator fastest — consecutive cells of an allocator ablation share
 // their (graph, config, packer) prefix and hit the MemoCache.
+//
+// Failures are isolated at the cell boundary: a cell that throws becomes a
+// typed error row (CellStatus::kError + code + message) instead of sinking
+// the sweep, on the sequential and the parallel path alike. Sweeps can
+// checkpoint each settled cell to an fsync'd append-only file and resume
+// after a crash, re-evaluating only missing or errored cells — the final
+// reports are byte-identical to an uninterrupted run (see checkpoint.hpp).
 #pragma once
 
 #include <cstdint>
@@ -54,7 +61,10 @@ struct GridSpec {
   };
   Coordinates coordinates(std::size_t index) const;
 
-  /// Throws ContractViolation on an empty axis or invalid config.
+  /// Throws ContractViolation on an empty axis or bad shape. Per-case
+  /// graphs and per-config fields are deliberately NOT deep-validated
+  /// here: an invalid config or graph fails its own cells at evaluation
+  /// time (fault isolation), not the whole sweep upfront.
   void validate() const;
 };
 
@@ -62,6 +72,15 @@ struct GridSpec {
 /// Neurocube configuration per PE count.
 GridSpec paper_grid(const std::vector<int>& pe_counts,
                     std::int64_t iterations = 100);
+
+/// Outcome of one cell. Failure is data, not a sweep abort: an error cell
+/// keeps its identity columns (benchmark/config/packer/allocator), carries
+/// a typed code + message, and is excluded from the Pareto frontier and
+/// summary statistics.
+enum class CellStatus : std::uint8_t { kOk, kError };
+
+/// Stable rendering: "ok" / "error".
+const char* to_string(CellStatus status);
 
 /// One evaluated grid cell.
 struct CellResult {
@@ -79,6 +98,12 @@ struct CellResult {
   core::RunResult sparta;
   /// Analytic steady-state energy per iteration (see estimate_energy_uj).
   double energy_uj{0.0};
+  CellStatus status{CellStatus::kOk};
+  /// Stable machine-readable failure class when status == kError
+  /// ("contract-violation" or "exception"); empty when ok.
+  std::string error_code{};
+  /// Human-readable failure detail (the exception's what()); empty when ok.
+  std::string error_message{};
 };
 
 struct SweepOptions {
@@ -91,6 +116,21 @@ struct SweepOptions {
   std::uint64_t seed{0};
   /// Shared packing cache; nullptr = a sweep-local cache.
   MemoCache* cache{nullptr};
+  /// Keep-going (default): a failing cell becomes an error row and every
+  /// other cell still settles — identically for any jobs count. Fail-fast:
+  /// no new cells start after the first failure; once in-flight cells
+  /// settle, run_sweep rethrows the lowest-grid-index failure.
+  bool fail_fast{false};
+  /// When non-empty, append one fsync'd record per settled cell to this
+  /// file (crash-safe: a record either fully lands or is a torn last line
+  /// the loader ignores).
+  std::string checkpoint_path{};
+  /// Load checkpoint_path first and skip cells it records as ok; missing
+  /// and errored cells are (re-)evaluated and appended. The final reports
+  /// are byte-identical to an uninterrupted run. Requires checkpoint_path;
+  /// a missing file is an empty checkpoint, a file written for a different
+  /// grid or seed throws ContractViolation.
+  bool resume{false};
 };
 
 struct SweepResult {
@@ -99,6 +139,11 @@ struct SweepResult {
   MemoCache::Stats cache_stats;
   double wall_seconds{0.0};
   int jobs_used{1};
+  /// Cells that settled ok (evaluated or resumed) / settled as errors.
+  std::size_t cells_ok{0};
+  std::size_t cells_failed{0};
+  /// Cells restored from the checkpoint instead of being evaluated.
+  std::size_t cells_resumed{0};
 };
 
 /// Deterministic per-cell seed derivation (exposed for tests).
@@ -114,8 +159,12 @@ CellResult evaluate_cell(const SweepCase& sweep_case,
                          std::uint64_t seed, bool with_baseline,
                          MemoCache* cache);
 
-/// Runs the full grid. Throws the first failing cell's exception (by grid
-/// order) after the pool quiesces.
+/// Runs the full grid. Per-cell failures (ContractViolation or any other
+/// exception thrown while evaluating one cell) are caught at the cell
+/// boundary and recorded as error cells; successful cells are unaffected.
+/// With fail_fast, the lowest-grid-index failure is rethrown after every
+/// in-flight cell settles. Grid-shape errors (empty axes) still throw
+/// upfront; a bad config or graph fails only its own cells.
 SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options = {});
 
 /// Analytic steady-state energy estimate of one kernel iteration, in

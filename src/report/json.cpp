@@ -155,6 +155,7 @@ JsonValue to_json(const core::RunResult& metrics) {
   v.set("offchip_bytes_per_iteration",
         metrics.offchip_bytes_per_iteration.value);
   v.set("pe_utilization", metrics.pe_utilization);
+  v.set("residency_overcommit_bytes", metrics.residency_overcommit_bytes.value);
   return v;
 }
 

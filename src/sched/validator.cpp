@@ -47,6 +47,8 @@ const char* to_string(DiagCode code) {
       return "data-not-ready";
     case DiagCode::kCacheOvercommitted:
       return "cache-overcommitted";
+    case DiagCode::kResidencyOvercommit:
+      return "residency-overcommit";
   }
   return "unknown";
 }
@@ -75,6 +77,23 @@ bool has_code(const std::vector<Diagnostic>& diagnostics, DiagCode code) {
   return std::any_of(
       diagnostics.begin(), diagnostics.end(),
       [code](const Diagnostic& d) { return d.code == code; });
+}
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& d) {
+                       return d.severity == DiagSeverity::kError;
+                     });
+}
+
+std::string render_errors(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity != DiagSeverity::kError) continue;
+    if (!out.empty()) out += "; ";
+    out += to_string(d);
+  }
+  return out;
 }
 
 std::vector<Diagnostic> validate_kernel_schedule(const graph::TaskGraph& g,

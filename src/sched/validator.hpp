@@ -36,6 +36,7 @@ enum class DiagCode {
   kNegativeDistance,
   kDataNotReady,
   kCacheOvercommitted,
+  kResidencyOvercommit,
 };
 
 /// Stable kebab-case rendering of the code ("pe-overlap", "data-not-ready").
@@ -43,7 +44,8 @@ const char* to_string(DiagCode code);
 
 enum class DiagSeverity {
   kError,    // the schedule is invalid
-  kWarning,  // reserved for advisory findings (none emitted today)
+  kWarning,  // advisory finding: the schedule is legal but degraded
+             // (e.g. residency-overcommit); never aborts the pipeline
 };
 
 const char* to_string(DiagSeverity severity);
@@ -65,6 +67,14 @@ std::ostream& operator<<(std::ostream& os, const Diagnostic& diagnostic);
 
 /// True when any diagnostic carries the given code.
 bool has_code(const std::vector<Diagnostic>& diagnostics, DiagCode code);
+
+/// True when any diagnostic is error-severity. Warnings alone leave a
+/// schedule valid; only errors may fail a pipeline.
+bool has_errors(const std::vector<Diagnostic>& diagnostics);
+
+/// "; "-joined rendering of every error-severity diagnostic (all of them,
+/// not just the first); empty when none.
+std::string render_errors(const std::vector<Diagnostic>& diagnostics);
 
 std::vector<Diagnostic> validate_kernel_schedule(const graph::TaskGraph& g,
                                                  const KernelSchedule& kernel,

@@ -7,6 +7,8 @@
 #include "core/para_conv.hpp"
 #include "graph/paper_benchmarks.hpp"
 #include "pim/machine.hpp"
+#include "retiming/cases.hpp"
+#include "retiming/delta.hpp"
 
 namespace paraconv::core {
 namespace {
@@ -61,6 +63,69 @@ TEST_P(ResidencyAwareTest, ThroughputUnchanged) {
   const ParaConvResult without = ParaConv(config, {}).schedule(g);
   EXPECT_EQ(with.metrics.iteration_time, without.metrics.iteration_time);
   EXPECT_GE(with.metrics.r_max, without.metrics.r_max);
+}
+
+TEST(ResidencyAwareTest, ExhaustedCapacitySearchWarnsInsteadOfAborting) {
+  // One 4 KiB IPR on a 2 KiB-per-PE cache: the per-PE peak can never fit,
+  // but the aggregate knapsack capacity (1024 PEs x 2 KiB, shrunk x0.7 per
+  // round, still ~7 KiB after 16 rounds) holds the edge when the search
+  // exhausts. The schedule stays legal — the machine falls back to eDRAM —
+  // so this must surface as a kWarning diagnostic plus a metric, never as
+  // an abort. The packing is hand-built (schedule_packed) because the edge
+  // only carries caching profit when its endpoints sit on different PEs
+  // with a cross-window gap, which no packer would choose for two tasks.
+  graph::TaskGraph g{"overcommit"};
+  const graph::NodeId a = g.add_task(
+      graph::Task{"A", graph::TaskKind::kConvolution, TimeUnits{1}});
+  const graph::NodeId b = g.add_task(
+      graph::Task{"B", graph::TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(a, b, Bytes{4096});
+
+  pim::PimConfig config;
+  config.pe_count = 1024;
+  config.pe_cache_bytes = Bytes{2048};
+  config.validate();
+
+  PackedSchedule packed;
+  packed.packing.period = TimeUnits{4};
+  packed.packing.placement = {sched::TaskPlacement{0, TimeUnits{0}},
+                              sched::TaskPlacement{1, TimeUnits{3}}};
+  packed.deltas = retiming::compute_edge_deltas(
+      g, packed.packing.placement, packed.packing.period, config);
+  ASSERT_GT(retiming::delta_r(packed.deltas[0]), 0);
+
+  ParaConvOptions options;
+  options.residency_aware = true;
+  options.allocator = AllocatorKind::kGreedyDensity;
+  const ParaConvResult r =
+      ParaConv(config, options).schedule_packed(g, packed);
+
+  ASSERT_GT(r.metrics.cached_iprs, 0U);
+  EXPECT_GT(r.metrics.residency_overcommit_bytes.value, 0);
+  bool warned = false;
+  for (const sched::Diagnostic& d : r.diagnostics) {
+    if (d.code == sched::DiagCode::kResidencyOvercommit) {
+      warned = true;
+      EXPECT_EQ(d.severity, sched::DiagSeverity::kWarning);
+      EXPECT_NE(d.message.find("exceeds"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(ResidencyAwareTest, FittingScheduleReportsNoOvercommit) {
+  const graph::TaskGraph g =
+      graph::build_paper_benchmark(graph::paper_benchmark("flower"));
+  const pim::PimConfig config = pim::PimConfig::neurocube(32);
+  ParaConvOptions options;
+  options.residency_aware = true;
+  const ParaConvResult r = ParaConv(config, options).schedule(g);
+  if (r.metrics.cached_iprs > 0) {
+    EXPECT_EQ(r.metrics.residency_overcommit_bytes.value, 0);
+    for (const sched::Diagnostic& d : r.diagnostics) {
+      EXPECT_NE(d.code, sched::DiagCode::kResidencyOvercommit);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Benchmarks, ResidencyAwareTest,

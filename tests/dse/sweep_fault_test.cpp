@@ -1,0 +1,369 @@
+// Fault isolation, fail-fast, and checkpoint/resume behaviour of the sweep
+// engine. The fault injector is a grid case whose graph is empty: it passes
+// the shape-only GridSpec::validate but throws ContractViolation inside its
+// own cells, which is exactly the class of failure the engine must contain.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dse/checkpoint.hpp"
+#include "dse/frontier.hpp"
+#include "dse/sweep.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::dse {
+namespace {
+
+SweepCase paper_case(const char* name) {
+  return {name, graph::build_paper_benchmark(graph::paper_benchmark(name))};
+}
+
+// Three cells; the middle one (grid index 1) always fails: an empty graph
+// trips TaskGraph::validate inside evaluate_cell.
+GridSpec faulty_grid() {
+  GridSpec spec;
+  spec.iterations = 10;
+  spec.cases.push_back(paper_case("cat"));
+  spec.cases.push_back({"broken", graph::TaskGraph{}});
+  spec.cases.push_back(paper_case("flower"));
+  spec.configs = {pim::PimConfig::neurocube(8)};
+  return spec;
+}
+
+// Four healthy cells: 2 benchmarks x 1 config x 1 packer x 2 allocators.
+GridSpec healthy_grid() {
+  GridSpec spec;
+  spec.iterations = 10;
+  spec.cases.push_back(paper_case("cat"));
+  spec.cases.push_back(paper_case("flower"));
+  spec.configs = {pim::PimConfig::neurocube(8)};
+  spec.allocators = {core::AllocatorKind::kKnapsackDp,
+                     core::AllocatorKind::kGreedyDeadline};
+  return spec;
+}
+
+std::string serialize(const SweepResult& sweep) {
+  std::ostringstream csv;
+  write_sweep_csv(csv, sweep);
+  return csv.str() + "\n---\n" + sweep_to_json(sweep).dump(/*pretty=*/true);
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+/// Offset just past the first `lines` newline-terminated lines.
+std::size_t offset_after_lines(const std::string& contents,
+                               std::size_t lines) {
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < lines; ++i) {
+    offset = contents.find('\n', offset);
+    EXPECT_NE(offset, std::string::npos);
+    ++offset;
+  }
+  return offset;
+}
+
+TEST(SweepFaultTest, FailingCellBecomesErrorRowOthersSettle) {
+  const GridSpec spec = faulty_grid();
+  SweepOptions options;
+  options.jobs = 1;
+  const SweepResult sweep = run_sweep(spec, options);
+
+  ASSERT_EQ(sweep.cells.size(), 3U);
+  EXPECT_EQ(sweep.cells_ok, 2U);
+  EXPECT_EQ(sweep.cells_failed, 1U);
+  EXPECT_EQ(sweep.cells_resumed, 0U);
+
+  const CellResult& failed = sweep.cells[1];
+  EXPECT_EQ(failed.status, CellStatus::kError);
+  EXPECT_EQ(failed.error_code, "contract-violation");
+  EXPECT_NE(failed.error_message.find("at least one task"),
+            std::string::npos);
+  // Identity columns survive the failure.
+  EXPECT_EQ(failed.benchmark, "broken");
+  EXPECT_EQ(failed.index, 1U);
+  EXPECT_EQ(failed.config.pe_count, 8);
+
+  for (const std::size_t ok_index : {0UL, 2UL}) {
+    EXPECT_EQ(sweep.cells[ok_index].status, CellStatus::kOk);
+    EXPECT_TRUE(sweep.cells[ok_index].error_code.empty());
+    EXPECT_GT(sweep.cells[ok_index].para.total_time.value, 0);
+  }
+}
+
+TEST(SweepFaultTest, OkCellsAreUnaffectedByANeighbouringFailure) {
+  const GridSpec faulty = faulty_grid();
+  SweepOptions options;
+  options.jobs = 1;
+  const SweepResult sweep = run_sweep(faulty, options);
+
+  // The same healthy cell evaluated directly, outside any sweep.
+  const CellResult direct = evaluate_cell(
+      faulty.cases[0], faulty.configs[0], faulty.packers[0],
+      faulty.allocators[0], faulty.iterations, faulty.refine_steps,
+      cell_seed(options.seed, 0), options.with_baseline, nullptr);
+  EXPECT_EQ(sweep.cells[0].para.total_time, direct.para.total_time);
+  EXPECT_EQ(sweep.cells[0].energy_uj, direct.energy_uj);
+  EXPECT_EQ(sweep.cells[0].sparta.total_time, direct.sparta.total_time);
+}
+
+TEST(SweepFaultTest, FaultIsolationIsByteIdenticalAcrossJobCounts) {
+  const GridSpec spec = faulty_grid();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const SweepResult a = run_sweep(spec, serial);
+  const SweepResult b = run_sweep(spec, parallel);
+  EXPECT_EQ(serialize(a), serialize(b));
+  EXPECT_EQ(a.cells_failed, b.cells_failed);
+  EXPECT_EQ(a.cells_ok, b.cells_ok);
+}
+
+TEST(SweepFaultTest, ErrorCellsNeverJoinOrShapeTheParetoFrontier) {
+  const SweepResult sweep = run_sweep(faulty_grid(), SweepOptions{.jobs = 1});
+  const std::vector<std::size_t> frontier = pareto_frontier(sweep.cells);
+  EXPECT_FALSE(frontier.empty());
+  for (const std::size_t index : frontier) {
+    EXPECT_EQ(sweep.cells[index].status, CellStatus::kOk);
+  }
+  // An error cell's default-zero metrics must not dominate real cells out
+  // of the frontier: every ok cell that would be non-dominated among ok
+  // cells alone is still present.
+  std::vector<CellResult> ok_only;
+  for (const CellResult& cell : sweep.cells) {
+    if (cell.status == CellStatus::kOk) ok_only.push_back(cell);
+  }
+  EXPECT_EQ(pareto_frontier(ok_only).size(), frontier.size());
+}
+
+TEST(SweepFaultTest, ErrorRowsKeepIdentityAndBlankMetricsInCsv) {
+  const SweepResult sweep = run_sweep(faulty_grid(), SweepOptions{.jobs = 1});
+  std::ostringstream os;
+  write_sweep_csv(os, sweep);
+  const std::string csv = os.str();
+  std::istringstream lines(csv);
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_NE(header.find("status,error_code,error_message"),
+            std::string::npos);
+  std::string row0, row1;
+  std::getline(lines, row0);
+  std::getline(lines, row1);
+  EXPECT_NE(row0.find(",ok,,"), std::string::npos);
+  EXPECT_NE(row1.find("broken"), std::string::npos);
+  EXPECT_NE(row1.find(",error,contract-violation,"), std::string::npos);
+  // Metric columns of the error row are empty, not zero.
+  EXPECT_NE(row1.find(",,,"), std::string::npos);
+}
+
+TEST(SweepFaultTest, FailFastRethrowsAndLeavesAPartialCheckpoint) {
+  const GridSpec spec = faulty_grid();
+  const std::string path = temp_path("fail_fast.ckpt");
+  std::remove(path.c_str());
+
+  SweepOptions options;
+  options.jobs = 1;
+  options.fail_fast = true;
+  options.checkpoint_path = path;
+  EXPECT_THROW(run_sweep(spec, options), ContractViolation);
+
+  // Header + cell 0 (ok) + cell 1 (the failure). Cell 2 never started.
+  const std::string contents = read_file(path);
+  ASSERT_FALSE(contents.empty());
+  std::istringstream lines(contents);
+  std::string line;
+  std::vector<std::string> records;
+  while (std::getline(lines, line)) records.push_back(line);
+  ASSERT_EQ(records.size(), 3U);
+  EXPECT_NE(records[0].find("paraconv-sweep-checkpoint"), std::string::npos);
+  EXPECT_EQ(records[1].rfind("cell 0 ok", 0), 0U);
+  EXPECT_EQ(records[2].rfind("cell 1 error contract-violation", 0), 0U);
+}
+
+TEST(SweepFaultTest, FailFastMatchesAcrossJobCountsForTheRethrownError) {
+  const GridSpec spec = faulty_grid();
+  for (const int jobs : {1, 4}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    options.fail_fast = true;
+    EXPECT_THROW(run_sweep(spec, options), ContractViolation)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepFaultTest, CheckpointRecordsRoundTripExactly) {
+  CellResult cell;
+  cell.index = 7;
+  cell.status = CellStatus::kOk;
+  cell.energy_uj = 0.1 + 0.2;  // not representable exactly in decimal
+  cell.para.scheduler = "Para-CONV";
+  cell.para.iteration_time = TimeUnits{123};
+  cell.para.r_max = 4;
+  cell.para.prologue_time = TimeUnits{492};
+  cell.para.total_time = TimeUnits{1722};
+  cell.para.cached_iprs = 9;
+  cell.para.cache_bytes_used = Bytes{4096};
+  cell.para.offchip_bytes_per_iteration = Bytes{512};
+  cell.para.pe_utilization = 1.0 / 3.0;
+  cell.para.residency_overcommit_bytes = Bytes{17};
+  cell.sparta.scheduler = "SPARTA";
+  cell.sparta.total_time = TimeUnits{2000};
+  cell.sparta.pe_utilization = 0.25;
+
+  const std::optional<CellResult> decoded =
+      decode_cell_record(encode_cell_record(cell));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->index, 7U);
+  EXPECT_EQ(decoded->status, CellStatus::kOk);
+  EXPECT_EQ(decoded->energy_uj, cell.energy_uj);
+  EXPECT_EQ(decoded->para.scheduler, "Para-CONV");
+  EXPECT_EQ(decoded->para.iteration_time, cell.para.iteration_time);
+  EXPECT_EQ(decoded->para.pe_utilization, cell.para.pe_utilization);
+  EXPECT_EQ(decoded->para.residency_overcommit_bytes,
+            cell.para.residency_overcommit_bytes);
+  EXPECT_EQ(decoded->sparta.total_time, cell.sparta.total_time);
+
+  CellResult failed;
+  failed.index = 3;
+  failed.status = CellStatus::kError;
+  failed.error_code = "contract-violation";
+  failed.error_message = "line one\nline two \\ with spaces";
+  const std::optional<CellResult> decoded_error =
+      decode_cell_record(encode_cell_record(failed));
+  ASSERT_TRUE(decoded_error.has_value());
+  EXPECT_EQ(decoded_error->status, CellStatus::kError);
+  EXPECT_EQ(decoded_error->error_code, failed.error_code);
+  EXPECT_EQ(decoded_error->error_message, failed.error_message);
+
+  EXPECT_FALSE(decode_cell_record("cell 0 ok 1.5 truncated").has_value());
+  EXPECT_FALSE(decode_cell_record("garbage").has_value());
+}
+
+TEST(SweepFaultTest, ResumeAfterTruncationIsByteIdenticalAndSkipsDoneCells) {
+  const GridSpec spec = healthy_grid();
+  const std::string path = temp_path("resume.ckpt");
+  std::remove(path.c_str());
+
+  SweepOptions options;
+  options.jobs = 1;
+  options.seed = 9;
+  const std::string uninterrupted = serialize(run_sweep(spec, options));
+
+  options.checkpoint_path = path;
+  run_sweep(spec, options);
+  const std::string full = read_file(path);
+
+  // Simulate a crash after two settled cells plus a torn third record.
+  const std::size_t keep = offset_after_lines(full, 3);
+  write_file(path, full.substr(0, keep + 10));
+
+  options.resume = true;
+  const SweepResult resumed = run_sweep(spec, options);
+  EXPECT_EQ(resumed.cells_resumed, 2U);
+  EXPECT_EQ(resumed.cells_ok, 4U);
+  EXPECT_EQ(resumed.cells_failed, 0U);
+  EXPECT_EQ(serialize(resumed), uninterrupted);
+
+  // The torn line was truncated away and the missing cells re-appended: a
+  // second resume finds every cell settled and evaluates nothing.
+  const SweepResult settled = run_sweep(spec, options);
+  EXPECT_EQ(settled.cells_resumed, 4U);
+  EXPECT_EQ(serialize(settled), uninterrupted);
+}
+
+TEST(SweepFaultTest, ResumeReEvaluatesErroredCellsOnly) {
+  const GridSpec spec = faulty_grid();
+  const std::string path = temp_path("resume_error.ckpt");
+  std::remove(path.c_str());
+
+  SweepOptions options;
+  options.jobs = 1;
+  options.checkpoint_path = path;
+  const std::string first = serialize(run_sweep(spec, options));
+
+  // Error records never mark a cell done: only the broken cell re-runs.
+  options.resume = true;
+  const SweepResult resumed = run_sweep(spec, options);
+  EXPECT_EQ(resumed.cells_resumed, 2U);
+  EXPECT_EQ(resumed.cells_failed, 1U);
+  EXPECT_EQ(serialize(resumed), first);
+}
+
+TEST(SweepFaultTest, ResumeRejectsACheckpointFromADifferentSweep) {
+  const GridSpec spec = healthy_grid();
+  const std::string path = temp_path("mismatch.ckpt");
+  std::remove(path.c_str());
+
+  SweepOptions options;
+  options.jobs = 1;
+  options.seed = 1;
+  options.checkpoint_path = path;
+  run_sweep(spec, options);
+
+  options.resume = true;
+  options.seed = 2;  // different per-cell seeds => different sweep
+  EXPECT_THROW(run_sweep(spec, options), ContractViolation);
+}
+
+TEST(SweepFaultTest, ResumeWithoutACheckpointPathIsRejected) {
+  SweepOptions options;
+  options.resume = true;
+  EXPECT_THROW(run_sweep(healthy_grid(), options), ContractViolation);
+}
+
+TEST(SweepFaultTest, ResumeWithAMissingFileIsAFullRun) {
+  const GridSpec spec = healthy_grid();
+  const std::string path = temp_path("fresh.ckpt");
+  std::remove(path.c_str());
+
+  SweepOptions plain;
+  plain.jobs = 1;
+  SweepOptions options = plain;
+  options.checkpoint_path = path;
+  options.resume = true;
+  const SweepResult sweep = run_sweep(spec, options);
+  EXPECT_EQ(sweep.cells_resumed, 0U);
+  EXPECT_EQ(sweep.cells_ok, spec.cell_count());
+  EXPECT_EQ(serialize(sweep), serialize(run_sweep(spec, plain)));
+}
+
+TEST(SweepFaultTest, FingerprintIgnoresExecutionKnobs) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions a;
+  a.jobs = 1;
+  SweepOptions b;
+  b.jobs = 8;
+  b.fail_fast = true;
+  b.checkpoint_path = "elsewhere.ckpt";
+  EXPECT_EQ(sweep_fingerprint(spec, a), sweep_fingerprint(spec, b));
+
+  SweepOptions reseeded = a;
+  reseeded.seed = 99;
+  EXPECT_NE(sweep_fingerprint(spec, a), sweep_fingerprint(spec, reseeded));
+
+  GridSpec regrided = healthy_grid();
+  regrided.iterations += 1;
+  EXPECT_NE(sweep_fingerprint(spec, a), sweep_fingerprint(regrided, a));
+}
+
+}  // namespace
+}  // namespace paraconv::dse

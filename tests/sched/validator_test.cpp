@@ -134,6 +134,51 @@ TEST(ValidatorTest, CodeStringsAreStable) {
                "distance-not-realized");
   EXPECT_STREQ(to_string(DiagCode::kNonPositivePeriod),
                "non-positive-period");
+  EXPECT_STREQ(to_string(DiagCode::kResidencyOvercommit),
+               "residency-overcommit");
+}
+
+TEST(ValidatorTest, HasErrorsIsSeverityAware) {
+  std::vector<Diagnostic> issues;
+  EXPECT_FALSE(has_errors(issues));
+
+  Diagnostic warning;
+  warning.code = DiagCode::kResidencyOvercommit;
+  warning.severity = DiagSeverity::kWarning;
+  warning.message = "advisory only";
+  issues.push_back(warning);
+  EXPECT_FALSE(has_errors(issues));
+
+  Diagnostic error;
+  error.code = DiagCode::kDataNotReady;
+  error.severity = DiagSeverity::kError;
+  error.message = "edge not ready";
+  issues.push_back(error);
+  EXPECT_TRUE(has_errors(issues));
+}
+
+TEST(ValidatorTest, RenderErrorsJoinsEveryErrorAndSkipsWarnings) {
+  Diagnostic warning;
+  warning.code = DiagCode::kResidencyOvercommit;
+  warning.severity = DiagSeverity::kWarning;
+  warning.message = "advisory";
+
+  Diagnostic first;
+  first.code = DiagCode::kDataNotReady;
+  first.severity = DiagSeverity::kError;
+  first.message = "first failure";
+
+  Diagnostic second;
+  second.code = DiagCode::kPeOverlap;
+  second.severity = DiagSeverity::kError;
+  second.message = "second failure";
+
+  const std::string rendered = render_errors({warning, first, second});
+  // Every error message survives (not just the first), warnings do not.
+  EXPECT_NE(rendered.find("first failure"), std::string::npos);
+  EXPECT_NE(rendered.find("second failure"), std::string::npos);
+  EXPECT_NE(rendered.find("; "), std::string::npos);
+  EXPECT_EQ(rendered.find("advisory"), std::string::npos);
 }
 
 TEST(ValidatorTest, SlowEdramTransferNeedsDistance) {

@@ -319,6 +319,15 @@ int cmd_sweep(const FlagParser& flags) {
   dse::SweepOptions options;
   options.jobs = static_cast<int>(require_int_at_least(flags, "jobs", 0));
   options.seed = require_seed(flags);
+  if (flags.get_bool("fail-fast") && flags.get_bool("keep-going")) {
+    throw UsageError("--fail-fast and --keep-going are mutually exclusive");
+  }
+  options.fail_fast = flags.get_bool("fail-fast");
+  options.checkpoint_path = flags.get_string("checkpoint");
+  options.resume = flags.get_bool("resume");
+  if (options.resume && options.checkpoint_path.empty()) {
+    throw UsageError("--resume requires --checkpoint <file>");
+  }
   const dse::SweepResult sweep = dse::run_sweep(spec, options);
 
   // Data goes to --out (or stdout); the run summary goes to stderr so the
@@ -343,6 +352,9 @@ int cmd_sweep(const FlagParser& flags) {
             << spec.allocators.size() << " allocators), jobs "
             << sweep.jobs_used << ", wall "
             << format_fixed(sweep.wall_seconds, 3) << " s\n"
+            << "cells: " << sweep.cells_ok << " ok, " << sweep.cells_failed
+            << " failed, " << sweep.cells_resumed
+            << " resumed from checkpoint\n"
             << "memo cache: " << cache.hits << " hits, " << cache.misses
             << " misses (hit rate "
             << format_fixed(100.0 * cache.hit_rate(), 1) << "%), "
@@ -396,6 +408,19 @@ int main(int argc, char** argv) {
                    "sweep: comma-separated allocator list, or 'all'");
   flags.add_string("packers", "topo",
                    "sweep: comma-separated packer list, or 'all'");
+  flags.add_bool("keep-going", false,
+                 "sweep: record failing cells as error rows and finish the "
+                 "grid (the default; exclusive with --fail-fast)");
+  flags.add_bool("fail-fast", false,
+                 "sweep: stop scheduling new cells after the first failure "
+                 "and exit non-zero once in-flight cells settle");
+  flags.add_string("checkpoint", "",
+                   "sweep: append one fsync'd record per settled cell to "
+                   "this file (crash-safe)");
+  flags.add_bool("resume", false,
+                 "sweep: load --checkpoint first and re-evaluate only "
+                 "missing or errored cells; reports stay byte-identical to "
+                 "an uninterrupted run");
 
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string error;
@@ -456,6 +481,10 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return usage(flags);
   } catch (const paraconv::ContractViolation& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // E.g. a --fail-fast sweep rethrowing a non-contract cell failure.
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
