@@ -27,8 +27,14 @@ std::vector<std::string> split(std::string_view s, char sep) {
 
 std::string format_fixed(double v, int decimals) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
-  return buf;
+  const int n = std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  if (n < 0) return {};
+  if (n < static_cast<int>(sizeof(buf))) return std::string(buf);
+  // Values like 1e300 need ~305 characters; retry with the exact size
+  // instead of returning a silently truncated number.
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, "%.*f", decimals, v);
+  return out;
 }
 
 std::string pad_left(std::string_view s, std::size_t width) {

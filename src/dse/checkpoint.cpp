@@ -52,7 +52,8 @@ bool parse_double(const std::string& token, double* out) {
   return r.ec == std::errc{} && r.ptr == token.data() + token.size();
 }
 
-/// Tokens must contain no whitespace; escape space/backslash, "-" = empty.
+/// Tokens must contain no whitespace (the decoder splits on it); escape
+/// space/tab/newline/backslash, "-" = empty.
 std::string escape_token(const std::string& s) {
   if (s.empty()) return "-";
   std::string out;
@@ -62,6 +63,8 @@ std::string escape_token(const std::string& s) {
       out += "\\\\";
     } else if (c == ' ') {
       out += "\\s";
+    } else if (c == '\t') {
+      out += "\\t";
     } else if (c == '\n') {
       out += "\\n";
     } else if (c == '\r') {
@@ -86,6 +89,9 @@ std::string unescape_token(const std::string& s) {
     switch (s[i]) {
       case 's':
         out += ' ';
+        break;
+      case 't':
+        out += '\t';
         break;
       case 'n':
         out += '\n';
@@ -332,7 +338,13 @@ CheckpointWriter::CheckpointWriter(
     file_ = std::fopen(path.c_str(), "wb");
     PARACONV_REQUIRE(file_ != nullptr,
                      "cannot open checkpoint file: " + path);
-    write_line(header_line(fingerprint, cells));
+    try {
+      write_line(header_line(fingerprint, cells));
+    } catch (...) {
+      std::fclose(file_);  // the destructor never runs when the ctor throws
+      file_ = nullptr;
+      throw;
+    }
   }
 }
 
@@ -347,9 +359,12 @@ void CheckpointWriter::append(const CellResult& cell) {
 }
 
 void CheckpointWriter::write_line(const std::string& line) {
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
-  std::fflush(file_);
+  // A checkpoint exists to promise durability; swallowing a short write
+  // (disk full, quota) would let a crash-resume fabricate a shorter sweep.
+  const bool wrote =
+      std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
+      std::fputc('\n', file_) != EOF && std::fflush(file_) == 0;
+  PARACONV_REQUIRE(wrote, "checkpoint write failed (disk full or I/O error)");
 #ifdef PARACONV_CHECKPOINT_POSIX
   ::fsync(::fileno(file_));
 #endif

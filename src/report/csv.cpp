@@ -5,7 +5,10 @@
 namespace paraconv::report {
 
 std::string csv_escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  // '\r' must quote too: an unquoted CR (e.g. from an exception message
+  // relayed into an error_message column) tears the row on readers that
+  // treat CRLF as a record separator.
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
   std::string out = "\"";
   for (const char c : field) {
     if (c == '"') out += '"';

@@ -20,12 +20,16 @@ namespace paraconv::report {
 class JsonValue {
  public:
   JsonValue() = default;  // null
-  JsonValue(bool b);                           // NOLINT(google-explicit-*)
-  JsonValue(std::int64_t i);                   // NOLINT
-  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}  // NOLINT
-  JsonValue(double d);                         // NOLINT
-  JsonValue(const char* s);                    // NOLINT
-  JsonValue(std::string s);                    // NOLINT
+  // NOLINTBEGIN(google-explicit-constructor): implicit conversion from the
+  // scalar types is the ergonomic point of this builder — set("k", 3) must
+  // work without a JsonValue(...) wrapper at every call site.
+  JsonValue(bool b);
+  JsonValue(std::int64_t i);
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+  JsonValue(double d);
+  JsonValue(const char* s);
+  JsonValue(std::string s);
+  // NOLINTEND(google-explicit-constructor)
 
   static JsonValue array();
   static JsonValue object();

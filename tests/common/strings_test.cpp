@@ -31,6 +31,20 @@ TEST(FormatFixedTest, Precision) {
   EXPECT_EQ(format_fixed(0.0, 3), "0.000");
 }
 
+TEST(FormatFixedTest, ValuesWiderThanTheStackBufferAreNotTruncated) {
+  // 1e300 needs 301 integer digits + '.' + 3 decimals = 305 characters,
+  // far past the 64-byte fast path.
+  const std::string out = format_fixed(1e300, 3);
+  ASSERT_EQ(out.size(), 305U);
+  EXPECT_EQ(out.front(), '1');
+  EXPECT_EQ(out.find('.'), 301U);
+  EXPECT_EQ(out.substr(301), ".000");
+
+  const std::string negative = format_fixed(-1e300, 3);
+  ASSERT_EQ(negative.size(), 306U);
+  EXPECT_EQ(negative.front(), '-');
+}
+
 TEST(PadTest, LeftAndRight) {
   EXPECT_EQ(pad_left("ab", 4), "  ab");
   EXPECT_EQ(pad_right("ab", 4), "ab  ");

@@ -258,6 +258,31 @@ TEST(SweepFaultTest, CheckpointRecordsRoundTripExactly) {
   EXPECT_FALSE(decode_cell_record("garbage").has_value());
 }
 
+// Any whitespace the token decoder splits on must be escaped on encode;
+// a literal tab used to survive escaping and tear the record apart.
+TEST(SweepFaultTest, CheckpointRecordsWithTabsRoundTrip) {
+  CellResult failed;
+  failed.index = 5;
+  failed.status = CellStatus::kError;
+  failed.error_code = "tab\there";
+  failed.error_message = "col a\tcol b\r\n\ttrailing";
+  const std::optional<CellResult> decoded =
+      decode_cell_record(encode_cell_record(failed));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->error_code, failed.error_code);
+  EXPECT_EQ(decoded->error_message, failed.error_message);
+}
+
+// A checkpoint that cannot reach disk must throw, not silently "succeed":
+// /dev/full makes every write fail with ENOSPC.
+TEST(SweepFaultTest, CheckpointWriterThrowsWhenTheDiskIsFull) {
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  EXPECT_THROW(CheckpointWriter("/dev/full", 1234, 3, std::nullopt),
+               ContractViolation);
+}
+
 TEST(SweepFaultTest, ResumeAfterTruncationIsByteIdenticalAndSkipsDoneCells) {
   const GridSpec spec = healthy_grid();
   const std::string path = temp_path("resume.ckpt");

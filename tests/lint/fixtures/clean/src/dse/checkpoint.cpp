@@ -1,0 +1,28 @@
+// Lint fixture: checkpoint codec touching the contract fields and tokens.
+#include "dse/checkpoint.hpp"
+
+namespace paraconv::dse {
+
+std::string encode_cell_record(const CellResult& cell) {
+  std::string out = "cell " + std::to_string(cell.index);
+  out += to_string(cell.status);
+  out += cell.error_code;
+  out += cell.error_message;
+  return out;
+}
+
+bool decode_cell_record(const std::string& status, CellResult& cell) {
+  if (status == "ok") {
+    cell.status = CellStatus::kOk;
+    return true;
+  }
+  if (status == "error") {
+    cell.status = CellStatus::kError;
+    cell.error_code = "exception";
+    cell.error_message = "fixture";
+    return true;
+  }
+  return false;
+}
+
+}  // namespace paraconv::dse

@@ -1,0 +1,21 @@
+// Lint fixture: CellStatus tokens and the sweep's span/counter sites.
+#include "dse/sweep.hpp"
+
+namespace paraconv::dse {
+
+const char* to_string(CellStatus status) {
+  switch (status) {
+    case CellStatus::kOk:
+      return "ok";
+    case CellStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void evaluate_cell() {
+  const obs::ScopedSpan cell_span("cell", "fixture");
+  obs::count("dse.cells", 1);
+}
+
+}  // namespace paraconv::dse

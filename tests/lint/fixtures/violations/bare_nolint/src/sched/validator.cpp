@@ -1,0 +1,20 @@
+// Seeded violation: a suppression with neither check name nor reason.
+#include "sched/validator.hpp"
+
+namespace paraconv::sched {
+
+const char* to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kPeOverlap:
+      return "pe-overlap";
+    case DiagCode::kDataNotReady:
+      return "data-not-ready";
+  }
+  return "unknown";
+}
+
+void validate_something() {
+  obs::count("validate.diagnostics", 1);  // NOLINT
+}
+
+}  // namespace paraconv::sched

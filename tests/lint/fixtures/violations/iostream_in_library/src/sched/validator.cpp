@@ -1,0 +1,22 @@
+// Seeded violation: <iostream> pulled into library code.
+#include "sched/validator.hpp"
+
+#include <iostream>
+
+namespace paraconv::sched {
+
+const char* to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kPeOverlap:
+      return "pe-overlap";
+    case DiagCode::kDataNotReady:
+      return "data-not-ready";
+  }
+  return "unknown";
+}
+
+void validate_something() {
+  obs::count("validate.diagnostics", 1);
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,20 @@
+// Seeded violation: rendering drifted from the enumerator-derived kebab.
+#include "sched/validator.hpp"
+
+namespace paraconv::sched {
+
+const char* to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kPeOverlap:
+      return "pe-overlap";
+    case DiagCode::kDataNotReady:
+      return "data-unready";
+  }
+  return "unknown";
+}
+
+void validate_something() {
+  obs::count("validate.diagnostics", 1);
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,30 @@
+// Seeded violation: the JSON writer dropped the "error_code" status key
+// while the CSV header still carries it.
+#include "dse/frontier.hpp"
+
+namespace paraconv::dse {
+
+const std::vector<std::string>& cell_header() {
+  static const std::vector<std::string> kHeader{
+      "index",      "benchmark",  "vertices",
+      "edges",      "pe_count",   "cache_per_pe_bytes",
+      "topology",   "packer",     "allocator",
+      "status",     "error_code", "error_message"};
+  return kHeader;
+}
+
+void sweep_to_json(JsonValue& c) {
+  c.set("index", 0);
+  c.set("benchmark", "b");
+  c.set("vertices", 1);
+  c.set("edges", 1);
+  c.set("pe_count", 16);
+  c.set("cache_per_pe_bytes", 4096);
+  c.set("topology", "mesh");
+  c.set("packer", "topo");
+  c.set("allocator", "dp");
+  c.set("status", "ok");
+  c.set("error_message", "");
+}
+
+}  // namespace paraconv::dse

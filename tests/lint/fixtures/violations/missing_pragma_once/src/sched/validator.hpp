@@ -1,0 +1,12 @@
+// Seeded violation: header without #pragma once.
+
+namespace paraconv::sched {
+
+enum class DiagCode {
+  kPeOverlap,
+  kDataNotReady,
+};
+
+const char* to_string(DiagCode code);
+
+}  // namespace paraconv::sched

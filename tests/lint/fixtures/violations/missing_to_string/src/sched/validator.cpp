@@ -1,0 +1,18 @@
+// Seeded violation: kDataNotReady lost its to_string case.
+#include "sched/validator.hpp"
+
+namespace paraconv::sched {
+
+const char* to_string(DiagCode code) {
+  switch (code) {
+    case DiagCode::kPeOverlap:
+      return "pe-overlap";
+  }
+  return "unknown";
+}
+
+void validate_something() {
+  obs::count("validate.diagnostics", 1);
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,29 @@
+// Seeded violation: the decoder matches "failed" while to_string(CellStatus)
+// still emits "error" — round-trips would silently drop error rows.
+#include "dse/checkpoint.hpp"
+
+namespace paraconv::dse {
+
+std::string encode_cell_record(const CellResult& cell) {
+  std::string out = "cell " + std::to_string(cell.index);
+  out += to_string(cell.status);
+  out += cell.error_code;
+  out += cell.error_message;
+  return out;
+}
+
+bool decode_cell_record(const std::string& status, CellResult& cell) {
+  if (status == "ok") {
+    cell.status = CellStatus::kOk;
+    return true;
+  }
+  if (status == "failed") {
+    cell.status = CellStatus::kError;
+    cell.error_code = "exception";
+    cell.error_message = "fixture";
+    return true;
+  }
+  return false;
+}
+
+}  // namespace paraconv::dse

@@ -1,0 +1,10 @@
+// Seeded violation: kDataNotReady is no longer asserted anywhere.
+#include "sched/validator.hpp"
+
+namespace paraconv::sched {
+
+void assert_codes() {
+  (void)DiagCode::kPeOverlap;
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,15 @@
+// Seeded violation: using-namespace at namespace scope in a header.
+#pragma once
+
+using namespace std;
+
+namespace paraconv::sched {
+
+enum class DiagCode {
+  kPeOverlap,
+  kDataNotReady,
+};
+
+const char* to_string(DiagCode code);
+
+}  // namespace paraconv::sched

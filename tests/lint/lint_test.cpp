@@ -1,0 +1,112 @@
+// The lint pass, linted: a clean mini-repo fixture must produce zero
+// findings, and every seeded-violation overlay must trip exactly the check
+// it seeds. Overlays live as real files under fixtures/violations/<case>/
+// mirroring the repo layout; each test copies the clean tree into a temp
+// dir, drops the overlay on top, and runs the same run_lint() the
+// `paraconv_lint` binary (and the `lint` ctest) uses.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace paraconv::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fixtures_dir() { return fs::path(PARACONV_LINT_FIXTURES_DIR); }
+
+/// clean tree + optional overlay, materialized under a per-case temp dir.
+fs::path make_tree(const std::string& case_name) {
+  const fs::path root =
+      fs::temp_directory_path() / ("paraconv_lint_" + case_name);
+  fs::remove_all(root);
+  fs::copy(fixtures_dir() / "clean", root,
+           fs::copy_options::recursive | fs::copy_options::overwrite_existing);
+  const fs::path overlay = fixtures_dir() / "violations" / case_name;
+  if (fs::exists(overlay)) {
+    fs::copy(overlay, root,
+             fs::copy_options::recursive |
+                 fs::copy_options::overwrite_existing);
+  }
+  return root;
+}
+
+bool has_check(const Report& report, const std::string& check) {
+  return std::any_of(
+      report.findings.begin(), report.findings.end(),
+      [&](const Finding& finding) { return finding.check == check; });
+}
+
+std::string render(const Report& report) {
+  std::string out;
+  for (const Finding& finding : report.findings) {
+    out += to_string(finding) + "\n";
+  }
+  return out;
+}
+
+TEST(LintTest, CleanTreePasses) {
+  const Report report = run_lint(make_tree("clean"));
+  EXPECT_GT(report.files_scanned, 0);
+  EXPECT_TRUE(report.findings.empty()) << render(report);
+}
+
+TEST(LintTest, MissingRootReportsMissingInputs) {
+  const Report report = run_lint(fs::temp_directory_path() /
+                                 "paraconv_lint_does_not_exist");
+  EXPECT_EQ(report.files_scanned, 0);
+  EXPECT_TRUE(has_check(report, "missing-input")) << render(report);
+}
+
+struct ViolationCase {
+  const char* overlay;
+  const char* expected_check;
+};
+
+class LintViolationTest : public testing::TestWithParam<ViolationCase> {};
+
+TEST_P(LintViolationTest, SeededViolationIsFlagged) {
+  const Report report = run_lint(make_tree(GetParam().overlay));
+  EXPECT_TRUE(has_check(report, GetParam().expected_check))
+      << "expected a [" << GetParam().expected_check
+      << "] finding; got:\n" << render(report);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeded, LintViolationTest,
+    testing::Values(
+        ViolationCase{"missing_to_string", "diag-to-string-missing"},
+        ViolationCase{"kebab_mismatch", "diag-kebab-mismatch"},
+        ViolationCase{"stale_doc_code", "diag-doc-stale"},
+        ViolationCase{"untested_diag", "diag-untested"},
+        ViolationCase{"undocumented_counter", "obs-undocumented"},
+        ViolationCase{"bad_counter_style", "obs-name-style"},
+        ViolationCase{"mismatched_csv_column", "schema-csv-identity"},
+        ViolationCase{"missing_json_key", "schema-json-missing"},
+        ViolationCase{"status_token_drift", "schema-status-token"},
+        ViolationCase{"using_namespace_header", "using-namespace-header"},
+        ViolationCase{"missing_pragma_once", "pragma-once"},
+        ViolationCase{"bare_nolint", "nolint-policy"},
+        ViolationCase{"iostream_in_library", "iostream-in-library"}),
+    [](const testing::TestParamInfo<ViolationCase>& param_info) {
+      return param_info.param.overlay;
+    });
+
+// Deleting the docs table entirely must fail too (a vacuous pass when the
+// section heading is renamed would quietly disable three checks).
+TEST(LintTest, MissingDocSectionsAreFindings) {
+  const fs::path root = make_tree("no_doc_sections");
+  fs::remove(root / "docs" / "USAGE.md");
+  std::ofstream(root / "docs" / "USAGE.md") << "# empty\n";
+  const Report report = run_lint(root);
+  EXPECT_TRUE(has_check(report, "diag-doc-section-missing")) << render(report);
+  EXPECT_TRUE(has_check(report, "obs-doc-section-missing")) << render(report);
+}
+
+}  // namespace
+}  // namespace paraconv::lint

@@ -16,6 +16,8 @@ TEST(CsvEscapeTest, QuotesFieldsWithSeparators) {
   EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
   EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
   EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  // A bare CR tears the row on CRLF-aware readers unless quoted.
+  EXPECT_EQ(csv_escape("line\rbreak"), "\"line\rbreak\"");
 }
 
 TEST(CsvExportTest, WritesHeaderAndRows) {

@@ -102,7 +102,19 @@ INSTANTIATE_TEST_SUITE_P(
                      DiagCode::kNonPositivePeriod},
         MutationCase{"size_mismatch",
                      [](KernelSchedule& k) { k.distance.clear(); },
-                     DiagCode::kDistanceSizeMismatch}),
+                     DiagCode::kDistanceSizeMismatch},
+        MutationCase{"placement_size_mismatch",
+                     [](KernelSchedule& k) { k.placement.clear(); },
+                     DiagCode::kPlacementSizeMismatch},
+        MutationCase{"retiming_size_mismatch",
+                     [](KernelSchedule& k) { k.retiming.clear(); },
+                     DiagCode::kRetimingSizeMismatch},
+        MutationCase{"allocation_size_mismatch",
+                     [](KernelSchedule& k) { k.allocation.clear(); },
+                     DiagCode::kAllocationSizeMismatch},
+        MutationCase{"negative_distance",
+                     [](KernelSchedule& k) { k.distance = {-1}; },
+                     DiagCode::kNegativeDistance}),
     [](const testing::TestParamInfo<MutationCase>& param_info) {
       return param_info.param.name;
     });

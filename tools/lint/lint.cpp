@@ -1,0 +1,876 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+namespace paraconv::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The suppression marker, spelled split so this file's own text never
+// contains the contiguous token the nolint-policy check scans for.
+const std::string kNolint = std::string("NO") + "LINT";
+
+// Shared identity/status column contract: the sweep CSV header, the sweep
+// JSON keys and the checkpoint record must all carry these names. Renaming
+// one in any writer without the others (and the docs) is schema drift.
+constexpr std::array<const char*, 9> kIdentityColumns = {
+    "index",    "benchmark", "vertices",
+    "edges",    "pe_count",  "cache_per_pe_bytes",
+    "topology", "packer",    "allocator"};
+constexpr std::array<const char*, 3> kStatusColumns = {"status", "error_code",
+                                                       "error_message"};
+// The experiment CSV (report/csv.cpp) shares the graph-identity prefix
+// naming with the sweep schema.
+constexpr std::array<const char*, 4> kExperimentIdentity = {
+    "benchmark", "vertices", "edges", "pe_count"};
+
+struct SourceFile {
+  std::string rel_path;  // relative to the linted root, '/' separators
+  std::string raw;       // file contents as read
+  std::string stripped;  // comments blanked out, line structure preserved
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+int line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Blanks // and /* */ comments (and the bodies of string/char literals
+/// stay intact) while preserving every newline, so byte offsets keep
+/// mapping to the same line numbers as the raw text.
+std::string strip_comments(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kString, kChar, kLine, kBlock };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// [start, end) of the brace block whose opening '{' is the first one at or
+/// after `from`; nullopt when unbalanced or absent.
+std::optional<std::pair<std::size_t, std::size_t>> brace_region(
+    const std::string& text, std::size_t from) {
+  const std::size_t open = text.find('{', from);
+  if (open == std::string::npos) return std::nullopt;
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}') {
+      --depth;
+      if (depth == 0) return std::make_pair(open, i + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+struct QuotedString {
+  std::string value;
+  std::size_t pos;  // offset of the opening quote
+};
+
+/// String literals inside [begin, end) of comment-stripped text.
+std::vector<QuotedString> quoted_strings(const std::string& text,
+                                         std::size_t begin, std::size_t end) {
+  std::vector<QuotedString> out;
+  for (std::size_t i = begin; i < end && i < text.size(); ++i) {
+    if (text[i] == '\'') {  // skip char literals ('"' would confuse us)
+      for (++i; i < end && text[i] != '\''; ++i) {
+        if (text[i] == '\\') ++i;
+      }
+      continue;
+    }
+    if (text[i] != '"') continue;
+    QuotedString q;
+    q.pos = i;
+    for (++i; i < end && text[i] != '"'; ++i) {
+      if (text[i] == '\\' && i + 1 < end) {
+        q.value += text[i + 1];
+        ++i;
+      } else {
+        q.value += text[i];
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+/// kPlacementSizeMismatch -> placement-size-mismatch.
+std::string kebab_of_enumerator(const std::string& name) {
+  std::string out;
+  for (std::size_t i = 1; i < name.size(); ++i) {  // skip the leading 'k'
+    const char c = name[i];
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) {
+      if (!out.empty()) out += '-';
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool is_dotted_lowercase(const std::string& name) {
+  if (name.empty()) return false;
+  bool segment_start = true;
+  for (const char c : name) {
+    if (segment_start) {
+      if (std::islower(static_cast<unsigned char>(c)) == 0) return false;
+      segment_start = false;
+    } else if (c == '.') {
+      segment_start = true;
+    } else if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+               std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      return false;
+    }
+  }
+  return !segment_start;  // no trailing dot
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// `cell` shaped like "`name`" -> name; empty otherwise.
+std::string backticked(const std::string& cell) {
+  const std::string t = trim(cell);
+  if (t.size() < 3 || t.front() != '`' || t.back() != '`') return {};
+  return t.substr(1, t.size() - 2);
+}
+
+std::vector<std::string> table_cells(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string current;
+  for (std::size_t i = 1; i < line.size(); ++i) {  // skip the leading '|'
+    if (line[i] == '|') {
+      cells.push_back(current);
+      current.clear();
+    } else {
+      current += line[i];
+    }
+  }
+  return cells;
+}
+
+struct DocsTables {
+  // Diagnostic-codes table: kebab code -> line.
+  std::vector<std::pair<std::string, int>> diag_codes;
+  // Observability-names table: name -> (kind, line).
+  std::vector<std::pair<std::string, std::pair<std::string, int>>> obs_names;
+  bool diag_section_found{false};
+  bool obs_section_found{false};
+};
+
+DocsTables parse_docs(const std::string& text) {
+  DocsTables tables;
+  std::istringstream in(text);
+  std::string line;
+  enum class Section { kOther, kDiag, kObs };
+  Section section = Section::kOther;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '#') {
+      if (line.find("Diagnostic codes") != std::string::npos) {
+        section = Section::kDiag;
+        tables.diag_section_found = true;
+      } else if (line.find("Observability names") != std::string::npos) {
+        section = Section::kObs;
+        tables.obs_section_found = true;
+      } else {
+        section = Section::kOther;
+      }
+      continue;
+    }
+    if (section == Section::kOther || line.empty() || line[0] != '|') continue;
+    const std::vector<std::string> cells = table_cells(line);
+    if (cells.empty()) continue;
+    const std::string name = backticked(cells[0]);
+    if (name.empty()) continue;  // header or separator row
+    if (section == Section::kDiag) {
+      tables.diag_codes.emplace_back(name, line_no);
+    } else if (cells.size() >= 2) {
+      tables.obs_names.emplace_back(
+          name, std::make_pair(trim(cells[1]), line_no));
+    }
+  }
+  return tables;
+}
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  Report run() {
+    collect_files();
+    check_hygiene();
+    check_diag_codes();
+    check_obs_names();
+    check_schema();
+    Report report;
+    report.findings = std::move(findings_);
+    report.files_scanned = static_cast<int>(files_.size());
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.file, a.line, a.check) <
+                       std::tie(b.file, b.line, b.check);
+              });
+    return report;
+  }
+
+ private:
+  void add(std::string check, std::string file, int line, std::string msg) {
+    findings_.push_back(
+        {std::move(check), std::move(file), line, std::move(msg)});
+  }
+
+  static bool skip_dir(const fs::path& p) {
+    const std::string name = p.filename().string();
+    // Seeded-violation fixtures must not fail the real tree; build trees
+    // hold generated/vendored sources.
+    return name == "fixtures" || name.rfind("build", 0) == 0 ||
+           name.rfind(".", 0) == 0;
+  }
+
+  void collect_from(const fs::path& dir) {
+    if (!fs::exists(dir)) return;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(dir, ec);
+    const fs::recursive_directory_iterator end;
+    while (it != end) {
+      if (it->is_directory(ec) && skip_dir(it->path())) {
+        it.disable_recursion_pending();
+        it.increment(ec);
+        continue;
+      }
+      const fs::path& p = it->path();
+      const std::string ext = p.extension().string();
+      if (it->is_regular_file(ec) && (ext == ".cpp" || ext == ".hpp")) {
+        if (std::optional<std::string> raw = read_file(p)) {
+          SourceFile f;
+          f.rel_path = fs::relative(p, root_).generic_string();
+          f.stripped = strip_comments(*raw);
+          f.raw = std::move(*raw);
+          files_.push_back(std::move(f));
+        }
+      }
+      it.increment(ec);
+    }
+  }
+
+  void collect_files() {
+    for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
+      collect_from(root_ / dir);
+    }
+    std::sort(files_.begin(), files_.end(),
+              [](const SourceFile& a, const SourceFile& b) {
+                return a.rel_path < b.rel_path;
+              });
+  }
+
+  const SourceFile* file_named(std::string_view rel_path) const {
+    for (const SourceFile& f : files_) {
+      if (f.rel_path == rel_path) return &f;
+    }
+    return nullptr;
+  }
+
+  const SourceFile* require_file(const std::string& rel_path) {
+    const SourceFile* f = file_named(rel_path);
+    if (f == nullptr) {
+      add("missing-input", rel_path, 0,
+          "required source file not found under the lint root");
+    }
+    return f;
+  }
+
+  // ---- header hygiene + suppression policy --------------------------------
+
+  void check_hygiene() {
+    for (const SourceFile& f : files_) {
+      const bool is_header = f.rel_path.size() > 4 &&
+                             f.rel_path.compare(f.rel_path.size() - 4, 4,
+                                                ".hpp") == 0;
+      const bool in_library = f.rel_path.rfind("src/", 0) == 0;
+      if (is_header) {
+        // Stripped text: a comment that merely *mentions* the pragma (or a
+        // status token, below) must not satisfy the check.
+        if (f.stripped.find("#pragma once") == std::string::npos) {
+          add("pragma-once", f.rel_path, 1, "header is missing #pragma once");
+        }
+        const std::size_t un = f.stripped.find("using namespace");
+        if (un != std::string::npos) {
+          add("using-namespace-header", f.rel_path, line_of(f.stripped, un),
+              "headers must not contain using-namespace directives "
+              "(they leak into every includer)");
+        }
+      }
+      if (in_library) {
+        const std::size_t inc = f.stripped.find("#include <iostream>");
+        if (inc != std::string::npos) {
+          add("iostream-in-library", f.rel_path, line_of(f.stripped, inc),
+              "library code must not include <iostream> (global stream "
+              "objects + static-init cost in every TU); use <iosfwd>/"
+              "<ostream> and let CLIs own the streams");
+        }
+      }
+      check_nolint_policy(f);
+    }
+  }
+
+  void check_nolint_policy(const SourceFile& f) {
+    std::size_t pos = 0;
+    while ((pos = f.raw.find(kNolint, pos)) != std::string::npos) {
+      const std::size_t marker = pos;
+      std::size_t after = pos + kNolint.size();
+      std::string form = kNolint;
+      if (f.raw.compare(after, 8, "NEXTLINE") == 0) {
+        form += "NEXTLINE";
+        after += 8;
+      } else if (f.raw.compare(after, 5, "BEGIN") == 0) {
+        form += "BEGIN";
+        after += 5;
+      } else if (f.raw.compare(after, 3, "END") == 0) {
+        // Closes an annotated BEGIN; the reason lives on the BEGIN line.
+        pos = after + 3;
+        continue;
+      }
+      pos = after;
+      const std::size_t eol = f.raw.find('\n', after);
+      const std::string rest =
+          f.raw.substr(after, (eol == std::string::npos ? f.raw.size() : eol) -
+                                  after);
+      const int line = line_of(f.raw, marker);
+      if (rest.empty() || rest[0] != '(') {
+        add("nolint-policy", f.rel_path, line,
+            form + " must name the suppressed check: " + form +
+                "(check-name): reason");
+        continue;
+      }
+      const std::size_t close = rest.find(')');
+      if (close == std::string::npos || close == 1) {
+        add("nolint-policy", f.rel_path, line,
+            form + " has an empty or unterminated check list");
+        continue;
+      }
+      const std::size_t colon = rest.find(':', close);
+      if (colon == std::string::npos || trim(rest.substr(colon + 1)).empty()) {
+        add("nolint-policy", f.rel_path, line,
+            form + " is missing its justification (\"... ): reason\"); "
+                   "unexplained suppressions are indistinguishable from "
+                   "silenced bugs");
+      }
+    }
+  }
+
+  // ---- DiagCode sync -------------------------------------------------------
+
+  struct EnumInfo {
+    std::vector<std::pair<std::string, int>> enumerators;  // name, line
+  };
+
+  std::optional<EnumInfo> parse_diag_enum(const SourceFile& f) {
+    const std::size_t at = f.stripped.find("enum class DiagCode");
+    if (at == std::string::npos) return std::nullopt;
+    const auto region = brace_region(f.stripped, at);
+    if (!region.has_value()) return std::nullopt;
+    EnumInfo info;
+    std::size_t i = region->first;
+    while (i < region->second) {
+      if (!is_ident_char(f.stripped[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t b = i;
+      while (i < region->second && is_ident_char(f.stripped[i])) ++i;
+      const std::string ident = f.stripped.substr(b, i - b);
+      if (ident.size() > 1 && ident[0] == 'k' &&
+          std::isupper(static_cast<unsigned char>(ident[1])) != 0) {
+        info.enumerators.emplace_back(ident, line_of(f.stripped, b));
+      }
+    }
+    return info;
+  }
+
+  /// `case Scope::kX: ... return "lit";` pairs inside the to_string overload
+  /// whose signature contains `signature_needle`.
+  std::vector<std::pair<std::string, std::string>> parse_to_string_switch(
+      const SourceFile& f, const std::string& signature_needle,
+      const std::string& scope_needle) {
+    std::vector<std::pair<std::string, std::string>> mapping;
+    const std::size_t sig = f.stripped.find(signature_needle);
+    if (sig == std::string::npos) return mapping;
+    const auto region = brace_region(f.stripped, sig);
+    if (!region.has_value()) return mapping;
+    std::vector<std::string> pending;
+    std::size_t i = region->first;
+    while (i < region->second) {
+      if (f.stripped.compare(i, scope_needle.size(), scope_needle) == 0) {
+        std::size_t b = i + scope_needle.size();
+        std::size_t e = b;
+        while (e < region->second && is_ident_char(f.stripped[e])) ++e;
+        pending.push_back(f.stripped.substr(b, e - b));
+        i = e;
+        continue;
+      }
+      if (f.stripped.compare(i, 6, "return") == 0) {
+        const std::vector<QuotedString> lits = quoted_strings(
+            f.stripped, i, std::min(region->second, i + 200));
+        if (!lits.empty()) {
+          for (const std::string& enumerator : pending) {
+            mapping.emplace_back(enumerator, lits.front().value);
+          }
+        }
+        pending.clear();
+        i += 6;
+        continue;
+      }
+      ++i;
+    }
+    return mapping;
+  }
+
+  void check_diag_codes() {
+    const SourceFile* hpp = require_file("src/sched/validator.hpp");
+    const SourceFile* cpp = require_file("src/sched/validator.cpp");
+    const std::optional<std::string> docs_text =
+        read_file(root_ / "docs" / "USAGE.md");
+    if (!docs_text.has_value()) {
+      add("missing-input", "docs/USAGE.md", 0,
+          "documentation file not found under the lint root");
+    }
+    if (hpp == nullptr || cpp == nullptr || !docs_text.has_value()) return;
+
+    const std::optional<EnumInfo> enum_info = parse_diag_enum(*hpp);
+    if (!enum_info.has_value()) {
+      add("diag-enum-unparsed", hpp->rel_path, 0,
+          "could not locate `enum class DiagCode { ... }`");
+      return;
+    }
+    const std::vector<std::pair<std::string, std::string>> to_string_map =
+        parse_to_string_switch(*cpp, "to_string(DiagCode", "DiagCode::");
+    const DocsTables docs = parse_docs(*docs_text);
+    if (!docs.diag_section_found) {
+      add("diag-doc-section-missing", "docs/USAGE.md", 0,
+          "no \"Diagnostic codes\" section with the code table");
+    }
+
+    std::set<std::string> documented;
+    for (const auto& [code, line] : docs.diag_codes) documented.insert(code);
+
+    std::set<std::string> expected_kebabs;
+    for (const auto& [enumerator, line] : enum_info->enumerators) {
+      const std::string kebab = kebab_of_enumerator(enumerator);
+      expected_kebabs.insert(kebab);
+
+      const auto entry = std::find_if(
+          to_string_map.begin(), to_string_map.end(),
+          [&](const auto& pair) { return pair.first == enumerator; });
+      if (entry == to_string_map.end()) {
+        add("diag-to-string-missing", cpp->rel_path, 0,
+            "DiagCode::" + enumerator +
+                " has no case in to_string(DiagCode); its rendering would "
+                "silently fall through to \"unknown\"");
+      } else if (entry->second != kebab) {
+        add("diag-kebab-mismatch", cpp->rel_path, 0,
+            "to_string(DiagCode::" + enumerator + ") returns \"" +
+                entry->second + "\" but the enumerator name derives \"" +
+                kebab + "\"");
+      }
+      if (docs.diag_section_found && documented.count(kebab) == 0) {
+        add("diag-undocumented", hpp->rel_path, line,
+            "DiagCode::" + enumerator + " (`" + kebab +
+                "`) is missing from the docs/USAGE.md diagnostic-code table");
+      }
+      if (!referenced_in_tests("DiagCode::" + enumerator)) {
+        add("diag-untested", hpp->rel_path, line,
+            "DiagCode::" + enumerator +
+                " is never asserted under tests/; every code needs at least "
+                "one test that provokes it");
+      }
+    }
+    for (const auto& [code, line] : docs.diag_codes) {
+      if (expected_kebabs.count(code) == 0) {
+        add("diag-doc-stale", "docs/USAGE.md", line,
+            "documented diagnostic code `" + code +
+                "` does not correspond to any DiagCode enumerator");
+      }
+    }
+  }
+
+  bool referenced_in_tests(const std::string& needle) const {
+    for (const SourceFile& f : files_) {
+      if (f.rel_path.rfind("tests/", 0) != 0) continue;
+      if (f.stripped.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  // ---- obs span/counter names ---------------------------------------------
+
+  struct ObsUse {
+    std::string name;
+    std::string kind;  // "span" | "counter"
+    std::string file;
+    int line{0};
+  };
+
+  /// First string literal after the '(' at `paren`; nullopt when the first
+  /// argument is not a literal.
+  static std::optional<QuotedString> literal_first_arg(const std::string& text,
+                                                       std::size_t paren) {
+    std::size_t i = paren + 1;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    if (i >= text.size() || text[i] != '"') return std::nullopt;
+    std::vector<QuotedString> lits =
+        quoted_strings(text, i, std::min(text.size(), i + 400));
+    if (lits.empty()) return std::nullopt;
+    return lits.front();
+  }
+
+  std::vector<ObsUse> collect_obs_uses() {
+    std::vector<ObsUse> uses;
+    for (const SourceFile& f : files_) {
+      if (f.rel_path.rfind("src/", 0) != 0) continue;
+      if (f.rel_path.rfind("src/obs/", 0) == 0) continue;  // the layer itself
+      const std::string& text = f.stripped;
+
+      static const std::string kCount = "obs::count(";
+      std::size_t pos = 0;
+      while ((pos = text.find(kCount, pos)) != std::string::npos) {
+        const std::size_t paren = pos + kCount.size() - 1;
+        const int line = line_of(text, pos);
+        if (const auto lit = literal_first_arg(text, paren)) {
+          uses.push_back({lit->value, "counter", f.rel_path, line});
+        } else {
+          add("obs-name-not-literal", f.rel_path, line,
+              "obs::count must be called with a string-literal name so the "
+              "lint (and grep) can see it");
+        }
+        pos = paren;
+      }
+
+      static const std::string kSpan = "ScopedSpan";
+      pos = 0;
+      while ((pos = text.find(kSpan, pos)) != std::string::npos) {
+        if (pos > 0 && (is_ident_char(text[pos - 1]) || text[pos - 1] == ':')) {
+          // Matched the tail of another identifier; obs::ScopedSpan is
+          // handled when the scan lands on the token start.
+        }
+        std::size_t i = pos + kSpan.size();
+        const int line = line_of(text, pos);
+        while (i < text.size() &&
+               (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
+                is_ident_char(text[i]))) {
+          ++i;  // optional variable name
+        }
+        pos += kSpan.size();
+        if (i >= text.size() || text[i] != '(') continue;  // decl or comment
+        if (const auto lit = literal_first_arg(text, i)) {
+          uses.push_back({lit->value, "span", f.rel_path, line});
+        } else {
+          add("obs-name-not-literal", f.rel_path, line,
+              "ScopedSpan must be constructed with a string-literal stage "
+              "name so the lint (and grep) can see it");
+        }
+      }
+    }
+    return uses;
+  }
+
+  void check_obs_names() {
+    const std::vector<ObsUse> uses = collect_obs_uses();
+    const std::optional<std::string> docs_text =
+        read_file(root_ / "docs" / "USAGE.md");
+    if (!docs_text.has_value()) return;  // missing-input already reported
+    const DocsTables docs = parse_docs(*docs_text);
+    if (!docs.obs_section_found) {
+      add("obs-doc-section-missing", "docs/USAGE.md", 0,
+          "no \"Observability names\" section documenting span/counter "
+          "names");
+    }
+
+    // name -> documented kind
+    std::set<std::string> doc_names;
+    std::vector<std::pair<std::string, std::string>> doc_kinds;
+    for (const auto& [name, kind_line] : docs.obs_names) {
+      if (!doc_names.insert(name).second) {
+        add("obs-doc-duplicate", "docs/USAGE.md", kind_line.second,
+            "observability name `" + name + "` is documented twice");
+      }
+      doc_kinds.emplace_back(name, kind_line.first);
+      if (kind_line.first != "span" && kind_line.first != "counter") {
+        add("obs-doc-kind", "docs/USAGE.md", kind_line.second,
+            "observability name `" + name + "` has kind \"" +
+                kind_line.first + "\"; expected span or counter");
+      }
+    }
+
+    std::set<std::string> span_names;
+    std::set<std::string> counter_names;
+    for (const ObsUse& use : uses) {
+      if (!is_dotted_lowercase(use.name)) {
+        add("obs-name-style", use.file, use.line,
+            use.kind + " name \"" + use.name +
+                "\" violates the dotted.lowercase naming convention "
+                "([a-z][a-z0-9_]* segments joined by dots)");
+      }
+      (use.kind == "span" ? span_names : counter_names).insert(use.name);
+      if (docs.obs_section_found) {
+        const auto doc = std::find_if(
+            doc_kinds.begin(), doc_kinds.end(),
+            [&](const auto& pair) { return pair.first == use.name; });
+        if (doc == doc_kinds.end()) {
+          add("obs-undocumented", use.file, use.line,
+              use.kind + " name \"" + use.name +
+                  "\" is missing from the docs/USAGE.md observability table");
+        } else if (doc->second != use.kind) {
+          add("obs-kind-collision", use.file, use.line,
+              "\"" + use.name + "\" is used as a " + use.kind +
+                  " but documented as a " + doc->second);
+        }
+      }
+    }
+    for (const std::string& name : span_names) {
+      if (counter_names.count(name) != 0) {
+        add("obs-kind-collision", "src", 0,
+            "\"" + name +
+                "\" is used both as a span name and a counter name; a name "
+                "must keep one meaning");
+      }
+    }
+    for (const auto& [name, kind_line] : docs.obs_names) {
+      if (span_names.count(name) == 0 && counter_names.count(name) == 0) {
+        add("obs-doc-stale", "docs/USAGE.md", kind_line.second,
+            "documented observability name `" + name +
+                "` has no instrumented call site under src/");
+      }
+    }
+  }
+
+  // ---- CSV / JSON / checkpoint schema -------------------------------------
+
+  std::vector<std::string> brace_list_literals(const SourceFile& f,
+                                               const std::string& needle) {
+    std::vector<std::string> out;
+    const std::size_t at = f.stripped.find(needle);
+    if (at == std::string::npos) return out;
+    const auto region = brace_region(f.stripped, at);
+    if (!region.has_value()) return out;
+    for (QuotedString& q :
+         quoted_strings(f.stripped, region->first, region->second)) {
+      out.push_back(std::move(q.value));
+    }
+    return out;
+  }
+
+  std::set<std::string> set_call_keys(const SourceFile& f) {
+    std::set<std::string> keys;
+    static const std::string kNeedle = ".set(";
+    std::size_t pos = 0;
+    while ((pos = f.stripped.find(kNeedle, pos)) != std::string::npos) {
+      const std::size_t paren = pos + kNeedle.size() - 1;
+      if (const auto lit = literal_first_arg(f.stripped, paren)) {
+        keys.insert(lit->value);
+      }
+      pos = paren;
+    }
+    return keys;
+  }
+
+  void check_schema() {
+    const SourceFile* frontier = require_file("src/dse/frontier.cpp");
+    const SourceFile* sweep = require_file("src/dse/sweep.cpp");
+    const SourceFile* checkpoint = require_file("src/dse/checkpoint.cpp");
+    const SourceFile* csv = require_file("src/report/csv.cpp");
+    if (frontier == nullptr || sweep == nullptr || checkpoint == nullptr ||
+        csv == nullptr) {
+      return;
+    }
+
+    // (a) Sweep CSV header: identity columns lead in canonical order and
+    // the status columns are present.
+    const std::vector<std::string> header =
+        brace_list_literals(*frontier, "kHeader");
+    if (header.size() < kIdentityColumns.size()) {
+      add("schema-csv-identity", frontier->rel_path, 0,
+          "could not extract the sweep CSV header literal list (kHeader)");
+    } else {
+      for (std::size_t i = 0; i < kIdentityColumns.size(); ++i) {
+        if (header[i] != kIdentityColumns[i]) {
+          add("schema-csv-identity", frontier->rel_path, 0,
+              "sweep CSV column " + std::to_string(i) + " is \"" + header[i] +
+                  "\" but the shared identity contract requires \"" +
+                  kIdentityColumns[i] + "\"");
+        }
+      }
+      for (const char* column : kStatusColumns) {
+        if (std::find(header.begin(), header.end(), column) == header.end()) {
+          add("schema-csv-identity", frontier->rel_path, 0,
+              "sweep CSV header is missing the status column \"" +
+                  std::string(column) + "\"");
+        }
+      }
+    }
+
+    // (b) Sweep JSON: every identity/status name appears as a .set() key.
+    const std::set<std::string> json_keys = set_call_keys(*frontier);
+    for (const char* column : kIdentityColumns) {
+      if (json_keys.count(column) == 0) {
+        add("schema-json-missing", frontier->rel_path, 0,
+            "sweep JSON writer never sets the identity key \"" +
+                std::string(column) + "\"");
+      }
+    }
+    for (const char* column : kStatusColumns) {
+      if (json_keys.count(column) == 0) {
+        add("schema-json-missing", frontier->rel_path, 0,
+            "sweep JSON writer never sets the status key \"" +
+                std::string(column) + "\"");
+      }
+    }
+
+    // (c) Checkpoint records carry the same status fields (member names).
+    for (const char* field : {"status", "error_code", "error_message",
+                              "index"}) {
+      if (checkpoint->stripped.find(std::string(".") + field) ==
+          std::string::npos) {
+        add("schema-checkpoint-field", checkpoint->rel_path, 0,
+            "checkpoint codec never touches CellResult::" +
+                std::string(field) +
+                "; records would drop a contract column");
+      }
+    }
+
+    // (d) Status tokens: whatever to_string(CellStatus) emits must be
+    // exactly what the checkpoint decoder matches on.
+    const std::vector<std::pair<std::string, std::string>> status_map =
+        parse_to_string_switch(*sweep, "to_string(CellStatus", "CellStatus::");
+    if (status_map.empty()) {
+      add("schema-status-token", sweep->rel_path, 0,
+          "could not extract the to_string(CellStatus) switch");
+    }
+    for (const auto& [enumerator, token] : status_map) {
+      const std::string needle = "\"" + token + "\"";
+      if (checkpoint->stripped.find(needle) == std::string::npos) {
+        add("schema-status-token", checkpoint->rel_path, 0,
+            "status token \"" + token + "\" (CellStatus::" + enumerator +
+                ") is never matched by the checkpoint decoder");
+      }
+    }
+
+    // (e) The experiment CSV shares the graph-identity prefix naming.
+    const std::vector<std::string> experiment =
+        brace_list_literals(*csv, "std::vector<std::string> header");
+    if (experiment.empty()) {
+      add("schema-experiment-prefix", csv->rel_path, 0,
+          "could not extract the experiment CSV header literal list");
+    } else {
+      for (const char* column : kExperimentIdentity) {
+        if (std::find(experiment.begin(), experiment.end(), column) ==
+            experiment.end()) {
+          add("schema-experiment-prefix", csv->rel_path, 0,
+              "experiment CSV header dropped the shared identity column \"" +
+                  std::string(column) + "\"");
+        }
+      }
+    }
+  }
+
+  fs::path root_;
+  std::vector<SourceFile> files_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::string to_string(const Finding& finding) {
+  std::string out = finding.file;
+  if (finding.line > 0) out += ":" + std::to_string(finding.line);
+  out += ": [" + finding.check + "] " + finding.message;
+  return out;
+}
+
+Report run_lint(const std::filesystem::path& root) {
+  return Linter(root).run();
+}
+
+}  // namespace paraconv::lint

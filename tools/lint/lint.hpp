@@ -1,0 +1,53 @@
+// paraconv-lint: project-specific static analysis over the repo's own
+// sources and docs.
+//
+// The pipeline's correctness contract lives in string literals and tables
+// spread across subsystems: sched::DiagCode enumerators and their kebab
+// renderings, obs span/counter names, the sweep CSV/JSON/checkpoint column
+// schema, and the documentation tables in docs/USAGE.md that mirror all of
+// them. Nothing in the compiler checks that those stay in sync — this pass
+// does, at build time, as the `lint` ctest.
+//
+// Checks (kebab codes reported per finding):
+//   diag-*    DiagCode enum <-> to_string switch <-> docs table <-> tests
+//   obs-*     span/counter literals: dotted.lowercase style, documented,
+//             one kind per name
+//   schema-*  sweep CSV header / JSON keys / checkpoint fields agree on the
+//             shared identity+status column set
+//   pragma-once, using-namespace-header, iostream-in-library   header hygiene
+//   nolint-policy   every suppression names its check and carries a reason
+//
+// The library is separated from the binary so the gtest suite can run the
+// same checks against seeded-violation fixture trees.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace paraconv::lint {
+
+/// One violation. `file` is relative to the linted root; `line` is
+/// 1-based (0 when the finding is about a whole file or a missing one).
+struct Finding {
+  std::string check;
+  std::string file;
+  int line{0};
+  std::string message;
+};
+
+/// "src/foo.cpp:12: [check-name] message".
+std::string to_string(const Finding& finding);
+
+struct Report {
+  std::vector<Finding> findings;
+  int files_scanned{0};
+};
+
+/// Runs every check against the repo rooted at `root`. The root must hold
+/// the repo layout (src/, tests/, docs/USAGE.md, ...); absent required
+/// inputs are reported as `missing-input` findings rather than skipped, so
+/// a mislocated root fails loudly instead of passing vacuously.
+Report run_lint(const std::filesystem::path& root);
+
+}  // namespace paraconv::lint

@@ -1,0 +1,57 @@
+// Standalone driver for the project lint pass; see lint.hpp for the check
+// catalogue. Runs as the `lint` ctest against the source tree, so schema or
+// doc drift fails `ctest -j` locally the same way it fails CI.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root <dir>]\n"
+               "Runs the paraconv project lint against the repo rooted at\n"
+               "<dir> (default: current directory). Exits non-zero when any\n"
+               "finding is reported.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  const paraconv::lint::Report report = paraconv::lint::run_lint(root);
+  if (report.files_scanned == 0) {
+    std::fprintf(stderr,
+                 "paraconv-lint: no sources found under '%s' -- wrong "
+                 "--root?\n",
+                 root.c_str());
+    return 2;
+  }
+  for (const paraconv::lint::Finding& finding : report.findings) {
+    std::fprintf(stderr, "%s\n", paraconv::lint::to_string(finding).c_str());
+  }
+  if (!report.findings.empty()) {
+    std::fprintf(stderr, "paraconv-lint: %zu finding(s) in %d files\n",
+                 report.findings.size(), report.files_scanned);
+    return 1;
+  }
+  std::fprintf(stderr, "paraconv-lint: OK (%d files scanned)\n",
+               report.files_scanned);
+  return 0;
+}
