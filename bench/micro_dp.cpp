@@ -1,15 +1,27 @@
-// M1: google-benchmark micro-benchmarks for the dynamic-programming
-// allocator — verifies the paper's O(n * S) running-time claim empirically
-// (linear in item count at fixed capacity, linear in capacity at fixed n).
-#include <benchmark/benchmark.h>
+// M1: micro-benchmarks for the dynamic-programming allocator — verifies the
+// paper's O(n * S) running-time claim empirically (linear in item count at
+// fixed capacity, linear in capacity at fixed n). Runs on the canonical
+// harness (docs/BENCHMARKS.md); compare medians across the size sweeps.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "alloc/knapsack.hpp"
+#include "bench_harness/harness.hpp"
 #include "common/rng.hpp"
-#include "graph/generator.hpp"
+#include "graph/task_graph.hpp"
 
 namespace {
 
 using namespace paraconv;
+
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables): the
+// sink must outlive every case body and be observable to the optimizer.
+volatile std::int64_t g_sink = 0;
+
+void sink(std::int64_t v) { g_sink = g_sink + v; }
 
 std::vector<alloc::AllocationItem> synthetic_items(std::size_t n,
                                                    std::uint64_t seed) {
@@ -27,55 +39,63 @@ std::vector<alloc::AllocationItem> synthetic_items(std::size_t n,
   return items;
 }
 
-void BM_KnapsackItems(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto items = synthetic_items(n, 42);
-  const alloc::KnapsackOptions options{Bytes{512 * 1024}, 1024};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(alloc::knapsack_profit(items, options));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_KnapsackItems)->RangeMultiplier(2)->Range(64, 2048)->Complexity(
-    benchmark::oN);
-
-void BM_KnapsackCapacity(benchmark::State& state) {
-  const auto items = synthetic_items(512, 42);
-  const alloc::KnapsackOptions options{Bytes{state.range(0) * 1024}, 1024};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(alloc::knapsack_profit(items, options));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_KnapsackCapacity)
-    ->RangeMultiplier(2)
-    ->Range(64, 2048)
-    ->Complexity(benchmark::oN);
-
-void BM_KnapsackReconstruct(benchmark::State& state) {
-  // The reconstruction path needs the full B table (knapsack_allocate),
-  // unlike the profit-only rolling row above — this is the benchmark that
-  // sees the table's memory layout.
-  const auto n = static_cast<std::size_t>(state.range(0));
-  auto items = synthetic_items(n, 42);
-  graph::TaskGraph g("dp-bench");
-  const auto hub = g.add_task(
-      {"hub", graph::TaskKind::kConvolution, TimeUnits{1}});
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto node = g.add_task({"n" + std::to_string(i),
-                                  graph::TaskKind::kConvolution,
-                                  TimeUnits{1}});
-    items[i].edge = g.add_ipr(hub, node, items[i].size);
-  }
-  const alloc::KnapsackOptions options{Bytes{512 * 1024}, 1024};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(alloc::knapsack_allocate(g, items, options));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_KnapsackReconstruct)
-    ->RangeMultiplier(2)
-    ->Range(64, 1024)
-    ->Complexity(benchmark::oN);
-
 }  // namespace
+
+int main(int argc, char** argv) {
+  bench_harness::SuiteResult result;
+  result.suite = "micro_dp";
+
+  // Item-count sweep at fixed capacity: medians should grow linearly.
+  for (const std::size_t n :
+       {std::size_t{64}, std::size_t{128}, std::size_t{256}, std::size_t{512},
+        std::size_t{1024}, std::size_t{2048}}) {
+    const auto items = synthetic_items(n, 42);
+    const alloc::KnapsackOptions options{Bytes{512 * 1024}, 1024};
+    result.cases.push_back(bench_harness::run_case(
+        "profit/n" + std::to_string(n) + "/cap512k",
+        [items, options] { sink(alloc::knapsack_profit(items, options)); },
+        result.options));
+  }
+
+  // Capacity sweep at fixed n: linear in the quantized capacity S.
+  for (const std::int64_t cap_kib : {64, 256, 1024, 2048}) {
+    const auto items = synthetic_items(512, 42);
+    const alloc::KnapsackOptions options{Bytes{cap_kib * 1024}, 1024};
+    result.cases.push_back(bench_harness::run_case(
+        "profit/n512/cap" + std::to_string(cap_kib) + "k",
+        [items, options] { sink(alloc::knapsack_profit(items, options)); },
+        result.options));
+  }
+
+  // The reconstruction path needs the full B table (knapsack_allocate),
+  // unlike the profit-only rolling row above — this is the sweep that sees
+  // the table's memory layout.
+  for (const std::size_t n :
+       {std::size_t{64}, std::size_t{256}, std::size_t{1024}}) {
+    auto items = synthetic_items(n, 42);
+    auto g = std::make_shared<graph::TaskGraph>("dp-bench");
+    const auto hub =
+        g->add_task({"hub", graph::TaskKind::kConvolution, TimeUnits{1}});
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto node = g->add_task({"n" + std::to_string(i),
+                                     graph::TaskKind::kConvolution,
+                                     TimeUnits{1}});
+      items[i].edge = g->add_ipr(hub, node, items[i].size);
+    }
+    const alloc::KnapsackOptions options{Bytes{512 * 1024}, 1024};
+    result.cases.push_back(bench_harness::run_case(
+        "allocate/n" + std::to_string(n) + "/cap512k",
+        [g, items, options] {
+          sink(alloc::knapsack_allocate(*g, items, options).total_profit);
+        },
+        result.options));
+  }
+
+  bench_harness::render_suite_table(std::cout, result);
+  if (argc > 1) {
+    const std::string path =
+        bench_harness::write_suite_json(result, argv[1]);
+    std::cerr << "wrote " << path << "\n";
+  }
+  return 0;
+}

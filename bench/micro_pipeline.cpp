@@ -1,7 +1,12 @@
-// M2: google-benchmark micro-benchmarks for the full scheduling pipeline
-// and the machine-model replay, across graph sizes.
-#include <benchmark/benchmark.h>
+// M2: micro-benchmarks for the full scheduling pipeline and the
+// machine-model replay, across graph sizes. Runs on the canonical harness
+// (docs/BENCHMARKS.md); compare medians down each size column.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
 
+#include "bench_harness/harness.hpp"
 #include "core/para_conv.hpp"
 #include "core/sparta.hpp"
 #include "graph/generator.hpp"
@@ -11,45 +16,70 @@ namespace {
 
 using namespace paraconv;
 
-graph::TaskGraph make_graph(std::int64_t vertices) {
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables): the
+// sink must outlive every case body and be observable to the optimizer.
+volatile std::int64_t g_sink = 0;
+
+void sink(std::int64_t v) { g_sink = g_sink + v; }
+
+std::shared_ptr<const graph::TaskGraph> make_graph(std::size_t vertices) {
   graph::GeneratorConfig config;
   config.name = "bench";
-  config.vertices = static_cast<std::size_t>(vertices);
-  config.edges = static_cast<std::size_t>(vertices) * 5 / 2;
+  config.vertices = vertices;
+  config.edges = vertices * 5 / 2;
   config.seed = 7;
-  return graph::generate_layered_dag(config);
+  return std::make_shared<const graph::TaskGraph>(
+      graph::generate_layered_dag(config));
 }
-
-void BM_ParaConvSchedule(benchmark::State& state) {
-  const graph::TaskGraph g = make_graph(state.range(0));
-  const core::ParaConv scheduler(pim::PimConfig::neurocube(32));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(scheduler.schedule(g));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_ParaConvSchedule)->RangeMultiplier(2)->Range(32, 1024);
-
-void BM_SpartaSchedule(benchmark::State& state) {
-  const graph::TaskGraph g = make_graph(state.range(0));
-  const core::Sparta scheduler(pim::PimConfig::neurocube(32));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(scheduler.schedule(g));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_SpartaSchedule)->RangeMultiplier(2)->Range(32, 1024);
-
-void BM_MachineReplay(benchmark::State& state) {
-  const graph::TaskGraph g = make_graph(state.range(0));
-  const pim::PimConfig config = pim::PimConfig::neurocube(32);
-  const auto result = core::ParaConv(config).schedule(g);
-  pim::Machine machine(config);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(machine.run(g, result.kernel, {.iterations = 4}));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_MachineReplay)->RangeMultiplier(4)->Range(32, 512);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  bench_harness::SuiteResult result;
+  result.suite = "micro_pipeline";
+
+  for (const std::size_t vertices :
+       {std::size_t{32}, std::size_t{128}, std::size_t{512},
+        std::size_t{1024}}) {
+    const auto g = make_graph(vertices);
+    const auto paraconv =
+        std::make_shared<const core::ParaConv>(pim::PimConfig::neurocube(32));
+    result.cases.push_back(bench_harness::run_case(
+        "paraconv/v" + std::to_string(vertices) + "/pe32",
+        [g, paraconv] {
+          sink(paraconv->schedule(*g).metrics.total_time.value);
+        },
+        result.options));
+    const auto sparta =
+        std::make_shared<const core::Sparta>(pim::PimConfig::neurocube(32));
+    result.cases.push_back(bench_harness::run_case(
+        "sparta/v" + std::to_string(vertices) + "/pe32",
+        [g, sparta] { sink(sparta->schedule(*g).metrics.total_time.value); },
+        result.options));
+  }
+
+  // The machine-model replay of an already-computed kernel schedule.
+  for (const std::size_t vertices :
+       {std::size_t{32}, std::size_t{128}, std::size_t{512}}) {
+    const auto g = make_graph(vertices);
+    const pim::PimConfig config = pim::PimConfig::neurocube(32);
+    const auto schedule = std::make_shared<const core::ParaConvResult>(
+        core::ParaConv(config).schedule(*g));
+    const auto machine = std::make_shared<pim::Machine>(config);
+    result.cases.push_back(bench_harness::run_case(
+        "replay/v" + std::to_string(vertices) + "/pe32/iters4",
+        [g, schedule, machine] {
+          sink(machine->run(*g, schedule->kernel, {.iterations = 4})
+                   .makespan.value);
+        },
+        result.options));
+  }
+
+  bench_harness::render_suite_table(std::cout, result);
+  if (argc > 1) {
+    const std::string path =
+        bench_harness::write_suite_json(result, argv[1]);
+    std::cerr << "wrote " << path << "\n";
+  }
+  return 0;
+}

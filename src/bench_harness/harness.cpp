@@ -1,0 +1,438 @@
+#include "bench_harness/harness.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <numeric>
+#include <ostream>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "obs/obs.hpp"
+
+namespace paraconv::bench_harness {
+
+void BenchOptions::validate() const {
+  PARACONV_REQUIRE(warmup >= 0, "warmup must be >= 0");
+  PARACONV_REQUIRE(repetitions >= 1, "at least one timed repetition required");
+}
+
+WallStats wall_stats(const std::vector<std::int64_t>& samples_ns) {
+  PARACONV_REQUIRE(!samples_ns.empty(), "wall_stats of an empty sample");
+  std::vector<double> samples;
+  samples.reserve(samples_ns.size());
+  for (const std::int64_t s : samples_ns) {
+    samples.push_back(static_cast<double>(s));
+  }
+  WallStats stats;
+  stats.median_ns = percentile(samples, 50.0);
+  stats.p10_ns = percentile(samples, 10.0);
+  stats.p90_ns = percentile(samples, 90.0);
+  stats.min_ns = *std::min_element(samples.begin(), samples.end());
+  stats.max_ns = *std::max_element(samples.begin(), samples.end());
+  stats.mean_ns = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                  static_cast<double>(samples.size());
+  return stats;
+}
+
+CaseResult run_case(const std::string& name,
+                    const std::function<void()>& body,
+                    const BenchOptions& options) {
+  options.validate();
+  PARACONV_REQUIRE(!name.empty(), "benchmark case needs a name");
+
+  CaseResult result;
+  result.name = name;
+
+  for (int i = 0; i < options.warmup; ++i) body();
+
+  result.samples_ns.reserve(static_cast<std::size_t>(options.repetitions));
+  for (int i = 0; i < options.repetitions; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto end = std::chrono::steady_clock::now();
+    result.samples_ns.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+  }
+  result.wall = wall_stats(result.samples_ns);
+
+  // One extra instrumented repetition, outside the timed window: counters
+  // are deterministic per body, so once is exact, and the timed repetitions
+  // never pay for registry locking.
+  {
+    obs::Registry registry;
+    {
+      const obs::ScopedRegistry scoped(&registry);
+      body();
+    }
+    result.counters = registry.counters();
+    for (const obs::SpanRecord& span : registry.spans()) {
+      ++result.counters["span." + span.name];
+    }
+  }
+  return result;
+}
+
+report::JsonValue suite_to_json(const SuiteResult& result) {
+  report::JsonValue doc = report::JsonValue::object();
+  doc.set("schema_version", kBenchSchemaVersion);
+  doc.set("suite", result.suite);
+  doc.set("warmup", result.options.warmup);
+  doc.set("repetitions", result.options.repetitions);
+  report::JsonValue cases = report::JsonValue::array();
+  for (const CaseResult& c : result.cases) {
+    report::JsonValue entry = report::JsonValue::object();
+    entry.set("name", c.name);
+    report::JsonValue samples = report::JsonValue::array();
+    for (const std::int64_t s : c.samples_ns) samples.push_back(s);
+    entry.set("samples_ns", std::move(samples));
+    report::JsonValue wall = report::JsonValue::object();
+    wall.set("median", c.wall.median_ns);
+    wall.set("p10", c.wall.p10_ns);
+    wall.set("p90", c.wall.p90_ns);
+    wall.set("min", c.wall.min_ns);
+    wall.set("max", c.wall.max_ns);
+    wall.set("mean", c.wall.mean_ns);
+    entry.set("wall_ns", std::move(wall));
+    report::JsonValue counters = report::JsonValue::object();
+    for (const auto& [counter, value] : c.counters) {
+      counters.set(counter, value);
+    }
+    entry.set("counters", std::move(counters));
+    cases.push_back(std::move(entry));
+  }
+  doc.set("cases", std::move(cases));
+  return doc;
+}
+
+std::string write_suite_json(const SuiteResult& result,
+                             const std::string& directory) {
+  const std::string dir = directory.empty() ? std::string(".") : directory;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open reports
+  const std::string path = dir + "/BENCH_" + result.suite + ".json";
+  std::ofstream out(path);
+  PARACONV_REQUIRE(out.good(), "cannot open bench output file: " + path);
+  out << suite_to_json(result).dump(/*pretty=*/true) << "\n";
+  out.flush();
+  PARACONV_REQUIRE(out.good(), "failed writing bench output file: " + path);
+  return path;
+}
+
+void render_suite_table(std::ostream& out, const SuiteResult& result) {
+  TablePrinter table("suite '" + result.suite + "' (" +
+                     std::to_string(result.options.repetitions) +
+                     " repetitions, " + std::to_string(result.options.warmup) +
+                     " warmup)");
+  table.set_header({"case", "median", "p10", "p90", "counters"});
+  for (const CaseResult& c : result.cases) {
+    table.add_row({c.name, format_fixed(c.wall.median_ns / 1e3, 1) + " us",
+                   format_fixed(c.wall.p10_ns / 1e3, 1) + " us",
+                   format_fixed(c.wall.p90_ns / 1e3, 1) + " us",
+                   std::to_string(c.counters.size())});
+  }
+  table.print(out);
+}
+
+// ---- schema validation -----------------------------------------------------
+
+namespace {
+
+/// Minimal read-only JSON document model: just enough structure to verify
+/// the BENCH_* schema. Not a general parser — no \uXXXX decoding (the
+/// harness never emits any), but it does reject malformed documents.
+struct JsonDoc {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string text;
+  std::vector<JsonDoc> items;
+  std::vector<std::pair<std::string, JsonDoc>> members;
+
+  const JsonDoc* find(const std::string& key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool parse(JsonDoc* doc, std::string* error) {
+    if (!parse_value(doc, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters after the top-level value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::string* error) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) {
+      *error = "malformed literal at offset " + std::to_string(pos_);
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_string(std::string* out, std::string* error) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      *error = "expected string at offset " + std::to_string(pos_);
+      return false;
+    }
+    for (++pos_; pos_ < text_.size(); ++pos_) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        *out += text_[pos_];
+      } else {
+        *out += c;
+      }
+    }
+    *error = "unterminated string";
+    return false;
+  }
+
+  bool parse_value(JsonDoc* doc, std::string* error) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      *error = "unexpected end of document";
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == 'n') {
+      doc->kind = JsonDoc::Kind::kNull;
+      return literal("null", error);
+    }
+    if (c == 't' || c == 'f') {
+      doc->kind = JsonDoc::Kind::kBool;
+      doc->boolean = c == 't';
+      return literal(c == 't' ? "true" : "false", error);
+    }
+    if (c == '"') {
+      doc->kind = JsonDoc::Kind::kString;
+      return parse_string(&doc->text, error);
+    }
+    if (c == '[') {
+      doc->kind = JsonDoc::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonDoc item;
+        if (!parse_value(&item, error)) return false;
+        doc->items.push_back(std::move(item));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        *error = "expected ',' or ']' at offset " + std::to_string(pos_);
+        return false;
+      }
+    }
+    if (c == '{') {
+      doc->kind = JsonDoc::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key, error)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          *error = "expected ':' at offset " + std::to_string(pos_);
+          return false;
+        }
+        ++pos_;
+        JsonDoc value;
+        if (!parse_value(&value, error)) return false;
+        doc->members.emplace_back(std::move(key), std::move(value));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        *error = "expected ',' or '}' at offset " + std::to_string(pos_);
+        return false;
+      }
+    }
+    // Number: accept the JSON grammar loosely; strtod validates the rest.
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (begin == pos_) {
+      *error = "unexpected character at offset " + std::to_string(pos_);
+      return false;
+    }
+    try {
+      doc->number = std::stod(text_.substr(begin, pos_ - begin));
+    } catch (const std::exception&) {
+      *error = "malformed number at offset " + std::to_string(begin);
+      return false;
+    }
+    doc->kind = JsonDoc::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_{0};
+};
+
+bool require_number(const JsonDoc& object, const std::string& key,
+                    const std::string& where, std::string* error) {
+  const JsonDoc* value = object.find(key);
+  if (value == nullptr || value->kind != JsonDoc::Kind::kNumber) {
+    *error = where + " is missing the numeric field \"" + key + "\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_bench_json(const std::string& json_text, std::string* error) {
+  PARACONV_REQUIRE(error != nullptr, "error sink required");
+  error->clear();
+  JsonDoc doc;
+  if (!JsonReader(json_text).parse(&doc, error)) return false;
+  if (doc.kind != JsonDoc::Kind::kObject) {
+    *error = "top-level value must be an object";
+    return false;
+  }
+  const JsonDoc* version = doc.find("schema_version");
+  if (version == nullptr || version->kind != JsonDoc::Kind::kNumber) {
+    *error = "missing numeric \"schema_version\"";
+    return false;
+  }
+  if (static_cast<int>(version->number) != kBenchSchemaVersion) {
+    *error = "unsupported schema_version " +
+             std::to_string(static_cast<int>(version->number));
+    return false;
+  }
+  const JsonDoc* suite = doc.find("suite");
+  if (suite == nullptr || suite->kind != JsonDoc::Kind::kString ||
+      suite->text.empty()) {
+    *error = "missing non-empty string \"suite\"";
+    return false;
+  }
+  if (!require_number(doc, "warmup", "document", error) ||
+      !require_number(doc, "repetitions", "document", error)) {
+    return false;
+  }
+  const double repetitions = doc.find("repetitions")->number;
+  const JsonDoc* cases = doc.find("cases");
+  if (cases == nullptr || cases->kind != JsonDoc::Kind::kArray ||
+      cases->items.empty()) {
+    *error = "missing non-empty array \"cases\"";
+    return false;
+  }
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < cases->items.size(); ++i) {
+    const JsonDoc& entry = cases->items[i];
+    const std::string where = "cases[" + std::to_string(i) + "]";
+    if (entry.kind != JsonDoc::Kind::kObject) {
+      *error = where + " must be an object";
+      return false;
+    }
+    const JsonDoc* name = entry.find("name");
+    if (name == nullptr || name->kind != JsonDoc::Kind::kString ||
+        name->text.empty()) {
+      *error = where + " is missing a non-empty string \"name\"";
+      return false;
+    }
+    if (!seen.insert(name->text).second) {
+      *error = "duplicate case name \"" + name->text + "\"";
+      return false;
+    }
+    const JsonDoc* samples = entry.find("samples_ns");
+    if (samples == nullptr || samples->kind != JsonDoc::Kind::kArray) {
+      *error = where + " is missing the array \"samples_ns\"";
+      return false;
+    }
+    if (samples->items.size() != static_cast<std::size_t>(repetitions)) {
+      *error = where + " has " + std::to_string(samples->items.size()) +
+               " samples but the document declares " +
+               std::to_string(static_cast<int>(repetitions)) +
+               " repetitions";
+      return false;
+    }
+    for (const JsonDoc& sample : samples->items) {
+      if (sample.kind != JsonDoc::Kind::kNumber || sample.number < 0) {
+        *error = where + " has a non-numeric or negative sample";
+        return false;
+      }
+    }
+    const JsonDoc* wall = entry.find("wall_ns");
+    if (wall == nullptr || wall->kind != JsonDoc::Kind::kObject) {
+      *error = where + " is missing the object \"wall_ns\"";
+      return false;
+    }
+    for (const char* stat : {"median", "p10", "p90", "min", "max", "mean"}) {
+      if (!require_number(*wall, stat, where + ".wall_ns", error)) {
+        return false;
+      }
+    }
+    const JsonDoc* counters = entry.find("counters");
+    if (counters == nullptr || counters->kind != JsonDoc::Kind::kObject) {
+      *error = where + " is missing the object \"counters\"";
+      return false;
+    }
+    for (const auto& [counter, value] : counters->members) {
+      if (value.kind != JsonDoc::Kind::kNumber) {
+        *error = where + " counter \"" + counter + "\" is not numeric";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace paraconv::bench_harness

@@ -1,0 +1,92 @@
+// Canonical wall-clock benchmark harness (docs/BENCHMARKS.md).
+//
+// Every performance number this repository reports flows through this one
+// timing loop: a named case runs `warmup` untimed repetitions, then
+// `repetitions` timed ones (steady clock, whole-body), and finally one extra
+// *instrumented* repetition with an obs::Registry installed to capture the
+// pipeline's algorithmic counters — kept out of the timed repetitions so
+// observability never perturbs the numbers it explains. Suites (pinned case
+// lists) live in bench_harness/suites.hpp; the JSON emitted by
+// write_suite_json is the schema-stable `BENCH_<suite>.json` contract that
+// lets two runs be diffed mechanically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "report/json.hpp"
+
+namespace paraconv::bench_harness {
+
+/// Bumped only when the emitted JSON shape changes incompatibly.
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct BenchOptions {
+  /// Untimed repetitions before measurement (cache/branch-predictor warm).
+  int warmup{2};
+  /// Timed repetitions; median/p10/p90 are nearest-rank over these.
+  int repetitions{11};
+
+  /// Throws ContractViolation when out of range.
+  void validate() const;
+};
+
+/// Nearest-rank summary of one case's timed repetitions, in nanoseconds.
+struct WallStats {
+  double median_ns{0.0};
+  double p10_ns{0.0};
+  double p90_ns{0.0};
+  double min_ns{0.0};
+  double max_ns{0.0};
+  double mean_ns{0.0};
+};
+
+struct CaseResult {
+  std::string name;
+  /// One entry per timed repetition, in run order.
+  std::vector<std::int64_t> samples_ns;
+  WallStats wall;
+  /// Deterministic algorithmic counters from the instrumented repetition:
+  /// every obs counter the body incremented, plus one `span.<stage>` entry
+  /// per distinct span name counting how often that stage ran.
+  std::map<std::string, std::int64_t> counters;
+};
+
+struct SuiteResult {
+  std::string suite;
+  BenchOptions options;
+  std::vector<CaseResult> cases;
+};
+
+/// Runs `body` under the warmup/repetition protocol and returns the timed
+/// samples plus the counters of one instrumented repetition. The body must
+/// be deterministic and self-contained (setup belongs outside).
+CaseResult run_case(const std::string& name,
+                    const std::function<void()>& body,
+                    const BenchOptions& options);
+
+/// Derives nearest-rank statistics from raw samples (exposed for tests).
+WallStats wall_stats(const std::vector<std::int64_t>& samples_ns);
+
+/// The BENCH_<suite>.json document (docs/BENCHMARKS.md "Schema").
+report::JsonValue suite_to_json(const SuiteResult& result);
+
+/// Pretty-printed JSON to `<directory>/BENCH_<suite>.json`; returns the
+/// path written. Throws ContractViolation when the file cannot be written.
+std::string write_suite_json(const SuiteResult& result,
+                             const std::string& directory);
+
+/// Human-readable per-case summary table (medians, spread, counters).
+void render_suite_table(std::ostream& out, const SuiteResult& result);
+
+/// Structural validation of a BENCH_*.json document: every schema field
+/// present with the right shape. Returns true and leaves `error` empty on
+/// success; on failure `error` names the first offending field. This is the
+/// check the CI bench-smoke job runs against freshly emitted files.
+bool validate_bench_json(const std::string& json_text, std::string* error);
+
+}  // namespace paraconv::bench_harness

@@ -1,0 +1,293 @@
+#include "bench_harness/suites.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "alloc/knapsack.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/para_conv.hpp"
+#include "core/sparta.hpp"
+#include "dse/sweep.hpp"
+#include "graph/generator.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "pim/config.hpp"
+#include "retiming/delta.hpp"
+#include "sched/packer.hpp"
+
+namespace paraconv::bench_harness {
+namespace {
+
+struct Case {
+  std::string name;
+  std::function<void()> body;
+};
+
+/// Optimizer sink: results are folded in here so a whole case body cannot
+/// be proven dead. volatile keeps the final store observable.
+volatile std::int64_t g_sink = 0;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables): benchmark sink, single-threaded writes only
+void sink(std::int64_t v) { g_sink = g_sink + v; }
+
+graph::TaskGraph paper_graph(const std::string& name) {
+  return graph::build_paper_benchmark(graph::paper_benchmark(name));
+}
+
+/// The large synthetic packer/retime workload: deliberately bigger than any
+/// Table-1 graph so the O(V * PEs) packer inner loop dominates.
+graph::TaskGraph synthetic_graph() {
+  graph::GeneratorConfig config;
+  config.name = "synth2048";
+  config.vertices = 2048;
+  config.edges = 2048 * 5 / 2;
+  config.seed = 7;
+  return graph::generate_layered_dag(config);
+}
+
+/// micro_dp's synthetic allocation items: sizes 1..16 KiB, profits 1..2,
+/// deadlines in index order (already deadline-sorted as the DP requires).
+std::vector<alloc::AllocationItem> synthetic_items(std::size_t n,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<alloc::AllocationItem> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alloc::AllocationItem item;
+    item.edge = graph::EdgeId{static_cast<std::uint32_t>(i)};
+    item.size = Bytes{rng.uniform_int(1, 16) * 1024};
+    item.profit = static_cast<int>(rng.uniform_int(1, 2));
+    item.deadline = TimeUnits{static_cast<std::int64_t>(i)};
+    items.push_back(item);
+  }
+  return items;
+}
+
+std::vector<Case> pipeline_cases() {
+  std::vector<Case> cases;
+  for (const char* name : {"cat", "stock-predict", "protein"}) {
+    auto g = std::make_shared<graph::TaskGraph>(paper_graph(name));
+    auto scheduler =
+        std::make_shared<core::ParaConv>(pim::PimConfig::neurocube(32));
+    cases.push_back({std::string("paraconv/") + name + "/pe32",
+                     [g, scheduler] {
+                       const core::ParaConvResult result =
+                           scheduler->schedule(*g);
+                       sink(result.metrics.total_time.value);
+                     }});
+  }
+  {
+    auto g = std::make_shared<graph::TaskGraph>(paper_graph("protein"));
+    auto scheduler =
+        std::make_shared<core::ParaConv>(pim::PimConfig::neurocube(64));
+    cases.push_back({"paraconv/protein/pe64", [g, scheduler] {
+                       sink(scheduler->schedule(*g).metrics.total_time.value);
+                     }});
+    auto sparta =
+        std::make_shared<core::Sparta>(pim::PimConfig::neurocube(32));
+    cases.push_back({"sparta/protein/pe32", [g, sparta] {
+                       sink(sparta->schedule(*g).metrics.total_time.value);
+                     }});
+  }
+  return cases;
+}
+
+std::vector<Case> packer_cases() {
+  std::vector<Case> cases;
+  auto synth = std::make_shared<graph::TaskGraph>(synthetic_graph());
+  auto protein = std::make_shared<graph::TaskGraph>(paper_graph("protein"));
+  auto config256 = std::make_shared<pim::PimConfig>(
+      pim::PimConfig::neurocube(256));
+  auto config64 = std::make_shared<pim::PimConfig>(
+      pim::PimConfig::neurocube(64));
+  cases.push_back({"topological/synth2048/pe256", [synth] {
+                     sink(sched::pack_topological(*synth, 256).period.value);
+                   }});
+  cases.push_back({"lpt/synth2048/pe256", [synth] {
+                     sink(sched::pack_ignore_dependencies(*synth, 256)
+                              .period.value);
+                   }});
+  cases.push_back({"locality/synth2048/pe256", [synth, config256] {
+                     sink(sched::pack_locality(*synth, *config256)
+                              .period.value);
+                   }});
+  cases.push_back({"topological/protein/pe64", [protein] {
+                     sink(sched::pack_topological(*protein, 64).period.value);
+                   }});
+  cases.push_back({"locality/protein/pe64", [protein, config64] {
+                     sink(sched::pack_locality(*protein, *config64)
+                              .period.value);
+                   }});
+  return cases;
+}
+
+std::vector<Case> retime_cases() {
+  std::vector<Case> cases;
+  struct Fixture {
+    graph::TaskGraph graph;
+    pim::PimConfig config;
+    sched::Packing packing;
+  };
+  const auto add = [&cases](const std::string& name, graph::TaskGraph g,
+                            const pim::PimConfig& config, int pe_count) {
+    auto fixture = std::make_shared<Fixture>(
+        Fixture{std::move(g), config, {}});
+    fixture->packing = sched::pack_topological(fixture->graph, pe_count);
+    cases.push_back({name, [fixture] {
+                       const auto deltas = retiming::compute_edge_deltas(
+                           fixture->graph, fixture->packing.placement,
+                           fixture->packing.period, fixture->config);
+                       sink(static_cast<std::int64_t>(deltas.size()));
+                     }});
+  };
+  add("deltas/synth2048/pe256", synthetic_graph(),
+      pim::PimConfig::neurocube(256), 256);
+  add("deltas/protein/pe64", paper_graph("protein"),
+      pim::PimConfig::neurocube(64), 64);
+  return cases;
+}
+
+std::vector<Case> alloc_dp_cases() {
+  std::vector<Case> cases;
+  // Profit-only DP at three item counts (the paper's O(n * S) claim:
+  // linear in n at fixed capacity — compare the three medians).
+  for (const std::size_t n : {std::size_t{128}, std::size_t{512},
+                              std::size_t{2048}}) {
+    auto items = std::make_shared<std::vector<alloc::AllocationItem>>(
+        synthetic_items(n, 42));
+    cases.push_back({"profit/n" + std::to_string(n) + "/cap512k",
+                     [items] {
+                       const alloc::KnapsackOptions options{Bytes{512 * 1024},
+                                                            1024};
+                       sink(alloc::knapsack_profit(*items, options));
+                     }});
+  }
+  // Capacity axis: fixed n, 4x the capacity.
+  {
+    auto items = std::make_shared<std::vector<alloc::AllocationItem>>(
+        synthetic_items(512, 42));
+    cases.push_back({"profit/n512/cap2m", [items] {
+                       const alloc::KnapsackOptions options{
+                           Bytes{2048 * 1024}, 1024};
+                       sink(alloc::knapsack_profit(*items, options));
+                     }});
+  }
+  // Reconstruction path: needs the full B table and a real graph.
+  {
+    struct Fixture {
+      graph::TaskGraph graph{"dp-bench"};
+      std::vector<alloc::AllocationItem> items;
+    };
+    auto fixture = std::make_shared<Fixture>();
+    fixture->items = synthetic_items(512, 42);
+    const graph::NodeId hub = fixture->graph.add_task(
+        {"hub", graph::TaskKind::kConvolution, TimeUnits{1}});
+    for (std::size_t i = 0; i < fixture->items.size(); ++i) {
+      const graph::NodeId node = fixture->graph.add_task(
+          {"n" + std::to_string(i), graph::TaskKind::kConvolution,
+           TimeUnits{1}});
+      fixture->items[i].edge =
+          fixture->graph.add_ipr(hub, node, fixture->items[i].size);
+    }
+    cases.push_back({"allocate/n512/cap512k", [fixture] {
+                       const alloc::KnapsackOptions options{Bytes{512 * 1024},
+                                                            1024};
+                       sink(alloc::knapsack_allocate(fixture->graph,
+                                                     fixture->items, options)
+                                .total_profit);
+                     }});
+  }
+  return cases;
+}
+
+std::vector<Case> sweep_cell_cases() {
+  std::vector<Case> cases;
+  // A small end-to-end sweep per repetition: 2 cases x 2 configs x 1 packer
+  // x 2 allocators = 8 cells, sequential, baseline on. A fresh memo cache
+  // per repetition keeps every repetition identical work.
+  auto spec = std::make_shared<dse::GridSpec>();
+  for (const char* name : {"flower", "stock-predict"}) {
+    spec->cases.push_back({name, paper_graph(name)});
+  }
+  spec->configs = {pim::PimConfig::neurocube(16),
+                   pim::PimConfig::neurocube(32)};
+  spec->packers = {core::PackerKind::kTopological};
+  spec->allocators = {core::AllocatorKind::kKnapsackDp,
+                      core::AllocatorKind::kGreedyDensity};
+  spec->iterations = 100;
+  cases.push_back({"grid/2x2x1x2/jobs1", [spec] {
+                     dse::SweepOptions options;
+                     options.jobs = 1;
+                     options.with_baseline = true;
+                     const dse::SweepResult result =
+                         dse::run_sweep(*spec, options);
+                     sink(static_cast<std::int64_t>(result.cells_ok));
+                   }});
+  // The memoized ablation shape: one evaluate_cell per allocator against a
+  // shared cache, the pattern the full sweep amortizes.
+  {
+    auto cache = std::make_shared<dse::MemoCache>();
+    auto grid = spec;
+    cases.push_back({"cell/stock-predict/pe32/memo", [grid, cache] {
+                       const dse::SweepCase& sweep_case = grid->cases[1];
+                       for (const core::AllocatorKind allocator :
+                            grid->allocators) {
+                         const dse::CellResult cell = dse::evaluate_cell(
+                             sweep_case, grid->configs[1],
+                             core::PackerKind::kTopological, allocator,
+                             /*iterations=*/100, /*refine_steps=*/0,
+                             /*seed=*/0, /*with_baseline=*/false,
+                             cache.get());
+                         sink(cell.para.total_time.value);
+                       }
+                     }});
+  }
+  return cases;
+}
+
+std::vector<Case> build_suite(const std::string& name) {
+  if (name == "pipeline") return pipeline_cases();
+  if (name == "packer") return packer_cases();
+  if (name == "retime") return retime_cases();
+  if (name == "alloc_dp") return alloc_dp_cases();
+  if (name == "sweep_cell") return sweep_cell_cases();
+  PARACONV_REQUIRE(false, "unknown bench suite: " + name);
+  return {};
+}
+
+}  // namespace
+
+const std::vector<SuiteSpec>& suite_catalog() {
+  static const std::vector<SuiteSpec> kCatalog{
+      {"pipeline",
+       "End-to-end ParaConv::schedule (and one SPARTA baseline) on Table-1 "
+       "graphs"},
+      {"packer",
+       "Packing algorithms in isolation on a 2048-vertex synthetic DAG and "
+       "protein"},
+      {"retime", "Per-edge retiming-distance analysis on packed schedules"},
+      {"alloc_dp", "Knapsack DP: profit-only and reconstruction paths"},
+      {"sweep_cell", "DSE throughput: a small grid and a memoized ablation"},
+  };
+  return kCatalog;
+}
+
+bool is_known_suite(const std::string& name) {
+  const auto& catalog = suite_catalog();
+  return std::any_of(catalog.begin(), catalog.end(),
+                     [&](const SuiteSpec& s) { return s.name == name; });
+}
+
+SuiteResult run_suite(const std::string& name, const BenchOptions& options) {
+  options.validate();
+  SuiteResult result;
+  result.suite = name;
+  result.options = options;
+  for (const Case& c : build_suite(name)) {
+    result.cases.push_back(run_case(c.name, c.body, options));
+  }
+  return result;
+}
+
+}  // namespace paraconv::bench_harness

@@ -1,0 +1,34 @@
+// Pinned benchmark suites (docs/BENCHMARKS.md "Suite catalog").
+//
+// A suite is a fixed, named list of cases — graph, configuration and code
+// path are all pinned here so two runs of the same suite (today's and a
+// branch's) measure exactly the same work and their BENCH_<suite>.json
+// files can be diffed field by field. Changing what a case does is a
+// contract change: rename the case.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_harness/harness.hpp"
+
+namespace paraconv::bench_harness {
+
+struct SuiteSpec {
+  std::string name;
+  std::string description;
+};
+
+/// All pinned suites, in catalog order: pipeline, packer, retime, alloc_dp,
+/// sweep_cell.
+const std::vector<SuiteSpec>& suite_catalog();
+
+/// True when `name` is in suite_catalog().
+bool is_known_suite(const std::string& name);
+
+/// Builds the suite's fixtures (graphs, packings, item lists — outside the
+/// timed region) and runs every case under `options`. Throws
+/// ContractViolation on an unknown suite name.
+SuiteResult run_suite(const std::string& name, const BenchOptions& options);
+
+}  // namespace paraconv::bench_harness

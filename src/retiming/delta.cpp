@@ -38,6 +38,21 @@ int required_distance(TimeUnits producer_start, TimeUnits producer_exec,
   return static_cast<int>(ceil_div(slack_deficit, period.value));
 }
 
+namespace {
+
+/// required_distance with the deficit already folded and the common
+/// {0, 1, 2} range resolved by comparison instead of a ceil division —
+/// identical results for every input (deficits beyond 2p still take the
+/// division so the Theorem-3.1 check below can observe the violation).
+int distance_for_deficit(std::int64_t deficit, std::int64_t period) {
+  if (deficit <= 0) return 0;
+  if (deficit <= period) return 1;
+  if (deficit <= 2 * period) return 2;
+  return static_cast<int>(ceil_div(deficit, period));
+}
+
+}  // namespace
+
 std::vector<EdgeDelta> compute_edge_deltas(
     const graph::TaskGraph& g,
     const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
@@ -45,31 +60,46 @@ std::vector<EdgeDelta> compute_edge_deltas(
   const obs::ScopedSpan span("retime", "deltas");
   PARACONV_REQUIRE(placement.size() == g.node_count(),
                    "one placement per node required");
-  for (const graph::NodeId v : g.nodes()) {
-    PARACONV_REQUIRE(placement[v.value].start >= TimeUnits{0} &&
-                         placement[v.value].start + g.task(v).exec_time <=
-                             period,
+  PARACONV_REQUIRE(period > TimeUnits{0}, "period must be positive");
+  const std::size_t node_count = g.node_count();
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const graph::NodeId v{static_cast<std::uint32_t>(i)};
+    PARACONV_REQUIRE(placement[i].start >= TimeUnits{0} &&
+                         placement[i].start + g.task(v).exec_time <= period,
                      "every task must fit inside the kernel window");
   }
 
-  std::vector<EdgeDelta> deltas(g.edge_count());
-  for (const graph::EdgeId e : g.edges()) {
+  const std::int64_t p = period.value;
+  const std::size_t edge_count = g.edge_count();
+  std::vector<EdgeDelta> deltas(edge_count);
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    const graph::EdgeId e{static_cast<std::uint32_t>(i)};
     const graph::Ipr& ipr = g.ipr(e);
     const sched::TaskPlacement& prod = placement[ipr.src.value];
     const sched::TaskPlacement& cons = placement[ipr.dst.value];
-    const TimeUnits exec = g.task(ipr.src).exec_time;
 
+    // Same-PE hand-offs are free at either site; cross-PE hand-offs pay
+    // the NoC hop latency once (it is site-independent, so compute it one
+    // time, not per allocation site) plus the site transfer, both clamped
+    // to one period as in effective_edge_transfer.
+    std::int64_t cache_transfer = 0;
+    std::int64_t edram_transfer = 0;
+    if (prod.pe != cons.pe) {
+      const std::int64_t noc = config.noc_latency(prod.pe, cons.pe).value;
+      cache_transfer = std::min(
+          config.transfer_time(pim::AllocSite::kCache, ipr.size).value + noc,
+          p);
+      edram_transfer = std::min(
+          config.transfer_time(pim::AllocSite::kEdram, ipr.size).value + noc,
+          p);
+    }
+
+    const std::int64_t deficit_base = prod.start.value +
+                                      g.task(ipr.src).exec_time.value -
+                                      cons.start.value;
     EdgeDelta d;
-    d.cache = required_distance(
-        prod.start, exec,
-        effective_edge_transfer(config, pim::AllocSite::kCache, ipr.size,
-                                prod.pe, cons.pe, period),
-        cons.start, period);
-    d.edram = required_distance(
-        prod.start, exec,
-        effective_edge_transfer(config, pim::AllocSite::kEdram, ipr.size,
-                                prod.pe, cons.pe, period),
-        cons.start, period);
+    d.cache = distance_for_deficit(deficit_base + cache_transfer, p);
+    d.edram = distance_for_deficit(deficit_base + edram_transfer, p);
 
     // Theorem 3.1: with s_i + c_i <= p and c_ij <= p, the deficit is at most
     // 2p, so both distances are bounded by 2. The cache distance can never
@@ -77,7 +107,7 @@ std::vector<EdgeDelta> compute_edge_deltas(
     PARACONV_CHECK(d.cache >= 0 && d.edram >= 0, "negative retiming distance");
     PARACONV_CHECK(d.cache <= d.edram, "cache distance exceeds eDRAM distance");
     PARACONV_CHECK(d.edram <= 2, "Theorem 3.1 bound violated");
-    deltas[e.value] = d;
+    deltas[i] = d;
   }
   return deltas;
 }

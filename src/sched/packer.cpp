@@ -2,10 +2,86 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "graph/algorithms.hpp"
 
 namespace paraconv::sched {
+namespace {
+
+/// Lazy-deletion min-heap over (load, PE index) pairs. Pop order is
+/// lexicographic — lowest load first, lowest PE index among equal loads —
+/// which is exactly std::min_element's first-minimum tie-break, so packings
+/// stay bit-identical to the previous linear scan while each placement
+/// costs O(log PEs) instead of O(PEs).
+///
+/// Updating a PE pushes a fresh entry and leaves the old one in place;
+/// lightest() discards entries whose recorded load no longer matches the
+/// live load array. Loads only grow, so a stale (smaller) entry can only
+/// surface *before* its fresh replacement, never shadow it.
+///
+/// The entry buffer is thread_local scratch reused across calls — and
+/// across the sweep cells a DSE worker thread evaluates back to back — so
+/// steady-state packing does not allocate per call. At most one live
+/// instance per thread (the packers below are sequential).
+class LoadHeap {
+ public:
+  explicit LoadHeap(const std::vector<TimeUnits>& load) : entries_(scratch()) {
+    entries_.clear();
+    entries_.reserve(load.size() * 2);
+    for (std::size_t pe = 0; pe < load.size(); ++pe) {
+      entries_.push_back({load[pe].value, pe});
+    }
+    std::make_heap(entries_.begin(), entries_.end(), Later{});
+  }
+
+  /// Index of the lightest PE (ties: lowest index) for the current loads.
+  std::size_t lightest(const std::vector<TimeUnits>& load) {
+    while (true) {
+      const Entry top = entries_.front();
+      if (load[top.pe].value == top.load) return top.pe;
+      std::pop_heap(entries_.begin(), entries_.end(), Later{});
+      entries_.pop_back();
+    }
+  }
+
+  /// Records `pe`'s new load after a placement.
+  void update(std::size_t pe, TimeUnits new_load) {
+    entries_.push_back({new_load.value, pe});
+    std::push_heap(entries_.begin(), entries_.end(), Later{});
+  }
+
+ private:
+  struct Entry {
+    std::int64_t load;
+    std::size_t pe;
+  };
+  /// "a pops after b": std::*_heap keep the Later-wise largest on top, so
+  /// ordering by descending (load, pe) surfaces the smallest pair first.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.load != b.load) return a.load > b.load;
+      return a.pe > b.pe;
+    }
+  };
+
+  static std::vector<Entry>& scratch() {
+    thread_local std::vector<Entry> storage;
+    return storage;
+  }
+
+  std::vector<Entry>& entries_;
+};
+
+/// Thread-local per-PE load bins, zeroed on acquisition; reused across
+/// pack calls (and sweep cells) instead of reallocated.
+std::vector<TimeUnits>& load_bins(int pe_count) {
+  thread_local std::vector<TimeUnits> bins;
+  bins.assign(static_cast<std::size_t>(pe_count), TimeUnits{0});
+  return bins;
+}
+
+}  // namespace
 
 Packing pack_ignore_dependencies(const graph::TaskGraph& g, int pe_count) {
   PARACONV_REQUIRE(pe_count >= 1, "at least one PE required");
@@ -19,16 +95,16 @@ Packing pack_ignore_dependencies(const graph::TaskGraph& g, int pe_count) {
               return a.value < b.value;
             });
 
-  std::vector<TimeUnits> load(static_cast<std::size_t>(pe_count),
-                              TimeUnits{0});
+  std::vector<TimeUnits>& load = load_bins(pe_count);
+  LoadHeap heap(load);
   Packing result;
   result.placement.resize(g.node_count());
   for (const graph::NodeId v : order) {
-    const auto lightest = static_cast<std::size_t>(std::distance(
-        load.begin(), std::min_element(load.begin(), load.end())));
+    const std::size_t lightest = heap.lightest(load);
     result.placement[v.value] =
         TaskPlacement{static_cast<int>(lightest), load[lightest]};
     load[lightest] += g.task(v).exec_time;
+    heap.update(lightest, load[lightest]);
   }
   result.period = *std::max_element(load.begin(), load.end());
   PARACONV_CHECK(result.period > TimeUnits{0}, "empty packing");
@@ -41,16 +117,16 @@ Packing pack_topological(const graph::TaskGraph& g, int pe_count) {
   PARACONV_REQUIRE(topo.has_value(),
                    "pack_topological requires an acyclic graph");
 
-  std::vector<TimeUnits> load(static_cast<std::size_t>(pe_count),
-                              TimeUnits{0});
+  std::vector<TimeUnits>& load = load_bins(pe_count);
+  LoadHeap heap(load);
   Packing result;
   result.placement.resize(g.node_count());
   for (const graph::NodeId v : *topo) {
-    const auto lightest = static_cast<std::size_t>(std::distance(
-        load.begin(), std::min_element(load.begin(), load.end())));
+    const std::size_t lightest = heap.lightest(load);
     result.placement[v.value] =
         TaskPlacement{static_cast<int>(lightest), load[lightest]};
     load[lightest] += g.task(v).exec_time;
+    heap.update(lightest, load[lightest]);
   }
   result.period = *std::max_element(load.begin(), load.end());
   PARACONV_CHECK(result.period > TimeUnits{0}, "empty packing");
@@ -68,19 +144,54 @@ Packing pack_locality(const graph::TaskGraph& g,
   // average task, so the period bound degrades by at most max_exec.
   const TimeUnits slack = g.max_exec_time();
 
-  std::vector<TimeUnits> load(static_cast<std::size_t>(pe_count),
-                              TimeUnits{0});
+  // Hop distances from one source PE to every candidate PE, computed once
+  // per distinct source instead of once per (edge, candidate) pair — the
+  // previous inner loop re-derived the same row in_degree * PEs times per
+  // node. Rows materialize lazily: only PEs that actually host producers
+  // pay for one.
+  std::vector<std::vector<int>> hop_rows(static_cast<std::size_t>(pe_count));
+  const auto hop_row = [&](int src) -> const std::vector<int>& {
+    std::vector<int>& row = hop_rows[static_cast<std::size_t>(src)];
+    if (row.empty()) {
+      row.resize(static_cast<std::size_t>(pe_count));
+      for (int pe = 0; pe < pe_count; ++pe) {
+        row[static_cast<std::size_t>(pe)] = config.hop_count(src, pe);
+      }
+    }
+    return row;
+  };
+  // (hop row, multiplicity) per distinct producer PE of the current node.
+  std::vector<std::pair<const int*, std::int64_t>> producers;
+
+  std::vector<TimeUnits>& load = load_bins(pe_count);
+  LoadHeap heap(load);
   Packing result;
   result.placement.resize(g.node_count());
   for (const graph::NodeId v : *topo) {
-    const TimeUnits lightest = *std::min_element(load.begin(), load.end());
+    const TimeUnits lightest = load[heap.lightest(load)];
+
+    producers.clear();
+    for (const graph::EdgeId e : g.in_edges(v)) {
+      const int src_pe = result.placement[g.ipr(e).src.value].pe;
+      const int* row = hop_row(src_pe).data();
+      bool merged = false;
+      for (auto& [existing, count] : producers) {
+        if (existing == row) {
+          ++count;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) producers.emplace_back(row, 1);
+    }
+
     int best_pe = -1;
     std::int64_t best_hops = 0;
     for (int pe = 0; pe < pe_count; ++pe) {
       if (load[static_cast<std::size_t>(pe)] > lightest + slack) continue;
       std::int64_t hops = 0;
-      for (const graph::EdgeId e : g.in_edges(v)) {
-        hops += config.hop_count(result.placement[g.ipr(e).src.value].pe, pe);
+      for (const auto& [row, count] : producers) {
+        hops += count * row[pe];
       }
       if (best_pe < 0 || hops < best_hops ||
           (hops == best_hops &&
@@ -94,6 +205,8 @@ Packing pack_locality(const graph::TaskGraph& g,
     result.placement[v.value] =
         TaskPlacement{best_pe, load[static_cast<std::size_t>(best_pe)]};
     load[static_cast<std::size_t>(best_pe)] += g.task(v).exec_time;
+    heap.update(static_cast<std::size_t>(best_pe),
+                load[static_cast<std::size_t>(best_pe)]);
   }
   result.period = *std::max_element(load.begin(), load.end());
   PARACONV_CHECK(result.period > TimeUnits{0}, "empty packing");

@@ -1,0 +1,194 @@
+// The harness, measured: the warmup/repetition protocol, the counter
+// collection, the JSON emission and the schema validator that CI's
+// bench-smoke job runs against freshly emitted files.
+#include "bench_harness/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench_harness/suites.hpp"
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace paraconv::bench_harness {
+namespace {
+
+TEST(WallStatsTest, NearestRankPercentiles) {
+  const WallStats stats = wall_stats({50, 10, 40, 20, 30});
+  EXPECT_DOUBLE_EQ(stats.median_ns, 30.0);
+  EXPECT_DOUBLE_EQ(stats.p10_ns, 10.0);
+  EXPECT_DOUBLE_EQ(stats.p90_ns, 50.0);
+  EXPECT_DOUBLE_EQ(stats.min_ns, 10.0);
+  EXPECT_DOUBLE_EQ(stats.max_ns, 50.0);
+  EXPECT_DOUBLE_EQ(stats.mean_ns, 30.0);
+}
+
+TEST(WallStatsTest, EmptySampleIsAContractViolation) {
+  EXPECT_THROW(wall_stats({}), ContractViolation);
+}
+
+TEST(RunCaseTest, RunsWarmupPlusRepetitionsPlusOneInstrumented) {
+  int calls = 0;
+  const BenchOptions options{.warmup = 3, .repetitions = 5};
+  const CaseResult result =
+      run_case("counting", [&calls] { ++calls; }, options);
+  // 3 warmup + 5 timed + 1 instrumented.
+  EXPECT_EQ(calls, 9);
+  EXPECT_EQ(result.samples_ns.size(), 5u);
+  EXPECT_EQ(result.name, "counting");
+}
+
+TEST(RunCaseTest, CollectsCountersAndSpansFromInstrumentedRepetition) {
+  const CaseResult result = run_case(
+      "instrumented",
+      [] {
+        obs::count("bench.test.widgets", 3);
+        const obs::ScopedSpan span("bench.test.stage");
+      },
+      BenchOptions{.warmup = 0, .repetitions = 2});
+  ASSERT_EQ(result.counters.count("bench.test.widgets"), 1u);
+  EXPECT_EQ(result.counters.at("bench.test.widgets"), 3);
+  ASSERT_EQ(result.counters.count("span.bench.test.stage"), 1u);
+  EXPECT_EQ(result.counters.at("span.bench.test.stage"), 1);
+}
+
+TEST(RunCaseTest, TimedRepetitionsRunWithoutARegistry) {
+  // Counters must come from the one instrumented repetition only — the
+  // timed loop must see the null sink even when the caller (e.g. the CLI's
+  // --trace flag) has a registry installed.
+  obs::Registry outer;
+  const obs::ScopedRegistry scoped(&outer);
+  const CaseResult result = run_case(
+      "isolation", [] { obs::count("bench.test.isolated"); },
+      BenchOptions{.warmup = 1, .repetitions = 4});
+  EXPECT_EQ(result.counters.at("bench.test.isolated"), 1);
+  // warmup + timed repetitions DID count into the outer registry (they run
+  // under whatever is installed); only the instrumented rep is redirected.
+  const auto outer_counters = outer.counters();
+  ASSERT_EQ(outer_counters.count("bench.test.isolated"), 1u);
+  EXPECT_EQ(outer_counters.at("bench.test.isolated"), 5);
+}
+
+TEST(RunCaseTest, RejectsBadOptions) {
+  EXPECT_THROW(run_case("x", [] {}, BenchOptions{.warmup = -1}),
+               ContractViolation);
+  EXPECT_THROW(
+      run_case("x", [] {}, BenchOptions{.warmup = 0, .repetitions = 0}),
+      ContractViolation);
+  EXPECT_THROW(run_case("", [] {}, BenchOptions{}), ContractViolation);
+}
+
+SuiteResult tiny_suite() {
+  SuiteResult result;
+  result.suite = "unit";
+  result.options = BenchOptions{.warmup = 0, .repetitions = 2};
+  result.cases.push_back(run_case(
+      "noop", [] { obs::count("bench.test.unit"); }, result.options));
+  return result;
+}
+
+TEST(SuiteJsonTest, EmittedJsonValidates) {
+  const std::string text = suite_to_json(tiny_suite()).dump(/*pretty=*/true);
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(text, &error)) << error;
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(SuiteJsonTest, WriteSuiteJsonCreatesTheFile) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "paraconv_bench_harness_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = write_suite_json(tiny_suite(), dir.string());
+  EXPECT_EQ(path, (dir / "BENCH_unit.json").string());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(buffer.str(), &error)) << error;
+}
+
+TEST(ValidateTest, RejectsMalformedAndOffSchemaDocuments) {
+  std::string error;
+  EXPECT_FALSE(validate_bench_json("", &error));
+  EXPECT_FALSE(validate_bench_json("{", &error));
+  EXPECT_FALSE(validate_bench_json("[]", &error));
+  EXPECT_FALSE(validate_bench_json("{\"suite\": \"x\"}", &error));
+  EXPECT_NE(error.find("schema_version"), std::string::npos) << error;
+
+  // Wrong schema version.
+  EXPECT_FALSE(validate_bench_json(
+      R"({"schema_version": 99, "suite": "x", "warmup": 0,
+          "repetitions": 1, "cases": [{}]})",
+      &error));
+  EXPECT_NE(error.find("schema_version"), std::string::npos) << error;
+
+  // Sample count disagrees with the declared repetitions.
+  EXPECT_FALSE(validate_bench_json(
+      R"({"schema_version": 1, "suite": "x", "warmup": 0, "repetitions": 2,
+          "cases": [{"name": "a", "samples_ns": [1],
+                     "wall_ns": {"median": 1, "p10": 1, "p90": 1,
+                                 "min": 1, "max": 1, "mean": 1},
+                     "counters": {}}]})",
+      &error));
+  EXPECT_NE(error.find("samples"), std::string::npos) << error;
+
+  // Duplicate case names would make diffs ambiguous.
+  EXPECT_FALSE(validate_bench_json(
+      R"({"schema_version": 1, "suite": "x", "warmup": 0, "repetitions": 1,
+          "cases": [
+            {"name": "a", "samples_ns": [1],
+             "wall_ns": {"median": 1, "p10": 1, "p90": 1,
+                         "min": 1, "max": 1, "mean": 1}, "counters": {}},
+            {"name": "a", "samples_ns": [2],
+             "wall_ns": {"median": 2, "p10": 2, "p90": 2,
+                         "min": 2, "max": 2, "mean": 2}, "counters": {}}]})",
+      &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(ValidateTest, AcceptsAHandWrittenMinimalDocument) {
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(
+      R"({"schema_version": 1, "suite": "x", "warmup": 0, "repetitions": 1,
+          "cases": [{"name": "a", "samples_ns": [123],
+                     "wall_ns": {"median": 123, "p10": 123, "p90": 123,
+                                 "min": 123, "max": 123, "mean": 123},
+                     "counters": {"span.pack": 1}}]})",
+      &error))
+      << error;
+}
+
+TEST(SuiteCatalogTest, CatalogNamesAreKnownAndUnknownNamesThrow) {
+  EXPECT_FALSE(suite_catalog().empty());
+  for (const SuiteSpec& spec : suite_catalog()) {
+    EXPECT_TRUE(is_known_suite(spec.name));
+  }
+  EXPECT_FALSE(is_known_suite("nope"));
+  EXPECT_THROW(run_suite("nope", BenchOptions{}), ContractViolation);
+}
+
+TEST(SuiteCatalogTest, PipelineSuiteRunsAndReportsPipelineSpans) {
+  // One repetition end to end: this is exactly what CI's bench-smoke job
+  // exercises, minus the subprocess.
+  const SuiteResult result =
+      run_suite("pipeline", BenchOptions{.warmup = 0, .repetitions = 1});
+  ASSERT_FALSE(result.cases.empty());
+  const std::string text = suite_to_json(result).dump(/*pretty=*/true);
+  std::string error;
+  EXPECT_TRUE(validate_bench_json(text, &error)) << error;
+  // Every paraconv case must expose the pipeline's algorithmic counters.
+  for (const CaseResult& c : result.cases) {
+    if (c.name.rfind("paraconv/", 0) == 0) {
+      EXPECT_EQ(c.counters.count("span.pack"), 1u) << c.name;
+      EXPECT_EQ(c.counters.count("span.allocate"), 1u) << c.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paraconv::bench_harness

@@ -92,7 +92,9 @@ INSTANTIATE_TEST_SUITE_P(
         ViolationCase{"using_namespace_header", "using-namespace-header"},
         ViolationCase{"missing_pragma_once", "pragma-once"},
         ViolationCase{"bare_nolint", "nolint-policy"},
-        ViolationCase{"iostream_in_library", "iostream-in-library"}),
+        ViolationCase{"iostream_in_library", "iostream-in-library"},
+        ViolationCase{"xref_missing_file", "xref-file-missing"},
+        ViolationCase{"xref_missing_symbol", "xref-symbol-missing"}),
     [](const testing::TestParamInfo<ViolationCase>& param_info) {
       return param_info.param.overlay;
     });

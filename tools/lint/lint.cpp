@@ -4,6 +4,7 @@
 #include <array>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -282,6 +283,7 @@ class Linter {
     check_diag_codes();
     check_obs_names();
     check_schema();
+    check_docs_xrefs();
     Report report;
     report.findings = std::move(findings_);
     report.files_scanned = static_cast<int>(files_.size());
@@ -850,6 +852,83 @@ class Linter {
           add("schema-experiment-prefix", csv->rel_path, 0,
               "experiment CSV header dropped the shared identity column \"" +
                   std::string(column) + "\"");
+        }
+      }
+    }
+  }
+
+  // ---- docs file:symbol cross-references ----------------------------------
+
+  /// Backticked `path/to/file.cpp:symbol` reference: the whole token must be
+  /// a '/'-containing .cpp/.hpp path, a colon, and one identifier. Anything
+  /// else backticked (case names, shorthand like `sched/pack_topological`,
+  /// schema keys) deliberately falls outside the shape and is ignored.
+  static bool parse_xref(const std::string& token, std::string* path,
+                         std::string* symbol) {
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string p = token.substr(0, colon);
+    const std::string s = token.substr(colon + 1);
+    if (p.find('/') == std::string::npos) return false;
+    if (p.size() < 5) return false;
+    const std::string ext = p.substr(p.size() - 4);
+    if (ext != ".cpp" && ext != ".hpp") return false;
+    if (s.empty()) return false;
+    if (std::isalpha(static_cast<unsigned char>(s[0])) == 0 && s[0] != '_') {
+      return false;
+    }
+    for (const char c : s) {
+      if (!is_ident_char(c)) return false;
+    }
+    *path = p;
+    *symbol = s;
+    return true;
+  }
+
+  /// Every `file.cpp:symbol` reference in the prose docs must stay real:
+  /// the file must exist under the lint root and the symbol must be
+  /// greppable in it. This is what keeps the MODEL.md paper-to-code table
+  /// and the BENCHMARKS.md suite catalog honest across refactors.
+  void check_docs_xrefs() {
+    std::map<std::string, std::optional<std::string>> cache;
+    const auto contents_of =
+        [&](const std::string& rel) -> const std::optional<std::string>& {
+      const auto it = cache.find(rel);
+      if (it != cache.end()) return it->second;
+      return cache.emplace(rel, read_file(root_ / rel)).first->second;
+    };
+
+    for (const char* doc : {"docs/MODEL.md", "docs/BENCHMARKS.md"}) {
+      const std::optional<std::string> text = read_file(root_ / doc);
+      if (!text.has_value()) {
+        add("missing-input", doc, 0,
+            "documentation file not found under the lint root");
+        continue;
+      }
+      std::istringstream in(*text);
+      std::string line;
+      int line_no = 0;
+      while (std::getline(in, line)) {
+        ++line_no;
+        std::size_t i = 0;
+        while ((i = line.find('`', i)) != std::string::npos) {
+          const std::size_t close = line.find('`', i + 1);
+          if (close == std::string::npos) break;
+          const std::string token = line.substr(i + 1, close - i - 1);
+          i = close + 1;
+          std::string path;
+          std::string symbol;
+          if (!parse_xref(token, &path, &symbol)) continue;
+          const std::optional<std::string>& target = contents_of(path);
+          if (!target.has_value()) {
+            add("xref-file-missing", doc, line_no,
+                "docs reference `" + token + "` names a file that does not "
+                "exist under the lint root");
+          } else if (target->find(symbol) == std::string::npos) {
+            add("xref-symbol-missing", doc, line_no,
+                "docs reference `" + token + "`: symbol \"" + symbol +
+                    "\" is not greppable in " + path);
+          }
         }
       }
     }

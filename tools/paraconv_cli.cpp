@@ -10,6 +10,8 @@
 //   report   [flags]           self-contained HTML/SVG schedule report
 //   sweep    [flags]           parallel design-space sweep (CSV/JSON +
 //                              Pareto frontier); see --jobs, --out
+//   bench    [flags]           pinned benchmark suites; emits schema-stable
+//                              BENCH_<suite>.json (see docs/BENCHMARKS.md)
 //
 // --trace <file> (run/schedule and sweep) dumps pipeline spans and counters
 // as Chrome-trace JSON; the per-stage summary goes to stderr, so data
@@ -19,9 +21,11 @@
 //      paraconv_cli sweep --jobs 0 --allocators all --out sweep.csv
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <optional>
 #include <stdexcept>
 
+#include "bench_harness/suites.hpp"
 #include "common/flags.hpp"
 #include "common/parse.hpp"
 #include "paraconv.hpp"
@@ -365,9 +369,60 @@ int cmd_sweep(const FlagParser& flags) {
   return 0;
 }
 
+int cmd_bench(const FlagParser& flags) {
+  bench_harness::BenchOptions options;
+  options.warmup =
+      static_cast<int>(require_int_at_least(flags, "warmup", 0));
+  options.repetitions =
+      static_cast<int>(require_int_at_least(flags, "repetitions", 1));
+
+  std::vector<std::string> names;
+  const std::string suite = flags.get_string("suite");
+  if (suite == "all") {
+    for (const bench_harness::SuiteSpec& spec :
+         bench_harness::suite_catalog()) {
+      names.push_back(spec.name);
+    }
+  } else {
+    for (const std::string& name : split(suite, ',')) {
+      if (!bench_harness::is_known_suite(name)) {
+        std::string known;
+        for (const bench_harness::SuiteSpec& spec :
+             bench_harness::suite_catalog()) {
+          known += (known.empty() ? "" : ", ") + spec.name;
+        }
+        throw UsageError("unknown suite '" + name + "' (expected one of: " +
+                         known + ", or 'all')");
+      }
+      names.push_back(name);
+    }
+  }
+
+  const std::string directory = flags.get_string("bench-dir");
+  for (const std::string& name : names) {
+    const bench_harness::SuiteResult result =
+        bench_harness::run_suite(name, options);
+    bench_harness::render_suite_table(std::cout, result);
+    const std::string path =
+        bench_harness::write_suite_json(result, directory);
+    // Re-validate the emitted file with the same structural check CI's
+    // bench-smoke job runs, so a schema regression fails right here.
+    std::ifstream in(path);
+    const std::string written((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    std::string schema_error;
+    PARACONV_REQUIRE(
+        bench_harness::validate_bench_json(written, &schema_error),
+        "emitted " + path + " fails schema validation: " + schema_error);
+    std::cerr << "wrote " << path << " (" << result.cases.size()
+              << " cases)\n";
+  }
+  return 0;
+}
+
 int usage(const FlagParser& flags) {
   std::cout << "usage: paraconv_cli "
-               "<list|run|schedule|dot|csv|explain|report|sweep>"
+               "<list|run|schedule|dot|csv|explain|report|sweep|bench>"
                " [flags]\n\n"
             << flags.usage();
   return 2;
@@ -421,6 +476,15 @@ int main(int argc, char** argv) {
                  "sweep: load --checkpoint first and re-evaluate only "
                  "missing or errored cells; reports stay byte-identical to "
                  "an uninterrupted run");
+  flags.add_string("suite", "pipeline",
+                   "bench: comma-separated suite list (pipeline, packer, "
+                   "retime, alloc_dp, sweep_cell), or 'all'");
+  flags.add_int("warmup", 2, "bench: untimed repetitions before measuring");
+  flags.add_int("repetitions", 11,
+                "bench: timed repetitions per case (median/p10/p90 are "
+                "computed over these)");
+  flags.add_string("bench-dir", ".",
+                   "bench: directory receiving BENCH_<suite>.json");
 
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string error;
@@ -459,6 +523,8 @@ int main(int argc, char** argv) {
       rc = cmd_explain(flags);
     } else if (command == "sweep") {
       rc = cmd_sweep(flags);
+    } else if (command == "bench") {
+      rc = cmd_bench(flags);
     } else {
       std::cerr << "error: unknown command '" << command << "'\n";
       return usage(flags);
