@@ -1,7 +1,6 @@
 #include "bench_harness/harness.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <chrono>
 #include <cstddef>
 #include <filesystem>
@@ -16,6 +15,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "obs/obs.hpp"
+#include "report/json_reader.hpp"
 
 namespace paraconv::bench_harness {
 
@@ -146,185 +146,7 @@ void render_suite_table(std::ostream& out, const SuiteResult& result) {
 
 namespace {
 
-/// Minimal read-only JSON document model: just enough structure to verify
-/// the BENCH_* schema. Not a general parser — no \uXXXX decoding (the
-/// harness never emits any), but it does reject malformed documents.
-struct JsonDoc {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind{Kind::kNull};
-  bool boolean{false};
-  double number{0.0};
-  std::string text;
-  std::vector<JsonDoc> items;
-  std::vector<std::pair<std::string, JsonDoc>> members;
-
-  const JsonDoc* find(const std::string& key) const {
-    for (const auto& [name, value] : members) {
-      if (name == key) return &value;
-    }
-    return nullptr;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  bool parse(JsonDoc* doc, std::string* error) {
-    if (!parse_value(doc, error)) return false;
-    skip_ws();
-    if (pos_ != text_.size()) {
-      *error = "trailing characters after the top-level value";
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool literal(const char* word, std::string* error) {
-    const std::size_t n = std::string(word).size();
-    if (text_.compare(pos_, n, word) != 0) {
-      *error = "malformed literal at offset " + std::to_string(pos_);
-      return false;
-    }
-    pos_ += n;
-    return true;
-  }
-
-  bool parse_string(std::string* out, std::string* error) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      *error = "expected string at offset " + std::to_string(pos_);
-      return false;
-    }
-    for (++pos_; pos_ < text_.size(); ++pos_) {
-      const char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) break;
-        *out += text_[pos_];
-      } else {
-        *out += c;
-      }
-    }
-    *error = "unterminated string";
-    return false;
-  }
-
-  bool parse_value(JsonDoc* doc, std::string* error) {
-    skip_ws();
-    if (pos_ >= text_.size()) {
-      *error = "unexpected end of document";
-      return false;
-    }
-    const char c = text_[pos_];
-    if (c == 'n') {
-      doc->kind = JsonDoc::Kind::kNull;
-      return literal("null", error);
-    }
-    if (c == 't' || c == 'f') {
-      doc->kind = JsonDoc::Kind::kBool;
-      doc->boolean = c == 't';
-      return literal(c == 't' ? "true" : "false", error);
-    }
-    if (c == '"') {
-      doc->kind = JsonDoc::Kind::kString;
-      return parse_string(&doc->text, error);
-    }
-    if (c == '[') {
-      doc->kind = JsonDoc::Kind::kArray;
-      ++pos_;
-      skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      while (true) {
-        JsonDoc item;
-        if (!parse_value(&item, error)) return false;
-        doc->items.push_back(std::move(item));
-        skip_ws();
-        if (pos_ < text_.size() && text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (pos_ < text_.size() && text_[pos_] == ']') {
-          ++pos_;
-          return true;
-        }
-        *error = "expected ',' or ']' at offset " + std::to_string(pos_);
-        return false;
-      }
-    }
-    if (c == '{') {
-      doc->kind = JsonDoc::Kind::kObject;
-      ++pos_;
-      skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      while (true) {
-        skip_ws();
-        std::string key;
-        if (!parse_string(&key, error)) return false;
-        skip_ws();
-        if (pos_ >= text_.size() || text_[pos_] != ':') {
-          *error = "expected ':' at offset " + std::to_string(pos_);
-          return false;
-        }
-        ++pos_;
-        JsonDoc value;
-        if (!parse_value(&value, error)) return false;
-        doc->members.emplace_back(std::move(key), std::move(value));
-        skip_ws();
-        if (pos_ < text_.size() && text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (pos_ < text_.size() && text_[pos_] == '}') {
-          ++pos_;
-          return true;
-        }
-        *error = "expected ',' or '}' at offset " + std::to_string(pos_);
-        return false;
-      }
-    }
-    // Number: accept the JSON grammar loosely; strtod validates the rest.
-    const std::size_t begin = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (begin == pos_) {
-      *error = "unexpected character at offset " + std::to_string(pos_);
-      return false;
-    }
-    try {
-      doc->number = std::stod(text_.substr(begin, pos_ - begin));
-    } catch (const std::exception&) {
-      *error = "malformed number at offset " + std::to_string(begin);
-      return false;
-    }
-    doc->kind = JsonDoc::Kind::kNumber;
-    return true;
-  }
-
-  const std::string& text_;
-  std::size_t pos_{0};
-};
+using report::JsonDoc;
 
 bool require_number(const JsonDoc& object, const std::string& key,
                     const std::string& where, std::string* error) {
@@ -342,7 +164,7 @@ bool validate_bench_json(const std::string& json_text, std::string* error) {
   PARACONV_REQUIRE(error != nullptr, "error sink required");
   error->clear();
   JsonDoc doc;
-  if (!JsonReader(json_text).parse(&doc, error)) return false;
+  if (!report::parse_json(json_text, &doc, error)) return false;
   if (doc.kind != JsonDoc::Kind::kObject) {
     *error = "top-level value must be an object";
     return false;

@@ -14,9 +14,12 @@
 #include "dse/sweep.hpp"
 #include "graph/generator.hpp"
 #include "graph/paper_benchmarks.hpp"
+#include "obs/obs.hpp"
 #include "pim/config.hpp"
 #include "retiming/delta.hpp"
 #include "sched/packer.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 
 namespace paraconv::bench_harness {
 namespace {
@@ -246,12 +249,58 @@ std::vector<Case> sweep_cell_cases() {
   return cases;
 }
 
+std::vector<Case> serve_cases() {
+  std::vector<Case> cases;
+  // Closed-loop load against an in-process serve daemon. The Server (and
+  // its memo cache) is shared across repetitions on purpose: after the
+  // warmup repetitions every request is a cache hit, so the timed
+  // repetitions measure the steady-state warm daemon the `serve` command
+  // ships. The serve.load.* latency counters are wall-clock measurements
+  // and therefore vary run to run — the one documented exception to the
+  // "counters are deterministic" rule (see docs/BENCHMARKS.md).
+  const auto add = [&cases](const std::string& name, int clients,
+                            int requests_per_client) {
+    serve::ServerOptions options;
+    options.jobs = 2;
+    auto server = std::make_shared<serve::Server>(std::move(options));
+    cases.push_back({name, [server, clients, requests_per_client] {
+                       serve::LoadSpec spec;
+                       spec.clients = clients;
+                       spec.requests_per_client = requests_per_client;
+                       spec.request_lines = {
+                           R"({"op":"schedule","benchmark":"flower","pes":16,)"
+                           R"("iterations":50,"with_baseline":false})",
+                           R"({"op":"schedule","benchmark":"cat","pes":16,)"
+                           R"("iterations":50,"with_baseline":false})",
+                       };
+                       const serve::LoadReport report =
+                           serve::run_load(*server, spec);
+                       obs::count("serve.load.ok",
+                                  static_cast<std::int64_t>(report.ok));
+                       obs::count("serve.load.rejected",
+                                  static_cast<std::int64_t>(report.rejected));
+                       obs::count("serve.load.p50_ns",
+                                  static_cast<std::int64_t>(report.p50_ns));
+                       obs::count("serve.load.p99_ns",
+                                  static_cast<std::int64_t>(report.p99_ns));
+                       obs::count("serve.load.rps",
+                                  static_cast<std::int64_t>(
+                                      report.throughput_rps));
+                       sink(static_cast<std::int64_t>(report.ok));
+                     }});
+  };
+  add("load/c1x6", /*clients=*/1, /*requests_per_client=*/6);
+  add("load/c4x4", /*clients=*/4, /*requests_per_client=*/4);
+  return cases;
+}
+
 std::vector<Case> build_suite(const std::string& name) {
   if (name == "pipeline") return pipeline_cases();
   if (name == "packer") return packer_cases();
   if (name == "retime") return retime_cases();
   if (name == "alloc_dp") return alloc_dp_cases();
   if (name == "sweep_cell") return sweep_cell_cases();
+  if (name == "serve") return serve_cases();
   PARACONV_REQUIRE(false, "unknown bench suite: " + name);
   return {};
 }
@@ -269,6 +318,9 @@ const std::vector<SuiteSpec>& suite_catalog() {
       {"retime", "Per-edge retiming-distance analysis on packed schedules"},
       {"alloc_dp", "Knapsack DP: profit-only and reconstruction paths"},
       {"sweep_cell", "DSE throughput: a small grid and a memoized ablation"},
+      {"serve",
+       "Warm serve daemon under closed-loop concurrent load (p50/p99 via "
+       "serve.load.* counters)"},
   };
   return kCatalog;
 }

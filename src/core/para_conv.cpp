@@ -48,6 +48,27 @@ const char* to_string(PackerKind kind) {
   return "unknown";
 }
 
+std::optional<AllocatorKind> allocator_kind_from_string(
+    const std::string& name) {
+  if (name == "dp") return AllocatorKind::kKnapsackDp;
+  if (name == "greedy-density") return AllocatorKind::kGreedyDensity;
+  if (name == "greedy-deadline") return AllocatorKind::kGreedyDeadline;
+  if (name == "critical-path") return AllocatorKind::kCriticalPath;
+  if (name == "energy-aware") return AllocatorKind::kEnergyAware;
+  if (name == "residency-constrained") {
+    return AllocatorKind::kResidencyConstrained;
+  }
+  return std::nullopt;
+}
+
+std::optional<PackerKind> packer_kind_from_string(const std::string& name) {
+  if (name == "topo") return PackerKind::kTopological;
+  if (name == "lpt") return PackerKind::kLpt;
+  if (name == "locality") return PackerKind::kLocality;
+  if (name == "modulo") return PackerKind::kModulo;
+  return std::nullopt;
+}
+
 ParaConv::ParaConv(pim::PimConfig config, ParaConvOptions options)
     : config_(config), options_(options) {
   config_.validate();

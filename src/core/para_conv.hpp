@@ -15,6 +15,9 @@
 // tables report.
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "alloc/item.hpp"
 #include "core/metrics.hpp"
 #include "pim/config.hpp"
@@ -36,6 +39,12 @@ enum class AllocatorKind {
 
 const char* to_string(AllocatorKind kind);
 
+/// Parses the stable short spelling shared by the CLI and the serve
+/// protocol ("dp", "greedy-density", "greedy-deadline", "critical-path",
+/// "energy-aware", "residency-constrained"); nullopt on unknown names.
+std::optional<AllocatorKind> allocator_kind_from_string(
+    const std::string& name);
+
 enum class PackerKind {
   kTopological,  // precedence-aware compaction (default)
   kLpt,          // pure longest-processing-time packing (ablation)
@@ -44,6 +53,10 @@ enum class PackerKind {
 };
 
 const char* to_string(PackerKind kind);
+
+/// Parses the stable short spelling shared by the CLI and the serve
+/// protocol ("topo", "lpt", "locality", "modulo"); nullopt on unknown names.
+std::optional<PackerKind> packer_kind_from_string(const std::string& name);
 
 struct ParaConvOptions {
   /// Application iterations the throughput metric accounts for.

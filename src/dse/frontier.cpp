@@ -112,31 +112,35 @@ void write_frontier_csv(std::ostream& os, const SweepResult& sweep) {
   report::write_csv_table(os, cell_header(), rows);
 }
 
+report::JsonValue cell_to_json(const CellResult& cell) {
+  report::JsonValue c = report::JsonValue::object();
+  c.set("index", static_cast<std::int64_t>(cell.index));
+  c.set("benchmark", cell.benchmark);
+  c.set("vertices", static_cast<std::int64_t>(cell.vertices));
+  c.set("edges", static_cast<std::int64_t>(cell.edges));
+  c.set("pe_count", cell.config.pe_count);
+  c.set("cache_per_pe_bytes", cell.config.pe_cache_bytes.value);
+  c.set("topology", pim::to_string(cell.config.topology));
+  c.set("packer", core::to_string(cell.packer));
+  c.set("allocator", core::to_string(cell.allocator));
+  c.set("status", to_string(cell.status));
+  if (cell.status == CellStatus::kOk) {
+    c.set("energy_uj", cell.energy_uj);
+    c.set("para_conv", report::to_json(cell.para));
+    if (cell.sparta.total_time.value > 0) {
+      c.set("sparta", report::to_json(cell.sparta));
+    }
+  } else {
+    c.set("error_code", cell.error_code);
+    c.set("error_message", cell.error_message);
+  }
+  return c;
+}
+
 report::JsonValue sweep_to_json(const SweepResult& sweep) {
   report::JsonValue cells = report::JsonValue::array();
   for (const CellResult& cell : sweep.cells) {
-    report::JsonValue c = report::JsonValue::object();
-    c.set("index", static_cast<std::int64_t>(cell.index));
-    c.set("benchmark", cell.benchmark);
-    c.set("vertices", static_cast<std::int64_t>(cell.vertices));
-    c.set("edges", static_cast<std::int64_t>(cell.edges));
-    c.set("pe_count", cell.config.pe_count);
-    c.set("cache_per_pe_bytes", cell.config.pe_cache_bytes.value);
-    c.set("topology", pim::to_string(cell.config.topology));
-    c.set("packer", core::to_string(cell.packer));
-    c.set("allocator", core::to_string(cell.allocator));
-    c.set("status", to_string(cell.status));
-    if (cell.status == CellStatus::kOk) {
-      c.set("energy_uj", cell.energy_uj);
-      c.set("para_conv", report::to_json(cell.para));
-      if (cell.sparta.total_time.value > 0) {
-        c.set("sparta", report::to_json(cell.sparta));
-      }
-    } else {
-      c.set("error_code", cell.error_code);
-      c.set("error_message", cell.error_message);
-    }
-    cells.push_back(std::move(c));
+    cells.push_back(cell_to_json(cell));
   }
   report::JsonValue frontier = report::JsonValue::array();
   for (const std::size_t index : pareto_frontier(sweep.cells)) {

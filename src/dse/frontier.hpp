@@ -33,6 +33,11 @@ void write_frontier_csv(std::ostream& os, const SweepResult& sweep);
 
 /// {"cells": [...], "frontier": [indices]} with the same determinism
 /// guarantee as the CSV writers.
+/// One cell rendered as the sweep JSON "cells" array element. Shared by
+/// sweep_to_json and the serve daemon so a served schedule result is
+/// byte-identical to the one-shot sweep path by construction.
+report::JsonValue cell_to_json(const CellResult& cell);
+
 report::JsonValue sweep_to_json(const SweepResult& sweep);
 
 }  // namespace paraconv::dse

@@ -1,5 +1,8 @@
 #include "dse/memo_cache.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "common/check.hpp"
 
 namespace paraconv::dse {
@@ -112,15 +115,51 @@ MemoCache::Value MemoCache::get_or_compute(
   return insert(key, compute());
 }
 
+std::vector<std::pair<PackingKey, MemoCache::Value>> MemoCache::snapshot()
+    const {
+  std::vector<std::pair<PackingKey, Value>> entries;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    entries.reserve(entries.size() + shard.map.size());
+    for (const auto& [key, value] : shard.map) {
+      entries.emplace_back(key, value);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              const PackingKey& x = a.first;
+              const PackingKey& y = b.first;
+              return std::tie(x.graph, x.pe_count, x.pe_cache_bytes,
+                              x.cache_bytes_per_unit, x.edram_bytes_per_unit,
+                              x.topology, x.noc_hop_units, x.packer,
+                              x.refine_steps, x.refine_seed) <
+                     std::tie(y.graph, y.pe_count, y.pe_cache_bytes,
+                              y.cache_bytes_per_unit, y.edram_bytes_per_unit,
+                              y.topology, y.noc_hop_units, y.packer,
+                              y.refine_steps, y.refine_seed);
+            });
+  return entries;
+}
+
 MemoCache::Stats MemoCache::stats() const {
   Stats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.spilled = spilled_.load(std::memory_order_relaxed);
+  stats.loaded = loaded_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     stats.entries += shard.map.size();
   }
   return stats;
+}
+
+void MemoCache::note_spilled(std::uint64_t entries) const {
+  spilled_.fetch_add(entries, std::memory_order_relaxed);
+}
+
+void MemoCache::note_loaded(std::uint64_t entries) const {
+  loaded_.fetch_add(entries, std::memory_order_relaxed);
 }
 
 void MemoCache::clear() {
@@ -130,6 +169,8 @@ void MemoCache::clear() {
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  spilled_.store(0, std::memory_order_relaxed);
+  loaded_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace paraconv::dse

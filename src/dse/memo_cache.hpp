@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/para_conv.hpp"
@@ -75,10 +76,20 @@ class MemoCache {
   Value get_or_compute(const PackingKey& key,
                        const std::function<core::PackedSchedule()>& compute);
 
+  /// Every resident entry in a deterministic (field-wise key) order, so
+  /// two caches with equal contents snapshot identically regardless of
+  /// insertion order — the persistence layer depends on this for
+  /// byte-stable spill files.
+  std::vector<std::pair<PackingKey, Value>> snapshot() const;
+
   struct Stats {
     std::uint64_t hits{0};
     std::uint64_t misses{0};
     std::uint64_t entries{0};
+    /// Cumulative entries written to / restored from disk over the cache's
+    /// lifetime (see dse/memo_store.hpp).
+    std::uint64_t spilled{0};
+    std::uint64_t loaded{0};
 
     double hit_rate() const {
       const std::uint64_t total = hits + misses;
@@ -88,6 +99,9 @@ class MemoCache {
     }
   };
   Stats stats() const;
+
+  void note_spilled(std::uint64_t entries) const;
+  void note_loaded(std::uint64_t entries) const;
 
   void clear();
 
@@ -107,6 +121,8 @@ class MemoCache {
   mutable std::vector<Shard> shards_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> spilled_{0};
+  mutable std::atomic<std::uint64_t> loaded_{0};
 };
 
 }  // namespace paraconv::dse

@@ -1,0 +1,273 @@
+#include "dse/memo_store.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string_view>
+#include <system_error>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define PARACONV_MEMO_STORE_POSIX 1
+#endif
+
+namespace paraconv::dse {
+namespace {
+
+constexpr const char* kHeaderMagic = "paraconv-memo-cache";
+constexpr int kFormatVersion = 1;
+
+std::string header_line(std::size_t entries) {
+  std::ostringstream os;
+  os << kHeaderMagic << ' ' << kFormatVersion << ' ' << entries;
+  return os.str();
+}
+
+/// FNV-1a over the raw bytes of every entry line (newlines included), so
+/// any bit flip, truncation, or reordering changes the trailer.
+std::uint64_t fingerprint_bytes(std::uint64_t h, std::string_view bytes) {
+  constexpr std::uint64_t kFnvPrime = 0x00000100000001B3ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+
+std::string entry_line(const PackingKey& key,
+                       const core::PackedSchedule& value) {
+  std::ostringstream os;
+  os << "entry " << key.graph << ' ' << key.pe_count << ' '
+     << key.pe_cache_bytes << ' ' << key.cache_bytes_per_unit << ' '
+     << key.edram_bytes_per_unit << ' ' << static_cast<int>(key.topology)
+     << ' ' << key.noc_hop_units << ' ' << static_cast<int>(key.packer)
+     << ' ' << key.refine_steps << ' ' << key.refine_seed;
+  os << ' ' << value.packing.period.value;
+  os << ' ' << value.packing.placement.size();
+  for (const sched::TaskPlacement& placement : value.packing.placement) {
+    os << ' ' << placement.pe << ' ' << placement.start.value;
+  }
+  os << ' ' << value.deltas.size();
+  for (const retiming::EdgeDelta& delta : value.deltas) {
+    os << ' ' << delta.cache << ' ' << delta.edram;
+  }
+  return os.str();
+}
+
+/// Strict space-separated token cursor: every token must parse in full
+/// (from_chars consuming all characters), mirroring the checkpoint codec.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view line) : rest_(line) {}
+
+  template <typename Int>
+  bool next(Int* out) {
+    while (!rest_.empty() && rest_.front() == ' ') rest_.remove_prefix(1);
+    if (rest_.empty()) return false;
+    const std::size_t end = rest_.find(' ');
+    const std::string_view token =
+        end == std::string_view::npos ? rest_ : rest_.substr(0, end);
+    rest_.remove_prefix(token.size());
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), *out);
+    return result.ec == std::errc() &&
+           result.ptr == token.data() + token.size();
+  }
+
+  bool exhausted() const {
+    return rest_.find_first_not_of(' ') == std::string_view::npos;
+  }
+
+ private:
+  std::string_view rest_;
+};
+
+bool decode_entry_line(std::string_view line, PackingKey* key,
+                       core::PackedSchedule* value) {
+  constexpr std::string_view kTag = "entry ";
+  if (line.substr(0, kTag.size()) != kTag) return false;
+  TokenCursor cursor(line.substr(kTag.size()));
+  int topology = 0;
+  int packer = 0;
+  if (!cursor.next(&key->graph) || !cursor.next(&key->pe_count) ||
+      !cursor.next(&key->pe_cache_bytes) ||
+      !cursor.next(&key->cache_bytes_per_unit) ||
+      !cursor.next(&key->edram_bytes_per_unit) || !cursor.next(&topology) ||
+      !cursor.next(&key->noc_hop_units) || !cursor.next(&packer) ||
+      !cursor.next(&key->refine_steps) || !cursor.next(&key->refine_seed)) {
+    return false;
+  }
+  if (topology < 0 || topology > std::numeric_limits<std::uint8_t>::max() ||
+      packer < 0 || packer > std::numeric_limits<std::uint8_t>::max()) {
+    return false;
+  }
+  key->topology = static_cast<std::uint8_t>(topology);
+  key->packer = static_cast<std::uint8_t>(packer);
+
+  std::int64_t period = 0;
+  std::uint64_t placements = 0;
+  if (!cursor.next(&period) || !cursor.next(&placements)) return false;
+  value->packing.period = TimeUnits{period};
+  value->packing.placement.clear();
+  value->packing.placement.reserve(placements);
+  for (std::uint64_t i = 0; i < placements; ++i) {
+    sched::TaskPlacement placement;
+    std::int64_t start = 0;
+    if (!cursor.next(&placement.pe) || !cursor.next(&start)) return false;
+    placement.start = TimeUnits{start};
+    value->packing.placement.push_back(placement);
+  }
+  std::uint64_t deltas = 0;
+  if (!cursor.next(&deltas)) return false;
+  value->deltas.clear();
+  value->deltas.reserve(deltas);
+  for (std::uint64_t i = 0; i < deltas; ++i) {
+    retiming::EdgeDelta delta;
+    if (!cursor.next(&delta.cache) || !cursor.next(&delta.edram)) {
+      return false;
+    }
+    value->deltas.push_back(delta);
+  }
+  return cursor.exhausted();
+}
+
+void write_all(std::FILE* file, const std::string& text,
+               const std::string& path) {
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  PARACONV_REQUIRE(ok, "failed writing memo cache file: " + path);
+}
+
+}  // namespace
+
+std::size_t save_memo_cache(const MemoCache& cache, const std::string& path) {
+  PARACONV_REQUIRE(!path.empty(), "memo cache path must be non-empty");
+  const auto entries = cache.snapshot();
+
+  std::string body;
+  std::uint64_t fingerprint = kFnvOffset;
+  for (const auto& [key, value] : entries) {
+    std::string line = entry_line(key, *value);
+    line += '\n';
+    fingerprint = fingerprint_bytes(fingerprint, line);
+    body += line;
+  }
+
+  // Spill to a sibling tmp file, fsync, then atomically rename into place
+  // so a crash mid-spill never leaves a half-written cache behind.
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  PARACONV_REQUIRE(file != nullptr,
+                   "cannot open memo cache file for writing: " + tmp);
+  try {
+    write_all(file, header_line(entries.size()) + "\n", tmp);
+    write_all(file, body, tmp);
+    write_all(file, "fingerprint " + std::to_string(fingerprint) + "\n", tmp);
+    PARACONV_REQUIRE(std::fflush(file) == 0,
+                     "failed flushing memo cache file: " + tmp);
+#ifdef PARACONV_MEMO_STORE_POSIX
+    ::fsync(::fileno(file));
+#endif
+  } catch (...) {
+    std::fclose(file);
+    throw;
+  }
+  PARACONV_REQUIRE(std::fclose(file) == 0,
+                   "failed closing memo cache file: " + tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  PARACONV_REQUIRE(!ec, "failed renaming memo cache file into place: " +
+                            path + " (" + ec.message() + ")");
+
+  cache.note_spilled(entries.size());
+  obs::count("dse.memo.spilled", static_cast<std::int64_t>(entries.size()));
+  return entries.size();
+}
+
+std::size_t load_memo_cache(MemoCache* cache, const std::string& path) {
+  PARACONV_REQUIRE(cache != nullptr, "memo cache required");
+  PARACONV_REQUIRE(!path.empty(), "memo cache path must be non-empty");
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return 0;  // cold start
+
+  std::string line;
+  PARACONV_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                   "memo cache file is empty: " + path);
+
+  // Accept only an exact header for this format version; anything else is
+  // another tool's file or a corrupted one.
+  std::string_view view(line);
+  const std::string magic_prefix = std::string(kHeaderMagic) + " ";
+  PARACONV_REQUIRE(view.substr(0, magic_prefix.size()) == magic_prefix,
+                   "memo cache header mismatch in " + path + ": " + line);
+  std::uint64_t declared = 0;
+  {
+    TokenCursor tail(view.substr(magic_prefix.size()));
+    int version = 0;
+    PARACONV_REQUIRE(tail.next(&version) && tail.next(&declared) &&
+                         tail.exhausted(),
+                     "memo cache header malformed in " + path + ": " + line);
+    PARACONV_REQUIRE(version == kFormatVersion,
+                     "memo cache version mismatch in " + path + ": " + line);
+  }
+
+  std::vector<std::pair<PackingKey, core::PackedSchedule>> entries;
+  // The declared count is untrusted until the fingerprint validates; bound
+  // the pre-allocation so a corrupt header can't trigger a huge reserve.
+  entries.reserve(std::min<std::uint64_t>(declared, 4096));
+  std::uint64_t fingerprint = kFnvOffset;
+  for (std::uint64_t i = 0; i < declared; ++i) {
+    PARACONV_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                     "memo cache file truncated at entry " +
+                         std::to_string(i) + ": " + path);
+    fingerprint = fingerprint_bytes(fingerprint, line + "\n");
+    PackingKey key;
+    core::PackedSchedule value;
+    PARACONV_REQUIRE(decode_entry_line(line, &key, &value),
+                     "memo cache entry " + std::to_string(i) +
+                         " is corrupt in " + path);
+    entries.emplace_back(key, std::move(value));
+  }
+
+  PARACONV_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                   "memo cache fingerprint trailer missing: " + path);
+  std::uint64_t recorded = 0;
+  {
+    constexpr std::string_view kTag = "fingerprint ";
+    std::string_view trailer(line);
+    PARACONV_REQUIRE(trailer.substr(0, kTag.size()) == kTag,
+                     "memo cache fingerprint trailer malformed in " + path +
+                         ": " + line);
+    TokenCursor tail(trailer.substr(kTag.size()));
+    PARACONV_REQUIRE(tail.next(&recorded) && tail.exhausted(),
+                     "memo cache fingerprint trailer malformed in " + path +
+                         ": " + line);
+  }
+  PARACONV_REQUIRE(recorded == fingerprint,
+                   "memo cache fingerprint mismatch in " + path +
+                       " (file edited or corrupted)");
+  PARACONV_REQUIRE(!static_cast<bool>(std::getline(in, line)),
+                   "memo cache file has trailing data after the "
+                   "fingerprint: " +
+                       path);
+
+  for (auto& [key, value] : entries) {
+    cache->insert(key, std::move(value));
+  }
+  cache->note_loaded(entries.size());
+  obs::count("dse.memo.loaded", static_cast<std::int64_t>(entries.size()));
+  return entries.size();
+}
+
+}  // namespace paraconv::dse

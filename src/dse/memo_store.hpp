@@ -1,0 +1,38 @@
+// Persistence for the packing memo cache (dse/memo_cache.hpp).
+//
+// The serve daemon keeps one MemoCache warm across requests; this layer
+// makes that warmth outlive the process. Entries spill to a line-oriented
+// text file following the checkpoint codec's discipline
+// (dse/checkpoint.cpp): a magic+version header that is rejected on any
+// mismatch, space-separated tokens parsed with full-token from_chars
+// strictness, and fsync'd writes. Every payload field is an integer
+// (PE index, start time, retiming deltas), so the round trip is exact by
+// construction. Unlike the sweep checkpoint — which tolerates a torn tail
+// because it is append-only — a spill file is written atomically
+// (tmp + rename) and carries a trailing fingerprint over the entry bytes;
+// a truncated or edited file fails validation instead of silently warming
+// the cache with partial state.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "dse/memo_cache.hpp"
+
+namespace paraconv::dse {
+
+/// Writes every resident entry of `cache` to `path` (tmp file + atomic
+/// rename), in the deterministic snapshot order so equal caches produce
+/// byte-identical files. Returns the number of entries written, records
+/// them in the cache's `spilled` stat, and emits the `dse.memo.spilled`
+/// obs counter. Throws ContractViolation on I/O failure.
+std::size_t save_memo_cache(const MemoCache& cache, const std::string& path);
+
+/// Loads `path` into `cache`. A missing file is a cold start and returns 0;
+/// an unreadable, truncated, corrupted, or fingerprint-mismatched file
+/// throws ContractViolation. Returns the number of entries restored,
+/// records them in the cache's `loaded` stat, and emits the
+/// `dse.memo.loaded` obs counter.
+std::size_t load_memo_cache(MemoCache* cache, const std::string& path);
+
+}  // namespace paraconv::dse

@@ -1,0 +1,190 @@
+#include "report/json_reader.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace paraconv::report {
+
+namespace {
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool parse(JsonDoc* doc, std::string* error) {
+    if (!parse_value(doc, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters after the top-level value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::string* error) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) {
+      *error = "malformed literal at offset " + std::to_string(pos_);
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_string(std::string* out, std::string* error) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      *error = "expected string at offset " + std::to_string(pos_);
+      return false;
+    }
+    for (++pos_; pos_ < text_.size(); ++pos_) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        *out += text_[pos_];
+      } else {
+        *out += c;
+      }
+    }
+    *error = "unterminated string";
+    return false;
+  }
+
+  bool parse_value(JsonDoc* doc, std::string* error) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      *error = "unexpected end of document";
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == 'n') {
+      doc->kind = JsonDoc::Kind::kNull;
+      return literal("null", error);
+    }
+    if (c == 't' || c == 'f') {
+      doc->kind = JsonDoc::Kind::kBool;
+      doc->boolean = c == 't';
+      return literal(c == 't' ? "true" : "false", error);
+    }
+    if (c == '"') {
+      doc->kind = JsonDoc::Kind::kString;
+      return parse_string(&doc->text, error);
+    }
+    if (c == '[') {
+      doc->kind = JsonDoc::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonDoc item;
+        if (!parse_value(&item, error)) return false;
+        doc->items.push_back(std::move(item));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        *error = "expected ',' or ']' at offset " + std::to_string(pos_);
+        return false;
+      }
+    }
+    if (c == '{') {
+      doc->kind = JsonDoc::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key, error)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          *error = "expected ':' at offset " + std::to_string(pos_);
+          return false;
+        }
+        ++pos_;
+        JsonDoc value;
+        if (!parse_value(&value, error)) return false;
+        doc->members.emplace_back(std::move(key), std::move(value));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        *error = "expected ',' or '}' at offset " + std::to_string(pos_);
+        return false;
+      }
+    }
+    // Number: accept the JSON grammar loosely; strtod validates the rest.
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (begin == pos_) {
+      *error = "unexpected character at offset " + std::to_string(pos_);
+      return false;
+    }
+    try {
+      doc->number = std::stod(text_.substr(begin, pos_ - begin));
+    } catch (const std::exception&) {
+      *error = "malformed number at offset " + std::to_string(begin);
+      return false;
+    }
+    doc->kind = JsonDoc::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+const JsonDoc* JsonDoc::find(const std::string& key) const {
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool parse_json(const std::string& text, JsonDoc* doc, std::string* error) {
+  PARACONV_REQUIRE(doc != nullptr, "document sink required");
+  PARACONV_REQUIRE(error != nullptr, "error sink required");
+  error->clear();
+  *doc = JsonDoc{};
+  return JsonReader(text).parse(doc, error);
+}
+
+}  // namespace paraconv::report

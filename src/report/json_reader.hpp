@@ -1,0 +1,30 @@
+// Minimal read-only JSON document model: just enough structure for the
+// bench-harness schema validator and the serve request parser. Not a
+// general parser — no \uXXXX decoding (neither producer emits any), but
+// it does reject malformed documents with an offset-bearing error.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace paraconv::report {
+
+struct JsonDoc {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string text;
+  std::vector<JsonDoc> items;
+  std::vector<std::pair<std::string, JsonDoc>> members;
+
+  /// First member with `key`, or nullptr. Objects only.
+  const JsonDoc* find(const std::string& key) const;
+};
+
+/// Parses `text` into `*doc`. Returns false and fills `*error` on malformed
+/// input (including trailing characters after the top-level value).
+bool parse_json(const std::string& text, JsonDoc* doc, std::string* error);
+
+}  // namespace paraconv::report

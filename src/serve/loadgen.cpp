@@ -1,0 +1,108 @@
+#include "serve/loadgen.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "report/json_reader.hpp"
+
+namespace paraconv::serve {
+namespace {
+
+enum class ResponseClass { kOk, kRejected, kErrored };
+
+ResponseClass classify(const std::string& response) {
+  report::JsonDoc doc;
+  std::string error;
+  PARACONV_REQUIRE(report::parse_json(response, &doc, &error),
+                   "unparseable serve response: " + error);
+  const report::JsonDoc* status = doc.find("status");
+  PARACONV_REQUIRE(status != nullptr &&
+                       status->kind == report::JsonDoc::Kind::kString,
+                   "serve response is missing a string status");
+  const auto parsed = status_from_token(status->text);
+  PARACONV_REQUIRE(parsed.has_value(),
+                   "unknown serve status token: " + status->text);
+  if (*parsed == dse::CellStatus::kOk) return ResponseClass::kOk;
+  const report::JsonDoc* code = doc.find("error_code");
+  PARACONV_REQUIRE(code != nullptr &&
+                       code->kind == report::JsonDoc::Kind::kString,
+                   "serve error response is missing an error_code");
+  const bool rejected =
+      code->text == kErrorParse || code->text == kErrorBadRequest ||
+      code->text == kErrorQueueFull || code->text == kErrorDeadline;
+  return rejected ? ResponseClass::kRejected : ResponseClass::kErrored;
+}
+
+}  // namespace
+
+LoadReport run_load(Server& server, const LoadSpec& spec) {
+  PARACONV_REQUIRE(spec.clients >= 1, "load spec needs at least one client");
+  PARACONV_REQUIRE(spec.requests_per_client >= 1,
+                   "load spec needs at least one request per client");
+  PARACONV_REQUIRE(!spec.request_lines.empty(),
+                   "load spec needs request lines");
+
+  LoadReport report;
+  std::vector<double> latencies_ns;
+  latencies_ns.reserve(static_cast<std::size_t>(spec.clients) *
+                       static_cast<std::size_t>(spec.requests_per_client));
+  std::mutex mu;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(spec.clients));
+  for (int client = 0; client < spec.clients; ++client) {
+    clients.emplace_back([&, client] {
+      std::vector<double> local_ns;
+      std::uint64_t ok = 0;
+      std::uint64_t rejected = 0;
+      std::uint64_t errored = 0;
+      for (int i = 0; i < spec.requests_per_client; ++i) {
+        const std::size_t pick =
+            (static_cast<std::size_t>(client) + static_cast<std::size_t>(i)) %
+            spec.request_lines.size();
+        const auto start = std::chrono::steady_clock::now();
+        const std::string response =
+            server.submit_line(spec.request_lines[pick]).get();
+        const auto end = std::chrono::steady_clock::now();
+        local_ns.push_back(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count()));
+        switch (classify(response)) {
+          case ResponseClass::kOk:
+            ++ok;
+            break;
+          case ResponseClass::kRejected:
+            ++rejected;
+            break;
+          case ResponseClass::kErrored:
+            ++errored;
+            break;
+        }
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      latencies_ns.insert(latencies_ns.end(), local_ns.begin(),
+                          local_ns.end());
+      report.ok += ok;
+      report.rejected += rejected;
+      report.errored += errored;
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.p50_ns = percentile(latencies_ns, 50.0);
+  report.p99_ns = percentile(latencies_ns, 99.0);
+  const auto total = static_cast<double>(latencies_ns.size());
+  report.throughput_rps =
+      report.wall_seconds > 0.0 ? total / report.wall_seconds : 0.0;
+  return report;
+}
+
+}  // namespace paraconv::serve

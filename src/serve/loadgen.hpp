@@ -1,0 +1,43 @@
+// Load generator for the serve daemon: N concurrent clients submit
+// request lines against an in-process Server and the report aggregates
+// p50/p99 request latency, throughput, and per-class response counts.
+// Shared by the `bench serve` suite, the serve tests, and CI's
+// serve-smoke job so they all measure the same thing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace paraconv::serve {
+
+struct LoadSpec {
+  /// Concurrent client threads; each runs a closed loop (next request
+  /// only after the previous response).
+  int clients{2};
+  int requests_per_client{8};
+  /// Request lines cycled round-robin per client; must be non-empty.
+  std::vector<std::string> request_lines;
+};
+
+struct LoadReport {
+  std::uint64_t ok{0};
+  /// Typed rejections: parse-error, bad-request, queue-full,
+  /// deadline-exceeded.
+  std::uint64_t rejected{0};
+  /// Admitted requests that failed evaluation.
+  std::uint64_t errored{0};
+  double p50_ns{0.0};
+  double p99_ns{0.0};
+  double wall_seconds{0.0};
+  double throughput_rps{0.0};
+};
+
+/// Runs the closed-loop load and classifies every response by its
+/// status/error_code fields. Throws ContractViolation on an invalid spec
+/// or an unparseable response (protocol drift).
+LoadReport run_load(Server& server, const LoadSpec& spec);
+
+}  // namespace paraconv::serve

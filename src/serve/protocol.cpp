@@ -1,0 +1,201 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "report/json_reader.hpp"
+
+namespace paraconv::serve {
+namespace {
+
+using report::JsonDoc;
+
+/// Largest magnitude a double carries exactly; request integers beyond it
+/// would already have lost precision in the JSON number.
+constexpr std::int64_t kMaxExactInt = 1LL << 53;
+
+bool integral_in_range(const JsonDoc& value, std::int64_t lo, std::int64_t hi,
+                       std::int64_t* out) {
+  if (value.kind != JsonDoc::Kind::kNumber) return false;
+  const double n = value.number;
+  const auto as_int = static_cast<std::int64_t>(n);
+  if (static_cast<double>(as_int) != n) return false;
+  if (as_int < lo || as_int > hi) return false;
+  *out = as_int;
+  return true;
+}
+
+ParseOutcome bad_request(ParseOutcome outcome, std::string message) {
+  outcome.ok = false;
+  outcome.error_code = kErrorBadRequest;
+  outcome.error_message = std::move(message);
+  return outcome;
+}
+
+report::JsonValue memo_to_json(const dse::MemoCache::Stats& memo) {
+  report::JsonValue out = report::JsonValue::object();
+  out.set("hits", static_cast<std::int64_t>(memo.hits));
+  out.set("misses", static_cast<std::int64_t>(memo.misses));
+  out.set("entries", static_cast<std::int64_t>(memo.entries));
+  out.set("spilled", static_cast<std::int64_t>(memo.spilled));
+  out.set("loaded", static_cast<std::int64_t>(memo.loaded));
+  return out;
+}
+
+}  // namespace
+
+ParseOutcome parse_request(const std::string& line) {
+  ParseOutcome outcome;
+  JsonDoc doc;
+  std::string error;
+  if (!report::parse_json(line, &doc, &error)) {
+    outcome.error_code = kErrorParse;
+    outcome.error_message = error;
+    return outcome;
+  }
+  if (doc.kind != JsonDoc::Kind::kObject) {
+    return bad_request(std::move(outcome),
+                       "request must be a JSON object");
+  }
+
+  // Capture the echo fields first so even a rejected request is answered
+  // with its own id/op.
+  for (const auto& [key, value] : doc.members) {
+    if (key == "id" && value.kind == JsonDoc::Kind::kString) {
+      outcome.request.id = value.text;
+    }
+    if (key == "op" && value.kind == JsonDoc::Kind::kString) {
+      outcome.request.op = value.text;
+    }
+  }
+
+  for (const auto& [key, value] : doc.members) {
+    if (key == "id" || key == "op") {
+      if (value.kind != JsonDoc::Kind::kString) {
+        return bad_request(std::move(outcome),
+                           "field \"" + key + "\" must be a string");
+      }
+      continue;
+    }
+    if (key == "benchmark") {
+      if (value.kind != JsonDoc::Kind::kString || value.text.empty()) {
+        return bad_request(std::move(outcome),
+                           "field \"benchmark\" must be a non-empty string");
+      }
+      outcome.request.benchmark = value.text;
+      continue;
+    }
+    if (key == "pes") {
+      std::int64_t pes = 0;
+      if (!integral_in_range(value, 1, 1 << 20, &pes)) {
+        return bad_request(std::move(outcome),
+                           "field \"pes\" must be an integer in [1, " +
+                               std::to_string(1 << 20) + "]");
+      }
+      outcome.request.pes = static_cast<int>(pes);
+      continue;
+    }
+    if (key == "iterations") {
+      if (!integral_in_range(value, 1, kMaxExactInt,
+                             &outcome.request.iterations)) {
+        return bad_request(std::move(outcome),
+                           "field \"iterations\" must be a positive integer");
+      }
+      continue;
+    }
+    if (key == "allocator") {
+      const auto kind = value.kind == JsonDoc::Kind::kString
+                            ? core::allocator_kind_from_string(value.text)
+                            : std::nullopt;
+      if (!kind.has_value()) {
+        return bad_request(std::move(outcome),
+                           "field \"allocator\" must name a known allocator");
+      }
+      outcome.request.allocator = *kind;
+      continue;
+    }
+    if (key == "packer") {
+      const auto kind = value.kind == JsonDoc::Kind::kString
+                            ? core::packer_kind_from_string(value.text)
+                            : std::nullopt;
+      if (!kind.has_value()) {
+        return bad_request(std::move(outcome),
+                           "field \"packer\" must name a known packer");
+      }
+      outcome.request.packer = *kind;
+      continue;
+    }
+    if (key == "with_baseline") {
+      if (value.kind != JsonDoc::Kind::kBool) {
+        return bad_request(std::move(outcome),
+                           "field \"with_baseline\" must be a boolean");
+      }
+      outcome.request.with_baseline = value.boolean;
+      continue;
+    }
+    if (key == "seed") {
+      std::int64_t seed = 0;
+      if (!integral_in_range(value, 0, kMaxExactInt, &seed)) {
+        return bad_request(std::move(outcome),
+                           "field \"seed\" must be a non-negative integer");
+      }
+      outcome.request.seed = static_cast<std::uint64_t>(seed);
+      continue;
+    }
+    return bad_request(std::move(outcome),
+                       "unknown request field \"" + key + "\"");
+  }
+
+  const std::string& op = outcome.request.op;
+  if (op.empty()) {
+    return bad_request(std::move(outcome),
+                       "request needs a string \"op\" field");
+  }
+  if (op != "schedule" && op != "stats" && op != "shutdown" &&
+      op != "block") {
+    return bad_request(std::move(outcome), "unknown op \"" + op + "\"");
+  }
+  if (op == "schedule" && outcome.request.benchmark.empty()) {
+    return bad_request(std::move(outcome),
+                       "op \"schedule\" needs a \"benchmark\" field");
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+std::string ok_response(const ServeRequest& request,
+                        const report::JsonValue* result,
+                        const dse::MemoCache::Stats& memo, double wall_ms) {
+  report::JsonValue doc = report::JsonValue::object();
+  doc.set("id", request.id);
+  doc.set("op", request.op);
+  doc.set("status", dse::to_string(dse::CellStatus::kOk));
+  if (result != nullptr) {
+    report::JsonValue copy = *result;
+    doc.set("result", std::move(copy));
+  }
+  doc.set("memo", memo_to_json(memo));
+  doc.set("wall_ms", wall_ms);
+  return doc.dump();
+}
+
+std::string error_response(const ServeRequest& request,
+                           const std::string& error_code,
+                           const std::string& error_message) {
+  report::JsonValue doc = report::JsonValue::object();
+  doc.set("id", request.id);
+  doc.set("op", request.op);
+  doc.set("status", dse::to_string(dse::CellStatus::kError));
+  doc.set("error_code", error_code);
+  doc.set("error_message", error_message);
+  return doc.dump();
+}
+
+std::optional<dse::CellStatus> status_from_token(const std::string& token) {
+  if (token == "ok") return dse::CellStatus::kOk;
+  if (token == "error") return dse::CellStatus::kError;
+  return std::nullopt;
+}
+
+}  // namespace paraconv::serve

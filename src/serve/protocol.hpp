@@ -1,0 +1,79 @@
+// Wire protocol of the serve daemon: line-delimited JSON requests and
+// responses (one compact JSON object per line in both directions).
+//
+// Requests name an op ("schedule", "stats", "shutdown"; "block" exists for
+// tests only) plus schedule parameters mirroring the sweep grid axes.
+// Responses reuse the CellResult ok|error status schema (dse/sweep.hpp):
+// `status` carries exactly the to_string(CellStatus) tokens, errors carry
+// the same `error_code`/`error_message` pair the sweep CSV/JSON rows do,
+// and a successful schedule's `result` object is the sweep JSON cell
+// (dse::cell_to_json) byte for byte. paraconv_lint's schema checks keep
+// this file in agreement with the CellStatus tokens.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/para_conv.hpp"
+#include "dse/memo_cache.hpp"
+#include "dse/sweep.hpp"
+#include "report/json.hpp"
+
+namespace paraconv::serve {
+
+/// Typed rejection classes the daemon emits before (or instead of)
+/// evaluating a request. Execution failures reuse the sweep cell codes
+/// ("contract-violation", "exception").
+inline constexpr const char* kErrorParse = "parse-error";
+inline constexpr const char* kErrorBadRequest = "bad-request";
+inline constexpr const char* kErrorQueueFull = "queue-full";
+inline constexpr const char* kErrorDeadline = "deadline-exceeded";
+
+struct ServeRequest {
+  /// Opaque client token, echoed back verbatim (empty when omitted).
+  std::string id;
+  /// "schedule" | "stats" | "shutdown" | "block" (test-only).
+  std::string op;
+  /// Paper benchmark name; required when op == "schedule".
+  std::string benchmark;
+  int pes{32};
+  std::int64_t iterations{100};
+  core::AllocatorKind allocator{core::AllocatorKind::kKnapsackDp};
+  core::PackerKind packer{core::PackerKind::kTopological};
+  bool with_baseline{true};
+  /// Sweep seed; the cell evaluates with dse::cell_seed(seed, 0) exactly
+  /// like grid index 0 of a one-shot sweep.
+  std::uint64_t seed{0};
+};
+
+struct ParseOutcome {
+  bool ok{false};
+  ServeRequest request;
+  /// kErrorParse or kErrorBadRequest when !ok.
+  std::string error_code;
+  std::string error_message;
+};
+
+/// Strictly parses one request line: malformed JSON is "parse-error";
+/// a non-object document, unknown field, unknown op/allocator/packer
+/// spelling, or out-of-range value is "bad-request". On failure the
+/// partially-parsed id/op (when available) are kept for the echo.
+ParseOutcome parse_request(const std::string& line);
+
+/// Successful response. `result` is optional (schedule responses attach
+/// the sweep JSON cell; stats/shutdown responses carry none) and `memo`
+/// reports the daemon's cumulative cache stats.
+std::string ok_response(const ServeRequest& request,
+                        const report::JsonValue* result,
+                        const dse::MemoCache::Stats& memo, double wall_ms);
+
+/// Typed failure response carrying the CellResult error schema.
+std::string error_response(const ServeRequest& request,
+                           const std::string& error_code,
+                           const std::string& error_message);
+
+/// Maps a wire status token back to the enum; nullopt on drift. Inverse of
+/// dse::to_string(CellStatus).
+std::optional<dse::CellStatus> status_from_token(const std::string& token);
+
+}  // namespace paraconv::serve

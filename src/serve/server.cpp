@@ -1,0 +1,341 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dse/frontier.hpp"
+#include "dse/memo_store.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "obs/obs.hpp"
+#include "pim/config.hpp"
+
+#ifdef PARACONV_SERVE_POSIX
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+#endif
+
+namespace paraconv::serve {
+namespace {
+
+bool stop_set(const std::atomic<bool>* stop) {
+  return stop != nullptr && stop->load(std::memory_order_relaxed);
+}
+
+std::future<std::string> ready_response(std::string response) {
+  std::promise<std::string> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  PARACONV_REQUIRE(options_.jobs >= 0, "serve jobs must be >= 0");
+  PARACONV_REQUIRE(options_.max_queue >= 1 && options_.max_queue <= 4096,
+                   "serve max_queue must be in [1, 4096]");
+  PARACONV_REQUIRE(options_.deadline_ms >= 0,
+                   "serve deadline_ms must be >= 0");
+  PARACONV_REQUIRE(options_.flush_every >= 0,
+                   "serve flush_every must be >= 0");
+  PARACONV_REQUIRE(options_.flush_every == 0 || !options_.cache_file.empty(),
+                   "serve flush_every requires a cache file");
+  if (!options_.cache_file.empty()) {
+    loaded_entries_ = dse::load_memo_cache(&cache_, options_.cache_file);
+  }
+  dse::ThreadPool::Options pool_options;
+  pool_options.threads = options_.jobs;
+  pool_ = std::make_unique<dse::ThreadPool>(pool_options);
+}
+
+Server::~Server() {
+  try {
+    release_blocked();
+    pool_.reset();
+    flush_cache();
+  } catch (const std::exception&) {
+    // Destruction is a best-effort flush; the transports' return paths
+    // flush loudly before we ever get here on the graceful routes.
+  }
+}
+
+std::string Server::reject(const ServeRequest& request, const char* code,
+                           const std::string& message) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("serve.requests.rejected");
+  return error_response(request, code, message);
+}
+
+std::future<std::string> Server::submit_line(const std::string& line) {
+  ParseOutcome parsed = parse_request(line);
+  if (!parsed.ok) {
+    return ready_response(reject(parsed.request, parsed.error_code.c_str(),
+                                 parsed.error_message));
+  }
+  ServeRequest request = std::move(parsed.request);
+  if (request.op == "block" && !options_.enable_test_ops) {
+    return ready_response(reject(request, kErrorBadRequest,
+                                 "op \"block\" is test-only"));
+  }
+
+  const int waiting = queued_.fetch_add(1, std::memory_order_acq_rel);
+  if (waiting >= options_.max_queue) {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    return ready_response(
+        reject(request, kErrorQueueFull,
+               "request queue is full (max " +
+                   std::to_string(options_.max_queue) + " waiting)"));
+  }
+
+  const auto admitted = std::chrono::steady_clock::now();
+  return pool_->async([this, request = std::move(request),
+                       admitted]() -> std::string {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    if (options_.deadline_ms > 0) {
+      const auto waited_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - admitted)
+              .count();
+      if (waited_ms > options_.deadline_ms) {
+        return reject(request, kErrorDeadline,
+                      "request waited " + std::to_string(waited_ms) +
+                          " ms, past the " +
+                          std::to_string(options_.deadline_ms) +
+                          " ms deadline");
+      }
+    }
+    std::string response = execute(request);
+    note_completed();
+    return response;
+  });
+}
+
+std::string Server::execute(const ServeRequest& request) {
+  const obs::ScopedSpan span("serve.request", request.op);
+  if (request.op == "schedule") return execute_schedule(request);
+  if (request.op == "block") {
+    std::unique_lock<std::mutex> lock(block_mu_);
+    ++blocked_;
+    block_cv_.notify_all();
+    block_cv_.wait(lock, [this] { return release_all_; });
+    --blocked_;
+  }
+  if (request.op == "shutdown") {
+    shutdown_requested_.store(true, std::memory_order_relaxed);
+  }
+  ok_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("serve.requests.ok");
+  return ok_response(request, nullptr, cache_.stats(), 0.0);
+}
+
+std::string Server::execute_schedule(const ServeRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  dse::CellResult cell;
+  try {
+    dse::SweepCase sweep_case{
+        request.benchmark,
+        graph::build_paper_benchmark(graph::paper_benchmark(
+            request.benchmark))};
+    const pim::PimConfig config = pim::PimConfig::neurocube(request.pes);
+    cell = dse::evaluate_cell(
+        sweep_case, config, request.packer, request.allocator,
+        request.iterations, /*refine_steps=*/0,
+        dse::cell_seed(request.seed, /*index=*/0), request.with_baseline,
+        &cache_);
+  } catch (const ContractViolation& violation) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.requests.error");
+    return error_response(request, "contract-violation", violation.what());
+  } catch (const std::exception& error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.requests.error");
+    return error_response(request, "exception", error.what());
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ok_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("serve.requests.ok");
+  const report::JsonValue result = dse::cell_to_json(cell);
+  return ok_response(request, &result, cache_.stats(), wall_ms);
+}
+
+void Server::note_completed() {
+  const std::uint64_t done =
+      completed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.flush_every > 0 &&
+      done % static_cast<std::uint64_t>(options_.flush_every) == 0) {
+    try {
+      flush_cache();
+    } catch (const std::exception&) {
+      // A periodic spill hiccup must not fail the request that triggered
+      // it; the shutdown flush still reports persistent I/O errors.
+    }
+  }
+}
+
+std::size_t Server::flush_cache() {
+  if (options_.cache_file.empty()) return 0;
+  const std::lock_guard<std::mutex> lock(flush_mu_);
+  const std::size_t spilled =
+      dse::save_memo_cache(cache_, options_.cache_file);
+  obs::count("serve.cache.flushes");
+  return spilled;
+}
+
+std::size_t Server::blocked() const {
+  const std::lock_guard<std::mutex> lock(block_mu_);
+  return blocked_;
+}
+
+void Server::release_blocked() {
+  const std::lock_guard<std::mutex> lock(block_mu_);
+  release_all_ = true;
+  block_cv_.notify_all();
+}
+
+Server::Stats Server::stats() const {
+  Stats stats;
+  stats.ok = ok_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Server::run_pipe(std::istream& in, std::ostream& out,
+                      const std::atomic<bool>* stop) {
+  std::deque<std::future<std::string>> pending;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done_reading = false;
+
+  // Responses drain on a writer thread in admission order, so a slow
+  // request never blocks the reader from admitting (or queue-rejecting)
+  // the ones behind it.
+  std::thread writer([&] {
+    while (true) {
+      std::future<std::string> next;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done_reading || !pending.empty(); });
+        if (pending.empty()) return;
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      out << next.get() << "\n" << std::flush;
+    }
+  });
+
+  std::string line;
+  while (!stop_set(stop) &&
+         !shutdown_requested_.load(std::memory_order_relaxed) &&
+         std::getline(in, line)) {
+    if (line.empty()) continue;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      pending.push_back(submit_line(line));
+    }
+    cv.notify_one();
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    done_reading = true;
+  }
+  cv.notify_all();
+  writer.join();
+  flush_cache();
+}
+
+#ifdef PARACONV_SERVE_POSIX
+
+void Server::run_socket(const std::string& path,
+                        const std::atomic<bool>* stop) {
+  sockaddr_un addr{};
+  PARACONV_REQUIRE(path.size() < sizeof(addr.sun_path),
+                   "socket path too long: " + path);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PARACONV_REQUIRE(listen_fd >= 0, "cannot create a unix socket");
+  addr.sun_family = AF_UNIX;
+  std::snprintf(static_cast<char*>(addr.sun_path), sizeof(addr.sun_path),
+                "%s", path.c_str());
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    ::close(listen_fd);
+    PARACONV_REQUIRE(false, "cannot bind/listen on socket: " + path);
+  }
+
+  std::vector<std::thread> connections;
+  while (!stop_set(stop) &&
+         !shutdown_requested_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.emplace_back(
+        [this, fd, stop] { serve_connection(fd, stop); });
+  }
+  ::close(listen_fd);
+  for (std::thread& connection : connections) connection.join();
+  ::unlink(path.c_str());
+  flush_cache();
+}
+
+void Server::serve_connection(int fd, const std::atomic<bool>* stop) {
+  std::string buffer;
+  std::vector<char> chunk(4096);
+  bool alive = true;
+  while (alive && !stop_set(stop) &&
+         !shutdown_requested_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready == 0) continue;  // timeout: re-check the stop flag
+    if (ready < 0) break;
+    const ssize_t received = ::recv(fd, chunk.data(), chunk.size(), 0);
+    if (received <= 0) break;
+    buffer.append(chunk.data(), static_cast<std::size_t>(received));
+    std::size_t newline = 0;
+    while (alive && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      std::string response = submit_line(line).get();
+      response += '\n';
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t wrote =
+            ::send(fd, response.data() + sent, response.size() - sent,
+                   MSG_NOSIGNAL);
+        if (wrote <= 0) {
+          alive = false;
+          break;
+        }
+        sent += static_cast<std::size_t>(wrote);
+      }
+    }
+  }
+  ::close(fd);
+}
+
+#endif  // PARACONV_SERVE_POSIX
+
+}  // namespace paraconv::serve

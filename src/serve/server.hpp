@@ -1,0 +1,149 @@
+// The serve daemon core: a long-lived request executor over the dse
+// work-stealing pool with one warm, shared, persistent packing memo cache.
+//
+// Lifecycle: the constructor loads the cache file (fingerprint-validated;
+// a missing file is a cold start), requests execute concurrently on the
+// pool, and the cache spills back to disk periodically (--flush-every) and
+// on graceful shutdown (run_pipe/run_socket returning, or destruction).
+//
+// Admission control: at most `max_queue` requests may be waiting; the next
+// one is answered immediately with a typed "queue-full" rejection instead
+// of blocking the client. A request older than `deadline_ms` by the time a
+// worker picks it up is answered "deadline-exceeded" without evaluating.
+//
+// Transports: submit_line() is the in-process API; run_pipe() drains an
+// istream of request lines and writes responses in admission order
+// (testable, and what `paraconv_cli serve` uses without --socket);
+// run_socket() accepts unix-domain connections (POSIX only).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "dse/memo_cache.hpp"
+#include "dse/thread_pool.hpp"
+#include "serve/protocol.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PARACONV_SERVE_POSIX 1
+#endif
+
+namespace paraconv::serve {
+
+struct ServerOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  int jobs{1};
+  /// Bound on admitted-but-not-yet-running requests; must be in [1, 4096]
+  /// (the pool's own queue capacity backs it).
+  int max_queue{64};
+  /// Per-request deadline from admission to dequeue; 0 disables.
+  std::int64_t deadline_ms{0};
+  /// Memo cache spill/load path; empty disables persistence.
+  std::string cache_file{};
+  /// Flush the cache every N completed requests; 0 = only on shutdown.
+  /// Requires cache_file.
+  std::int64_t flush_every{0};
+  /// Admit the test-only "block" op, which parks a worker until
+  /// release_blocked() — tests use it to fill the queue deterministically.
+  bool enable_test_ops{false};
+};
+
+class Server {
+ public:
+  /// Validates options, loads the cache file when set (throws
+  /// ContractViolation if the file exists but fails validation), and
+  /// starts the worker pool.
+  explicit Server(ServerOptions options);
+
+  /// Releases any parked test requests, drains workers, and flushes the
+  /// cache (best effort — errors are swallowed; shut down via the
+  /// transports' return paths to observe flush failures).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Parses, admits, and executes one request line. The future resolves to
+  /// the single-line JSON response; rejections (parse-error, bad-request,
+  /// queue-full) resolve immediately without occupying a worker.
+  std::future<std::string> submit_line(const std::string& line);
+
+  /// Reads request lines from `in` until EOF, a "shutdown" request, or
+  /// `*stop` becomes true; writes one response line per request to `out`
+  /// in admission order, then flushes the cache.
+  void run_pipe(std::istream& in, std::ostream& out,
+                const std::atomic<bool>* stop = nullptr);
+
+#ifdef PARACONV_SERVE_POSIX
+  /// Listens on a unix-domain socket at `path` (replacing any stale socket
+  /// file), serving each connection's request lines concurrently, until
+  /// `*stop` becomes true or any connection sends "shutdown"; then flushes
+  /// the cache.
+  void run_socket(const std::string& path, const std::atomic<bool>* stop);
+#endif
+
+  /// Spills the memo cache to options.cache_file; no-op (returns 0) when
+  /// persistence is disabled.
+  std::size_t flush_cache();
+
+  dse::MemoCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Entries restored from the cache file at startup.
+  std::size_t loaded_entries() const { return loaded_entries_; }
+
+  /// Requests currently parked by the test-only "block" op.
+  std::size_t blocked() const;
+
+  /// Releases every parked "block" request.
+  void release_blocked();
+
+  struct Stats {
+    std::uint64_t ok{0};
+    /// parse-error, bad-request, queue-full, and deadline-exceeded
+    /// responses.
+    std::uint64_t rejected{0};
+    /// Admitted requests whose evaluation failed (contract-violation or
+    /// exception responses).
+    std::uint64_t errors{0};
+  };
+  Stats stats() const;
+
+ private:
+  std::string execute(const ServeRequest& request);
+  std::string execute_schedule(const ServeRequest& request);
+  std::string reject(const ServeRequest& request, const char* code,
+                     const std::string& message);
+  void note_completed();
+#ifdef PARACONV_SERVE_POSIX
+  void serve_connection(int fd, const std::atomic<bool>* stop);
+#endif
+
+  ServerOptions options_;
+  dse::MemoCache cache_;
+  std::size_t loaded_entries_{0};
+  std::unique_ptr<dse::ThreadPool> pool_;
+
+  std::atomic<int> queued_{0};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> completed_{0};
+
+  std::mutex flush_mu_;
+
+  mutable std::mutex block_mu_;
+  std::condition_variable block_cv_;
+  bool release_all_{false};
+  std::size_t blocked_{0};
+};
+
+}  // namespace paraconv::serve

@@ -1,0 +1,226 @@
+#include "dse/memo_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dse/frontier.hpp"
+#include "dse/sweep.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "pim/config.hpp"
+
+namespace paraconv::dse {
+namespace {
+
+graph::TaskGraph benchmark_graph(const std::string& name) {
+  return graph::build_paper_benchmark(graph::paper_benchmark(name));
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "memo_store_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+PackingKey key_for(const graph::TaskGraph& g, int pes) {
+  return make_packing_key(g, pim::PimConfig::neurocube(pes),
+                          core::PackerKind::kTopological, /*refine_steps=*/0,
+                          /*refine_seed=*/0);
+}
+
+/// A hand-built schedule exercising every payload field, including
+/// negative retiming deltas and a zero-length placement edge case.
+core::PackedSchedule sample_schedule() {
+  core::PackedSchedule packed;
+  packed.packing.period = TimeUnits{48};
+  packed.packing.placement = {{0, TimeUnits{0}},
+                              {3, TimeUnits{16}},
+                              {1, TimeUnits{32}}};
+  packed.deltas = {{1, 0}, {-2, 3}, {0, -1}};
+  return packed;
+}
+
+TEST(MemoStoreTest, RoundTripIsExact) {
+  const graph::TaskGraph g = benchmark_graph("cat");
+  MemoCache cache;
+  cache.insert(key_for(g, 16), sample_schedule());
+  core::PackedSchedule empty;
+  empty.packing.period = TimeUnits{1};
+  cache.insert(key_for(g, 32), empty);
+
+  const std::string path = temp_path("round_trip.memo");
+  EXPECT_EQ(save_memo_cache(cache, path), 2u);
+
+  MemoCache restored;
+  EXPECT_EQ(load_memo_cache(&restored, path), 2u);
+
+  const MemoCache::Value value = restored.find(key_for(g, 16));
+  ASSERT_NE(value, nullptr);
+  const core::PackedSchedule expected = sample_schedule();
+  EXPECT_EQ(value->packing.period.value, expected.packing.period.value);
+  ASSERT_EQ(value->packing.placement.size(),
+            expected.packing.placement.size());
+  for (std::size_t i = 0; i < expected.packing.placement.size(); ++i) {
+    EXPECT_EQ(value->packing.placement[i].pe,
+              expected.packing.placement[i].pe);
+    EXPECT_EQ(value->packing.placement[i].start.value,
+              expected.packing.placement[i].start.value);
+  }
+  ASSERT_EQ(value->deltas.size(), expected.deltas.size());
+  for (std::size_t i = 0; i < expected.deltas.size(); ++i) {
+    EXPECT_EQ(value->deltas[i].cache, expected.deltas[i].cache);
+    EXPECT_EQ(value->deltas[i].edram, expected.deltas[i].edram);
+  }
+  const MemoCache::Value other = restored.find(key_for(g, 32));
+  ASSERT_NE(other, nullptr);
+  EXPECT_TRUE(other->packing.placement.empty());
+  EXPECT_TRUE(other->deltas.empty());
+}
+
+TEST(MemoStoreTest, SpillFilesAreByteStableAcrossInsertionOrder) {
+  const graph::TaskGraph g = benchmark_graph("cat");
+  MemoCache forward;
+  forward.insert(key_for(g, 16), sample_schedule());
+  forward.insert(key_for(g, 32), sample_schedule());
+  MemoCache backward;
+  backward.insert(key_for(g, 32), sample_schedule());
+  backward.insert(key_for(g, 16), sample_schedule());
+
+  const std::string a = temp_path("stable_a.memo");
+  const std::string b = temp_path("stable_b.memo");
+  save_memo_cache(forward, a);
+  save_memo_cache(backward, b);
+  EXPECT_EQ(read_file(a), read_file(b));
+}
+
+TEST(MemoStoreTest, MissingFileIsAColdStart) {
+  MemoCache cache;
+  EXPECT_EQ(load_memo_cache(&cache, temp_path("never_written.memo")), 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().loaded, 0u);
+}
+
+TEST(MemoStoreTest, TruncatedFileIsRejected) {
+  const graph::TaskGraph g = benchmark_graph("cat");
+  MemoCache cache;
+  cache.insert(key_for(g, 16), sample_schedule());
+  const std::string path = temp_path("truncated.memo");
+  save_memo_cache(cache, path);
+
+  const std::string full = read_file(path);
+  // Drop the fingerprint trailer entirely, then drop part of an entry.
+  for (const std::size_t keep :
+       {full.rfind("fingerprint"), full.size() / 2}) {
+    ASSERT_NE(keep, std::string::npos);
+    write_file(path, full.substr(0, keep));
+    MemoCache restored;
+    EXPECT_THROW(load_memo_cache(&restored, path), ContractViolation);
+  }
+}
+
+TEST(MemoStoreTest, EditedEntryFailsTheFingerprint) {
+  const graph::TaskGraph g = benchmark_graph("cat");
+  MemoCache cache;
+  cache.insert(key_for(g, 16), sample_schedule());
+  const std::string path = temp_path("edited.memo");
+  save_memo_cache(cache, path);
+
+  std::string contents = read_file(path);
+  const std::size_t pos = contents.find(" 48 ");  // the period token
+  ASSERT_NE(pos, std::string::npos);
+  contents.replace(pos, 4, " 49 ");
+  write_file(path, contents);
+
+  MemoCache restored;
+  EXPECT_THROW(load_memo_cache(&restored, path), ContractViolation);
+}
+
+TEST(MemoStoreTest, WrongMagicOrVersionIsRejected) {
+  const graph::TaskGraph g = benchmark_graph("cat");
+  MemoCache cache;
+  cache.insert(key_for(g, 16), sample_schedule());
+  const std::string path = temp_path("header.memo");
+  save_memo_cache(cache, path);
+  const std::string full = read_file(path);
+
+  std::string wrong_magic = full;
+  wrong_magic.replace(0, std::string("paraconv-memo-cache").size(),
+                      "paraconv-checkpoint");
+  write_file(path, wrong_magic);
+  MemoCache restored_magic;
+  EXPECT_THROW(load_memo_cache(&restored_magic, path), ContractViolation);
+
+  std::string wrong_version = full;
+  const std::size_t v = wrong_version.find(" 1 ");
+  ASSERT_NE(v, std::string::npos);
+  wrong_version.replace(v, 3, " 2 ");
+  write_file(path, wrong_version);
+  MemoCache restored_version;
+  EXPECT_THROW(load_memo_cache(&restored_version, path), ContractViolation);
+}
+
+TEST(MemoStoreTest, StatsRecordSpillAndLoadVolumes) {
+  const graph::TaskGraph g = benchmark_graph("cat");
+  MemoCache cache;
+  cache.insert(key_for(g, 16), sample_schedule());
+  cache.insert(key_for(g, 32), sample_schedule());
+  const std::string path = temp_path("stats.memo");
+  save_memo_cache(cache, path);
+  save_memo_cache(cache, path);
+  EXPECT_EQ(cache.stats().spilled, 4u);
+  EXPECT_EQ(cache.stats().loaded, 0u);
+
+  MemoCache restored;
+  load_memo_cache(&restored, path);
+  EXPECT_EQ(restored.stats().loaded, 2u);
+  EXPECT_EQ(restored.stats().entries, 2u);
+  EXPECT_EQ(restored.stats().spilled, 0u);
+}
+
+TEST(MemoStoreTest, WarmCacheReproducesColdResultsByteForByte) {
+  // The persistence acceptance bar: a schedule computed against a cache
+  // restored from disk must match the cold computation exactly, down to
+  // the serialized cell JSON.
+  const SweepCase sweep_case{"cat", benchmark_graph("cat")};
+  const pim::PimConfig config = pim::PimConfig::neurocube(16);
+  const auto evaluate = [&](MemoCache* cache) {
+    const CellResult cell = evaluate_cell(
+        sweep_case, config, core::PackerKind::kTopological,
+        core::AllocatorKind::kKnapsackDp, /*iterations=*/50,
+        /*refine_steps=*/0, /*seed=*/0, /*with_baseline=*/true, cache);
+    return cell_to_json(cell).dump();
+  };
+
+  MemoCache cold;
+  const std::string cold_json = evaluate(&cold);
+  EXPECT_EQ(cold.stats().misses, 1u);
+
+  const std::string path = temp_path("warm.memo");
+  save_memo_cache(cold, path);
+
+  MemoCache warm;
+  ASSERT_EQ(load_memo_cache(&warm, path), 1u);
+  const std::string warm_json = evaluate(&warm);
+  EXPECT_EQ(warm.stats().hits, 1u);
+  EXPECT_EQ(warm.stats().misses, 0u);
+  EXPECT_EQ(warm_json, cold_json);
+}
+
+}  // namespace
+}  // namespace paraconv::dse

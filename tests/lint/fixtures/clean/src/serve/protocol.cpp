@@ -1,0 +1,23 @@
+// Lint fixture: serve responses reuse the CellResult status schema — the
+// writer sets every status column and maps both CellStatus tokens.
+#include "serve/protocol.hpp"
+
+namespace paraconv::serve {
+
+void ok_response(JsonValue& response) {
+  response.set("id", "r");
+  response.set("op", "schedule");
+  response.set("status", "ok");
+}
+
+void error_response(JsonValue& response) {
+  response.set("status", "error");
+  response.set("error_code", "bad-request");
+  response.set("error_message", "detail");
+}
+
+bool status_from_token(const std::string& token) {
+  return token == "ok" || token == "error";
+}
+
+}  // namespace paraconv::serve

@@ -1,0 +1,22 @@
+// Seeded violation: the serve error response dropped the error_code
+// status column the CellResult schema requires.
+#include "serve/protocol.hpp"
+
+namespace paraconv::serve {
+
+void ok_response(JsonValue& response) {
+  response.set("id", "r");
+  response.set("op", "schedule");
+  response.set("status", "ok");
+}
+
+void error_response(JsonValue& response) {
+  response.set("status", "error");
+  response.set("error_message", "detail");
+}
+
+bool status_from_token(const std::string& token) {
+  return token == "ok" || token == "error";
+}
+
+}  // namespace paraconv::serve

@@ -1,0 +1,23 @@
+// Seeded violation: the serve protocol renamed the "error" status token,
+// drifting from to_string(CellStatus).
+#include "serve/protocol.hpp"
+
+namespace paraconv::serve {
+
+void ok_response(JsonValue& response) {
+  response.set("id", "r");
+  response.set("op", "schedule");
+  response.set("status", "ok");
+}
+
+void error_response(JsonValue& response) {
+  response.set("status", "failed");
+  response.set("error_code", "bad-request");
+  response.set("error_message", "detail");
+}
+
+bool status_from_token(const std::string& token) {
+  return token == "ok" || token == "failed";
+}
+
+}  // namespace paraconv::serve

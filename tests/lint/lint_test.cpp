@@ -89,6 +89,8 @@ INSTANTIATE_TEST_SUITE_P(
         ViolationCase{"mismatched_csv_column", "schema-csv-identity"},
         ViolationCase{"missing_json_key", "schema-json-missing"},
         ViolationCase{"status_token_drift", "schema-status-token"},
+        ViolationCase{"serve_missing_field", "schema-serve-missing"},
+        ViolationCase{"serve_status_drift", "schema-serve-status-token"},
         ViolationCase{"using_namespace_header", "using-namespace-header"},
         ViolationCase{"missing_pragma_once", "pragma-once"},
         ViolationCase{"bare_nolint", "nolint-policy"},

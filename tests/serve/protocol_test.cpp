@@ -1,0 +1,147 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dse/sweep.hpp"
+#include "report/json_reader.hpp"
+
+namespace paraconv::serve {
+namespace {
+
+TEST(ServeProtocolTest, FullScheduleRequestParses) {
+  const ParseOutcome outcome = parse_request(
+      R"({"id":"r-7","op":"schedule","benchmark":"protein","pes":64,)"
+      R"("iterations":250,"allocator":"greedy-density","packer":"lpt",)"
+      R"("with_baseline":false,"seed":9})");
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_EQ(outcome.request.id, "r-7");
+  EXPECT_EQ(outcome.request.op, "schedule");
+  EXPECT_EQ(outcome.request.benchmark, "protein");
+  EXPECT_EQ(outcome.request.pes, 64);
+  EXPECT_EQ(outcome.request.iterations, 250);
+  EXPECT_EQ(outcome.request.allocator, core::AllocatorKind::kGreedyDensity);
+  EXPECT_EQ(outcome.request.packer, core::PackerKind::kLpt);
+  EXPECT_FALSE(outcome.request.with_baseline);
+  EXPECT_EQ(outcome.request.seed, 9u);
+}
+
+TEST(ServeProtocolTest, DefaultsMatchTheSweepGrid) {
+  const ParseOutcome outcome =
+      parse_request(R"({"op":"schedule","benchmark":"cat"})");
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.request.id, "");
+  EXPECT_EQ(outcome.request.pes, 32);
+  EXPECT_EQ(outcome.request.iterations, 100);
+  EXPECT_EQ(outcome.request.allocator, core::AllocatorKind::kKnapsackDp);
+  EXPECT_EQ(outcome.request.packer, core::PackerKind::kTopological);
+  EXPECT_TRUE(outcome.request.with_baseline);
+  EXPECT_EQ(outcome.request.seed, 0u);
+}
+
+TEST(ServeProtocolTest, MalformedJsonIsAParseError) {
+  for (const char* line : {"", "   ", "not json", "{\"op\":", "[1,2]{}"}) {
+    const ParseOutcome outcome = parse_request(line);
+    EXPECT_FALSE(outcome.ok) << line;
+    EXPECT_EQ(outcome.error_code, kErrorParse) << line;
+  }
+}
+
+TEST(ServeProtocolTest, StructurallyInvalidRequestsAreBadRequests) {
+  const char* lines[] = {
+      R"([1,2,3])",                                        // not an object
+      R"({"benchmark":"cat"})",                            // missing op
+      R"({"op":"schedule"})",                              // missing benchmark
+      R"({"op":"bogus"})",                                 // unknown op
+      R"({"op":"schedule","benchmark":"cat","zes":1})",    // unknown key
+      R"({"op":"schedule","benchmark":"cat","pes":0})",    // out of range
+      R"({"op":"schedule","benchmark":"cat","pes":2.5})",  // not integral
+      R"({"op":"schedule","benchmark":"cat","iterations":0})",
+      R"({"op":"schedule","benchmark":"cat","seed":-1})",
+      R"({"op":"schedule","benchmark":"cat","allocator":"magic"})",
+      R"({"op":"schedule","benchmark":"cat","packer":"magic"})",
+      R"({"op":"schedule","benchmark":"cat","with_baseline":1})",
+      R"({"op":7})",
+  };
+  for (const char* line : lines) {
+    const ParseOutcome outcome = parse_request(line);
+    EXPECT_FALSE(outcome.ok) << line;
+    EXPECT_EQ(outcome.error_code, kErrorBadRequest) << line;
+  }
+}
+
+TEST(ServeProtocolTest, FailedParsesStillEchoIdAndOp) {
+  const ParseOutcome outcome =
+      parse_request(R"({"id":"req-3","op":"schedule","pes":0,)"
+                    R"("benchmark":"cat"})");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.request.id, "req-3");
+  EXPECT_EQ(outcome.request.op, "schedule");
+}
+
+TEST(ServeProtocolTest, StatusTokensRoundTripWithCellStatus) {
+  for (const dse::CellStatus status :
+       {dse::CellStatus::kOk, dse::CellStatus::kError}) {
+    const auto parsed = status_from_token(dse::to_string(status));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, status);
+  }
+  EXPECT_FALSE(status_from_token("").has_value());
+  EXPECT_FALSE(status_from_token("OK").has_value());
+  EXPECT_FALSE(status_from_token("failed").has_value());
+}
+
+TEST(ServeProtocolTest, OkResponseCarriesMemoStatsAndResult) {
+  ServeRequest request;
+  request.id = "r";
+  request.op = "schedule";
+  dse::MemoCache::Stats memo;
+  memo.hits = 3;
+  memo.misses = 1;
+  memo.entries = 1;
+  memo.spilled = 2;
+  memo.loaded = 1;
+  report::JsonValue result = report::JsonValue::object();
+  result.set("index", 0);
+
+  const std::string line = ok_response(request, &result, memo, 1.5);
+  report::JsonDoc doc;
+  std::string error;
+  ASSERT_TRUE(report::parse_json(line, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("id")->text, "r");
+  EXPECT_EQ(doc.find("op")->text, "schedule");
+  EXPECT_EQ(doc.find("status")->text, dse::to_string(dse::CellStatus::kOk));
+  ASSERT_NE(doc.find("result"), nullptr);
+  ASSERT_NE(doc.find("memo"), nullptr);
+  EXPECT_EQ(doc.find("memo")->find("hits")->number, 3.0);
+  EXPECT_EQ(doc.find("memo")->find("loaded")->number, 1.0);
+  EXPECT_EQ(doc.find("error_code"), nullptr);
+
+  // stats/shutdown responses omit `result` entirely rather than emitting
+  // null, so clients can branch on key presence.
+  const std::string bare = ok_response(request, nullptr, memo, 0.0);
+  report::JsonDoc bare_doc;
+  ASSERT_TRUE(report::parse_json(bare, &bare_doc, &error)) << error;
+  EXPECT_EQ(bare_doc.find("result"), nullptr);
+}
+
+TEST(ServeProtocolTest, ErrorResponseUsesTheCellErrorSchema) {
+  ServeRequest request;
+  request.id = "bad";
+  request.op = "schedule";
+  const std::string line =
+      error_response(request, kErrorQueueFull, "queue is full");
+  report::JsonDoc doc;
+  std::string error;
+  ASSERT_TRUE(report::parse_json(line, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("status")->text,
+            dse::to_string(dse::CellStatus::kError));
+  EXPECT_EQ(doc.find("error_code")->text, "queue-full");
+  EXPECT_EQ(doc.find("error_message")->text, "queue is full");
+  EXPECT_EQ(doc.find("result"), nullptr);
+  EXPECT_EQ(doc.find("memo"), nullptr);
+}
+
+}  // namespace
+}  // namespace paraconv::serve

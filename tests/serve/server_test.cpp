@@ -1,0 +1,218 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/frontier.hpp"
+#include "dse/sweep.hpp"
+#include "graph/paper_benchmarks.hpp"
+#include "pim/config.hpp"
+#include "serve/loadgen.hpp"
+
+namespace paraconv::serve {
+namespace {
+
+constexpr const char* kScheduleCat =
+    R"({"op":"schedule","benchmark":"cat","pes":16,"iterations":50})";
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "serve_server_" + name;
+}
+
+void wait_for_blocked(const Server& server, std::size_t count) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.blocked() < count) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "timed out waiting for " << count << " blocked request(s)";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ServeServerTest, ScheduleMatchesTheOneShotSweepByteForByte) {
+  // The acceptance bar: a daemon response's `result` is the sweep JSON
+  // cell of the equivalent one-cell `paraconv_cli sweep`, byte for byte.
+  dse::GridSpec spec;
+  spec.cases.push_back(
+      {"cat", graph::build_paper_benchmark(graph::paper_benchmark("cat"))});
+  spec.configs = {pim::PimConfig::neurocube(16)};
+  spec.iterations = 50;
+  const dse::SweepResult sweep = dse::run_sweep(spec);
+  ASSERT_EQ(sweep.cells.size(), 1u);
+  const std::string expected = dse::cell_to_json(sweep.cells[0]).dump();
+
+  Server server({});
+  const std::string response = server.submit_line(kScheduleCat).get();
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"result\":" + expected + ",\"memo\""),
+            std::string::npos)
+      << response;
+  EXPECT_EQ(server.stats().ok, 1u);
+}
+
+TEST(ServeServerTest, RepeatedRequestsHitTheWarmCache) {
+  Server server({});
+  server.submit_line(kScheduleCat).get();
+  const dse::MemoCache::Stats cold = server.cache_stats();
+  EXPECT_EQ(cold.misses, 1u);
+  EXPECT_EQ(cold.hits, 0u);
+
+  server.submit_line(kScheduleCat).get();
+  const dse::MemoCache::Stats warm = server.cache_stats();
+  EXPECT_EQ(warm.misses, 1u);
+  EXPECT_EQ(warm.hits, 1u);
+}
+
+TEST(ServeServerTest, UnknownBenchmarkIsATypedExecutionError) {
+  Server server({});
+  const std::string response =
+      server
+          .submit_line(R"({"op":"schedule","benchmark":"no-such-graph"})")
+          .get();
+  EXPECT_NE(response.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(response.find("\"error_code\":\"contract-violation\""),
+            std::string::npos)
+      << response;
+  EXPECT_EQ(server.stats().errors, 1u);
+  EXPECT_EQ(server.stats().ok, 0u);
+}
+
+TEST(ServeServerTest, FullQueueRejectsInsteadOfBlocking) {
+  ServerOptions options;
+  options.jobs = 1;
+  options.max_queue = 2;
+  options.enable_test_ops = true;
+  Server server(options);
+
+  // Park the single worker, then fill the queue to its bound.
+  std::future<std::string> parked =
+      server.submit_line(R"({"op":"block"})");
+  wait_for_blocked(server, 1);
+  std::vector<std::future<std::string>> admitted;
+  for (int i = 0; i < options.max_queue; ++i) {
+    admitted.push_back(server.submit_line(kScheduleCat));
+  }
+
+  // The next request must resolve immediately with a typed rejection —
+  // no worker ever sees it.
+  const std::string rejected = server.submit_line(kScheduleCat).get();
+  EXPECT_NE(rejected.find("\"error_code\":\"queue-full\""),
+            std::string::npos)
+      << rejected;
+  EXPECT_EQ(server.stats().rejected, 1u);
+
+  server.release_blocked();
+  for (std::future<std::string>& f : admitted) {
+    EXPECT_NE(f.get().find("\"status\":\"ok\""), std::string::npos);
+  }
+  parked.get();
+}
+
+TEST(ServeServerTest, StaleRequestsAreRejectedAtTheDeadline) {
+  ServerOptions options;
+  options.jobs = 1;
+  options.deadline_ms = 20;
+  options.enable_test_ops = true;
+  Server server(options);
+
+  std::future<std::string> parked =
+      server.submit_line(R"({"op":"block"})");
+  wait_for_blocked(server, 1);
+  std::future<std::string> stale = server.submit_line(kScheduleCat);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  server.release_blocked();
+
+  const std::string response = stale.get();
+  EXPECT_NE(response.find("\"error_code\":\"deadline-exceeded\""),
+            std::string::npos)
+      << response;
+  EXPECT_EQ(server.stats().rejected, 1u);
+  parked.get();
+}
+
+TEST(ServeServerTest, CacheSurvivesARestartThroughTheSpillFile) {
+  const std::string path = temp_path("restart.memo");
+  std::remove(path.c_str());  // a previous run's spill must not warm us
+  {
+    ServerOptions options;
+    options.cache_file = path;
+    Server server(options);
+    EXPECT_EQ(server.loaded_entries(), 0u);
+    server.submit_line(kScheduleCat).get();
+    EXPECT_EQ(server.flush_cache(), 1u);
+  }
+  ServerOptions options;
+  options.cache_file = path;
+  Server server(options);
+  EXPECT_EQ(server.loaded_entries(), 1u);
+  server.submit_line(kScheduleCat).get();
+  const dse::MemoCache::Stats stats = server.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.loaded, 1u);
+}
+
+TEST(ServeServerTest, PipeModeAnswersInAdmissionOrderAndStopsOnShutdown) {
+  std::istringstream in(
+      R"({"id":"r1","op":"schedule","benchmark":"cat","pes":16})"
+      "\n\n"  // blank lines are ignored
+      R"({"id":"r2","op":"stats"})"
+      "\n"
+      R"({"id":"r3","op":"not-an-op"})"
+      "\n"
+      R"({"id":"r4","op":"shutdown"})"
+      "\n");
+  std::ostringstream out;
+  Server server({});
+  server.run_pipe(in, out);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(lines, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 4u) << out.str();
+  EXPECT_NE(responses[0].find("\"id\":\"r1\""), std::string::npos);
+  EXPECT_NE(responses[1].find("\"id\":\"r2\""), std::string::npos);
+  EXPECT_NE(responses[2].find("\"error_code\":\"bad-request\""),
+            std::string::npos);
+  EXPECT_NE(responses[3].find("\"id\":\"r4\""), std::string::npos);
+}
+
+TEST(ServeServerTest, ConcurrentClientsShareTheWarmCacheCleanly) {
+  // Exercised under TSan in CI: many clients, two distinct cells, one
+  // shared memo cache.
+  ServerOptions options;
+  options.jobs = 2;
+  Server server(options);
+
+  LoadSpec spec;
+  spec.clients = 4;
+  spec.requests_per_client = 3;
+  spec.request_lines = {
+      kScheduleCat,
+      R"({"op":"schedule","benchmark":"flower","pes":16,"iterations":50})",
+  };
+  const LoadReport report = run_load(server, spec);
+  EXPECT_EQ(report.ok, 12u);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(report.errored, 0u);
+  EXPECT_GE(report.p99_ns, report.p50_ns);
+
+  const dse::MemoCache::Stats stats = server.cache_stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.hits + stats.misses, 12u);
+  // With two workers, at most two requests can miss concurrently per
+  // cell before the first insert wins; everything else is a hit.
+  EXPECT_GE(stats.hits, 8u);
+}
+
+}  // namespace
+}  // namespace paraconv::serve

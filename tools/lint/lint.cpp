@@ -855,6 +855,28 @@ class Linter {
         }
       }
     }
+
+    // (f) Serve responses reuse the CellResult status schema: the protocol
+    // writer must set every status column, and every to_string(CellStatus)
+    // token must appear verbatim in its status<->token mapping.
+    const SourceFile* protocol = require_file("src/serve/protocol.cpp");
+    if (protocol == nullptr) return;
+    const std::set<std::string> serve_keys = set_call_keys(*protocol);
+    for (const char* column : kStatusColumns) {
+      if (serve_keys.count(column) == 0) {
+        add("schema-serve-missing", protocol->rel_path, 0,
+            "serve response writer never sets the status key \"" +
+                std::string(column) + "\"");
+      }
+    }
+    for (const auto& [enumerator, token] : status_map) {
+      const std::string needle = "\"" + token + "\"";
+      if (protocol->stripped.find(needle) == std::string::npos) {
+        add("schema-serve-status-token", protocol->rel_path, 0,
+            "status token \"" + token + "\" (CellStatus::" + enumerator +
+                ") is never mapped by the serve protocol");
+      }
+    }
   }
 
   // ---- docs file:symbol cross-references ----------------------------------

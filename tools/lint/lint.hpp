@@ -12,8 +12,9 @@
 //   diag-*    DiagCode enum <-> to_string switch <-> docs table <-> tests
 //   obs-*     span/counter literals: dotted.lowercase style, documented,
 //             one kind per name
-//   schema-*  sweep CSV header / JSON keys / checkpoint fields agree on the
-//             shared identity+status column set
+//   schema-*  sweep CSV header / JSON keys / checkpoint fields / serve
+//             response fields agree on the shared identity+status column
+//             set and the CellStatus tokens
 //   pragma-once, using-namespace-header, iostream-in-library   header hygiene
 //   nolint-policy   every suppression names its check and carries a reason
 //

@@ -12,6 +12,10 @@
 //                              Pareto frontier); see --jobs, --out
 //   bench    [flags]           pinned benchmark suites; emits schema-stable
 //                              BENCH_<suite>.json (see docs/BENCHMARKS.md)
+//   serve    [flags]           long-lived scheduler daemon: line-delimited
+//                              JSON requests over stdin/stdout (or --socket)
+//                              with a warm, persistent packing memo cache
+//                              (see docs/USAGE.md "Server mode")
 //
 // --trace <file> (run/schedule and sweep) dumps pipeline spans and counters
 // as Chrome-trace JSON; the per-stage summary goes to stderr, so data
@@ -19,11 +23,16 @@
 //
 // Try: paraconv_cli run --benchmark flower --pes 32 --gantt
 //      paraconv_cli sweep --jobs 0 --allocators all --out sweep.csv
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <optional>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>  // NOLINT(modernize-deprecated-headers): sigaction needs the POSIX header, not <csignal>
+#endif
 
 #include "bench_harness/suites.hpp"
 #include "common/flags.hpp"
@@ -74,29 +83,24 @@ std::uint64_t require_seed(const FlagParser& flags) {
 }
 
 core::AllocatorKind parse_allocator(const std::string& name) {
-  if (name == "dp") return core::AllocatorKind::kKnapsackDp;
-  if (name == "greedy-density") return core::AllocatorKind::kGreedyDensity;
-  if (name == "greedy-deadline") return core::AllocatorKind::kGreedyDeadline;
-  if (name == "critical-path") return core::AllocatorKind::kCriticalPath;
-  if (name == "energy-aware") return core::AllocatorKind::kEnergyAware;
-  if (name == "residency-constrained") {
-    return core::AllocatorKind::kResidencyConstrained;
+  const std::optional<core::AllocatorKind> kind =
+      core::allocator_kind_from_string(name);
+  if (!kind.has_value()) {
+    throw UsageError("unknown allocator: " + name +
+                     " (expected dp, greedy-density, greedy-deadline, "
+                     "critical-path, energy-aware or residency-constrained)");
   }
-  PARACONV_REQUIRE(false, "unknown allocator: " + name +
-                              " (expected dp, greedy-density, "
-                              "greedy-deadline, critical-path, "
-                              "energy-aware or residency-constrained)");
-  return core::AllocatorKind::kKnapsackDp;
+  return *kind;
 }
 
 core::PackerKind parse_packer(const std::string& name) {
-  if (name == "topo") return core::PackerKind::kTopological;
-  if (name == "lpt") return core::PackerKind::kLpt;
-  if (name == "locality") return core::PackerKind::kLocality;
-  if (name == "modulo") return core::PackerKind::kModulo;
-  PARACONV_REQUIRE(false, "unknown packer: " + name +
-                              " (expected topo, lpt, locality or modulo)");
-  return core::PackerKind::kTopological;
+  const std::optional<core::PackerKind> kind =
+      core::packer_kind_from_string(name);
+  if (!kind.has_value()) {
+    throw UsageError("unknown packer: " + name +
+                     " (expected topo, lpt, locality or modulo)");
+  }
+  return *kind;
 }
 
 std::vector<core::AllocatorKind> parse_allocator_list(const std::string& csv) {
@@ -420,9 +424,77 @@ int cmd_bench(const FlagParser& flags) {
   return 0;
 }
 
+// The serve daemon's stop flag is flipped from SIGINT/SIGTERM handlers, so
+// it has to be a signal-safe global rather than Server state.
+std::atomic<bool> g_serve_stop{false};  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables): signal handlers cannot capture state
+
+#ifdef PARACONV_SERVE_POSIX
+extern "C" void handle_serve_signal(int) { g_serve_stop.store(true); }
+
+void install_serve_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = handle_serve_signal;
+  sigemptyset(&action.sa_mask);
+  // Deliberately no SA_RESTART: a blocked getline/poll must EINTR out so
+  // the loop observes g_serve_stop and shuts down gracefully.
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+#else
+void install_serve_signal_handlers() {}
+#endif
+
+int cmd_serve(const FlagParser& flags) {
+  serve::ServerOptions options;
+  options.jobs =
+      static_cast<int>(require_int_at_least(flags, "jobs", 0));
+  const std::int64_t max_queue = require_int_at_least(flags, "max-queue", 1);
+  if (max_queue > 4096) {
+    throw UsageError("--max-queue must be <= 4096, got " +
+                     std::to_string(max_queue));
+  }
+  options.max_queue = static_cast<int>(max_queue);
+  options.deadline_ms =
+      require_int_at_least(flags, "deadline-ms", 0);
+  options.cache_file = flags.get_string("cache-file");
+  options.flush_every =
+      static_cast<int>(require_int_at_least(flags, "flush-every", 0));
+  if (options.flush_every > 0 && options.cache_file.empty()) {
+    throw UsageError("--flush-every requires --cache-file <file>");
+  }
+
+  serve::Server server(options);
+  if (server.loaded_entries() > 0) {
+    std::cerr << "serve: warm start, loaded " << server.loaded_entries()
+              << " cache entries from " << options.cache_file << "\n";
+  }
+  install_serve_signal_handlers();
+
+  const std::string socket_path = flags.get_string("socket");
+  if (socket_path.empty()) {
+    server.run_pipe(std::cin, std::cout, &g_serve_stop);
+  } else {
+#ifdef PARACONV_SERVE_POSIX
+    server.run_socket(socket_path, &g_serve_stop);
+#else
+    throw UsageError("--socket requires a POSIX platform; use pipe mode");
+#endif
+  }
+
+  const serve::Server::Stats stats = server.stats();
+  const dse::MemoCache::Stats memo = server.cache_stats();
+  std::cerr << "serve: " << stats.ok << " ok, " << stats.rejected
+            << " rejected, " << stats.errors << " failed; cache "
+            << memo.entries << " entries (" << memo.hits << " hits, "
+            << memo.misses << " misses, " << memo.spilled << " spilled, "
+            << memo.loaded << " loaded)\n";
+  return 0;
+}
+
 int usage(const FlagParser& flags) {
   std::cout << "usage: paraconv_cli "
-               "<list|run|schedule|dot|csv|explain|report|sweep|bench>"
+               "<list|run|schedule|dot|csv|explain|report|sweep|bench|serve>"
                " [flags]\n\n"
             << flags.usage();
   return 2;
@@ -451,7 +523,7 @@ int main(int argc, char** argv) {
   flags.add_bool("json", false, "emit JSON instead of tables");
   flags.add_bool("machine", false, "replay on the machine model");
   flags.add_int("jobs", 1,
-                "sweep: worker threads (1 = serial, 0 = all hardware "
+                "sweep, serve: worker threads (1 = serial, 0 = all hardware "
                 "threads); results are identical for every value");
   flags.add_int("seed", 0, "sweep: base seed mixed into each cell's seed");
   flags.add_string("out", "", "sweep: write CSV/JSON here (default stdout)");
@@ -478,13 +550,29 @@ int main(int argc, char** argv) {
                  "an uninterrupted run");
   flags.add_string("suite", "pipeline",
                    "bench: comma-separated suite list (pipeline, packer, "
-                   "retime, alloc_dp, sweep_cell), or 'all'");
+                   "retime, alloc_dp, sweep_cell, serve), or 'all'");
   flags.add_int("warmup", 2, "bench: untimed repetitions before measuring");
   flags.add_int("repetitions", 11,
                 "bench: timed repetitions per case (median/p10/p90 are "
                 "computed over these)");
   flags.add_string("bench-dir", ".",
                    "bench: directory receiving BENCH_<suite>.json");
+  flags.add_string("socket", "",
+                   "serve: unix-domain socket path (default: stdin/stdout "
+                   "pipe mode)");
+  flags.add_int("max-queue", 64,
+                "serve: admission-control bound on queued requests; a full "
+                "queue returns a typed queue-full rejection (1..4096)");
+  flags.add_int("deadline-ms", 0,
+                "serve: per-request queueing deadline in milliseconds; "
+                "requests that wait longer are rejected deadline-exceeded "
+                "(0 = no deadline)");
+  flags.add_string("cache-file", "",
+                   "serve: persistent memo-cache file, loaded at startup "
+                   "(fingerprint-validated) and flushed on shutdown");
+  flags.add_int("flush-every", 0,
+                "serve: also flush --cache-file after every N completed "
+                "requests (0 = only at shutdown)");
 
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string error;
@@ -525,6 +613,8 @@ int main(int argc, char** argv) {
       rc = cmd_sweep(flags);
     } else if (command == "bench") {
       rc = cmd_bench(flags);
+    } else if (command == "serve") {
+      rc = cmd_serve(flags);
     } else {
       std::cerr << "error: unknown command '" << command << "'\n";
       return usage(flags);

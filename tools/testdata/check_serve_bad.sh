@@ -1,0 +1,12 @@
+#!/bin/sh
+# Invalid requests must each get a typed rejection line and must not take
+# the daemon down (it exits 0 at EOF with all four errors answered).
+# Usage: check_serve_bad.sh <paraconv_cli> <bad_requests.jsonl>
+set -e
+CLI="$1"
+REQ="$2"
+
+"$CLI" serve < "$REQ" > serve_bad.out
+test "$(grep -c '"status":"error"' serve_bad.out)" = 4
+grep -q '"error_code":"parse-error"' serve_bad.out
+grep -q '"error_code":"bad-request"' serve_bad.out

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Cold/warm serve round trip over the stdin/stdout pipe transport:
+#   1. a cold daemon answers every request and spills its cache on shutdown;
+#   2. a restarted daemon loads the spill fingerprint-clean and serves the
+#      same requests from the warm cache;
+#   3. the schedule `result` objects are byte-identical cold vs warm.
+# Usage: check_serve_pipe.sh <paraconv_cli> <requests.jsonl>
+set -e
+CLI="$1"
+REQ="$2"
+
+rm -f serve_cli.memo
+"$CLI" serve --cache-file serve_cli.memo < "$REQ" > serve_cold.out
+test "$(grep -c '"status":"ok"' serve_cold.out)" = 4
+
+"$CLI" serve --cache-file serve_cli.memo < "$REQ" > serve_warm.out
+test "$(grep -c '"status":"ok"' serve_warm.out)" = 4
+grep -q '"loaded":1' serve_warm.out
+grep -q '"hits":2' serve_warm.out
+
+sed -n 's/.*"result":\({.*}\),"memo".*/\1/p' serve_cold.out \
+  > serve_cold.results
+sed -n 's/.*"result":\({.*}\),"memo".*/\1/p' serve_warm.out \
+  > serve_warm.results
+test -s serve_cold.results
+cmp serve_cold.results serve_warm.results
