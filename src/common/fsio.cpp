@@ -1,0 +1,33 @@
+#include "common/fsio.hpp"
+
+#include <filesystem>
+
+#include "common/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define PARACONV_FSIO_POSIX 1
+#endif
+
+namespace paraconv {
+
+void fsync_parent_directory(const std::string& path) {
+  PARACONV_REQUIRE(!path.empty(), "fsync_parent_directory needs a path");
+#ifdef PARACONV_FSIO_POSIX
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  const int fd = ::open(parent.c_str(), O_RDONLY);
+  PARACONV_REQUIRE(fd >= 0,
+                   "cannot open parent directory for fsync: " +
+                       parent.string());
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  PARACONV_REQUIRE(rc == 0,
+                   "fsync of parent directory failed: " + parent.string());
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace paraconv

@@ -1,0 +1,24 @@
+// Filesystem durability helpers shared by the spill and checkpoint writers.
+//
+// POSIX fsync(2) on a file descriptor makes the file's *contents* durable,
+// but the directory entry naming the file is metadata of the parent
+// directory: "Calling fsync() does not necessarily ensure that the entry in
+// the directory containing the file has also reached disk. For that an
+// explicit fsync() on a file descriptor for the directory is also needed."
+// Without it, a crash just after create or rename can lose the file
+// entirely even though its bytes were synced.
+#pragma once
+
+#include <string>
+
+namespace paraconv {
+
+/// Makes the directory entry for `path` durable by fsync'ing the parent
+/// directory (the current directory for a bare file name). Call after
+/// creating a file or renaming one into place. No-op on non-POSIX
+/// platforms; throws ContractViolation when the parent directory cannot be
+/// opened or synced — a durability promise that cannot be kept must fail
+/// loudly, not silently.
+void fsync_parent_directory(const std::string& path);
+
+}  // namespace paraconv

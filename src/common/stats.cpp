@@ -7,8 +7,15 @@ double percentile(std::vector<double> sample, double p) {
   PARACONV_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
   std::sort(sample.begin(), sample.end());
   if (p == 0.0) return sample.front();
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sample.size())));
+  // Nearest-rank: the smallest rank r (1-based) with 100*r >= p*n.
+  // ceil(p/100*n) alone is off by one at small n whenever p/100 rounds up
+  // before the multiply (p7 of 100 samples would read the 8th element), so
+  // correct the candidate by comparing in the scaled domain, where both
+  // sides are exact for the integer ranks that matter.
+  const double target = p * static_cast<double>(sample.size());
+  auto rank = static_cast<std::size_t>(std::ceil(target / 100.0));
+  if (rank > 1 && 100.0 * static_cast<double>(rank - 1) >= target) --rank;
+  if (100.0 * static_cast<double>(rank) < target) ++rank;
   return sample[std::min(rank, sample.size()) - 1];
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/fsio.hpp"
 #include "common/rng.hpp"
 #include "dse/memo_cache.hpp"
 
@@ -191,7 +192,109 @@ std::string header_line(std::uint64_t fingerprint, std::size_t cells) {
   return os.str();
 }
 
+/// Validates the header field by field (never by exact string compare, so
+/// benign formatting drift between writer versions cannot masquerade as a
+/// fingerprint error) and throws a CheckpointMismatch naming the first
+/// field that disagrees. Extra trailing tokens are tolerated.
+void require_header(const std::string& line, const std::string& path,
+                    std::uint64_t fingerprint, std::size_t cells) {
+  std::istringstream is(line);
+  std::string magic;
+  if (!(is >> magic) || magic != kHeaderMagic) {
+    throw CheckpointMismatch(
+        CheckpointField::kMagic,
+        "[checkpoint-bad-magic] '" + path +
+            "' is not a paraconv sweep checkpoint (header starts with '" +
+            magic + "', expected '" + kHeaderMagic + "')");
+  }
+  std::int64_t version = -1;
+  if (!(is >> version) || version != kFormatVersion) {
+    throw CheckpointMismatch(
+        CheckpointField::kVersion,
+        "[checkpoint-version-mismatch] '" + path + "' uses format version " +
+            std::to_string(version) + "; this reader supports version " +
+            std::to_string(kFormatVersion));
+  }
+  std::uint64_t file_fingerprint = 0;
+  if (!(is >> file_fingerprint) || file_fingerprint != fingerprint) {
+    throw CheckpointMismatch(
+        CheckpointField::kFingerprint,
+        "[checkpoint-fingerprint-mismatch] '" + path +
+            "' was written for a different sweep (grid/seed/options "
+            "mismatch: file fingerprint " +
+            std::to_string(file_fingerprint) + ", expected " +
+            std::to_string(fingerprint) + ")");
+  }
+  std::uint64_t file_cells = 0;
+  if (!(is >> file_cells) || file_cells != cells) {
+    throw CheckpointMismatch(
+        CheckpointField::kCells,
+        "[checkpoint-cell-count-mismatch] '" + path +
+            "' records a grid of " + std::to_string(file_cells) +
+            " cells, expected " + std::to_string(cells));
+  }
+}
+
+/// Shared line walk behind load_checkpoint and load_checkpoint_records:
+/// last record per index wins (a resumed sweep re-appends), ok and error
+/// records alike; a torn or corrupt tail keeps the valid prefix.
+struct RawCheckpoint {
+  std::vector<std::optional<CellResult>> cells;
+  std::size_t records_read{0};
+  std::int64_t valid_bytes{0};
+  bool file_found{false};
+};
+
+RawCheckpoint read_checkpoint(const std::string& path,
+                              std::uint64_t fingerprint, std::size_t cells) {
+  RawCheckpoint raw;
+  raw.cells.resize(cells);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return raw;  // missing file = empty checkpoint
+  raw.file_found = true;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+
+  std::size_t offset = 0;
+  bool saw_header = false;
+  while (offset < contents.size()) {
+    const std::size_t newline = contents.find('\n', offset);
+    if (newline == std::string::npos) break;  // torn trailing line
+    const std::string line = contents.substr(offset, newline - offset);
+    if (!saw_header) {
+      require_header(line, path, fingerprint, cells);
+      saw_header = true;
+    } else {
+      const std::optional<CellResult> cell = decode_cell_record(line);
+      if (!cell.has_value()) break;  // corrupt tail: keep the valid prefix
+      ++raw.records_read;
+      if (cell->index < cells) raw.cells[cell->index] = *cell;
+    }
+    offset = newline + 1;
+    raw.valid_bytes = static_cast<std::int64_t>(offset);
+  }
+  PARACONV_REQUIRE(saw_header || contents.empty(),
+                   "checkpoint '" + path + "' has no valid header");
+  return raw;
+}
+
 }  // namespace
+
+const char* to_string(CheckpointField field) {
+  switch (field) {
+    case CheckpointField::kMagic:
+      return "checkpoint-bad-magic";
+    case CheckpointField::kVersion:
+      return "checkpoint-version-mismatch";
+    case CheckpointField::kFingerprint:
+      return "checkpoint-fingerprint-mismatch";
+    case CheckpointField::kCells:
+      return "checkpoint-cell-count-mismatch";
+  }
+  return "checkpoint-bad-magic";
+}
 
 std::uint64_t sweep_fingerprint(const GridSpec& spec,
                                 const SweepOptions& options) {
@@ -278,43 +381,31 @@ std::optional<CellResult> decode_cell_record(const std::string& line) {
 
 CheckpointLoad load_checkpoint(const std::string& path,
                                std::uint64_t fingerprint, std::size_t cells) {
+  RawCheckpoint raw = read_checkpoint(path, fingerprint, cells);
   CheckpointLoad load;
   load.ok_cells.resize(cells);
-
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return load;  // missing file = empty checkpoint
-  load.file_found = true;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string contents = buffer.str();
-
-  std::size_t offset = 0;
-  bool saw_header = false;
-  while (offset < contents.size()) {
-    const std::size_t newline = contents.find('\n', offset);
-    if (newline == std::string::npos) break;  // torn trailing line
-    const std::string line = contents.substr(offset, newline - offset);
-    if (!saw_header) {
-      PARACONV_REQUIRE(line == header_line(fingerprint, cells),
-                       "checkpoint '" + path +
-                           "' was written for a different sweep "
-                           "(grid/seed/options mismatch)");
-      saw_header = true;
-    } else {
-      const std::optional<CellResult> cell = decode_cell_record(line);
-      if (!cell.has_value()) break;  // corrupt tail: keep the valid prefix
-      ++load.records_read;
-      if (cell->index < cells && cell->status == CellStatus::kOk) {
-        // Last record per index wins (a resumed sweep re-appends).
-        load.ok_cells[cell->index] = *cell;
-      }
+  for (std::size_t index = 0; index < cells; ++index) {
+    // Resume re-evaluates errored cells, so only ok records mark one done.
+    if (raw.cells[index].has_value() &&
+        raw.cells[index]->status == CellStatus::kOk) {
+      load.ok_cells[index] = std::move(raw.cells[index]);
     }
-    offset = newline + 1;
-    load.valid_bytes = static_cast<std::int64_t>(offset);
   }
-  PARACONV_REQUIRE(saw_header || contents.empty(),
-                   "checkpoint '" + path + "' has no valid header");
+  load.records_read = raw.records_read;
+  load.valid_bytes = raw.valid_bytes;
+  load.file_found = raw.file_found;
   return load;
+}
+
+CheckpointRecords load_checkpoint_records(const std::string& path,
+                                          std::uint64_t fingerprint,
+                                          std::size_t cells) {
+  RawCheckpoint raw = read_checkpoint(path, fingerprint, cells);
+  CheckpointRecords records;
+  records.cells = std::move(raw.cells);
+  records.records_read = raw.records_read;
+  records.file_found = raw.file_found;
+  return records;
 }
 
 CheckpointWriter::CheckpointWriter(
@@ -340,6 +431,11 @@ CheckpointWriter::CheckpointWriter(
                      "cannot open checkpoint file: " + path);
     try {
       write_line(header_line(fingerprint, cells));
+      // write_line fsyncs the file, but the *directory entry* of a freshly
+      // created checkpoint is parent-directory metadata — without its own
+      // fsync a crash could lose the whole file despite the synced header
+      // (fsync(2)). The resume path skips this: its entry already exists.
+      fsync_parent_directory(path);
     } catch (...) {
       std::fclose(file_);  // the destructor never runs when the ctor throws
       file_ = nullptr;

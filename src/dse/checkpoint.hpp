@@ -19,9 +19,40 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "dse/sweep.hpp"
 
 namespace paraconv::dse {
+
+/// Header field a checkpoint was rejected on (see CheckpointMismatch).
+enum class CheckpointField : std::uint8_t {
+  kMagic,
+  kVersion,
+  kFingerprint,
+  kCells,
+};
+
+/// Stable kebab-case code per field: "checkpoint-bad-magic",
+/// "checkpoint-version-mismatch", "checkpoint-fingerprint-mismatch",
+/// "checkpoint-cell-count-mismatch".
+const char* to_string(CheckpointField field);
+
+/// Typed header rejection. The loader parses the header *fields* (magic,
+/// format version, fingerprint, cell count) and compares values — benign
+/// formatting drift between writer versions (extra whitespace, trailing
+/// annotations) never masquerades as a fingerprint error, and callers like
+/// the shard merge can tell exactly which field disagreed. Subclasses
+/// ContractViolation so existing resume callers that treat any mismatch as
+/// fatal keep working unchanged.
+class CheckpointMismatch : public ContractViolation {
+ public:
+  CheckpointMismatch(CheckpointField field, const std::string& what)
+      : ContractViolation(what), field_(field) {}
+  CheckpointField field() const { return field_; }
+
+ private:
+  CheckpointField field_;
+};
 
 /// Stable fingerprint of everything that determines a sweep's results:
 /// the grid (graph structures + names, config fields, packer/allocator
@@ -55,10 +86,24 @@ struct CheckpointLoad {
 
 /// Reads a checkpoint previously written for `fingerprint` and a grid of
 /// `cells` cells. A missing file is an empty checkpoint; a header for a
-/// different fingerprint or cell count throws ContractViolation (resuming
+/// different fingerprint or cell count throws CheckpointMismatch (resuming
 /// someone else's sweep would silently fabricate results).
 CheckpointLoad load_checkpoint(const std::string& path,
                                std::uint64_t fingerprint, std::size_t cells);
+
+/// Full-fidelity load for the shard merge: the last record per grid index,
+/// ok and error alike (a merged report must reproduce typed error rows just
+/// as a single-process run would). Same header validation as
+/// load_checkpoint (throws CheckpointMismatch on any field disagreement).
+struct CheckpointRecords {
+  std::vector<std::optional<CellResult>> cells;
+  std::size_t records_read{0};
+  bool file_found{false};
+};
+
+CheckpointRecords load_checkpoint_records(const std::string& path,
+                                          std::uint64_t fingerprint,
+                                          std::size_t cells);
 
 /// Serialized, fsync'd appender. Thread-safe: sweep workers settle cells
 /// concurrently and funnel through one mutex here.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fsio.hpp"
 #include "obs/obs.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -189,6 +190,10 @@ std::size_t save_memo_cache(const MemoCache& cache, const std::string& path) {
   std::filesystem::rename(tmp, path, ec);
   PARACONV_REQUIRE(!ec, "failed renaming memo cache file into place: " +
                             path + " (" + ec.message() + ")");
+  // The rename updated a directory entry, and fsync on the file alone does
+  // not make that entry durable (fsync(2)): sync the parent directory too,
+  // or a crash here could lose the freshly renamed cache outright.
+  fsync_parent_directory(path);
 
   cache.note_spilled(entries.size());
   obs::count("dse.memo.spilled", static_cast<std::int64_t>(entries.size()));

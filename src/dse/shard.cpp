@@ -1,0 +1,164 @@
+#include "dse/shard.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/parse.hpp"
+#include "dse/checkpoint.hpp"
+#include "obs/obs.hpp"
+
+namespace paraconv::dse {
+namespace {
+
+std::optional<ShardSpec> shard_parse_failure(std::string* error,
+                                             const std::string& why) {
+  if (error != nullptr) *error = why;
+  return std::nullopt;
+}
+
+/// A header field rejection surfaces as the matching merge code so the CLI
+/// can report one stable taxonomy for every way a merge input can be wrong.
+const char* merge_code(CheckpointField field) {
+  switch (field) {
+    case CheckpointField::kMagic:
+      return "merge-bad-header";
+    case CheckpointField::kVersion:
+      return "merge-version-mismatch";
+    case CheckpointField::kFingerprint:
+      return "merge-fingerprint-mismatch";
+    case CheckpointField::kCells:
+      return "merge-cell-count-mismatch";
+  }
+  return "merge-bad-header";
+}
+
+}  // namespace
+
+std::optional<ShardSpec> parse_shard(const std::string& text,
+                                     std::string* error) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    return shard_parse_failure(
+        error, "expected i/N (e.g. 0/3), got '" + text + "'");
+  }
+  const std::optional<std::int64_t> index = parse_int64(text.substr(0, slash));
+  const std::optional<std::int64_t> count =
+      parse_int64(text.substr(slash + 1));
+  if (!index.has_value() || !count.has_value()) {
+    return shard_parse_failure(
+        error, "expected two decimal integers i/N, got '" + text + "'");
+  }
+  if (*count < 1) {
+    return shard_parse_failure(error, "shard count must be >= 1, got " +
+                                          std::to_string(*count));
+  }
+  if (*index < 0 || *index >= *count) {
+    return shard_parse_failure(
+        error, "shard index must be in [0, " + std::to_string(*count) +
+                   "), got " + std::to_string(*index));
+  }
+  return ShardSpec{static_cast<std::size_t>(*index),
+                   static_cast<std::size_t>(*count)};
+}
+
+std::pair<std::size_t, std::size_t> shard_bounds(const ShardSpec& shard,
+                                                 std::size_t cells) {
+  PARACONV_REQUIRE(shard.count >= 1, "shard count must be >= 1");
+  PARACONV_REQUIRE(shard.index < shard.count,
+                   "shard index must be < shard count");
+  // i*cells/N with integer division: shard i ends exactly where shard i+1
+  // begins, so the N ranges tile [0, cells) with sizes differing by <= 1.
+  const std::size_t first = shard.index * cells / shard.count;
+  const std::size_t last = (shard.index + 1) * cells / shard.count;
+  return {first, last};
+}
+
+SweepResult merge_checkpoints(const GridSpec& spec,
+                              const SweepOptions& options,
+                              const std::vector<std::string>& paths) {
+  spec.validate();
+  if (paths.empty()) {
+    throw MergeError("merge-no-inputs",
+                     "merge needs at least one shard checkpoint file");
+  }
+  const std::size_t cells = spec.cell_count();
+  const std::uint64_t fingerprint = sweep_fingerprint(spec, options);
+
+  SweepResult result;
+  result.cells.resize(cells);
+  // owner[i] = position in `paths` of the input that settled cell i; a
+  // second claim is an overlap (including the same file listed twice).
+  std::vector<std::ptrdiff_t> owner(cells, -1);
+  std::size_t adopted = 0;
+  for (std::size_t file = 0; file < paths.size(); ++file) {
+    CheckpointRecords records;
+    try {
+      records = load_checkpoint_records(paths[file], fingerprint, cells);
+    } catch (const CheckpointMismatch& mismatch) {
+      throw MergeError(merge_code(mismatch.field()), mismatch.what());
+    }
+    if (!records.file_found) {
+      throw MergeError("merge-file-missing",
+                       "shard checkpoint does not exist: " + paths[file]);
+    }
+    for (std::size_t index = 0; index < cells; ++index) {
+      if (!records.cells[index].has_value()) continue;
+      if (owner[index] >= 0) {
+        throw MergeError(
+            "merge-overlap",
+            "cell " + std::to_string(index) + " is settled by both '" +
+                paths[static_cast<std::size_t>(owner[index])] + "' and '" +
+                paths[file] +
+                "' — shards must cover disjoint slices (was a file listed "
+                "twice?)");
+      }
+      owner[index] = static_cast<std::ptrdiff_t>(file);
+      CellResult cell = std::move(*records.cells[index]);
+      PARACONV_CHECK(cell.index == index, "merge record index drift");
+      fill_cell_identity(spec, options, index, &cell);
+      // Adoption-boundary contract, re-asserted where foreign files enter
+      // the report: an error record must carry its typed code, an ok
+      // record must carry no error fields.
+      if (cell.status == CellStatus::kError) {
+        if (cell.error_code.empty()) {
+          throw MergeError("merge-corrupt-record",
+                           "error record for cell " + std::to_string(index) +
+                               " in '" + paths[file] +
+                               "' carries no error_code");
+        }
+        ++result.cells_failed;
+      } else {
+        PARACONV_CHECK(cell.error_code.empty() && cell.error_message.empty(),
+                       "ok record carries error fields");
+        ++result.cells_ok;
+      }
+      result.cells[index] = std::move(cell);
+      ++adopted;
+    }
+  }
+  if (adopted < cells) {
+    std::string missing;
+    std::size_t shown = 0;
+    for (std::size_t index = 0; index < cells && shown < 8; ++index) {
+      if (owner[index] >= 0) continue;
+      missing += (shown == 0 ? "" : ", ") + std::to_string(index);
+      ++shown;
+    }
+    throw MergeError(
+        "merge-missing-cells",
+        std::to_string(cells - adopted) + " of " + std::to_string(cells) +
+            " grid cells are settled by no input (first missing: " + missing +
+            ") — was a shard checkpoint truncated, or a worker's slice never "
+            "run?");
+  }
+  // Every merged cell was restored from a checkpoint rather than evaluated;
+  // none of these tallies reach the deterministic CSV/JSON writers.
+  result.cells_resumed = adopted;
+  obs::count("dse.shard.merge.files",
+             static_cast<std::int64_t>(paths.size()));
+  obs::count("dse.shard.merge.cells", static_cast<std::int64_t>(adopted));
+  return result;
+}
+
+}  // namespace paraconv::dse

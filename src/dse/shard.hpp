@@ -1,0 +1,79 @@
+// Grid sharding and checkpoint merging for distributed sweeps.
+//
+// A shard is one of N contiguous, balanced slices of the sweep grid's flat
+// cell index space: shard i of N owns [i*cells/N, (i+1)*cells/N). The
+// arithmetic gives every worker the same partition with no coordination —
+// the union of the N slices covers every cell exactly once — and
+// contiguity preserves the memo-cache prefix locality of the
+// allocator-fastest enumeration order inside each worker.
+//
+// Workers run `sweep --shard i/N --checkpoint ckpt.i`, writing disjoint,
+// independently resumable checkpoint files. Sharding is an execution knob
+// like --jobs: it is excluded from the sweep fingerprint, per-cell seeds
+// derive from the *global* grid index, and every shard's checkpoint header
+// names the full grid. merge_checkpoints then fingerprint-validates each
+// file, rejects overlapping or missing cells with typed MergeErrors, and
+// reconstructs the SweepResult an unsharded run would have produced — the
+// CSV/JSON/frontier reports are byte-identical to a single-process run.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dse/sweep.hpp"
+
+namespace paraconv::dse {
+
+/// Slice `index` of `count` contiguous grid slices ("i/N" on the CLI).
+struct ShardSpec {
+  std::size_t index{0};
+  std::size_t count{1};
+};
+
+/// Parses "i/N" with 0 <= i < N (decimal, strict). Returns nullopt on
+/// malformed or out-of-range input; `error` (when non-null) explains why.
+std::optional<ShardSpec> parse_shard(const std::string& text,
+                                     std::string* error);
+
+/// Half-open global-index range [first, last) owned by the shard.
+/// Balanced (sizes differ by at most one) and exhaustive: concatenating
+/// the ranges of shards 0..count-1 yields exactly [0, cells).
+std::pair<std::size_t, std::size_t> shard_bounds(const ShardSpec& shard,
+                                                 std::size_t cells);
+
+/// Typed merge rejection with a stable kebab-case code:
+///   merge-no-inputs            no checkpoint files given
+///   merge-file-missing         an input file does not exist
+///   merge-bad-header           an input is not a sweep checkpoint
+///   merge-version-mismatch     written by an incompatible format version
+///   merge-fingerprint-mismatch written for a different grid/seed/options
+///   merge-cell-count-mismatch  header cell count disagrees with the grid
+///   merge-overlap              two inputs settle the same cell
+///   merge-missing-cells        some grid cells are settled by no input
+///   merge-corrupt-record       a record violates the cell contract
+/// The CLI maps MergeError to exit code 2: the inputs are wrong, the way a
+/// bad flag value is, not the library.
+class MergeError : public std::runtime_error {
+ public:
+  MergeError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// Merges finished shard checkpoint files into the SweepResult an
+/// unsharded run_sweep(spec, options) would return. Every file is
+/// validated against the full grid's fingerprint; each grid cell must be
+/// settled by exactly one input (ok and error records both count as
+/// settled). Throws MergeError on any violation.
+SweepResult merge_checkpoints(const GridSpec& spec,
+                              const SweepOptions& options,
+                              const std::vector<std::string>& paths);
+
+}  // namespace paraconv::dse

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 #include <future>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "dse/checkpoint.hpp"
+#include "dse/shard.hpp"
 #include "dse/thread_pool.hpp"
 #include "graph/paper_benchmarks.hpp"
 #include "obs/obs.hpp"
@@ -71,6 +73,20 @@ GridSpec paper_grid(const std::vector<int>& pe_counts,
 std::uint64_t cell_seed(std::uint64_t sweep_seed, std::size_t index) {
   std::uint64_t state = sweep_seed ^ (static_cast<std::uint64_t>(index) + 1);
   return splitmix64(state);
+}
+
+void fill_cell_identity(const GridSpec& spec, const SweepOptions& options,
+                        std::size_t index, CellResult* cell) {
+  PARACONV_REQUIRE(cell != nullptr, "fill_cell_identity needs a cell");
+  const GridSpec::Coordinates at = spec.coordinates(index);
+  cell->index = index;
+  cell->benchmark = spec.cases[at.case_index].name;
+  cell->vertices = spec.cases[at.case_index].graph.node_count();
+  cell->edges = spec.cases[at.case_index].graph.edge_count();
+  cell->config = spec.configs[at.config_index];
+  cell->packer = spec.packers[at.packer_index];
+  cell->allocator = spec.allocators[at.allocator_index];
+  cell->cell_seed = cell_seed(options.seed, index);
 }
 
 double estimate_energy_uj(const graph::TaskGraph& g,
@@ -161,23 +177,15 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
       options.cache != nullptr ? options.cache : &local_cache;
 
   const std::size_t cells = spec.cell_count();
+  // The owned slice [shard_first, shard_last): the whole grid by default.
+  // Everything downstream — checkpoint header, per-cell seeds, record
+  // indices — still speaks global grid indices, which is what lets N shard
+  // checkpoints merge back byte-identically.
+  const auto [shard_first, shard_last] = shard_bounds(
+      ShardSpec{options.shard_index, options.shard_count}, cells);
   SweepResult result;
   result.jobs_used = jobs;
   result.cells.resize(cells);
-
-  // Fills the identity columns a checkpoint record omits; a resumed cell
-  // must be indistinguishable from a freshly evaluated one.
-  const auto fill_identity = [&](std::size_t index, CellResult& cell) {
-    const GridSpec::Coordinates at = spec.coordinates(index);
-    cell.index = index;
-    cell.benchmark = spec.cases[at.case_index].name;
-    cell.vertices = spec.cases[at.case_index].graph.node_count();
-    cell.edges = spec.cases[at.case_index].graph.edge_count();
-    cell.config = spec.configs[at.config_index];
-    cell.packer = spec.packers[at.packer_index];
-    cell.allocator = spec.allocators[at.allocator_index];
-    cell.cell_seed = cell_seed(options.seed, index);
-  };
 
   std::vector<char> resumed(cells, 0);
   std::unique_ptr<CheckpointWriter> checkpoint;
@@ -187,10 +195,10 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
     if (options.resume) {
       CheckpointLoad load =
           load_checkpoint(options.checkpoint_path, fingerprint, cells);
-      for (std::size_t index = 0; index < cells; ++index) {
+      for (std::size_t index = shard_first; index < shard_last; ++index) {
         if (!load.ok_cells[index].has_value()) continue;
         CellResult cell = std::move(*load.ok_cells[index]);
-        fill_identity(index, cell);
+        fill_cell_identity(spec, options, index, &cell);
         result.cells[index] = std::move(cell);
         resumed[index] = 1;
       }
@@ -213,7 +221,7 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
     if (stop.load(std::memory_order_relaxed)) return;
     evaluated.fetch_add(1, std::memory_order_relaxed);
     CellResult cell;
-    fill_identity(index, cell);
+    fill_cell_identity(spec, options, index, &cell);
     const GridSpec::Coordinates at = spec.coordinates(index);
     std::exception_ptr thrown;
     try {
@@ -250,7 +258,7 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
   std::uint64_t pool_executed = 0;
   std::uint64_t pool_stolen = 0;
   if (jobs == 1) {
-    for (std::size_t index = 0; index < cells; ++index) {
+    for (std::size_t index = shard_first; index < shard_last; ++index) {
       if (resumed[index]) continue;
       evaluate(index);
     }
@@ -258,8 +266,8 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
   } else {
     ThreadPool pool({.threads = jobs});
     std::vector<std::future<void>> futures;
-    futures.reserve(cells);
-    for (std::size_t index = 0; index < cells; ++index) {
+    futures.reserve(shard_last - shard_first);
+    for (std::size_t index = shard_first; index < shard_last; ++index) {
       if (resumed[index]) continue;
       futures.push_back(pool.async([&evaluate, index] { evaluate(index); }));
     }
@@ -273,7 +281,7 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
       std::chrono::duration<double>(end - start).count();
   result.cache_stats = cache->stats();
 
-  for (std::size_t index = 0; index < cells; ++index) {
+  for (std::size_t index = shard_first; index < shard_last; ++index) {
     if (resumed[index]) {
       ++result.cells_resumed;
       ++result.cells_ok;
@@ -282,6 +290,24 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
     } else {
       ++result.cells_failed;
     }
+  }
+
+  if (options.shard_count > 1) {
+    // The report carries only the owned slice; each cell keeps its global
+    // grid index, and the cell records (hence the checkpoint) match the
+    // unsharded run's byte for byte. A shard's own CSV/JSON is advisory:
+    // its frontier column is local to the slice, so the authoritative
+    // report is the one merge_checkpoints rebuilds over the full grid.
+    std::vector<CellResult> owned(
+        std::make_move_iterator(result.cells.begin() +
+                                static_cast<std::ptrdiff_t>(shard_first)),
+        std::make_move_iterator(result.cells.begin() +
+                                static_cast<std::ptrdiff_t>(shard_last)));
+    result.cells = std::move(owned);
+    obs::count("dse.shard.cells",
+               static_cast<std::int64_t>(shard_last - shard_first));
+    obs::count("dse.shard.skipped",
+               static_cast<std::int64_t>(cells - (shard_last - shard_first)));
   }
 
   // Counters land on the sequential and the parallel path alike, and

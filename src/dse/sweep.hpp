@@ -131,10 +131,21 @@ struct SweepOptions {
   /// a missing file is an empty checkpoint, a file written for a different
   /// grid or seed throws ContractViolation.
   bool resume{false};
+  /// This worker's contiguous slice of the grid index space: slice
+  /// shard_index of shard_count (see dse/shard.hpp). The default 0/1 is
+  /// the whole grid. Sharding is an execution knob like jobs — excluded
+  /// from the sweep fingerprint, per-cell seeds still derive from the
+  /// global grid index, and a shard's checkpoint header names the full
+  /// grid — so N shard checkpoints merge back into a report byte-identical
+  /// to an unsharded run (dse::merge_checkpoints).
+  std::size_t shard_index{0};
+  std::size_t shard_count{1};
 };
 
 struct SweepResult {
-  /// Grid order (index i at cells[i]), independent of jobs/completion.
+  /// Grid order, independent of jobs/completion. A whole-grid sweep has
+  /// index i at cells[i]; a sharded sweep (shard_count > 1) carries only
+  /// the owned slice, each cell keeping its *global* grid index.
   std::vector<CellResult> cells;
   MemoCache::Stats cache_stats;
   double wall_seconds{0.0};
@@ -148,6 +159,14 @@ struct SweepResult {
 
 /// Deterministic per-cell seed derivation (exposed for tests).
 std::uint64_t cell_seed(std::uint64_t sweep_seed, std::size_t index);
+
+/// Fills the identity columns of grid cell `index` (benchmark, graph
+/// shape, config, packer, allocator, per-cell seed) that a checkpoint
+/// record omits. Shared by run_sweep's resume path and merge_checkpoints
+/// so a restored cell is bit-equal to a freshly evaluated one by
+/// construction.
+void fill_cell_identity(const GridSpec& spec, const SweepOptions& options,
+                        std::size_t index, CellResult* cell);
 
 /// Evaluates one cell; the single-cell path `bench_support::run_cell` and
 /// the grid engine share this so there is exactly one evaluation code path.

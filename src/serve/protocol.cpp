@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "dse/shard.hpp"
 #include "report/json_reader.hpp"
 
 namespace paraconv::serve {
@@ -143,6 +144,28 @@ ParseOutcome parse_request(const std::string& line) {
       outcome.request.seed = static_cast<std::uint64_t>(seed);
       continue;
     }
+    if (key == "cell_index") {
+      std::int64_t index = 0;
+      if (!integral_in_range(value, 0, kMaxExactInt, &index)) {
+        return bad_request(
+            std::move(outcome),
+            "field \"cell_index\" must be a non-negative integer");
+      }
+      outcome.request.cell_index = static_cast<std::uint64_t>(index);
+      continue;
+    }
+    if (key == "shard") {
+      std::string shard_error;
+      if (value.kind != JsonDoc::Kind::kString ||
+          !dse::parse_shard(value.text, &shard_error).has_value()) {
+        return bad_request(std::move(outcome),
+                           "field \"shard\" must be an i/N shard label" +
+                               (shard_error.empty() ? std::string{}
+                                                    : ": " + shard_error));
+      }
+      outcome.request.shard = value.text;
+      continue;
+    }
     return bad_request(std::move(outcome),
                        "unknown request field \"" + key + "\"");
   }
@@ -170,6 +193,9 @@ std::string ok_response(const ServeRequest& request,
   report::JsonValue doc = report::JsonValue::object();
   doc.set("id", request.id);
   doc.set("op", request.op);
+  // Echoed only when the client sent one, so responses to shard-less
+  // clients stay byte-identical to the pre-shard protocol.
+  if (!request.shard.empty()) doc.set("shard", request.shard);
   doc.set("status", dse::to_string(dse::CellStatus::kOk));
   if (result != nullptr) {
     report::JsonValue copy = *result;
@@ -186,6 +212,7 @@ std::string error_response(const ServeRequest& request,
   report::JsonValue doc = report::JsonValue::object();
   doc.set("id", request.id);
   doc.set("op", request.op);
+  if (!request.shard.empty()) doc.set("shard", request.shard);
   doc.set("status", dse::to_string(dse::CellStatus::kError));
   doc.set("error_code", error_code);
   doc.set("error_message", error_message);

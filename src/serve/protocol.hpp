@@ -41,9 +41,18 @@ struct ServeRequest {
   core::AllocatorKind allocator{core::AllocatorKind::kKnapsackDp};
   core::PackerKind packer{core::PackerKind::kTopological};
   bool with_baseline{true};
-  /// Sweep seed; the cell evaluates with dse::cell_seed(seed, 0) exactly
-  /// like grid index 0 of a one-shot sweep.
+  /// Sweep seed; the cell evaluates with dse::cell_seed(seed, cell_index)
+  /// exactly like that grid index of a one-shot sweep.
   std::uint64_t seed{0};
+  /// Global grid index of the cell this request stands for (default 0).
+  /// A sweep farm driving daemons as workers sets it so the daemon's
+  /// per-cell seed matches the sharded/unsharded CLI sweep byte for byte.
+  std::uint64_t cell_index{0};
+  /// Optional "i/N" shard label (dse::parse_shard syntax), echoed back in
+  /// every response so a farm controller can attribute answers to workers.
+  /// Validated but not otherwise interpreted: the controller, not the
+  /// daemon, decides which cells a shard owns.
+  std::string shard;
 };
 
 struct ParseOutcome {

@@ -151,8 +151,11 @@ std::string Server::execute_schedule(const ServeRequest& request) {
     cell = dse::evaluate_cell(
         sweep_case, config, request.packer, request.allocator,
         request.iterations, /*refine_steps=*/0,
-        dse::cell_seed(request.seed, /*index=*/0), request.with_baseline,
-        &cache_);
+        dse::cell_seed(request.seed, request.cell_index),
+        request.with_baseline, &cache_);
+    // The response cell stands for this grid index of the sweep the farm
+    // controller is assembling, so carry it like run_sweep would.
+    cell.index = static_cast<std::size_t>(request.cell_index);
   } catch (const ContractViolation& violation) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.requests.error");

@@ -1,0 +1,37 @@
+#include "common/fsio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace paraconv {
+namespace {
+
+TEST(FsioTest, SyncsTheParentOfAFreshlyCreatedFile) {
+  const std::string path = testing::TempDir() + "fsio_probe.txt";
+  std::ofstream(path) << "payload";
+  EXPECT_NO_THROW(fsync_parent_directory(path));
+}
+
+TEST(FsioTest, BareFileNamesSyncTheCurrentDirectory) {
+  EXPECT_NO_THROW(fsync_parent_directory("bare-name-no-directory"));
+}
+
+TEST(FsioTest, RejectsAnEmptyPath) {
+  EXPECT_THROW(fsync_parent_directory(""), ContractViolation);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+// The durability promise must fail loudly when it cannot be kept.
+TEST(FsioTest, ThrowsWhenTheParentDirectoryDoesNotExist) {
+  EXPECT_THROW(fsync_parent_directory(testing::TempDir() +
+                                      "no-such-dir-xyzzy/file.txt"),
+               ContractViolation);
+}
+#endif
+
+}  // namespace
+}  // namespace paraconv

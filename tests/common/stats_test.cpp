@@ -57,6 +57,37 @@ TEST(PercentileTest, UnsortedInputAccepted) {
   EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 50), 5);
 }
 
+// Nearest-rank means the smallest rank r with 100*r >= p*n — at tiny n
+// every off-by-one is a whole different observation, so pin the exact
+// element for the boundary cases.
+TEST(PercentileTest, NearestRankAtSmallSampleCounts) {
+  // p50 of two samples is the first (rank ceil(0.5*2) = 1), not the second.
+  EXPECT_DOUBLE_EQ(percentile({10, 20}, 50), 10);
+  EXPECT_DOUBLE_EQ(percentile({10, 20}, 90), 20);
+  EXPECT_DOUBLE_EQ(percentile({42}, 50), 42);
+  EXPECT_DOUBLE_EQ(percentile({42}, 100), 42);
+  // p25 of {1,2,3}: rank ceil(0.75) = 1.
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, 25), 1);
+}
+
+// p/100 is not exact in binary: naive ceil(p/100.0 * n) lands one rank too
+// high whenever the product rounds just above an integer (p7 of 100
+// samples used to read the 8th element; p14 of 50 the 8th instead of the
+// 7th). The rank must be compared in the scaled domain.
+TEST(PercentileTest, NearestRankIsImmuneToBinaryRoundingOfPOver100) {
+  std::vector<double> hundred;
+  for (int i = 1; i <= 100; ++i) hundred.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(hundred, 7), 7);    // not 8
+  EXPECT_DOUBLE_EQ(percentile(hundred, 1), 1);
+  EXPECT_DOUBLE_EQ(percentile(hundred, 99), 99);
+  EXPECT_DOUBLE_EQ(percentile(hundred, 100), 100);
+
+  std::vector<double> fifty;
+  for (int i = 1; i <= 50; ++i) fifty.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(fifty, 14), 7);     // not 8
+  EXPECT_DOUBLE_EQ(percentile(fifty, 2), 1);
+}
+
 TEST(PercentileTest, InvalidArgumentsRejected) {
   EXPECT_THROW(percentile({}, 50), ContractViolation);
   EXPECT_THROW(percentile({1.0}, -1), ContractViolation);

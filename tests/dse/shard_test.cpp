@@ -1,0 +1,337 @@
+// Grid sharding and checkpoint merging: the partition must tile the grid
+// exactly once for any shard count, and merging the N shard checkpoints
+// must rebuild reports byte-identical to a single-process sweep — with
+// typed MergeErrors for every way a set of shard files can be wrong.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dse/checkpoint.hpp"
+#include "dse/frontier.hpp"
+#include "dse/shard.hpp"
+#include "dse/sweep.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::dse {
+namespace {
+
+SweepCase paper_case(const char* name) {
+  return {name, graph::build_paper_benchmark(graph::paper_benchmark(name))};
+}
+
+// Four healthy cells: 2 benchmarks x 1 config x 1 packer x 2 allocators.
+GridSpec healthy_grid() {
+  GridSpec spec;
+  spec.iterations = 10;
+  spec.cases.push_back(paper_case("cat"));
+  spec.cases.push_back(paper_case("flower"));
+  spec.configs = {pim::PimConfig::neurocube(8)};
+  spec.allocators = {core::AllocatorKind::kKnapsackDp,
+                     core::AllocatorKind::kGreedyDeadline};
+  return spec;
+}
+
+// Six cells; grid indices 2 and 3 (the "broken" case) always fail: an
+// empty graph trips TaskGraph::validate inside evaluate_cell. Error rows
+// must survive the shard/merge round trip just like ok rows.
+GridSpec faulty_grid() {
+  GridSpec spec;
+  spec.iterations = 10;
+  spec.cases.push_back(paper_case("cat"));
+  spec.cases.push_back({"broken", graph::TaskGraph{}});
+  spec.cases.push_back(paper_case("flower"));
+  spec.configs = {pim::PimConfig::neurocube(8)};
+  spec.allocators = {core::AllocatorKind::kKnapsackDp,
+                     core::AllocatorKind::kGreedyDeadline};
+  return spec;
+}
+
+std::string serialize(const SweepResult& sweep) {
+  std::ostringstream csv;
+  write_sweep_csv(csv, sweep);
+  return csv.str() + "\n---\n" + sweep_to_json(sweep).dump(/*pretty=*/true);
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+/// Runs the grid as `count` independent sharded sweeps (each writing its
+/// own checkpoint under `tag`) and returns the checkpoint paths.
+std::vector<std::string> run_sharded(const GridSpec& spec,
+                                     const SweepOptions& base,
+                                     std::size_t count,
+                                     const std::string& tag) {
+  std::vector<std::string> paths;
+  for (std::size_t index = 0; index < count; ++index) {
+    SweepOptions options = base;
+    options.shard_index = index;
+    options.shard_count = count;
+    options.checkpoint_path =
+        temp_path(tag + "." + std::to_string(index) + "of" +
+                  std::to_string(count) + ".ckpt");
+    std::remove(options.checkpoint_path.c_str());
+    run_sweep(spec, options);
+    paths.push_back(options.checkpoint_path);
+  }
+  return paths;
+}
+
+TEST(ShardTest, BoundsTileEveryGridExactlyOnceBalancedAndContiguous) {
+  for (const std::size_t cells : {0UL, 1UL, 2UL, 5UL, 16UL, 97UL}) {
+    for (const std::size_t count : {1UL, 2UL, 3UL, 7UL}) {
+      std::size_t expected_first = 0;
+      std::size_t covered = 0;
+      for (std::size_t index = 0; index < count; ++index) {
+        const auto [first, last] =
+            shard_bounds(ShardSpec{index, count}, cells);
+        // Contiguous: each slice starts where the previous one ended.
+        EXPECT_EQ(first, expected_first)
+            << "cells=" << cells << " shard=" << index << "/" << count;
+        EXPECT_LE(first, last);
+        // Balanced: sizes differ by at most one.
+        const std::size_t size = last - first;
+        EXPECT_LE(size, cells / count + 1);
+        covered += size;
+        expected_first = last;
+      }
+      // Exhaustive: the union is exactly [0, cells).
+      EXPECT_EQ(expected_first, cells);
+      EXPECT_EQ(covered, cells);
+    }
+  }
+}
+
+TEST(ShardTest, BoundsRejectAnInvalidSpec) {
+  EXPECT_THROW(shard_bounds(ShardSpec{0, 0}, 4), ContractViolation);
+  EXPECT_THROW(shard_bounds(ShardSpec{3, 3}, 4), ContractViolation);
+}
+
+TEST(ShardTest, ParseShardAcceptsStrictIOverN) {
+  std::string error;
+  const std::optional<ShardSpec> ok = parse_shard("1/3", &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  EXPECT_EQ(ok->index, 1U);
+  EXPECT_EQ(ok->count, 3U);
+
+  const std::optional<ShardSpec> whole = parse_shard("0/1", nullptr);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->index, 0U);
+  EXPECT_EQ(whole->count, 1U);
+
+  for (const char* bad : {"", "2", "a/b", "1/", "/3", "1/0", "3/3", "-1/3",
+                          "1/3/5", "1 /3", "0x1/3"}) {
+    error.clear();
+    EXPECT_FALSE(parse_shard(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(ShardTest, MergedReportIsByteIdenticalToAnUnshardedRun) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions base;
+  base.jobs = 1;
+  base.seed = 21;
+  const std::string unsharded = serialize(run_sweep(spec, base));
+
+  for (const std::size_t count : {1UL, 2UL, 3UL, 7UL}) {
+    const std::vector<std::string> paths = run_sharded(
+        spec, base, count, "merge_healthy_" + std::to_string(count));
+    const SweepResult merged = merge_checkpoints(spec, base, paths);
+    EXPECT_EQ(serialize(merged), unsharded) << "count=" << count;
+    EXPECT_EQ(merged.cells_ok, spec.cell_count());
+    EXPECT_EQ(merged.cells_failed, 0U);
+    EXPECT_EQ(merged.cells_resumed, spec.cell_count());
+  }
+}
+
+TEST(ShardTest, MergePreservesTypedErrorRowsByteForByte) {
+  const GridSpec spec = faulty_grid();
+  SweepOptions base;
+  base.jobs = 1;
+  const SweepResult whole = run_sweep(spec, base);
+  ASSERT_EQ(whole.cells_failed, 2U);
+  const std::string unsharded = serialize(whole);
+
+  const std::vector<std::string> paths =
+      run_sharded(spec, base, 3, "merge_faulty");
+  const SweepResult merged = merge_checkpoints(spec, base, paths);
+  EXPECT_EQ(serialize(merged), unsharded);
+  EXPECT_EQ(merged.cells_failed, 2U);
+  EXPECT_EQ(merged.cells[2].status, CellStatus::kError);
+  EXPECT_EQ(merged.cells[2].error_code, "contract-violation");
+}
+
+TEST(ShardTest, ShardedRunCarriesOnlyTheOwnedSliceWithGlobalIndices) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions options;
+  options.jobs = 1;
+  options.shard_index = 1;
+  options.shard_count = 3;
+  options.checkpoint_path = temp_path("owned_slice.ckpt");
+  std::remove(options.checkpoint_path.c_str());
+  const SweepResult sweep = run_sweep(spec, options);
+
+  const auto [first, last] =
+      shard_bounds(ShardSpec{options.shard_index, options.shard_count},
+                   spec.cell_count());
+  ASSERT_EQ(sweep.cells.size(), last - first);
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    EXPECT_EQ(sweep.cells[i].index, first + i);
+  }
+}
+
+TEST(ShardTest, ShardedShardsAreIndependentlyResumable) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions options;
+  options.jobs = 1;
+  options.shard_index = 0;
+  options.shard_count = 2;
+  options.checkpoint_path = temp_path("shard_resume.ckpt");
+  std::remove(options.checkpoint_path.c_str());
+  const std::string first_run = serialize(run_sweep(spec, options));
+
+  options.resume = true;
+  const SweepResult resumed = run_sweep(spec, options);
+  const auto [first, last] =
+      shard_bounds(ShardSpec{0, 2}, spec.cell_count());
+  EXPECT_EQ(resumed.cells_resumed, last - first);
+  EXPECT_EQ(serialize(resumed), first_run);
+}
+
+TEST(ShardTest, MergeRejectsADuplicatedShardFile) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions base;
+  base.jobs = 1;
+  std::vector<std::string> paths = run_sharded(spec, base, 2, "dup");
+  paths.push_back(paths.front());
+  try {
+    merge_checkpoints(spec, base, paths);
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& error) {
+    EXPECT_EQ(error.code(), "merge-overlap");
+    EXPECT_NE(std::string(error.what()).find("settled by both"),
+              std::string::npos);
+  }
+}
+
+TEST(ShardTest, MergeRejectsAMissingSlice) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions base;
+  base.jobs = 1;
+  std::vector<std::string> paths = run_sharded(spec, base, 3, "gap");
+  paths.pop_back();
+  try {
+    merge_checkpoints(spec, base, paths);
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& error) {
+    EXPECT_EQ(error.code(), "merge-missing-cells");
+  }
+}
+
+TEST(ShardTest, MergeRejectsATruncatedShardFile) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions base;
+  base.jobs = 1;
+  const std::vector<std::string> paths = run_sharded(spec, base, 2, "trunc");
+  // Drop the last record of shard 1: its slice is now incomplete.
+  const std::string contents = read_file(paths[1]);
+  const std::size_t cut = contents.rfind('\n', contents.size() - 2);
+  ASSERT_NE(cut, std::string::npos);
+  write_file(paths[1], contents.substr(0, cut + 1));
+  try {
+    merge_checkpoints(spec, base, paths);
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& error) {
+    EXPECT_EQ(error.code(), "merge-missing-cells");
+  }
+}
+
+TEST(ShardTest, MergeRejectsAForeignFingerprint) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions base;
+  base.jobs = 1;
+  const std::vector<std::string> paths = run_sharded(spec, base, 2, "fpr");
+  SweepOptions reseeded = base;
+  reseeded.seed = 99;  // different per-cell seeds => different sweep
+  try {
+    merge_checkpoints(spec, reseeded, paths);
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& error) {
+    EXPECT_EQ(error.code(), "merge-fingerprint-mismatch");
+  }
+}
+
+TEST(ShardTest, MergeRejectsMissingFileEmptyInputsAndAlienHeaders) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions base;
+  base.jobs = 1;
+
+  try {
+    merge_checkpoints(spec, base, {});
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& error) {
+    EXPECT_EQ(error.code(), "merge-no-inputs");
+  }
+
+  const std::string missing = temp_path("never_written.ckpt");
+  std::remove(missing.c_str());
+  try {
+    merge_checkpoints(spec, base, {missing});
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& error) {
+    EXPECT_EQ(error.code(), "merge-file-missing");
+  }
+
+  const std::string alien = temp_path("alien.ckpt");
+  write_file(alien, "totally-not-a-checkpoint 1 2 3\n");
+  try {
+    merge_checkpoints(spec, base, {alien});
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& error) {
+    EXPECT_EQ(error.code(), "merge-bad-header");
+  }
+}
+
+TEST(ShardTest, MergeRejectsAnErrorRecordWithoutACode) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions base;
+  base.jobs = 1;
+  const std::vector<std::string> paths = run_sharded(spec, base, 1, "noc");
+  // Replace cell 0's record with an error record whose code is the "-"
+  // empty-token: a violation of the cell contract the merge must refuse
+  // to adopt rather than launder into the report.
+  std::string contents = read_file(paths[0]);
+  const std::size_t header_end = contents.find('\n');
+  const std::size_t first_record_end = contents.find('\n', header_end + 1);
+  ASSERT_NE(first_record_end, std::string::npos);
+  write_file(paths[0], contents.substr(0, header_end + 1) +
+                           "cell 0 error - message-without-a-code\n" +
+                           contents.substr(first_record_end + 1));
+  try {
+    merge_checkpoints(spec, base, paths);
+    FAIL() << "expected MergeError";
+  } catch (const MergeError& error) {
+    EXPECT_EQ(error.code(), "merge-corrupt-record");
+  }
+}
+
+}  // namespace
+}  // namespace paraconv::dse

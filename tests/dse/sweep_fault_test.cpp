@@ -349,6 +349,83 @@ TEST(SweepFaultTest, ResumeRejectsACheckpointFromADifferentSweep) {
   EXPECT_THROW(run_sweep(spec, options), ContractViolation);
 }
 
+/// Writes a one-cell checkpoint for `spec`, then rewrites its header line
+/// to `header` and returns the path.
+std::string checkpoint_with_header(const GridSpec& spec,
+                                   const SweepOptions& options,
+                                   const std::string& header,
+                                   const char* name) {
+  const std::string path = temp_path(name);
+  std::remove(path.c_str());
+  SweepOptions run = options;
+  run.checkpoint_path = path;
+  run_sweep(spec, run);
+  const std::string contents = read_file(path);
+  const std::size_t newline = contents.find('\n');
+  EXPECT_NE(newline, std::string::npos);
+  write_file(path, header + contents.substr(newline));
+  return path;
+}
+
+// The loader parses header *fields* and reports exactly which one
+// disagrees — a resume against the wrong file tells the operator whether
+// they grabbed a non-checkpoint, an old format, or another sweep's file.
+TEST(SweepFaultTest, CheckpointHeaderMismatchesAreTypedPerField) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions options;
+  options.jobs = 1;
+  const std::uint64_t fingerprint = sweep_fingerprint(spec, options);
+  const std::size_t cells = spec.cell_count();
+  const std::string fp = std::to_string(fingerprint);
+
+  const struct {
+    const char* name;
+    std::string header;
+    CheckpointField field;
+  } cases[] = {
+      {"magic.ckpt", "not-a-checkpoint 1 " + fp + " 4",
+       CheckpointField::kMagic},
+      {"version.ckpt", "paraconv-sweep-checkpoint 99 " + fp + " 4",
+       CheckpointField::kVersion},
+      {"fingerprint.ckpt", "paraconv-sweep-checkpoint 1 12345 4",
+       CheckpointField::kFingerprint},
+      {"cells.ckpt", "paraconv-sweep-checkpoint 1 " + fp + " 5",
+       CheckpointField::kCells},
+  };
+  for (const auto& c : cases) {
+    const std::string path =
+        checkpoint_with_header(spec, options, c.header, c.name);
+    try {
+      load_checkpoint(path, fingerprint, cells);
+      FAIL() << c.name << ": expected CheckpointMismatch";
+    } catch (const CheckpointMismatch& mismatch) {
+      EXPECT_EQ(mismatch.field(), c.field) << c.name;
+      EXPECT_NE(std::string(mismatch.what()).find(to_string(c.field)),
+                std::string::npos)
+          << c.name;
+    }
+  }
+}
+
+// Value comparison, not exact string compare: benign formatting drift
+// (extra spaces, trailing annotations) still names the same sweep.
+TEST(SweepFaultTest, CheckpointHeaderToleratesBenignFormattingDrift) {
+  const GridSpec spec = healthy_grid();
+  SweepOptions options;
+  options.jobs = 1;
+  const std::uint64_t fingerprint = sweep_fingerprint(spec, options);
+  const std::string drifted = "paraconv-sweep-checkpoint   1  " +
+                              std::to_string(fingerprint) + "  " +
+                              std::to_string(spec.cell_count()) +
+                              "  written-by:worker-3";
+  const std::string path =
+      checkpoint_with_header(spec, options, drifted, "drift.ckpt");
+  const CheckpointLoad load =
+      load_checkpoint(path, fingerprint, spec.cell_count());
+  EXPECT_TRUE(load.file_found);
+  EXPECT_EQ(load.records_read, spec.cell_count());
+}
+
 TEST(SweepFaultTest, ResumeWithoutACheckpointPathIsRejected) {
   SweepOptions options;
   options.resume = true;

@@ -1,0 +1,18 @@
+// Lint fixture: the merge reader adopts checkpoint records, touching every
+// contract column of a CellResult.
+#include "dse/shard.hpp"
+
+namespace paraconv::dse {
+
+bool adopt_record(const CellResult& record, CellResult& cell) {
+  if (record.index != cell.index) return false;
+  cell.status = record.status;
+  if (cell.status == CellStatus::kError) {
+    if (record.error_code.empty()) return false;
+    cell.error_code = record.error_code;
+    cell.error_message = record.error_message;
+  }
+  return true;
+}
+
+}  // namespace paraconv::dse

@@ -1,0 +1,16 @@
+// Lint fixture violation: the merge reader forgets the error_code column,
+// so merged reports would silently drop the typed failure class.
+#include "dse/shard.hpp"
+
+namespace paraconv::dse {
+
+bool adopt_record(const CellResult& record, CellResult& cell) {
+  if (record.index != cell.index) return false;
+  cell.status = record.status;
+  if (cell.status == CellStatus::kError) {
+    cell.error_message = record.error_message;
+  }
+  return true;
+}
+
+}  // namespace paraconv::dse

@@ -91,6 +91,7 @@ INSTANTIATE_TEST_SUITE_P(
         ViolationCase{"status_token_drift", "schema-status-token"},
         ViolationCase{"serve_missing_field", "schema-serve-missing"},
         ViolationCase{"serve_status_drift", "schema-serve-status-token"},
+        ViolationCase{"merge_missing_field", "schema-merge-field"},
         ViolationCase{"using_namespace_header", "using-namespace-header"},
         ViolationCase{"missing_pragma_once", "pragma-once"},
         ViolationCase{"bare_nolint", "nolint-policy"},

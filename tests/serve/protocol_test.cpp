@@ -71,6 +71,67 @@ TEST(ServeProtocolTest, StructurallyInvalidRequestsAreBadRequests) {
   }
 }
 
+// A sweep farm drives daemons as shard workers: requests carry the global
+// grid index (seeding) and an "i/N" shard label (attribution).
+TEST(ServeProtocolTest, ShardAndCellIndexFieldsParse) {
+  const ParseOutcome outcome = parse_request(
+      R"({"op":"schedule","benchmark":"cat","cell_index":17,"shard":"1/3"})");
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_EQ(outcome.request.cell_index, 17u);
+  EXPECT_EQ(outcome.request.shard, "1/3");
+
+  // Defaults keep the pre-shard wire behaviour: grid index 0, no label.
+  const ParseOutcome bare =
+      parse_request(R"({"op":"schedule","benchmark":"cat"})");
+  ASSERT_TRUE(bare.ok);
+  EXPECT_EQ(bare.request.cell_index, 0u);
+  EXPECT_TRUE(bare.request.shard.empty());
+}
+
+TEST(ServeProtocolTest, MalformedShardAndCellIndexAreBadRequests) {
+  const char* lines[] = {
+      R"({"op":"schedule","benchmark":"cat","cell_index":-1})",
+      R"({"op":"schedule","benchmark":"cat","cell_index":1.5})",
+      R"({"op":"schedule","benchmark":"cat","cell_index":"3"})",
+      R"({"op":"schedule","benchmark":"cat","shard":"3/3"})",
+      R"({"op":"schedule","benchmark":"cat","shard":"nope"})",
+      R"({"op":"schedule","benchmark":"cat","shard":7})",
+  };
+  for (const char* line : lines) {
+    const ParseOutcome outcome = parse_request(line);
+    EXPECT_FALSE(outcome.ok) << line;
+    EXPECT_EQ(outcome.error_code, kErrorBadRequest) << line;
+  }
+}
+
+TEST(ServeProtocolTest, ResponsesEchoTheShardLabelOnlyWhenSet) {
+  ServeRequest request;
+  request.id = "w3";
+  request.op = "schedule";
+  const dse::MemoCache::Stats memo;
+  report::JsonDoc doc;
+  std::string error;
+
+  ASSERT_TRUE(report::parse_json(ok_response(request, nullptr, memo, 0.0),
+                                 &doc, &error))
+      << error;
+  EXPECT_EQ(doc.find("shard"), nullptr);
+
+  request.shard = "2/5";
+  ASSERT_TRUE(report::parse_json(ok_response(request, nullptr, memo, 0.0),
+                                 &doc, &error))
+      << error;
+  ASSERT_NE(doc.find("shard"), nullptr);
+  EXPECT_EQ(doc.find("shard")->text, "2/5");
+
+  ASSERT_TRUE(report::parse_json(
+      error_response(request, kErrorQueueFull, "queue is full"), &doc,
+      &error))
+      << error;
+  ASSERT_NE(doc.find("shard"), nullptr);
+  EXPECT_EQ(doc.find("shard")->text, "2/5");
+}
+
 TEST(ServeProtocolTest, FailedParsesStillEchoIdAndOp) {
   const ParseOutcome outcome =
       parse_request(R"({"id":"req-3","op":"schedule","pes":0,)"

@@ -58,6 +58,39 @@ TEST(ServeServerTest, ScheduleMatchesTheOneShotSweepByteForByte) {
   EXPECT_EQ(server.stats().ok, 1u);
 }
 
+TEST(ServeServerTest, CellIndexSelectsTheGridCellOfASweep) {
+  // A farm driving the daemon as a shard worker asks for grid cell 3 of a
+  // 4-cell sweep; the response `result` must be that sweep row byte for
+  // byte (same per-cell seed, same global index).
+  dse::GridSpec spec;
+  spec.cases.push_back(
+      {"cat", graph::build_paper_benchmark(graph::paper_benchmark("cat"))});
+  spec.cases.push_back({"flower", graph::build_paper_benchmark(
+                                      graph::paper_benchmark("flower"))});
+  spec.configs = {pim::PimConfig::neurocube(16)};
+  spec.allocators = {core::AllocatorKind::kKnapsackDp,
+                     core::AllocatorKind::kGreedyDeadline};
+  spec.iterations = 50;
+  dse::SweepOptions options;
+  options.seed = 11;
+  const dse::SweepResult sweep = dse::run_sweep(spec, options);
+  ASSERT_EQ(sweep.cells.size(), 4u);
+  const std::string expected = dse::cell_to_json(sweep.cells[3]).dump();
+
+  Server server({});
+  const std::string response =
+      server
+          .submit_line(R"({"op":"schedule","benchmark":"flower","pes":16,)"
+                       R"("iterations":50,"allocator":"greedy-deadline",)"
+                       R"("seed":11,"cell_index":3,"shard":"1/2"})")
+          .get();
+  EXPECT_NE(response.find("\"shard\":\"1/2\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"result\":" + expected + ",\"memo\""),
+            std::string::npos)
+      << response;
+}
+
 TEST(ServeServerTest, RepeatedRequestsHitTheWarmCache) {
   Server server({});
   server.submit_line(kScheduleCat).get();

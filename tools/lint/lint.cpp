@@ -877,6 +877,22 @@ class Linter {
                 ") is never mapped by the serve protocol");
       }
     }
+
+    // (g) The shard merge reader adopts foreign checkpoint records into the
+    // report, so it must handle the same contract columns the codec does —
+    // a merge that never looks at one of them would silently drop it from
+    // merged reports.
+    const SourceFile* shard = require_file("src/dse/shard.cpp");
+    if (shard == nullptr) return;
+    for (const char* field : {"status", "error_code", "error_message",
+                              "index"}) {
+      if (shard->stripped.find(std::string(".") + field) ==
+          std::string::npos) {
+        add("schema-merge-field", shard->rel_path, 0,
+            "merge reader never touches CellResult::" + std::string(field) +
+                "; merged reports would drop a contract column");
+      }
+    }
   }
 
   // ---- docs file:symbol cross-references ----------------------------------

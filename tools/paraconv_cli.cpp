@@ -37,6 +37,7 @@
 #include "bench_harness/suites.hpp"
 #include "common/flags.hpp"
 #include "common/parse.hpp"
+#include "dse/shard.hpp"
 #include "paraconv.hpp"
 #include "report/csv.hpp"
 #include "report/gantt.hpp"
@@ -336,7 +337,42 @@ int cmd_sweep(const FlagParser& flags) {
   if (options.resume && options.checkpoint_path.empty()) {
     throw UsageError("--resume requires --checkpoint <file>");
   }
-  const dse::SweepResult sweep = dse::run_sweep(spec, options);
+
+  const bool merge = flags.get_bool("merge-checkpoints");
+  const std::string shard_text = flags.get_string("shard");
+  dse::SweepResult sweep;
+  if (merge) {
+    if (!shard_text.empty() || options.resume ||
+        !options.checkpoint_path.empty()) {
+      throw UsageError(
+          "--merge-checkpoints is exclusive with --shard, --checkpoint and "
+          "--resume: a merge only reads finished shard files");
+    }
+    // Everything after the `sweep` command word is a shard checkpoint file.
+    const std::vector<std::string> paths(flags.positional().begin() + 1,
+                                         flags.positional().end());
+    if (paths.empty()) {
+      throw UsageError(
+          "--merge-checkpoints needs the shard checkpoint files as "
+          "positional arguments: sweep --merge-checkpoints a.ckpt b.ckpt");
+    }
+    sweep = dse::merge_checkpoints(spec, options, paths);
+  } else {
+    if (!shard_text.empty()) {
+      std::string shard_error;
+      const std::optional<dse::ShardSpec> shard =
+          dse::parse_shard(shard_text, &shard_error);
+      if (!shard.has_value()) throw UsageError("--shard: " + shard_error);
+      if (options.checkpoint_path.empty()) {
+        throw UsageError(
+            "--shard requires --checkpoint <file>: the merge step reads this "
+            "worker's records from it");
+      }
+      options.shard_index = shard->index;
+      options.shard_count = shard->count;
+    }
+    sweep = dse::run_sweep(spec, options);
+  }
 
   // Data goes to --out (or stdout); the run summary goes to stderr so the
   // data stream stays byte-identical across job counts.
@@ -353,14 +389,32 @@ int cmd_sweep(const FlagParser& flags) {
     dse::write_sweep_csv(out, sweep);
   }
 
+  if (merge) {
+    std::cerr << "merge: " << sweep.cells.size() << " cells adopted from "
+              << flags.positional().size() - 1 << " shard checkpoints ("
+              << sweep.cells_ok << " ok, " << sweep.cells_failed
+              << " failed)\n"
+              << "Pareto frontier: "
+              << dse::pareto_frontier(sweep.cells).size() << " of "
+              << sweep.cells.size() << " cells\n";
+    return 0;
+  }
   const dse::MemoCache::Stats& cache = sweep.cache_stats;
   std::cerr << "sweep: " << sweep.cells.size() << " cells ("
             << spec.cases.size() << " benchmarks x " << spec.configs.size()
             << " configs x " << spec.packers.size() << " packers x "
             << spec.allocators.size() << " allocators), jobs "
             << sweep.jobs_used << ", wall "
-            << format_fixed(sweep.wall_seconds, 3) << " s\n"
-            << "cells: " << sweep.cells_ok << " ok, " << sweep.cells_failed
+            << format_fixed(sweep.wall_seconds, 3) << " s\n";
+  if (options.shard_count > 1) {
+    const auto [first, last] = dse::shard_bounds(
+        dse::ShardSpec{options.shard_index, options.shard_count},
+        spec.cell_count());
+    std::cerr << "shard " << options.shard_index << "/"
+              << options.shard_count << ": owns grid cells [" << first
+              << ", " << last << ") of " << spec.cell_count() << "\n";
+  }
+  std::cerr << "cells: " << sweep.cells_ok << " ok, " << sweep.cells_failed
             << " failed, " << sweep.cells_resumed
             << " resumed from checkpoint\n"
             << "memo cache: " << cache.hits << " hits, " << cache.misses
@@ -548,6 +602,16 @@ int main(int argc, char** argv) {
                  "sweep: load --checkpoint first and re-evaluate only "
                  "missing or errored cells; reports stay byte-identical to "
                  "an uninterrupted run");
+  flags.add_string("shard", "",
+                   "sweep: evaluate only slice i/N of the grid (e.g. 0/3); "
+                   "requires --checkpoint so --merge-checkpoints can "
+                   "reassemble the full report; per-cell seeds match the "
+                   "unsharded run");
+  flags.add_bool("merge-checkpoints", false,
+                 "sweep: merge finished shard checkpoint files (given as "
+                 "positional arguments) into CSV/JSON byte-identical to a "
+                 "single-process sweep; exclusive with --shard/--checkpoint/"
+                 "--resume");
   flags.add_string("suite", "pipeline",
                    "bench: comma-separated suite list (pipeline, packer, "
                    "retime, alloc_dp, sweep_cell, serve), or 'all'");
@@ -636,6 +700,11 @@ int main(int argc, char** argv) {
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return usage(flags);
+  } catch (const dse::MergeError& e) {
+    // Bad merge *inputs* (overlapping, missing, or foreign shard files) are
+    // usage-class mistakes: exit 2 with the stable kebab code for scripts.
+    std::cerr << "error: [" << e.code() << "] " << e.what() << "\n";
+    return 2;
   } catch (const paraconv::ContractViolation& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
