@@ -9,6 +9,7 @@
 #include "alloc/knapsack.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "core/analysis.hpp"
 #include "core/para_conv.hpp"
 #include "core/sparta.hpp"
 #include "dse/sweep.hpp"
@@ -249,6 +250,80 @@ std::vector<Case> sweep_cell_cases() {
   return cases;
 }
 
+std::vector<Case> cost_model_cases() {
+  std::vector<Case> cases;
+  // The banked contention analyzer off the hot path: schedule once per
+  // fixture, then time request extraction + bank serialization alone. The
+  // protein graph is the largest Table-1 benchmark, so its schedule carries
+  // the most eDRAM streams per iteration.
+  struct Fixture {
+    graph::TaskGraph graph;
+    sched::KernelSchedule kernel;
+    pim::PimConfig config;
+  };
+  const auto make_fixture = [](const char* name, int pes,
+                               pim::BankPolicy policy) {
+    auto fixture = std::make_shared<Fixture>();
+    fixture->graph = paper_graph(name);
+    fixture->config = pim::PimConfig::neurocube(pes);
+    fixture->kernel = core::ParaConv(fixture->config)
+                          .schedule(fixture->graph)
+                          .kernel;
+    fixture->config.cost_model = pim::CostModelKind::kBanked;
+    fixture->config.edram_banks = 8;
+    fixture->config.bank_policy = policy;
+    return fixture;
+  };
+  for (const auto& [label, policy] :
+       {std::pair<const char*, pim::BankPolicy>{
+            "interleave", pim::BankPolicy::kInterleave},
+        {"block", pim::BankPolicy::kBlock}}) {
+    auto fixture = make_fixture("protein", 32, policy);
+    cases.push_back({std::string("contention/protein/pe32/b8-") + label,
+                     [fixture] {
+                       const pim::BankStats stats =
+                           core::analyze_bank_contention(
+                               fixture->graph, fixture->kernel,
+                               fixture->config);
+                       sink(stats.stall_units + stats.conflicts);
+                     }});
+  }
+  {
+    auto fixture =
+        make_fixture("protein", 32, pim::BankPolicy::kInterleave);
+    cases.push_back({"requests/protein/pe32", [fixture] {
+                       sink(static_cast<std::int64_t>(
+                           core::edram_transfer_requests(fixture->graph,
+                                                         fixture->kernel)
+                               .size()));
+                     }});
+  }
+  // The per-transfer cost query itself, constant vs banked: this is the
+  // call every scheduler inner loop makes, so its dispatch overhead is the
+  // price of the pluggable interface.
+  for (const auto& [label, kind] :
+       {std::pair<const char*, pim::CostModelKind>{
+            "constant", pim::CostModelKind::kConstant},
+        {"banked", pim::CostModelKind::kBanked}}) {
+    auto config = std::make_shared<pim::PimConfig>(
+        pim::PimConfig::neurocube(32));
+    config->cost_model = kind;
+    cases.push_back({std::string("transfer_time/") + label + "/x4096",
+                     [config] {
+                       const auto model = pim::make_cost_model(*config);
+                       std::int64_t total = 0;
+                       for (int i = 0; i < 4096; ++i) {
+                         total += model
+                                      ->transfer_time(pim::AllocSite::kEdram,
+                                                      Bytes{(i % 64) * 256})
+                                      .value;
+                       }
+                       sink(total);
+                     }});
+  }
+  return cases;
+}
+
 std::vector<Case> serve_cases() {
   std::vector<Case> cases;
   // Closed-loop load against an in-process serve daemon. The Server (and
@@ -300,6 +375,7 @@ std::vector<Case> build_suite(const std::string& name) {
   if (name == "retime") return retime_cases();
   if (name == "alloc_dp") return alloc_dp_cases();
   if (name == "sweep_cell") return sweep_cell_cases();
+  if (name == "cost_model") return cost_model_cases();
   if (name == "serve") return serve_cases();
   PARACONV_REQUIRE(false, "unknown bench suite: " + name);
   return {};
@@ -318,6 +394,9 @@ const std::vector<SuiteSpec>& suite_catalog() {
       {"retime", "Per-edge retiming-distance analysis on packed schedules"},
       {"alloc_dp", "Knapsack DP: profit-only and reconstruction paths"},
       {"sweep_cell", "DSE throughput: a small grid and a memoized ablation"},
+      {"cost_model",
+       "Banked-eDRAM contention analysis and per-transfer cost queries "
+       "(constant vs banked dispatch)"},
       {"serve",
        "Warm serve daemon under closed-loop concurrent load (p50/p99 via "
        "serve.load.* counters)"},

@@ -30,4 +30,38 @@ ScheduleAnalysis analyze(const graph::TaskGraph& g,
   return a;
 }
 
+std::vector<pim::TransferRequest> edram_transfer_requests(
+    const graph::TaskGraph& g, const sched::KernelSchedule& kernel) {
+  PARACONV_REQUIRE(kernel.placement.size() == g.node_count() &&
+                       kernel.allocation.size() == g.edge_count(),
+                   "kernel schedule does not match graph");
+  std::vector<pim::TransferRequest> requests;
+  requests.reserve(g.edge_count() * 2);
+  for (const graph::EdgeId e : g.edges()) {
+    if (kernel.allocation[e.value] != pim::AllocSite::kEdram) continue;
+    const graph::Ipr& ipr = g.ipr(e);
+    const sched::TaskPlacement& prod = kernel.placement[ipr.src.value];
+    const sched::TaskPlacement& cons = kernel.placement[ipr.dst.value];
+
+    pim::TransferRequest write;
+    write.start = prod.start.value + g.task(ipr.src).exec_time.value;
+    write.size = ipr.size;
+    write.site = pim::AllocSite::kEdram;
+    write.key = e.value;
+    requests.push_back(write);
+
+    pim::TransferRequest read = write;
+    read.start = cons.start.value;
+    requests.push_back(read);
+  }
+  return requests;
+}
+
+pim::BankStats analyze_bank_contention(const graph::TaskGraph& g,
+                                       const sched::KernelSchedule& kernel,
+                                       const pim::PimConfig& config) {
+  const auto cost_model = pim::make_cost_model(config);
+  return cost_model->contention(edram_transfer_requests(g, kernel));
+}
+
 }  // namespace paraconv::core

@@ -7,6 +7,7 @@
 
 #include "alloc/residency.hpp"
 #include "core/para_conv.hpp"
+#include "pim/cost_model.hpp"
 #include "sched/latency.hpp"
 
 namespace paraconv::core {
@@ -39,5 +40,19 @@ struct ScheduleAnalysis {
 ScheduleAnalysis analyze(const graph::TaskGraph& g,
                          const pim::PimConfig& config,
                          const ParaConvResult& result);
+
+/// Steady-state eDRAM access streams of one kernel window: per
+/// eDRAM-allocated edge, a write request at the producer's finish and a
+/// read request at the consumer's start, both keyed by the edge so they hit
+/// the edge's bank (the IPR buffer lives in one bank of its vault).
+std::vector<pim::TransferRequest> edram_transfer_requests(
+    const graph::TaskGraph& g, const sched::KernelSchedule& kernel);
+
+/// Runs the configured cost model's contention analysis over the kernel's
+/// steady-state eDRAM streams. All counters are zero under the constant
+/// model.
+pim::BankStats analyze_bank_contention(const graph::TaskGraph& g,
+                                       const sched::KernelSchedule& kernel,
+                                       const pim::PimConfig& config);
 
 }  // namespace paraconv::core

@@ -113,9 +113,11 @@ PackedSchedule ParaConv::pack(const graph::TaskGraph& g) const {
     }
   }
 
-  // Step 2: per-edge retiming-distance pairs (Theorem 3.1 envelope).
-  packed.deltas = retiming::compute_edge_deltas(g, packing.placement,
-                                                packing.period, config_);
+  // Step 2: per-edge retiming-distance pairs (Theorem 3.1 envelope), under
+  // the configured data-movement cost model (one instance for all edges).
+  const auto cost_model = pim::make_cost_model(config_);
+  packed.deltas = retiming::compute_edge_deltas(
+      g, packing.placement, packing.period, config_, *cost_model);
   return packed;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "pim/cost_model.hpp"
+
 namespace paraconv::core {
 
 Sparta::Sparta(pim::PimConfig config, SpartaOptions options)
@@ -40,11 +42,13 @@ SpartaResult Sparta::schedule(const graph::TaskGraph& g) const {
     }
   }
 
-  // Per-edge hand-off latency under that allocation.
+  // Per-edge hand-off latency under that allocation, priced by the
+  // configured cost model (one instance for all edges).
+  const auto cost_model = pim::make_cost_model(config_);
   std::vector<TimeUnits> transfer(g.edge_count());
   for (const graph::EdgeId e : g.edges()) {
     transfer[e.value] =
-        config_.transfer_time(result.allocation[e.value], g.ipr(e).size);
+        cost_model->transfer_time(result.allocation[e.value], g.ipr(e).size);
   }
 
   result.schedule =

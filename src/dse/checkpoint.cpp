@@ -318,6 +318,14 @@ std::uint64_t sweep_fingerprint(const GridSpec& spec,
     h = mix(h, static_cast<std::uint64_t>(config.topology));
     h = mix(h, static_cast<std::uint64_t>(config.noc_hop_units));
     h = mix(h, config.weights_resident ? 1 : 0);
+    // Cost-model fields join the fingerprint only for non-constant models:
+    // a constant-model grid must keep the fingerprint (and therefore every
+    // pre-cost-model checkpoint) it had before the knob existed.
+    if (config.cost_model != pim::CostModelKind::kConstant) {
+      h = mix(h, static_cast<std::uint64_t>(config.cost_model));
+      h = mix(h, static_cast<std::uint64_t>(config.edram_banks));
+      h = mix(h, static_cast<std::uint64_t>(config.bank_policy));
+    }
   }
   h = mix(h, spec.packers.size());
   for (const core::PackerKind packer : spec.packers) {
@@ -341,6 +349,14 @@ std::string encode_cell_record(const CellResult& cell) {
     os << ' ' << double_token(cell.energy_uj);
     append_run_result(os, cell.para);
     append_run_result(os, cell.sparta);
+    // Banked-model cells append their contention counters as a tagged
+    // trailing segment; constant cells write the legacy record bytes, so
+    // constant-model checkpoints stay byte-identical to pre-cost-model
+    // files (and old files still decode — the segment is optional).
+    if (cell.config.cost_model != pim::CostModelKind::kConstant) {
+      os << " bank " << cell.bank.banks << ' ' << cell.bank.conflicts << ' '
+         << cell.bank.stall_units << ' ' << cell.bank.peak_occupancy;
+    }
   } else {
     os << ' ' << escape_token(cell.error_code) << ' '
        << escape_text(cell.error_message);
@@ -363,6 +379,16 @@ std::optional<CellResult> decode_cell_record(const std::string& line) {
     }
     if (!parse_run_result(is, &cell.para)) return std::nullopt;
     if (!parse_run_result(is, &cell.sparta)) return std::nullopt;
+    // Optional banked-model segment (see encode_cell_record). A present
+    // tag with missing counters is a torn/corrupt record, not a legacy one.
+    std::string segment;
+    if (is >> segment) {
+      if (segment != "bank" ||
+          !(is >> cell.bank.banks >> cell.bank.conflicts >>
+            cell.bank.stall_units >> cell.bank.peak_occupancy)) {
+        return std::nullopt;
+      }
+    }
     cell.status = CellStatus::kOk;
     return cell;
   }

@@ -1,5 +1,7 @@
 #include "dse/frontier.hpp"
 
+#include <algorithm>
+
 #include "common/strings.hpp"
 #include "core/metrics.hpp"
 #include "report/csv.hpp"
@@ -20,11 +22,27 @@ bool dominates(const CellResult& a, const CellResult& b) {
   return no_worse && strictly_better;
 }
 
-std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier) {
+// The banked-eDRAM cost model extends the sweep schema. The extension is
+// all-or-nothing per report: a sweep with at least one banked config emits
+// the banked header/keys for *every* row (mixed grids stay rectangular),
+// and a purely constant sweep emits the legacy schema so its artifacts stay
+// byte-identical to pre-cost-model builds.
+bool banked_schema(const std::vector<CellResult>& cells) {
+  return std::any_of(cells.begin(), cells.end(), [](const CellResult& cell) {
+    return cell.config.cost_model != pim::CostModelKind::kConstant;
+  });
+}
+
+std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier,
+                                  bool banked) {
   // Error rows keep their identity columns (what failed) but leave every
   // metric column empty — an empty cell reads as "no data", a zero would
   // read as a perfect score.
   const bool ok = cell.status == CellStatus::kOk;
+  // Bank counters are only measured for banked cells; a constant cell in a
+  // mixed grid reports no data there, not a perfect zero.
+  const bool measured =
+      ok && cell.config.cost_model != pim::CostModelKind::kConstant;
   std::vector<std::string> row{
       std::to_string(cell.index),
       cell.benchmark,
@@ -34,7 +52,13 @@ std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier) {
       std::to_string(cell.config.pe_cache_bytes.value),
       pim::to_string(cell.config.topology),
       core::to_string(cell.packer),
-      core::to_string(cell.allocator),
+      core::to_string(cell.allocator)};
+  if (banked) {
+    row.push_back(pim::to_string(cell.config.cost_model));
+    row.push_back(std::to_string(cell.config.edram_banks));
+    row.push_back(pim::to_string(cell.config.bank_policy));
+  }
+  const std::vector<std::string> metrics{
       ok ? std::to_string(cell.para.iteration_time.value) : std::string{},
       ok ? std::to_string(cell.para.r_max) : std::string{},
       ok ? std::to_string(cell.para.prologue_time.value) : std::string{},
@@ -46,11 +70,20 @@ std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier) {
       ok ? std::to_string(cell.sparta.total_time.value) : std::string{},
       ok && cell.sparta.total_time.value > 0
           ? format_fixed(core::speedup(cell.sparta, cell.para), 2)
-          : std::string{},
-      on_frontier ? "1" : "0",
-      to_string(cell.status),
-      cell.error_code,
-      cell.error_message};
+          : std::string{}};
+  row.insert(row.end(), metrics.begin(), metrics.end());
+  if (banked) {
+    row.push_back(measured ? std::to_string(cell.bank.conflicts)
+                           : std::string{});
+    row.push_back(measured ? std::to_string(cell.bank.stall_units)
+                           : std::string{});
+    row.push_back(measured ? std::to_string(cell.bank.peak_occupancy)
+                           : std::string{});
+  }
+  row.push_back(on_frontier ? "1" : "0");
+  row.push_back(to_string(cell.status));
+  row.push_back(cell.error_code);
+  row.push_back(cell.error_message);
   return row;
 }
 
@@ -65,6 +98,21 @@ const std::vector<std::string>& cell_header() {
       "frontier",       "status",         "error_code",
       "error_message"};
   return kHeader;
+}
+
+const std::vector<std::string>& banked_cell_header() {
+  static const std::vector<std::string> kBankedHeader{
+      "index",          "benchmark",      "vertices",
+      "edges",          "pe_count",       "cache_per_pe_bytes",
+      "topology",       "packer",         "allocator",
+      "cost_model",     "banks",          "bank_policy",
+      "iteration_time", "r_max",          "prologue_time",
+      "total_time",     "cached_iprs",    "offchip_bytes",
+      "energy_uj",      "sparta_total_time", "speedup",
+      "bank_conflicts", "bank_stall_units", "bank_peak_occupancy",
+      "frontier",       "status",         "error_code",
+      "error_message"};
+  return kBankedHeader;
 }
 
 std::vector<bool> frontier_mask(const SweepResult& sweep) {
@@ -95,21 +143,25 @@ std::vector<std::size_t> pareto_frontier(
 }
 
 void write_sweep_csv(std::ostream& os, const SweepResult& sweep) {
+  const bool banked = banked_schema(sweep.cells);
   const std::vector<bool> mask = frontier_mask(sweep);
   std::vector<std::vector<std::string>> rows;
   rows.reserve(sweep.cells.size());
   for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
-    rows.push_back(cell_row(sweep.cells[i], mask[i]));
+    rows.push_back(cell_row(sweep.cells[i], mask[i], banked));
   }
-  report::write_csv_table(os, cell_header(), rows);
+  report::write_csv_table(os, banked ? banked_cell_header() : cell_header(),
+                          rows);
 }
 
 void write_frontier_csv(std::ostream& os, const SweepResult& sweep) {
+  const bool banked = banked_schema(sweep.cells);
   std::vector<std::vector<std::string>> rows;
   for (const std::size_t index : pareto_frontier(sweep.cells)) {
-    rows.push_back(cell_row(sweep.cells[index], true));
+    rows.push_back(cell_row(sweep.cells[index], true, banked));
   }
-  report::write_csv_table(os, cell_header(), rows);
+  report::write_csv_table(os, banked ? banked_cell_header() : cell_header(),
+                          rows);
 }
 
 report::JsonValue cell_to_json(const CellResult& cell) {
@@ -123,9 +175,24 @@ report::JsonValue cell_to_json(const CellResult& cell) {
   c.set("topology", pim::to_string(cell.config.topology));
   c.set("packer", core::to_string(cell.packer));
   c.set("allocator", core::to_string(cell.allocator));
+  // Banked-model cells carry the extra schema keys; constant cells omit
+  // them so purely constant sweeps stay byte-identical to pre-cost-model
+  // builds (the JSON schema extension is per cell — see banked_schema for
+  // the rectangular CSV rule).
+  const bool banked = cell.config.cost_model != pim::CostModelKind::kConstant;
+  if (banked) {
+    c.set("cost_model", pim::to_string(cell.config.cost_model));
+    c.set("banks", cell.config.edram_banks);
+    c.set("bank_policy", pim::to_string(cell.config.bank_policy));
+  }
   c.set("status", to_string(cell.status));
   if (cell.status == CellStatus::kOk) {
     c.set("energy_uj", cell.energy_uj);
+    if (banked) {
+      c.set("bank_conflicts", cell.bank.conflicts);
+      c.set("bank_stall_units", cell.bank.stall_units);
+      c.set("bank_peak_occupancy", cell.bank.peak_occupancy);
+    }
     c.set("para_conv", report::to_json(cell.para));
     if (cell.sparta.total_time.value > 0) {
       c.set("sparta", report::to_json(cell.sparta));

@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "core/analysis.hpp"
 #include "dse/checkpoint.hpp"
 #include "dse/shard.hpp"
 #include "dse/thread_pool.hpp"
@@ -154,6 +155,16 @@ CellResult evaluate_cell(const SweepCase& sweep_case,
   }
   cell.para = result.metrics;
   cell.energy_uj = estimate_energy_uj(sweep_case.graph, config, result.kernel);
+
+  // Bank-contention diagnostics are a banked-model extra: the constant
+  // model has no banks, and skipping the analysis keeps the constant path
+  // (and its reports) bit-for-bit identical to pre-cost-model builds.
+  if (config.cost_model != pim::CostModelKind::kConstant) {
+    cell.bank =
+        core::analyze_bank_contention(sweep_case.graph, result.kernel, config);
+    obs::count("dse.bank.conflicts", cell.bank.conflicts);
+    obs::count("dse.bank.stalls", cell.bank.stall_units);
+  }
 
   if (with_baseline) {
     core::SpartaOptions base_options;

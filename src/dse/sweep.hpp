@@ -30,6 +30,7 @@
 #include "dse/memo_cache.hpp"
 #include "graph/task_graph.hpp"
 #include "pim/config.hpp"
+#include "pim/cost_model.hpp"
 
 namespace paraconv::dse {
 
@@ -98,6 +99,9 @@ struct CellResult {
   core::RunResult sparta;
   /// Analytic steady-state energy per iteration (see estimate_energy_uj).
   double energy_uj{0.0};
+  /// Banked-eDRAM contention counters (all zero under the constant cost
+  /// model; see pim/cost_model.hpp and core::analyze_bank_contention).
+  pim::BankStats bank;
   CellStatus status{CellStatus::kOk};
   /// Stable machine-readable failure class when status == kError
   /// ("contract-violation" or "exception"); empty when ok.

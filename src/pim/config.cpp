@@ -22,13 +22,55 @@ const char* to_string(AllocSite site) {
     case AllocSite::kCache:
       return "cache";
     case AllocSite::kEdram:
-      return "eDRAM";
+      return "edram";
   }
   return "unknown";
 }
 
+std::optional<AllocSite> alloc_site_from_string(const std::string& name) {
+  if (name == "cache") return AllocSite::kCache;
+  if (name == "edram") return AllocSite::kEdram;
+  return std::nullopt;
+}
+
+const char* to_string(CostModelKind kind) {
+  switch (kind) {
+    case CostModelKind::kConstant:
+      return "constant";
+    case CostModelKind::kBanked:
+      return "banked";
+  }
+  return "unknown";
+}
+
+std::optional<CostModelKind> cost_model_kind_from_string(
+    const std::string& name) {
+  if (name == "constant") return CostModelKind::kConstant;
+  if (name == "banked") return CostModelKind::kBanked;
+  return std::nullopt;
+}
+
+const char* to_string(BankPolicy policy) {
+  switch (policy) {
+    case BankPolicy::kInterleave:
+      return "interleave";
+    case BankPolicy::kBlock:
+      return "block";
+  }
+  return "unknown";
+}
+
+std::optional<BankPolicy> bank_policy_from_string(const std::string& name) {
+  if (name == "interleave") return BankPolicy::kInterleave;
+  if (name == "block") return BankPolicy::kBlock;
+  return std::nullopt;
+}
+
 TimeUnits PimConfig::transfer_time(AllocSite site, Bytes size) const {
   PARACONV_REQUIRE(size >= Bytes{0}, "transfer size must be non-negative");
+  // Zero-size contract (shared with Interconnect::transfer): moving nothing
+  // takes no time. The old max(1, ...) floor only applies to real payloads.
+  if (size.value == 0) return TimeUnits{0};
   const std::int64_t bw = site == AllocSite::kCache ? cache_bytes_per_unit
                                                     : edram_bytes_per_unit;
   return TimeUnits{std::max<std::int64_t>(1, ceil_div(size.value, bw))};
@@ -42,8 +84,12 @@ int PimConfig::hop_count(int src_pe, int dst_pe) const {
     case NocTopology::kCrossbar:
       return 1;
     case NocTopology::kMesh2D: {
-      const int width = static_cast<int>(
-          std::ceil(std::sqrt(static_cast<double>(pe_count))));
+      // Exact integer ceil(sqrt(pe_count)): the smallest width whose square
+      // covers the PE array. Round-tripping through double rounds the wrong
+      // way for large perfect squares (e.g. sqrt(x*x) can land just below
+      // x), which would widen the mesh and shrink every hop distance.
+      int width = 1;
+      while (static_cast<std::int64_t>(width) * width < pe_count) ++width;
       const int dx = std::abs(src_pe % width - dst_pe % width);
       const int dy = std::abs(src_pe / width - dst_pe / width);
       return dx + dy;
@@ -71,12 +117,18 @@ void PimConfig::validate() const {
                    "bandwidths must be positive");
   PARACONV_REQUIRE(cache_bytes_per_unit >= edram_bytes_per_unit,
                    "cache must be at least as fast as eDRAM");
-  PARACONV_REQUIRE(cache_pj_per_byte > 0 && edram_pj_per_byte > 0 &&
-                       noc_pj_per_byte >= 0 && compute_pj_per_unit >= 0,
-                   "energy constants must be positive");
+  // Per-field energy checks: the access energies must be strictly positive,
+  // but zero NoC / compute energy is a legal ablation point — one combined
+  // "must be positive" message misdescribed (and hid) which field failed.
+  PARACONV_REQUIRE(cache_pj_per_byte > 0, "cache energy must be positive");
+  PARACONV_REQUIRE(edram_pj_per_byte > 0, "eDRAM energy must be positive");
+  PARACONV_REQUIRE(noc_pj_per_byte >= 0, "NoC energy must be non-negative");
+  PARACONV_REQUIRE(compute_pj_per_unit >= 0,
+                   "compute energy must be non-negative");
   PARACONV_REQUIRE(edram_pj_per_byte >= cache_pj_per_byte,
                    "eDRAM access must cost at least as much as cache");
   PARACONV_REQUIRE(noc_hop_units >= 0, "hop latency must be non-negative");
+  PARACONV_REQUIRE(edram_banks >= 1, "at least one bank per vault required");
 }
 
 PimConfig PimConfig::neurocube(int pe_count) {

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
@@ -22,6 +24,33 @@ namespace paraconv::pim {
 enum class AllocSite : std::uint8_t { kCache, kEdram };
 
 const char* to_string(AllocSite site);
+
+/// Parses the report tokens emitted by `to_string(AllocSite)` ("cache",
+/// "edram"); nullopt on unknown names. Encoder and decoder share the one
+/// lowercase token set (lint-checked).
+std::optional<AllocSite> alloc_site_from_string(const std::string& name);
+
+/// Which data-movement cost model the run uses (see pim/cost_model.hpp):
+/// the paper's two-constant model, or a banked-eDRAM contention model.
+enum class CostModelKind : std::uint8_t { kConstant, kBanked };
+
+const char* to_string(CostModelKind kind);
+
+/// Parses the stable spellings shared by the CLI and the sweep schema
+/// ("constant", "banked"); nullopt on unknown names.
+std::optional<CostModelKind> cost_model_kind_from_string(
+    const std::string& name);
+
+/// How eDRAM access streams map onto the banks of their vault: interleaved
+/// round-robin (successive streams hit successive banks) or block (the
+/// stream space is split into contiguous runs, one run per bank).
+enum class BankPolicy : std::uint8_t { kInterleave, kBlock };
+
+const char* to_string(BankPolicy policy);
+
+/// Parses the stable spellings shared by the CLI and the sweep schema
+/// ("interleave", "block"); nullopt on unknown names.
+std::optional<BankPolicy> bank_policy_from_string(const std::string& name);
 
 /// On-chip network joining the PEs. The paper evaluates a crossbar
 /// (Sec. 4.1); mesh and ring model the "other emerging PIM architectures"
@@ -62,6 +91,17 @@ struct PimConfig {
   NocTopology topology{NocTopology::kCrossbar};
   std::int64_t noc_hop_units{1};
 
+  /// Data-movement cost model. kConstant (the default) is the paper's
+  /// two-constant model and keeps every report byte-identical to builds
+  /// that predate the knob; kBanked adds per-bank contention diagnostics.
+  CostModelKind cost_model{CostModelKind::kConstant};
+
+  /// Banks per eDRAM vault (banked model only; ignored under kConstant).
+  int edram_banks{8};
+
+  /// Stream-to-bank mapping policy (banked model only).
+  BankPolicy bank_policy{BankPolicy::kInterleave};
+
   /// When true (default), filter weights are pinned in PE-local storage
   /// and cost nothing at runtime; when false, every task execution streams
   /// its weight footprint from the eDRAM vaults (the paper's "several
@@ -74,7 +114,8 @@ struct PimConfig {
   }
 
   /// Transfer time of `size` bytes from the given site, in time units.
-  /// At least 1 (an IPR hand-off is never free).
+  /// Zero bytes cost zero units (the shared zero-size contract with
+  /// `Interconnect::transfer`); any real transfer costs at least 1.
   TimeUnits transfer_time(AllocSite site, Bytes size) const;
 
   /// Router hops between two PEs under the configured topology

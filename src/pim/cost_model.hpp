@@ -1,0 +1,74 @@
+// Pluggable data-movement cost model.
+//
+// The paper (Sec. 2.2) collapses transfer cost to two bandwidth constants
+// (cache vs eDRAM); DNNsim-style simulators instead model a banked global
+// buffer where concurrent accesses to the same bank are conflict-serialized.
+// `CostModel` makes that choice a runtime knob:
+//   * kConstant — the paper's model, and the default. Byte-identical
+//     behaviour to calling `PimConfig::transfer_time` directly.
+//   * kBanked — every eDRAM vault exposes `PimConfig::edram_banks` banks.
+//     A single transfer still takes the constant-model latency (it occupies
+//     exactly one bank at full vault bandwidth), so packings, allocations
+//     and schedules are unchanged; what the banked model adds is the
+//     *contention* analysis: per-bank conflict/stall/occupancy counters over
+//     the steady-state transfer streams (see `contention`).
+//
+// pim sits at the bottom of the layering (no graph/sched types), so the
+// contention input is a neutral request list; core/analysis.hpp builds it
+// from a kernel schedule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pim/config.hpp"
+
+namespace paraconv::pim {
+
+/// One steady-state eDRAM access stream event. `key` is a stable stream id
+/// (the producing edge); requests with the same key hit the same bank.
+struct TransferRequest {
+  /// Requested start, in time units within the kernel window [0, p].
+  std::int64_t start{0};
+  Bytes size{};
+  AllocSite site{AllocSite::kEdram};
+  std::uint32_t key{0};
+};
+
+/// Per-run bank-contention diagnostics. All counters are zero under the
+/// constant model (no banks to conflict on).
+struct BankStats {
+  /// Banks per vault the analysis used (0 = constant model).
+  int banks{0};
+  /// Number of transfers that found their bank busy and had to wait.
+  std::int64_t conflicts{0};
+  /// Total time units transfers spent waiting on busy banks.
+  std::int64_t stall_units{0};
+  /// Maximum number of transfers simultaneously wanting one bank.
+  std::int64_t peak_occupancy{0};
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+  CostModel(const CostModel&) = delete;
+  CostModel& operator=(const CostModel&) = delete;
+  virtual ~CostModel() = default;
+
+  virtual CostModelKind kind() const = 0;
+
+  /// Latency of one transfer of `size` bytes from `site`. Identical across
+  /// models by construction (a transfer owns one bank at full bandwidth);
+  /// see the header comment.
+  virtual TimeUnits transfer_time(AllocSite site, Bytes size) const = 0;
+
+  /// Conflict-serializes the eDRAM requests over the configured banks and
+  /// returns the per-run counters. Deterministic: ties are broken by `key`.
+  virtual BankStats contention(std::vector<TransferRequest> requests) const = 0;
+};
+
+/// Builds the cost model `config` selects. `config` must outlive the model.
+std::unique_ptr<const CostModel> make_cost_model(const PimConfig& config);
+
+}  // namespace paraconv::pim

@@ -5,8 +5,10 @@ namespace paraconv::pim {
 TimeUnits Interconnect::transfer(int src, int dst, Bytes size) {
   PARACONV_REQUIRE(src >= 0 && src < pe_count_, "invalid source PE");
   PARACONV_REQUIRE(dst >= 0 && dst < pe_count_, "invalid destination PE");
-  PARACONV_REQUIRE(size > Bytes{0}, "transfer size must be positive");
-  if (src == dst) return TimeUnits{0};
+  PARACONV_REQUIRE(size >= Bytes{0}, "transfer size must be non-negative");
+  // Zero-size contract (shared with PimConfig::transfer_time): moving
+  // nothing takes no time and is not a message.
+  if (src == dst || size.value == 0) return TimeUnits{0};
   ++stats_.messages;
   stats_.bytes_moved += size;
   return TimeUnits{std::max<std::int64_t>(

@@ -25,7 +25,8 @@ class Interconnect {
   }
 
   /// Latency to move `size` bytes from PE `src` to PE `dst`.
-  /// Zero for src == dst.
+  /// Zero for src == dst and for size == 0 (the shared zero-size contract
+  /// with PimConfig::transfer_time; zero-size moves are not counted).
   TimeUnits transfer(int src, int dst, Bytes size);
 
   const InterconnectStats& stats() const { return stats_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pim/cost_model.hpp"
 #include "retiming/delta.hpp"
 
 namespace paraconv::pim {
@@ -75,6 +76,7 @@ MachineStats Machine::run(const graph::TaskGraph& g,
   }
   Interconnect noc(config_.pe_count, config_.cache_bytes_per_unit);
   EnergyModel energy(config_);
+  const auto cost_model = make_cost_model(config_);
 
   // Build the event timeline: per task instance one execute event, per
   // in-edge one consume event at the instance start, and per out-edge one
@@ -183,8 +185,8 @@ MachineStats Machine::run(const graph::TaskGraph& g,
             TimeUnits{producer_window * kernel.period.value} + prod.start +
             g.task(ipr.src).exec_time;
         const TimeUnits transfer = retiming::effective_edge_transfer(
-            config_, kernel.allocation[ev.edge.value], ipr.size, prod.pe,
-            ev.pe, kernel.period);
+            *cost_model, config_, kernel.allocation[ev.edge.value], ipr.size,
+            prod.pe, ev.pe, kernel.period);
         if (produce_finish + transfer > ev.time) {
           if (options.strict) {
             PARACONV_CHECK(false, "data-readiness violation for IPR " +

@@ -6,14 +6,20 @@
 
 namespace paraconv::retiming {
 
-TimeUnits effective_transfer(const pim::PimConfig& config, pim::AllocSite site,
+TimeUnits effective_transfer(const pim::CostModel& model, pim::AllocSite site,
                              Bytes size, TimeUnits period) {
   PARACONV_REQUIRE(period > TimeUnits{0}, "period must be positive");
-  const TimeUnits raw = config.transfer_time(site, size);
+  const TimeUnits raw = model.transfer_time(site, size);
   return std::min(raw, period);
 }
 
-TimeUnits effective_edge_transfer(const pim::PimConfig& config,
+TimeUnits effective_transfer(const pim::PimConfig& config, pim::AllocSite site,
+                             Bytes size, TimeUnits period) {
+  return effective_transfer(*pim::make_cost_model(config), site, size, period);
+}
+
+TimeUnits effective_edge_transfer(const pim::CostModel& model,
+                                  const pim::PimConfig& config,
                                   pim::AllocSite site, Bytes size, int src_pe,
                                   int dst_pe, TimeUnits period) {
   PARACONV_REQUIRE(period > TimeUnits{0}, "period must be positive");
@@ -23,8 +29,15 @@ TimeUnits effective_edge_transfer(const pim::PimConfig& config,
   // machine model.
   if (src_pe == dst_pe) return TimeUnits{0};
   const TimeUnits raw =
-      config.transfer_time(site, size) + config.noc_latency(src_pe, dst_pe);
+      model.transfer_time(site, size) + config.noc_latency(src_pe, dst_pe);
   return std::min(raw, period);
+}
+
+TimeUnits effective_edge_transfer(const pim::PimConfig& config,
+                                  pim::AllocSite site, Bytes size, int src_pe,
+                                  int dst_pe, TimeUnits period) {
+  return effective_edge_transfer(*pim::make_cost_model(config), config, site,
+                                 size, src_pe, dst_pe, period);
 }
 
 int required_distance(TimeUnits producer_start, TimeUnits producer_exec,
@@ -57,6 +70,14 @@ std::vector<EdgeDelta> compute_edge_deltas(
     const graph::TaskGraph& g,
     const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
     const pim::PimConfig& config) {
+  return compute_edge_deltas(g, placement, period, config,
+                             *pim::make_cost_model(config));
+}
+
+std::vector<EdgeDelta> compute_edge_deltas(
+    const graph::TaskGraph& g,
+    const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
+    const pim::PimConfig& config, const pim::CostModel& model) {
   const obs::ScopedSpan span("retime", "deltas");
   PARACONV_REQUIRE(placement.size() == g.node_count(),
                    "one placement per node required");
@@ -87,10 +108,10 @@ std::vector<EdgeDelta> compute_edge_deltas(
     if (prod.pe != cons.pe) {
       const std::int64_t noc = config.noc_latency(prod.pe, cons.pe).value;
       cache_transfer = std::min(
-          config.transfer_time(pim::AllocSite::kCache, ipr.size).value + noc,
+          model.transfer_time(pim::AllocSite::kCache, ipr.size).value + noc,
           p);
       edram_transfer = std::min(
-          config.transfer_time(pim::AllocSite::kEdram, ipr.size).value + noc,
+          model.transfer_time(pim::AllocSite::kEdram, ipr.size).value + noc,
           p);
     }
 

@@ -17,6 +17,7 @@
 
 #include "graph/task_graph.hpp"
 #include "pim/config.hpp"
+#include "pim/cost_model.hpp"
 #include "sched/schedule.hpp"
 
 namespace paraconv::retiming {
@@ -27,16 +28,29 @@ struct EdgeDelta {
   int edram{0};
 };
 
-/// Transfer latency of `size` bytes from `site`, clamped to one period
-/// (model assumption c_ij <= p, paper proof of Theorem 3.1).
+/// Transfer latency of `size` bytes from `site` under the given cost model,
+/// clamped to one period (model assumption c_ij <= p, paper proof of
+/// Theorem 3.1).
+TimeUnits effective_transfer(const pim::CostModel& model, pim::AllocSite site,
+                             Bytes size, TimeUnits period);
+
+/// Convenience overload: builds the cost model `config` selects per call.
+/// Loops should build one model (pim::make_cost_model) and use the overload
+/// above.
 TimeUnits effective_transfer(const pim::PimConfig& config, pim::AllocSite site,
                              Bytes size, TimeUnits period);
 
-/// Full hand-off latency of one edge: site transfer plus on-chip-network
-/// hop latency between the producer and consumer PEs, clamped to one
-/// period. Same-PE hand-offs are free (register-file/pFIFO local, paper
-/// Fig. 1). This is the c_ij used by the delta analysis, the validator and
-/// the machine model.
+/// Full hand-off latency of one edge: site transfer (per the cost model)
+/// plus on-chip-network hop latency between the producer and consumer PEs,
+/// clamped to one period. Same-PE hand-offs are free (register-file/pFIFO
+/// local, paper Fig. 1). This is the c_ij used by the delta analysis, the
+/// validator and the machine model.
+TimeUnits effective_edge_transfer(const pim::CostModel& model,
+                                  const pim::PimConfig& config,
+                                  pim::AllocSite site, Bytes size, int src_pe,
+                                  int dst_pe, TimeUnits period);
+
+/// Convenience overload: builds the cost model `config` selects per call.
 TimeUnits effective_edge_transfer(const pim::PimConfig& config,
                                   pim::AllocSite site, Bytes size, int src_pe,
                                   int dst_pe, TimeUnits period);
@@ -47,7 +61,14 @@ int required_distance(TimeUnits producer_start, TimeUnits producer_exec,
                       TimeUnits period);
 
 /// Computes (delta_cache, delta_edram) for every edge of `g` under the given
-/// packing. Postcondition: 0 <= cache <= edram <= 2 for every edge.
+/// packing and cost model. Postcondition: 0 <= cache <= edram <= 2 for every
+/// edge.
+std::vector<EdgeDelta> compute_edge_deltas(
+    const graph::TaskGraph& g,
+    const std::vector<sched::TaskPlacement>& placement, TimeUnits period,
+    const pim::PimConfig& config, const pim::CostModel& model);
+
+/// Convenience overload: builds the cost model `config` selects per call.
 std::vector<EdgeDelta> compute_edge_deltas(
     const graph::TaskGraph& g, const std::vector<sched::TaskPlacement>& placement,
     TimeUnits period, const pim::PimConfig& config);

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "graph/algorithms.hpp"
+#include "pim/cost_model.hpp"
 #include "sched/bounds.hpp"
 
 namespace paraconv::sched {
@@ -52,6 +53,7 @@ class ReservationTable {
 /// task found no slot within the search budget.
 std::optional<Packing> try_schedule(const graph::TaskGraph& g,
                                     const pim::PimConfig& config,
+                                    const pim::CostModel& cost_model,
                                     std::int64_t ii,
                                     const ModuloOptions& options,
                                     const std::vector<graph::NodeId>& order) {
@@ -69,7 +71,7 @@ std::optional<Packing> try_schedule(const graph::TaskGraph& g,
     for (const graph::EdgeId e : g.in_edges(v)) {
       const graph::Ipr& ipr = g.ipr(e);
       const std::int64_t latency = std::min<std::int64_t>(
-          ii, config.transfer_time(pim::AllocSite::kEdram, ipr.size).value);
+          ii, cost_model.transfer_time(pim::AllocSite::kEdram, ipr.size).value);
       earliest = std::max(earliest, absolute[ipr.src.value] +
                                         g.task(ipr.src).exec_time.value +
                                         latency);
@@ -104,11 +106,12 @@ Packing pack_modulo(const graph::TaskGraph& g, const pim::PimConfig& config,
   const auto order = graph::topological_order(g);
   PARACONV_REQUIRE(order.has_value(), "pack_modulo requires an acyclic graph");
 
+  const auto cost_model = pim::make_cost_model(config);
   const std::int64_t mii = period_lower_bound(g, config.pe_count).value;
   for (std::int64_t ii = mii;
        ii <= mii + options.max_ii_growth + g.total_work().value; ++ii) {
     std::optional<Packing> packing =
-        try_schedule(g, config, ii, options, *order);
+        try_schedule(g, config, *cost_model, ii, options, *order);
     if (packing.has_value()) return std::move(*packing);
   }
   PARACONV_CHECK(false, "modulo scheduling failed to converge");

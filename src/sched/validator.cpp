@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "pim/cost_model.hpp"
 #include "retiming/delta.hpp"
 
 namespace paraconv::sched {
@@ -188,7 +189,9 @@ std::vector<Diagnostic> validate_kernel_schedule(const graph::TaskGraph& g,
     }
   }
 
-  // Retiming legality and dependency timing.
+  // Retiming legality and dependency timing, priced by the configured cost
+  // model (one instance for every edge).
+  const auto cost_model = pim::make_cost_model(config);
   Bytes cached{};
   for (const graph::EdgeId e : g.edges()) {
     const graph::Ipr& ipr = g.ipr(e);
@@ -209,8 +212,8 @@ std::vector<Diagnostic> validate_kernel_schedule(const graph::TaskGraph& g,
     const TaskPlacement& prod = kernel.placement[ipr.src.value];
     const TaskPlacement& cons = kernel.placement[ipr.dst.value];
     const TimeUnits transfer = retiming::effective_edge_transfer(
-        config, kernel.allocation[e.value], ipr.size, prod.pe, cons.pe,
-        kernel.period);
+        *cost_model, config, kernel.allocation[e.value], ipr.size, prod.pe,
+        cons.pe, kernel.period);
     const std::int64_t lhs = prod.start.value +
                              g.task(ipr.src).exec_time.value + transfer.value;
     const std::int64_t rhs =

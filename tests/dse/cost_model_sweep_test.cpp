@@ -1,0 +1,195 @@
+// Cost-model sweep contracts:
+//  - default constant-model sweeps are byte-identical to the committed
+//    pre-cost-model golden fixtures (CSV and JSON), so the pluggable
+//    CostModel is provably a no-op on the legacy path;
+//  - banked sweeps extend the schema deterministically across job counts;
+//  - the checkpoint codec round-trips the bank segment and the fingerprint
+//    separates banked grids without invalidating constant ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dse/checkpoint.hpp"
+#include "dse/frontier.hpp"
+#include "dse/sweep.hpp"
+#include "graph/paper_benchmarks.hpp"
+
+namespace paraconv::dse {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+GridSpec golden_spec() {
+  // Mirrors the CLI invocation the fixtures were generated with:
+  //   sweep --benchmarks cat,flower --pe-counts 16,32
+  //         --allocators dp,greedy-density --packers topo
+  //         --iterations 20 --seed 7
+  GridSpec spec;
+  for (const char* name : {"cat", "flower"}) {
+    spec.cases.push_back({name, graph::build_paper_benchmark(
+                                    graph::paper_benchmark(name))});
+  }
+  spec.configs = {pim::PimConfig::neurocube(16),
+                  pim::PimConfig::neurocube(32)};
+  spec.packers = {core::PackerKind::kTopological};
+  spec.allocators = {core::AllocatorKind::kKnapsackDp,
+                     core::AllocatorKind::kGreedyDensity};
+  spec.iterations = 20;
+  return spec;
+}
+
+GridSpec banked_spec(int banks, pim::BankPolicy policy) {
+  GridSpec spec = golden_spec();
+  for (pim::PimConfig& config : spec.configs) {
+    config.cost_model = pim::CostModelKind::kBanked;
+    config.edram_banks = banks;
+    config.bank_policy = policy;
+  }
+  return spec;
+}
+
+TEST(CostModelSweepTest, ConstantSweepMatchesGoldenFixturesByteForByte) {
+  SweepOptions options;
+  options.seed = 7;
+  const SweepResult sweep = run_sweep(golden_spec(), options);
+
+  std::ostringstream csv;
+  write_sweep_csv(csv, sweep);
+  EXPECT_EQ(csv.str(),
+            read_file(std::string(PARACONV_DSE_GOLDEN_DIR) +
+                      "/sweep_constant.csv"));
+
+  const std::string json = sweep_to_json(sweep).dump(/*pretty=*/true) + "\n";
+  EXPECT_EQ(json, read_file(std::string(PARACONV_DSE_GOLDEN_DIR) +
+                            "/sweep_constant.json"));
+}
+
+TEST(CostModelSweepTest, BankedSweepIsDeterministicAcrossJobs) {
+  const GridSpec spec = banked_spec(8, pim::BankPolicy::kInterleave);
+  std::string csv_by_jobs[2];
+  for (int i = 0; i < 2; ++i) {
+    SweepOptions options;
+    options.seed = 7;
+    options.jobs = i == 0 ? 1 : 4;
+    const SweepResult sweep = run_sweep(spec, options);
+    std::ostringstream csv;
+    write_sweep_csv(csv, sweep);
+    csv_by_jobs[i] = csv.str();
+  }
+  EXPECT_EQ(csv_by_jobs[0], csv_by_jobs[1]);
+  EXPECT_NE(csv_by_jobs[0].find("bank_conflicts"), std::string::npos);
+}
+
+TEST(CostModelSweepTest, BankedCellsCarryMeasuredCounters) {
+  SweepOptions options;
+  options.seed = 7;
+  const SweepResult sweep =
+      run_sweep(banked_spec(1, pim::BankPolicy::kInterleave), options);
+  ASSERT_FALSE(sweep.cells.empty());
+  for (const CellResult& cell : sweep.cells) {
+    ASSERT_EQ(cell.status, CellStatus::kOk);
+    EXPECT_EQ(cell.bank.banks, 1);
+    // A single bank per vault serializes every co-resident stream pair, so
+    // peak demand is at least one whenever the schedule moves data.
+    EXPECT_GE(cell.bank.peak_occupancy, 1);
+    EXPECT_GE(cell.bank.stall_units, 0);
+  }
+}
+
+TEST(CostModelSweepTest, MixedGridStaysRectangular) {
+  // One constant and one banked config in the same grid: every row gets
+  // the banked header's column count, with the constant rows leaving bank
+  // metrics empty (no data != a perfect zero).
+  GridSpec spec = golden_spec();
+  spec.cases.resize(1);
+  spec.configs.resize(2);
+  spec.configs[1].cost_model = pim::CostModelKind::kBanked;
+  spec.configs[1].edram_banks = 4;
+  SweepOptions options;
+  options.seed = 7;
+  const SweepResult sweep = run_sweep(spec, options);
+
+  std::ostringstream os;
+  write_sweep_csv(os, sweep);
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const auto count_columns = [](const std::string& row) {
+    return 1 + std::count(row.begin(), row.end(), ',');
+  };
+  const auto header_columns = count_columns(line);
+  EXPECT_NE(line.find("cost_model"), std::string::npos);
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(count_columns(line), header_columns) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, static_cast<int>(sweep.cells.size()));
+}
+
+TEST(CostModelSweepTest, CheckpointRoundTripsBankSegment) {
+  CellResult cell;
+  cell.index = 3;
+  cell.status = CellStatus::kOk;
+  cell.energy_uj = 1.25;
+  cell.config.cost_model = pim::CostModelKind::kBanked;
+  cell.config.edram_banks = 4;
+  cell.bank.banks = 4;
+  cell.bank.conflicts = 7;
+  cell.bank.stall_units = 21;
+  cell.bank.peak_occupancy = 3;
+
+  const std::string record = encode_cell_record(cell);
+  EXPECT_NE(record.find(" bank 4 7 21 3"), std::string::npos) << record;
+  const std::optional<CellResult> decoded = decode_cell_record(record);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bank.banks, 4);
+  EXPECT_EQ(decoded->bank.conflicts, 7);
+  EXPECT_EQ(decoded->bank.stall_units, 21);
+  EXPECT_EQ(decoded->bank.peak_occupancy, 3);
+
+  // A legacy (constant) record carries no segment and still decodes.
+  cell.config.cost_model = pim::CostModelKind::kConstant;
+  const std::string legacy = encode_cell_record(cell);
+  EXPECT_EQ(legacy.find(" bank "), std::string::npos) << legacy;
+  ASSERT_TRUE(decode_cell_record(legacy).has_value());
+
+  // A torn bank segment is corrupt, not legacy.
+  EXPECT_FALSE(decode_cell_record(record.substr(0, record.size() - 2))
+                   .has_value());
+}
+
+TEST(CostModelSweepTest, FingerprintSeparatesBankedGridsOnly) {
+  const GridSpec constant = golden_spec();
+  SweepOptions options;
+  options.seed = 7;
+  const std::uint64_t base = sweep_fingerprint(constant, options);
+  // Constant grids fingerprint exactly as before the cost model existed:
+  // bank fields are not mixed in, so old checkpoints stay resumable.
+  EXPECT_EQ(base, sweep_fingerprint(golden_spec(), options));
+  // Banked grids must not collide with the constant one, and bank
+  // count/policy must separate banked grids from each other.
+  const std::uint64_t banked8 =
+      sweep_fingerprint(banked_spec(8, pim::BankPolicy::kInterleave),
+                        options);
+  const std::uint64_t banked4 =
+      sweep_fingerprint(banked_spec(4, pim::BankPolicy::kInterleave),
+                        options);
+  const std::uint64_t banked8_block =
+      sweep_fingerprint(banked_spec(8, pim::BankPolicy::kBlock), options);
+  EXPECT_NE(base, banked8);
+  EXPECT_NE(banked8, banked4);
+  EXPECT_NE(banked8, banked8_block);
+}
+
+}  // namespace
+}  // namespace paraconv::dse

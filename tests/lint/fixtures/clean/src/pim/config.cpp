@@ -1,0 +1,22 @@
+// Lint fixture: allocation-site token encoder/decoder pair.
+#include "pim/config.hpp"
+
+namespace paraconv::pim {
+
+const char* to_string(AllocSite site) {
+  switch (site) {
+    case AllocSite::kCache:
+      return "cache";
+    case AllocSite::kEdram:
+      return "edram";
+  }
+  return "unknown";
+}
+
+std::optional<AllocSite> alloc_site_from_string(const std::string& name) {
+  if (name == "cache") return AllocSite::kCache;
+  if (name == "edram") return AllocSite::kEdram;
+  return std::nullopt;
+}
+
+}  // namespace paraconv::pim

@@ -1,0 +1,23 @@
+// Seeded violation: the eDRAM allocation-site token regressed to mixed
+// case, so the encoder no longer round-trips through the decoder.
+#include "pim/config.hpp"
+
+namespace paraconv::pim {
+
+const char* to_string(AllocSite site) {
+  switch (site) {
+    case AllocSite::kCache:
+      return "cache";
+    case AllocSite::kEdram:
+      return "eDRAM";
+  }
+  return "unknown";
+}
+
+std::optional<AllocSite> alloc_site_from_string(const std::string& name) {
+  if (name == "cache") return AllocSite::kCache;
+  if (name == "edram") return AllocSite::kEdram;
+  return std::nullopt;
+}
+
+}  // namespace paraconv::pim

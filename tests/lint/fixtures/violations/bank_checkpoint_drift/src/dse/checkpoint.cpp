@@ -1,4 +1,5 @@
-// Lint fixture: checkpoint codec touching the contract fields and tokens.
+// Seeded violation: the checkpoint codec stopped carrying the tagged bank
+// segment, so banked counters silently vanish from resumed sweeps.
 #include "dse/checkpoint.hpp"
 
 namespace paraconv::dse {
@@ -8,21 +9,12 @@ std::string encode_cell_record(const CellResult& cell) {
   out += to_string(cell.status);
   out += cell.error_code;
   out += cell.error_message;
-  out += " bank ";
-  out += std::to_string(cell.bank.banks);
-  out += std::to_string(cell.bank.conflicts);
-  out += std::to_string(cell.bank.stall_units);
-  out += std::to_string(cell.bank.peak_occupancy);
   return out;
 }
 
 bool decode_cell_record(const std::string& status, CellResult& cell) {
   if (status == "ok") {
     cell.status = CellStatus::kOk;
-    return true;
-  }
-  if (status == "bank") {
-    cell.bank.banks = 8;
     return true;
   }
   if (status == "error") {

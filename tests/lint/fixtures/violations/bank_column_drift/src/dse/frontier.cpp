@@ -1,4 +1,5 @@
-// Lint fixture: sweep CSV header and JSON keys (the shared schema).
+// Seeded violation: the banked CSV header dropped a bank counter column
+// that the JSON writer and checkpoint codec still carry.
 #include "dse/frontier.hpp"
 
 namespace paraconv::dse {
@@ -14,12 +15,12 @@ const std::vector<std::string>& cell_header() {
 
 const std::vector<std::string>& banked_cell_header() {
   static const std::vector<std::string> kBankedHeader{
-      "index",          "benchmark",        "vertices",
-      "edges",          "pe_count",         "cache_per_pe_bytes",
-      "topology",       "packer",           "allocator",
-      "cost_model",     "banks",            "bank_policy",
-      "bank_conflicts", "bank_stall_units", "bank_peak_occupancy",
-      "status",         "error_code",       "error_message"};
+      "index",          "benchmark",           "vertices",
+      "edges",          "pe_count",            "cache_per_pe_bytes",
+      "topology",       "packer",              "allocator",
+      "cost_model",     "banks",               "bank_policy",
+      "bank_conflicts", "bank_peak_occupancy", "status",
+      "error_code",     "error_message"};
   return kBankedHeader;
 }
 

@@ -92,6 +92,9 @@ INSTANTIATE_TEST_SUITE_P(
         ViolationCase{"serve_missing_field", "schema-serve-missing"},
         ViolationCase{"serve_status_drift", "schema-serve-status-token"},
         ViolationCase{"merge_missing_field", "schema-merge-field"},
+        ViolationCase{"bank_column_drift", "schema-bank-columns"},
+        ViolationCase{"bank_checkpoint_drift", "schema-bank-checkpoint"},
+        ViolationCase{"alloc_site_token_case", "schema-alloc-site-token"},
         ViolationCase{"using_namespace_header", "using-namespace-header"},
         ViolationCase{"missing_pragma_once", "pragma-once"},
         ViolationCase{"bare_nolint", "nolint-policy"},

@@ -99,8 +99,64 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(AllocSiteTest, Names) {
+  // Lowercase token discipline (lint-checked): one lowercase token per
+  // site, and the decoder round-trips exactly what the encoder emits.
   EXPECT_STREQ(to_string(AllocSite::kCache), "cache");
-  EXPECT_STREQ(to_string(AllocSite::kEdram), "eDRAM");
+  EXPECT_STREQ(to_string(AllocSite::kEdram), "edram");
+}
+
+TEST(AllocSiteTest, TokensRoundTrip) {
+  for (const AllocSite site : {AllocSite::kCache, AllocSite::kEdram}) {
+    const std::optional<AllocSite> decoded =
+        alloc_site_from_string(to_string(site));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, site);
+  }
+  EXPECT_FALSE(alloc_site_from_string("eDRAM").has_value());
+  EXPECT_FALSE(alloc_site_from_string("").has_value());
+}
+
+TEST(PimConfigTest, ZeroByteTransferTakesNoTime) {
+  // Zero-size contract: moving nothing takes no time at either site; the
+  // one-unit floor applies only to real payloads.
+  const PimConfig cfg;
+  EXPECT_EQ(cfg.transfer_time(AllocSite::kCache, Bytes{0}).value, 0);
+  EXPECT_EQ(cfg.transfer_time(AllocSite::kEdram, Bytes{0}).value, 0);
+  EXPECT_EQ(cfg.transfer_time(AllocSite::kEdram, Bytes{1}).value, 1);
+  EXPECT_THROW(cfg.transfer_time(AllocSite::kEdram, Bytes{-1}),
+               ContractViolation);
+}
+
+TEST(PimConfigTest, PerFieldEnergyValidationMessages) {
+  // The combined "energy constants must be positive" check hid which field
+  // failed; each field now carries its own message.
+  const auto message_of = [](void (*mutate)(PimConfig&)) {
+    PimConfig cfg;
+    mutate(cfg);
+    try {
+      cfg.validate();
+    } catch (const ContractViolation& e) {
+      return std::string(e.what());
+    }
+    return std::string{};
+  };
+  EXPECT_NE(message_of([](PimConfig& c) { c.cache_pj_per_byte = 0.0; })
+                .find("cache energy"),
+            std::string::npos);
+  EXPECT_NE(message_of([](PimConfig& c) { c.edram_pj_per_byte = 0.0; })
+                .find("eDRAM energy"),
+            std::string::npos);
+  EXPECT_NE(message_of([](PimConfig& c) { c.noc_pj_per_byte = -1.0; })
+                .find("NoC energy"),
+            std::string::npos);
+  EXPECT_NE(message_of([](PimConfig& c) { c.compute_pj_per_unit = -1.0; })
+                .find("compute energy"),
+            std::string::npos);
+  // Zero NoC / compute energy is a legal ablation point.
+  PimConfig ablation;
+  ablation.noc_pj_per_byte = 0.0;
+  ablation.compute_pj_per_unit = 0.0;
+  EXPECT_NO_THROW(ablation.validate());
 }
 
 }  // namespace

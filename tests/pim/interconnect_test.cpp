@@ -31,9 +31,20 @@ TEST(InterconnectTest, RejectsInvalidEndpointsAndSizes) {
   Interconnect x(4, 1024);
   EXPECT_THROW(x.transfer(-1, 0, 1_KiB), ContractViolation);
   EXPECT_THROW(x.transfer(0, 4, 1_KiB), ContractViolation);
-  EXPECT_THROW(x.transfer(0, 1, Bytes{0}), ContractViolation);
+  EXPECT_THROW(x.transfer(0, 1, Bytes{-1}), ContractViolation);
   EXPECT_THROW(Interconnect(0, 1024), ContractViolation);
   EXPECT_THROW(Interconnect(4, 0), ContractViolation);
+}
+
+TEST(InterconnectTest, ZeroByteTransferIsFreeAndUncounted) {
+  // Zero-size contract (shared with PimConfig::transfer_time): moving
+  // nothing takes no time and does not show up in the traffic stats.
+  Interconnect x(4, 1024);
+  EXPECT_EQ(x.transfer(0, 1, Bytes{0}).value, 0);
+  EXPECT_EQ(x.stats().messages, 0);
+  EXPECT_EQ(x.stats().bytes_moved, Bytes{0});
+  EXPECT_EQ(x.transfer(0, 1, Bytes{1}).value, 1);  // floor still applies
+  EXPECT_EQ(x.stats().messages, 1);
 }
 
 }  // namespace

@@ -37,6 +37,68 @@ TEST(TopologyTest, MeshUsesManhattanDistance) {
   EXPECT_EQ(cfg.noc_latency(0, 15), TimeUnits{12});  // 6 hops x 2 units
 }
 
+// Reference mesh distance: BFS over the explicit neighbor graph of a
+// width-wide grid holding pe_count PEs (last row possibly partial). This is
+// deliberately independent of the closed-form Manhattan computation.
+std::vector<int> mesh_bfs(int pe_count, int width, int src) {
+  std::vector<int> dist(static_cast<std::size_t>(pe_count), -1);
+  std::vector<int> queue{src};
+  dist[static_cast<std::size_t>(src)] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int pe = queue[head];
+    const int x = pe % width;
+    const int y = pe / width;
+    const auto visit = [&](int nx, int ny) {
+      const int neighbor = ny * width + nx;
+      if (nx < 0 || nx >= width || ny < 0 || neighbor >= pe_count) return;
+      if (dist[static_cast<std::size_t>(neighbor)] != -1) return;
+      dist[static_cast<std::size_t>(neighbor)] =
+          dist[static_cast<std::size_t>(pe)] + 1;
+      queue.push_back(neighbor);
+    };
+    visit(x - 1, y);
+    visit(x + 1, y);
+    visit(x, y - 1);
+    visit(x, y + 1);
+  }
+  return dist;
+}
+
+TEST(TopologyTest, MeshHopsMatchBfsOnSquareAndRaggedGrids) {
+  // Property check across square (16), ragged (12, 23) and prime (17)
+  // PE counts: the closed-form hop_count must equal BFS distance on the
+  // actual grid for every ordered PE pair. This pins the exact integer
+  // ceil-sqrt width — a float sqrt that rounds low widens every distance.
+  for (const int pe_count : {1, 2, 12, 16, 17, 23, 25}) {
+    PimConfig cfg;
+    cfg.pe_count = pe_count;
+    cfg.topology = NocTopology::kMesh2D;
+    int width = 1;
+    while (width * width < pe_count) ++width;
+    for (int src = 0; src < pe_count; ++src) {
+      const std::vector<int> dist = mesh_bfs(pe_count, width, src);
+      for (int dst = 0; dst < pe_count; ++dst) {
+        EXPECT_EQ(cfg.hop_count(src, dst), dist[static_cast<std::size_t>(dst)])
+            << "pe_count " << pe_count << " src " << src << " dst " << dst;
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, MeshWidthIsExactForLargePerfectSquares) {
+  // 1024^2 PEs: double-precision sqrt can land just below 1024 and a
+  // naive ceil would widen the mesh to 1025, shrinking every hop count.
+  PimConfig cfg;
+  cfg.pe_count = 1024 * 1024;
+  cfg.topology = NocTopology::kMesh2D;
+  // Opposite corners of the exact 1024-wide grid: 2 * (1024 - 1) hops.
+  EXPECT_EQ(cfg.hop_count(0, cfg.pe_count - 1), 2 * 1023);
+  // One step along the top row.
+  EXPECT_EQ(cfg.hop_count(0, 1), 1);
+  // First PE of the second row is one vertical hop away.
+  EXPECT_EQ(cfg.hop_count(0, 1024), 1);
+}
+
 TEST(TopologyTest, RingUsesShorterArc) {
   const PimConfig cfg = with_topology(NocTopology::kRing, 16);
   EXPECT_EQ(cfg.hop_count(0, 1), 1);

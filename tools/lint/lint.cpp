@@ -29,6 +29,12 @@ constexpr std::array<const char*, 9> kIdentityColumns = {
     "topology", "packer",    "allocator"};
 constexpr std::array<const char*, 3> kStatusColumns = {"status", "error_code",
                                                        "error_message"};
+// Banked cost-model schema extension: the banked sweep CSV header, the
+// per-cell JSON keys and the checkpoint bank segment must agree on these
+// names (see src/pim/cost_model.hpp).
+constexpr std::array<const char*, 6> kBankColumns = {
+    "cost_model",     "banks",            "bank_policy",
+    "bank_conflicts", "bank_stall_units", "bank_peak_occupancy"};
 // The experiment CSV (report/csv.cpp) shares the graph-identity prefix
 // naming with the sweep schema.
 constexpr std::array<const char*, 4> kExperimentIdentity = {
@@ -283,6 +289,7 @@ class Linter {
     check_diag_codes();
     check_obs_names();
     check_schema();
+    check_bank_schema();
     check_docs_xrefs();
     Report report;
     report.findings = std::move(findings_);
@@ -891,6 +898,139 @@ class Linter {
         add("schema-merge-field", shard->rel_path, 0,
             "merge reader never touches CellResult::" + std::string(field) +
                 "; merged reports would drop a contract column");
+      }
+    }
+  }
+
+  // ---- banked cost-model schema + allocation-site tokens ------------------
+
+  /// String literals inside the body of the function whose signature
+  /// contains `signature_needle` (used to scope decoder-token checks to the
+  /// from_string function so the to_string literals don't satisfy them).
+  std::set<std::string> function_body_literals(
+      const SourceFile& f, const std::string& signature_needle) {
+    std::set<std::string> tokens;
+    const std::size_t sig = f.stripped.find(signature_needle);
+    if (sig == std::string::npos) return tokens;
+    const auto region = brace_region(f.stripped, sig);
+    if (!region.has_value()) return tokens;
+    for (QuotedString& q :
+         quoted_strings(f.stripped, region->first, region->second)) {
+      tokens.insert(std::move(q.value));
+    }
+    return tokens;
+  }
+
+  static bool is_lowercase_token(const std::string& token) {
+    if (token.empty()) return false;
+    if (std::islower(static_cast<unsigned char>(token[0])) == 0) return false;
+    return std::all_of(token.begin(), token.end(), [](char c) {
+      return std::islower(static_cast<unsigned char>(c)) != 0 ||
+             std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_';
+    });
+  }
+
+  void check_bank_schema() {
+    const SourceFile* frontier = require_file("src/dse/frontier.cpp");
+    const SourceFile* checkpoint = require_file("src/dse/checkpoint.cpp");
+    const SourceFile* config = require_file("src/pim/config.cpp");
+    if (frontier == nullptr || checkpoint == nullptr || config == nullptr) {
+      return;
+    }
+
+    // (a) The banked CSV header extends the legacy one in place: identity
+    // prefix unchanged, every bank and status column present.
+    const std::vector<std::string> banked =
+        brace_list_literals(*frontier, "kBankedHeader");
+    if (banked.size() < kIdentityColumns.size()) {
+      add("schema-bank-columns", frontier->rel_path, 0,
+          "could not extract the banked sweep CSV header literal list "
+          "(kBankedHeader)");
+    } else {
+      for (std::size_t i = 0; i < kIdentityColumns.size(); ++i) {
+        if (banked[i] != kIdentityColumns[i]) {
+          add("schema-bank-columns", frontier->rel_path, 0,
+              "banked sweep CSV column " + std::to_string(i) + " is \"" +
+                  banked[i] +
+                  "\" but the shared identity contract requires \"" +
+                  kIdentityColumns[i] + "\"");
+        }
+      }
+      for (const char* column : kBankColumns) {
+        if (std::find(banked.begin(), banked.end(), column) == banked.end()) {
+          add("schema-bank-columns", frontier->rel_path, 0,
+              "banked sweep CSV header is missing the bank column \"" +
+                  std::string(column) + "\"");
+        }
+      }
+      for (const char* column : kStatusColumns) {
+        if (std::find(banked.begin(), banked.end(), column) == banked.end()) {
+          add("schema-bank-columns", frontier->rel_path, 0,
+              "banked sweep CSV header is missing the status column \"" +
+                  std::string(column) + "\"");
+        }
+      }
+    }
+
+    // (b) The JSON writer sets every bank name as a key on banked cells.
+    const std::set<std::string> json_keys = set_call_keys(*frontier);
+    for (const char* column : kBankColumns) {
+      if (json_keys.count(column) == 0) {
+        add("schema-bank-columns", frontier->rel_path, 0,
+            "sweep JSON writer never sets the bank key \"" +
+                std::string(column) + "\"");
+      }
+    }
+
+    // (c) The checkpoint codec carries the tagged bank segment: the "bank"
+    // tag must be written/matched and every BankStats counter touched.
+    bool has_bank_tag = false;
+    for (const QuotedString& q : quoted_strings(checkpoint->stripped, 0,
+                                                checkpoint->stripped.size())) {
+      if (trim(q.value) == "bank") {
+        has_bank_tag = true;
+        break;
+      }
+    }
+    if (!has_bank_tag) {
+      add("schema-bank-checkpoint", checkpoint->rel_path, 0,
+          "checkpoint codec never writes or matches the \"bank\" segment "
+          "tag; banked counters would be dropped from records");
+    }
+    for (const char* field :
+         {"banks", "conflicts", "stall_units", "peak_occupancy"}) {
+      if (checkpoint->stripped.find(std::string("bank.") + field) ==
+          std::string::npos) {
+        add("schema-bank-checkpoint", checkpoint->rel_path, 0,
+            "checkpoint codec never touches BankStats::" +
+                std::string(field) +
+                "; records would drop a bank counter");
+      }
+    }
+
+    // (d) Allocation-site tokens are CSV/JSON/CLI surface (sweep rows,
+    // --cost-model plumbing): one lowercase token per enumerator, and the
+    // decoder must round-trip exactly what to_string emits.
+    const std::vector<std::pair<std::string, std::string>> site_map =
+        parse_to_string_switch(*config, "to_string(AllocSite", "AllocSite::");
+    if (site_map.empty()) {
+      add("schema-alloc-site-token", config->rel_path, 0,
+          "could not extract the to_string(AllocSite) switch");
+    }
+    const std::set<std::string> decoder_tokens =
+        function_body_literals(*config, "alloc_site_from_string");
+    for (const auto& [enumerator, token] : site_map) {
+      if (!is_lowercase_token(token)) {
+        add("schema-alloc-site-token", config->rel_path, 0,
+            "allocation-site token \"" + token + "\" (AllocSite::" +
+                enumerator +
+                ") violates the single-lowercase-token discipline");
+      }
+      if (decoder_tokens.count(token) == 0) {
+        add("schema-alloc-site-token", config->rel_path, 0,
+            "allocation-site token \"" + token +
+                "\" is never decoded by alloc_site_from_string; the "
+                "encoder and decoder would disagree");
       }
     }
   }

@@ -120,6 +120,65 @@ std::vector<core::AllocatorKind> parse_allocator_list(const std::string& csv) {
   return kinds;
 }
 
+/// The --cost-model/--banks/--bank-policy flag triple, validated as a unit:
+/// bank axes only make sense under the banked model, so supplying them with
+/// the (default) constant model is a usage error rather than a silent no-op.
+struct CostModelAxes {
+  pim::CostModelKind kind{pim::CostModelKind::kConstant};
+  std::vector<int> banks;
+  std::vector<pim::BankPolicy> policies;
+};
+
+CostModelAxes parse_cost_model_axes(const FlagParser& flags) {
+  CostModelAxes axes;
+  const std::string model_text = flags.get_string("cost-model");
+  const std::optional<pim::CostModelKind> kind =
+      pim::cost_model_kind_from_string(model_text);
+  if (!kind.has_value()) {
+    throw UsageError("unknown cost model: " + model_text +
+                     " (expected constant or banked)");
+  }
+  axes.kind = *kind;
+  const std::string banks_text = flags.get_string("banks");
+  const std::string policy_text = flags.get_string("bank-policy");
+  if (axes.kind == pim::CostModelKind::kConstant) {
+    if (!banks_text.empty()) {
+      throw UsageError("--banks requires --cost-model banked");
+    }
+    if (!policy_text.empty()) {
+      throw UsageError("--bank-policy requires --cost-model banked");
+    }
+    return axes;
+  }
+  std::string banks_error;
+  const std::optional<std::vector<int>> banks = parse_positive_int_list(
+      banks_text.empty() ? "8" : banks_text, &banks_error);
+  if (!banks.has_value()) {
+    throw UsageError("--banks expects comma-separated positive integers: " +
+                     banks_error);
+  }
+  constexpr int kMaxBanks = 1 << 12;
+  for (const int count : *banks) {
+    if (count > kMaxBanks) {
+      throw UsageError("--banks entries must be <= " +
+                       std::to_string(kMaxBanks) + ", got " +
+                       std::to_string(count));
+    }
+  }
+  axes.banks = *banks;
+  for (const std::string& name :
+       split(policy_text.empty() ? "interleave" : policy_text, ',')) {
+    const std::optional<pim::BankPolicy> policy =
+        pim::bank_policy_from_string(name);
+    if (!policy.has_value()) {
+      throw UsageError("unknown bank policy: " + name +
+                       " (expected interleave or block)");
+    }
+    axes.policies.push_back(*policy);
+  }
+  return axes;
+}
+
 std::vector<core::PackerKind> parse_packer_list(const std::string& csv) {
   if (csv == "all") {
     return {core::PackerKind::kTopological, core::PackerKind::kLpt,
@@ -146,8 +205,21 @@ int cmd_list() {
 int cmd_run(const FlagParser& flags) {
   const graph::TaskGraph g = graph::build_paper_benchmark(
       graph::paper_benchmark(flags.get_string("benchmark")));
-  const pim::PimConfig config =
-      pim::PimConfig::neurocube(require_pe_count(flags));
+  const CostModelAxes axes = parse_cost_model_axes(flags);
+  pim::PimConfig config = pim::PimConfig::neurocube(require_pe_count(flags));
+  if (axes.kind != pim::CostModelKind::kConstant) {
+    if (axes.banks.size() != 1) {
+      throw UsageError("run takes a single --banks value, got " +
+                       flags.get_string("banks"));
+    }
+    if (axes.policies.size() != 1) {
+      throw UsageError("run takes a single --bank-policy value, got " +
+                       flags.get_string("bank-policy"));
+    }
+    config.cost_model = axes.kind;
+    config.edram_banks = axes.banks.front();
+    config.bank_policy = axes.policies.front();
+  }
 
   core::ParaConvOptions options;
   options.iterations = require_int_at_least(flags, "iterations", 1);
@@ -165,6 +237,19 @@ int cmd_run(const FlagParser& flags) {
     report::JsonValue out = report::JsonValue::object();
     out.set("benchmark", g.name());
     out.set("pe_count", config.pe_count);
+    // Same conditional schema extension as the sweep JSON: banked runs get
+    // the cost-model identity and flat bank counters, constant runs stay
+    // byte-identical to pre-cost-model builds.
+    if (config.cost_model != pim::CostModelKind::kConstant) {
+      const pim::BankStats bank =
+          core::analyze_bank_contention(g, ours.kernel, config);
+      out.set("cost_model", pim::to_string(config.cost_model));
+      out.set("banks", config.edram_banks);
+      out.set("bank_policy", pim::to_string(config.bank_policy));
+      out.set("bank_conflicts", bank.conflicts);
+      out.set("bank_stall_units", bank.stall_units);
+      out.set("bank_peak_occupancy", bank.peak_occupancy);
+    }
     out.set("para_conv", report::to_json(ours.metrics));
     out.set("sparta", report::to_json(base.metrics));
     out.set("schedule", report::to_json(g, ours.kernel));
@@ -198,6 +283,29 @@ int cmd_run(const FlagParser& flags) {
   std::cout << "speedup: "
             << format_fixed(core::speedup(base.metrics, ours.metrics), 2)
             << "x\n";
+
+  if (config.cost_model != pim::CostModelKind::kConstant) {
+    // DNNsim-style per-run stats block: one steady-state kernel iteration
+    // replayed through the banked contention analyzer.
+    const std::vector<pim::TransferRequest> requests =
+        core::edram_transfer_requests(g, ours.kernel);
+    const pim::BankStats bank =
+        core::analyze_bank_contention(g, ours.kernel, config);
+    TablePrinter stats("banked eDRAM contention (" +
+                       std::to_string(config.edram_banks) +
+                       " banks/vault, " +
+                       std::string(pim::to_string(config.bank_policy)) +
+                       " mapping)");
+    stats.set_header({"stat", "value"});
+    stats.add_row({"eDRAM transfers/iter",
+                   std::to_string(requests.size())});
+    stats.add_row({"bank conflicts", std::to_string(bank.conflicts)});
+    stats.add_row({"stall time units", std::to_string(bank.stall_units)});
+    stats.add_row({"peak bank occupancy",
+                   std::to_string(bank.peak_occupancy)});
+    std::cout << "\n";
+    stats.print(std::cout);
+  }
 
   if (flags.get_bool("gantt")) {
     std::cout << "\n"
@@ -323,6 +431,28 @@ int cmd_sweep(const FlagParser& flags) {
                        std::to_string(pes));
     }
     spec.configs.push_back(pim::PimConfig::neurocube(pes));
+  }
+  const CostModelAxes axes = parse_cost_model_axes(flags);
+  if (axes.kind != pim::CostModelKind::kConstant) {
+    // Bank count and mapping policy are grid axes like pe_count: the config
+    // axis becomes pe_counts x banks x policies, banks fastest-varying last
+    // so consecutive configs share a PE count (and thus their packings via
+    // the memo cache — the banked transfer_time matches the constant one).
+    std::vector<pim::PimConfig> expanded;
+    expanded.reserve(spec.configs.size() * axes.banks.size() *
+                     axes.policies.size());
+    for (const pim::PimConfig& base_config : spec.configs) {
+      for (const pim::BankPolicy policy : axes.policies) {
+        for (const int banks : axes.banks) {
+          pim::PimConfig config = base_config;
+          config.cost_model = axes.kind;
+          config.edram_banks = banks;
+          config.bank_policy = policy;
+          expanded.push_back(config);
+        }
+      }
+    }
+    spec.configs = std::move(expanded);
   }
 
   dse::SweepOptions options;
@@ -585,6 +715,17 @@ int main(int argc, char** argv) {
                    "sweep: comma-separated paper benchmarks, or 'all'");
   flags.add_string("pe-counts", "16,32,64",
                    "sweep: comma-separated PE-array sizes");
+  flags.add_string("cost-model", "constant",
+                   "run, sweep: data-movement cost model (constant | "
+                   "banked); banked adds eDRAM bank-contention counters");
+  flags.add_string("banks", "",
+                   "run, sweep: comma-separated banks-per-vault list "
+                   "(sweep axis; run takes one value); requires "
+                   "--cost-model banked, default 8");
+  flags.add_string("bank-policy", "",
+                   "run, sweep: comma-separated bank-mapping policies "
+                   "(interleave | block); requires --cost-model banked, "
+                   "default interleave");
   flags.add_string("allocators", "dp",
                    "sweep: comma-separated allocator list, or 'all'");
   flags.add_string("packers", "topo",
@@ -614,7 +755,8 @@ int main(int argc, char** argv) {
                  "--resume");
   flags.add_string("suite", "pipeline",
                    "bench: comma-separated suite list (pipeline, packer, "
-                   "retime, alloc_dp, sweep_cell, serve), or 'all'");
+                   "retime, alloc_dp, sweep_cell, cost_model, serve), or "
+                   "'all'");
   flags.add_int("warmup", 2, "bench: untimed repetitions before measuring");
   flags.add_int("repetitions", 11,
                 "bench: timed repetitions per case (median/p10/p90 are "
