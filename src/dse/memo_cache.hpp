@@ -113,7 +113,7 @@ class MemoCache {
   };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<PackingKey, Value, KeyHash> map;
+    std::unordered_map<PackingKey, Value, KeyHash> map;  // GUARDED-BY(mu)
   };
 
   Shard& shard_for(const PackingKey& key) const;

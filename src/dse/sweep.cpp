@@ -229,7 +229,12 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
   std::atomic<std::size_t> evaluated{0};
 
   const auto evaluate = [&](std::size_t index) {
+    // ANALYZE-ALLOW(atomic): the stop flag is advisory — a cell that
+    // misses the store merely evaluates once more; the pool join is the
+    // happens-before edge for everything the cells wrote.
     if (stop.load(std::memory_order_relaxed)) return;
+    // ANALYZE-ALLOW(atomic): pure tally; read only after the pool join,
+    // which orders it.
     evaluated.fetch_add(1, std::memory_order_relaxed);
     CellResult cell;
     fill_cell_identity(spec, options, index, &cell);
@@ -256,6 +261,9 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
     }
     if (thrown != nullptr && options.fail_fast) {
       errors[index] = thrown;
+      // ANALYZE-ALLOW(atomic): advisory stop (see the load above); the
+      // parked exception travels through errors[index], whose visibility
+      // the pool join guarantees.
       stop.store(true, std::memory_order_relaxed);
     }
     // Ordered reduction: each cell owns exactly slot `index`, so the
@@ -265,6 +273,9 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
   };
 
   const MemoCache::Stats cache_before = cache->stats();
+  // ANALYZE-ALLOW(nondet): wall_seconds is advisory throughput telemetry;
+  // it is excluded from the byte-identity contract (report writers never
+  // emit it into CSV/JSON rows or checkpoints).
   const auto start = std::chrono::steady_clock::now();
   std::uint64_t pool_executed = 0;
   std::uint64_t pool_stolen = 0;
@@ -273,7 +284,9 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
       if (resumed[index]) continue;
       evaluate(index);
     }
-    pool_executed = evaluated.load();
+    // ANALYZE-ALLOW(atomic): single-threaded path — the loop above ran on
+    // this thread, so program order is the happens-before argument.
+    pool_executed = evaluated.load(std::memory_order_relaxed);
   } else {
     ThreadPool pool({.threads = jobs});
     std::vector<std::future<void>> futures;
@@ -287,6 +300,7 @@ SweepResult run_sweep(const GridSpec& spec, const SweepOptions& options) {
     pool_executed = pool_stats.executed;
     pool_stolen = pool_stats.stolen;
   }
+  // ANALYZE-ALLOW(nondet): see the matching read above — advisory only.
   const auto end = std::chrono::steady_clock::now();
   result.wall_seconds =
       std::chrono::duration<double>(end - start).count();

@@ -72,7 +72,7 @@ class ThreadPool {
  private:
   struct Worker {
     std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    std::deque<std::function<void()>> tasks;  // GUARDED-BY(mu)
     std::jthread thread;  // started last, after every deque exists
   };
 
@@ -86,13 +86,13 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable space_ready_;
-  std::size_t pending_{0};
-  std::size_t queue_capacity_{0};
-  bool stopping_{false};
-  std::size_t next_worker_{0};
+  std::size_t pending_{0};  // GUARDED-BY(mu_)
+  std::size_t queue_capacity_{0};  // set once in the constructor, then const
+  bool stopping_{false};           // GUARDED-BY(mu_)
+  std::size_t next_worker_{0};     // GUARDED-BY(mu_)
 
-  std::uint64_t executed_{0};
-  std::uint64_t stolen_{0};
+  std::uint64_t executed_{0};  // GUARDED-BY(mu_)
+  std::uint64_t stolen_{0};    // GUARDED-BY(mu_)
 };
 
 }  // namespace paraconv::dse

@@ -12,7 +12,10 @@ std::atomic<std::uint32_t> g_next_thread_id{0};
 
 }  // namespace
 
-Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
+Registry::Registry()
+    // ANALYZE-ALLOW(nondet): span timestamps are measurements relative to
+    // this epoch; they never reach deterministic report/checkpoint bytes.
+    : epoch_(std::chrono::steady_clock::now()) {}
 
 void Registry::record_span(SpanRecord record) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -42,20 +45,31 @@ void Registry::clear() {
 
 std::int64_t Registry::now_ns() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             // ANALYZE-ALLOW(nondet): span durations are the one obs
+             // output that is wall-clock by definition; counters stay
+             // deterministic.
              std::chrono::steady_clock::now() - epoch_)
       .count();
 }
 
 Registry* active_registry() {
+  // ANALYZE-ALLOW(atomic): only the pointer value is read; the Registry it
+  // points to synchronizes internally via mu_, so no ordering is needed
+  // on the hot uninstrumented path (one relaxed load per site).
   return g_registry.load(std::memory_order_relaxed);
 }
 
 Registry* set_registry(Registry* registry) {
+  // ANALYZE-ALLOW(atomic): acq_rel pairs installs with uninstalls — the
+  // release publishes the fully-constructed Registry to readers of the
+  // pointer, the acquire sees all writes that preceded the handoff.
   return g_registry.exchange(registry, std::memory_order_acq_rel);
 }
 
 std::uint32_t thread_id() {
   thread_local const std::uint32_t id =
+      // ANALYZE-ALLOW(atomic): a unique-id ticket; no other memory is
+      // published, uniqueness is all fetch_add's atomicity guarantees.
       g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
   return id;
 }

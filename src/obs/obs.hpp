@@ -65,8 +65,8 @@ class Registry {
  private:
   const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
-  std::map<std::string, std::int64_t> counters_;
+  std::vector<SpanRecord> spans_;                 // GUARDED-BY(mu_)
+  std::map<std::string, std::int64_t> counters_;  // GUARDED-BY(mu_)
 };
 
 /// The registry the library instrumentation writes to, or nullptr when

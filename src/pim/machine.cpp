@@ -1,6 +1,7 @@
 #include "pim/machine.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "pim/cost_model.hpp"
 #include "retiming/delta.hpp"
@@ -102,8 +103,16 @@ MachineStats Machine::run(const graph::TaskGraph& g,
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
     if (a.time != b.time) return a.time < b.time;
     // Produces before consumes at equal timestamps: a hand-off completing
-    // exactly at a consumer's start is legal.
-    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    // exactly at a consumer's start is legal. The remaining keys make the
+    // order total — std::sort is unstable, so a (time, kind)-only
+    // comparator would leave same-time same-kind events in unspecified
+    // order, and that order reaches the observer stream (--timeline trace
+    // bytes) and the vault busy-until diagnostics.
+    if (a.kind != b.kind) {
+      return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    }
+    return std::tie(a.iteration, a.edge.value, a.node.value, a.pe) <
+           std::tie(b.iteration, b.edge.value, b.node.value, b.pe);
   });
 
   MachineStats stats;

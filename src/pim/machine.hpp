@@ -96,7 +96,11 @@ struct MachineRunOptions {
   /// violation; otherwise violations are counted in the stats.
   bool strict{true};
   /// Optional observer invoked for every memory-system event, in time
-  /// order. Null disables observation (no overhead).
+  /// order. Same-time events arrive in a fixed total order — produces
+  /// before consumes before executes, then by (iteration, edge, node,
+  /// pe) — so the event stream (and anything derived from it, like the
+  /// --timeline trace) is byte-identical across runs. Null disables
+  /// observation (no overhead).
   std::function<void(const MemoryEvent&)> observer{};
 };
 

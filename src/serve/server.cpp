@@ -30,6 +30,9 @@ namespace paraconv::serve {
 namespace {
 
 bool stop_set(const std::atomic<bool>* stop) {
+  // ANALYZE-ALLOW(atomic): advisory shutdown poll — the loops re-check
+  // every iteration and joining the transport threads is the real
+  // happens-before edge for anything they wrote.
   return stop != nullptr && stop->load(std::memory_order_relaxed);
 }
 
@@ -72,6 +75,8 @@ Server::~Server() {
 
 std::string Server::reject(const ServeRequest& request, const char* code,
                            const std::string& message) {
+  // ANALYZE-ALLOW(atomic): monotonic tally; stats() readers tolerate any
+  // interleaving.
   rejected_.fetch_add(1, std::memory_order_relaxed);
   obs::count("serve.requests.rejected");
   return error_response(request, code, message);
@@ -89,8 +94,12 @@ std::future<std::string> Server::submit_line(const std::string& line) {
                                  "op \"block\" is test-only"));
   }
 
+  // ANALYZE-ALLOW(atomic): acq_rel makes the admission ticket a
+  // read-modify-write chain — every submit observes the depth including
+  // all earlier admissions/releases, so the max_queue bound is exact.
   const int waiting = queued_.fetch_add(1, std::memory_order_acq_rel);
   if (waiting >= options_.max_queue) {
+    // ANALYZE-ALLOW(atomic): same RMW-chain argument as the admission.
     queued_.fetch_sub(1, std::memory_order_acq_rel);
     return ready_response(
         reject(request, kErrorQueueFull,
@@ -98,13 +107,19 @@ std::future<std::string> Server::submit_line(const std::string& line) {
                    std::to_string(options_.max_queue) + " waiting)"));
   }
 
+  // ANALYZE-ALLOW(nondet): queue-wait deadline measurement; reaches only
+  // the latency fields of serve responses, which are documented as
+  // wall-clock (outside the byte-identity contract).
   const auto admitted = std::chrono::steady_clock::now();
   return pool_->async([this, request = std::move(request),
                        admitted]() -> std::string {
+    // ANALYZE-ALLOW(atomic): same RMW-chain argument as the admission.
     queued_.fetch_sub(1, std::memory_order_acq_rel);
     if (options_.deadline_ms > 0) {
       const auto waited_ms =
           std::chrono::duration_cast<std::chrono::milliseconds>(
+              // ANALYZE-ALLOW(nondet): deadline check against the
+              // admission timestamp; latency surface only.
               std::chrono::steady_clock::now() - admitted)
               .count();
       if (waited_ms > options_.deadline_ms) {
@@ -132,14 +147,19 @@ std::string Server::execute(const ServeRequest& request) {
     --blocked_;
   }
   if (request.op == "shutdown") {
+    // ANALYZE-ALLOW(atomic): advisory flag; the transports poll it every
+    // loop iteration and joining them orders everything that follows.
     shutdown_requested_.store(true, std::memory_order_relaxed);
   }
+  // ANALYZE-ALLOW(atomic): monotonic tally; stats() is advisory.
   ok_.fetch_add(1, std::memory_order_relaxed);
   obs::count("serve.requests.ok");
   return ok_response(request, nullptr, cache_.stats(), 0.0);
 }
 
 std::string Server::execute_schedule(const ServeRequest& request) {
+  // ANALYZE-ALLOW(nondet): wall_ms latency telemetry in the response;
+  // the result payload itself stays deterministic.
   const auto start = std::chrono::steady_clock::now();
   dse::CellResult cell;
   try {
@@ -157,18 +177,22 @@ std::string Server::execute_schedule(const ServeRequest& request) {
     // controller is assembling, so carry it like run_sweep would.
     cell.index = static_cast<std::size_t>(request.cell_index);
   } catch (const ContractViolation& violation) {
+    // ANALYZE-ALLOW(atomic): monotonic tally; stats() is advisory.
     errors_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.requests.error");
     return error_response(request, "contract-violation", violation.what());
   } catch (const std::exception& error) {
+    // ANALYZE-ALLOW(atomic): monotonic tally; stats() is advisory.
     errors_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.requests.error");
     return error_response(request, "exception", error.what());
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
+          // ANALYZE-ALLOW(nondet): closes the latency window opened above.
           std::chrono::steady_clock::now() - start)
           .count();
+  // ANALYZE-ALLOW(atomic): monotonic tally; stats() is advisory.
   ok_.fetch_add(1, std::memory_order_relaxed);
   obs::count("serve.requests.ok");
   const report::JsonValue result = dse::cell_to_json(cell);
@@ -177,6 +201,9 @@ std::string Server::execute_schedule(const ServeRequest& request) {
 
 void Server::note_completed() {
   const std::uint64_t done =
+      // ANALYZE-ALLOW(atomic): the RMW is total over completed_ regardless
+      // of order, so every Nth completion triggers exactly one periodic
+      // flush; no other state rides on this edge.
       completed_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (options_.flush_every > 0 &&
       done % static_cast<std::uint64_t>(options_.flush_every) == 0) {
@@ -211,9 +238,13 @@ void Server::release_blocked() {
 
 Server::Stats Server::stats() const {
   Stats stats;
+  // ANALYZE-ALLOW-BEGIN(atomic): advisory point-in-time snapshot; callers
+  // sample after the transports return (join orders the final values) or
+  // accept a racy reading.
   stats.ok = ok_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.errors = errors_.load(std::memory_order_relaxed);
+  // ANALYZE-ALLOW-END(atomic)
   return stats;
 }
 
@@ -243,6 +274,8 @@ void Server::run_pipe(std::istream& in, std::ostream& out,
 
   std::string line;
   while (!stop_set(stop) &&
+         // ANALYZE-ALLOW(atomic): advisory poll re-checked every line;
+         // the writer join below orders everything the workers wrote.
          !shutdown_requested_.load(std::memory_order_relaxed) &&
          std::getline(in, line)) {
     if (line.empty()) continue;
@@ -284,6 +317,8 @@ void Server::run_socket(const std::string& path,
 
   std::vector<std::thread> connections;
   while (!stop_set(stop) &&
+         // ANALYZE-ALLOW(atomic): advisory poll re-checked every accept
+         // timeout; the connection joins below are the happens-before edge.
          !shutdown_requested_.load(std::memory_order_relaxed)) {
     pollfd pfd{};
     pfd.fd = listen_fd;
@@ -306,6 +341,8 @@ void Server::serve_connection(int fd, const std::atomic<bool>* stop) {
   std::vector<char> chunk(4096);
   bool alive = true;
   while (alive && !stop_set(stop) &&
+         // ANALYZE-ALLOW(atomic): advisory poll re-checked every recv
+         // timeout; run_socket joins this thread before teardown.
          !shutdown_requested_.load(std::memory_order_relaxed)) {
     pollfd pfd{};
     pfd.fd = fd;

@@ -142,8 +142,8 @@ class Server {
 
   mutable std::mutex block_mu_;
   std::condition_variable block_cv_;
-  bool release_all_{false};
-  std::size_t blocked_{0};
+  bool release_all_{false};    // GUARDED-BY(block_mu_)
+  std::size_t blocked_{0};     // GUARDED-BY(block_mu_)
 };
 
 }  // namespace paraconv::serve

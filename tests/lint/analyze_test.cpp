@@ -1,0 +1,223 @@
+// The analysis suite, analyzed: every seeded-violation overlay under
+// fixtures/violations/ must trip exactly the check it seeds when the FULL
+// pass suite runs (lint_test.cpp covers the lint-only configuration that
+// paraconv_lint ships), the clean variants must stay clean, and the SARIF
+// rendering must hold the 2.1.0 shape CI uploads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "analyze.hpp"
+#include "report/json_reader.hpp"
+
+namespace paraconv::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fixtures_dir() { return fs::path(PARACONV_LINT_FIXTURES_DIR); }
+
+/// clean tree + optional overlay, materialized under a per-case temp dir.
+fs::path make_tree(const std::string& case_name) {
+  const fs::path root =
+      fs::temp_directory_path() / ("paraconv_analyze_" + case_name);
+  fs::remove_all(root);
+  fs::copy(fixtures_dir() / "clean", root,
+           fs::copy_options::recursive | fs::copy_options::overwrite_existing);
+  const fs::path overlay = fixtures_dir() / "violations" / case_name;
+  if (fs::exists(overlay)) {
+    fs::copy(overlay, root,
+             fs::copy_options::recursive |
+                 fs::copy_options::overwrite_existing);
+  }
+  return root;
+}
+
+bool has_check(const Report& report, const std::string& check) {
+  return std::any_of(
+      report.findings.begin(), report.findings.end(),
+      [&](const Finding& finding) { return finding.check == check; });
+}
+
+std::string render(const Report& report) {
+  std::string out;
+  for (const Finding& finding : report.findings) {
+    out += to_string(finding) + "\n";
+  }
+  return out;
+}
+
+TEST(AnalyzeTest, CleanTreePassesEveryPass) {
+  const Report report = run_analyze(make_tree("clean"));
+  EXPECT_GT(report.files_scanned, 0);
+  EXPECT_TRUE(report.findings.empty()) << render(report);
+}
+
+TEST(AnalyzeTest, PassCatalogIsStable) {
+  std::vector<std::string> names;
+  for (const PassInfo& pass : pass_catalog()) names.push_back(pass.name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"lint", "nondet", "atomics",
+                                      "layering"}));
+}
+
+TEST(AnalyzeTest, DisabledPassProducesNoFindings) {
+  Options options;
+  options.disabled = {"nondet"};
+  const Report report =
+      run_analyze(make_tree("nondet_random_source"), options);
+  EXPECT_FALSE(has_check(report, "nondet-random-source")) << render(report);
+}
+
+struct ViolationCase {
+  const char* overlay;
+  const char* expected_check;
+};
+
+class AnalyzeViolationTest : public testing::TestWithParam<ViolationCase> {};
+
+TEST_P(AnalyzeViolationTest, SeededViolationIsFlagged) {
+  const Report report = run_analyze(make_tree(GetParam().overlay));
+  EXPECT_TRUE(has_check(report, GetParam().expected_check))
+      << "expected a [" << GetParam().expected_check
+      << "] finding; got:\n" << render(report);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeded, AnalyzeViolationTest,
+    testing::Values(
+        ViolationCase{"nondet_unordered_emission",
+                      "nondet-unordered-emission"},
+        ViolationCase{"nondet_pointer_key", "nondet-pointer-key"},
+        ViolationCase{"nondet_random_source", "nondet-random-source"},
+        ViolationCase{"nondet_clock_unlisted", "nondet-wall-clock"},
+        ViolationCase{"nondet_clock_doc_stale", "nondet-clock-doc-stale"},
+        ViolationCase{"atomics_order_unjustified",
+                      "atomics-order-unjustified"},
+        ViolationCase{"atomics_bare_op", "atomics-bare-op"},
+        ViolationCase{"atomics_guard_violation", "atomics-guard-violation"},
+        ViolationCase{"atomics_allow_unused", "analyze-allow-unused"},
+        ViolationCase{"layering_back_edge", "layering-back-edge"},
+        ViolationCase{"layering_exception_stale", "layering-exception-stale"},
+        ViolationCase{"layering_exception_malformed",
+                      "layering-exception-malformed"},
+        ViolationCase{"analyze_allow_malformed", "analyze-allow-malformed"}),
+    [](const testing::TestParamInfo<ViolationCase>& param_info) {
+      return param_info.param.overlay;
+    });
+
+// An annotated clock read listed in the BENCHMARKS.md exception table is
+// sanctioned — both halves (annotation + doc row) are present here.
+TEST(AnalyzeTest, DocumentedAnnotatedClockIsClean) {
+  const Report report = run_analyze(make_tree("nondet_clock_allowed"));
+  EXPECT_TRUE(report.findings.empty()) << render(report);
+}
+
+// A grandfathered back-edge with a matching exceptions entry is clean, and
+// the entry counts as used (no staleness finding).
+TEST(AnalyzeTest, GrandfatheredBackEdgeIsClean) {
+  const Report report = run_analyze(make_tree("layering_exception_ok"));
+  EXPECT_TRUE(report.findings.empty()) << render(report);
+}
+
+// ---- SARIF shape ----------------------------------------------------------
+
+const report::JsonDoc* require_member(const report::JsonDoc* doc,
+                                      const std::string& key) {
+  EXPECT_NE(doc, nullptr);
+  if (doc == nullptr) return nullptr;
+  const report::JsonDoc* member = doc->find(key);
+  EXPECT_NE(member, nullptr) << "missing SARIF member: " << key;
+  return member;
+}
+
+TEST(AnalyzeSarifTest, FindingsRenderAsSarif210) {
+  const Report report = run_analyze(make_tree("atomics_bare_op"));
+  ASSERT_TRUE(has_check(report, "atomics-bare-op")) << render(report);
+
+  report::JsonDoc doc;
+  std::string error;
+  ASSERT_TRUE(report::parse_json(to_sarif(report), &doc, &error)) << error;
+
+  const report::JsonDoc* schema = require_member(&doc, "$schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_NE(schema->text.find("sarif-2.1.0"), std::string::npos);
+  const report::JsonDoc* version = require_member(&doc, "version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->text, "2.1.0");
+
+  const report::JsonDoc* runs = require_member(&doc, "runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->items.size(), 1U);
+  const report::JsonDoc& run = runs->items[0];
+
+  const report::JsonDoc* tool = require_member(&run, "tool");
+  const report::JsonDoc* driver = require_member(tool, "driver");
+  const report::JsonDoc* name = require_member(driver, "name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->text, "paraconv_analyze");
+
+  // One rule per distinct check id, and every result's ruleId resolves.
+  const report::JsonDoc* rules = require_member(driver, "rules");
+  ASSERT_NE(rules, nullptr);
+  std::set<std::string> rule_ids;
+  for (const report::JsonDoc& rule : rules->items) {
+    const report::JsonDoc* id = require_member(&rule, "id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_TRUE(rule_ids.insert(id->text).second)
+        << "duplicate rule id: " << id->text;
+  }
+  EXPECT_EQ(rule_ids.count("atomics-bare-op"), 1U);
+
+  const report::JsonDoc* results = require_member(&run, "results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items.size(), report.findings.size());
+  for (const report::JsonDoc& result : results->items) {
+    const report::JsonDoc* rule_id = require_member(&result, "ruleId");
+    ASSERT_NE(rule_id, nullptr);
+    EXPECT_EQ(rule_ids.count(rule_id->text), 1U)
+        << "result ruleId not in driver.rules: " << rule_id->text;
+    const report::JsonDoc* level = require_member(&result, "level");
+    ASSERT_NE(level, nullptr);
+    EXPECT_EQ(level->text, "error");
+    const report::JsonDoc* message = require_member(&result, "message");
+    const report::JsonDoc* text = require_member(message, "text");
+    ASSERT_NE(text, nullptr);
+    EXPECT_FALSE(text->text.empty());
+    const report::JsonDoc* locations = require_member(&result, "locations");
+    ASSERT_NE(locations, nullptr);
+    ASSERT_EQ(locations->items.size(), 1U);
+    const report::JsonDoc* physical =
+        require_member(&locations->items[0], "physicalLocation");
+    const report::JsonDoc* artifact =
+        require_member(physical, "artifactLocation");
+    const report::JsonDoc* uri = require_member(artifact, "uri");
+    ASSERT_NE(uri, nullptr);
+    EXPECT_FALSE(uri->text.empty());
+    const report::JsonDoc* region = require_member(physical, "region");
+    const report::JsonDoc* start_line = require_member(region, "startLine");
+    ASSERT_NE(start_line, nullptr);
+    EXPECT_GE(start_line->number, 1.0);
+  }
+}
+
+TEST(AnalyzeSarifTest, CleanReportRendersEmptyRun) {
+  const Report report = run_analyze(make_tree("clean"));
+  ASSERT_TRUE(report.findings.empty()) << render(report);
+
+  report::JsonDoc doc;
+  std::string error;
+  ASSERT_TRUE(report::parse_json(to_sarif(report), &doc, &error)) << error;
+  const report::JsonDoc* runs = require_member(&doc, "runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->items.size(), 1U);
+  const report::JsonDoc* results = require_member(&runs->items[0], "results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_TRUE(results->items.empty());
+}
+
+}  // namespace
+}  // namespace paraconv::analyze

@@ -1,0 +1,9 @@
+// Seeded violation: an unknown suppression category.
+#include "sched/bad_allow.hpp"
+
+namespace paraconv::sched {
+
+// ANALYZE-ALLOW(bogus): not a category the grammar knows
+int answer() { return 42; }
+
+}  // namespace paraconv::sched

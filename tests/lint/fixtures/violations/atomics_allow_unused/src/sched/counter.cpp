@@ -1,0 +1,12 @@
+// Seeded violation: an atomic suppression covering a plain statement.
+#include "sched/counter.hpp"
+
+namespace paraconv::sched {
+
+int plain_counter() {
+  // ANALYZE-ALLOW(atomic): nothing atomic happens on the next line.
+  int local = 0;
+  return local;
+}
+
+}  // namespace paraconv::sched

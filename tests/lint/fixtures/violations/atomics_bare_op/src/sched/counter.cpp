@@ -1,0 +1,10 @@
+// Seeded violation: an atomic op with no explicit memory order.
+#include "sched/counter.hpp"
+
+namespace paraconv::sched {
+
+std::atomic<int> g_count{0};
+
+void bump() { g_count.fetch_add(1); }
+
+}  // namespace paraconv::sched

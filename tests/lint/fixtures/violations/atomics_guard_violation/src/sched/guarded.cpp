@@ -1,0 +1,13 @@
+// Seeded violation: a guarded field read without holding its mutex.
+#include "sched/guarded.hpp"
+
+namespace paraconv::sched {
+
+struct ValidatorState {
+  std::mutex mu_;
+  int hits_{0};  // GUARDED-BY(mu_)
+};
+
+int peek_hits(ValidatorState& state) { return state.hits_; }
+
+}  // namespace paraconv::sched

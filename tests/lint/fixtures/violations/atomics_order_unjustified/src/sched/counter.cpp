@@ -1,0 +1,10 @@
+// Seeded violation: a relaxed RMW with no happens-before justification.
+#include "sched/counter.hpp"
+
+namespace paraconv::sched {
+
+std::atomic<int> g_count{0};
+
+void bump() { g_count.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace paraconv::sched

@@ -1,0 +1,4 @@
+// Seeded violation: sched (rank 4) reaching up into dse (rank 6).
+#include "dse/frontier.hpp"
+
+namespace paraconv::sched {}

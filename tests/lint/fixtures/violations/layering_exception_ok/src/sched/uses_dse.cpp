@@ -1,0 +1,4 @@
+// A grandfathered back-edge: listed, with a reason, in the exceptions file.
+#include "dse/frontier.hpp"
+
+namespace paraconv::sched {}

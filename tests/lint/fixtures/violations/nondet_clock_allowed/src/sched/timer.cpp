@@ -1,0 +1,12 @@
+// Sanctioned wall-clock read: annotated and documented.
+#include "sched/timer.hpp"
+
+namespace paraconv::sched {
+
+std::int64_t elapsed_ns() {
+  // ANALYZE-ALLOW(nondet): fixture telemetry; never reaches result bytes.
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,12 @@
+// Seeded violation: a wall-clock read with no ANALYZE-ALLOW annotation
+// and no docs/BENCHMARKS.md exception row.
+#include "sched/timer.hpp"
+
+namespace paraconv::sched {
+
+std::int64_t elapsed_ns() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+
+}  // namespace paraconv::sched

@@ -1,0 +1,8 @@
+// Seeded violation: an ambient random source in library code.
+#include "sched/noise.hpp"
+
+namespace paraconv::sched {
+
+int jitter() { return rand() % 7; }
+
+}  // namespace paraconv::sched

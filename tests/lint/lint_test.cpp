@@ -2,10 +2,9 @@
 // findings, and every seeded-violation overlay must trip exactly the check
 // it seeds. Overlays live as real files under fixtures/violations/<case>/
 // mirroring the repo layout; each test copies the clean tree into a temp
-// dir, drops the overlay on top, and runs the same run_lint() the
-// `paraconv_lint` binary (and the `lint` ctest) uses.
-#include "lint.hpp"
-
+// dir, drops the overlay on top, and runs the same lint-only configuration
+// the `paraconv_lint` binary (and the `lint` ctest) uses — run_analyze with
+// the three analysis passes disabled.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,7 +12,9 @@
 #include <fstream>
 #include <string>
 
-namespace paraconv::lint {
+#include "analyze.hpp"
+
+namespace paraconv::analyze {
 namespace {
 
 namespace fs = std::filesystem;
@@ -34,6 +35,13 @@ fs::path make_tree(const std::string& case_name) {
                  fs::copy_options::overwrite_existing);
   }
   return root;
+}
+
+/// What `paraconv_lint` runs: the lint pass alone.
+Report run_lint(const fs::path& root) {
+  Options options;
+  options.disabled = {"nondet", "atomics", "layering"};
+  return run_analyze(root, options);
 }
 
 bool has_check(const Report& report, const std::string& check) {
@@ -117,4 +125,4 @@ TEST(LintTest, MissingDocSectionsAreFindings) {
 }
 
 }  // namespace
-}  // namespace paraconv::lint
+}  // namespace paraconv::analyze

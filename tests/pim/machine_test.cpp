@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace paraconv::pim {
 namespace {
 
@@ -171,6 +173,59 @@ TEST(MachineTest, NoContentionWithDedicatedVaults) {
   const MachineStats stats = machine.run(q.g, q.kernel, {.iterations = 3});
   EXPECT_EQ(stats.vault_contention_events, 0);
   EXPECT_EQ(stats.vault_wait_time.value, 0);
+}
+
+TEST(MachineTest, ObserverStreamHasFixedTotalOrderForSameTimeEvents) {
+  // Two producers finishing at the same instant feed one consumer. Before
+  // the timeline comparator was made total, the relative order of their
+  // same-time events depended on std::sort's internal permutation; it must
+  // follow the documented (iteration, edge, node, pe) key, and the whole
+  // observer stream must replay byte-identically.
+  TaskGraph g("same-time");
+  const NodeId x = g.add_task(Task{"X", TaskKind::kConvolution, TimeUnits{2}});
+  const NodeId y = g.add_task(Task{"Y", TaskKind::kConvolution, TimeUnits{2}});
+  const NodeId z = g.add_task(Task{"Z", TaskKind::kConvolution, TimeUnits{1}});
+  g.add_ipr(y, z, 1_KiB);  // edge 0: the cross-PE hand-off
+  g.add_ipr(x, z, 1_KiB);  // edge 1: the same-PE hand-off
+
+  KernelSchedule kernel;
+  kernel.period = TimeUnits{6};
+  kernel.placement = {TaskPlacement{0, TimeUnits{0}},
+                      TaskPlacement{1, TimeUnits{0}},
+                      TaskPlacement{0, TimeUnits{4}}};
+  kernel.retiming = {0, 0, 0};
+  kernel.distance = {0, 0};
+  kernel.allocation = {AllocSite::kCache, AllocSite::kCache};
+
+  const auto trace = [&] {
+    std::string out;
+    Machine machine(two_pe_config());
+    MachineRunOptions options;
+    options.iterations = 3;
+    options.observer = [&out](const MemoryEvent& ev) {
+      out += std::to_string(ev.time.value) + ":" + to_string(ev.kind) + ":e" +
+             std::to_string(ev.edge.value) + ":pe" + std::to_string(ev.pe) +
+             "\n";
+    };
+    machine.run(g, kernel, options);
+    return out;
+  };
+
+  const std::string first = trace();
+  EXPECT_EQ(first, trace());
+  // Both producers finish at t=2; Y's insert (edge 0, PE1) must come
+  // strictly before X's (edge 1, PE0).
+  const auto p0 = first.find("2:cache-insert:e0:pe1");
+  const auto p1 = first.find("2:cache-insert:e1:pe0");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  EXPECT_LT(p0, p1);
+  // The consumer's two same-time hand-offs at t=4 follow the same key.
+  const auto c0 = first.find("4:cache-hit:e0:pe0");
+  const auto c1 = first.find("4:cache-hit:e1:pe0");
+  ASSERT_NE(c0, std::string::npos);
+  ASSERT_NE(c1, std::string::npos);
+  EXPECT_LT(c0, c1);
 }
 
 TEST(MachineTest, RejectsInvalidArguments) {

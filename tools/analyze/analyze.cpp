@@ -1,0 +1,216 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "passes.hpp"
+#include "scanner.hpp"
+
+namespace paraconv::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  // Seeded-violation fixtures must not fail the real tree; build trees
+  // hold generated/vendored sources.
+  return name == "fixtures" || name.rfind("build", 0) == 0 ||
+         name.rfind(".", 0) == 0;
+}
+
+void collect_from(const fs::path& root, const fs::path& dir,
+                  std::vector<SourceFile>* files) {
+  if (!fs::exists(dir)) return;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(dir, ec);
+  const fs::recursive_directory_iterator end;
+  while (it != end) {
+    if (it->is_directory(ec) && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+      it.increment(ec);
+      continue;
+    }
+    const fs::path& p = it->path();
+    const std::string ext = p.extension().string();
+    if (it->is_regular_file(ec) && (ext == ".cpp" || ext == ".hpp")) {
+      if (std::optional<std::string> raw = read_file(p)) {
+        SourceFile f;
+        f.rel_path = fs::relative(p, root).generic_string();
+        f.stripped = strip_comments(*raw);
+        f.raw = std::move(*raw);
+        files->push_back(std::move(f));
+      }
+    }
+    it.increment(ec);
+  }
+}
+
+std::vector<SourceFile> collect_files(const fs::path& root) {
+  std::vector<SourceFile> files;
+  for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
+    collect_from(root, root / dir, &files);
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel_path < b.rel_path;
+            });
+  return files;
+}
+
+/// The suppression grammar itself is part of the contract: a typo'd
+/// category or a missing reason silently disables nothing — it must be a
+/// finding, not a no-op. Scoped to src/ so annotation-shaped text in the
+/// analyzer's own sources and tests stays inert.
+void check_annotation_grammar(Context& ctx) {
+  for (const SourceFile& f : ctx.files()) {
+    if (f.rel_path.rfind("src/", 0) != 0) continue;
+    for (const AllowAnnotation& a : parse_allow_annotations(f)) {
+      if (!a.error.empty()) {
+        ctx.add("analyze", "analyze-allow-malformed", f.rel_path, a.line,
+                "malformed suppression annotation: " + a.error);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<PassInfo>& pass_catalog() {
+  static const std::vector<PassInfo> kPasses = {
+      {"lint",
+       "docs/schema/hygiene checks (diag codes, obs names, CSV/JSON schema, "
+       "docs cross-references)"},
+      {"nondet",
+       "determinism: unordered-container emission, random sources, "
+       "pointer-keyed ordering, wall-clock reads outside the documented "
+       "allowlist"},
+      {"atomics",
+       "concurrency discipline: justified memory orders, explicit orders on "
+       "atomic ops, GUARDED-BY lock-scope checks"},
+      {"layering",
+       "src/ module DAG: include back-edges must be listed in "
+       "tools/analyze/layering.exceptions"},
+  };
+  return kPasses;
+}
+
+std::string to_string(const Finding& finding) {
+  std::string out = finding.file;
+  if (finding.line > 0) out += ":" + std::to_string(finding.line);
+  out += ": [" + finding.check + "] " + finding.message;
+  return out;
+}
+
+Report run_analyze(const std::filesystem::path& root, const Options& options) {
+  Context ctx(root, collect_files(root));
+  check_annotation_grammar(ctx);
+  const auto enabled = [&](const char* pass) {
+    return options.disabled.count(pass) == 0;
+  };
+  if (enabled("lint")) run_lint_pass(ctx);
+  if (enabled("nondet")) run_nondet_pass(ctx);
+  if (enabled("atomics")) run_atomics_pass(ctx);
+  if (enabled("layering")) run_layering_pass(ctx);
+
+  Report report;
+  report.files_scanned = static_cast<int>(ctx.files().size());
+  report.findings = ctx.take_findings();
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.check, a.message) <
+                     std::tie(b.file, b.line, b.check, b.message);
+            });
+  return report;
+}
+
+// ---- SARIF 2.1.0 -----------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const Report& report) {
+  std::vector<std::string> rule_ids;
+  for (const Finding& f : report.findings) {
+    if (std::find(rule_ids.begin(), rule_ids.end(), f.check) ==
+        rule_ids.end()) {
+      rule_ids.push_back(f.check);
+    }
+  }
+  std::sort(rule_ids.begin(), rule_ids.end());
+
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"paraconv_analyze\",\n";
+  out += "          \"rules\": [";
+  for (std::size_t i = 0; i < rule_ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n            {\"id\": \"" + json_escape(rule_ids[i]) + "\"}";
+  }
+  if (!rule_ids.empty()) out += "\n          ";
+  out += "]\n";
+  out += "        }\n";
+  out += "      },\n";
+  out += "      \"results\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i > 0) out += ",";
+    out += "\n        {\n";
+    out += "          \"ruleId\": \"" + json_escape(f.check) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + json_escape(f.message) +
+           "\"},\n";
+    out += "          \"locations\": [\n";
+    out += "            {\n";
+    out += "              \"physicalLocation\": {\n";
+    out += "                \"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.file) + "\"},\n";
+    out += "                \"region\": {\"startLine\": " +
+           std::to_string(std::max(f.line, 1)) + "}\n";
+    out += "              }\n";
+    out += "            }\n";
+    out += "          ]\n";
+    out += "        }";
+  }
+  if (!report.findings.empty()) out += "\n      ";
+  out += "]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace paraconv::analyze

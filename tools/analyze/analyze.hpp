@@ -1,0 +1,59 @@
+// paraconv_analyze: project-specific static analysis for the paraconv
+// tree. Four passes share one token/decl scanner (scanner.hpp):
+//
+//   lint      — docs/schema/hygiene checks (the original paraconv_lint)
+//   nondet    — determinism: unordered-container emission, random sources,
+//               pointer-keyed ordering, wall-clock reads outside the
+//               documented allowlist
+//   atomics   — concurrency discipline: justified memory orders, explicit
+//               orders on atomic ops, GUARDED-BY field/lock-scope checks
+//   layering  — the src/ module DAG, with an explicit exceptions file
+//
+// Findings come out both human-readable (to_string) and as SARIF 2.1.0
+// (to_sarif) for CI upload. See docs/ANALYSIS.md for the pass catalog and
+// the annotation grammar.
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace paraconv::analyze {
+
+struct Finding {
+  std::string pass;   // which pass produced it (lint, nondet, ...)
+  std::string check;  // stable kebab-case rule id
+  std::string file;   // relative path (or doc path) the finding is about
+  int line{0};        // 1-based; 0 when the finding is file-scoped
+  std::string message;
+};
+
+/// "file:line: [check] message" — the human-readable diagnostic line.
+std::string to_string(const Finding& finding);
+
+struct Report {
+  std::vector<Finding> findings;
+  int files_scanned{0};
+};
+
+struct PassInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// The fixed pass catalog, in execution order.
+const std::vector<PassInfo>& pass_catalog();
+
+struct Options {
+  std::set<std::string> disabled;  // pass names to skip
+};
+
+Report run_analyze(const std::filesystem::path& root,
+                   const Options& options = {});
+
+/// SARIF 2.1.0 document for the report: one run, one rule per distinct
+/// check id, one result per finding.
+std::string to_sarif(const Report& report);
+
+}  // namespace paraconv::analyze

@@ -1,0 +1,115 @@
+// Standalone driver for the paraconv analysis suite; see analyze.hpp for
+// the pass catalog. Runs as the `analyze` ctest against the source tree,
+// so determinism/concurrency/layering drift fails `ctest -j` locally the
+// same way it fails CI. `--sarif <file>` additionally writes the findings
+// as SARIF 2.1.0 for CI artifact upload.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analyze.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root <dir>] [--sarif <file>]\n"
+               "          [--disable <pass>]... [--list-passes]\n"
+               "Runs the paraconv static-analysis passes against the repo\n"
+               "rooted at <dir> (default: current directory). Exits 1 when\n"
+               "any finding is reported, 2 on usage errors.\n"
+               "  --sarif <file>    also write findings as SARIF 2.1.0\n"
+               "  --disable <pass>  skip one pass (repeatable)\n"
+               "  --list-passes     print the pass catalog and exit\n",
+               argv0);
+  return 2;
+}
+
+bool known_pass(const std::string& name) {
+  for (const paraconv::analyze::PassInfo& pass :
+       paraconv::analyze::pass_catalog()) {
+    if (pass.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string sarif_path;
+  paraconv::analyze::Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--root requires a directory argument\n");
+        return usage(argv[0]);
+      }
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--sarif requires a file argument\n");
+        return usage(argv[0]);
+      }
+      sarif_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--disable") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--disable requires a pass name\n");
+        return usage(argv[0]);
+      }
+      const std::string pass = argv[++i];
+      if (!known_pass(pass)) {
+        std::fprintf(stderr, "unknown pass: %s (see --list-passes)\n",
+                     pass.c_str());
+        return usage(argv[0]);
+      }
+      options.disabled.insert(pass);
+    } else if (std::strcmp(argv[i], "--list-passes") == 0) {
+      for (const paraconv::analyze::PassInfo& pass :
+           paraconv::analyze::pass_catalog()) {
+        std::printf("%-10s %s\n", pass.name.c_str(), pass.summary.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  const paraconv::analyze::Report report =
+      paraconv::analyze::run_analyze(root, options);
+  if (report.files_scanned == 0) {
+    std::fprintf(stderr,
+                 "paraconv-analyze: no sources found under '%s' -- wrong "
+                 "--root?\n",
+                 root.c_str());
+    return 2;
+  }
+  // The SARIF artifact is written findings-or-not: CI uploads it on every
+  // run, and an empty results array is the machine-readable "clean".
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out.good()) {
+      std::fprintf(stderr, "paraconv-analyze: cannot write SARIF to '%s'\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << paraconv::analyze::to_sarif(report);
+  }
+  for (const paraconv::analyze::Finding& finding : report.findings) {
+    std::fprintf(stderr, "%s\n",
+                 paraconv::analyze::to_string(finding).c_str());
+  }
+  if (!report.findings.empty()) {
+    std::fprintf(stderr, "paraconv-analyze: %zu finding(s) in %d files\n",
+                 report.findings.size(), report.files_scanned);
+    return 1;
+  }
+  std::fprintf(stderr, "paraconv-analyze: OK (%d files scanned)\n",
+               report.files_scanned);
+  return 0;
+}

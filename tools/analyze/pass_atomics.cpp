@@ -1,0 +1,293 @@
+// Atomics and lock-discipline pass. Relaxed/acquire/release orders are
+// only correct relative to a happens-before argument, and that argument
+// lives nowhere in the type system — so this pass makes it live in an
+// annotation the tool verifies:
+//
+//   atomics-order-unjustified  a memory_order_relaxed/acquire/release/
+//                              acq_rel/consume use without an
+//                              ANALYZE-ALLOW(atomic) annotation naming the
+//                              happens-before argument
+//   atomics-bare-op            an operation on a declared std::atomic that
+//                              defaults to seq_cst (.load()/.store()/
+//                              operator++/=/...) — spell the order
+//                              explicitly or justify the default
+//   atomics-guard-violation    a field declared // GUARDED-BY(mutex)
+//                              touched outside a token-detectable lock
+//                              scope on that mutex
+//   atomics-guard-malformed    a GUARDED-BY annotation the scanner cannot
+//                              parse back to a field and mutex
+//   analyze-allow-unused       an atomic/guard suppression that suppresses
+//                              nothing
+//
+// Scoped to src/, like the nondet pass: that is where the concurrency
+// lives, and where the analyzer's own needle strings must not self-match.
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "passes.hpp"
+#include "scanner.hpp"
+
+namespace paraconv::analyze {
+namespace {
+
+/// "src/dse/memo_cache.hpp" -> "src/dse"; declarations and uses of an
+/// atomic or guarded field are matched within one module directory (the
+/// header declares, the .cpp files touch).
+std::string module_dir(const std::string& rel_path) {
+  const std::size_t slash = rel_path.rfind('/');
+  return slash == std::string::npos ? rel_path : rel_path.substr(0, slash);
+}
+
+struct AtomicDecl {
+  std::string name;
+  /// Pointer-to-atomic: only `->` method calls are atomic operations on
+  /// the pointee; assigning or incrementing the pointer itself is plain.
+  bool pointer{false};
+};
+
+/// Variables/fields declared `std::atomic<...>` in `f`, pointers included
+/// (their uses go through ->).
+std::vector<AtomicDecl> atomic_decl_names(const SourceFile& f) {
+  std::vector<AtomicDecl> decls;
+  static const std::string kNeedle = "std::atomic<";
+  std::size_t pos = 0;
+  while ((pos = f.stripped.find(kNeedle, pos)) != std::string::npos) {
+    std::size_t i = pos + kNeedle.size();
+    int depth = 1;
+    while (i < f.stripped.size() && depth > 0) {
+      if (f.stripped[i] == '<') ++depth;
+      if (f.stripped[i] == '>') --depth;
+      ++i;
+    }
+    pos = i;
+    bool pointer = false;
+    while (i < f.stripped.size() &&
+           (std::isspace(static_cast<unsigned char>(f.stripped[i])) != 0 ||
+            f.stripped[i] == '*' || f.stripped[i] == '&')) {
+      pointer = pointer || f.stripped[i] == '*';
+      ++i;
+    }
+    std::size_t b = i;
+    while (i < f.stripped.size() && is_ident_char(f.stripped[i])) ++i;
+    if (i > b) decls.push_back({f.stripped.substr(b, i - b), pointer});
+  }
+  return decls;
+}
+
+const std::set<std::string>& atomic_methods() {
+  static const std::set<std::string> kMethods = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong"};
+  return kMethods;
+}
+
+/// Lock scopes for `mutex_name` in `f`: every lock_guard/unique_lock/
+/// scoped_lock/shared_lock construction whose argument list names the
+/// mutex, extended to the end of the innermost enclosing brace block.
+std::vector<std::pair<std::size_t, std::size_t>> lock_scopes(
+    const SourceFile& f,
+    const std::vector<std::pair<std::size_t, std::size_t>>& intervals,
+    const std::string& mutex_name) {
+  std::vector<std::pair<std::size_t, std::size_t>> scopes;
+  for (const char* keyword :
+       {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}) {
+    for (const std::size_t pos : word_occurrences(f.stripped, keyword)) {
+      const auto args = paren_region(f.stripped, pos);
+      if (!args.has_value()) continue;
+      const std::string arg_text =
+          f.stripped.substr(args->first, args->second - args->first);
+      if (word_occurrences(arg_text, mutex_name).empty()) continue;
+      scopes.emplace_back(
+          pos, innermost_brace_end(intervals, pos, f.stripped.size()));
+    }
+  }
+  return scopes;
+}
+
+bool in_any_scope(
+    const std::vector<std::pair<std::size_t, std::size_t>>& scopes,
+    std::size_t pos) {
+  return std::any_of(scopes.begin(), scopes.end(), [&](const auto& s) {
+    return s.first <= pos && pos < s.second;
+  });
+}
+
+}  // namespace
+
+void run_atomics_pass(Context& ctx) {
+  const auto add = [&](std::string check, std::string file, int line,
+                       std::string msg) {
+    ctx.add("atomics", std::move(check), std::move(file), line,
+            std::move(msg));
+  };
+
+  // module dir -> declared atomic names / guard annotations (with origin).
+  // The mapped bool is true when every declaration of that name in the
+  // module is a pointer-to-atomic.
+  std::map<std::string, std::map<std::string, bool>> module_atomics;
+  struct Guard {
+    GuardAnnotation annotation;
+    std::string decl_file;
+  };
+  std::map<std::string, std::vector<Guard>> module_guards;
+
+  for (const SourceFile& f : ctx.files()) {
+    if (f.rel_path.rfind("src/", 0) != 0) continue;
+    const std::string mod = module_dir(f.rel_path);
+    for (AtomicDecl& decl : atomic_decl_names(f)) {
+      auto [it, inserted] =
+          module_atomics[mod].emplace(std::move(decl.name), decl.pointer);
+      if (!inserted) it->second = it->second && decl.pointer;
+    }
+    for (GuardAnnotation& g : parse_guard_annotations(f)) {
+      if (!g.error.empty()) {
+        add("atomics-guard-malformed", f.rel_path, g.line,
+            "unparsable GUARDED-BY annotation: " + g.error);
+        continue;
+      }
+      module_guards[mod].push_back({std::move(g), f.rel_path});
+    }
+  }
+
+  for (const SourceFile& f : ctx.files()) {
+    if (f.rel_path.rfind("src/", 0) != 0) continue;
+    const std::string mod = module_dir(f.rel_path);
+    AllowIndex allows(parse_allow_annotations(f));
+    const std::string& text = f.stripped;
+
+    // (1) explicit weak orders need their happens-before argument.
+    for (const char* order :
+         {"memory_order_relaxed", "memory_order_acquire",
+          "memory_order_release", "memory_order_acq_rel",
+          "memory_order_consume"}) {
+      for (const std::size_t pos : word_occurrences(text, order)) {
+        const int line = line_of(text, pos);
+        if (allows.allowed("atomic", line)) {
+          allows.mark_used("atomic", line);
+          continue;
+        }
+        add("atomics-order-unjustified", f.rel_path, line,
+            std::string(order) +
+                " without an ANALYZE-ALLOW(atomic) annotation naming the "
+                "happens-before argument; a weak order is a proof "
+                "obligation, not a default");
+      }
+    }
+
+    // (2) operations on declared atomics that default to seq_cst.
+    const auto atomics_it = module_atomics.find(mod);
+    if (atomics_it != module_atomics.end()) {
+      for (const auto& [name, pointer_only] : atomics_it->second) {
+        for (const std::size_t pos : word_occurrences(text, name)) {
+          // Member access on some *other* object that happens to share the
+          // name is out of scope for this token-level check.
+          if (pos > 0 && (text[pos - 1] == '.' || text[pos - 1] == ':' ||
+                          (text[pos - 1] == '>' && pos > 1 &&
+                           text[pos - 2] == '-'))) {
+            continue;
+          }
+          std::size_t i = pos + name.size();
+          while (i < text.size() &&
+                 std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+            ++i;
+          }
+          if (i >= text.size()) continue;
+          std::string what;
+          if (text[i] == '.' ||
+              (text[i] == '-' && i + 1 < text.size() && text[i + 1] == '>')) {
+            // On a pointer-to-atomic only `->` reaches the pointee.
+            if (pointer_only && text[i] == '.') continue;
+            std::size_t m = i + (text[i] == '.' ? 1 : 2);
+            std::size_t b = m;
+            while (m < text.size() && is_ident_char(text[m])) ++m;
+            const std::string method = text.substr(b, m - b);
+            if (atomic_methods().count(method) == 0) continue;
+            const auto args = paren_region(text, m);
+            if (!args.has_value()) continue;
+            const std::string arg_text =
+                text.substr(args->first, args->second - args->first);
+            if (arg_text.find("memory_order") != std::string::npos) continue;
+            what = "." + method + "() call";
+          } else if (pointer_only) {
+            // Assigning/incrementing the pointer itself is a plain op.
+            continue;
+          } else if (text.compare(i, 2, "++") == 0 ||
+                     text.compare(i, 2, "--") == 0) {
+            what = std::string("operator") + text[i] + text[i] + " use";
+          } else if (i + 1 < text.size() && text[i + 1] == '=' &&
+                     (text[i] == '+' || text[i] == '-' || text[i] == '|' ||
+                      text[i] == '&' || text[i] == '^')) {
+            what = std::string("compound operator") + text[i] + "= use";
+          } else if (text[i] == '=' &&
+                     (i + 1 >= text.size() || text[i + 1] != '=')) {
+            what = "operator= store";
+          } else {
+            continue;
+          }
+          const int line = line_of(text, pos);
+          if (allows.allowed("atomic", line)) {
+            allows.mark_used("atomic", line);
+            continue;
+          }
+          add("atomics-bare-op", f.rel_path, line,
+              "atomic \"" + name + "\" " + what +
+                  " defaults to seq_cst; spell the memory order explicitly "
+                  "(and justify a weak one) or add an "
+                  "ANALYZE-ALLOW(atomic) annotation for the default");
+        }
+      }
+    }
+
+    // (3) GUARDED-BY fields may only be touched under their mutex.
+    const auto guards_it = module_guards.find(mod);
+    if (guards_it != module_guards.end()) {
+      const auto intervals = brace_intervals(text);
+      for (const Guard& guard : guards_it->second) {
+        const auto scopes =
+            lock_scopes(f, intervals, guard.annotation.mutex_name);
+        for (const std::size_t pos :
+             word_occurrences(text, guard.annotation.field)) {
+          // `std::map`-style qualified names and template uses are type
+          // mentions, not touches of the guarded field.
+          if (pos > 0 && text[pos - 1] == ':') continue;
+          const std::size_t after = pos + guard.annotation.field.size();
+          if (after < text.size() && text[after] == '<') continue;
+          const int line = line_of(text, pos);
+          // The annotated declaration itself is not a touch.
+          if (f.rel_path == guard.decl_file && line == guard.annotation.line) {
+            continue;
+          }
+          if (in_any_scope(scopes, pos)) continue;
+          if (allows.allowed("guard", line)) {
+            allows.mark_used("guard", line);
+            continue;
+          }
+          add("atomics-guard-violation", f.rel_path, line,
+              "\"" + guard.annotation.field + "\" is GUARDED-BY(" +
+                  guard.annotation.mutex_name + ") (declared in " +
+                  guard.decl_file +
+                  ") but this use is outside any detectable lock scope on "
+                  "that mutex");
+        }
+      }
+    }
+
+    for (const char* category : {"atomic", "guard"}) {
+      for (const AllowAnnotation* a : allows.unused(category)) {
+        add("analyze-allow-unused", f.rel_path, a->line,
+            std::string("ANALYZE-ALLOW(") + category +
+                ") annotation does not cover any atomics-pass finding "
+                "site; remove it or move it next to the operation it "
+                "justifies");
+      }
+    }
+  }
+}
+
+}  // namespace paraconv::analyze

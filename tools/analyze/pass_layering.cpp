@@ -1,0 +1,198 @@
+// Layering pass. The src/ modules form a DAG:
+//
+//   common -> {graph, obs} -> {cnn, core} -> pim
+//          -> {sched, alloc, retiming} -> {report, bench_support}
+//          -> dse -> {serve, bench_harness} -> {umbrella, cli}
+//
+// Includes must point from higher layers down to lower (or stay within a
+// rank). A lower-rank file including a higher-rank module is a back-edge;
+// the handful of historical ones are grandfathered — with a reason — in
+// tools/analyze/layering.exceptions, and anything not listed there is a
+// finding. The exceptions file is itself verified: stale or malformed
+// entries are findings too, so the grandfather list can only shrink.
+//
+//   layering-back-edge          include against the DAG with no exception
+//   layering-unknown-module     a src/ file or include outside the module
+//                               table (new modules must be ranked here)
+//   layering-exception-stale    an exceptions entry no include matches
+//   layering-exception-malformed  an exceptions line that does not parse
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "passes.hpp"
+#include "scanner.hpp"
+
+namespace paraconv::analyze {
+namespace {
+
+const std::map<std::string, int>& module_ranks() {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0},
+      {"graph", 1},
+      {"obs", 1},
+      {"cnn", 2},
+      {"core", 2},
+      {"pim", 3},
+      {"sched", 4},
+      {"alloc", 4},
+      {"retiming", 4},
+      {"report", 5},
+      {"bench_support", 5},
+      {"dse", 6},
+      {"serve", 7},
+      {"bench_harness", 7},
+      {"umbrella", 8},  // src/paraconv.hpp, the all-of-it convenience header
+      {"cli", 8},       // everything under tools/
+  };
+  return kRanks;
+}
+
+/// Module of an analyzed file; empty when the file is out of layering
+/// scope (tests, bench drivers, examples).
+std::string module_of_file(const std::string& rel_path) {
+  if (rel_path == "src/paraconv.hpp") return "umbrella";
+  if (rel_path.rfind("src/", 0) == 0) {
+    const std::size_t slash = rel_path.find('/', 4);
+    if (slash == std::string::npos) return "";
+    return rel_path.substr(4, slash - 4);
+  }
+  if (rel_path.rfind("tools/", 0) == 0) return "cli";
+  return "";
+}
+
+/// Module of a quoted include path. Project includes are rooted at src/
+/// ("dse/sweep.hpp"); slash-free includes are tool-local headers — except
+/// the umbrella header, which is a real cross-module edge.
+std::string module_of_include(const std::string& include_path) {
+  if (include_path == "paraconv.hpp") return "umbrella";
+  const std::size_t slash = include_path.find('/');
+  if (slash == std::string::npos) return "";
+  return include_path.substr(0, slash);
+}
+
+struct Include {
+  std::string path;
+  int line{0};
+};
+
+std::vector<Include> quoted_includes(const SourceFile& f) {
+  std::vector<Include> out;
+  static const std::string kNeedle = "#include \"";
+  std::size_t pos = 0;
+  while ((pos = f.stripped.find(kNeedle, pos)) != std::string::npos) {
+    const std::size_t b = pos + kNeedle.size();
+    const std::size_t e = f.stripped.find('"', b);
+    if (e == std::string::npos) break;
+    out.push_back({f.stripped.substr(b, e - b), line_of(f.stripped, pos)});
+    pos = e + 1;
+  }
+  return out;
+}
+
+struct Exception {
+  std::string file;    // the including file, repo-relative
+  std::string module;  // the included module
+  int line{0};
+  bool used{false};
+};
+
+}  // namespace
+
+void run_layering_pass(Context& ctx) {
+  const auto add = [&](std::string check, std::string file, int line,
+                       std::string msg) {
+    ctx.add("layering", std::move(check), std::move(file), line,
+            std::move(msg));
+  };
+
+  static const std::string kExceptionsPath = "tools/analyze/layering.exceptions";
+  std::vector<Exception> exceptions;
+  if (const std::optional<std::string> text = ctx.read_text(kExceptionsPath)) {
+    std::istringstream in(*text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::string t = trim(line);
+      if (t.empty() || t[0] == '#') continue;
+      // "<file> -> <module>: reason"
+      const std::size_t arrow = t.find("->");
+      const std::size_t colon =
+          arrow == std::string::npos ? std::string::npos : t.find(':', arrow);
+      const std::string file =
+          arrow == std::string::npos ? "" : trim(t.substr(0, arrow));
+      const std::string mod =
+          colon == std::string::npos
+              ? ""
+              : trim(t.substr(arrow + 2, colon - arrow - 2));
+      const std::string reason =
+          colon == std::string::npos ? "" : trim(t.substr(colon + 1));
+      if (file.empty() || mod.empty() || reason.empty()) {
+        add("layering-exception-malformed", kExceptionsPath, line_no,
+            "expected \"<including-file> -> <included-module>: reason\"");
+        continue;
+      }
+      if (module_ranks().count(mod) == 0) {
+        add("layering-exception-malformed", kExceptionsPath, line_no,
+            "\"" + mod + "\" is not a module in the layering table");
+        continue;
+      }
+      exceptions.push_back({file, mod, line_no, false});
+    }
+  }
+
+  for (const SourceFile& f : ctx.files()) {
+    const std::string from = module_of_file(f.rel_path);
+    if (f.rel_path.rfind("src/", 0) == 0 && from.empty()) {
+      add("layering-unknown-module", f.rel_path, 0,
+          "file sits outside every known src/ module directory; new "
+          "modules must be ranked in the layering table "
+          "(tools/analyze/pass_layering.cpp) and documented in "
+          "docs/ANALYSIS.md");
+      continue;
+    }
+    if (from.empty()) continue;  // tests/bench/examples: out of scope
+    const auto from_rank = module_ranks().find(from);
+    if (from_rank == module_ranks().end()) {
+      add("layering-unknown-module", f.rel_path, 0,
+          "module \"" + from + "\" is not in the layering table; rank it "
+          "in tools/analyze/pass_layering.cpp and document it in "
+          "docs/ANALYSIS.md");
+      continue;
+    }
+    for (const Include& inc : quoted_includes(f)) {
+      const std::string to = module_of_include(inc.path);
+      if (to.empty() || to == from) continue;
+      const auto to_rank = module_ranks().find(to);
+      if (to_rank == module_ranks().end()) continue;  // tool-local subdir
+      if (to_rank->second <= from_rank->second) continue;  // downward/lateral
+      const auto exception =
+          std::find_if(exceptions.begin(), exceptions.end(),
+                       [&](const Exception& e) {
+                         return e.file == f.rel_path && e.module == to;
+                       });
+      if (exception != exceptions.end()) {
+        exception->used = true;
+        continue;
+      }
+      add("layering-back-edge", f.rel_path, inc.line,
+          "include of \"" + inc.path + "\" points up the module DAG (" +
+              from + " -> " + to +
+              "); invert the dependency or, if it is genuinely historical, "
+              "list it in " + kExceptionsPath + " with a reason");
+    }
+  }
+
+  for (const Exception& e : exceptions) {
+    if (!e.used) {
+      add("layering-exception-stale", kExceptionsPath, e.line,
+          "exception \"" + e.file + " -> " + e.module +
+              "\" matches no include in the tree; the grandfather list "
+              "must shrink with the code");
+    }
+  }
+}
+
+}  // namespace paraconv::analyze

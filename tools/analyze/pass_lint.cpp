@@ -1,9 +1,11 @@
-#include "lint.hpp"
-
+// The original paraconv_lint checks, as the `lint` pass of the analyze
+// suite: header hygiene, suppression policy, DiagCode/docs/test sync,
+// observability naming, CSV/JSON/checkpoint schema contracts, and docs
+// file:symbol cross-references. Check ids are unchanged from PR 4 —
+// `paraconv_lint` remains a thin front-end running exactly this pass.
 #include <algorithm>
 #include <array>
 #include <cctype>
-#include <fstream>
 #include <map>
 #include <optional>
 #include <set>
@@ -11,10 +13,11 @@
 #include <string_view>
 #include <utility>
 
-namespace paraconv::lint {
-namespace {
+#include "passes.hpp"
+#include "scanner.hpp"
 
-namespace fs = std::filesystem;
+namespace paraconv::analyze {
+namespace {
 
 // The suppression marker, spelled split so this file's own text never
 // contains the contiguous token the nolint-policy check scans for.
@@ -39,200 +42,6 @@ constexpr std::array<const char*, 6> kBankColumns = {
 // naming with the sweep schema.
 constexpr std::array<const char*, 4> kExperimentIdentity = {
     "benchmark", "vertices", "edges", "pe_count"};
-
-struct SourceFile {
-  std::string rel_path;  // relative to the linted root, '/' separators
-  std::string raw;       // file contents as read
-  std::string stripped;  // comments blanked out, line structure preserved
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-int line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<int>(
-                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
-                            '\n'));
-}
-
-std::optional<std::string> read_file(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-/// Blanks // and /* */ comments (and the bodies of string/char literals
-/// stay intact) while preserving every newline, so byte offsets keep
-/// mapping to the same line numbers as the raw text.
-std::string strip_comments(const std::string& text) {
-  std::string out = text;
-  enum class State { kCode, kString, kChar, kLine, kBlock };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-/// [start, end) of the brace block whose opening '{' is the first one at or
-/// after `from`; nullopt when unbalanced or absent.
-std::optional<std::pair<std::size_t, std::size_t>> brace_region(
-    const std::string& text, std::size_t from) {
-  const std::size_t open = text.find('{', from);
-  if (open == std::string::npos) return std::nullopt;
-  int depth = 0;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    if (text[i] == '{') ++depth;
-    if (text[i] == '}') {
-      --depth;
-      if (depth == 0) return std::make_pair(open, i + 1);
-    }
-  }
-  return std::nullopt;
-}
-
-struct QuotedString {
-  std::string value;
-  std::size_t pos;  // offset of the opening quote
-};
-
-/// String literals inside [begin, end) of comment-stripped text.
-std::vector<QuotedString> quoted_strings(const std::string& text,
-                                         std::size_t begin, std::size_t end) {
-  std::vector<QuotedString> out;
-  for (std::size_t i = begin; i < end && i < text.size(); ++i) {
-    if (text[i] == '\'') {  // skip char literals ('"' would confuse us)
-      for (++i; i < end && text[i] != '\''; ++i) {
-        if (text[i] == '\\') ++i;
-      }
-      continue;
-    }
-    if (text[i] != '"') continue;
-    QuotedString q;
-    q.pos = i;
-    for (++i; i < end && text[i] != '"'; ++i) {
-      if (text[i] == '\\' && i + 1 < end) {
-        q.value += text[i + 1];
-        ++i;
-      } else {
-        q.value += text[i];
-      }
-    }
-    out.push_back(std::move(q));
-  }
-  return out;
-}
-
-/// kPlacementSizeMismatch -> placement-size-mismatch.
-std::string kebab_of_enumerator(const std::string& name) {
-  std::string out;
-  for (std::size_t i = 1; i < name.size(); ++i) {  // skip the leading 'k'
-    const char c = name[i];
-    if (std::isupper(static_cast<unsigned char>(c)) != 0) {
-      if (!out.empty()) out += '-';
-      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-bool is_dotted_lowercase(const std::string& name) {
-  if (name.empty()) return false;
-  bool segment_start = true;
-  for (const char c : name) {
-    if (segment_start) {
-      if (std::islower(static_cast<unsigned char>(c)) == 0) return false;
-      segment_start = false;
-    } else if (c == '.') {
-      segment_start = true;
-    } else if (std::islower(static_cast<unsigned char>(c)) == 0 &&
-               std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_') {
-      return false;
-    }
-  }
-  return !segment_start;  // no trailing dot
-}
-
-std::string trim(std::string_view s) {
-  std::size_t b = 0;
-  std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return std::string(s.substr(b, e - b));
-}
-
-/// `cell` shaped like "`name`" -> name; empty otherwise.
-std::string backticked(const std::string& cell) {
-  const std::string t = trim(cell);
-  if (t.size() < 3 || t.front() != '`' || t.back() != '`') return {};
-  return t.substr(1, t.size() - 2);
-}
-
-std::vector<std::string> table_cells(const std::string& line) {
-  std::vector<std::string> cells;
-  std::string current;
-  for (std::size_t i = 1; i < line.size(); ++i) {  // skip the leading '|'
-    if (line[i] == '|') {
-      cells.push_back(current);
-      current.clear();
-    } else {
-      current += line[i];
-    }
-  }
-  return cells;
-}
 
 struct DocsTables {
   // Diagnostic-codes table: kebab code -> line.
@@ -279,99 +88,32 @@ DocsTables parse_docs(const std::string& text) {
   return tables;
 }
 
-class Linter {
+class LintPass {
  public:
-  explicit Linter(fs::path root) : root_(std::move(root)) {}
+  explicit LintPass(Context& ctx) : ctx_(ctx) {}
 
-  Report run() {
-    collect_files();
+  void run() {
     check_hygiene();
     check_diag_codes();
     check_obs_names();
     check_schema();
     check_bank_schema();
     check_docs_xrefs();
-    Report report;
-    report.findings = std::move(findings_);
-    report.files_scanned = static_cast<int>(files_.size());
-    std::sort(report.findings.begin(), report.findings.end(),
-              [](const Finding& a, const Finding& b) {
-                return std::tie(a.file, a.line, a.check) <
-                       std::tie(b.file, b.line, b.check);
-              });
-    return report;
   }
 
  private:
   void add(std::string check, std::string file, int line, std::string msg) {
-    findings_.push_back(
-        {std::move(check), std::move(file), line, std::move(msg)});
-  }
-
-  static bool skip_dir(const fs::path& p) {
-    const std::string name = p.filename().string();
-    // Seeded-violation fixtures must not fail the real tree; build trees
-    // hold generated/vendored sources.
-    return name == "fixtures" || name.rfind("build", 0) == 0 ||
-           name.rfind(".", 0) == 0;
-  }
-
-  void collect_from(const fs::path& dir) {
-    if (!fs::exists(dir)) return;
-    std::error_code ec;
-    fs::recursive_directory_iterator it(dir, ec);
-    const fs::recursive_directory_iterator end;
-    while (it != end) {
-      if (it->is_directory(ec) && skip_dir(it->path())) {
-        it.disable_recursion_pending();
-        it.increment(ec);
-        continue;
-      }
-      const fs::path& p = it->path();
-      const std::string ext = p.extension().string();
-      if (it->is_regular_file(ec) && (ext == ".cpp" || ext == ".hpp")) {
-        if (std::optional<std::string> raw = read_file(p)) {
-          SourceFile f;
-          f.rel_path = fs::relative(p, root_).generic_string();
-          f.stripped = strip_comments(*raw);
-          f.raw = std::move(*raw);
-          files_.push_back(std::move(f));
-        }
-      }
-      it.increment(ec);
-    }
-  }
-
-  void collect_files() {
-    for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
-      collect_from(root_ / dir);
-    }
-    std::sort(files_.begin(), files_.end(),
-              [](const SourceFile& a, const SourceFile& b) {
-                return a.rel_path < b.rel_path;
-              });
-  }
-
-  const SourceFile* file_named(std::string_view rel_path) const {
-    for (const SourceFile& f : files_) {
-      if (f.rel_path == rel_path) return &f;
-    }
-    return nullptr;
+    ctx_.add("lint", std::move(check), std::move(file), line, std::move(msg));
   }
 
   const SourceFile* require_file(const std::string& rel_path) {
-    const SourceFile* f = file_named(rel_path);
-    if (f == nullptr) {
-      add("missing-input", rel_path, 0,
-          "required source file not found under the lint root");
-    }
-    return f;
+    return ctx_.require_file("lint", rel_path);
   }
 
   // ---- header hygiene + suppression policy --------------------------------
 
   void check_hygiene() {
-    for (const SourceFile& f : files_) {
+    for (const SourceFile& f : ctx_.files()) {
       const bool is_header = f.rel_path.size() > 4 &&
                              f.rel_path.compare(f.rel_path.size() - 4, 4,
                                                 ".hpp") == 0;
@@ -518,10 +260,10 @@ class Linter {
     const SourceFile* hpp = require_file("src/sched/validator.hpp");
     const SourceFile* cpp = require_file("src/sched/validator.cpp");
     const std::optional<std::string> docs_text =
-        read_file(root_ / "docs" / "USAGE.md");
+        ctx_.read_text("docs/USAGE.md");
     if (!docs_text.has_value()) {
       add("missing-input", "docs/USAGE.md", 0,
-          "documentation file not found under the lint root");
+          "documentation file not found under the analyze root");
     }
     if (hpp == nullptr || cpp == nullptr || !docs_text.has_value()) return;
 
@@ -583,7 +325,7 @@ class Linter {
   }
 
   bool referenced_in_tests(const std::string& needle) const {
-    for (const SourceFile& f : files_) {
+    for (const SourceFile& f : ctx_.files()) {
       if (f.rel_path.rfind("tests/", 0) != 0) continue;
       if (f.stripped.find(needle) != std::string::npos) return true;
     }
@@ -617,7 +359,7 @@ class Linter {
 
   std::vector<ObsUse> collect_obs_uses() {
     std::vector<ObsUse> uses;
-    for (const SourceFile& f : files_) {
+    for (const SourceFile& f : ctx_.files()) {
       if (f.rel_path.rfind("src/", 0) != 0) continue;
       if (f.rel_path.rfind("src/obs/", 0) == 0) continue;  // the layer itself
       const std::string& text = f.stripped;
@@ -668,7 +410,7 @@ class Linter {
   void check_obs_names() {
     const std::vector<ObsUse> uses = collect_obs_uses();
     const std::optional<std::string> docs_text =
-        read_file(root_ / "docs" / "USAGE.md");
+        ctx_.read_text("docs/USAGE.md");
     if (!docs_text.has_value()) return;  // missing-input already reported
     const DocsTables docs = parse_docs(*docs_text);
     if (!docs.obs_section_found) {
@@ -1064,23 +806,28 @@ class Linter {
   }
 
   /// Every `file.cpp:symbol` reference in the prose docs must stay real:
-  /// the file must exist under the lint root and the symbol must be
-  /// greppable in it. This is what keeps the MODEL.md paper-to-code table
-  /// and the BENCHMARKS.md suite catalog honest across refactors.
+  /// the file must exist under the analyze root and the symbol must be
+  /// greppable in it. This is what keeps the MODEL.md paper-to-code table,
+  /// the BENCHMARKS.md suite catalog and the ANALYSIS.md pass catalog
+  /// honest across refactors.
   void check_docs_xrefs() {
     std::map<std::string, std::optional<std::string>> cache;
     const auto contents_of =
         [&](const std::string& rel) -> const std::optional<std::string>& {
       const auto it = cache.find(rel);
       if (it != cache.end()) return it->second;
-      return cache.emplace(rel, read_file(root_ / rel)).first->second;
+      return cache.emplace(rel, ctx_.read_text(rel)).first->second;
     };
 
-    for (const char* doc : {"docs/MODEL.md", "docs/BENCHMARKS.md"}) {
-      const std::optional<std::string> text = read_file(root_ / doc);
+    for (const char* doc :
+         {"docs/MODEL.md", "docs/BENCHMARKS.md", "docs/ANALYSIS.md"}) {
+      const std::optional<std::string> text = ctx_.read_text(doc);
       if (!text.has_value()) {
+        // ANALYSIS.md ships with the analyzer; the lint fixture trees
+        // predate it and must keep passing without one.
+        if (std::string_view(doc) == "docs/ANALYSIS.md") continue;
         add("missing-input", doc, 0,
-            "documentation file not found under the lint root");
+            "documentation file not found under the analyze root");
         continue;
       }
       std::istringstream in(*text);
@@ -1101,7 +848,7 @@ class Linter {
           if (!target.has_value()) {
             add("xref-file-missing", doc, line_no,
                 "docs reference `" + token + "` names a file that does not "
-                "exist under the lint root");
+                "exist under the analyze root");
           } else if (target->find(symbol) == std::string::npos) {
             add("xref-symbol-missing", doc, line_no,
                 "docs reference `" + token + "`: symbol \"" + symbol +
@@ -1112,22 +859,11 @@ class Linter {
     }
   }
 
-  fs::path root_;
-  std::vector<SourceFile> files_;
-  std::vector<Finding> findings_;
+  Context& ctx_;
 };
 
 }  // namespace
 
-std::string to_string(const Finding& finding) {
-  std::string out = finding.file;
-  if (finding.line > 0) out += ":" + std::to_string(finding.line);
-  out += ": [" + finding.check + "] " + finding.message;
-  return out;
-}
+void run_lint_pass(Context& ctx) { LintPass(ctx).run(); }
 
-Report run_lint(const std::filesystem::path& root) {
-  return Linter(root).run();
-}
-
-}  // namespace paraconv::lint
+}  // namespace paraconv::analyze

@@ -1,0 +1,194 @@
+// Determinism pass. The repo's keystone invariant is that reports,
+// checkpoints and memo spills are byte-identical for any --jobs value,
+// shard split or cache temperature; this pass makes the three ways that
+// invariant has historically eroded mechanically visible:
+//
+//   nondet-unordered-emission  unordered_map/unordered_set in an emission
+//                              file (report writers, checkpoint/spill/merge
+//                              codecs) — iteration order would leak into
+//                              bytes
+//   nondet-pointer-key         uintptr_t in an emission file — address
+//                              values as ordering/hash keys differ per run
+//   nondet-random-source       rand()/srand()/std::random_device anywhere
+//                              in src/ (seeded std::mt19937 via common/rng
+//                              is the sanctioned source)
+//   nondet-wall-clock          a *_clock::now() read whose file is not in
+//                              the BENCHMARKS.md "Wall-clock exceptions"
+//                              table or whose line lacks an
+//                              ANALYZE-ALLOW(nondet) annotation
+//   nondet-clock-doc-missing   BENCHMARKS.md lost the exceptions section
+//   nondet-clock-doc-stale     an exceptions row names a file with no
+//                              clock reads
+//   analyze-allow-unused       a nondet suppression that suppresses nothing
+//
+// Scoped to src/: tools and tests are drivers and fixtures where clocks
+// and unordered containers are legitimate (and where the analyzer's own
+// needle strings live).
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "passes.hpp"
+#include "scanner.hpp"
+
+namespace paraconv::analyze {
+namespace {
+
+bool is_emission_file(const std::string& rel_path) {
+  return rel_path.rfind("src/report/", 0) == 0 ||
+         rel_path == "src/dse/checkpoint.cpp" ||
+         rel_path == "src/dse/memo_store.cpp" ||
+         rel_path == "src/dse/frontier.cpp" ||
+         rel_path == "src/dse/shard.cpp";
+}
+
+struct ClockDocs {
+  bool section_found{false};
+  std::vector<std::pair<std::string, int>> files;  // path, doc line
+};
+
+ClockDocs parse_clock_docs(const std::string& text) {
+  ClockDocs docs;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool in_section = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '#') {
+      in_section = line.find("Wall-clock exceptions") != std::string::npos;
+      if (in_section) docs.section_found = true;
+      continue;
+    }
+    if (!in_section || line.empty() || line[0] != '|') continue;
+    const std::vector<std::string> cells = table_cells(line);
+    if (cells.empty()) continue;
+    const std::string path = backticked(cells[0]);
+    if (path.empty()) continue;  // header or separator row
+    docs.files.emplace_back(path, line_no);
+  }
+  return docs;
+}
+
+}  // namespace
+
+void run_nondet_pass(Context& ctx) {
+  const auto add = [&](std::string check, std::string file, int line,
+                       std::string msg) {
+    ctx.add("nondet", std::move(check), std::move(file), line,
+            std::move(msg));
+  };
+
+  const std::optional<std::string> bench_docs =
+      ctx.read_text("docs/BENCHMARKS.md");
+  const ClockDocs clock_docs =
+      bench_docs.has_value() ? parse_clock_docs(*bench_docs) : ClockDocs{};
+  if (!clock_docs.section_found) {
+    add("nondet-clock-doc-missing", "docs/BENCHMARKS.md", 0,
+        "no \"Wall-clock exceptions\" section; the nondet pass needs the "
+        "documented allowlist of files that may read wall clocks");
+  }
+  std::map<std::string, bool> doc_listed;
+  for (const auto& [path, line] : clock_docs.files) doc_listed[path] = true;
+
+  // files that actually read a clock, for the staleness check
+  std::map<std::string, bool> reads_clock;
+
+  for (const SourceFile& f : ctx.files()) {
+    if (f.rel_path.rfind("src/", 0) != 0) continue;
+    AllowIndex allows(parse_allow_annotations(f));
+
+    // (1) unordered containers and pointer-valued keys in emission files.
+    if (is_emission_file(f.rel_path)) {
+      for (const char* container : {"unordered_map", "unordered_set"}) {
+        for (const std::size_t pos :
+             word_occurrences(f.stripped, container)) {
+          const int line = line_of(f.stripped, pos);
+          if (allows.allowed("nondet", line)) {
+            allows.mark_used("nondet", line);
+            continue;
+          }
+          add("nondet-unordered-emission", f.rel_path, line,
+              std::string("std::") + container +
+                  " in an emission file: iteration order is "
+                  "implementation-defined and would leak into report/"
+                  "checkpoint bytes; use std::map/std::set or sort before "
+                  "emitting");
+        }
+      }
+      for (const std::size_t pos : word_occurrences(f.stripped, "uintptr_t")) {
+        const int line = line_of(f.stripped, pos);
+        if (allows.allowed("nondet", line)) {
+          allows.mark_used("nondet", line);
+          continue;
+        }
+        add("nondet-pointer-key", f.rel_path, line,
+            "pointer value reinterpreted as an integer in an emission "
+            "file: addresses differ run to run, so any ordering or hash "
+            "keyed on them is nondeterministic");
+      }
+    }
+
+    // (2) ambient random sources, tree-wide in src/.
+    for (const char* source : {"rand", "srand", "random_device"}) {
+      for (const std::size_t pos : word_occurrences(f.stripped, source)) {
+        const int line = line_of(f.stripped, pos);
+        if (allows.allowed("nondet", line)) {
+          allows.mark_used("nondet", line);
+          continue;
+        }
+        add("nondet-random-source", f.rel_path, line,
+            std::string("\"") + source +
+                "\" is an ambient random source; library code must take "
+                "seeds explicitly (common/rng) so every run is replayable");
+      }
+    }
+
+    // (3) wall-clock reads: documented file + annotated line, or finding.
+    bool file_reads_clock = false;
+    for (const char* needle :
+         {"steady_clock::now", "system_clock::now",
+          "high_resolution_clock::now"}) {
+      std::size_t pos = 0;
+      while ((pos = f.stripped.find(needle, pos)) != std::string::npos) {
+        const int line = line_of(f.stripped, pos);
+        file_reads_clock = true;
+        const bool annotated = allows.allowed("nondet", line);
+        if (annotated) allows.mark_used("nondet", line);
+        if (!annotated) {
+          add("nondet-wall-clock", f.rel_path, line,
+              "wall-clock read without an ANALYZE-ALLOW(nondet) "
+              "annotation; clock values must never reach deterministic "
+              "outputs, and every sanctioned read carries its reason");
+        } else if (clock_docs.section_found &&
+                   doc_listed.count(f.rel_path) == 0) {
+          add("nondet-wall-clock", f.rel_path, line,
+              "wall-clock read in a file missing from the docs/"
+              "BENCHMARKS.md \"Wall-clock exceptions\" table; add the row "
+              "or move the read");
+        }
+        pos += 1;
+      }
+    }
+    if (file_reads_clock) reads_clock[f.rel_path] = true;
+
+    // (4) suppressions that suppress nothing are stale documentation.
+    for (const AllowAnnotation* a : allows.unused("nondet")) {
+      add("analyze-allow-unused", f.rel_path, a->line,
+          "ANALYZE-ALLOW(nondet) annotation does not cover any "
+          "nondeterminism-pass finding site; remove it or move it next to "
+          "the read it justifies");
+    }
+  }
+
+  for (const auto& [path, line] : clock_docs.files) {
+    if (reads_clock.count(path) == 0) {
+      add("nondet-clock-doc-stale", "docs/BENCHMARKS.md", line,
+          "\"Wall-clock exceptions\" row `" + path +
+              "` names a file with no wall-clock reads; the allowlist must "
+              "shrink with the code");
+    }
+  }
+}
+
+}  // namespace paraconv::analyze

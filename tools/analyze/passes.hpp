@@ -1,0 +1,70 @@
+// Internal pass interface: each pass is one function over a shared
+// Context. Not installed — only the analyze tool and its tests see this.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analyze.hpp"
+#include "scanner.hpp"
+
+namespace paraconv::analyze {
+
+/// Shared state for one run: the collected source files plus the sink the
+/// passes report through. Built once by run_analyze.
+class Context {
+ public:
+  Context(std::filesystem::path root, std::vector<SourceFile> files)
+      : root_(std::move(root)), files_(std::move(files)) {}
+
+  const std::filesystem::path& root() const { return root_; }
+  const std::vector<SourceFile>& files() const { return files_; }
+
+  const SourceFile* file_named(std::string_view rel_path) const {
+    for (const SourceFile& f : files_) {
+      if (f.rel_path == rel_path) return &f;
+    }
+    return nullptr;
+  }
+
+  /// Like file_named but reports missing-input when absent.
+  const SourceFile* require_file(const std::string& pass,
+                                 const std::string& rel_path) {
+    const SourceFile* f = file_named(rel_path);
+    if (f == nullptr) {
+      add(pass, "missing-input", rel_path, 0,
+          "required source file not found under the analyze root");
+    }
+    return f;
+  }
+
+  /// Reads a non-source file (docs, exceptions list) relative to the root.
+  std::optional<std::string> read_text(const std::string& rel_path) const {
+    return read_file(root_ / rel_path);
+  }
+
+  void add(std::string pass, std::string check, std::string file, int line,
+           std::string message) {
+    findings_.push_back({std::move(pass), std::move(check), std::move(file),
+                         line, std::move(message)});
+  }
+
+  std::vector<Finding> take_findings() { return std::move(findings_); }
+
+ private:
+  std::filesystem::path root_;
+  std::vector<SourceFile> files_;
+  std::vector<Finding> findings_;
+};
+
+void run_lint_pass(Context& ctx);
+void run_nondet_pass(Context& ctx);
+void run_atomics_pass(Context& ctx);
+void run_layering_pass(Context& ctx);
+
+}  // namespace paraconv::analyze

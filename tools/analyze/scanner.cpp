@@ -1,0 +1,492 @@
+#include "scanner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace paraconv::analyze {
+
+namespace fs = std::filesystem;
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+int line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string strip_comments(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kString, kChar, kLine, kBlock };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> brace_region(
+    const std::string& text, std::size_t from) {
+  const std::size_t open = text.find('{', from);
+  if (open == std::string::npos) return std::nullopt;
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}') {
+      --depth;
+      if (depth == 0) return std::make_pair(open, i + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> paren_region(
+    const std::string& text, std::size_t from) {
+  const std::size_t open = text.find('(', from);
+  if (open == std::string::npos) return std::nullopt;
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') {
+      --depth;
+      if (depth == 0) return std::make_pair(open, i + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> brace_intervals(
+    const std::string& text) {
+  std::vector<std::pair<std::size_t, std::size_t>> intervals;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '{') {
+      stack.push_back(i);
+    } else if (text[i] == '}' && !stack.empty()) {
+      intervals.emplace_back(stack.back(), i);
+      stack.pop_back();
+    }
+  }
+  return intervals;
+}
+
+std::size_t innermost_brace_end(
+    const std::vector<std::pair<std::size_t, std::size_t>>& intervals,
+    std::size_t pos, std::size_t text_size) {
+  std::size_t best_end = text_size;
+  std::size_t best_width = text_size + 1;
+  for (const auto& [open, close] : intervals) {
+    if (open < pos && pos < close && close - open < best_width) {
+      best_width = close - open;
+      best_end = close;
+    }
+  }
+  return best_end;
+}
+
+std::vector<QuotedString> quoted_strings(const std::string& text,
+                                         std::size_t begin, std::size_t end) {
+  std::vector<QuotedString> out;
+  for (std::size_t i = begin; i < end && i < text.size(); ++i) {
+    if (text[i] == '\'') {  // skip char literals ('"' would confuse us)
+      for (++i; i < end && text[i] != '\''; ++i) {
+        if (text[i] == '\\') ++i;
+      }
+      continue;
+    }
+    if (text[i] != '"') continue;
+    QuotedString q;
+    q.pos = i;
+    for (++i; i < end && text[i] != '"'; ++i) {
+      if (text[i] == '\\' && i + 1 < end) {
+        q.value += text[i + 1];
+        ++i;
+      } else {
+        q.value += text[i];
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<std::size_t> word_occurrences(const std::string& text,
+                                          const std::string& word) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t after = pos + word.size();
+    const bool right_ok = after >= text.size() || !is_ident_char(text[after]);
+    if (left_ok && right_ok) out.push_back(pos);
+    pos = after;
+  }
+  return out;
+}
+
+std::string kebab_of_enumerator(const std::string& name) {
+  std::string out;
+  for (std::size_t i = 1; i < name.size(); ++i) {  // skip the leading 'k'
+    const char c = name[i];
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) {
+      if (!out.empty()) out += '-';
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool is_dotted_lowercase(const std::string& name) {
+  if (name.empty()) return false;
+  bool segment_start = true;
+  for (const char c : name) {
+    if (segment_start) {
+      if (std::islower(static_cast<unsigned char>(c)) == 0) return false;
+      segment_start = false;
+    } else if (c == '.') {
+      segment_start = true;
+    } else if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+               std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      return false;
+    }
+  }
+  return !segment_start;  // no trailing dot
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string backticked(const std::string& cell) {
+  const std::string t = trim(cell);
+  if (t.size() < 3 || t.front() != '`' || t.back() != '`') return {};
+  return t.substr(1, t.size() - 2);
+}
+
+std::vector<std::string> table_cells(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string current;
+  for (std::size_t i = 1; i < line.size(); ++i) {  // skip the leading '|'
+    if (line[i] == '|') {
+      cells.push_back(current);
+      current.clear();
+    } else {
+      current += line[i];
+    }
+  }
+  return cells;
+}
+
+// ---- suppression / guard annotations ---------------------------------------
+
+namespace {
+
+// Markers assembled from parts so this file's own text never contains the
+// contiguous tokens the grammar validator scans for.
+const std::string kAllowMarker = std::string("ANALYZE-") + "ALLOW";
+const std::string kGuardMarker = std::string("GUARDED-") + "BY";
+
+bool known_category(const std::string& category) {
+  return category == "nondet" || category == "atomic" || category == "guard";
+}
+
+/// Parses "(category): reason" starting at `at`; returns false (with
+/// `error` set) when the shape is wrong.
+bool parse_category_reason(const std::string& text, std::size_t at,
+                           std::string* category, std::string* reason,
+                           std::string* error) {
+  if (at >= text.size() || text[at] != '(') {
+    *error = "expected \"(category): reason\" after the marker";
+    return false;
+  }
+  const std::size_t close = text.find(')', at);
+  const std::size_t eol = text.find('\n', at);
+  if (close == std::string::npos || (eol != std::string::npos && close > eol)) {
+    *error = "unterminated category list";
+    return false;
+  }
+  *category = trim(text.substr(at + 1, close - at - 1));
+  if (!known_category(*category)) {
+    *error = "unknown category \"" + *category +
+             "\"; expected nondet, atomic or guard";
+    return false;
+  }
+  if (close + 1 >= text.size() || text[close + 1] != ':') {
+    *error = "missing \": reason\" after the category";
+    return false;
+  }
+  const std::size_t rest_end = eol == std::string::npos ? text.size() : eol;
+  *reason = trim(text.substr(close + 2, rest_end - close - 2));
+  if (reason->empty()) {
+    *error = "empty reason; unexplained suppressions are indistinguishable "
+             "from silenced bugs";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// True when 1-based `line` of the comment-stripped text holds any code.
+bool stripped_line_has_code(const std::vector<std::string>& stripped_lines,
+                            int line) {
+  if (line < 1 || line > static_cast<int>(stripped_lines.size())) {
+    return false;
+  }
+  return !trim(stripped_lines[static_cast<std::size_t>(line - 1)]).empty();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+}  // namespace
+
+std::vector<AllowAnnotation> parse_allow_annotations(const SourceFile& f) {
+  std::vector<AllowAnnotation> out;
+  const std::vector<std::string> stripped_lines = split_lines(f.stripped);
+  // Single-form coverage: the marker's own line when the comment trails
+  // code, otherwise forward over any comment-only lines to the first line
+  // of code (so a justification may wrap without losing its target).
+  const auto single_form_end = [&](int marker_line) {
+    if (stripped_line_has_code(stripped_lines, marker_line)) {
+      return marker_line;
+    }
+    const int last = static_cast<int>(stripped_lines.size());
+    for (int line = marker_line + 1; line <= last; ++line) {
+      if (stripped_line_has_code(stripped_lines, line)) return line;
+    }
+    return marker_line;
+  };
+  // open BEGIN markers by index into `out`
+  std::vector<std::size_t> open_blocks;
+  std::size_t pos = 0;
+  while ((pos = f.raw.find(kAllowMarker, pos)) != std::string::npos) {
+    const std::size_t marker = pos;
+    std::size_t after = pos + kAllowMarker.size();
+    const int line = line_of(f.raw, marker);
+    if (f.raw.compare(after, 6, "-BEGIN") == 0) {
+      after += 6;
+      AllowAnnotation a;
+      a.line = line;
+      if (parse_category_reason(f.raw, after, &a.category, &a.reason,
+                                &a.error)) {
+        open_blocks.push_back(out.size());
+      }
+      out.push_back(std::move(a));
+    } else if (f.raw.compare(after, 4, "-END") == 0) {
+      after += 4;
+      if (open_blocks.empty()) {
+        AllowAnnotation a;
+        a.line = line;
+        a.error = "-END without a matching -BEGIN";
+        out.push_back(std::move(a));
+      } else {
+        AllowAnnotation& begin = out[open_blocks.back()];
+        open_blocks.pop_back();
+        begin.end_line = line;
+        // Optional "(category)" on the END must match its BEGIN.
+        if (after < f.raw.size() && f.raw[after] == '(') {
+          const std::size_t close = f.raw.find(')', after);
+          const std::size_t eol = f.raw.find('\n', after);
+          const std::string end_cat =
+              close == std::string::npos ||
+                      (eol != std::string::npos && close > eol)
+                  ? std::string()
+                  : trim(f.raw.substr(after + 1, close - after - 1));
+          if (end_cat != begin.category) {
+            AllowAnnotation a;
+            a.line = line;
+            a.error = "-END category \"" + end_cat +
+                      "\" does not match its -BEGIN (\"" + begin.category +
+                      "\")";
+            out.push_back(std::move(a));
+          }
+        }
+      }
+    } else {
+      AllowAnnotation a;
+      a.line = line;
+      a.end_line = single_form_end(line);
+      parse_category_reason(f.raw, after, &a.category, &a.reason, &a.error);
+      out.push_back(std::move(a));
+    }
+    pos = after;
+  }
+  for (const std::size_t idx : open_blocks) {
+    AllowAnnotation& begin = out[idx];
+    begin.error = "-BEGIN(" + begin.category + ") is never closed by -END";
+    begin.end_line = 0;
+  }
+  return out;
+}
+
+AllowIndex::AllowIndex(std::vector<AllowAnnotation> annotations)
+    : annotations_(std::move(annotations)),
+      used_(annotations_.size(), false) {}
+
+bool AllowIndex::allowed(const std::string& category, int line) const {
+  for (const AllowAnnotation& a : annotations_) {
+    if (a.error.empty() && a.category == category && a.line <= line &&
+        line <= a.end_line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AllowIndex::mark_used(const std::string& category, int line) {
+  for (std::size_t i = 0; i < annotations_.size(); ++i) {
+    const AllowAnnotation& a = annotations_[i];
+    if (a.error.empty() && a.category == category && a.line <= line &&
+        line <= a.end_line) {
+      used_[i] = true;
+    }
+  }
+}
+
+std::vector<const AllowAnnotation*> AllowIndex::unused(
+    const std::string& category) const {
+  std::vector<const AllowAnnotation*> out;
+  for (std::size_t i = 0; i < annotations_.size(); ++i) {
+    const AllowAnnotation& a = annotations_[i];
+    if (a.error.empty() && a.category == category && !used_[i]) {
+      out.push_back(&a);
+    }
+  }
+  return out;
+}
+
+std::vector<GuardAnnotation> parse_guard_annotations(const SourceFile& f) {
+  std::vector<GuardAnnotation> out;
+  std::istringstream in(f.raw);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t marker = line.find(kGuardMarker);
+    if (marker == std::string::npos) continue;
+    const std::size_t comment = line.find("//");
+    if (comment == std::string::npos || comment > marker) continue;
+    GuardAnnotation g;
+    g.line = line_no;
+    const std::size_t open = marker + kGuardMarker.size();
+    if (open >= line.size() || line[open] != '(') {
+      g.error = "expected \"(mutex)\" after the marker";
+      out.push_back(std::move(g));
+      continue;
+    }
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) {
+      g.error = "unterminated mutex name";
+      out.push_back(std::move(g));
+      continue;
+    }
+    g.mutex_name = trim(line.substr(open + 1, close - open - 1));
+    if (g.mutex_name.empty()) {
+      g.error = "empty mutex name";
+      out.push_back(std::move(g));
+      continue;
+    }
+    // Recover the field name from the declaration ahead of the comment:
+    // take the code portion, cut any brace/equals initializer, then the
+    // trailing identifier is the field.
+    std::string code = line.substr(0, comment);
+    const std::size_t init = code.find_first_of("{=");
+    if (init != std::string::npos) code = code.substr(0, init);
+    while (!code.empty() &&
+           (std::isspace(static_cast<unsigned char>(code.back())) != 0 ||
+            code.back() == ';')) {
+      code.pop_back();
+    }
+    std::size_t b = code.size();
+    while (b > 0 && is_ident_char(code[b - 1])) --b;
+    g.field = code.substr(b);
+    if (g.field.empty()) {
+      g.error = "could not recover a field name from the declaration on "
+                "this line";
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace paraconv::analyze

@@ -1,0 +1,139 @@
+// Shared token/declaration scanner for the paraconv analysis suite.
+//
+// Every pass in tools/analyze works on the same representation: a
+// SourceFile holding the raw bytes and a comment-stripped copy whose line
+// structure (and therefore every byte offset -> line mapping) matches the
+// raw text. The helpers here are deliberately token-level — no real C++
+// parser — which keeps the passes fast, dependency-free and honest about
+// what they can see (docs/ANALYSIS.md spells out the detection limits).
+//
+// The annotation grammar (ANALYZE-ALLOW suppressions and GUARDED-BY field
+// declarations) is parsed here so the passes and the core verifier agree
+// on one definition of "covered line".
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace paraconv::analyze {
+
+struct SourceFile {
+  std::string rel_path;  // relative to the analyzed root, '/' separators
+  std::string raw;       // file contents as read
+  std::string stripped;  // comments blanked out, line structure preserved
+};
+
+bool is_ident_char(char c);
+
+/// 1-based line number of byte offset `pos`.
+int line_of(const std::string& text, std::size_t pos);
+
+std::optional<std::string> read_file(const std::filesystem::path& path);
+
+/// Blanks // and /* */ comments (string/char literal bodies stay intact)
+/// while preserving every newline, so byte offsets keep mapping to the
+/// same line numbers as the raw text.
+std::string strip_comments(const std::string& text);
+
+/// [start, end) of the brace block whose opening '{' is the first one at
+/// or after `from`; nullopt when unbalanced or absent.
+std::optional<std::pair<std::size_t, std::size_t>> brace_region(
+    const std::string& text, std::size_t from);
+
+/// [start, end) of the paren group whose opening '(' is the first one at
+/// or after `from`; nullopt when unbalanced or absent.
+std::optional<std::pair<std::size_t, std::size_t>> paren_region(
+    const std::string& text, std::size_t from);
+
+/// Every balanced {...} interval in `text` as [open, close] offsets.
+std::vector<std::pair<std::size_t, std::size_t>> brace_intervals(
+    const std::string& text);
+
+/// End offset (exclusive) of the innermost brace interval containing
+/// `pos`, or text_size when `pos` is at namespace/file scope.
+std::size_t innermost_brace_end(
+    const std::vector<std::pair<std::size_t, std::size_t>>& intervals,
+    std::size_t pos, std::size_t text_size);
+
+struct QuotedString {
+  std::string value;
+  std::size_t pos;  // offset of the opening quote
+};
+
+/// String literals inside [begin, end) of comment-stripped text.
+std::vector<QuotedString> quoted_strings(const std::string& text,
+                                         std::size_t begin, std::size_t end);
+
+/// Offsets of `word` in `text` where both neighbours are non-identifier
+/// characters (so `map` never matches inside `unordered_map`).
+std::vector<std::size_t> word_occurrences(const std::string& text,
+                                          const std::string& word);
+
+/// kPlacementSizeMismatch -> placement-size-mismatch.
+std::string kebab_of_enumerator(const std::string& name);
+
+bool is_dotted_lowercase(const std::string& name);
+
+std::string trim(std::string_view s);
+
+/// `cell` shaped like "`name`" -> name; empty otherwise.
+std::string backticked(const std::string& cell);
+
+std::vector<std::string> table_cells(const std::string& line);
+
+// ---- suppression / guard annotations --------------------------------------
+
+/// One ANALYZE-ALLOW annotation. Grammar (docs/ANALYSIS.md):
+///   // ANALYZE-ALLOW(category): reason
+///   // ANALYZE-ALLOW-BEGIN(category): reason ... // ANALYZE-ALLOW-END(category)
+/// Categories: nondet | atomic | guard. The single-line form covers its own
+/// line when it trails code, otherwise the next line of code (wrapped
+/// justification comments included); the block form covers the enclosed
+/// line range.
+struct AllowAnnotation {
+  std::string category;
+  std::string reason;
+  int line{0};      // 1-based line of the marker
+  int end_line{0};  // last covered line
+  std::string error;  // non-empty when the annotation is malformed
+};
+
+std::vector<AllowAnnotation> parse_allow_annotations(const SourceFile& f);
+
+/// Lookup over the well-formed annotations of one file.
+class AllowIndex {
+ public:
+  explicit AllowIndex(std::vector<AllowAnnotation> annotations);
+
+  /// True when `line` is covered by an annotation of `category`.
+  bool allowed(const std::string& category, int line) const;
+
+  /// Marks every annotation of `category` covering `line` as used (for the
+  /// analyze-allow-unused verification).
+  void mark_used(const std::string& category, int line);
+
+  /// Well-formed annotations of `category` that never suppressed anything.
+  std::vector<const AllowAnnotation*> unused(const std::string& category)
+      const;
+
+ private:
+  std::vector<AllowAnnotation> annotations_;
+  std::vector<bool> used_;
+};
+
+/// One GUARDED-BY field declaration:  <field decl>;  // GUARDED-BY(mutex)
+/// `field` is recovered from the declaration on the same line.
+struct GuardAnnotation {
+  std::string field;
+  std::string mutex_name;
+  int line{0};
+  std::string error;  // non-empty when the annotation is malformed
+};
+
+std::vector<GuardAnnotation> parse_guard_annotations(const SourceFile& f);
+
+}  // namespace paraconv::analyze

@@ -1,20 +1,22 @@
-// Standalone driver for the project lint pass; see lint.hpp for the check
-// catalogue. Runs as the `lint` ctest against the source tree, so schema or
-// doc drift fails `ctest -j` locally the same way it fails CI.
+// Thin front-end over the analyze suite that runs only the original lint
+// pass (docs/schema/hygiene contracts). Kept for muscle memory and for
+// the fast edit loop — the full tool, with the determinism/concurrency/
+// layering passes and SARIF output, is `paraconv_analyze`.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "lint.hpp"
+#include "analyze.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--root <dir>]\n"
-               "Runs the paraconv project lint against the repo rooted at\n"
-               "<dir> (default: current directory). Exits non-zero when any\n"
-               "finding is reported.\n",
+               "Runs the paraconv lint pass (docs/schema/hygiene checks)\n"
+               "against the repo rooted at <dir> (default: current\n"
+               "directory). Exits non-zero when any finding is reported.\n"
+               "The full analysis suite is paraconv_analyze.\n",
                argv0);
   return 2;
 }
@@ -35,7 +37,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  const paraconv::lint::Report report = paraconv::lint::run_lint(root);
+  paraconv::analyze::Options options;
+  options.disabled = {"nondet", "atomics", "layering"};
+  const paraconv::analyze::Report report =
+      paraconv::analyze::run_analyze(root, options);
   if (report.files_scanned == 0) {
     std::fprintf(stderr,
                  "paraconv-lint: no sources found under '%s' -- wrong "
@@ -43,8 +48,9 @@ int main(int argc, char** argv) {
                  root.c_str());
     return 2;
   }
-  for (const paraconv::lint::Finding& finding : report.findings) {
-    std::fprintf(stderr, "%s\n", paraconv::lint::to_string(finding).c_str());
+  for (const paraconv::analyze::Finding& finding : report.findings) {
+    std::fprintf(stderr, "%s\n",
+                 paraconv::analyze::to_string(finding).c_str());
   }
   if (!report.findings.empty()) {
     std::fprintf(stderr, "paraconv-lint: %zu finding(s) in %d files\n",
