@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "alloc/knapsack.hpp"
+#include "cnn/workload.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/analysis.hpp"
@@ -250,6 +251,46 @@ std::vector<Case> sweep_cell_cases() {
   return cases;
 }
 
+std::vector<Case> sweep_zoo_cases() {
+  std::vector<Case> cases;
+  // Real-CNN sweep throughput: zoo workloads lowered at batch 1 and 4 on
+  // one Neurocube config, sequential, baseline on. Lowering happens in the
+  // fixture, outside the timed region, so the case times scheduling a real
+  // network shape (deep chains, residual joins, disconnected DeepBench
+  // pairs), not the parser.
+  auto spec = std::make_shared<dse::GridSpec>();
+  for (const char* name : {"resnet18_basic", "deepbench_conv"}) {
+    const cnn::Workload workload = cnn::zoo_workload(name);
+    for (const int batch : {1, 4}) {
+      spec->cases.push_back(
+          {workload.net.name(), cnn::lower_workload(workload, batch), batch});
+    }
+  }
+  spec->configs = {pim::PimConfig::neurocube(32)};
+  spec->packers = {core::PackerKind::kTopological};
+  spec->allocators = {core::AllocatorKind::kKnapsackDp};
+  spec->iterations = 100;
+  cases.push_back({"grid/zoo2xb2/jobs1", [spec] {
+                     dse::SweepOptions options;
+                     options.jobs = 1;
+                     options.with_baseline = true;
+                     const dse::SweepResult result =
+                         dse::run_sweep(*spec, options);
+                     sink(static_cast<std::int64_t>(result.cells_ok));
+                   }});
+  // Batched lowering itself: the parse + replicate + wire path a --workload
+  // sweep pays per (workload, batch) case before any cell runs.
+  {
+    auto workload =
+        std::make_shared<cnn::Workload>(cnn::zoo_workload("mobilenet_v1"));
+    cases.push_back({"lower/mobilenet_v1/b8", [workload] {
+                       sink(static_cast<std::int64_t>(
+                           cnn::lower_workload(*workload, 8).node_count()));
+                     }});
+  }
+  return cases;
+}
+
 std::vector<Case> cost_model_cases() {
   std::vector<Case> cases;
   // The banked contention analyzer off the hot path: schedule once per
@@ -375,6 +416,7 @@ std::vector<Case> build_suite(const std::string& name) {
   if (name == "retime") return retime_cases();
   if (name == "alloc_dp") return alloc_dp_cases();
   if (name == "sweep_cell") return sweep_cell_cases();
+  if (name == "sweep_zoo") return sweep_zoo_cases();
   if (name == "cost_model") return cost_model_cases();
   if (name == "serve") return serve_cases();
   PARACONV_REQUIRE(false, "unknown bench suite: " + name);
@@ -394,6 +436,9 @@ const std::vector<SuiteSpec>& suite_catalog() {
       {"retime", "Per-edge retiming-distance analysis on packed schedules"},
       {"alloc_dp", "Knapsack DP: profit-only and reconstruction paths"},
       {"sweep_cell", "DSE throughput: a small grid and a memoized ablation"},
+      {"sweep_zoo",
+       "Real-CNN workloads: a batched zoo sweep and batched lowering "
+       "(see docs/WORKLOADS.md)"},
       {"cost_model",
        "Banked-eDRAM contention analysis and per-transfer cost queries "
        "(constant vs banked dispatch)"},

@@ -20,7 +20,7 @@ struct SuiteSpec {
 };
 
 /// All pinned suites, in catalog order: pipeline, packer, retime, alloc_dp,
-/// sweep_cell.
+/// sweep_cell, sweep_zoo, cost_model, serve.
 const std::vector<SuiteSpec>& suite_catalog();
 
 /// True when `name` is in suite_catalog().

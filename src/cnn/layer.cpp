@@ -11,12 +11,28 @@ struct KindNameVisitor {
   const char* operator()(const PoolParams&) const { return "pool"; }
   const char* operator()(const FcParams&) const { return "fc"; }
   const char* operator()(const ConcatParams&) const { return "concat"; }
+  const char* operator()(const EltwiseParams&) const { return "eltwise"; }
 };
 
 const Shape& single_input(const std::vector<Shape>& inputs) {
   PARACONV_REQUIRE(inputs.size() == 1, "layer expects exactly one input");
   PARACONV_REQUIRE(inputs.front().valid(), "input shape must be valid");
   return inputs.front();
+}
+
+/// Rejects degenerate window parameters with typed kebab-case diagnostics
+/// shared by conv and pool ([cnn-bad-kernel] / [cnn-bad-stride] /
+/// [cnn-bad-pad] / [cnn-pad-too-large]).
+void require_valid_window(const char* kind, int kernel, int stride, int pad) {
+  PARACONV_REQUIRE(kernel >= 1, std::string("[cnn-bad-kernel] ") + kind +
+                                    " kernel must be >= 1");
+  PARACONV_REQUIRE(stride >= 1, std::string("[cnn-bad-stride] ") + kind +
+                                    " stride must be >= 1");
+  PARACONV_REQUIRE(pad >= 0, std::string("[cnn-bad-pad] ") + kind +
+                                 " pad must be >= 0");
+  PARACONV_REQUIRE(pad < kernel,
+                   std::string("[cnn-pad-too-large] ") + kind +
+                       " pad must be smaller than the kernel extent");
 }
 
 }  // namespace
@@ -36,29 +52,37 @@ Shape infer_output_shape(const LayerParams& params,
           return p.shape;
         } else if constexpr (std::is_same_v<P, ConvParams>) {
           const Shape& in = single_input(inputs);
-          PARACONV_REQUIRE(p.kernel >= 1 && p.stride >= 1 && p.pad >= 0 &&
-                               p.out_channels >= 1,
-                           "invalid convolution parameters");
+          PARACONV_REQUIRE(
+              p.out_channels >= 1,
+              "[cnn-bad-channels] convolution out_channels must be >= 1");
+          require_valid_window("convolution", p.kernel, p.stride, p.pad);
+          PARACONV_REQUIRE(p.groups >= 1,
+                           "[cnn-bad-groups] convolution groups must be >= 1");
+          PARACONV_REQUIRE(in.channels % p.groups == 0 &&
+                               p.out_channels % p.groups == 0,
+                           "[cnn-groups-indivisible] convolution groups must "
+                           "divide both input and output channel counts");
           const int oh = conv_out_extent(in.height, p.kernel, p.stride, p.pad);
           const int ow = conv_out_extent(in.width, p.kernel, p.stride, p.pad);
           PARACONV_REQUIRE(oh >= 1 && ow >= 1,
-                           "convolution output collapses to zero extent");
+                           "[cnn-zero-extent] convolution output collapses "
+                           "to zero extent");
           return Shape{p.out_channels, oh, ow};
         } else if constexpr (std::is_same_v<P, PoolParams>) {
           const Shape& in = single_input(inputs);
-          PARACONV_REQUIRE(p.kernel >= 1 && p.stride >= 1 && p.pad >= 0,
-                           "invalid pooling parameters");
+          require_valid_window("pooling", p.kernel, p.stride, p.pad);
           const int oh = conv_out_extent(in.height, p.kernel, p.stride, p.pad);
           const int ow = conv_out_extent(in.width, p.kernel, p.stride, p.pad);
           PARACONV_REQUIRE(oh >= 1 && ow >= 1,
-                           "pooling output collapses to zero extent");
+                           "[cnn-zero-extent] pooling output collapses to "
+                           "zero extent");
           return Shape{in.channels, oh, ow};
         } else if constexpr (std::is_same_v<P, FcParams>) {
           single_input(inputs);  // validates arity and shape
-          PARACONV_REQUIRE(p.out_features >= 1, "invalid fc parameters");
+          PARACONV_REQUIRE(p.out_features >= 1,
+                           "[cnn-bad-channels] fc out_features must be >= 1");
           return Shape{p.out_features, 1, 1};
-        } else {
-          static_assert(std::is_same_v<P, ConcatParams>);
+        } else if constexpr (std::is_same_v<P, ConcatParams>) {
           PARACONV_REQUIRE(inputs.size() >= 2,
                            "concat requires at least two inputs");
           int channels = 0;
@@ -70,6 +94,17 @@ Shape infer_output_shape(const LayerParams& params,
             channels += s.channels;
           }
           return Shape{channels, inputs.front().height, inputs.front().width};
+        } else {
+          static_assert(std::is_same_v<P, EltwiseParams>);
+          PARACONV_REQUIRE(inputs.size() >= 2,
+                           "eltwise requires at least two inputs");
+          for (const Shape& s : inputs) {
+            PARACONV_REQUIRE(s.valid(), "eltwise input shape must be valid");
+            PARACONV_REQUIRE(s == inputs.front(),
+                             "[cnn-eltwise-shape-mismatch] eltwise inputs "
+                             "must share an identical shape");
+          }
+          return inputs.front();
         }
       },
       params);
@@ -83,13 +118,19 @@ std::int64_t layer_macs(const LayerParams& params,
         if constexpr (std::is_same_v<P, ConvParams>) {
           const Shape& in = single_input(inputs);
           const Shape out = infer_output_shape(params, inputs);
-          return out.elements() * in.channels * p.kernel * p.kernel;
+          // Each output element sees in.channels / groups input channels.
+          return out.elements() * (in.channels / p.groups) * p.kernel *
+                 p.kernel;
         } else if constexpr (std::is_same_v<P, PoolParams>) {
           const Shape out = infer_output_shape(params, inputs);
           return out.elements() * p.kernel * p.kernel;
         } else if constexpr (std::is_same_v<P, FcParams>) {
           const Shape& in = single_input(inputs);
           return in.elements() * p.out_features;
+        } else if constexpr (std::is_same_v<P, EltwiseParams>) {
+          const Shape out = infer_output_shape(params, inputs);
+          return out.elements() *
+                 static_cast<std::int64_t>(inputs.size() - 1);
         } else {
           return 0;
         }
@@ -104,8 +145,8 @@ std::int64_t layer_weight_count(const LayerParams& params,
         using P = std::decay_t<decltype(p)>;
         if constexpr (std::is_same_v<P, ConvParams>) {
           const Shape& in = single_input(inputs);
-          return static_cast<std::int64_t>(p.out_channels) * in.channels *
-                 p.kernel * p.kernel;
+          return static_cast<std::int64_t>(p.out_channels) *
+                 (in.channels / p.groups) * p.kernel * p.kernel;
         } else if constexpr (std::is_same_v<P, FcParams>) {
           const Shape& in = single_input(inputs);
           return in.elements() * p.out_features;

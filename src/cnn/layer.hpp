@@ -1,7 +1,8 @@
 // CNN layer descriptors (paper Sec. 2.2: convolutional, pooling and
 // fully-connected layers; fully-connected is treated as a special
 // convolution). Concat models the channel-join of GoogLeNet inception
-// branches.
+// branches; eltwise the residual join of ResNet blocks; grouped
+// convolutions cover MobileNet-style depthwise stacks.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +28,9 @@ struct ConvParams {
   int kernel{1};
   int stride{1};
   int pad{0};
+  /// Filter groups: in/out channels must both divide evenly. groups ==
+  /// in_channels == out_channels is a depthwise convolution.
+  int groups{1};
 };
 
 enum class PoolMode : std::uint8_t { kMax, kAverage };
@@ -45,8 +49,12 @@ struct FcParams {
 /// Channel-wise concatenation of all inputs (same spatial extent required).
 struct ConcatParams {};
 
-using LayerParams =
-    std::variant<InputParams, ConvParams, PoolParams, FcParams, ConcatParams>;
+/// Element-wise sum of all inputs (identical shapes required) — the join of
+/// a ResNet residual connection.
+struct EltwiseParams {};
+
+using LayerParams = std::variant<InputParams, ConvParams, PoolParams, FcParams,
+                                 ConcatParams, EltwiseParams>;
 
 struct Layer {
   std::string name;

@@ -31,61 +31,83 @@ graph::TaskGraph lower_to_task_graph(const Network& net,
                    "macs_per_time_unit must be positive");
   PARACONV_REQUIRE(options.element_bytes >= 1,
                    "element_bytes must be positive");
+  PARACONV_REQUIRE(options.batch >= 1, "batch must be positive");
 
   graph::TaskGraph g(net.name());
 
-  // Per-layer list of task ids (one per channel group); empty for elided
-  // input layers.
-  std::vector<std::vector<graph::NodeId>> tasks_of(net.layer_count());
+  // tasks_of[image][layer] lists the layer's task ids (one per channel
+  // group) for that image; empty for elided input layers. Image 0 holds
+  // the canonical (weight-carrying) replica set.
+  const std::size_t batch = static_cast<std::size_t>(options.batch);
+  std::vector<std::vector<std::vector<graph::NodeId>>> tasks_of(
+      batch, std::vector<std::vector<graph::NodeId>>(net.layer_count()));
 
-  for (std::uint32_t li = 0; li < net.layer_count(); ++li) {
-    const LayerId lid{li};
-    const Layer& layer = net.layer(lid);
-    if (std::holds_alternative<InputParams>(layer.params)) continue;
+  for (std::size_t image = 0; image < batch; ++image) {
+    const std::string image_suffix =
+        image == 0 ? std::string() : "@b" + std::to_string(image);
+    for (std::uint32_t li = 0; li < net.layer_count(); ++li) {
+      const LayerId lid{li};
+      const Layer& layer = net.layer(lid);
+      if (std::holds_alternative<InputParams>(layer.params)) continue;
 
-    const Shape out = net.output_shape(lid);
-    int groups = 1;
-    if (std::holds_alternative<ConvParams>(layer.params) ||
-        std::holds_alternative<PoolParams>(layer.params) ||
-        std::holds_alternative<FcParams>(layer.params)) {
-      groups = std::min(options.channel_groups, out.channels);
-    }
+      const Shape out = net.output_shape(lid);
+      int groups = 1;
+      if (std::holds_alternative<ConvParams>(layer.params) ||
+          std::holds_alternative<PoolParams>(layer.params) ||
+          std::holds_alternative<FcParams>(layer.params)) {
+        groups = std::min(options.channel_groups, out.channels);
+      }
 
-    const std::int64_t macs = net.macs(lid);
-    const std::int64_t exec = std::max<std::int64_t>(
-        1, ceil_div(ceil_div(macs, groups), options.macs_per_time_unit));
+      const std::int64_t macs = net.macs(lid);
+      const std::int64_t exec = std::max<std::int64_t>(
+          1, ceil_div(ceil_div(macs, groups), options.macs_per_time_unit));
 
-    const std::int64_t weight_bytes =
-        net.weight_count(lid) * options.element_bytes;
-    for (int gi = 0; gi < groups; ++gi) {
-      graph::Task task;
-      task.name = groups == 1
-                      ? layer.name
-                      : layer.name + "#" + std::to_string(gi);
-      task.kind = task_kind_for(layer.params);
-      task.exec_time = TimeUnits{exec};
-      task.weights = Bytes{weight_bytes / groups};
-      tasks_of[li].push_back(g.add_task(std::move(task)));
-    }
+      const std::int64_t weight_bytes =
+          net.weight_count(lid) * options.element_bytes;
+      const std::size_t group_count = static_cast<std::size_t>(groups);
+      for (std::size_t gi = 0; gi < group_count; ++gi) {
+        graph::Task task;
+        task.name = (groups == 1
+                         ? layer.name
+                         : layer.name + "#" + std::to_string(gi)) +
+                    image_suffix;
+        task.kind = task_kind_for(layer.params);
+        task.exec_time = TimeUnits{exec};
+        // Filter weights live with the image-0 replica; later images share
+        // them and carry none of their own.
+        task.weights = Bytes{image == 0 ? weight_bytes / groups : 0};
+        tasks_of[image][li].push_back(g.add_task(std::move(task)));
+      }
 
-    // Wire edges from each producer layer's tasks.
-    const bool channelwise =
-        std::holds_alternative<PoolParams>(layer.params);
-    for (const LayerId in : layer.inputs) {
-      const auto& producers = tasks_of[in.value];
-      if (producers.empty()) continue;  // elided input layer
-      const Bytes prod_part{std::max<std::int64_t>(
-          1, net.output_shape(in).bytes(options.element_bytes).value /
-                 static_cast<std::int64_t>(producers.size()))};
-      if (channelwise && producers.size() == tasks_of[li].size()) {
-        for (std::size_t k = 0; k < producers.size(); ++k) {
-          g.add_ipr(producers[k], tasks_of[li][k], prod_part);
-        }
-      } else {
-        for (const graph::NodeId p : producers) {
-          for (const graph::NodeId c : tasks_of[li]) {
-            g.add_ipr(p, c, prod_part);
+      // Wire edges from each producer layer's tasks within this image.
+      const bool channelwise =
+          std::holds_alternative<PoolParams>(layer.params);
+      for (const LayerId in : layer.inputs) {
+        const auto& producers = tasks_of[image][in.value];
+        if (producers.empty()) continue;  // elided input layer
+        const Bytes prod_part{std::max<std::int64_t>(
+            1, net.output_shape(in).bytes(options.element_bytes).value /
+                   static_cast<std::int64_t>(producers.size()))};
+        if (channelwise && producers.size() == tasks_of[image][li].size()) {
+          for (std::size_t k = 0; k < producers.size(); ++k) {
+            g.add_ipr(producers[k], tasks_of[image][li][k], prod_part);
           }
+        } else {
+          for (const graph::NodeId p : producers) {
+            for (const graph::NodeId c : tasks_of[image][li]) {
+              g.add_ipr(p, c, prod_part);
+            }
+          }
+        }
+      }
+
+      // Shared-weight edge: the image-0 replica of each weight-carrying
+      // group feeds its sibling, ordering the (single) weight fetch before
+      // every reuse and exposing the reuse affinity to the allocator. The
+      // token size is 1 byte — weights move once, not once per image.
+      if (image > 0 && weight_bytes > 0) {
+        for (std::size_t gi = 0; gi < group_count; ++gi) {
+          g.add_ipr(tasks_of[0][li][gi], tasks_of[image][li][gi], Bytes{1});
         }
       }
     }

@@ -23,13 +23,24 @@ struct LoweringOptions {
 
   /// Bytes per feature-map element (fp16 by default).
   int element_bytes{2};
+
+  /// Images per lowered iteration. batch > 1 replicates the per-image task
+  /// graph once per image: replicas of image i > 0 are named
+  /// `<task>@b<i>`, carry zero weight bytes (filter weights are shared with
+  /// the image-0 replica, which keeps them all), and receive one
+  /// shared-weight edge of Bytes{1} from their image-0 sibling so the
+  /// scheduler orders each weight fetch before every reuse and the
+  /// allocator sees the reuse affinity.
+  int batch{1};
 };
 
 /// Lowers `net` to a TaskGraph. Input layers are elided (their consumers
 /// become graph sources); concat layers become single 1-time-unit tasks.
 /// For channel-wise layers (pooling) with matching group counts, producer
 /// group i feeds only consumer group i; all other connections are
-/// all-to-all between producer and consumer groups.
+/// all-to-all between producer and consumer groups. With options.batch > 1
+/// the whole per-image graph is replicated per image plus shared-weight
+/// edges (see LoweringOptions::batch).
 graph::TaskGraph lower_to_task_graph(const Network& net,
                                      const LoweringOptions& options);
 

@@ -44,6 +44,10 @@ LayerId Network::add_concat(std::string name, std::vector<LayerId> inputs) {
   return add_layer(Layer{std::move(name), ConcatParams{}, std::move(inputs)});
 }
 
+LayerId Network::add_eltwise(std::string name, std::vector<LayerId> inputs) {
+  return add_layer(Layer{std::move(name), EltwiseParams{}, std::move(inputs)});
+}
+
 std::int64_t Network::macs(LayerId id) const {
   const Layer& l = layer(id);
   return layer_macs(l.params, input_shapes(l));

@@ -25,6 +25,7 @@ class Network {
   LayerId add_pool(std::string name, LayerId input, PoolParams params);
   LayerId add_fc(std::string name, LayerId input, FcParams params);
   LayerId add_concat(std::string name, std::vector<LayerId> inputs);
+  LayerId add_eltwise(std::string name, std::vector<LayerId> inputs);
 
   std::size_t layer_count() const { return layers_.size(); }
   const Layer& layer(LayerId id) const {

@@ -8,8 +8,10 @@
 
 namespace paraconv::cnn {
 
-/// Channel-major feature-map shape (C, H, W). Batch size is 1 throughout:
-/// the paper's dataflow iterates over inputs, one image per iteration.
+/// Channel-major feature-map shape (C, H, W) of a single image. Batch is
+/// not a shape axis: the paper's dataflow iterates over inputs, one image
+/// per iteration, and batched lowering replicates the per-image task graph
+/// instead (see LoweringOptions::batch in cnn/lowering.hpp).
 struct Shape {
   int channels{0};
   int height{0};

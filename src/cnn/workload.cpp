@@ -1,0 +1,396 @@
+#include "cnn/workload.hpp"
+
+#include <fstream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "common/parse.hpp"
+
+namespace paraconv::cnn {
+namespace {
+
+// ---- embedded zoo ---------------------------------------------------------
+// Each text is byte-identical to its workloads/<name>.tsv file (enforced by
+// cnn/workload_test.cpp); provenance lives in the `source` directive and in
+// the docs/WORKLOADS.md table.
+
+const char kAlexnetText[] = R"zoo(workload	alexnet
+source	AlexNet (Krizhevsky et al., NIPS 2012), single-crop 227x227 ImageNet inference
+input	data	3	227	227
+conv	conv1	data	96	11	4	0
+pool	pool1	conv1	max	3	2	0
+conv	conv2	pool1	256	5	1	2
+pool	pool2	conv2	max	3	2	0
+conv	conv3	pool2	384	3	1	1
+conv	conv4	conv3	384	3	1	1
+conv	conv5	conv4	256	3	1	1
+pool	pool5	conv5	max	3	2	0
+fc	fc6	pool5	4096
+fc	fc7	fc6	4096
+fc	fc8	fc7	1000
+)zoo";
+
+const char kVgg16Text[] = R"zoo(workload	vgg16
+source	VGG-16 configuration D (Simonyan & Zisserman, ICLR 2015), 224x224 ImageNet inference
+input	data	3	224	224
+conv	conv1_1	data	64	3	1	1
+conv	conv1_2	conv1_1	64	3	1	1
+pool	pool1	conv1_2	max	2	2	0
+conv	conv2_1	pool1	128	3	1	1
+conv	conv2_2	conv2_1	128	3	1	1
+pool	pool2	conv2_2	max	2	2	0
+conv	conv3_1	pool2	256	3	1	1
+conv	conv3_2	conv3_1	256	3	1	1
+conv	conv3_3	conv3_2	256	3	1	1
+pool	pool3	conv3_3	max	2	2	0
+conv	conv4_1	pool3	512	3	1	1
+conv	conv4_2	conv4_1	512	3	1	1
+conv	conv4_3	conv4_2	512	3	1	1
+pool	pool4	conv4_3	max	2	2	0
+conv	conv5_1	pool4	512	3	1	1
+conv	conv5_2	conv5_1	512	3	1	1
+conv	conv5_3	conv5_2	512	3	1	1
+pool	pool5	conv5_3	max	2	2	0
+fc	fc6	pool5	4096
+fc	fc7	fc6	4096
+fc	fc8	fc7	1000
+)zoo";
+
+const char kResnet18BasicText[] = R"zoo(workload	resnet18_basic
+source	ResNet-18 basic blocks (He et al., CVPR 2016): two 64ch/56x56 identity blocks plus one stride-2 projection block to 128ch/28x28
+input	data	64	56	56
+conv	stem	data	64	3	1	1
+conv	b1_conv1	stem	64	3	1	1
+conv	b1_conv2	b1_conv1	64	3	1	1
+eltwise	b1_add	stem,b1_conv2
+conv	b2_conv1	b1_add	64	3	1	1
+conv	b2_conv2	b2_conv1	64	3	1	1
+eltwise	b2_add	b1_add,b2_conv2
+conv	b3_conv1	b2_add	128	3	2	1
+conv	b3_conv2	b3_conv1	128	3	1	1
+conv	b3_proj	b2_add	128	1	2	0
+eltwise	b3_add	b3_conv2,b3_proj
+)zoo";
+
+const char kMobilenetV1Text[] = R"zoo(workload	mobilenet_v1
+source	MobileNet v1 1.0/224 (Howard et al., arXiv:1704.04861): depthwise-separable stacks, depthwise convs expressed via groups == channels
+input	data	3	224	224
+conv	conv1	data	32	3	2	1
+conv	dw1	conv1	32	3	1	1	32
+conv	pw1	dw1	64	1	1	0
+conv	dw2	pw1	64	3	2	1	64
+conv	pw2	dw2	128	1	1	0
+conv	dw3	pw2	128	3	1	1	128
+conv	pw3	dw3	128	1	1	0
+conv	dw4	pw3	128	3	2	1	128
+conv	pw4	dw4	256	1	1	0
+conv	dw5	pw4	256	3	1	1	256
+conv	pw5	dw5	256	1	1	0
+conv	dw6	pw5	256	3	2	1	256
+conv	pw6	dw6	512	1	1	0
+conv	dw7	pw6	512	3	1	1	512
+conv	pw7	dw7	512	1	1	0
+conv	dw8	pw7	512	3	1	1	512
+conv	pw8	dw8	512	1	1	0
+conv	dw9	pw8	512	3	1	1	512
+conv	pw9	dw9	512	1	1	0
+conv	dw10	pw9	512	3	1	1	512
+conv	pw10	dw10	512	1	1	0
+conv	dw11	pw10	512	3	1	1	512
+conv	pw11	dw11	512	1	1	0
+conv	dw12	pw11	512	3	2	1	512
+conv	pw12	dw12	1024	1	1	0
+conv	dw13	pw12	1024	3	1	1	1024
+conv	pw13	dw13	1024	1	1	0
+pool	avgpool	pw13	avg	7	1	0
+fc	fc	avgpool	1000
+)zoo";
+
+const char kDeepbenchConvText[] = R"zoo(workload	deepbench_conv
+source	DeepBench (Baidu Research) server inference convolutions, square-kernel vision subset; every layer is an independent input/conv pair
+input	in0	3	224	224
+conv	conv0	in0	64	7	2	3
+input	in1	64	112	112
+conv	conv1	in1	128	3	1	1
+input	in2	128	56	56
+conv	conv2	in2	256	3	1	1
+input	in3	256	28	28
+conv	conv3	in3	512	3	1	1
+input	in4	512	14	14
+conv	conv4	in4	512	3	1	1
+input	in5	512	7	7
+conv	conv5	in5	512	3	1	1
+)zoo";
+
+struct ZooEntry {
+  const char* name;
+  const char* text;
+};
+
+constexpr ZooEntry kZoo[] = {
+    {"alexnet", kAlexnetText},
+    {"vgg16", kVgg16Text},
+    {"resnet18_basic", kResnet18BasicText},
+    {"mobilenet_v1", kMobilenetV1Text},
+    {"deepbench_conv", kDeepbenchConvText},
+};
+
+// ---- parser ---------------------------------------------------------------
+
+[[noreturn]] void fail(int line_no, const std::string& message) {
+  PARACONV_REQUIRE(false,
+                   message + " (line " + std::to_string(line_no) + ")");
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::istringstream is{std::string(line)};
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+int parse_field(const std::string& token, int min_value, const char* what,
+                int line_no) {
+  const std::optional<std::int64_t> value = parse_int64(token);
+  if (!value.has_value() || *value < min_value ||
+      *value > std::numeric_limits<int>::max()) {
+    fail(line_no, std::string("[workload-parse] ") + what + " '" + token +
+                      "' must be an integer >= " + std::to_string(min_value));
+  }
+  return static_cast<int>(*value);
+}
+
+class WorkloadParser {
+ public:
+  Workload parse(const std::string& text) {
+    int line_no = 0;
+    std::istringstream lines(text);
+    std::string raw;
+    while (std::getline(lines, raw)) {
+      ++line_no;
+      std::string_view line{raw};
+      if (const std::size_t hash = line.find('#');
+          hash != std::string_view::npos) {
+        line = line.substr(0, hash);
+      }
+      line = trim(line);
+      if (line.empty()) continue;
+      handle_line(tokenize(line), line, line_no);
+    }
+    if (!named_) {
+      fail(line_no, "[workload-missing-name] the 'workload <name>' "
+                    "directive is required");
+    }
+    return std::move(workload_);
+  }
+
+ private:
+  void handle_line(const std::vector<std::string>& tokens,
+                   std::string_view line, int line_no) {
+    const std::string& op = tokens.front();
+    if (op == "workload") {
+      if (named_) fail(line_no, "[workload-parse] duplicate workload name");
+      require_arity(tokens, 2, "workload <name>", line_no);
+      workload_.net = Network(tokens[1]);
+      named_ = true;
+      return;
+    }
+    if (op == "source") {
+      workload_.source = std::string(trim(line.substr(op.size())));
+      return;
+    }
+    if (op == "batch") {
+      require_arity(tokens, 2, "batch <n>", line_no);
+      workload_.default_batch =
+          parse_field(tokens[1], 1, "[workload-bad-batch] batch", line_no);
+      return;
+    }
+    if (!named_) {
+      fail(line_no, "[workload-missing-name] the 'workload <name>' "
+                    "directive must precede layer lines");
+    }
+    if (op == "input") {
+      require_arity(tokens, 5, "input <name> <c> <h> <w>", line_no);
+      const Shape shape{parse_field(tokens[2], 1, "channels", line_no),
+                        parse_field(tokens[3], 1, "height", line_no),
+                        parse_field(tokens[4], 1, "width", line_no)};
+      define(tokens[1], workload_.net.add_input(tokens[1], shape), line_no);
+    } else if (op == "conv") {
+      if (tokens.size() != 7 && tokens.size() != 8) {
+        fail(line_no, "[workload-parse] conv expects "
+                      "<name> <input> <out_c> <kernel> <stride> <pad> "
+                      "[groups]");
+      }
+      ConvParams params;
+      params.out_channels = parse_field(tokens[3], 1, "out_channels", line_no);
+      params.kernel = parse_field(tokens[4], 1, "kernel", line_no);
+      params.stride = parse_field(tokens[5], 1, "stride", line_no);
+      params.pad = parse_field(tokens[6], 0, "pad", line_no);
+      if (tokens.size() == 8) {
+        params.groups = parse_field(tokens[7], 1, "groups", line_no);
+      }
+      define(tokens[1],
+             workload_.net.add_conv(tokens[1], resolve(tokens[2], line_no),
+                                    params),
+             line_no);
+    } else if (op == "pool") {
+      require_arity(tokens, 7,
+                    "pool <name> <input> <max|avg> <kernel> <stride> <pad>",
+                    line_no);
+      PoolParams params;
+      if (tokens[3] == "max") {
+        params.mode = PoolMode::kMax;
+      } else if (tokens[3] == "avg") {
+        params.mode = PoolMode::kAverage;
+      } else {
+        fail(line_no, "[workload-parse] pool mode '" + tokens[3] +
+                          "' must be max or avg");
+      }
+      params.kernel = parse_field(tokens[4], 1, "kernel", line_no);
+      params.stride = parse_field(tokens[5], 1, "stride", line_no);
+      params.pad = parse_field(tokens[6], 0, "pad", line_no);
+      define(tokens[1],
+             workload_.net.add_pool(tokens[1], resolve(tokens[2], line_no),
+                                    params),
+             line_no);
+    } else if (op == "fc") {
+      require_arity(tokens, 4, "fc <name> <input> <out_features>", line_no);
+      const FcParams params{
+          parse_field(tokens[3], 1, "out_features", line_no)};
+      define(tokens[1],
+             workload_.net.add_fc(tokens[1], resolve(tokens[2], line_no),
+                                  params),
+             line_no);
+    } else if (op == "concat") {
+      require_arity(tokens, 3, "concat <name> <in1,in2,...>", line_no);
+      define(tokens[1],
+             workload_.net.add_concat(tokens[1],
+                                      resolve_list(tokens[2], line_no)),
+             line_no);
+    } else if (op == "eltwise") {
+      require_arity(tokens, 3, "eltwise <name> <in1,in2,...>", line_no);
+      define(tokens[1],
+             workload_.net.add_eltwise(tokens[1],
+                                       resolve_list(tokens[2], line_no)),
+             line_no);
+    } else {
+      fail(line_no, "[workload-unknown-op] unknown directive '" + op + "'");
+    }
+  }
+
+  void require_arity(const std::vector<std::string>& tokens,
+                     std::size_t arity, const char* usage, int line_no) {
+    if (tokens.size() != arity) {
+      fail(line_no, std::string("[workload-parse] expected: ") + usage);
+    }
+  }
+
+  void define(const std::string& name, LayerId id, int line_no) {
+    if (!layers_.emplace(name, id).second) {
+      fail(line_no,
+           "[workload-duplicate-layer] layer '" + name + "' redefined");
+    }
+  }
+
+  LayerId resolve(const std::string& name, int line_no) {
+    const auto it = layers_.find(name);
+    if (it == layers_.end()) {
+      fail(line_no, "[workload-unknown-input] layer '" + name +
+                        "' is not defined above this line");
+    }
+    return it->second;
+  }
+
+  std::vector<LayerId> resolve_list(const std::string& csv, int line_no) {
+    std::vector<LayerId> ids;
+    std::size_t begin = 0;
+    while (begin <= csv.size()) {
+      std::size_t end = csv.find(',', begin);
+      if (end == std::string::npos) end = csv.size();
+      const std::string name = csv.substr(begin, end - begin);
+      if (name.empty()) {
+        fail(line_no, "[workload-parse] empty entry in input list '" + csv +
+                          "'");
+      }
+      ids.push_back(resolve(name, line_no));
+      begin = end + 1;
+    }
+    return ids;
+  }
+
+  Workload workload_;
+  bool named_{false};
+  std::map<std::string, LayerId> layers_;
+};
+
+}  // namespace
+
+Workload parse_workload(const std::string& text) {
+  return WorkloadParser{}.parse(text);
+}
+
+Workload load_workload_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PARACONV_REQUIRE(in.good(), "[workload-file-missing] cannot open workload "
+                              "file '" +
+                                  path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_workload(buffer.str());
+}
+
+std::vector<std::string> zoo_workload_names() {
+  std::vector<std::string> names;
+  for (const ZooEntry& entry : kZoo) names.emplace_back(entry.name);
+  return names;
+}
+
+bool is_zoo_workload(const std::string& name) {
+  for (const ZooEntry& entry : kZoo) {
+    if (name == entry.name) return true;
+  }
+  return false;
+}
+
+const std::string& zoo_workload_text(const std::string& name) {
+  static const std::map<std::string, std::string> texts = [] {
+    std::map<std::string, std::string> m;
+    for (const ZooEntry& entry : kZoo) m.emplace(entry.name, entry.text);
+    return m;
+  }();
+  const auto it = texts.find(name);
+  PARACONV_REQUIRE(it != texts.end(),
+                   "[workload-unknown] '" + name +
+                       "' is not a zoo workload (see `paraconv_cli list`)");
+  return it->second;
+}
+
+Workload zoo_workload(const std::string& name) {
+  return parse_workload(zoo_workload_text(name));
+}
+
+graph::TaskGraph lower_workload(const Workload& workload, int batch,
+                                LoweringOptions options) {
+  PARACONV_REQUIRE(batch >= 1, "batch must be positive");
+  options.batch = batch;
+  return lower_to_task_graph(workload.net, options);
+}
+
+}  // namespace paraconv::cnn

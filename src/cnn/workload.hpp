@@ -1,0 +1,55 @@
+// The workload zoo: named real-CNN layer configurations loaded from the
+// line-oriented workload TSV format (docs/WORKLOADS.md) and lowered through
+// cnn/lowering into schedulable task graphs. Every shipped zoo entry is
+// embedded here byte-identical to its `workloads/<name>.tsv` file so library
+// users need no data directory; the files are the on-disk interchange copy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cnn/lowering.hpp"
+#include "cnn/network.hpp"
+#include "graph/task_graph.hpp"
+
+namespace paraconv::cnn {
+
+/// A parsed workload: the layer DAG plus the file's metadata directives.
+struct Workload {
+  Network net;
+  /// `source` directive — free-text provenance (paper / DeepBench origin).
+  std::string source;
+  /// `batch` directive — images per iteration when the caller does not
+  /// override it; 1 when the directive is absent.
+  int default_batch{1};
+};
+
+/// Parses workload text (the format specified in docs/WORKLOADS.md).
+/// Throws ContractViolation with a typed `[workload-*]` diagnostic naming
+/// the offending line on any malformed input.
+Workload parse_workload(const std::string& text);
+
+/// Reads and parses a workload file; `[workload-file-missing]` when the
+/// path cannot be opened.
+Workload load_workload_file(const std::string& path);
+
+/// Names of the built-in zoo entries, in catalog order.
+std::vector<std::string> zoo_workload_names();
+
+/// True when `name` is a built-in zoo entry.
+bool is_zoo_workload(const std::string& name);
+
+/// Raw workload text of a zoo entry, byte-identical to
+/// `workloads/<name>.tsv`. Throws `[workload-unknown]` for other names.
+const std::string& zoo_workload_text(const std::string& name);
+
+/// Parses a zoo entry by name.
+Workload zoo_workload(const std::string& name);
+
+/// Lowers a workload with `batch` images per iteration (batch >= 1; pass
+/// `workload.default_batch` to honor the file's directive). `options.batch`
+/// is overwritten by `batch`.
+graph::TaskGraph lower_workload(const Workload& workload, int batch,
+                                LoweringOptions options = {});
+
+}  // namespace paraconv::cnn

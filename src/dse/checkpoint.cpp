@@ -303,6 +303,12 @@ std::uint64_t sweep_fingerprint(const GridSpec& spec,
   for (const SweepCase& sweep_case : spec.cases) {
     h = mix_string(h, sweep_case.name);
     h = mix(h, graph_fingerprint(sweep_case.graph));
+    // Batch joins the fingerprint only when != 1: batch-free grids keep the
+    // fingerprint they had before the axis existed, so their checkpoints
+    // stay resumable.
+    if (sweep_case.batch != 1) {
+      h = mix(h, static_cast<std::uint64_t>(sweep_case.batch));
+    }
   }
   h = mix(h, spec.configs.size());
   for (const pim::PimConfig& config : spec.configs) {
@@ -357,6 +363,12 @@ std::string encode_cell_record(const CellResult& cell) {
       os << " bank " << cell.bank.banks << ' ' << cell.bank.conflicts << ' '
          << cell.bank.stall_units << ' ' << cell.bank.peak_occupancy;
     }
+    // Batched cells append a second tagged segment under the same
+    // discipline: batch-1 records keep their legacy bytes and old files
+    // still decode.
+    if (cell.batch != 1) {
+      os << " batch " << cell.batch;
+    }
   } else {
     os << ' ' << escape_token(cell.error_code) << ' '
        << escape_text(cell.error_message);
@@ -379,13 +391,19 @@ std::optional<CellResult> decode_cell_record(const std::string& line) {
     }
     if (!parse_run_result(is, &cell.para)) return std::nullopt;
     if (!parse_run_result(is, &cell.sparta)) return std::nullopt;
-    // Optional banked-model segment (see encode_cell_record). A present
-    // tag with missing counters is a torn/corrupt record, not a legacy one.
+    // Optional tagged segments (see encode_cell_record): "bank" counters
+    // and/or a "batch" value. A present tag with missing fields is a
+    // torn/corrupt record, not a legacy one.
     std::string segment;
-    if (is >> segment) {
-      if (segment != "bank" ||
-          !(is >> cell.bank.banks >> cell.bank.conflicts >>
-            cell.bank.stall_units >> cell.bank.peak_occupancy)) {
+    while (is >> segment) {
+      if (segment == "bank") {
+        if (!(is >> cell.bank.banks >> cell.bank.conflicts >>
+              cell.bank.stall_units >> cell.bank.peak_occupancy)) {
+          return std::nullopt;
+        }
+      } else if (segment == "batch") {
+        if (!(is >> cell.batch) || cell.batch < 1) return std::nullopt;
+      } else {
         return std::nullopt;
       }
     }

@@ -33,8 +33,23 @@ bool banked_schema(const std::vector<CellResult>& cells) {
   });
 }
 
+// The batch axis follows the same all-or-nothing discipline: a sweep with
+// at least one batched case carries the `batch` identity column for every
+// row, and a batch-free sweep keeps the legacy schema byte for byte.
+bool batch_schema(const std::vector<CellResult>& cells) {
+  return std::any_of(cells.begin(), cells.end(),
+                     [](const CellResult& cell) { return cell.batch != 1; });
+}
+
+// Inserts the `batch` column right after `benchmark`. The base headers stay
+// untouched so legacy artifacts keep their exact bytes.
+std::vector<std::string> header_with_batch(std::vector<std::string> header) {
+  header.insert(header.begin() + 2, "batch");
+  return header;
+}
+
 std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier,
-                                  bool banked) {
+                                  bool banked, bool batched) {
   // Error rows keep their identity columns (what failed) but leave every
   // metric column empty — an empty cell reads as "no data", a zero would
   // read as a perfect score.
@@ -43,9 +58,9 @@ std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier,
   // mixed grid reports no data there, not a perfect zero.
   const bool measured =
       ok && cell.config.cost_model != pim::CostModelKind::kConstant;
-  std::vector<std::string> row{
-      std::to_string(cell.index),
-      cell.benchmark,
+  std::vector<std::string> row{std::to_string(cell.index), cell.benchmark};
+  if (batched) row.push_back(std::to_string(cell.batch));
+  const std::vector<std::string> identity{
       std::to_string(cell.vertices),
       std::to_string(cell.edges),
       std::to_string(cell.config.pe_count),
@@ -53,6 +68,7 @@ std::vector<std::string> cell_row(const CellResult& cell, bool on_frontier,
       pim::to_string(cell.config.topology),
       core::to_string(cell.packer),
       core::to_string(cell.allocator)};
+  row.insert(row.end(), identity.begin(), identity.end());
   if (banked) {
     row.push_back(pim::to_string(cell.config.cost_model));
     row.push_back(std::to_string(cell.config.edram_banks));
@@ -144,30 +160,39 @@ std::vector<std::size_t> pareto_frontier(
 
 void write_sweep_csv(std::ostream& os, const SweepResult& sweep) {
   const bool banked = banked_schema(sweep.cells);
+  const bool batched = batch_schema(sweep.cells);
   const std::vector<bool> mask = frontier_mask(sweep);
   std::vector<std::vector<std::string>> rows;
   rows.reserve(sweep.cells.size());
   for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
-    rows.push_back(cell_row(sweep.cells[i], mask[i], banked));
+    rows.push_back(cell_row(sweep.cells[i], mask[i], banked, batched));
   }
-  report::write_csv_table(os, banked ? banked_cell_header() : cell_header(),
-                          rows);
+  std::vector<std::string> header =
+      banked ? banked_cell_header() : cell_header();
+  if (batched) header = header_with_batch(std::move(header));
+  report::write_csv_table(os, header, rows);
 }
 
 void write_frontier_csv(std::ostream& os, const SweepResult& sweep) {
   const bool banked = banked_schema(sweep.cells);
+  const bool batched = batch_schema(sweep.cells);
   std::vector<std::vector<std::string>> rows;
   for (const std::size_t index : pareto_frontier(sweep.cells)) {
-    rows.push_back(cell_row(sweep.cells[index], true, banked));
+    rows.push_back(cell_row(sweep.cells[index], true, banked, batched));
   }
-  report::write_csv_table(os, banked ? banked_cell_header() : cell_header(),
-                          rows);
+  std::vector<std::string> header =
+      banked ? banked_cell_header() : cell_header();
+  if (batched) header = header_with_batch(std::move(header));
+  report::write_csv_table(os, header, rows);
 }
 
 report::JsonValue cell_to_json(const CellResult& cell) {
   report::JsonValue c = report::JsonValue::object();
   c.set("index", static_cast<std::int64_t>(cell.index));
   c.set("benchmark", cell.benchmark);
+  // Batched cells carry the `batch` key; batch-1 cells omit it so legacy
+  // sweeps stay byte-identical (per-cell, like the banked keys below).
+  if (cell.batch != 1) c.set("batch", cell.batch);
   c.set("vertices", static_cast<std::int64_t>(cell.vertices));
   c.set("edges", static_cast<std::int64_t>(cell.edges));
   c.set("pe_count", cell.config.pe_count);

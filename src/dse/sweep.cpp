@@ -82,6 +82,7 @@ void fill_cell_identity(const GridSpec& spec, const SweepOptions& options,
   const GridSpec::Coordinates at = spec.coordinates(index);
   cell->index = index;
   cell->benchmark = spec.cases[at.case_index].name;
+  cell->batch = spec.cases[at.case_index].batch;
   cell->vertices = spec.cases[at.case_index].graph.node_count();
   cell->edges = spec.cases[at.case_index].graph.edge_count();
   cell->config = spec.configs[at.config_index];
@@ -128,6 +129,7 @@ CellResult evaluate_cell(const SweepCase& sweep_case,
                   : std::string{});
   CellResult cell;
   cell.benchmark = sweep_case.name;
+  cell.batch = sweep_case.batch;
   cell.vertices = sweep_case.graph.node_count();
   cell.edges = sweep_case.graph.edge_count();
   cell.config = config;

@@ -34,10 +34,15 @@
 
 namespace paraconv::dse {
 
-/// One named application graph of the sweep.
+/// One named application graph of the sweep. `batch` records how many
+/// images per iteration the graph was lowered with (cnn workload cases;
+/// see cnn::LoweringOptions::batch) — it is identity metadata carried into
+/// reports and checkpoints, not a re-lowering knob: `graph` must already be
+/// the batched graph.
 struct SweepCase {
   std::string name;
   graph::TaskGraph graph;
+  int batch{1};
 };
 
 /// Declarative grid specification. Every axis must be non-empty.
@@ -87,6 +92,11 @@ const char* to_string(CellStatus status);
 struct CellResult {
   std::size_t index{0};
   std::string benchmark;
+  /// Images per iteration of the case's graph (SweepCase::batch); 1 for
+  /// every non-workload case. Reported via the conditional all-or-nothing
+  /// `batch` column (see frontier.cpp) and checkpointed as an optional
+  /// tagged segment, so batch-free sweeps keep their legacy bytes.
+  int batch{1};
   std::size_t vertices{0};
   std::size_t edges{0};
   pim::PimConfig config;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "cnn/workload.hpp"
 #include "dse/shard.hpp"
 #include "report/json_reader.hpp"
 
@@ -85,6 +86,25 @@ ParseOutcome parse_request(const std::string& line) {
                            "field \"benchmark\" must be a non-empty string");
       }
       outcome.request.benchmark = value.text;
+      continue;
+    }
+    if (key == "workload") {
+      if (value.kind != JsonDoc::Kind::kString ||
+          !cnn::is_zoo_workload(value.text)) {
+        return bad_request(std::move(outcome),
+                           "field \"workload\" must name a zoo workload");
+      }
+      outcome.request.workload = value.text;
+      continue;
+    }
+    if (key == "batch") {
+      std::int64_t batch = 0;
+      if (!integral_in_range(value, 1, 1 << 10, &batch)) {
+        return bad_request(std::move(outcome),
+                           "field \"batch\" must be an integer in [1, " +
+                               std::to_string(1 << 10) + "]");
+      }
+      outcome.request.batch = static_cast<int>(batch);
       continue;
     }
     if (key == "pes") {
@@ -179,9 +199,21 @@ ParseOutcome parse_request(const std::string& line) {
       op != "block") {
     return bad_request(std::move(outcome), "unknown op \"" + op + "\"");
   }
-  if (op == "schedule" && outcome.request.benchmark.empty()) {
+  if (!outcome.request.benchmark.empty() &&
+      !outcome.request.workload.empty()) {
+    return bad_request(
+        std::move(outcome),
+        "fields \"benchmark\" and \"workload\" are mutually exclusive");
+  }
+  if (outcome.request.batch != 0 && outcome.request.workload.empty()) {
     return bad_request(std::move(outcome),
-                       "op \"schedule\" needs a \"benchmark\" field");
+                       "field \"batch\" requires a \"workload\" field");
+  }
+  if (op == "schedule" && outcome.request.benchmark.empty() &&
+      outcome.request.workload.empty()) {
+    return bad_request(
+        std::move(outcome),
+        "op \"schedule\" needs a \"benchmark\" or \"workload\" field");
   }
   outcome.ok = true;
   return outcome;

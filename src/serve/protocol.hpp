@@ -34,8 +34,16 @@ struct ServeRequest {
   std::string id;
   /// "schedule" | "stats" | "shutdown" | "block" (test-only).
   std::string op;
-  /// Paper benchmark name; required when op == "schedule".
+  /// Paper benchmark name; op == "schedule" needs this or `workload`
+  /// (exactly one — the two are mutually exclusive).
   std::string benchmark;
+  /// CNN zoo workload name (cnn::zoo_workload_names; docs/WORKLOADS.md),
+  /// lowered to a task graph instead of building a paper benchmark. The
+  /// daemon serves only built-in zoo entries, never file paths.
+  std::string workload;
+  /// Images per iteration of the lowered `workload` graph. 0 (the default)
+  /// means the workload's own `batch` directive; requires `workload`.
+  int batch{0};
   int pes{32};
   std::int64_t iterations{100};
   core::AllocatorKind allocator{core::AllocatorKind::kKnapsackDp};

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "cnn/workload.hpp"
 #include "common/check.hpp"
 #include "dse/frontier.hpp"
 #include "dse/memo_store.hpp"
@@ -163,10 +164,23 @@ std::string Server::execute_schedule(const ServeRequest& request) {
   const auto start = std::chrono::steady_clock::now();
   dse::CellResult cell;
   try {
-    dse::SweepCase sweep_case{
-        request.benchmark,
-        graph::build_paper_benchmark(graph::paper_benchmark(
-            request.benchmark))};
+    dse::SweepCase sweep_case;
+    if (!request.workload.empty()) {
+      // Zoo workloads are lowered on demand; batch 0 defers to the entry's
+      // own `batch` directive. The case carries its batch so the response
+      // cell reports the `batch` key exactly like a sweep cell would.
+      const cnn::Workload workload = cnn::zoo_workload(request.workload);
+      const int batch =
+          request.batch == 0 ? workload.default_batch : request.batch;
+      sweep_case = dse::SweepCase{workload.net.name(),
+                                  cnn::lower_workload(workload, batch),
+                                  batch};
+    } else {
+      sweep_case = dse::SweepCase{
+          request.benchmark,
+          graph::build_paper_benchmark(graph::paper_benchmark(
+              request.benchmark))};
+    }
     const pim::PimConfig config = pim::PimConfig::neurocube(request.pes);
     cell = dse::evaluate_cell(
         sweep_case, config, request.packer, request.allocator,

@@ -105,6 +105,100 @@ TEST(LayerKindNameTest, AllVariants) {
   EXPECT_STREQ(layer_kind_name(PoolParams{}), "pool");
   EXPECT_STREQ(layer_kind_name(FcParams{}), "fc");
   EXPECT_STREQ(layer_kind_name(ConcatParams{}), "concat");
+  EXPECT_STREQ(layer_kind_name(EltwiseParams{}), "eltwise");
+}
+
+/// Captures the ContractViolation message of `body`, empty when it does
+/// not throw — lets each case pin its typed `[cnn-*]` diagnostic.
+template <typename Fn>
+std::string violation_message(Fn&& body) {
+  try {
+    std::forward<Fn>(body)();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(LayerValidationTest, TypedWindowDiagnostics) {
+  const Shape in{8, 28, 28};
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(ConvParams{16, 0, 1, 0}, {in});
+            }).find("[cnn-bad-kernel]"),
+            std::string::npos);
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(ConvParams{16, 3, 0, 1}, {in});
+            }).find("[cnn-bad-stride]"),
+            std::string::npos);
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(ConvParams{16, 3, -2, 1}, {in});
+            }).find("[cnn-bad-stride]"),
+            std::string::npos);
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(ConvParams{16, 3, 1, -1}, {in});
+            }).find("[cnn-bad-pad]"),
+            std::string::npos);
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(ConvParams{16, 3, 1, 3}, {in});
+            }).find("[cnn-pad-too-large]"),
+            std::string::npos);
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(PoolParams{PoolMode::kMax, 2, 0, 0}, {in});
+            }).find("[cnn-bad-stride]"),
+            std::string::npos);
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(ConvParams{0, 3, 1, 1}, {in});
+            }).find("[cnn-bad-channels]"),
+            std::string::npos);
+  EXPECT_NE(violation_message([&] { infer_output_shape(FcParams{0}, {in}); })
+                .find("[cnn-bad-channels]"),
+            std::string::npos);
+}
+
+TEST(LayerValidationTest, TypedGroupDiagnostics) {
+  const Shape in{8, 28, 28};
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(ConvParams{16, 3, 1, 1, 0}, {in});
+            }).find("[cnn-bad-groups]"),
+            std::string::npos);
+  // 8 input channels do not split into 3 groups.
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(ConvParams{16, 3, 1, 1, 3}, {in});
+            }).find("[cnn-groups-indivisible]"),
+            std::string::npos);
+  // Output channels must divide too.
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(ConvParams{6, 3, 1, 1, 4}, {in});
+            }).find("[cnn-groups-indivisible]"),
+            std::string::npos);
+}
+
+TEST(LayerGroupsTest, DepthwiseScalesMacsAndWeights) {
+  const Shape in{8, 28, 28};
+  // groups == in == out channels: a depthwise conv — each output channel
+  // sees 1 input channel.
+  EXPECT_EQ(layer_macs(ConvParams{8, 3, 1, 1, 8}, {in}), 8LL * 28 * 28 * 9);
+  EXPECT_EQ(layer_weight_count(ConvParams{8, 3, 1, 1, 8}, {in}), 8LL * 9);
+  // Default groups stays the dense formula.
+  EXPECT_EQ(layer_macs(ConvParams{8, 3, 1, 1}, {in}), 8LL * 28 * 28 * 8 * 9);
+}
+
+TEST(LayerEltwiseTest, SumKeepsShapeAndCountsAdds) {
+  const Shape s{4, 8, 8};
+  EXPECT_EQ(infer_output_shape(EltwiseParams{}, {s, s}), s);
+  EXPECT_EQ(infer_output_shape(EltwiseParams{}, {s, s, s}), s);
+  // n-way sum: (n - 1) adds per output element, no filter weights.
+  EXPECT_EQ(layer_macs(EltwiseParams{}, {s, s, s}), 4LL * 8 * 8 * 2);
+  EXPECT_EQ(layer_weight_count(EltwiseParams{}, {s, s}), 0);
+}
+
+TEST(LayerEltwiseTest, RejectsMismatchedOrMissingInputs) {
+  const Shape s{4, 8, 8};
+  EXPECT_THROW(infer_output_shape(EltwiseParams{}, {s}), ContractViolation);
+  EXPECT_NE(violation_message([&] {
+              infer_output_shape(EltwiseParams{}, {s, Shape{4, 8, 4}});
+            }).find("[cnn-eltwise-shape-mismatch]"),
+            std::string::npos);
 }
 
 }  // namespace

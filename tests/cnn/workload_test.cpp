@@ -1,0 +1,278 @@
+// The workload zoo (docs/WORKLOADS.md): catalog stability, byte-identity
+// between the embedded zoo text and the `workloads/*.tsv` interchange files,
+// parser directive/diagnostic coverage, and the batch-replication semantics
+// of lower_workload.
+#include "cnn/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/algorithms.hpp"
+
+namespace paraconv::cnn {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Captures the ContractViolation message of `body`, empty when it does
+/// not throw — lets each case pin its typed `[workload-*]` diagnostic.
+template <typename Fn>
+std::string violation_message(Fn&& body) {
+  try {
+    std::forward<Fn>(body)();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  return {};
+}
+
+std::int64_t total_task_weight_bytes(const graph::TaskGraph& g) {
+  std::int64_t total = 0;
+  for (const graph::NodeId id : g.nodes()) {
+    total += g.task(id).weights.value;
+  }
+  return total;
+}
+
+TEST(WorkloadZooTest, CatalogOrderIsStable) {
+  const std::vector<std::string> names = zoo_workload_names();
+  const std::vector<std::string> expected = {
+      "alexnet", "vgg16", "resnet18_basic", "mobilenet_v1", "deepbench_conv"};
+  EXPECT_EQ(names, expected);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(is_zoo_workload(name)) << name;
+  }
+  EXPECT_FALSE(is_zoo_workload("lenet5"));
+  EXPECT_FALSE(is_zoo_workload(""));
+}
+
+TEST(WorkloadZooTest, UnknownNameIsTypedDiagnostic) {
+  const std::string message =
+      violation_message([] { zoo_workload_text("lenet5"); });
+  EXPECT_NE(message.find("[workload-unknown]"), std::string::npos) << message;
+  EXPECT_NE(message.find("lenet5"), std::string::npos) << message;
+}
+
+// The embedded zoo text is the same bytes as the on-disk interchange copy;
+// a drift here means workloads/*.tsv and src/cnn/workload.cpp were edited
+// independently.
+TEST(WorkloadZooTest, EmbeddedTextMatchesWorkloadFiles) {
+  for (const std::string& name : zoo_workload_names()) {
+    const std::string path =
+        std::string(PARACONV_WORKLOADS_DIR) + "/" + name + ".tsv";
+    EXPECT_EQ(read_file(path), zoo_workload_text(name)) << name;
+  }
+}
+
+TEST(WorkloadZooTest, FileLoaderAgreesWithEmbeddedZoo) {
+  for (const std::string& name : zoo_workload_names()) {
+    const Workload from_file = load_workload_file(
+        std::string(PARACONV_WORKLOADS_DIR) + "/" + name + ".tsv");
+    const Workload embedded = zoo_workload(name);
+    EXPECT_EQ(from_file.net.name(), embedded.net.name());
+    EXPECT_EQ(from_file.source, embedded.source);
+    EXPECT_EQ(from_file.default_batch, embedded.default_batch);
+    EXPECT_EQ(from_file.net.layer_count(), embedded.net.layer_count());
+    EXPECT_EQ(from_file.net.total_macs(), embedded.net.total_macs());
+    EXPECT_EQ(from_file.net.total_weights(), embedded.net.total_weights());
+  }
+}
+
+TEST(WorkloadZooTest, EveryEntryHasProvenanceAndWork) {
+  for (const std::string& name : zoo_workload_names()) {
+    const Workload workload = zoo_workload(name);
+    EXPECT_EQ(workload.net.name(), name);
+    EXPECT_FALSE(workload.source.empty()) << name;
+    EXPECT_GE(workload.default_batch, 1) << name;
+    EXPECT_GT(workload.net.total_macs(), 0) << name;
+    EXPECT_GT(workload.net.total_weights(), 0) << name;
+  }
+}
+
+// Acceptance gate of the zoo: every shipped entry lowers into a valid,
+// acyclic task graph at batch 1 and batch 4, and batching replicates the
+// per-image graph exactly.
+TEST(WorkloadZooTest, EveryEntryLowersCleanlyAtBatchOneAndFour) {
+  for (const std::string& name : zoo_workload_names()) {
+    const Workload workload = zoo_workload(name);
+    const graph::TaskGraph b1 = lower_workload(workload, 1);
+    const graph::TaskGraph b4 = lower_workload(workload, 4);
+    EXPECT_NO_THROW(b1.validate()) << name;
+    EXPECT_NO_THROW(b4.validate()) << name;
+    EXPECT_TRUE(graph::is_acyclic(b1)) << name;
+    EXPECT_TRUE(graph::is_acyclic(b4)) << name;
+    EXPECT_EQ(b4.node_count(), 4 * b1.node_count()) << name;
+    EXPECT_GE(b4.edge_count(), 4 * b1.edge_count()) << name;
+    // Filter weights live on the image-0 replicas only: batching must not
+    // multiply the weight footprint.
+    EXPECT_EQ(total_task_weight_bytes(b4), total_task_weight_bytes(b1))
+        << name;
+  }
+}
+
+TEST(WorkloadZooTest, ResnetEntryKeepsResidualAdds) {
+  const graph::TaskGraph g = lower_workload(zoo_workload("resnet18_basic"), 1);
+  bool saw_add = false;
+  for (const graph::NodeId id : g.nodes()) {
+    if (g.task(id).name == "b1_add") {
+      saw_add = true;
+      EXPECT_EQ(g.task(id).kind, graph::TaskKind::kOther);
+    }
+  }
+  EXPECT_TRUE(saw_add);
+}
+
+constexpr const char* kTinyWorkload =
+    "# comment line\n"
+    "workload\ttiny\n"
+    "source\tsynthetic fixture for workload_test\n"
+    "batch\t2\n"
+    "input\tdata\t3\t8\t8\n"
+    "conv\tc1\tdata\t4\t3\t1\t1\n"
+    "pool\tp1\tc1\tmax\t2\t2\t0\n"
+    "fc\tout\tp1\t10\n";
+
+TEST(WorkloadParseTest, DirectivesRoundTrip) {
+  const Workload workload = parse_workload(kTinyWorkload);
+  EXPECT_EQ(workload.net.name(), "tiny");
+  EXPECT_EQ(workload.source, "synthetic fixture for workload_test");
+  EXPECT_EQ(workload.default_batch, 2);
+  EXPECT_EQ(workload.net.layer_count(), 4u);
+}
+
+TEST(WorkloadParseTest, GroupsColumnDrivesDepthwiseWeights) {
+  const Workload workload = parse_workload(
+      "workload\tdw\n"
+      "input\tdata\t8\t16\t16\n"
+      "conv\tdw1\tdata\t8\t3\t1\t1\t8\n");
+  // Depthwise 3x3 over 8 channels: 8 * (8/8) * 9 filter weights.
+  EXPECT_EQ(workload.net.weight_count(LayerId{1}), 8 * 9);
+}
+
+TEST(WorkloadLoweringTest, BatchReplicatesWithSharedWeightEdges) {
+  const Workload workload = parse_workload(kTinyWorkload);
+  const graph::TaskGraph b1 = lower_workload(workload, 1);
+  // Input layers are elided: c1, p1, out.
+  ASSERT_EQ(b1.node_count(), 3u);
+  ASSERT_EQ(b1.edge_count(), 2u);
+
+  // lower_workload honors its explicit batch, not the file directive...
+  const graph::TaskGraph b2 = lower_workload(workload, 2);
+  EXPECT_EQ(b2.node_count(), 6u);
+  // ...replicating every edge per image plus one shared-weight edge per
+  // weight-carrying task (c1 and out; the pool is weightless).
+  EXPECT_EQ(b2.edge_count(), 2u * 2u + 2u);
+
+  std::int64_t replica_weight_bytes = 0;
+  bool saw_replica = false;
+  for (const graph::NodeId id : b2.nodes()) {
+    if (b2.task(id).name.find("@b") != std::string::npos) {
+      saw_replica = true;
+      replica_weight_bytes += b2.task(id).weights.value;
+    }
+  }
+  EXPECT_TRUE(saw_replica);
+  EXPECT_EQ(replica_weight_bytes, 0);
+  EXPECT_EQ(total_task_weight_bytes(b2), total_task_weight_bytes(b1));
+}
+
+TEST(WorkloadLoweringTest, DefaultBatchComesFromDirective) {
+  const Workload workload = parse_workload(kTinyWorkload);
+  const graph::TaskGraph g = lower_workload(workload, workload.default_batch);
+  EXPECT_EQ(g.node_count(), 6u);
+}
+
+TEST(WorkloadLoweringTest, RejectsNonPositiveBatch) {
+  const Workload workload = parse_workload(kTinyWorkload);
+  EXPECT_THROW(lower_workload(workload, 0), ContractViolation);
+  EXPECT_THROW(lower_workload(workload, -3), ContractViolation);
+}
+
+struct DiagnosticCase {
+  const char* label;
+  const char* text;
+  const char* expected;
+};
+
+class WorkloadDiagnosticTest : public testing::TestWithParam<DiagnosticCase> {
+};
+
+TEST_P(WorkloadDiagnosticTest, MalformedInputIsTypedAndLineNumbered) {
+  const std::string message =
+      violation_message([&] { parse_workload(GetParam().text); });
+  EXPECT_NE(message.find(GetParam().expected), std::string::npos)
+      << "expected " << GetParam().expected << " in: " << message;
+  EXPECT_NE(message.find("(line "), std::string::npos) << message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, WorkloadDiagnosticTest,
+    testing::Values(
+        DiagnosticCase{"layer_before_directive",
+                       "input\tdata\t3\t8\t8\n",
+                       "[workload-missing-name]"},
+        DiagnosticCase{"bad_batch",
+                       "workload\tt\nbatch\t0\n",
+                       "[workload-bad-batch]"},
+        DiagnosticCase{"unknown_op",
+                       "workload\tt\nrelu\tr\tdata\n",
+                       "[workload-unknown-op]"},
+        DiagnosticCase{"duplicate_layer",
+                       "workload\tt\ninput\ta\t1\t4\t4\ninput\ta\t1\t4\t4\n",
+                       "[workload-duplicate-layer]"},
+        DiagnosticCase{"unknown_input",
+                       "workload\tt\nconv\tc\tmissing\t4\t3\t1\t1\n",
+                       "[workload-unknown-input]"},
+        DiagnosticCase{"conv_arity",
+                       "workload\tt\ninput\td\t1\t4\t4\nconv\tc\td\t4\t3\n",
+                       "[workload-parse]"},
+        DiagnosticCase{"bad_pool_mode",
+                       "workload\tt\ninput\td\t1\t8\t8\n"
+                       "pool\tp\td\tmedian\t2\t2\t0\n",
+                       "[workload-parse]"},
+        DiagnosticCase{"non_integer_field",
+                       "workload\tt\ninput\td\t1\t4x\t4\n",
+                       "[workload-parse]"}),
+    [](const testing::TestParamInfo<DiagnosticCase>& param_info) {
+      return param_info.param.label;
+    });
+
+TEST(WorkloadParseTest, EmptyTextIsMissingName) {
+  const std::string message =
+      violation_message([] { parse_workload("# only comments\n\n"); });
+  EXPECT_NE(message.find("[workload-missing-name]"), std::string::npos)
+      << message;
+}
+
+TEST(WorkloadParseTest, InvalidLayerGeometryCarriesCnnDiagnostic) {
+  // Geometry errors surface the cnn/layer typed diagnostic, so the fix
+  // points at the layer line, not the parser.
+  const std::string message = violation_message([] {
+    parse_workload(
+        "workload\tt\ninput\td\t1\t8\t8\nconv\tc\td\t4\t3\t1\t3\n");
+  });
+  EXPECT_NE(message.find("[cnn-pad-too-large]"), std::string::npos) << message;
+}
+
+TEST(WorkloadFileTest, MissingFileIsTypedDiagnostic) {
+  const std::string message = violation_message(
+      [] { load_workload_file("/nonexistent/paraconv_workload.tsv"); });
+  EXPECT_NE(message.find("[workload-file-missing]"), std::string::npos)
+      << message;
+}
+
+}  // namespace
+}  // namespace paraconv::cnn

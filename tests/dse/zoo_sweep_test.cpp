@@ -1,0 +1,209 @@
+// Workload-zoo sweep contracts:
+//  - a batched zoo sweep (batch in {1, 4}) is byte-identical to the
+//    committed golden fixtures (CSV and JSON) and deterministic across job
+//    counts, with the conditional `batch` column at its pinned position;
+//  - every shipped zoo entry evaluates validator-clean at batch 1 and 4;
+//  - the checkpoint codec round-trips the `batch` segment (alone and next
+//    to the bank segment) and the fingerprint separates batched grids
+//    without invalidating batch-free ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cnn/workload.hpp"
+#include "dse/checkpoint.hpp"
+#include "dse/frontier.hpp"
+#include "dse/sweep.hpp"
+
+namespace paraconv::dse {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+GridSpec zoo_spec() {
+  // Mirrors the CLI invocation the fixtures were generated with:
+  //   sweep --workload resnet18_basic,deepbench_conv --batch 1,4
+  //         --pe-counts 16,32 --allocators dp --packers topo
+  //         --iterations 20 --seed 7
+  GridSpec spec;
+  for (const char* name : {"resnet18_basic", "deepbench_conv"}) {
+    const cnn::Workload workload = cnn::zoo_workload(name);
+    for (const int batch : {1, 4}) {
+      spec.cases.push_back({workload.net.name(),
+                            cnn::lower_workload(workload, batch), batch});
+    }
+  }
+  spec.configs = {pim::PimConfig::neurocube(16),
+                  pim::PimConfig::neurocube(32)};
+  spec.packers = {core::PackerKind::kTopological};
+  spec.allocators = {core::AllocatorKind::kKnapsackDp};
+  spec.iterations = 20;
+  return spec;
+}
+
+TEST(ZooSweepTest, BatchedSweepMatchesGoldenFixturesByteForByte) {
+  SweepOptions options;
+  options.seed = 7;
+  const SweepResult sweep = run_sweep(zoo_spec(), options);
+
+  std::ostringstream csv;
+  write_sweep_csv(csv, sweep);
+  EXPECT_EQ(csv.str(), read_file(std::string(PARACONV_DSE_GOLDEN_DIR) +
+                                 "/sweep_zoo.csv"));
+
+  const std::string json = sweep_to_json(sweep).dump(/*pretty=*/true) + "\n";
+  EXPECT_EQ(json, read_file(std::string(PARACONV_DSE_GOLDEN_DIR) +
+                            "/sweep_zoo.json"));
+}
+
+TEST(ZooSweepTest, BatchedSweepIsDeterministicAcrossJobs) {
+  const GridSpec spec = zoo_spec();
+  std::string csv_by_jobs[2];
+  for (int i = 0; i < 2; ++i) {
+    SweepOptions options;
+    options.seed = 7;
+    options.jobs = i == 0 ? 1 : 4;
+    const SweepResult sweep = run_sweep(spec, options);
+    std::ostringstream csv;
+    write_sweep_csv(csv, sweep);
+    csv_by_jobs[i] = csv.str();
+  }
+  EXPECT_EQ(csv_by_jobs[0], csv_by_jobs[1]);
+  // The all-or-nothing batch column sits at its pinned position (after
+  // `benchmark`) whenever any case is batched.
+  EXPECT_EQ(csv_by_jobs[0].rfind("index,benchmark,batch,", 0), 0u)
+      << csv_by_jobs[0].substr(0, 80);
+}
+
+// The zoo acceptance gate: every shipped entry schedules validator-clean
+// (CellStatus::kOk means packing, retiming, allocation and the schedule
+// validator all passed) at batch 1 and batch 4.
+TEST(ZooSweepTest, EveryZooEntryEvaluatesValidatorClean) {
+  for (const std::string& name : cnn::zoo_workload_names()) {
+    const cnn::Workload workload = cnn::zoo_workload(name);
+    for (const int batch : {1, 4}) {
+      const SweepCase sweep_case{workload.net.name(),
+                                 cnn::lower_workload(workload, batch), batch};
+      const CellResult cell = evaluate_cell(
+          sweep_case, pim::PimConfig::neurocube(16),
+          core::PackerKind::kTopological, core::AllocatorKind::kKnapsackDp,
+          /*iterations=*/20, /*refine_steps=*/0, /*seed=*/7,
+          /*with_baseline=*/true, /*cache=*/nullptr);
+      EXPECT_EQ(cell.status, CellStatus::kOk)
+          << name << " batch " << batch << ": " << cell.error_message;
+      EXPECT_EQ(cell.batch, batch);
+      EXPECT_GT(cell.para.iteration_time.value, 0) << name;
+    }
+  }
+}
+
+TEST(ZooSweepTest, CheckpointRoundTripsBatchSegment) {
+  CellResult cell;
+  cell.index = 5;
+  cell.status = CellStatus::kOk;
+  cell.energy_uj = 2.5;
+  cell.batch = 4;
+
+  const std::string record = encode_cell_record(cell);
+  EXPECT_NE(record.find(" batch 4"), std::string::npos) << record;
+  const std::optional<CellResult> decoded = decode_cell_record(record);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->batch, 4);
+
+  // A batch-1 record carries no segment (legacy bytes) and decodes to 1.
+  cell.batch = 1;
+  const std::string legacy = encode_cell_record(cell);
+  EXPECT_EQ(legacy.find(" batch "), std::string::npos) << legacy;
+  const std::optional<CellResult> legacy_decoded = decode_cell_record(legacy);
+  ASSERT_TRUE(legacy_decoded.has_value());
+  EXPECT_EQ(legacy_decoded->batch, 1);
+
+  // A torn batch segment is corrupt, not legacy.
+  EXPECT_FALSE(decode_cell_record(record.substr(0, record.size() - 2))
+                   .has_value());
+}
+
+TEST(ZooSweepTest, CheckpointCarriesBankAndBatchSegmentsTogether) {
+  CellResult cell;
+  cell.index = 2;
+  cell.status = CellStatus::kOk;
+  cell.batch = 8;
+  cell.config.cost_model = pim::CostModelKind::kBanked;
+  cell.config.edram_banks = 4;
+  cell.bank.banks = 4;
+  cell.bank.conflicts = 7;
+  cell.bank.stall_units = 21;
+  cell.bank.peak_occupancy = 3;
+
+  const std::string record = encode_cell_record(cell);
+  EXPECT_NE(record.find(" bank 4 7 21 3"), std::string::npos) << record;
+  EXPECT_NE(record.find(" batch 8"), std::string::npos) << record;
+  const std::optional<CellResult> decoded = decode_cell_record(record);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bank.conflicts, 7);
+  EXPECT_EQ(decoded->batch, 8);
+}
+
+TEST(ZooSweepTest, FingerprintSeparatesBatchedGridsOnly) {
+  SweepOptions options;
+  options.seed = 7;
+  // A batch-1 case fingerprints exactly like a case with the batch field
+  // left at its default: the axis is not mixed in, so batch-free
+  // checkpoints from before the axis existed stay resumable.
+  GridSpec base = zoo_spec();
+  for (SweepCase& sweep_case : base.cases) sweep_case.batch = 1;
+  GridSpec defaulted = zoo_spec();
+  for (SweepCase& sweep_case : defaulted.cases) sweep_case.batch = 1;
+  EXPECT_EQ(sweep_fingerprint(base, options),
+            sweep_fingerprint(defaulted, options));
+
+  // Same graphs, different recorded batch: distinct fingerprints.
+  GridSpec batched = zoo_spec();
+  for (SweepCase& sweep_case : batched.cases) sweep_case.batch = 2;
+  EXPECT_NE(sweep_fingerprint(base, options),
+            sweep_fingerprint(batched, options));
+  // And the shipped mixed-batch grid differs from the all-batch-1 view.
+  EXPECT_NE(sweep_fingerprint(zoo_spec(), options),
+            sweep_fingerprint(base, options));
+}
+
+TEST(ZooSweepTest, BatchedSweepResumesByteIdentical) {
+  const GridSpec spec = zoo_spec();
+  const std::string path =
+      testing::TempDir() + "paraconv_zoo_sweep_checkpoint.txt";
+  std::remove(path.c_str());
+
+  SweepOptions options;
+  options.seed = 7;
+  options.checkpoint_path = path;
+  const SweepResult first = run_sweep(spec, options);
+  ASSERT_EQ(first.cells_ok, spec.cell_count());
+  std::ostringstream first_csv;
+  write_sweep_csv(first_csv, first);
+
+  options.resume = true;
+  const SweepResult resumed = run_sweep(spec, options);
+  EXPECT_EQ(resumed.cells_resumed, spec.cell_count());
+  std::ostringstream resumed_csv;
+  write_sweep_csv(resumed_csv, resumed);
+  // Resumed cells reconstruct identity (including batch) from the grid and
+  // restore computed fields from the records: the report is byte-identical.
+  EXPECT_EQ(first_csv.str(), resumed_csv.str());
+  EXPECT_EQ(resumed_csv.str().rfind("index,benchmark,batch,", 0), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace paraconv::dse

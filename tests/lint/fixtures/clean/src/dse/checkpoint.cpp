@@ -13,6 +13,8 @@ std::string encode_cell_record(const CellResult& cell) {
   out += std::to_string(cell.bank.conflicts);
   out += std::to_string(cell.bank.stall_units);
   out += std::to_string(cell.bank.peak_occupancy);
+  out += " batch ";
+  out += std::to_string(cell.batch);
   return out;
 }
 
@@ -23,6 +25,10 @@ bool decode_cell_record(const std::string& status, CellResult& cell) {
   }
   if (status == "bank") {
     cell.bank.banks = 8;
+    return true;
+  }
+  if (status == "batch") {
+    cell.batch = 4;
     return true;
   }
   if (status == "error") {

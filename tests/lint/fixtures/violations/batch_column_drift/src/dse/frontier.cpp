@@ -1,4 +1,5 @@
-// Lint fixture: sweep CSV header and JSON keys (the shared schema).
+// Seeded violation: the batch helper inserts a renamed column while the
+// JSON writer and checkpoint codec still spell it "batch".
 #include "dse/frontier.hpp"
 
 namespace paraconv::dse {
@@ -24,7 +25,7 @@ const std::vector<std::string>& banked_cell_header() {
 }
 
 std::vector<std::string> header_with_batch(std::vector<std::string> header) {
-  header.insert(header.begin() + 2, "batch");
+  header.insert(header.begin() + 2, "n_images");
   return header;
 }
 

@@ -102,6 +102,7 @@ INSTANTIATE_TEST_SUITE_P(
         ViolationCase{"merge_missing_field", "schema-merge-field"},
         ViolationCase{"bank_column_drift", "schema-bank-columns"},
         ViolationCase{"bank_checkpoint_drift", "schema-bank-checkpoint"},
+        ViolationCase{"batch_column_drift", "schema-batch-columns"},
         ViolationCase{"alloc_site_token_case", "schema-alloc-site-token"},
         ViolationCase{"using_namespace_header", "using-namespace-header"},
         ViolationCase{"missing_pragma_once", "pragma-once"},

@@ -98,6 +98,7 @@ class LintPass {
     check_obs_names();
     check_schema();
     check_bank_schema();
+    check_batch_schema();
     check_docs_xrefs();
   }
 
@@ -774,6 +775,65 @@ class LintPass {
                 "\" is never decoded by alloc_site_from_string; the "
                 "encoder and decoder would disagree");
       }
+    }
+  }
+
+  // ---- batch identity-column schema ----------------------------------------
+
+  /// The `batch` axis (cnn workload sweeps) extends the report schema the
+  /// same all-or-nothing way the banked columns do. The column is inserted
+  /// programmatically (header_with_batch) instead of living in the static
+  /// header literals, so this check pins the helper, the JSON key and the
+  /// checkpoint segment tag to the shared "batch" spelling.
+  void check_batch_schema() {
+    const SourceFile* frontier = require_file("src/dse/frontier.cpp");
+    const SourceFile* checkpoint = require_file("src/dse/checkpoint.cpp");
+    if (frontier == nullptr || checkpoint == nullptr) return;
+
+    // (a) The CSV writer owns a header_with_batch helper whose body names
+    // the "batch" column literally.
+    const std::set<std::string> header_literals =
+        function_body_literals(*frontier, "header_with_batch");
+    if (header_literals.count("batch") == 0) {
+      add("schema-batch-columns", frontier->rel_path, 0,
+          "frontier.cpp has no header_with_batch helper inserting the "
+          "\"batch\" CSV column; batched sweeps would lose their identity "
+          "column");
+    }
+
+    // (b) The JSON writer sets the batch key on batched cells.
+    const std::set<std::string> json_keys = set_call_keys(*frontier);
+    if (json_keys.count("batch") == 0) {
+      add("schema-batch-columns", frontier->rel_path, 0,
+          "sweep JSON writer never sets the \"batch\" key on batched cells");
+    }
+
+    // (c) The report writers actually read CellResult::batch.
+    if (frontier->stripped.find(".batch") == std::string::npos) {
+      add("schema-batch-columns", frontier->rel_path, 0,
+          "report writers never touch CellResult::batch; the batch column "
+          "would render empty");
+    }
+
+    // (d) The checkpoint codec writes/matches the tagged batch segment and
+    // touches the member, so batched cells survive checkpoint/resume.
+    bool has_batch_tag = false;
+    for (const QuotedString& q : quoted_strings(
+             checkpoint->stripped, 0, checkpoint->stripped.size())) {
+      if (trim(q.value) == "batch") {
+        has_batch_tag = true;
+        break;
+      }
+    }
+    if (!has_batch_tag) {
+      add("schema-batch-checkpoint", checkpoint->rel_path, 0,
+          "checkpoint codec never writes or matches the \"batch\" segment "
+          "tag; batched cells would lose their batch on resume");
+    }
+    if (checkpoint->stripped.find(".batch") == std::string::npos) {
+      add("schema-batch-checkpoint", checkpoint->rel_path, 0,
+          "checkpoint codec never touches CellResult::batch; records would "
+          "drop the batch identity column");
     }
   }
 

@@ -35,6 +35,7 @@
 #endif
 
 #include "bench_harness/suites.hpp"
+#include "cnn/workload.hpp"
 #include "common/flags.hpp"
 #include "common/parse.hpp"
 #include "dse/shard.hpp"
@@ -199,6 +200,18 @@ int cmd_list() {
                    std::to_string(b.edges)});
   }
   table.print(std::cout);
+
+  std::cout << "\n";
+  TablePrinter zoo("Workload zoo (sweep --workload; docs/WORKLOADS.md)");
+  zoo.set_header({"name", "layers", "tasks", "edges"});
+  for (const std::string& name : cnn::zoo_workload_names()) {
+    const cnn::Workload workload = cnn::zoo_workload(name);
+    const graph::TaskGraph g = cnn::lower_workload(workload, /*batch=*/1);
+    zoo.add_row({name, std::to_string(workload.net.layer_count()),
+                 std::to_string(g.node_count()),
+                 std::to_string(g.edge_count())});
+  }
+  zoo.print(std::cout);
   return 0;
 }
 
@@ -405,16 +418,59 @@ int cmd_sweep(const FlagParser& flags) {
   spec.allocators = parse_allocator_list(flags.get_string("allocators"));
   spec.packers = parse_packer_list(flags.get_string("packers"));
 
-  const std::string benchmarks = flags.get_string("benchmarks");
-  if (benchmarks == "all") {
-    for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
-      spec.cases.push_back(
-          {bench.name, graph::build_paper_benchmark(bench)});
+  // The case axis comes from exactly one source: --workload (CNN zoo
+  // entries or workload files, optionally crossed with --batch) or
+  // --benchmarks (the paper's Table-1 graphs, always batch-free).
+  const std::string workload_text = flags.get_string("workload");
+  const std::string batch_text = flags.get_string("batch");
+  if (!workload_text.empty()) {
+    std::vector<int> batches;  // empty = honor each workload's directive
+    if (!batch_text.empty()) {
+      std::string batch_error;
+      const std::optional<std::vector<int>> parsed =
+          parse_positive_int_list(batch_text, &batch_error);
+      if (!parsed.has_value()) {
+        throw UsageError("--batch expects comma-separated positive integers: " +
+                         batch_error);
+      }
+      constexpr int kMaxBatch = 1 << 10;
+      for (const int batch : *parsed) {
+        if (batch > kMaxBatch) {
+          throw UsageError("--batch entries must be <= " +
+                           std::to_string(kMaxBatch) + ", got " +
+                           std::to_string(batch));
+        }
+      }
+      batches = *parsed;
     }
+    for (const std::string& name : split(workload_text, ',')) {
+      const cnn::Workload workload = cnn::is_zoo_workload(name)
+                                         ? cnn::zoo_workload(name)
+                                         : cnn::load_workload_file(name);
+      const std::vector<int> workload_batches =
+          batches.empty() ? std::vector<int>{workload.default_batch}
+                          : batches;
+      for (const int batch : workload_batches) {
+        spec.cases.push_back({workload.net.name(),
+                              cnn::lower_workload(workload, batch), batch});
+      }
+    }
+  } else if (!batch_text.empty()) {
+    throw UsageError(
+        "--batch requires --workload: batch is an axis of lowered CNN "
+        "workloads, not of the paper benchmarks");
   } else {
-    for (const std::string& name : split(benchmarks, ',')) {
-      spec.cases.push_back({name, graph::build_paper_benchmark(
-                                      graph::paper_benchmark(name))});
+    const std::string benchmarks = flags.get_string("benchmarks");
+    if (benchmarks == "all") {
+      for (const graph::PaperBenchmark& bench : graph::paper_benchmarks()) {
+        spec.cases.push_back(
+            {bench.name, graph::build_paper_benchmark(bench)});
+      }
+    } else {
+      for (const std::string& name : split(benchmarks, ',')) {
+        spec.cases.push_back({name, graph::build_paper_benchmark(
+                                        graph::paper_benchmark(name))});
+      }
     }
   }
   std::string pe_error;
@@ -713,6 +769,16 @@ int main(int argc, char** argv) {
   flags.add_string("out", "", "sweep: write CSV/JSON here (default stdout)");
   flags.add_string("benchmarks", "all",
                    "sweep: comma-separated paper benchmarks, or 'all'");
+  flags.add_string("workload", "",
+                   "sweep: comma-separated CNN workloads — zoo names (see "
+                   "list / docs/WORKLOADS.md) or workload .tsv files — "
+                   "lowered to task graphs and swept instead of "
+                   "--benchmarks");
+  flags.add_string("batch", "",
+                   "sweep: comma-separated images-per-iteration list; a "
+                   "case axis crossed with --workload (adds the batch "
+                   "report column; default: each workload's own batch "
+                   "directive)");
   flags.add_string("pe-counts", "16,32,64",
                    "sweep: comma-separated PE-array sizes");
   flags.add_string("cost-model", "constant",
@@ -755,8 +821,8 @@ int main(int argc, char** argv) {
                  "--resume");
   flags.add_string("suite", "pipeline",
                    "bench: comma-separated suite list (pipeline, packer, "
-                   "retime, alloc_dp, sweep_cell, cost_model, serve), or "
-                   "'all'");
+                   "retime, alloc_dp, sweep_cell, sweep_zoo, cost_model, "
+                   "serve), or 'all'");
   flags.add_int("warmup", 2, "bench: untimed repetitions before measuring");
   flags.add_int("repetitions", 11,
                 "bench: timed repetitions per case (median/p10/p90 are "
